@@ -1,0 +1,30 @@
+//! Benchmarks of the Figure 1 remote-attestation flow (wall-clock of the
+//! emulator plus the modelled instruction counts are reported by
+//! `--bin table1`; this measures actual execution cost of the protocol).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teenet::attest::AttestConfig;
+use teenet_bench::AttestBench;
+use teenet_crypto::dh::DhGroup;
+
+fn bench_attestation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remote_attestation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (label, config) in [
+        ("no_dh_1024", AttestConfig::no_dh(DhGroup::modp1024())),
+        ("with_dh_768", AttestConfig::fast()),
+        ("with_dh_1024", AttestConfig::default()),
+    ] {
+        group.bench_function(label, |b| {
+            let mut bench = AttestBench::new(&config, 1);
+            b.iter(|| black_box(bench.run_once(&config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attestation);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Microbenchmarks of the from-scratch cryptographic substrate: the
+//! primitives whose modelled costs drive every table in the paper.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use teenet_crypto::aes::Aes128;
+use teenet_crypto::dh::{DhGroup, DhKeyPair};
+use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
+use teenet_crypto::sha256::sha256;
+use teenet_crypto::{chacha20, SecureRng};
+
+fn bench_aes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes128");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    let cipher = Aes128::new(&[7u8; 16]).expect("key");
+    group.bench_function("block", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            cipher.encrypt_block(black_box(&mut block));
+        })
+    });
+    group.throughput(Throughput::Bytes(1500));
+    group.bench_function("ctr_mtu", |b| {
+        let nonce = [0u8; 16];
+        let mut data = vec![0u8; 1500];
+        b.iter(|| cipher.ctr_apply(black_box(&nonce), black_box(&mut data)))
+    });
+    group.finish();
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(1500));
+    let data = vec![0xabu8; 1500];
+    group.bench_function("mtu", |b| b.iter(|| sha256(black_box(&data))));
+    group.finish();
+}
+
+fn bench_chacha(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chacha20");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(1500));
+    let key = [1u8; 32];
+    let nonce = [2u8; 12];
+    let mut data = vec![0u8; 1500];
+    group.bench_function("mtu", |b| {
+        b.iter(|| chacha20::apply(black_box(&key), black_box(&nonce), 0, black_box(&mut data)))
+    });
+    group.finish();
+}
+
+fn bench_dh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dh1024");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let dh_group = DhGroup::modp1024();
+    let mut rng = SecureRng::seed_from_u64(1);
+    let alice = DhKeyPair::generate(&dh_group, &mut rng).expect("keypair");
+    let bob = DhKeyPair::generate(&dh_group, &mut rng).expect("keypair");
+    group.bench_function("keygen", |b| {
+        b.iter(|| DhKeyPair::generate(black_box(&dh_group), &mut rng).expect("keypair"))
+    });
+    group.bench_function("shared_secret", |b| {
+        b.iter(|| alice.shared_secret(black_box(&bob.public)).expect("secret"))
+    });
+    group.finish();
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schnorr1024");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let sgroup = SchnorrGroup::standard();
+    let mut rng = SecureRng::seed_from_u64(2);
+    let key = SigningKey::generate(&sgroup, &mut rng).expect("key");
+    let sig = key.sign(b"quote body", &mut rng).expect("sig");
+    group.bench_function("sign", |b| {
+        b.iter(|| key.sign(black_box(b"quote body"), &mut rng).expect("sig"))
+    });
+    group.bench_function("verify", |b| {
+        b.iter(|| key.public.verify(black_box(b"quote body"), &sig).expect("ok"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aes,
+    bench_sha256,
+    bench_chacha,
+    bench_dh,
+    bench_schnorr
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Ablation: Diffie–Hellman modulus size. DH dominates attestation cost
+//! (~90% of cycles in the paper), so the group size is the main cost
+//! lever; this measures the real modexp work at 768/1024/1536/2048 bits.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use teenet_crypto::dh::{DhGroup, DhKeyPair};
+use teenet_crypto::SecureRng;
+
+fn bench_dh_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dh_modulus");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (label, g) in [
+        ("768", DhGroup::modp768()),
+        ("1024", DhGroup::modp1024()),
+        ("1536", DhGroup::modp1536()),
+        ("2048", DhGroup::modp2048()),
+    ] {
+        let mut rng = SecureRng::seed_from_u64(4);
+        let alice = DhKeyPair::generate(&g, &mut rng).expect("keypair");
+        let bob = DhKeyPair::generate(&g, &mut rng).expect("keypair");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &g, |b, _| {
+            b.iter(|| alice.shared_secret(black_box(&bob.public)).expect("secret"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dh_sizes);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation: enclave I/O batching (the amortisation Table 2 demonstrates).
+//! Reports modelled per-packet instruction cost across batch sizes in
+//! addition to the wall-clock of driving the emulator.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use teenet_bench::measure_packet_send;
+
+fn bench_batching(c: &mut Criterion) {
+    // Print the modelled amortisation table once (the actual ablation data).
+    println!("\nModelled per-packet cost by batch size (normal instructions, with crypto):");
+    for batch in [1u32, 2, 5, 10, 20, 50, 100] {
+        let counters = measure_packet_send(batch, true, 9);
+        println!(
+            "  batch {:>3}: {:>6} normal instr/pkt, {:>4} SGX instr total",
+            batch,
+            counters.normal_instr / batch as u64,
+            counters.sgx_instr
+        );
+    }
+
+    let mut group = c.benchmark_group("io_batching");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    for batch in [1u32, 10, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &n| {
+            b.iter(|| black_box(measure_packet_send(n, true, 9)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batching);
+criterion_main!(benches);

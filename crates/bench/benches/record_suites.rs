@@ -1,0 +1,42 @@
+//! Ablation: record-protection cipher suite (AES-128-CTR vs ChaCha20),
+//! one of the design choices DESIGN.md calls out. Both protect the same
+//! MTU-sized record with HMAC-SHA256.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use teenet_tls::record::{DirectionKeys, RecordProtection};
+use teenet_tls::CipherSuite;
+
+fn bench_suites(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_suite");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(1500));
+    let payload = vec![0x5au8; 1500];
+    for (label, suite) in [
+        ("aes128ctr_hmac", CipherSuite::Aes128CtrHmacSha256),
+        ("chacha20_hmac", CipherSuite::ChaCha20HmacSha256),
+    ] {
+        let keys = DirectionKeys {
+            enc_key: vec![7u8; suite.key_len()],
+            mac_key: [8u8; 32],
+        };
+        group.bench_function(format!("{label}/seal"), |b| {
+            let mut tx = RecordProtection::new(suite, keys.clone());
+            b.iter(|| tx.seal(black_box(&payload)).expect("seal"))
+        });
+        group.bench_function(format!("{label}/roundtrip"), |b| {
+            let mut tx = RecordProtection::new(suite, keys.clone());
+            let mut rx = RecordProtection::new(suite, keys.clone());
+            b.iter(|| {
+                let rec = tx.seal(black_box(&payload)).expect("seal");
+                rx.open(&rec).expect("open")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suites);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Benchmarks of the Tor simulator: circuit construction, stream
+//! exchange, and the Chord-DHT membership lookup of the fully-SGX design
+//! (the directory-vs-DHT ablation).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use teenet_tor::deployment::{Phase, TorDeployment, TorSpec};
+use teenet_tor::dht::ChordRing;
+
+fn bench_circuit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tor_circuit");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("build_and_exchange_vanilla", |b| {
+        b.iter(|| {
+            let mut dep =
+                TorDeployment::build(TorSpec::fast(Phase::Vanilla, 3)).expect("deployment");
+            let admission = dep.run_admission().expect("admission");
+            let path = dep.select_path(&admission, None).expect("path");
+            dep.exchange(path, b"bench payload").expect("exchange")
+        })
+    });
+    group.finish();
+}
+
+fn bench_dht(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_lookup");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    for n in [16u32, 64, 256] {
+        let mut ring = ChordRing::new();
+        for i in 0..n {
+            ring.join(i);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut key = 0u64;
+            b.iter(|| {
+                key = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                ring.lookup(black_box(0), black_box(key)).expect("lookup")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_admission_phases(c: &mut Criterion) {
+    // Ablation: admission cost by deployment phase. Attestation work grows
+    // from zero (vanilla) through directory-only to the fully SGX design.
+    let mut group = c.benchmark_group("tor_admission_phase");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (label, phase) in [
+        ("vanilla", Phase::Vanilla),
+        ("sgx_directory", Phase::SgxDirectory),
+        ("incremental_ors", Phase::IncrementalOrs),
+        ("full_sgx", Phase::FullSgx),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut dep =
+                    TorDeployment::build(TorSpec::fast(phase, 5)).expect("deployment");
+                black_box(dep.run_admission().expect("admission"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_circuit, bench_dht, bench_admission_phases);
+criterion_main!(benches);

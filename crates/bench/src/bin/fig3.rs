@@ -1,0 +1,64 @@
+//! Reproduces **Figure 3**: CPU cycles consumed by the inter-domain
+//! controller as the number of ASes grows, with and without SGX.
+//!
+//! The paper's observations to match in shape: overhead grows with
+//! topology size, and the SGX controller consumes ~90% more cycles.
+//!
+//! Run: `cargo run --release -p teenet-bench --bin fig3`
+
+use teenet::attest::AttestConfig;
+use teenet::fmt;
+use teenet_crypto::SecureRng;
+use teenet_interdomain::{default_policies, run_native, SdnDeployment, Topology};
+use teenet_sgx::cost::CostModel;
+
+fn main() {
+    let model = CostModel::paper();
+    println!("Figure 3: CPU cycles of the inter-domain controller vs number of ASes");
+    println!("(cycles = 10_000 x SGX instr + 1.8 x normal instr, per the paper's Sec. 5 fn. 6)");
+    println!();
+    println!(
+        "{:>6} {:>16} {:>16} {:>10}",
+        "#ASes", "w/o SGX (cyc)", "w/ SGX (cyc)", "overhead"
+    );
+
+    let mut series = Vec::new();
+    for n in [5u32, 10, 15, 20, 25, 30] {
+        let mut rng = SecureRng::seed_from_u64(2015);
+        let topology = Topology::random(n, &mut rng);
+        let policies = default_policies(&topology);
+        let native = run_native(&topology, &policies);
+        let mut deployment =
+            SdnDeployment::new(&topology, &policies, AttestConfig::fast(), 7).expect("deployment");
+        let report = deployment.run().expect("run");
+
+        let native_cycles = native.interdomain.cycles(&model);
+        let sgx_cycles = report.interdomain.cycles(&model);
+        println!(
+            "{:>6} {:>16} {:>16} {:>10}",
+            n,
+            fmt::cycles(native_cycles),
+            fmt::cycles(sgx_cycles),
+            fmt::overhead_pct(sgx_cycles, native_cycles)
+        );
+        series.push((n, native_cycles, sgx_cycles));
+    }
+
+    println!();
+    let (_, n0, s0) = series.first().expect("nonempty");
+    let (_, n1, s1) = series.last().expect("nonempty");
+    println!(
+        "Growth 5->30 ASes: w/o SGX {:.1}x, w/ SGX {:.1}x (overhead grows with topology complexity)",
+        *n1 as f64 / *n0 as f64,
+        *s1 as f64 / *s0 as f64
+    );
+    let overall = series
+        .iter()
+        .map(|(_, n, s)| *s as f64 / *n as f64 - 1.0)
+        .sum::<f64>()
+        / series.len() as f64;
+    println!(
+        "Mean cycle overhead across the sweep: {:.0}% (paper: ~90%)",
+        overall * 100.0
+    );
+}

@@ -1,0 +1,58 @@
+//! Reproduces **Table 1**: number of instructions during remote
+//! attestation, per enclave role, with and without the Diffie–Hellman
+//! channel bootstrap.
+//!
+//! Run: `cargo run --release -p teenet-bench --bin table1`
+
+use teenet::attest::AttestConfig;
+use teenet::fmt;
+use teenet_bench::AttestBench;
+use teenet_crypto::dh::DhGroup;
+use teenet_sgx::cost::CostModel;
+
+fn main() {
+    let model = CostModel::paper();
+    let no_dh_cfg = AttestConfig::no_dh(DhGroup::modp1024());
+    let dh_cfg = AttestConfig::default(); // 1024-bit DH, as in the paper
+
+    let mut bench = AttestBench::new(&no_dh_cfg, 1);
+    let (t_no, q_no, c_no) = bench.run_once(&no_dh_cfg);
+    let mut bench = AttestBench::new(&dh_cfg, 1);
+    let (t_dh, q_dh, c_dh) = bench.run_once(&dh_cfg);
+
+    println!("Table 1: Number of instructions during remote attestation");
+    println!("(paper values: target 20/20 SGX, 154M/4338M normal; quoting 17/17, 125M/125M; challenger 8/8, 124M/348M)");
+    println!();
+    println!("                 |    Target     |    Quoting    |  Challenger   |");
+    println!("                 | w/o DH  w/ DH | w/o DH  w/ DH | w/o DH  w/ DH |");
+    println!(
+        "SGX(U) inst.     | {:>6}  {:>5} | {:>6}  {:>5} | {:>6}  {:>5} |",
+        t_no.sgx_instr, t_dh.sgx_instr, q_no.sgx_instr, q_dh.sgx_instr, c_no.sgx_instr, c_dh.sgx_instr
+    );
+    println!(
+        "Normal inst.     | {:>6}  {:>5} | {:>6}  {:>5} | {:>6}  {:>5} |",
+        fmt::instr(t_no.normal_instr),
+        fmt::instr(t_dh.normal_instr),
+        fmt::instr(q_no.normal_instr),
+        fmt::instr(q_dh.normal_instr),
+        fmt::instr(c_no.normal_instr),
+        fmt::instr(c_dh.normal_instr)
+    );
+    println!();
+    let challenger_cycles = c_dh.cycles(&model);
+    let mut remote = t_dh;
+    remote.merge(q_dh);
+    println!(
+        "Challenger cycles (w/ DH): {} (paper: 626M)",
+        fmt::cycles(challenger_cycles)
+    );
+    println!(
+        "Remote platform cycles (target+quoting, w/ DH): {} (paper: 8033M)",
+        fmt::cycles(remote.cycles(&model))
+    );
+    let dh_share = (t_dh.normal_instr - t_no.normal_instr) as f64 / t_dh.normal_instr as f64;
+    println!(
+        "DH share of target-side work: {:.0}% (paper: \"the Diffie-Hellman key exchange takes up 90% of the cycles\")",
+        dh_share * 100.0
+    );
+}

@@ -1,0 +1,63 @@
+//! Reproduces **Table 4**: costs of SDN-based inter-domain routing with
+//! and without SGX, for the inter-domain controller and the average
+//! AS-local controller, on a random 30-AS topology (setup costs excluded,
+//! as in the paper).
+//!
+//! Run: `cargo run --release -p teenet-bench --bin table4`
+
+use teenet::attest::AttestConfig;
+use teenet::fmt;
+use teenet_crypto::SecureRng;
+use teenet_interdomain::{default_policies, run_native, SdnDeployment, Topology};
+
+fn main() {
+    let n_ases = 30;
+    let mut rng = SecureRng::seed_from_u64(2015);
+    let topology = Topology::random(n_ases, &mut rng);
+    let policies = default_policies(&topology);
+
+    let native = run_native(&topology, &policies);
+    let mut deployment = SdnDeployment::new(&topology, &policies, AttestConfig::fast(), 7)
+        .expect("deployment");
+    let report = deployment.run().expect("run");
+
+    let native_avg = native.aslocal_avg();
+    let sgx_avg = report.aslocal_avg();
+
+    println!("Table 4: Costs of SDN-based inter-domain routing ({n_ases} ASes)");
+    println!("(paper values: inter-domain -/74M vs 1448/135M; AS-local -/13M vs 42/24M)");
+    println!();
+    println!("               |    Inter-domain    |   AS-local (avg.)  |");
+    println!("               | w/o SGX    w/ SGX  | w/o SGX    w/ SGX  |");
+    println!(
+        "SGX(U) inst.   | {:>7} {:>9}  | {:>7} {:>9}  |",
+        "-", report.interdomain.sgx_instr, "-", sgx_avg.sgx_instr
+    );
+    println!(
+        "Normal inst.   | {:>7} {:>9}  | {:>7} {:>9}  |",
+        fmt::instr(native.interdomain.normal_instr),
+        fmt::instr(report.interdomain.normal_instr),
+        fmt::instr(native_avg.normal_instr),
+        fmt::instr(sgx_avg.normal_instr)
+    );
+    println!();
+    println!(
+        "Inter-domain overhead: {} more normal instructions (paper: 82%)",
+        fmt::overhead_pct(
+            report.interdomain.normal_instr,
+            native.interdomain.normal_instr
+        )
+    );
+    println!(
+        "AS-local overhead:     {} more normal instructions (paper: 69% on the paper's topology draw)",
+        fmt::overhead_pct(sgx_avg.normal_instr, native_avg.normal_instr)
+    );
+    println!(
+        "Setup (excluded, one-time): {} remote attestations",
+        report.attestations
+    );
+    println!(
+        "Routes installed per AS (avg): {}",
+        report.routes_installed.iter().map(|&c| c as u64).sum::<u64>() / n_ases as u64
+    );
+}

@@ -1,0 +1,55 @@
+//! Error type for the attestation and secure-channel layer.
+
+use core::fmt;
+use teenet_crypto::CryptoError;
+use teenet_sgx::SgxError;
+
+/// Errors from remote attestation or secure-channel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TeenetError {
+    /// The attested enclave's identity does not satisfy the policy.
+    IdentityRejected(&'static str),
+    /// The quote's report data does not bind the expected handshake values.
+    BindingMismatch,
+    /// A certificate check failed.
+    CertificateInvalid(&'static str),
+    /// A secure-channel message failed authentication or framing.
+    ChannelError(&'static str),
+    /// A protocol message arrived out of order or malformed.
+    Protocol(&'static str),
+    /// Underlying SGX emulator error.
+    Sgx(SgxError),
+    /// Underlying cryptographic error.
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for TeenetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TeenetError::IdentityRejected(why) => write!(f, "identity rejected: {why}"),
+            TeenetError::BindingMismatch => write!(f, "attestation binding mismatch"),
+            TeenetError::CertificateInvalid(why) => write!(f, "certificate invalid: {why}"),
+            TeenetError::ChannelError(why) => write!(f, "secure channel error: {why}"),
+            TeenetError::Protocol(why) => write!(f, "protocol error: {why}"),
+            TeenetError::Sgx(e) => write!(f, "sgx error: {e}"),
+            TeenetError::Crypto(e) => write!(f, "crypto error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TeenetError {}
+
+impl From<SgxError> for TeenetError {
+    fn from(e: SgxError) -> Self {
+        TeenetError::Sgx(e)
+    }
+}
+
+impl From<CryptoError> for TeenetError {
+    fn from(e: CryptoError) -> Self {
+        TeenetError::Crypto(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = core::result::Result<T, TeenetError>;

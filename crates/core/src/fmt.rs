@@ -1,0 +1,60 @@
+//! Paper-style number formatting for the table harnesses.
+//!
+//! The paper reports instruction counts as "154M", "13K", "4338M"; the
+//! benches print the same units so the reproduction reads side by side
+//! with the original tables.
+
+/// Formats an instruction count the way the paper's tables do.
+///
+/// ≥ 1M → "NM" (rounded), ≥ 1K → "NK" (rounded), else the plain number.
+pub fn instr(n: u64) -> String {
+    if n >= 1_000_000 {
+        format!("{}M", (n + 500_000) / 1_000_000)
+    } else if n >= 1_000 {
+        format!("{}K", (n + 500) / 1_000)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Formats a cycle count in millions with one decimal ("626.5M").
+pub fn cycles(n: u64) -> String {
+    format!("{:.1}M", n as f64 / 1e6)
+}
+
+/// Formats a relative overhead as a percentage ("82%").
+pub fn overhead_pct(with: u64, without: u64) -> String {
+    if without == 0 {
+        return "n/a".to_owned();
+    }
+    let pct = (with as f64 - without as f64) / without as f64 * 100.0;
+    format!("{pct:.0}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instr_units() {
+        assert_eq!(instr(0), "0");
+        assert_eq!(instr(999), "999");
+        assert_eq!(instr(13_000), "13K");
+        assert_eq!(instr(13_499), "13K");
+        assert_eq!(instr(154_000_000), "154M");
+        assert_eq!(instr(4_338_200_000), "4338M");
+        assert_eq!(instr(972_000), "972K");
+    }
+
+    #[test]
+    fn cycles_format() {
+        assert_eq!(cycles(626_480_000), "626.5M");
+    }
+
+    #[test]
+    fn overhead() {
+        assert_eq!(overhead_pct(135, 74), "82%");
+        assert_eq!(overhead_pct(24, 13), "85%");
+        assert_eq!(overhead_pct(100, 0), "n/a");
+    }
+}

@@ -1,0 +1,219 @@
+//! Enclave identity policies and software certificates.
+//!
+//! The paper's deployment assumptions (§3.2): "the Tor source code is
+//! extensively verified by the community, [...] and the Tor foundation
+//! publishes a signed certificate of legitimate software that contains the
+//! identities". [`SoftwareCertificate`] is that artifact; an
+//! [`IdentityPolicy`] is what a challenger checks a quoted identity
+//! against.
+
+use teenet_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+use teenet_crypto::SecureRng;
+use teenet_sgx::{Measurement, ReportBody};
+
+use crate::error::{Result, TeenetError};
+
+/// What a challenger requires of the attested enclave.
+#[derive(Debug, Clone)]
+pub enum IdentityPolicy {
+    /// Exact code identity (deterministic build of agreed source, §3.1).
+    Mrenclave(Measurement),
+    /// Any code signed by this author, at or above a minimum version.
+    Mrsigner {
+        /// Required author identity.
+        mrsigner: Measurement,
+        /// Minimum security version.
+        min_svn: u16,
+    },
+    /// Any identity listed in a foundation certificate.
+    Certified {
+        /// The foundation's verification key.
+        authority: VerifyingKey,
+    },
+    /// Accept anything (testing / measurement-only flows).
+    AcceptAny,
+}
+
+impl IdentityPolicy {
+    /// Checks a quoted report body against this policy.
+    ///
+    /// `certificate` must be supplied for [`IdentityPolicy::Certified`].
+    pub fn check(
+        &self,
+        body: &ReportBody,
+        certificate: Option<&SoftwareCertificate>,
+    ) -> Result<()> {
+        match self {
+            IdentityPolicy::Mrenclave(expected) => {
+                if body.mrenclave == *expected {
+                    Ok(())
+                } else {
+                    Err(TeenetError::IdentityRejected("MRENCLAVE mismatch"))
+                }
+            }
+            IdentityPolicy::Mrsigner { mrsigner, min_svn } => {
+                if body.mrsigner != *mrsigner {
+                    Err(TeenetError::IdentityRejected("MRSIGNER mismatch"))
+                } else if body.isv_svn < *min_svn {
+                    Err(TeenetError::IdentityRejected("security version too old"))
+                } else {
+                    Ok(())
+                }
+            }
+            IdentityPolicy::Certified { authority } => {
+                let cert = certificate
+                    .ok_or(TeenetError::CertificateInvalid("certificate required"))?;
+                cert.verify(authority)?;
+                if cert.identities.contains(&body.mrenclave) {
+                    Ok(())
+                } else {
+                    Err(TeenetError::IdentityRejected("identity not certified"))
+                }
+            }
+            IdentityPolicy::AcceptAny => Ok(()),
+        }
+    }
+}
+
+/// A foundation-signed list of legitimate software identities.
+#[derive(Debug, Clone)]
+pub struct SoftwareCertificate {
+    /// Descriptive name ("tor-0.4.x", "interdomain-controller-v1", …).
+    pub name: String,
+    /// Certified MRENCLAVE values.
+    pub identities: Vec<Measurement>,
+    /// Monotonic certificate serial (revocation = publish higher serial).
+    pub serial: u64,
+    /// Foundation signature over name, serial and identities.
+    pub signature: Signature,
+}
+
+impl SoftwareCertificate {
+    fn message(name: &str, serial: u64, identities: &[Measurement]) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(32 + name.len() + identities.len() * 32);
+        msg.extend_from_slice(b"SOFTWARE-CERT");
+        msg.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        msg.extend_from_slice(name.as_bytes());
+        msg.extend_from_slice(&serial.to_le_bytes());
+        for id in identities {
+            msg.extend_from_slice(&id.0);
+        }
+        msg
+    }
+
+    /// Issues a certificate signed by the foundation's key.
+    pub fn issue(
+        name: &str,
+        serial: u64,
+        identities: Vec<Measurement>,
+        foundation: &SigningKey,
+        rng: &mut SecureRng,
+    ) -> Result<Self> {
+        let msg = Self::message(name, serial, &identities);
+        let signature = foundation.sign(&msg, rng)?;
+        Ok(SoftwareCertificate {
+            name: name.to_owned(),
+            identities,
+            serial,
+            signature,
+        })
+    }
+
+    /// Verifies the foundation signature.
+    pub fn verify(&self, authority: &VerifyingKey) -> Result<()> {
+        let msg = Self::message(&self.name, self.serial, &self.identities);
+        authority
+            .verify(&msg, &self.signature)
+            .map_err(|_| TeenetError::CertificateInvalid("signature"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teenet_crypto::schnorr::SchnorrGroup;
+    use teenet_sgx::report::report_data_from;
+
+    fn m(b: u8) -> Measurement {
+        Measurement([b; 32])
+    }
+
+    fn body(mrenclave: u8, mrsigner: u8, svn: u16) -> ReportBody {
+        ReportBody {
+            mrenclave: m(mrenclave),
+            mrsigner: m(mrsigner),
+            isv_svn: svn,
+            report_data: report_data_from(b""),
+        }
+    }
+
+    fn foundation() -> (SigningKey, SecureRng) {
+        let mut rng = SecureRng::seed_from_u64(1);
+        let key = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
+        (key, rng)
+    }
+
+    #[test]
+    fn mrenclave_policy() {
+        let p = IdentityPolicy::Mrenclave(m(1));
+        assert!(p.check(&body(1, 9, 0), None).is_ok());
+        assert!(p.check(&body(2, 9, 0), None).is_err());
+    }
+
+    #[test]
+    fn mrsigner_policy_with_svn() {
+        let p = IdentityPolicy::Mrsigner {
+            mrsigner: m(9),
+            min_svn: 3,
+        };
+        assert!(p.check(&body(1, 9, 3), None).is_ok());
+        assert!(p.check(&body(2, 9, 7), None).is_ok(), "any code, same signer");
+        assert!(p.check(&body(1, 9, 2), None).is_err(), "svn rollback");
+        assert!(p.check(&body(1, 8, 5), None).is_err(), "wrong signer");
+    }
+
+    #[test]
+    fn certificate_roundtrip_and_policy() {
+        let (key, mut rng) = foundation();
+        let cert =
+            SoftwareCertificate::issue("tor-1.0", 1, vec![m(1), m(2)], &key, &mut rng).unwrap();
+        cert.verify(&key.verifying_key()).unwrap();
+        let p = IdentityPolicy::Certified {
+            authority: key.verifying_key(),
+        };
+        assert!(p.check(&body(1, 0, 0), Some(&cert)).is_ok());
+        assert!(p.check(&body(2, 0, 0), Some(&cert)).is_ok());
+        assert!(p.check(&body(3, 0, 0), Some(&cert)).is_err());
+        assert!(p.check(&body(1, 0, 0), None).is_err(), "cert required");
+    }
+
+    #[test]
+    fn tampered_certificate_rejected() {
+        let (key, mut rng) = foundation();
+        let mut cert =
+            SoftwareCertificate::issue("tor-1.0", 1, vec![m(1)], &key, &mut rng).unwrap();
+        cert.identities.push(m(66)); // attacker adds their own identity
+        assert!(cert.verify(&key.verifying_key()).is_err());
+        let p = IdentityPolicy::Certified {
+            authority: key.verifying_key(),
+        };
+        assert!(p.check(&body(66, 0, 0), Some(&cert)).is_err());
+    }
+
+    #[test]
+    fn certificate_from_wrong_authority_rejected() {
+        let (key, mut rng) = foundation();
+        let imposter = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
+        let cert =
+            SoftwareCertificate::issue("tor-1.0", 1, vec![m(1)], &imposter, &mut rng).unwrap();
+        let p = IdentityPolicy::Certified {
+            authority: key.verifying_key(),
+        };
+        assert!(p.check(&body(1, 0, 0), Some(&cert)).is_err());
+    }
+
+    #[test]
+    fn accept_any_accepts() {
+        assert!(IdentityPolicy::AcceptAny.check(&body(9, 9, 0), None).is_ok());
+    }
+}

@@ -1,0 +1,120 @@
+//! Attestation accounting — the data behind Table 3.
+//!
+//! "The number of remote attestations required is proportional to the size
+//! of each network. Note, remote attestation occurs only at the beginning
+//! when two parties communicate for the first time." (paper §5)
+//!
+//! Every case study records its attestations here; the ledger deduplicates
+//! by session pair, mirroring the occurs-once-per-first-contact property.
+
+use std::collections::{HashMap, HashSet};
+
+/// Why an attestation happened (one label per case-study edge type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttestKind {
+    /// AS-local controller ↔ inter-domain controller (§3.1).
+    InterdomainController,
+    /// Directory authority ↔ directory authority (§3.2).
+    TorAuthorityPeer,
+    /// Directory authority → onion router admission check (§3.2).
+    TorRouterAdmission,
+    /// Client → exit node (or other OR) verification (§3.2).
+    TorClientCircuit,
+    /// TLS endpoint → in-path middlebox (§3.3).
+    MiddleboxProvision,
+    /// Anything else (tests, extensions).
+    Other,
+}
+
+/// Records who attested whom, how often, and deduplicates repeats.
+#[derive(Debug, Default)]
+pub struct AttestLedger {
+    counts: HashMap<AttestKind, u64>,
+    seen_pairs: HashSet<(AttestKind, u64, u64)>,
+    repeats_avoided: u64,
+}
+
+impl AttestLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an attestation of `target` by `challenger`.
+    ///
+    /// Returns `true` if this is a *new* attestation (first contact); a
+    /// repeat is counted separately as avoided work.
+    pub fn record(&mut self, kind: AttestKind, challenger: u64, target: u64) -> bool {
+        if self.seen_pairs.insert((kind, challenger, target)) {
+            *self.counts.entry(kind).or_insert(0) += 1;
+            true
+        } else {
+            self.repeats_avoided += 1;
+            false
+        }
+    }
+
+    /// Attestations of one kind.
+    pub fn count(&self, kind: AttestKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total first-contact attestations.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Repeat contacts that did *not* require re-attestation.
+    pub fn repeats_avoided(&self) -> u64 {
+        self.repeats_avoided
+    }
+
+    /// All (kind, count) rows, sorted by kind for stable output.
+    pub fn rows(&self) -> Vec<(AttestKind, u64)> {
+        let mut rows: Vec<_> = self.counts.iter().map(|(&k, &v)| (k, v)).collect();
+        rows.sort();
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_first_contacts() {
+        let mut l = AttestLedger::new();
+        assert!(l.record(AttestKind::TorClientCircuit, 1, 2));
+        assert!(l.record(AttestKind::TorClientCircuit, 1, 3));
+        assert_eq!(l.count(AttestKind::TorClientCircuit), 2);
+        assert_eq!(l.total(), 2);
+    }
+
+    #[test]
+    fn repeats_deduplicated() {
+        let mut l = AttestLedger::new();
+        assert!(l.record(AttestKind::MiddleboxProvision, 1, 2));
+        assert!(!l.record(AttestKind::MiddleboxProvision, 1, 2));
+        assert_eq!(l.count(AttestKind::MiddleboxProvision), 1);
+        assert_eq!(l.repeats_avoided(), 1);
+    }
+
+    #[test]
+    fn direction_matters() {
+        // Mutual attestation is two attestations (each side challenges).
+        let mut l = AttestLedger::new();
+        assert!(l.record(AttestKind::TorAuthorityPeer, 1, 2));
+        assert!(l.record(AttestKind::TorAuthorityPeer, 2, 1));
+        assert_eq!(l.count(AttestKind::TorAuthorityPeer), 2);
+    }
+
+    #[test]
+    fn kinds_separated() {
+        let mut l = AttestLedger::new();
+        l.record(AttestKind::InterdomainController, 1, 2);
+        l.record(AttestKind::TorRouterAdmission, 1, 2);
+        assert_eq!(l.count(AttestKind::InterdomainController), 1);
+        assert_eq!(l.count(AttestKind::TorRouterAdmission), 1);
+        assert_eq!(l.rows().len(), 2);
+    }
+}

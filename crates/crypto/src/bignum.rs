@@ -1,0 +1,1052 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! This is the arithmetic substrate under [`crate::dh`] and
+//! [`crate::schnorr`]. Numbers are stored as little-endian `u64` limbs with
+//! no leading zero limbs (canonical form). The two performance-critical
+//! paths are schoolbook multiplication and modular exponentiation; the
+//! latter uses Montgomery multiplication (CIOS) for odd moduli, which keeps
+//! 1024-bit DH usable even in debug builds, and falls back to
+//! divide-and-reduce square-and-multiply for even moduli.
+
+use crate::error::CryptoError;
+use crate::Result;
+use core::cmp::Ordering;
+use core::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Invariant: `limbs` has no trailing (most-significant) zero limbs; zero is
+/// represented by an empty limb vector.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Constructs from a single `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Constructs from big-endian bytes (as found in wire formats and RFCs).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut chunk_iter = bytes.rchunks(8);
+        for chunk in &mut chunk_iter {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Serialises to big-endian bytes with no leading zeros (empty for 0).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zeros of the most-significant limb.
+                let skip = (limb.leading_zeros() / 8) as usize;
+                out.extend_from_slice(&bytes[skip..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Serialises to exactly `len` big-endian bytes, left-padding with zeros.
+    ///
+    /// Returns an error if the value does not fit.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Result<Vec<u8>> {
+        let raw = self.to_bytes_be();
+        if raw.len() > len {
+            return Err(CryptoError::InvalidLength {
+                what: "padded integer",
+                got: raw.len(),
+                expected: len,
+            });
+        }
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        Ok(out)
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix; whitespace ignored).
+    pub fn from_hex(s: &str) -> Result<Self> {
+        let mut nibbles = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            if c.is_whitespace() {
+                continue;
+            }
+            nibbles.push(
+                c.to_digit(16)
+                    .ok_or(CryptoError::InvalidParameter("non-hex digit"))? as u8,
+            );
+        }
+        let mut bytes = Vec::with_capacity(nibbles.len() / 2 + 1);
+        // Left-pad odd-length strings with a zero nibble.
+        let mut iter = nibbles.iter();
+        if nibbles.len() % 2 == 1 {
+            bytes.push(*iter.next().expect("non-empty"));
+        }
+        while let (Some(hi), Some(lo)) = (iter.next(), iter.next()) {
+            bytes.push((hi << 4) | lo);
+        }
+        Ok(Self::from_bytes_be(&bytes))
+    }
+
+    /// Renders as lowercase hexadecimal ("0" for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_owned();
+        }
+        let bytes = self.to_bytes_be();
+        let mut s = String::with_capacity(bytes.len() * 2);
+        for (i, b) in bytes.iter().enumerate() {
+            if i == 0 {
+                // No leading zero nibble.
+                if b >> 4 != 0 {
+                    s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+                }
+                s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+            } else {
+                s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+                s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+            }
+        }
+        s
+    }
+
+    /// True iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff the value is 1.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// True iff the value is even (0 counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for the value 0).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order; out-of-range bits are 0).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self - other`; errors if `other > self`.
+    pub fn checked_sub(&self, other: &BigUint) -> Result<BigUint> {
+        if self.cmp_to(other) == Ordering::Less {
+            return Err(CryptoError::InvalidParameter("subtraction underflow"));
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        Ok(n)
+    }
+
+    /// Total-order comparison.
+    pub fn cmp_to(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Schoolbook multiplication `self * other`.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Division with remainder: returns `(self / divisor, self % divisor)`.
+    ///
+    /// Implements Knuth's Algorithm D on 64-bit limbs with 128-bit trial
+    /// quotient estimation.
+    pub fn div_rem(&self, divisor: &BigUint) -> Result<(BigUint, BigUint)> {
+        if divisor.is_zero() {
+            return Err(CryptoError::DivisionByZero);
+        }
+        match self.cmp_to(divisor) {
+            Ordering::Less => return Ok((Self::zero(), self.clone())),
+            Ordering::Equal => return Ok((Self::one(), Self::zero())),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0];
+            let mut q = vec![0u64; self.limbs.len()];
+            let mut rem = 0u128;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 64) | self.limbs[i] as u128;
+                q[i] = (cur / d as u128) as u64;
+                rem = cur % d as u128;
+            }
+            let mut quotient = BigUint { limbs: q };
+            quotient.normalize();
+            return Ok((quotient, BigUint::from_u64(rem as u64)));
+        }
+
+        // Normalise so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().expect("nonzero").leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = divisor.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+        let mut un = u.limbs.clone();
+        un.push(0); // u has m+n+1 limbs now
+        let vn = &v.limbs;
+        let v_top = vn[n - 1];
+        let v_next = vn[n - 2];
+        let mut q = vec![0u64; m + 1];
+
+        for j in (0..=m).rev() {
+            // Estimate q_hat from the top two limbs of the current remainder.
+            let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut q_hat = num / v_top as u128;
+            let mut r_hat = num % v_top as u128;
+            while q_hat >= 1u128 << 64
+                || q_hat * v_next as u128 > ((r_hat << 64) | un[j + n - 2] as u128)
+            {
+                q_hat -= 1;
+                r_hat += v_top as u128;
+                if r_hat >= 1u128 << 64 {
+                    break;
+                }
+            }
+            // Multiply-subtract q_hat * v from u[j..j+n+1].
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = q_hat * vn[i] as u128 + carry;
+                carry = p >> 64;
+                let t = un[j + i] as i128 - (p as u64) as i128 - borrow;
+                un[j + i] = t as u64;
+                borrow = if t < 0 { 1 } else { 0 };
+            }
+            let t = un[j + n] as i128 - carry as i128 - borrow;
+            un[j + n] = t as u64;
+
+            if t < 0 {
+                // q_hat was one too large; add v back.
+                q_hat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let s = un[j + i] as u128 + vn[i] as u128 + carry;
+                    un[j + i] = s as u64;
+                    carry = s >> 64;
+                }
+                un[j + n] = (un[j + n] as u128).wrapping_add(carry) as u64;
+            }
+            q[j] = q_hat as u64;
+        }
+
+        let mut quotient = BigUint { limbs: q };
+        quotient.normalize();
+        let mut rem = BigUint {
+            limbs: un[..n].to_vec(),
+        };
+        rem.normalize();
+        Ok((quotient, rem.shr(shift)))
+    }
+
+    /// `self mod modulus`.
+    pub fn rem(&self, modulus: &BigUint) -> Result<BigUint> {
+        Ok(self.div_rem(modulus)?.1)
+    }
+
+    /// Modular addition `(self + other) mod m`. Inputs must already be `< m`.
+    pub fn mod_add(&self, other: &BigUint, m: &BigUint) -> Result<BigUint> {
+        let s = self.add(other);
+        if s.cmp_to(m) == Ordering::Less {
+            Ok(s)
+        } else {
+            s.checked_sub(m)
+        }
+    }
+
+    /// Modular subtraction `(self - other) mod m`. Inputs must be `< m`.
+    pub fn mod_sub(&self, other: &BigUint, m: &BigUint) -> Result<BigUint> {
+        if self.cmp_to(other) != Ordering::Less {
+            self.checked_sub(other)
+        } else {
+            self.add(m).checked_sub(other)
+        }
+    }
+
+    /// Modular multiplication `(self * other) mod m`.
+    pub fn mod_mul(&self, other: &BigUint, m: &BigUint) -> Result<BigUint> {
+        self.mul(other).rem(m)
+    }
+
+    /// Modular exponentiation `self^exp mod modulus`.
+    ///
+    /// Uses Montgomery multiplication (CIOS) for odd moduli — the common
+    /// case for DH and Schnorr primes — and a generic square-and-multiply
+    /// with explicit reduction otherwise.
+    pub fn modexp(&self, exp: &BigUint, modulus: &BigUint) -> Result<BigUint> {
+        if modulus.is_zero() {
+            return Err(CryptoError::DivisionByZero);
+        }
+        if modulus.is_one() {
+            return Ok(Self::zero());
+        }
+        if exp.is_zero() {
+            return Ok(Self::one());
+        }
+        let base = self.rem(modulus)?;
+        if base.is_zero() {
+            return Ok(Self::zero());
+        }
+        if modulus.is_even() {
+            return base.modexp_generic(exp, modulus);
+        }
+        let mont = Montgomery::new(modulus);
+        Ok(mont.modexp(&base, exp))
+    }
+
+    fn modexp_generic(&self, exp: &BigUint, modulus: &BigUint) -> Result<BigUint> {
+        let mut result = Self::one();
+        let mut base = self.clone();
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                result = result.mod_mul(&base, modulus)?;
+            }
+            if i + 1 < exp.bit_len() {
+                base = base.mod_mul(&base, modulus)?;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Modular inverse via the extended Euclidean algorithm.
+    ///
+    /// Returns `self^-1 mod m`, or an error if `gcd(self, m) != 1`.
+    pub fn mod_inv(&self, m: &BigUint) -> Result<BigUint> {
+        if m.is_zero() {
+            return Err(CryptoError::DivisionByZero);
+        }
+        // Extended Euclid with values tracked as (coefficient, negative?) to
+        // stay in unsigned arithmetic.
+        let mut r0 = m.clone();
+        let mut r1 = self.rem(m)?;
+        if r1.is_zero() {
+            return Err(CryptoError::InvalidParameter("no modular inverse"));
+        }
+        let mut t0 = (BigUint::zero(), false);
+        let mut t1 = (BigUint::one(), false);
+        while !r1.is_zero() {
+            let (q, r) = r0.div_rem(&r1)?;
+            // t2 = t0 - q * t1 (tracking sign manually)
+            let qt = q.mul(&t1.0);
+            let t2 = match (t0.1, t1.1) {
+                (false, false) => {
+                    if t0.0.cmp_to(&qt) != Ordering::Less {
+                        (t0.0.checked_sub(&qt)?, false)
+                    } else {
+                        (qt.checked_sub(&t0.0)?, true)
+                    }
+                }
+                (false, true) => (t0.0.add(&qt), false),
+                (true, false) => (t0.0.add(&qt), true),
+                (true, true) => {
+                    if qt.cmp_to(&t0.0) != Ordering::Less {
+                        (qt.checked_sub(&t0.0)?, false)
+                    } else {
+                        (t0.0.checked_sub(&qt)?, true)
+                    }
+                }
+            };
+            t0 = t1;
+            t1 = t2;
+            r0 = r1;
+            r1 = r;
+        }
+        if !r0.is_one() {
+            return Err(CryptoError::InvalidParameter("no modular inverse"));
+        }
+        let (coeff, neg) = t0;
+        let inv = if neg {
+            m.checked_sub(&coeff.rem(m)?)?.rem(m)?
+        } else {
+            coeff.rem(m)?
+        };
+        Ok(inv)
+    }
+
+    /// Miller–Rabin probabilistic primality test with `rounds` random
+    /// witnesses drawn from `fill`.
+    ///
+    /// A composite survives one round with probability ≤ 1/4, so 16 rounds
+    /// give a false-positive bound of 2^-32 — ample for validating the
+    /// built-in group parameters (the safe-prime property the Schnorr
+    /// construction rests on).
+    pub fn is_probable_prime(
+        &self,
+        rounds: u32,
+        mut fill: impl FnMut(&mut [u8]),
+    ) -> Result<bool> {
+        // Small cases and even numbers.
+        if self.cmp_to(&BigUint::from_u64(2)) == Ordering::Less {
+            return Ok(false);
+        }
+        if *self == BigUint::from_u64(2) || *self == BigUint::from_u64(3) {
+            return Ok(true);
+        }
+        if self.is_even() {
+            return Ok(false);
+        }
+        // Quick trial division by small primes.
+        for &p in &[3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
+            let d = BigUint::from_u64(p);
+            if *self == d {
+                return Ok(true);
+            }
+            if self.rem(&d)?.is_zero() {
+                return Ok(false);
+            }
+        }
+        // Write n-1 = d * 2^r with d odd.
+        let n_minus_1 = self.checked_sub(&BigUint::one())?;
+        let mut d = n_minus_1.clone();
+        let mut r = 0usize;
+        while d.is_even() {
+            d = d.shr(1);
+            r += 1;
+        }
+        let two = BigUint::from_u64(2);
+        let upper = self.checked_sub(&BigUint::from_u64(3))?; // witnesses in [2, n-2]
+        'witness: for _ in 0..rounds {
+            let a = BigUint::random_below(&upper, &mut fill)?.add(&two);
+            let mut x = a.modexp(&d, self)?;
+            if x.is_one() || x == n_minus_1 {
+                continue 'witness;
+            }
+            for _ in 0..r.saturating_sub(1) {
+                x = x.mod_mul(&x, self)?;
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// Generates a uniformly random integer in `[0, bound)` using rejection
+    /// sampling from `fill` (a closure that fills a byte slice with random
+    /// bytes, e.g. from [`crate::rng::SecureRng`]).
+    pub fn random_below(bound: &BigUint, mut fill: impl FnMut(&mut [u8])) -> Result<BigUint> {
+        if bound.is_zero() {
+            return Err(CryptoError::InvalidParameter("random bound of zero"));
+        }
+        let bits = bound.bit_len();
+        let bytes = bits.div_ceil(8);
+        let top_mask = if bits % 8 == 0 {
+            0xff
+        } else {
+            (1u8 << (bits % 8)) - 1
+        };
+        let mut buf = vec![0u8; bytes];
+        loop {
+            fill(&mut buf);
+            buf[0] &= top_mask;
+            let candidate = BigUint::from_bytes_be(&buf);
+            if candidate.cmp_to(bound) == Ordering::Less {
+                return Ok(candidate);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_to(other)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Montgomery-form modular arithmetic context for an odd modulus.
+///
+/// Precomputes `n' = -n^-1 mod 2^64` and `R^2 mod n`, then performs
+/// exponentiation entirely in Montgomery form using the CIOS multiplication
+/// algorithm.
+struct Montgomery {
+    n: Vec<u64>,
+    n_prime: u64,
+    r2: Vec<u64>,
+}
+
+impl Montgomery {
+    fn new(modulus: &BigUint) -> Self {
+        debug_assert!(!modulus.is_even() && !modulus.is_zero());
+        let n = modulus.limbs.clone();
+        // n' = -n^{-1} mod 2^64 by Newton iteration on the low limb.
+        let n0 = n[0];
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        let n_prime = inv.wrapping_neg();
+        // R^2 mod n where R = 2^(64 * len).
+        let r2 = BigUint::one()
+            .shl(n.len() * 64 * 2)
+            .rem(modulus)
+            .expect("modulus nonzero")
+            .limbs;
+        Montgomery { n, n_prime, r2 }
+    }
+
+    /// CIOS Montgomery multiplication: returns `a * b * R^-1 mod n`.
+    ///
+    /// `a` and `b` are length-`len` limb slices (zero-padded), output too.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let len = self.n.len();
+        let mut t = vec![0u64; len + 2];
+        for i in 0..len {
+            // t += a[i] * b
+            let mut carry = 0u128;
+            for j in 0..len {
+                let s = t[j] as u128 + a[i] as u128 * b[j] as u128 + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[len] as u128 + carry;
+            t[len] = s as u64;
+            t[len + 1] = (s >> 64) as u64;
+            // m = t[0] * n' mod 2^64 ; t += m * n ; t >>= 64
+            let m = t[0].wrapping_mul(self.n_prime);
+            let mut carry = (t[0] as u128 + m as u128 * self.n[0] as u128) >> 64;
+            for j in 1..len {
+                let s = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[len] as u128 + carry;
+            t[len - 1] = s as u64;
+            t[len] = t[len + 1].wrapping_add((s >> 64) as u64);
+            t[len + 1] = 0;
+        }
+        // Conditional final subtraction. When the overflow limb is set the
+        // borrow out of the subtraction is absorbed by the implicit
+        // 2^(64*len) bit, so a borrow is expected exactly then.
+        let mut out = t[..len].to_vec();
+        let overflow = t[len] != 0;
+        if overflow || ge_limbs(&out, &self.n) {
+            let borrow = sub_limbs_in_place(&mut out, &self.n);
+            debug_assert_eq!(borrow, overflow as u64);
+        }
+        out
+    }
+
+    fn modexp(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let len = self.n.len();
+        let mut base_limbs = base.limbs.clone();
+        base_limbs.resize(len, 0);
+        let mut r2 = self.r2.clone();
+        r2.resize(len, 0);
+        // Convert to Montgomery form.
+        let base_m = self.mont_mul(&base_limbs, &r2);
+        // one_m = R mod n = mont_mul(1, R^2)
+        let mut one = vec![0u64; len];
+        one[0] = 1;
+        let mut acc = self.mont_mul(&one, &r2);
+        // Left-to-right square-and-multiply.
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        // Convert out of Montgomery form: mont_mul(acc, 1).
+        let res = self.mont_mul(&acc, &one);
+        let mut out = BigUint { limbs: res };
+        out.normalize();
+        out
+    }
+}
+
+fn ge_limbs(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Greater => return true,
+            Ordering::Less => return false,
+            Ordering::Equal => {}
+        }
+    }
+    true
+}
+
+/// Subtracts `b` from `a` in place, returning the final borrow (0 or 1).
+fn sub_limbs_in_place(a: &mut [u64], b: &[u64]) -> u64 {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    borrow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn b(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::one().bit_len(), 1);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let n = BigUint::from_bytes_be(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+        assert_eq!(
+            n.to_bytes_be(),
+            vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]
+        );
+    }
+
+    #[test]
+    fn bytes_leading_zeros_stripped() {
+        let n = BigUint::from_bytes_be(&[0x00, 0x00, 0xff]);
+        assert_eq!(n.to_bytes_be(), vec![0xff]);
+        assert_eq!(n, b(255));
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let n = b(0xabcd);
+        assert_eq!(
+            n.to_bytes_be_padded(4).unwrap(),
+            vec![0x00, 0x00, 0xab, 0xcd]
+        );
+        assert!(b(0x1_0000_0000).to_bytes_be_padded(2).is_err());
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let n = BigUint::from_hex("deadbeef00112233").unwrap();
+        assert_eq!(n.to_hex(), "deadbeef00112233");
+        assert_eq!(BigUint::from_hex("0").unwrap(), BigUint::zero());
+        assert_eq!(BigUint::zero().to_hex(), "0");
+        // Odd nibble count.
+        assert_eq!(BigUint::from_hex("fff").unwrap(), b(0xfff));
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = BigUint::from_u64(u64::MAX);
+        let s = a.add(&BigUint::one());
+        assert_eq!(s.to_hex(), "10000000000000000");
+    }
+
+    #[test]
+    fn sub_basics() {
+        assert_eq!(b(100).checked_sub(&b(58)).unwrap(), b(42));
+        assert!(b(1).checked_sub(&b(2)).is_err());
+        let big = BigUint::from_hex("10000000000000000").unwrap();
+        assert_eq!(big.checked_sub(&BigUint::one()).unwrap(), BigUint::from_u64(u64::MAX));
+    }
+
+    #[test]
+    fn mul_known() {
+        assert_eq!(b(12345).mul(&b(6789)), b(12345 * 6789));
+        assert!(b(5).mul(&BigUint::zero()).is_zero());
+        let a = BigUint::from_u64(u64::MAX);
+        assert_eq!(a.mul(&a).to_hex(), "fffffffffffffffe0000000000000001");
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(b(1).shl(64).to_hex(), "10000000000000000");
+        assert_eq!(b(1).shl(64).shr(64), b(1));
+        assert_eq!(b(0b1010).shr(1), b(0b101));
+        assert!(b(1).shr(1).is_zero());
+        assert_eq!(b(3).shl(3), b(24));
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let (q, r) = b(100).div_rem(&b(7)).unwrap();
+        assert_eq!(q, b(14));
+        assert_eq!(r, b(2));
+        assert!(b(1).div_rem(&BigUint::zero()).is_err());
+        let (q, r) = b(3).div_rem(&b(10)).unwrap();
+        assert!(q.is_zero());
+        assert_eq!(r, b(3));
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let n = BigUint::from_hex("1fffffffffffffffffffffffffffffffff").unwrap();
+        let d = BigUint::from_hex("ffffffffffffffff1").unwrap();
+        let (q, r) = n.div_rem(&d).unwrap();
+        assert_eq!(q.mul(&d).add(&r), n);
+        assert!(r.cmp_to(&d) == Ordering::Less);
+    }
+
+    #[test]
+    fn modexp_small_cases() {
+        assert_eq!(b(2).modexp(&b(10), &b(1000)).unwrap(), b(24));
+        assert_eq!(b(3).modexp(&b(0), &b(7)).unwrap(), b(1));
+        assert_eq!(b(0).modexp(&b(5), &b(7)).unwrap(), b(0));
+        assert_eq!(b(5).modexp(&b(3), &b(1)).unwrap(), b(0));
+        // Fermat's little theorem: a^(p-1) = 1 mod p.
+        assert_eq!(b(17).modexp(&b(1008), &b(1009)).unwrap(), b(1));
+    }
+
+    #[test]
+    fn modexp_even_modulus() {
+        assert_eq!(b(3).modexp(&b(4), &b(100)).unwrap(), b(81 % 100));
+        assert_eq!(b(7).modexp(&b(5), &b(36)).unwrap(), b(16807 % 36));
+    }
+
+    #[test]
+    fn modexp_matches_generic_on_large_odd_modulus() {
+        let m = BigUint::from_hex(
+            "f1d5d9c7a8b3e5f70123456789abcdef0123456789abcdef0123456789abcdef",
+        )
+        .unwrap();
+        let base = BigUint::from_hex("abcdef0123456789").unwrap();
+        let exp = BigUint::from_hex("fedcba9876543210f00d").unwrap();
+        let fast = base.modexp(&exp, &m).unwrap();
+        let slow = base.rem(&m).unwrap().modexp_generic(&exp, &m).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn mod_inv_known() {
+        // 3 * 5 = 15 = 1 mod 7 → inv(3) mod 7 = 5
+        assert_eq!(b(3).mod_inv(&b(7)).unwrap(), b(5));
+        assert_eq!(b(10).mod_inv(&b(17)).unwrap(), b(12)); // 120 = 7*17+1
+        assert!(b(6).mod_inv(&b(9)).is_err()); // gcd 3
+    }
+
+    #[test]
+    fn mod_add_sub() {
+        let m = b(13);
+        assert_eq!(b(7).mod_add(&b(8), &m).unwrap(), b(2));
+        assert_eq!(b(3).mod_sub(&b(8), &m).unwrap(), b(8));
+        assert_eq!(b(8).mod_sub(&b(3), &m).unwrap(), b(5));
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let bound = b(1000);
+        let mut state = 0x12345u64;
+        for _ in 0..100 {
+            let v = BigUint::random_below(&bound, |buf| {
+                for byte in buf.iter_mut() {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    *byte = (state >> 32) as u8;
+                }
+            })
+            .unwrap();
+            assert!(v.cmp_to(&bound) == Ordering::Less);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_sub_roundtrip(a in proptest::collection::vec(any::<u8>(), 0..40),
+                                  c in proptest::collection::vec(any::<u8>(), 0..40)) {
+            let x = BigUint::from_bytes_be(&a);
+            let y = BigUint::from_bytes_be(&c);
+            let s = x.add(&y);
+            prop_assert_eq!(s.checked_sub(&y).unwrap(), x.clone());
+            prop_assert_eq!(s.checked_sub(&x).unwrap(), y);
+        }
+
+        #[test]
+        fn prop_div_rem_reconstruct(a in proptest::collection::vec(any::<u8>(), 0..48),
+                                    d in proptest::collection::vec(any::<u8>(), 1..24)) {
+            let n = BigUint::from_bytes_be(&a);
+            let mut div = BigUint::from_bytes_be(&d);
+            if div.is_zero() { div = BigUint::one(); }
+            let (q, r) = n.div_rem(&div).unwrap();
+            prop_assert_eq!(q.mul(&div).add(&r), n);
+            prop_assert!(r.cmp_to(&div) == Ordering::Less);
+        }
+
+        #[test]
+        fn prop_mul_commutative(a in proptest::collection::vec(any::<u8>(), 0..32),
+                                c in proptest::collection::vec(any::<u8>(), 0..32)) {
+            let x = BigUint::from_bytes_be(&a);
+            let y = BigUint::from_bytes_be(&c);
+            prop_assert_eq!(x.mul(&y), y.mul(&x));
+        }
+
+        #[test]
+        fn prop_modexp_montgomery_matches_generic(
+            base in proptest::collection::vec(any::<u8>(), 1..24),
+            exp in proptest::collection::vec(any::<u8>(), 1..8),
+            mut modbytes in proptest::collection::vec(any::<u8>(), 2..24),
+        ) {
+            // Force an odd modulus > 1.
+            *modbytes.last_mut().unwrap() |= 1;
+            let m = BigUint::from_bytes_be(&modbytes);
+            prop_assume!(!m.is_one());
+            let b = BigUint::from_bytes_be(&base);
+            let e = BigUint::from_bytes_be(&exp);
+            let fast = b.modexp(&e, &m).unwrap();
+            let slow = b.rem(&m).unwrap().modexp_generic(&e, &m).unwrap();
+            prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn prop_mod_inv_is_inverse(a in 1u64..u64::MAX, m in 3u64..u64::MAX) {
+            let x = BigUint::from_u64(a);
+            let modulus = BigUint::from_u64(m);
+            if let Ok(inv) = x.mod_inv(&modulus) {
+                let prod = x.mod_mul(&inv, &modulus).unwrap();
+                prop_assert!(prod.is_one());
+            }
+        }
+
+        #[test]
+        fn prop_hex_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let n = BigUint::from_bytes_be(&bytes);
+            prop_assert_eq!(BigUint::from_hex(&n.to_hex()).unwrap(), n);
+        }
+
+        #[test]
+        fn prop_shift_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..32),
+                                shift in 0usize..200) {
+            let n = BigUint::from_bytes_be(&bytes);
+            prop_assert_eq!(n.shl(shift).shr(shift), n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod primality_tests {
+    use super::*;
+    use crate::rng::SecureRng;
+
+    fn filler() -> impl FnMut(&mut [u8]) {
+        let mut rng = SecureRng::seed_from_u64(31337);
+        move |buf: &mut [u8]| rng.fill_bytes(buf)
+    }
+
+    fn is_prime(n: &BigUint) -> bool {
+        n.is_probable_prime(16, filler()).unwrap()
+    }
+
+    #[test]
+    fn small_numbers_classified_correctly() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 101, 7919, 104729];
+        let composites = [0u64, 1, 4, 6, 9, 15, 100, 7917, 104730];
+        for p in primes {
+            assert!(is_prime(&BigUint::from_u64(p)), "{p} is prime");
+        }
+        for c in composites {
+            assert!(!is_prime(&BigUint::from_u64(c)), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Fermat liars that defeat naive a^(n-1) tests: 561, 1105, 1729,
+        // 41041, 825265.
+        for c in [561u64, 1105, 1729, 41041, 825265] {
+            assert!(!is_prime(&BigUint::from_u64(c)), "{c} is a Carmichael number");
+        }
+    }
+
+    #[test]
+    fn mersenne_and_known_large_primes() {
+        // 2^89-1 and 2^107-1 are Mersenne primes; 2^97-1 is composite.
+        let m = |e: usize| BigUint::one().shl(e).checked_sub(&BigUint::one()).unwrap();
+        assert!(is_prime(&m(89)));
+        assert!(is_prime(&m(107)));
+        assert!(!is_prime(&m(97)));
+    }
+
+    #[test]
+    fn oakley_groups_are_safe_primes() {
+        // The foundation of the Schnorr group construction: the built-in
+        // MODP primes are prime AND (p-1)/2 is prime (safe primes), so
+        // g = 4 provably generates the order-q subgroup.
+        use crate::dh::DhGroup;
+        for group in [DhGroup::modp768(), DhGroup::modp1024()] {
+            assert!(
+                group.p.is_probable_prime(8, filler()).unwrap(),
+                "{}-bit modulus must be prime",
+                group.bits
+            );
+            let q = group.p.checked_sub(&BigUint::one()).unwrap().shr(1);
+            assert!(
+                q.is_probable_prime(8, filler()).unwrap(),
+                "{}-bit (p-1)/2 must be prime",
+                group.bits
+            );
+        }
+    }
+}

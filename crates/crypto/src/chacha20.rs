@@ -1,0 +1,157 @@
+//! ChaCha20 stream cipher (RFC 7539).
+//!
+//! Used as an alternative record cipher (for the cipher-suite ablation
+//! benchmark) and as the core of [`crate::rng::SecureRng`].
+
+use crate::error::CryptoError;
+use crate::Result;
+
+/// ChaCha20 key size in bytes.
+pub const KEY_LEN: usize = 32;
+/// ChaCha20 nonce size in bytes (RFC 7539 96-bit nonce).
+pub const NONCE_LEN: usize = 12;
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 block for the given key/nonce/counter.
+pub fn block(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[i * 4],
+            key[i * 4 + 1],
+            key[i * 4 + 2],
+            key[i * 4 + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[i * 4],
+            nonce[i * 4 + 1],
+            nonce[i * 4 + 2],
+            nonce[i * 4 + 3],
+        ]);
+    }
+    let initial = state;
+    for _ in 0..10 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = state[i].wrapping_add(initial[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Applies the ChaCha20 keystream to `data` in place (encrypt == decrypt),
+/// starting at block `counter`.
+pub fn apply(key: &[u8], nonce: &[u8], counter: u32, data: &mut [u8]) -> Result<()> {
+    let key: &[u8; KEY_LEN] = key.try_into().map_err(|_| CryptoError::InvalidLength {
+        what: "ChaCha20 key",
+        got: key.len(),
+        expected: KEY_LEN,
+    })?;
+    let nonce: &[u8; NONCE_LEN] = nonce.try_into().map_err(|_| CryptoError::InvalidLength {
+        what: "ChaCha20 nonce",
+        got: nonce.len(),
+        expected: NONCE_LEN,
+    })?;
+    let mut ctr = counter;
+    for chunk in data.chunks_mut(64) {
+        let ks = block(key, nonce, ctr);
+        for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+            *d ^= k;
+        }
+        ctr = ctr.wrapping_add(1);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 7539 §2.3.2 block function test vector.
+    #[test]
+    fn rfc7539_block() {
+        let key: [u8; 32] = unhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+            .try_into()
+            .unwrap();
+        let nonce: [u8; 12] = unhex("000000090000004a00000000").try_into().unwrap();
+        let out = block(&key, &nonce, 1);
+        assert_eq!(
+            out.to_vec(),
+            unhex(
+                "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+                 d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+            )
+        );
+    }
+
+    // RFC 7539 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc7539_encrypt() {
+        let key = unhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let nonce = unhex("000000000000004a00000000");
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it."
+            .to_vec();
+        apply(&key, &nonce, 1, &mut data).unwrap();
+        assert_eq!(
+            data[..32].to_vec(),
+            unhex("6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b")
+        );
+        // Round trip.
+        apply(&key, &nonce, 1, &mut data).unwrap();
+        assert!(data.starts_with(b"Ladies and Gentlemen"));
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        let mut data = [0u8; 4];
+        assert!(apply(&[0u8; 31], &[0u8; 12], 0, &mut data).is_err());
+        assert!(apply(&[0u8; 32], &[0u8; 11], 0, &mut data).is_err());
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let mut long = vec![0u8; 128];
+        apply(&key, &nonce, 0, &mut long).unwrap();
+        // Second 64-byte block must equal a fresh application at counter 1.
+        let mut second = vec![0u8; 64];
+        apply(&key, &nonce, 1, &mut second).unwrap();
+        assert_eq!(&long[64..], &second[..]);
+    }
+}

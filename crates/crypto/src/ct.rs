@@ -1,0 +1,34 @@
+//! Constant-time helpers.
+
+/// Constant-time byte-slice equality.
+///
+/// Returns `false` immediately on length mismatch (lengths are public), but
+/// compares contents without data-dependent early exit.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"\x00", b"\x01"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type shared by all primitives in this crate.
+
+use core::fmt;
+
+/// Errors produced by the cryptographic primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// An input had an invalid length (key, nonce, block, …).
+    InvalidLength {
+        /// What the length described.
+        what: &'static str,
+        /// Length the caller supplied.
+        got: usize,
+        /// Length the primitive expects.
+        expected: usize,
+    },
+    /// A MAC or signature failed verification.
+    VerificationFailed(&'static str),
+    /// A parameter was outside its valid domain (e.g. DH public key of 0).
+    InvalidParameter(&'static str),
+    /// Attempted division by zero in big-integer arithmetic.
+    DivisionByZero,
+    /// Ciphertext was malformed (truncated, bad framing, …).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidLength {
+                what,
+                got,
+                expected,
+            } => write!(f, "invalid {what} length: got {got}, expected {expected}"),
+            CryptoError::VerificationFailed(what) => write!(f, "{what} verification failed"),
+            CryptoError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            CryptoError::DivisionByZero => write!(f, "division by zero"),
+            CryptoError::Malformed(what) => write!(f, "malformed input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

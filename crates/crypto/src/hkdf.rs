@@ -1,0 +1,123 @@
+//! HKDF-SHA256 (RFC 5869).
+//!
+//! Key derivation for secure channels bootstrapped during remote attestation
+//! (the paper embeds Diffie–Hellman parameters in attestation messages and
+//! derives a shared secret "similar to TLS handshaking", §2.2).
+
+use crate::error::CryptoError;
+use crate::hmac::{hmac_sha256, HmacSha256, TAG_LEN};
+use crate::Result;
+
+/// HKDF-Extract: derives a pseudorandom key from input keying material.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; TAG_LEN] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: expands `prk` into `out.len()` bytes of output keying
+/// material bound to `info`.
+///
+/// Errors if more than `255 * 32` bytes are requested (RFC 5869 limit).
+pub fn expand(prk: &[u8], info: &[u8], out: &mut [u8]) -> Result<()> {
+    if out.len() > 255 * TAG_LEN {
+        return Err(CryptoError::InvalidLength {
+            what: "HKDF output",
+            got: out.len(),
+            expected: 255 * TAG_LEN,
+        });
+    }
+    let mut prev: Option<[u8; TAG_LEN]> = None;
+    let mut written = 0usize;
+    let mut counter = 1u8;
+    while written < out.len() {
+        let mut mac = HmacSha256::new(prk);
+        if let Some(p) = &prev {
+            mac.update(p);
+        }
+        mac.update(info);
+        mac.update(&[counter]);
+        let block = mac.finalize();
+        let take = (out.len() - written).min(TAG_LEN);
+        out[written..written + take].copy_from_slice(&block[..take]);
+        written += take;
+        prev = Some(block);
+        counter = counter.wrapping_add(1);
+    }
+    Ok(())
+}
+
+/// One-shot HKDF (extract + expand).
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], out: &mut [u8]) -> Result<()> {
+    let prk = extract(salt, ikm);
+    expand(&prk, info, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0bu8; 22];
+        let prk = extract(&[], &ikm);
+        let mut okm = [0u8; 42];
+        expand(&prk, &[], &mut okm).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_output() {
+        let mut out = vec![0u8; 255 * 32 + 1];
+        assert!(expand(&[0u8; 32], b"", &mut out).is_err());
+    }
+
+    #[test]
+    fn different_info_different_keys() {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        hkdf(b"salt", b"secret", b"client", &mut a).unwrap();
+        hkdf(b"salt", b"secret", b"server", &mut b).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn max_output_ok() {
+        let mut out = vec![0u8; 255 * 32];
+        expand(&[7u8; 32], b"info", &mut out).unwrap();
+        // All blocks distinct from one another (spot check first/last).
+        assert_ne!(&out[..32], &out[out.len() - 32..]);
+    }
+}

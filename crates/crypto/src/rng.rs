@@ -1,0 +1,230 @@
+//! Deterministic ChaCha20-based CSPRNG.
+//!
+//! Every source of randomness in the workspace flows through [`SecureRng`]
+//! seeded explicitly, so all experiments (topologies, key generation, fault
+//! injection) are bit-for-bit reproducible — a requirement for reproducing
+//! the paper's instruction-count tables.
+
+use crate::chacha20;
+
+/// A seedable, deterministic cryptographically-strong PRNG.
+///
+/// Output is the ChaCha20 keystream under a SHA-256-derived key; the stream
+/// position advances monotonically and never repeats for a given seed.
+#[derive(Clone)]
+pub struct SecureRng {
+    key: [u8; 32],
+    nonce: [u8; 12],
+    counter: u32,
+    buffer: [u8; 64],
+    used: usize,
+}
+
+impl SecureRng {
+    /// Creates an RNG from an arbitrary-length seed.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let key = crate::sha256::sha256(seed);
+        SecureRng {
+            key,
+            nonce: [0u8; 12],
+            counter: 0,
+            buffer: [0u8; 64],
+            used: 64, // force refill on first use
+        }
+    }
+
+    /// Convenience constructor from a `u64` seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self::from_seed(&seed.to_le_bytes())
+    }
+
+    /// Derives an independent child RNG labelled by `label`.
+    ///
+    /// Children with distinct labels produce independent streams; the parent
+    /// stream is not perturbed.
+    pub fn fork(&self, label: &[u8]) -> Self {
+        let mut seed = Vec::with_capacity(32 + label.len());
+        seed.extend_from_slice(&self.key);
+        seed.extend_from_slice(label);
+        Self::from_seed(&seed)
+    }
+
+    fn refill(&mut self) {
+        self.buffer = chacha20::block(&self.key, &self.nonce, self.counter);
+        self.counter = self.counter.checked_add(1).unwrap_or_else(|| {
+            // Counter exhausted (2^32 blocks = 256 GiB): roll the nonce.
+            let mut n = u64::from_le_bytes(self.nonce[..8].try_into().expect("8 bytes"));
+            n = n.wrapping_add(1);
+            self.nonce[..8].copy_from_slice(&n.to_le_bytes());
+            0
+        });
+        self.used = 0;
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut written = 0;
+        while written < dest.len() {
+            if self.used == 64 {
+                self.refill();
+            }
+            let take = (dest.len() - written).min(64 - self.used);
+            dest[written..written + take].copy_from_slice(&self.buffer[self.used..self.used + take]);
+            self.used += take;
+            written += take;
+        }
+    }
+
+    /// Returns a uniformly random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut buf = [0u8; 8];
+        self.fill_bytes(&mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Returns a uniformly random `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        let mut buf = [0u8; 4];
+        self.fill_bytes(&mut buf);
+        u32::from_le_bytes(buf)
+    }
+
+    /// Returns a uniformly random value in `[0, bound)` (Lemire-style
+    /// rejection to avoid modulo bias). `bound` must be nonzero.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be nonzero");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            let (hi, lo) = {
+                let wide = (r as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    /// Fisher–Yates shuffles a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element, or `None` if the slice is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_range(slice.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SecureRng::seed_from_u64(42);
+        let mut b = SecureRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SecureRng::seed_from_u64(1);
+        let mut b = SecureRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let parent = SecureRng::seed_from_u64(7);
+        let mut c1 = parent.fork(b"a");
+        let mut c2 = parent.fork(b"b");
+        let mut c1_again = parent.fork(b"a");
+        assert_ne!(c1.next_u64(), c2.next_u64());
+        let mut c1_fresh = parent.fork(b"a");
+        assert_eq!(c1_again.next_u64(), c1_fresh.next_u64());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = SecureRng::seed_from_u64(9);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..50 {
+                assert!(rng.gen_range(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut rng = SecureRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fill_bytes_across_block_boundary() {
+        let mut rng = SecureRng::seed_from_u64(3);
+        let mut big = [0u8; 200];
+        rng.fill_bytes(&mut big);
+        // Compare with byte-at-a-time drain of an identical RNG.
+        let mut rng2 = SecureRng::seed_from_u64(3);
+        for (i, &expected) in big.iter().enumerate() {
+            let mut one = [0u8; 1];
+            rng2.fill_bytes(&mut one);
+            assert_eq!(one[0], expected, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SecureRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SecureRng::seed_from_u64(6);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn choose_empty_and_nonempty() {
+        let mut rng = SecureRng::seed_from_u64(8);
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+        let v = [1, 2, 3];
+        assert!(v.contains(rng.choose(&v).unwrap()));
+    }
+}

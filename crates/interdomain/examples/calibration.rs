@@ -1,0 +1,25 @@
+//! Prints the Table 4 calibration numbers for a 30-AS topology
+//! (native vs SGX, inter-domain and AS-local controllers).
+use std::collections::HashMap;
+use teenet::attest::AttestConfig;
+use teenet_interdomain::*;
+use teenet_crypto::SecureRng;
+
+fn main() {
+    let mut rng = SecureRng::seed_from_u64(2015);
+    let t = Topology::random(30, &mut rng);
+    let p: HashMap<AsId, LocalPolicy> = default_policies(&t);
+    let native = run_native(&t, &p);
+    println!("work_units(30) = {}", native.outcome.work_units);
+    println!("native interdomain = {}M", native.interdomain.normal_instr / 1_000_000);
+    println!("native aslocal avg = {}M", native.aslocal_avg().normal_instr / 1_000_000);
+
+    let mut dep = SdnDeployment::new(&t, &p, AttestConfig::fast(), 7).unwrap();
+    let report = dep.run().unwrap();
+    println!("sgx interdomain = {}M normal, {} sgx", report.interdomain.normal_instr/1_000_000, report.interdomain.sgx_instr);
+    println!("sgx aslocal avg = {}M normal, {} sgx", report.aslocal_avg().normal_instr/1_000_000, report.aslocal_avg().sgx_instr);
+    println!("attestations = {}", report.attestations);
+    let oi = (report.interdomain.normal_instr as f64 / native.interdomain.normal_instr as f64 - 1.0) * 100.0;
+    let oa = (report.aslocal_avg().normal_instr as f64 / native.aslocal_avg().normal_instr as f64 - 1.0) * 100.0;
+    println!("overhead interdomain = {oi:.0}%  aslocal = {oa:.0}%");
+}

@@ -1,0 +1,393 @@
+//! Centralised BGP path computation — what the inter-domain controller
+//! runs inside its enclave.
+//!
+//! "The inter-domain controller then computes paths for all ASes and sends
+//! routes for each AS" (paper §3.1) "using the rules of BGP" (§5). The
+//! algorithm is a faithful per-destination BGP fixpoint: each AS selects
+//! among the routes its neighbors currently announce (adj-RIB-in),
+//! announcements respect the announcing AS's Gao–Rexford export policy,
+//! preferences come from the receiving AS's private policy, and loops are
+//! rejected at the receiver. Withdrawals (an AS's best route changing)
+//! propagate until quiescence.
+//!
+//! The computation counts *work units* (route evaluations and announcement
+//! processings) that the cost model converts into modelled instructions for
+//! Table 4 / Figure 3.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::policy::LocalPolicy;
+use crate::route::Route;
+use crate::topology::{AsId, Relationship, Topology};
+
+/// Result of a full path computation.
+#[derive(Debug, Clone)]
+pub struct RoutingOutcome {
+    /// Selected best route per (source, destination). Absent if the
+    /// destination is unreachable under policy.
+    pub best: HashMap<(AsId, AsId), Route>,
+    /// Every route each AS received, per destination (adj-RIB-in) — the
+    /// evidence base for predicate verification (§3.1's SPIDeR-style
+    /// promises are checked "over all routes that A receives").
+    pub rib_in: HashMap<AsId, HashMap<AsId, Vec<Route>>>,
+    /// Candidate evaluations + announcements processed (cost-model input).
+    pub work_units: u64,
+}
+
+impl RoutingOutcome {
+    /// The selected route from `src` to `dst`, if any.
+    pub fn route(&self, src: AsId, dst: AsId) -> Option<&Route> {
+        self.best.get(&(src, dst))
+    }
+
+    /// All selected routes of one AS (what the controller sends back to
+    /// that AS-local controller).
+    pub fn routes_of(&self, src: AsId) -> Vec<&Route> {
+        let mut routes: Vec<&Route> = self
+            .best
+            .iter()
+            .filter(|((s, _), _)| *s == src)
+            .map(|(_, r)| r)
+            .collect();
+        routes.sort_by_key(|r| r.dst);
+        routes
+    }
+}
+
+fn invert(rel: Relationship) -> Relationship {
+    match rel {
+        Relationship::Customer => Relationship::Provider,
+        Relationship::Provider => Relationship::Customer,
+        Relationship::Peer => Relationship::Peer,
+    }
+}
+
+/// Computes best routes for every (source, destination) pair.
+///
+/// `policies` must contain an entry per AS (use [`LocalPolicy::new`] for
+/// default Gao–Rexford behaviour).
+///
+/// ```
+/// use teenet_interdomain::{compute_routes, default_policies, Topology, AsId};
+/// use teenet_crypto::SecureRng;
+/// let topo = Topology::random(10, &mut SecureRng::seed_from_u64(1));
+/// let outcome = compute_routes(&topo, &default_policies(&topo));
+/// assert!(outcome.route(AsId(3), AsId(0)).is_some());
+/// ```
+pub fn compute_routes(
+    topology: &Topology,
+    policies: &HashMap<AsId, LocalPolicy>,
+) -> RoutingOutcome {
+    let mut outcome = RoutingOutcome {
+        best: HashMap::new(),
+        rib_in: HashMap::new(),
+        work_units: 0,
+    };
+    // Adjacency cached once: (neighbor, neighbor's relationship to the AS).
+    let adj: HashMap<AsId, Vec<(AsId, Relationship)>> = topology
+        .ases()
+        .map(|a| (a, topology.neighbors(a)))
+        .collect();
+
+    for dst in topology.ases() {
+        per_destination(dst, &adj, policies, &mut outcome);
+    }
+    outcome
+}
+
+fn per_destination(
+    dst: AsId,
+    adj: &HashMap<AsId, Vec<(AsId, Relationship)>>,
+    policies: &HashMap<AsId, LocalPolicy>,
+    outcome: &mut RoutingOutcome,
+) {
+    // rib[as][announcer] = the route the announcer currently advertises.
+    let mut rib: HashMap<AsId, HashMap<AsId, Route>> = HashMap::new();
+    let mut best: HashMap<AsId, Route> = HashMap::new();
+    best.insert(dst, Route::origin(dst));
+
+    let mut queue: VecDeque<AsId> = VecDeque::new();
+    queue.push_back(dst);
+    // Safety valve against policy dispute wheels (cannot occur under pure
+    // Gao–Rexford, but overrides are arbitrary).
+    let mut budget: u64 = (adj.len() as u64 + 1).pow(3) * 16;
+
+    while let Some(a) = queue.pop_front() {
+        if budget == 0 {
+            debug_assert!(false, "BGP fixpoint budget exhausted (dispute wheel?)");
+            break;
+        }
+        budget -= 1;
+
+        let a_policy = &policies[&a];
+        let a_best = best.get(&a).cloned();
+        // Relationship of a's current best's next hop, for export rules.
+        let learned_from = a_best.as_ref().and_then(|r| {
+            r.next_hop()
+                .map(|nh| adj[&a].iter().find(|&&(n, _)| n == nh).expect("next hop is neighbor").1)
+        });
+
+        for &(nbr, nbr_rel) in &adj[&a] {
+            outcome.work_units += 1; // announcement processing
+            if nbr == dst {
+                continue; // the origin never needs a route to itself
+            }
+            // What does a announce to nbr?
+            let announcement: Option<Route> = match &a_best {
+                Some(r) if a_policy.may_export(learned_from, nbr, nbr_rel) => {
+                    let mut path = Vec::with_capacity(r.path.len() + 1);
+                    path.push(a);
+                    path.extend_from_slice(&r.path);
+                    // Receiver-side loop rejection.
+                    if path.contains(&nbr) {
+                        None
+                    } else {
+                        Some(Route {
+                            dst,
+                            path,
+                            local_pref: 0, // receiver assigns
+                        })
+                    }
+                }
+                _ => None,
+            };
+
+            let nbr_rib = rib.entry(nbr).or_default();
+            let changed = match &announcement {
+                Some(r) => nbr_rib.get(&a).map(|old| old.path != r.path).unwrap_or(true),
+                None => nbr_rib.remove(&a).is_some(),
+            };
+            if let Some(mut r) = announcement {
+                // Preference assigned by the *receiving* AS's policy based
+                // on the announcer's relationship to it.
+                let a_rel_to_nbr = invert(nbr_rel);
+                r.local_pref = policies[&nbr].pref_for(a, a_rel_to_nbr);
+                if changed {
+                    nbr_rib.insert(a, r);
+                }
+            }
+            if !changed {
+                continue;
+            }
+            // Re-run the decision process at nbr.
+            let mut new_best: Option<Route> = None;
+            for candidate in rib[&nbr].values() {
+                outcome.work_units += 1; // route evaluation
+                match &new_best {
+                    None => new_best = Some(candidate.clone()),
+                    Some(cur) => {
+                        if candidate.better_than(cur) {
+                            new_best = Some(candidate.clone());
+                        }
+                    }
+                }
+            }
+            let old_best = best.get(&nbr);
+            if new_best.as_ref() != old_best {
+                match new_best {
+                    Some(r) => {
+                        best.insert(nbr, r);
+                    }
+                    None => {
+                        best.remove(&nbr);
+                    }
+                }
+                queue.push_back(nbr);
+            }
+        }
+    }
+
+    for (a, route) in best {
+        if a != dst {
+            outcome.best.insert((a, dst), route);
+        }
+        // Record adj-RIB-in for the verification module.
+        if let Some(received) = rib.get(&a) {
+            let mut routes: Vec<Route> = received.values().cloned().collect();
+            routes.sort_by_key(|r| r.next_hop());
+            outcome
+                .rib_in
+                .entry(a)
+                .or_default()
+                .insert(dst, routes);
+        }
+    }
+}
+
+/// Policies with Gao–Rexford defaults for every AS in a topology.
+pub fn default_policies(topology: &Topology) -> HashMap<AsId, LocalPolicy> {
+    topology.ases().map(|a| (a, LocalPolicy::new(a))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::EdgeKind;
+    use teenet_crypto::SecureRng;
+
+    fn diamond() -> (Topology, HashMap<AsId, LocalPolicy>) {
+        // 0 ↔ 1 peers; both providers of 2; 2 provider of 3.
+        let t = Topology::from_edges(
+            4,
+            vec![
+                (AsId(0), AsId(1), EdgeKind::Peering),
+                (AsId(0), AsId(2), EdgeKind::TransitTo),
+                (AsId(1), AsId(2), EdgeKind::TransitTo),
+                (AsId(2), AsId(3), EdgeKind::TransitTo),
+            ],
+        );
+        let p = default_policies(&t);
+        (t, p)
+    }
+
+    #[test]
+    fn everyone_reaches_everyone_in_diamond() {
+        let (t, p) = diamond();
+        let out = compute_routes(&t, &p);
+        for src in t.ases() {
+            for dst in t.ases() {
+                if src != dst {
+                    assert!(
+                        out.route(src, dst).is_some(),
+                        "{src} cannot reach {dst}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_terminate_at_destination() {
+        let (t, p) = diamond();
+        let out = compute_routes(&t, &p);
+        for ((_, dst), route) in &out.best {
+            assert_eq!(route.path.last(), Some(dst));
+            assert_eq!(route.dst, *dst);
+        }
+    }
+
+    #[test]
+    fn customer_route_preferred_over_peer() {
+        // AS0 reaches AS3 via its customer 2 (path 2,3), never via peer 1.
+        let (t, p) = diamond();
+        let out = compute_routes(&t, &p);
+        let r = out.route(AsId(0), AsId(3)).unwrap();
+        assert_eq!(r.next_hop(), Some(AsId(2)));
+    }
+
+    #[test]
+    fn valley_free_property() {
+        // Gao–Rexford: no path goes down (to a customer) and then up (to a
+        // provider) or across a peer after going down. Check all paths on a
+        // random topology are valley-free.
+        let mut rng = SecureRng::seed_from_u64(11);
+        let t = Topology::random(30, &mut rng);
+        let p = default_policies(&t);
+        let out = compute_routes(&t, &p);
+        for ((src, _), route) in &out.best {
+            // Walk the path as relationship transitions seen by traffic:
+            // each hop edge is provider→customer (down), customer→provider
+            // (up), or peer. After a down or peer move, only down moves
+            // are allowed.
+            let mut nodes = vec![*src];
+            nodes.extend_from_slice(&route.path);
+            let mut descended = false;
+            for w in nodes.windows(2) {
+                let rel = t.relationship(w[0], w[1]).expect("adjacent");
+                match rel {
+                    // w[1] is w[0]'s provider → traffic goes up.
+                    Relationship::Provider => {
+                        assert!(!descended, "valley in path {nodes:?}");
+                    }
+                    Relationship::Peer => {
+                        assert!(!descended, "peer after descent in {nodes:?}");
+                        descended = true;
+                    }
+                    Relationship::Customer => {
+                        descended = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_loops_in_any_path() {
+        let mut rng = SecureRng::seed_from_u64(5);
+        let t = Topology::random(40, &mut rng);
+        let p = default_policies(&t);
+        let out = compute_routes(&t, &p);
+        for ((src, _), route) in &out.best {
+            let mut seen = vec![*src];
+            for hop in &route.path {
+                assert!(!seen.contains(hop), "loop: {src} {:?}", route.path);
+                seen.push(*hop);
+            }
+        }
+    }
+
+    #[test]
+    fn pref_override_changes_selection() {
+        // AS2 has two providers (0 and 1). By default the tie-break picks
+        // provider 0; an override preferring 1 flips it.
+        let (t, mut p) = diamond();
+        let base = compute_routes(&t, &p);
+        // AS2 → AS1's prefix could go direct; check 2 → 0's prefix though
+        // provider choice only matters for multi-hop. Use dst = 1:
+        assert_eq!(base.route(AsId(2), AsId(1)).unwrap().next_hop(), Some(AsId(1)));
+        // For dst=0 also direct. The interesting case: dst reachable via
+        // both providers at equal pref — AS3 to AS0 vs AS1 is via 2 anyway.
+        // Instead check AS2's route to a tier-1 it is NOT connected to via
+        // an override: prefer provider 1 for everything.
+        p.get_mut(&AsId(2)).unwrap().pref_override.insert(AsId(0), 10);
+        let out = compute_routes(&t, &p);
+        // Now provider 0's announcements have pref 10 < provider 1's 100.
+        assert_eq!(out.route(AsId(2), AsId(0)).unwrap().next_hop(), Some(AsId(1)),
+            "downgraded provider 0 means reaching AS0 via AS1");
+    }
+
+    #[test]
+    fn never_export_filter_respected() {
+        // If AS2 never exports to AS3, AS3 loses all transit.
+        let (t, mut p) = diamond();
+        p.get_mut(&AsId(2)).unwrap().never_export_to.push(AsId(3));
+        let out = compute_routes(&t, &p);
+        assert!(out.route(AsId(3), AsId(0)).is_none());
+        assert!(out.route(AsId(3), AsId(1)).is_none());
+        // AS3's own announcements still travel up (3 exports to its
+        // provider), so others still reach 3.
+        assert!(out.route(AsId(0), AsId(3)).is_some());
+    }
+
+    #[test]
+    fn rib_in_collected() {
+        let (t, p) = diamond();
+        let out = compute_routes(&t, &p);
+        // AS2 hears about AS0's prefix from AS0 directly (customer link)
+        // and possibly from AS1.
+        let rib = &out.rib_in[&AsId(2)][&AsId(0)];
+        assert!(!rib.is_empty());
+        assert!(rib.iter().any(|r| r.next_hop() == Some(AsId(0))));
+    }
+
+    #[test]
+    fn work_units_grow_with_topology() {
+        let mut rng = SecureRng::seed_from_u64(9);
+        let small = Topology::random(10, &mut rng);
+        let large = Topology::random(30, &mut rng);
+        let ws = compute_routes(&small, &default_policies(&small)).work_units;
+        let wl = compute_routes(&large, &default_policies(&large)).work_units;
+        assert!(wl > ws * 2, "small={ws} large={wl}");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let mut rng = SecureRng::seed_from_u64(13);
+        let t = Topology::random(25, &mut rng);
+        let p = default_policies(&t);
+        let a = compute_routes(&t, &p);
+        let b = compute_routes(&t, &p);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.work_units, b.work_units);
+    }
+}

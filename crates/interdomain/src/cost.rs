@@ -1,0 +1,64 @@
+//! Cost constants for the routing workload (Table 4 / Figure 3 model).
+//!
+//! The SGX substrate's `teenet_sgx::cost` covers the generic enclave costs
+//! (I/O, crypto, allocation). This module adds the *application* work:
+//! what one BGP work unit and one installed route cost in modelled normal
+//! instructions, plus the per-unit enclave amplification.
+//!
+//! Calibration (same discipline as the substrate model — fixed against the
+//! paper's Table 4 and then reused unchanged everywhere):
+//!
+//! * A 30-AS random topology performs ≈40 K BGP work units.
+//!   `ROUTE_EVAL_COST` is set so the native inter-domain controller lands
+//!   near the paper's 74 M normal instructions.
+//! * Inside the enclave every work unit additionally pays a small heap
+//!   allocation (candidate route clone) plus marshalling — the paper
+//!   attributes the overhead to "in-enclave I/O and dynamic memory
+//!   allocation that cause context switches" (§5) and reports 82 % extra
+//!   instructions (Table 4) / 90 % extra cycles (Figure 3).
+//! * An AS-local controller natively spends ≈13 M instructions, dominated
+//!   by per-route FIB installation (`FIB_INSTALL_COST`), and 69 % more
+//!   inside the enclave (`ASLOCAL_SGX_PER_ROUTE` amplification: in-enclave
+//!   socket reads and allocation-heavy parsing of each route).
+
+/// Normal instructions per BGP work unit (announcement processed or
+/// candidate route evaluated) — native and enclave alike.
+pub const ROUTE_EVAL_COST: u64 = 17_300;
+
+/// Extra normal instructions per work unit when computing inside the
+/// enclave (allocation + marshalling amplification).
+pub const SGX_EVAL_OVERHEAD: u64 = 11_400;
+
+/// Heap bytes one BGP work unit allocates inside the enclave (candidate
+/// route clones, path vectors, RIB entries). Drives the page-extension
+/// traps that dominate the controller's SGX-instruction count (Table 4
+/// reports 1448 SGX(U) instructions for the 30-AS run).
+pub const HEAP_BYTES_PER_WORK_UNIT: usize = 560;
+
+/// Heap bytes one installed route allocates in the AS-local controller's
+/// FIB (Table 4 reports 42 SGX(U) instructions per AS-local controller).
+pub const HEAP_BYTES_PER_ROUTE: usize = 2_048;
+
+/// AS-local controller: fixed per-run cost (policy preparation, session
+/// bookkeeping).
+pub const ASLOCAL_BASE_COST: u64 = 1_400_000;
+
+/// AS-local controller: native per-route FIB installation cost.
+pub const FIB_INSTALL_COST: u64 = 400_000;
+
+/// AS-local controller: extra per-route cost inside the enclave.
+pub const ASLOCAL_SGX_PER_ROUTE: u64 = 370_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enclave_overhead_is_subunity_multiplier() {
+        // The enclave amplification must stay below 1× native so the
+        // Table 4 ratio lands near the paper's ~82% (I/O and allocation
+        // never dominate the computation itself).
+        assert!(SGX_EVAL_OVERHEAD < ROUTE_EVAL_COST);
+        assert!(ASLOCAL_SGX_PER_ROUTE < FIB_INSTALL_COST);
+    }
+}

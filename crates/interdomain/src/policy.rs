@@ -1,0 +1,195 @@
+//! Per-AS routing policies: local preference and Gao–Rexford export rules.
+//!
+//! These are exactly the secrets the paper's design protects: "ISPs do not
+//! want to disclose their routing policies for security and commercial
+//! reasons" (§1). A [`LocalPolicy`] never leaves its AS except through the
+//! attestation-bootstrapped secure channel to the inter-domain controller.
+
+use std::collections::HashMap;
+
+use crate::topology::{AsId, Relationship};
+
+/// Default local-preference bands by relationship (Gao–Rexford economic
+/// ordering: customer routes are revenue, provider routes cost money).
+pub fn default_pref(rel: Relationship) -> u32 {
+    match rel {
+        Relationship::Customer => 300,
+        Relationship::Peer => 200,
+        Relationship::Provider => 100,
+    }
+}
+
+/// One AS's private routing policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalPolicy {
+    /// Whose policy this is.
+    pub as_id: AsId,
+    /// Per-neighbor local preference overrides (beyond the relationship
+    /// default) — e.g. a promise to prefer one customer's routes.
+    pub pref_override: HashMap<AsId, u32>,
+    /// Neighbors to which routes must never be exported (beyond
+    /// Gao–Rexford), modelling selective-export contracts.
+    pub never_export_to: Vec<AsId>,
+}
+
+impl LocalPolicy {
+    /// A policy with relationship defaults only.
+    pub fn new(as_id: AsId) -> Self {
+        LocalPolicy {
+            as_id,
+            pref_override: HashMap::new(),
+            never_export_to: Vec::new(),
+        }
+    }
+
+    /// Local preference for routes learned from `neighbor`.
+    pub fn pref_for(&self, neighbor: AsId, rel: Relationship) -> u32 {
+        self.pref_override
+            .get(&neighbor)
+            .copied()
+            .unwrap_or_else(|| default_pref(rel))
+    }
+
+    /// Gao–Rexford export rule plus explicit filters: may a route learned
+    /// from a neighbor with relationship `learned_from` be exported to
+    /// `to` (relationship `to_rel`)?
+    ///
+    /// Routes learned from customers are exported to everyone; routes
+    /// learned from peers/providers go only to customers. The AS's own
+    /// prefix (`learned_from == None`) is exported to everyone.
+    pub fn may_export(
+        &self,
+        learned_from: Option<Relationship>,
+        to: AsId,
+        to_rel: Relationship,
+    ) -> bool {
+        if self.never_export_to.contains(&to) {
+            return false;
+        }
+        match learned_from {
+            None => true,
+            Some(Relationship::Customer) => true,
+            Some(Relationship::Peer) | Some(Relationship::Provider) => {
+                to_rel == Relationship::Customer
+            }
+        }
+    }
+
+    /// Canonical wire encoding (travels the secure channel to the
+    /// inter-domain controller).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.pref_override.len() * 8);
+        out.extend_from_slice(&self.as_id.0.to_le_bytes());
+        let mut overrides: Vec<(&AsId, &u32)> = self.pref_override.iter().collect();
+        overrides.sort();
+        out.extend_from_slice(&(overrides.len() as u32).to_le_bytes());
+        for (n, p) in overrides {
+            out.extend_from_slice(&n.0.to_le_bytes());
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.never_export_to.len() as u32).to_le_bytes());
+        for n in &self.never_export_to {
+            out.extend_from_slice(&n.0.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses [`LocalPolicy::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Option<Self> {
+        let mut off = 0usize;
+        let read_u32 = |buf: &[u8], off: &mut usize| -> Option<u32> {
+            let v = u32::from_le_bytes(buf.get(*off..*off + 4)?.try_into().ok()?);
+            *off += 4;
+            Some(v)
+        };
+        let as_id = AsId(read_u32(buf, &mut off)?);
+        let n_over = read_u32(buf, &mut off)? as usize;
+        // Each override is 8 bytes; cap the preallocation accordingly.
+        if n_over > buf.len().saturating_sub(off) / 8 {
+            return None;
+        }
+        let mut pref_override = HashMap::with_capacity(n_over);
+        for _ in 0..n_over {
+            let n = AsId(read_u32(buf, &mut off)?);
+            let p = read_u32(buf, &mut off)?;
+            pref_override.insert(n, p);
+        }
+        let n_filters = read_u32(buf, &mut off)? as usize;
+        if n_filters > buf.len().saturating_sub(off) / 4 {
+            return None;
+        }
+        let mut never_export_to = Vec::with_capacity(n_filters);
+        for _ in 0..n_filters {
+            never_export_to.push(AsId(read_u32(buf, &mut off)?));
+        }
+        if off != buf.len() {
+            return None;
+        }
+        Some(LocalPolicy {
+            as_id,
+            pref_override,
+            never_export_to,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_prefs_follow_economics() {
+        assert!(default_pref(Relationship::Customer) > default_pref(Relationship::Peer));
+        assert!(default_pref(Relationship::Peer) > default_pref(Relationship::Provider));
+    }
+
+    #[test]
+    fn overrides_take_precedence() {
+        let mut p = LocalPolicy::new(AsId(1));
+        p.pref_override.insert(AsId(5), 500);
+        assert_eq!(p.pref_for(AsId(5), Relationship::Provider), 500);
+        assert_eq!(p.pref_for(AsId(6), Relationship::Provider), 100);
+    }
+
+    #[test]
+    fn gao_rexford_export_rules() {
+        let p = LocalPolicy::new(AsId(1));
+        // Own prefix to everyone.
+        assert!(p.may_export(None, AsId(2), Relationship::Provider));
+        // Customer routes to everyone.
+        assert!(p.may_export(Some(Relationship::Customer), AsId(2), Relationship::Peer));
+        assert!(p.may_export(Some(Relationship::Customer), AsId(2), Relationship::Provider));
+        // Peer/provider routes only to customers (no free transit).
+        assert!(p.may_export(Some(Relationship::Peer), AsId(2), Relationship::Customer));
+        assert!(!p.may_export(Some(Relationship::Peer), AsId(2), Relationship::Peer));
+        assert!(!p.may_export(Some(Relationship::Provider), AsId(2), Relationship::Provider));
+        assert!(!p.may_export(Some(Relationship::Provider), AsId(2), Relationship::Peer));
+    }
+
+    #[test]
+    fn explicit_filter_blocks_export() {
+        let mut p = LocalPolicy::new(AsId(1));
+        p.never_export_to.push(AsId(2));
+        assert!(!p.may_export(None, AsId(2), Relationship::Customer));
+        assert!(p.may_export(None, AsId(3), Relationship::Customer));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut p = LocalPolicy::new(AsId(7));
+        p.pref_override.insert(AsId(1), 400);
+        p.pref_override.insert(AsId(2), 50);
+        p.never_export_to.push(AsId(9));
+        let parsed = LocalPolicy::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn wire_rejects_malformed() {
+        assert!(LocalPolicy::from_bytes(&[1, 2, 3]).is_none());
+        let p = LocalPolicy::new(AsId(7));
+        let mut bytes = p.to_bytes();
+        bytes.push(0);
+        assert!(LocalPolicy::from_bytes(&bytes).is_none());
+    }
+}

@@ -1,0 +1,277 @@
+//! Reference distributed BGP — the differential oracle.
+//!
+//! The paper "verif\[ied\] the correctness of [the controller's] output
+//! using GNS3" (§5), i.e. against an independent implementation of the
+//! same routing semantics. This module plays that role: a *distributed*
+//! message-passing BGP in which every AS keeps its own adj-RIB-in and
+//! processes UPDATE messages in a randomised (seeded) order. Under
+//! Gao–Rexford policies BGP converges to a unique stable assignment
+//! regardless of message ordering, so the centralized controller
+//! ([`crate::compute`]) and this simulator must agree route-for-route —
+//! and a test sweep asserts they do.
+
+use std::collections::{HashMap, VecDeque};
+
+use teenet_crypto::SecureRng;
+
+use crate::compute::RoutingOutcome;
+use crate::policy::LocalPolicy;
+use crate::route::Route;
+use crate::topology::{AsId, Relationship, Topology};
+
+/// An UPDATE message: `from` (re)announces or withdraws its route to `dst`.
+#[derive(Debug, Clone)]
+struct Update {
+    from: AsId,
+    to: AsId,
+    dst: AsId,
+    /// `None` = withdrawal.
+    route: Option<Route>,
+}
+
+struct BgpNode {
+    id: AsId,
+    policy: LocalPolicy,
+    neighbors: Vec<(AsId, Relationship)>,
+    /// adj-RIB-in: per destination, per announcing neighbor.
+    rib_in: HashMap<AsId, HashMap<AsId, Route>>,
+    /// Selected best route per destination.
+    best: HashMap<AsId, Route>,
+}
+
+impl BgpNode {
+    /// Applies an update; returns `true` if the best route for
+    /// `update.dst` changed.
+    fn apply(&mut self, update: &Update) -> bool {
+        let rib = self.rib_in.entry(update.dst).or_default();
+        match &update.route {
+            Some(r) if !r.path.contains(&self.id) => {
+                let mut r = r.clone();
+                // The stored relationship is the announcer's relationship
+                // to this node, which is what pref_for expects.
+                let rel = self
+                    .neighbors
+                    .iter()
+                    .find(|&&(n, _)| n == update.from)
+                    .map(|&(_, rel)| rel)
+                    .expect("update from a neighbor");
+                r.local_pref = self.policy.pref_for(update.from, rel);
+                rib.insert(update.from, r);
+            }
+            _ => {
+                rib.remove(&update.from);
+            }
+        }
+        // Decision process.
+        let mut new_best: Option<Route> = None;
+        if update.dst == self.id {
+            new_best = Some(Route::origin(self.id));
+        }
+        for candidate in rib.values() {
+            match &new_best {
+                None => new_best = Some(candidate.clone()),
+                Some(cur) => {
+                    if candidate.better_than(cur) {
+                        new_best = Some(candidate.clone());
+                    }
+                }
+            }
+        }
+        let changed = new_best.as_ref() != self.best.get(&update.dst);
+        match new_best {
+            Some(r) => {
+                self.best.insert(update.dst, r);
+            }
+            None => {
+                self.best.remove(&update.dst);
+            }
+        }
+        changed
+    }
+
+    /// Builds the updates this node sends after its best route to `dst`
+    /// changed.
+    fn announcements(&self, dst: AsId) -> Vec<Update> {
+        let best = self.best.get(&dst);
+        let learned_from = best.and_then(|r| {
+            r.next_hop().map(|nh| {
+                self.neighbors
+                    .iter()
+                    .find(|&&(n, _)| n == nh)
+                    .expect("next hop is neighbor")
+                    .1
+            })
+        });
+        let mut out = Vec::with_capacity(self.neighbors.len());
+        for &(nbr, nbr_rel) in &self.neighbors {
+            if nbr == dst {
+                continue;
+            }
+            let route = match best {
+                Some(r) if self.policy.may_export(learned_from, nbr, nbr_rel) => {
+                    let mut path = Vec::with_capacity(r.path.len() + 1);
+                    path.push(self.id);
+                    path.extend_from_slice(&r.path);
+                    Some(Route {
+                        dst,
+                        path,
+                        local_pref: 0,
+                    })
+                }
+                _ => None,
+            };
+            out.push(Update {
+                from: self.id,
+                to: nbr,
+                dst,
+                route,
+            });
+        }
+        out
+    }
+}
+
+/// Runs distributed BGP to convergence with a seeded random message order.
+///
+/// Returns the converged best routes in [`RoutingOutcome`] form
+/// (`rib_in` populated, `work_units` counts processed updates).
+pub fn run_distributed_bgp(
+    topology: &Topology,
+    policies: &HashMap<AsId, LocalPolicy>,
+    seed: u64,
+) -> RoutingOutcome {
+    let mut rng = SecureRng::seed_from_u64(seed);
+    let mut nodes: HashMap<AsId, BgpNode> = topology
+        .ases()
+        .map(|a| {
+            (
+                a,
+                BgpNode {
+                    id: a,
+                    policy: policies[&a].clone(),
+                    neighbors: topology.neighbors(a),
+                    rib_in: HashMap::new(),
+                    best: HashMap::new(),
+                },
+            )
+        })
+        .collect();
+
+    // Per-session FIFO queues: BGP runs over TCP, so updates between one
+    // pair of speakers arrive in order; only the interleaving *across*
+    // sessions is random. (Randomising within a session would let a stale
+    // announcement overtake its withdrawal — not a real BGP behaviour.)
+    let mut sessions: HashMap<(AsId, AsId), VecDeque<Update>> = HashMap::new();
+    let enqueue = |sessions: &mut HashMap<(AsId, AsId), VecDeque<Update>>, u: Update| {
+        sessions.entry((u.from, u.to)).or_default().push_back(u);
+    };
+
+    // Bootstrap: every AS originates its own prefix.
+    for a in topology.ases() {
+        nodes.get_mut(&a).expect("node").best.insert(a, Route::origin(a));
+        for u in nodes[&a].announcements(a) {
+            enqueue(&mut sessions, u);
+        }
+    }
+
+    let mut work_units = 0u64;
+    let budget = (topology.len() as u64 + 1).pow(4) * 64;
+    loop {
+        let mut live: Vec<(AsId, AsId)> = sessions
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&k, _)| k)
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        live.sort(); // deterministic base order before the random pick
+        work_units += 1;
+        assert!(work_units < budget, "distributed BGP failed to converge");
+        let pick = live[rng.gen_range(live.len() as u64) as usize];
+        let update = sessions
+            .get_mut(&pick)
+            .expect("live session")
+            .pop_front()
+            .expect("nonempty");
+        let node = nodes.get_mut(&update.to).expect("node");
+        if node.apply(&update) {
+            for u in nodes[&update.to].announcements(update.dst) {
+                enqueue(&mut sessions, u);
+            }
+        }
+    }
+
+    let mut outcome = RoutingOutcome {
+        best: HashMap::new(),
+        rib_in: HashMap::new(),
+        work_units,
+    };
+    for (a, node) in nodes {
+        for (dst, route) in node.best {
+            if dst != a {
+                outcome.best.insert((a, dst), route);
+            }
+        }
+        for (dst, rib) in node.rib_in {
+            let mut routes: Vec<Route> = rib.into_values().collect();
+            routes.sort_by_key(|r| r.next_hop());
+            outcome.rib_in.entry(a).or_default().insert(dst, routes);
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::{compute_routes, default_policies};
+
+    /// The headline oracle test: centralized == distributed on random
+    /// topologies under multiple message orderings.
+    #[test]
+    fn centralized_matches_distributed() {
+        for topo_seed in [1u64, 2, 3] {
+            let mut rng = SecureRng::seed_from_u64(topo_seed);
+            let t = Topology::random(20, &mut rng);
+            let p = default_policies(&t);
+            let central = compute_routes(&t, &p);
+            for order_seed in [10u64, 20] {
+                let dist = run_distributed_bgp(&t, &p, order_seed);
+                assert_eq!(
+                    central.best, dist.best,
+                    "divergence at topo_seed={topo_seed} order_seed={order_seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_with_policy_overrides() {
+        let mut rng = SecureRng::seed_from_u64(4);
+        let t = Topology::random(15, &mut rng);
+        let mut p = default_policies(&t);
+        // A couple of arbitrary overrides (promises).
+        if let Some(pol) = p.get_mut(&AsId(5)) {
+            pol.pref_override.insert(AsId(1), 450);
+        }
+        if let Some(pol) = p.get_mut(&AsId(8)) {
+            pol.never_export_to.push(AsId(3));
+        }
+        let central = compute_routes(&t, &p);
+        let dist = run_distributed_bgp(&t, &p, 99);
+        assert_eq!(central.best, dist.best);
+    }
+
+    #[test]
+    fn message_order_does_not_matter() {
+        let mut rng = SecureRng::seed_from_u64(6);
+        let t = Topology::random(12, &mut rng);
+        let p = default_policies(&t);
+        let a = run_distributed_bgp(&t, &p, 1);
+        let b = run_distributed_bgp(&t, &p, 2);
+        let c = run_distributed_bgp(&t, &p, 3);
+        assert_eq!(a.best, b.best);
+        assert_eq!(b.best, c.best);
+    }
+}

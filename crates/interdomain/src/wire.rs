@@ -1,0 +1,166 @@
+//! Wire encodings for controller messages (edges, routes, policy bundles).
+
+use crate::policy::LocalPolicy;
+use crate::route::Route;
+use crate::topology::{AsId, EdgeKind};
+
+/// Encodes a list of edges (u32 count, then (a, b, kind) triples).
+pub fn encode_edges(edges: &[(AsId, AsId, EdgeKind)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + edges.len() * 9);
+    out.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+    for &(a, b, kind) in edges {
+        out.extend_from_slice(&a.0.to_le_bytes());
+        out.extend_from_slice(&b.0.to_le_bytes());
+        out.push(match kind {
+            EdgeKind::TransitTo => 0,
+            EdgeKind::Peering => 1,
+        });
+    }
+    out
+}
+
+/// Decodes [`encode_edges`]; returns edges and bytes consumed.
+pub fn decode_edges(buf: &[u8]) -> Option<(Vec<(AsId, AsId, EdgeKind)>, usize)> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let n = u32::from_le_bytes(buf[..4].try_into().ok()?) as usize;
+    // Bound the preallocation by what the buffer can actually hold (an
+    // attacker-controlled count must not drive allocation).
+    if n > (buf.len() - 4) / 9 {
+        return None;
+    }
+    let mut edges = Vec::with_capacity(n);
+    let mut off = 4;
+    for _ in 0..n {
+        let a = AsId(u32::from_le_bytes(buf.get(off..off + 4)?.try_into().ok()?));
+        let b = AsId(u32::from_le_bytes(
+            buf.get(off + 4..off + 8)?.try_into().ok()?,
+        ));
+        let kind = match buf.get(off + 8)? {
+            0 => EdgeKind::TransitTo,
+            1 => EdgeKind::Peering,
+            _ => return None,
+        };
+        edges.push((a, b, kind));
+        off += 9;
+    }
+    Some((edges, off))
+}
+
+/// Encodes an AS's submission: its private policy plus its local topology
+/// view (the edges incident to it).
+pub fn encode_submission(policy: &LocalPolicy, edges: &[(AsId, AsId, EdgeKind)]) -> Vec<u8> {
+    let policy_bytes = policy.to_bytes();
+    let mut out = Vec::with_capacity(4 + policy_bytes.len() + edges.len() * 9);
+    out.extend_from_slice(&(policy_bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&policy_bytes);
+    out.extend_from_slice(&encode_edges(edges));
+    out
+}
+
+/// Decodes [`encode_submission`].
+pub fn decode_submission(buf: &[u8]) -> Option<(LocalPolicy, Vec<(AsId, AsId, EdgeKind)>)> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let plen = u32::from_le_bytes(buf[..4].try_into().ok()?) as usize;
+    let policy = LocalPolicy::from_bytes(buf.get(4..4 + plen)?)?;
+    let (edges, used) = decode_edges(&buf[4 + plen..])?;
+    if 4 + plen + used != buf.len() {
+        return None;
+    }
+    Some((policy, edges))
+}
+
+/// Encodes a route list (u32 count, then routes).
+pub fn encode_routes(routes: &[&Route]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + routes.len() * 24);
+    out.extend_from_slice(&(routes.len() as u32).to_le_bytes());
+    for r in routes {
+        out.extend_from_slice(&r.to_bytes());
+    }
+    out
+}
+
+/// Decodes [`encode_routes`].
+pub fn decode_routes(buf: &[u8]) -> Option<Vec<Route>> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let n = u32::from_le_bytes(buf[..4].try_into().ok()?) as usize;
+    // Each route occupies at least 12 bytes on the wire; reject counts the
+    // buffer cannot contain before allocating.
+    if n > (buf.len() - 4) / 12 {
+        return None;
+    }
+    let mut routes = Vec::with_capacity(n);
+    let mut off = 4;
+    for _ in 0..n {
+        let (r, used) = Route::from_bytes(&buf[off..])?;
+        routes.push(r);
+        off += used;
+    }
+    if off != buf.len() {
+        return None;
+    }
+    Some(routes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_roundtrip() {
+        let edges = vec![
+            (AsId(0), AsId(1), EdgeKind::Peering),
+            (AsId(0), AsId(2), EdgeKind::TransitTo),
+        ];
+        let bytes = encode_edges(&edges);
+        let (parsed, used) = decode_edges(&bytes).unwrap();
+        assert_eq!(parsed, edges);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn edges_reject_bad_kind() {
+        let mut bytes = encode_edges(&[(AsId(0), AsId(1), EdgeKind::Peering)]);
+        let last = bytes.len() - 1;
+        bytes[last] = 9;
+        assert!(decode_edges(&bytes).is_none());
+    }
+
+    #[test]
+    fn submission_roundtrip() {
+        let mut policy = LocalPolicy::new(AsId(3));
+        policy.pref_override.insert(AsId(1), 400);
+        let edges = vec![(AsId(1), AsId(3), EdgeKind::TransitTo)];
+        let bytes = encode_submission(&policy, &edges);
+        let (p, e) = decode_submission(&bytes).unwrap();
+        assert_eq!(p, policy);
+        assert_eq!(e, edges);
+    }
+
+    #[test]
+    fn submission_rejects_trailing() {
+        let policy = LocalPolicy::new(AsId(3));
+        let mut bytes = encode_submission(&policy, &[]);
+        bytes.push(7);
+        assert!(decode_submission(&bytes).is_none());
+    }
+
+    #[test]
+    fn routes_roundtrip() {
+        let r1 = Route {
+            dst: AsId(5),
+            path: vec![AsId(2), AsId(5)],
+            local_pref: 300,
+        };
+        let r2 = Route::origin(AsId(7));
+        let bytes = encode_routes(&[&r1, &r2]);
+        let parsed = decode_routes(&bytes).unwrap();
+        assert_eq!(parsed, vec![r1, r2]);
+        assert!(decode_routes(&bytes[..bytes.len() - 1]).is_none());
+    }
+}

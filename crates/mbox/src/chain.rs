@@ -1,0 +1,84 @@
+//! Chains of in-path middleboxes.
+//!
+//! Table 3's middlebox row counts attestations per "number of in-path
+//! middleboxes": an endpoint attests and provisions *each* box on the
+//! path. Records traverse them in order; any box may block, and rewrites
+//! re-seal at the same sequence number so downstream boxes (and the far
+//! endpoint) stay in sync.
+
+use teenet::ledger::AttestLedger;
+use teenet_crypto::SecureRng;
+use teenet_tls::session::TlsSession;
+
+use crate::error::Result;
+use crate::provision::EndpointRole;
+use crate::scenarios::{MiddleboxHost, ProcessResult};
+
+/// A provisioned chain of middleboxes for one TLS session.
+pub struct MiddleboxChain {
+    hosts: Vec<MiddleboxHost>,
+    sids: Vec<[u8; 8]>,
+}
+
+impl MiddleboxChain {
+    /// Provisions every box on the path from `endpoint_role`'s view of the
+    /// session. One attestation per box is recorded in `ledger`.
+    pub fn provision(
+        mut hosts: Vec<MiddleboxHost>,
+        role: EndpointRole,
+        session: &TlsSession,
+        rng: &mut SecureRng,
+        ledger: &mut AttestLedger,
+    ) -> Result<Self> {
+        let mut sids = Vec::with_capacity(hosts.len());
+        for host in hosts.iter_mut() {
+            let (sid, active) = host.provision(role, session, rng, ledger)?;
+            debug_assert!(active, "chain boxes are unilateral in this helper");
+            sids.push(sid);
+        }
+        Ok(MiddleboxChain { hosts, sids })
+    }
+
+    /// Number of boxes on the path.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True when the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Pushes one record through every box in order.
+    ///
+    /// Returns the bytes to deliver to the far endpoint, or `None` if some
+    /// box blocked the record. Boxes after a rewrite see (and re-verify)
+    /// the rewritten record.
+    pub fn process(
+        &mut self,
+        direction: EndpointRole,
+        record: &[u8],
+    ) -> Result<Option<Vec<u8>>> {
+        let mut current = record.to_vec();
+        for (host, sid) in self.hosts.iter_mut().zip(self.sids.iter()) {
+            match host.process(*sid, direction, &current)? {
+                ProcessResult::Pass(bytes) => current = bytes,
+                ProcessResult::Rewritten(bytes) => current = bytes,
+                ProcessResult::Blocked => return Ok(None),
+            }
+        }
+        Ok(Some(current))
+    }
+
+    /// Aggregate (alerts, blocked, passed) across the chain.
+    pub fn stats(&mut self) -> Result<(u64, u64, u64)> {
+        let mut totals = (0u64, 0u64, 0u64);
+        for (host, sid) in self.hosts.iter_mut().zip(self.sids.iter()) {
+            let (a, b, p) = host.stats(*sid)?;
+            totals.0 += a;
+            totals.1 += b;
+            totals.2 += p;
+        }
+        Ok(totals)
+    }
+}

@@ -1,0 +1,340 @@
+//! Deep packet inspection: an Aho–Corasick multi-pattern matcher and rule
+//! actions.
+//!
+//! This is the in-network function of §3.3: once an attested middlebox
+//! holds the session keys, it inspects decrypted TLS records against a
+//! rule set ("TLS traffic in enterprise networks can be sent to the
+//! SGX-enabled cloud for deep packet inspection").
+
+use std::collections::VecDeque;
+
+/// What to do when a rule matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Record the match, let the record through.
+    Alert,
+    /// Drop the record.
+    Block,
+    /// Mask the matched bytes with `*` and let the record through.
+    Rewrite,
+}
+
+/// One inspection rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Byte pattern to search for.
+    pub pattern: Vec<u8>,
+    /// Action on match.
+    pub action: Action,
+}
+
+impl Rule {
+    /// Builds a rule.
+    pub fn new(pattern: &[u8], action: Action) -> Self {
+        Rule {
+            pattern: pattern.to_vec(),
+            action,
+        }
+    }
+}
+
+/// A match found during scanning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Index of the matching rule.
+    pub rule: usize,
+    /// End offset of the match in the haystack (exclusive).
+    pub end: usize,
+}
+
+#[derive(Debug, Clone)]
+struct AcNode {
+    children: Vec<(u8, usize)>, // sparse transition list
+    fail: usize,
+    outputs: Vec<usize>, // rule indices ending here
+    depth: usize,
+}
+
+/// An Aho–Corasick automaton over a rule set.
+#[derive(Debug, Clone)]
+pub struct DpiEngine {
+    nodes: Vec<AcNode>,
+    rules: Vec<Rule>,
+}
+
+impl DpiEngine {
+    /// Compiles the automaton. Empty patterns are ignored.
+    pub fn build(rules: Vec<Rule>) -> Self {
+        let mut nodes = vec![AcNode {
+            children: Vec::new(),
+            fail: 0,
+            outputs: Vec::new(),
+            depth: 0,
+        }];
+        // Trie construction.
+        for (ri, rule) in rules.iter().enumerate() {
+            if rule.pattern.is_empty() {
+                continue;
+            }
+            let mut cur = 0usize;
+            for &b in &rule.pattern {
+                cur = match nodes[cur].children.iter().find(|&&(c, _)| c == b) {
+                    Some(&(_, next)) => next,
+                    None => {
+                        let depth = nodes[cur].depth + 1;
+                        nodes.push(AcNode {
+                            children: Vec::new(),
+                            fail: 0,
+                            outputs: Vec::new(),
+                            depth,
+                        });
+                        let next = nodes.len() - 1;
+                        nodes[cur].children.push((b, next));
+                        next
+                    }
+                };
+            }
+            nodes[cur].outputs.push(ri);
+        }
+        // Failure links via BFS.
+        let mut queue = VecDeque::new();
+        let root_children = nodes[0].children.clone();
+        for &(_, child) in &root_children {
+            nodes[child].fail = 0;
+            queue.push_back(child);
+        }
+        while let Some(n) = queue.pop_front() {
+            let children = nodes[n].children.clone();
+            for (b, child) in children {
+                // Follow failure links of the parent to find the deepest
+                // proper suffix state with a b-transition.
+                let mut f = nodes[n].fail;
+                let fail_target = loop {
+                    if let Some(&(_, t)) = nodes[f].children.iter().find(|&&(c, _)| c == b) {
+                        if t != child {
+                            break t;
+                        }
+                    }
+                    if f == 0 {
+                        break 0;
+                    }
+                    f = nodes[f].fail;
+                };
+                nodes[child].fail = fail_target;
+                let extra = nodes[fail_target].outputs.clone();
+                nodes[child].outputs.extend(extra);
+                queue.push_back(child);
+            }
+        }
+        DpiEngine { nodes, rules }
+    }
+
+    /// The compiled rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Scans `haystack`, returning all matches.
+    pub fn scan(&self, haystack: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        let mut state = 0usize;
+        for (i, &b) in haystack.iter().enumerate() {
+            loop {
+                if let Some(&(_, next)) =
+                    self.nodes[state].children.iter().find(|&&(c, _)| c == b)
+                {
+                    state = next;
+                    break;
+                }
+                if state == 0 {
+                    break;
+                }
+                state = self.nodes[state].fail;
+            }
+            for &rule in &self.nodes[state].outputs {
+                out.push(Match { rule, end: i + 1 });
+            }
+        }
+        out
+    }
+
+    /// Applies the rule set to a record: returns the verdict and, for
+    /// rewrites, the sanitised bytes.
+    pub fn inspect(&self, record: &[u8]) -> Verdict {
+        let matches = self.scan(record);
+        if matches.is_empty() {
+            return Verdict::Pass { alerts: 0 };
+        }
+        // Block wins over Rewrite wins over Alert.
+        if matches
+            .iter()
+            .any(|m| self.rules[m.rule].action == Action::Block)
+        {
+            return Verdict::Blocked {
+                alerts: matches.len(),
+            };
+        }
+        if matches
+            .iter()
+            .any(|m| self.rules[m.rule].action == Action::Rewrite)
+        {
+            let mut data = record.to_vec();
+            for m in &matches {
+                if self.rules[m.rule].action == Action::Rewrite {
+                    let len = self.rules[m.rule].pattern.len();
+                    for b in data[m.end - len..m.end].iter_mut() {
+                        *b = b'*';
+                    }
+                }
+            }
+            return Verdict::Rewritten {
+                data,
+                alerts: matches.len(),
+            };
+        }
+        Verdict::Pass {
+            alerts: matches.len(),
+        }
+    }
+
+    /// A canonical byte encoding of the rule set (part of the middlebox
+    /// code identity: endpoints approve a middlebox *with its rules*).
+    pub fn config_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in &self.rules {
+            out.push(match r.action {
+                Action::Alert => 0,
+                Action::Block => 1,
+                Action::Rewrite => 2,
+            });
+            out.extend_from_slice(&(r.pattern.len() as u16).to_le_bytes());
+            out.extend_from_slice(&r.pattern);
+        }
+        out
+    }
+}
+
+/// Result of inspecting one record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Forward unchanged; `alerts` rules fired with [`Action::Alert`].
+    Pass {
+        /// Number of matches observed.
+        alerts: usize,
+    },
+    /// Drop the record.
+    Blocked {
+        /// Number of matches observed.
+        alerts: usize,
+    },
+    /// Forward the sanitised bytes.
+    Rewritten {
+        /// Sanitised record plaintext.
+        data: Vec<u8>,
+        /// Number of matches observed.
+        alerts: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(patterns: &[(&[u8], Action)]) -> DpiEngine {
+        DpiEngine::build(
+            patterns
+                .iter()
+                .map(|(p, a)| Rule::new(p, *a))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn finds_single_pattern() {
+        let e = engine(&[(b"virus", Action::Alert)]);
+        let m = e.scan(b"this has a virus inside");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].rule, 0);
+        assert_eq!(m[0].end, 16);
+    }
+
+    #[test]
+    fn finds_overlapping_patterns() {
+        let e = engine(&[(b"he", Action::Alert), (b"she", Action::Alert), (b"hers", Action::Alert)]);
+        let m = e.scan(b"ushers");
+        // "she" ends at 4, "he" ends at 4, "hers" ends at 6.
+        let rules: Vec<usize> = m.iter().map(|m| m.rule).collect();
+        assert!(rules.contains(&0));
+        assert!(rules.contains(&1));
+        assert!(rules.contains(&2));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn repeated_matches() {
+        let e = engine(&[(b"ab", Action::Alert)]);
+        assert_eq!(e.scan(b"ababab").len(), 3);
+    }
+
+    #[test]
+    fn no_match() {
+        let e = engine(&[(b"malware", Action::Alert)]);
+        assert!(e.scan(b"perfectly clean traffic").is_empty());
+        assert!(e.scan(b"").is_empty());
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let e = engine(&[(&[0x00, 0xff, 0x00], Action::Alert)]);
+        assert_eq!(e.scan(&[0xab, 0x00, 0xff, 0x00, 0xcd]).len(), 1);
+    }
+
+    #[test]
+    fn inspect_pass_and_alert() {
+        let e = engine(&[(b"suspicious", Action::Alert)]);
+        assert_eq!(e.inspect(b"all good"), Verdict::Pass { alerts: 0 });
+        assert_eq!(
+            e.inspect(b"suspicious payload"),
+            Verdict::Pass { alerts: 1 }
+        );
+    }
+
+    #[test]
+    fn inspect_block_wins() {
+        let e = engine(&[(b"exfil", Action::Block), (b"exf", Action::Alert)]);
+        assert!(matches!(
+            e.inspect(b"data exfil attempt"),
+            Verdict::Blocked { .. }
+        ));
+    }
+
+    #[test]
+    fn inspect_rewrite_masks() {
+        let e = engine(&[(b"ssn=123456789", Action::Rewrite)]);
+        let v = e.inspect(b"payload ssn=123456789 end");
+        match v {
+            Verdict::Rewritten { data, alerts } => {
+                assert_eq!(alerts, 1);
+                assert_eq!(&data, b"payload ************* end");
+            }
+            other => panic!("expected rewrite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_bytes_distinguish_rule_sets() {
+        let a = engine(&[(b"x", Action::Alert)]);
+        let b = engine(&[(b"x", Action::Block)]);
+        let c = engine(&[(b"y", Action::Alert)]);
+        assert_ne!(a.config_bytes(), b.config_bytes());
+        assert_ne!(a.config_bytes(), c.config_bytes());
+    }
+
+    #[test]
+    fn empty_patterns_ignored() {
+        let e = engine(&[(b"", Action::Alert), (b"real", Action::Alert)]);
+        let m = e.scan(b"the real thing");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].rule, 1);
+    }
+}

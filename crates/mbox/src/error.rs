@@ -1,0 +1,59 @@
+//! Error type for the middlebox crate.
+
+use core::fmt;
+use teenet::TeenetError;
+use teenet_sgx::SgxError;
+use teenet_tls::TlsError;
+
+/// Errors from provisioning or record processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MboxError {
+    /// A provisioning message was malformed.
+    BadProvision(&'static str),
+    /// Session is unknown or not yet active.
+    Session(&'static str),
+    /// The record was blocked by policy.
+    Blocked,
+    /// Underlying TLS failure.
+    Tls(TlsError),
+    /// Underlying attestation failure.
+    Teenet(TeenetError),
+    /// Underlying SGX failure.
+    Sgx(SgxError),
+}
+
+impl fmt::Display for MboxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MboxError::BadProvision(w) => write!(f, "bad provisioning message: {w}"),
+            MboxError::Session(w) => write!(f, "session error: {w}"),
+            MboxError::Blocked => write!(f, "record blocked by policy"),
+            MboxError::Tls(e) => write!(f, "tls error: {e}"),
+            MboxError::Teenet(e) => write!(f, "attestation error: {e}"),
+            MboxError::Sgx(e) => write!(f, "sgx error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MboxError {}
+
+impl From<TlsError> for MboxError {
+    fn from(e: TlsError) -> Self {
+        MboxError::Tls(e)
+    }
+}
+
+impl From<TeenetError> for MboxError {
+    fn from(e: TeenetError) -> Self {
+        MboxError::Teenet(e)
+    }
+}
+
+impl From<SgxError> for MboxError {
+    fn from(e: SgxError) -> Self {
+        MboxError::Sgx(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = core::result::Result<T, MboxError>;

@@ -1,0 +1,184 @@
+//! The session-key release protocol of §3.3.
+//!
+//! "The key idea is that endpoints use a remote attestation to
+//! authenticate middleboxes and give their session keys through the secure
+//! channel to in-path middleboxes." A [`ProvisionMsg`] is what travels
+//! that channel: the TLS session keys, the current sequence numbers (so a
+//! middlebox can join mid-stream), and which endpoint released them.
+
+use teenet_crypto::sha256::sha256;
+use teenet_tls::record::DirectionKeys;
+use teenet_tls::session::SessionKeys;
+use teenet_tls::CipherSuite;
+
+use crate::error::{MboxError, Result};
+
+/// Which endpoint released the keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EndpointRole {
+    /// The TLS client.
+    Client = 0,
+    /// The TLS server.
+    Server = 1,
+}
+
+/// A key-release message (sent only over the attestation-bootstrapped
+/// secure channel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvisionMsg {
+    /// Who is releasing the keys.
+    pub role: EndpointRole,
+    /// The full session keying material.
+    pub keys: SessionKeys,
+    /// Client→server records already sent.
+    pub seq_c2s: u64,
+    /// Server→client records already sent.
+    pub seq_s2c: u64,
+}
+
+/// Stable 8-byte identifier of a TLS session (derived from its keys, not
+/// its sequence state).
+pub fn session_id(keys: &SessionKeys) -> [u8; 8] {
+    let mut buf = Vec::new();
+    buf.push(keys.suite as u8);
+    buf.extend_from_slice(&keys.client_write.enc_key);
+    buf.extend_from_slice(&keys.client_write.mac_key);
+    buf.extend_from_slice(&keys.server_write.enc_key);
+    buf.extend_from_slice(&keys.server_write.mac_key);
+    sha256(&buf)[..8].try_into().expect("8 bytes")
+}
+
+impl ProvisionMsg {
+    /// Wire encoding (travels encrypted inside the secure channel).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(self.role as u8);
+        out.push(self.keys.suite as u8);
+        let put_dir = |out: &mut Vec<u8>, d: &DirectionKeys| {
+            out.extend_from_slice(&(d.enc_key.len() as u16).to_le_bytes());
+            out.extend_from_slice(&d.enc_key);
+            out.extend_from_slice(&d.mac_key);
+        };
+        put_dir(&mut out, &self.keys.client_write);
+        put_dir(&mut out, &self.keys.server_write);
+        out.extend_from_slice(&self.seq_c2s.to_le_bytes());
+        out.extend_from_slice(&self.seq_s2c.to_le_bytes());
+        out
+    }
+
+    /// Parses [`ProvisionMsg::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Self> {
+        let mut off = 0usize;
+        let take = |buf: &[u8], off: &mut usize, n: usize| -> Result<Vec<u8>> {
+            let s = buf
+                .get(*off..*off + n)
+                .ok_or(MboxError::BadProvision("truncated"))?;
+            *off += n;
+            Ok(s.to_vec())
+        };
+        let role = match *buf.first().ok_or(MboxError::BadProvision("empty"))? {
+            0 => EndpointRole::Client,
+            1 => EndpointRole::Server,
+            _ => return Err(MboxError::BadProvision("role")),
+        };
+        off += 1;
+        let suite = CipherSuite::from_u8(
+            *buf.get(off).ok_or(MboxError::BadProvision("suite"))?,
+        )
+        .ok_or(MboxError::BadProvision("suite"))?;
+        off += 1;
+        let read_dir = |buf: &[u8], off: &mut usize| -> Result<DirectionKeys> {
+            let len_bytes = take(buf, off, 2)?;
+            let len = u16::from_le_bytes([len_bytes[0], len_bytes[1]]) as usize;
+            let enc_key = take(buf, off, len)?;
+            let mac_key: [u8; 32] = take(buf, off, 32)?
+                .try_into()
+                .map_err(|_| MboxError::BadProvision("mac key"))?;
+            Ok(DirectionKeys { enc_key, mac_key })
+        };
+        let client_write = read_dir(buf, &mut off)?;
+        let server_write = read_dir(buf, &mut off)?;
+        let seq_c2s = u64::from_le_bytes(
+            take(buf, &mut off, 8)?
+                .try_into()
+                .map_err(|_| MboxError::BadProvision("seq"))?,
+        );
+        let seq_s2c = u64::from_le_bytes(
+            take(buf, &mut off, 8)?
+                .try_into()
+                .map_err(|_| MboxError::BadProvision("seq"))?,
+        );
+        if off != buf.len() {
+            return Err(MboxError::BadProvision("trailing bytes"));
+        }
+        Ok(ProvisionMsg {
+            role,
+            keys: SessionKeys {
+                suite,
+                client_write,
+                server_write,
+            },
+            seq_c2s,
+            seq_s2c,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> SessionKeys {
+        SessionKeys {
+            suite: CipherSuite::Aes128CtrHmacSha256,
+            client_write: DirectionKeys {
+                enc_key: vec![1u8; 16],
+                mac_key: [2u8; 32],
+            },
+            server_write: DirectionKeys {
+                enc_key: vec![3u8; 16],
+                mac_key: [4u8; 32],
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let msg = ProvisionMsg {
+            role: EndpointRole::Server,
+            keys: keys(),
+            seq_c2s: 7,
+            seq_s2c: 9,
+        };
+        let parsed = ProvisionMsg::from_bytes(&msg.to_bytes()).unwrap();
+        assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(ProvisionMsg::from_bytes(&[]).is_err());
+        assert!(ProvisionMsg::from_bytes(&[9]).is_err());
+        let msg = ProvisionMsg {
+            role: EndpointRole::Client,
+            keys: keys(),
+            seq_c2s: 0,
+            seq_s2c: 0,
+        };
+        let mut bytes = msg.to_bytes();
+        bytes.push(0);
+        assert!(ProvisionMsg::from_bytes(&bytes).is_err());
+        let bytes = msg.to_bytes();
+        assert!(ProvisionMsg::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn session_id_stable_and_distinct() {
+        let a = session_id(&keys());
+        let b = session_id(&keys());
+        assert_eq!(a, b);
+        let mut other = keys();
+        other.client_write.enc_key[0] ^= 1;
+        assert_ne!(a, session_id(&other));
+    }
+}

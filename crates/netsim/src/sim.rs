@@ -1,0 +1,551 @@
+//! The deterministic discrete-event network simulator.
+//!
+//! Event-driven in the smoltcp spirit: no threads, no wall-clock — a
+//! binary-heap event queue ordered by `(time, sequence)` so identical
+//! inputs replay identically. Nodes exchange datagrams over configured
+//! links with latency, bandwidth-derived serialisation delay, and optional
+//! fault injection.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use bytes::Bytes;
+use teenet_crypto::SecureRng;
+
+use crate::fault::{FaultConfig, FaultDecision, FaultInjector};
+use crate::packet::{NodeId, Packet};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceEvent, TraceRecord};
+
+/// Properties of a unidirectional link.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Propagation latency.
+    pub latency: SimDuration,
+    /// Bandwidth in bytes per second (`None` = infinite).
+    pub bandwidth_bps: Option<u64>,
+    /// Fault injection on this link.
+    pub faults: FaultConfig,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: SimDuration::from_millis(1),
+            bandwidth_bps: None,
+            faults: FaultConfig::default(),
+        }
+    }
+}
+
+struct Link {
+    config: LinkConfig,
+    injector: Option<FaultInjector>,
+    /// When the link is next free to begin serialising (FIFO queueing).
+    next_free: SimTime,
+}
+
+#[derive(Default)]
+struct Node {
+    inbox: VecDeque<Packet>,
+}
+
+#[derive(PartialEq, Eq)]
+struct Delivery {
+    at: SimTime,
+    seq: u64,
+    packet: Packet,
+    corrupted: bool,
+    duplicated: bool,
+}
+
+impl Ord for Delivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Delivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulated network.
+pub struct Network {
+    now: SimTime,
+    nodes: Vec<Node>,
+    links: HashMap<(NodeId, NodeId), Link>,
+    queue: BinaryHeap<Reverse<Delivery>>,
+    next_packet_id: u64,
+    next_seq: u64,
+    rng: SecureRng,
+    /// Packet trace (always on; payload capture opt-in via
+    /// [`Network::enable_pcap`]).
+    pub trace: Trace,
+}
+
+impl Network {
+    /// Creates an empty network; `seed` drives all fault randomness.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            now: SimTime::ZERO,
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            queue: BinaryHeap::new(),
+            next_packet_id: 0,
+            next_seq: 0,
+            rng: SecureRng::seed_from_u64(seed),
+            trace: Trace::new(),
+        }
+    }
+
+    /// Switches the trace to payload-capturing mode (for pcap export).
+    /// Discards any existing trace records.
+    pub fn enable_pcap(&mut self) {
+        self.trace = Trace::with_payloads();
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::default());
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Configures the unidirectional link `src → dst`.
+    pub fn add_link(&mut self, src: NodeId, dst: NodeId, config: LinkConfig) {
+        let injector = if config.faults.is_clean() {
+            None
+        } else {
+            let label = [
+                b"link".as_slice(),
+                &src.0.to_le_bytes(),
+                &dst.0.to_le_bytes(),
+            ]
+            .concat();
+            Some(FaultInjector::new(
+                config.faults.clone(),
+                self.rng.fork(&label),
+            ))
+        };
+        self.links.insert(
+            (src, dst),
+            Link {
+                config,
+                injector,
+                next_free: SimTime::ZERO,
+            },
+        );
+    }
+
+    /// Configures a symmetric (bidirectional) link.
+    pub fn add_duplex_link(&mut self, a: NodeId, b: NodeId, config: LinkConfig) {
+        self.add_link(a, b, config.clone());
+        self.add_link(b, a, config);
+    }
+
+    /// Fully connects all current nodes with `config` links.
+    pub fn connect_all(&mut self, config: LinkConfig) {
+        let n = self.nodes.len() as u32;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    self.add_link(NodeId(i), NodeId(j), config.clone());
+                }
+            }
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends a datagram; returns the packet id, or `None` if no link exists
+    /// (the datagram is dropped, mirroring a missing route).
+    pub fn send(&mut self, src: NodeId, dst: NodeId, payload: impl Into<Bytes>) -> Option<u64> {
+        let payload: Bytes = payload.into();
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        let now = self.now;
+
+        let Some(link) = self.links.get_mut(&(src, dst)) else {
+            self.trace.record(
+                TraceRecord {
+                    time: now,
+                    event: TraceEvent::Dropped,
+                    packet_id: id,
+                    src,
+                    dst,
+                    len: payload.len(),
+                },
+                None,
+            );
+            return None;
+        };
+
+        self.trace.record(
+            TraceRecord {
+                time: now,
+                event: TraceEvent::Sent,
+                packet_id: id,
+                src,
+                dst,
+                len: payload.len(),
+            },
+            None,
+        );
+
+        // FIFO serialisation: transmission begins when the link is free.
+        let start = link.next_free.max(now);
+        let serialisation = match link.config.bandwidth_bps {
+            Some(bps) if bps > 0 => {
+                SimDuration((payload.len() as u64).saturating_mul(1_000_000_000) / bps)
+            }
+            _ => SimDuration::ZERO,
+        };
+        link.next_free = start + serialisation;
+        let mut arrival = start + serialisation + link.config.latency;
+
+        let mut corrupted = false;
+        let mut duplicated = false;
+        if let Some(injector) = &mut link.injector {
+            match injector.decide(now) {
+                FaultDecision::Drop => {
+                    self.trace.record(
+                        TraceRecord {
+                            time: now,
+                            event: TraceEvent::Dropped,
+                            packet_id: id,
+                            src,
+                            dst,
+                            len: payload.len(),
+                        },
+                        None,
+                    );
+                    return Some(id);
+                }
+                FaultDecision::Corrupt => corrupted = true,
+                FaultDecision::Duplicate => duplicated = true,
+                FaultDecision::Delay(extra) => arrival += extra,
+                FaultDecision::Deliver => {}
+            }
+        }
+
+        let mut bytes = payload.to_vec();
+        if corrupted {
+            if let Some(injector) = &mut link.injector {
+                injector.corrupt(&mut bytes);
+            }
+        }
+        let packet = Packet {
+            id,
+            src,
+            dst,
+            payload: Bytes::from(bytes),
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Delivery {
+            at: arrival,
+            seq,
+            packet: packet.clone(),
+            corrupted,
+            duplicated: false,
+        }));
+        if duplicated {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.queue.push(Reverse(Delivery {
+                at: arrival + SimDuration::from_micros(1),
+                seq,
+                packet,
+                corrupted: false,
+                duplicated: true,
+            }));
+        }
+        Some(id)
+    }
+
+    /// Processes events up to and including `until`, advancing the clock.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(Reverse(next)) = self.queue.peek() {
+            if next.at > until {
+                break;
+            }
+            let Reverse(delivery) = self.queue.pop().expect("peeked");
+            self.now = delivery.at;
+            let event = if delivery.corrupted {
+                TraceEvent::Corrupted
+            } else if delivery.duplicated {
+                TraceEvent::Duplicated
+            } else {
+                TraceEvent::Delivered
+            };
+            self.trace.record(
+                TraceRecord {
+                    time: delivery.at,
+                    event,
+                    packet_id: delivery.packet.id,
+                    src: delivery.packet.src,
+                    dst: delivery.packet.dst,
+                    len: delivery.packet.len(),
+                },
+                Some(&delivery.packet),
+            );
+            let dst = delivery.packet.dst.0 as usize;
+            if let Some(node) = self.nodes.get_mut(dst) {
+                node.inbox.push_back(delivery.packet);
+            }
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Processes all queued events (runs the network to quiescence).
+    pub fn run_to_idle(&mut self) {
+        while let Some(Reverse(next)) = self.queue.peek() {
+            let at = next.at;
+            self.run_until(at);
+        }
+    }
+
+    /// Pops the next delivered packet at `node`, if any.
+    pub fn recv(&mut self, node: NodeId) -> Option<Packet> {
+        self.nodes.get_mut(node.0 as usize)?.inbox.pop_front()
+    }
+
+    /// Drains all delivered packets at `node`.
+    pub fn recv_all(&mut self, node: NodeId) -> Vec<Packet> {
+        match self.nodes.get_mut(node.0 as usize) {
+            Some(n) => n.inbox.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of packets waiting at `node`.
+    pub fn pending(&self, node: NodeId) -> usize {
+        self.nodes
+            .get(node.0 as usize)
+            .map_or(0, |n| n.inbox.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::RateLimit;
+
+    fn two_node_net(config: LinkConfig) -> (Network, NodeId, NodeId) {
+        let mut net = Network::new(1);
+        let a = net.add_node();
+        let b = net.add_node();
+        net.add_duplex_link(a, b, config);
+        (net, a, b)
+    }
+
+    #[test]
+    fn basic_delivery_with_latency() {
+        let (mut net, a, b) = two_node_net(LinkConfig {
+            latency: SimDuration::from_millis(5),
+            ..Default::default()
+        });
+        net.send(a, b, &b"hello"[..]);
+        net.run_until(SimTime::ZERO + SimDuration::from_millis(4));
+        assert_eq!(net.pending(b), 0, "not yet arrived");
+        net.run_until(SimTime::ZERO + SimDuration::from_millis(5));
+        let p = net.recv(b).expect("delivered");
+        assert_eq!(&p.payload[..], b"hello");
+        assert_eq!(net.now(), SimTime::ZERO + SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn no_link_means_drop() {
+        let mut net = Network::new(1);
+        let a = net.add_node();
+        let b = net.add_node();
+        assert_eq!(net.send(a, b, &b"x"[..]), None);
+        net.run_to_idle();
+        assert_eq!(net.pending(b), 0);
+        assert_eq!(net.trace.count(TraceEvent::Dropped), 1);
+    }
+
+    #[test]
+    fn bandwidth_adds_serialisation_delay() {
+        // 1000 bytes at 1 MB/s = 1 ms serialisation + 1 ms latency.
+        let (mut net, a, b) = two_node_net(LinkConfig {
+            latency: SimDuration::from_millis(1),
+            bandwidth_bps: Some(1_000_000),
+            ..Default::default()
+        });
+        net.send(a, b, vec![0u8; 1000]);
+        net.run_until(SimTime::ZERO + SimDuration::from_micros(1_999));
+        assert_eq!(net.pending(b), 0);
+        net.run_until(SimTime::ZERO + SimDuration::from_millis(2));
+        assert_eq!(net.pending(b), 1);
+    }
+
+    #[test]
+    fn fifo_queueing_on_shared_link() {
+        // Two back-to-back 1000-byte packets: the second waits for the
+        // first to serialise.
+        let (mut net, a, b) = two_node_net(LinkConfig {
+            latency: SimDuration::ZERO,
+            bandwidth_bps: Some(1_000_000),
+            ..Default::default()
+        });
+        net.send(a, b, vec![1u8; 1000]);
+        net.send(a, b, vec![2u8; 1000]);
+        net.run_until(SimTime::ZERO + SimDuration::from_millis(1));
+        assert_eq!(net.pending(b), 1);
+        net.run_until(SimTime::ZERO + SimDuration::from_millis(2));
+        assert_eq!(net.pending(b), 2);
+        // Order preserved.
+        assert_eq!(net.recv(b).unwrap().payload[0], 1);
+        assert_eq!(net.recv(b).unwrap().payload[0], 2);
+    }
+
+    #[test]
+    fn run_to_idle_delivers_everything() {
+        let (mut net, a, b) = two_node_net(LinkConfig::default());
+        for i in 0..10u8 {
+            net.send(a, b, vec![i]);
+        }
+        net.run_to_idle();
+        assert_eq!(net.recv_all(b).len(), 10);
+    }
+
+    #[test]
+    fn drop_faults_lose_packets() {
+        let (mut net, a, b) = two_node_net(LinkConfig {
+            faults: FaultConfig {
+                drop_chance: 1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        net.send(a, b, &b"doomed"[..]);
+        net.run_to_idle();
+        assert_eq!(net.pending(b), 0);
+        assert_eq!(net.trace.count(TraceEvent::Dropped), 1);
+    }
+
+    #[test]
+    fn corruption_faults_flip_a_byte() {
+        let (mut net, a, b) = two_node_net(LinkConfig {
+            faults: FaultConfig {
+                corrupt_chance: 1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        net.send(a, b, &b"pristine"[..]);
+        net.run_to_idle();
+        let p = net.recv(b).unwrap();
+        assert_ne!(&p.payload[..], b"pristine");
+        assert_eq!(p.len(), 8);
+        assert_eq!(net.trace.count(TraceEvent::Corrupted), 1);
+    }
+
+    #[test]
+    fn duplication_faults_deliver_twice() {
+        let (mut net, a, b) = two_node_net(LinkConfig {
+            faults: FaultConfig {
+                duplicate_chance: 1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        net.send(a, b, &b"twice"[..]);
+        net.run_to_idle();
+        assert_eq!(net.pending(b), 2);
+    }
+
+    #[test]
+    fn rate_limited_link_drops_excess() {
+        let (mut net, a, b) = two_node_net(LinkConfig {
+            faults: FaultConfig {
+                rate_limit: Some(RateLimit {
+                    tokens_per_interval: 3,
+                    interval: SimDuration::from_secs(1),
+                }),
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        for _ in 0..10 {
+            net.send(a, b, &b"p"[..]);
+        }
+        net.run_to_idle();
+        assert_eq!(net.pending(b), 3);
+    }
+
+    #[test]
+    fn identical_seeds_identical_traces() {
+        let build = || {
+            let (mut net, a, b) = two_node_net(LinkConfig {
+                faults: FaultConfig::lossy(),
+                ..Default::default()
+            });
+            for i in 0..50u8 {
+                net.send(a, b, vec![i]);
+            }
+            net.run_to_idle();
+            net.recv_all(b)
+                .iter()
+                .map(|p| p.payload.to_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn bidirectional_traffic() {
+        let (mut net, a, b) = two_node_net(LinkConfig::default());
+        net.send(a, b, &b"ping"[..]);
+        net.run_to_idle();
+        assert_eq!(&net.recv(b).unwrap().payload[..], b"ping");
+        net.send(b, a, &b"pong"[..]);
+        net.run_to_idle();
+        assert_eq!(&net.recv(a).unwrap().payload[..], b"pong");
+    }
+
+    #[test]
+    fn connect_all_creates_full_mesh() {
+        let mut net = Network::new(1);
+        let nodes: Vec<NodeId> = (0..4).map(|_| net.add_node()).collect();
+        net.connect_all(LinkConfig::default());
+        for &x in &nodes {
+            for &y in &nodes {
+                if x != y {
+                    assert!(net.send(x, y, &b"m"[..]).is_some());
+                }
+            }
+        }
+        net.run_to_idle();
+        for &n in &nodes {
+            assert_eq!(net.pending(n), 3);
+        }
+    }
+
+    #[test]
+    fn pcap_capture_contains_delivered_payloads() {
+        let mut net = Network::new(1);
+        net.enable_pcap();
+        let a = net.add_node();
+        let b = net.add_node();
+        net.add_duplex_link(a, b, LinkConfig::default());
+        net.send(a, b, &b"captured"[..]);
+        net.run_to_idle();
+        let pcap = net.trace.to_pcap();
+        assert!(pcap.len() > 24);
+        assert!(pcap
+            .windows(8)
+            .any(|w| w == b"captured"));
+    }
+}

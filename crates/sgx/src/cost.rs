@@ -1,0 +1,273 @@
+//! Instruction and cycle accounting — the reproduction's measurement model.
+//!
+//! The paper characterises overhead as two counters per enclave role:
+//! **SGX(U) instructions** (user-mode SGX instructions: EENTER, EEXIT,
+//! EREPORT, EGETKEY, …) and **normal instructions**, then converts to cycles
+//! with (§5 footnote 6):
+//!
+//! ```text
+//! cycles = 10_000 × #SGX_instructions + IPC × #normal_instructions
+//! ```
+//!
+//! where "IPC" is 1.8 (dimensionally cycles-per-instruction; we keep the
+//! paper's arithmetic so our cycle numbers are directly comparable, and call
+//! the constant [`CostModel::cpi`]).
+//!
+//! OpenSGX counted instructions of real x86 binaries; we execute Rust, so we
+//! charge each primitive operation a fixed normal-instruction cost instead.
+//! The constants below are calibrated once against the paper's
+//! micro-measurements (Tables 1 and 2) and then held fixed for the macro
+//! experiments (Tables 3–4, Figure 3), which therefore are *predictions* of
+//! the model rather than fits. Provenance of each constant:
+//!
+//! | constant | calibrated from |
+//! |---|---|
+//! | `modexp_1024` = 112 M | Table 1: challenger w/ DH − w/o DH = 224 M over two modexps (keygen + shared secret) |
+//! | `dh_param_gen` = 4 060 M | Table 1: target w/ DH − w/o DH − 2 modexps (the target generates the DH parameters, which dominates: "the Diffie-Hellman key exchange takes up 90% of the cycles") |
+//! | `quote_sign`/`quote_verify` = 112 M | Table 1: quoting 125 M and challenger 124 M w/o DH are dominated by one public-key operation each |
+//! | `aes_key_schedule` = 75 600 | Table 2: crypto − non-crypto for 1 packet (84 K) minus one MTU encryption |
+//! | `aes_block` = 81 | Table 2: crypto delta per packet across the 100-packet batch (≈7.6 K per 1500 B MTU = 94 blocks) |
+//! | `packet_copy` = 1 250, `send_base` = 11 750 | Table 2: w/o crypto column (13 K for 1, 136 K for 100) |
+//! | SGX instr per I/O: 2/packet + 4/batch | Table 2: 6 for 1 packet, 204 for 100 |
+
+/// Counters of executed instructions, split the way the paper reports them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// User-mode SGX instructions (EENTER/EEXIT/ERESUME/EREPORT/EGETKEY/…).
+    pub sgx_instr: u64,
+    /// Ordinary instructions executed (modelled).
+    pub normal_instr: u64,
+}
+
+impl Counters {
+    /// A zeroed counter pair.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` SGX instructions.
+    pub fn sgx(&mut self, n: u64) {
+        self.sgx_instr += n;
+    }
+
+    /// Adds `n` normal instructions.
+    pub fn normal(&mut self, n: u64) {
+        self.normal_instr += n;
+    }
+
+    /// Accumulates another counter pair into this one.
+    pub fn merge(&mut self, other: Counters) {
+        self.sgx_instr += other.sgx_instr;
+        self.normal_instr += other.normal_instr;
+    }
+
+    /// Difference since an earlier snapshot (`self - earlier`).
+    pub fn since(&self, earlier: Counters) -> Counters {
+        Counters {
+            sgx_instr: self.sgx_instr - earlier.sgx_instr,
+            normal_instr: self.normal_instr - earlier.normal_instr,
+        }
+    }
+
+    /// Converts to CPU cycles under `model` (paper §5 fn. 6).
+    pub fn cycles(&self, model: &CostModel) -> u64 {
+        self.sgx_instr * model.sgx_instr_cycles
+            + (self.normal_instr as f64 * model.cpi) as u64
+    }
+}
+
+/// The calibrated cost model. All costs in normal instructions unless noted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Cycles charged per SGX instruction (paper assumes 10 000).
+    pub sgx_instr_cycles: u64,
+    /// Cycles per normal instruction (paper's "IPC" of 1.8).
+    pub cpi: f64,
+
+    // --- public-key cryptography ---
+    /// One 1024-bit modular exponentiation.
+    pub modexp_1024: u64,
+    /// Diffie–Hellman parameter (prime) generation, 1024-bit.
+    pub dh_param_gen: u64,
+    /// Signing a QUOTE in the quoting enclave (EPID stand-in).
+    pub quote_sign: u64,
+    /// Verifying a QUOTE signature in the challenger.
+    pub quote_verify: u64,
+
+    // --- symmetric cryptography ---
+    /// AES-128 key schedule.
+    pub aes_key_schedule: u64,
+    /// One AES-128 block operation (16 bytes).
+    pub aes_block: u64,
+    /// One SHA-256 compression (64 bytes).
+    pub sha256_block: u64,
+    /// One HMAC-SHA256 over a short message (fixed approximation).
+    pub hmac_short: u64,
+
+    // --- enclave I/O (Table 2 model) ---
+    /// Fixed normal-instruction cost per send batch (syscall path, buffers).
+    pub send_base: u64,
+    /// Per-packet copy in/out of the enclave.
+    pub packet_copy: u64,
+    /// SGX instructions per send batch (ocall setup + completion).
+    pub io_batch_sgx: u64,
+    /// SGX instructions per packet within a batch (exit + resume).
+    pub io_packet_sgx: u64,
+
+    // --- enclave memory management ---
+    /// Normal instructions per dynamic allocation inside the enclave
+    /// (EPC page-fault handling, EACCEPT-style bookkeeping).
+    pub alloc_base: u64,
+    /// Additional normal instructions per 4 KiB EPC page touched.
+    pub alloc_page: u64,
+    /// Normal instructions per page evicted to main memory (EWB: encrypt
+    /// + MAC a 4 KiB page, plus versioning bookkeeping).
+    pub ewb_page: u64,
+
+    // --- misc attestation bookkeeping (Table 1 residuals) ---
+    /// Target-enclave attestation base (report generation, intra-attestation
+    /// with the quoting enclave, message marshalling).
+    pub attest_target_base: u64,
+    /// Quoting-enclave base besides the quote signature.
+    pub attest_quote_base: u64,
+    /// Challenger base besides signature verification.
+    pub attest_challenger_base: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl CostModel {
+    /// The model calibrated to the paper's Tables 1–2 (see module docs).
+    pub fn paper() -> Self {
+        CostModel {
+            sgx_instr_cycles: 10_000,
+            cpi: 1.8,
+            modexp_1024: 112_000_000,
+            dh_param_gen: 3_960_000_000,
+            quote_sign: 112_000_000,
+            quote_verify: 112_000_000,
+            aes_key_schedule: 75_600,
+            aes_block: 81,
+            sha256_block: 300,
+            hmac_short: 1_500,
+            send_base: 11_750,
+            packet_copy: 1_250,
+            io_batch_sgx: 4,
+            io_packet_sgx: 2,
+            alloc_base: 1_800,
+            alloc_page: 3_200,
+            ewb_page: 25_000,
+            attest_target_base: 154_000_000,
+            attest_quote_base: 13_000_000,
+            attest_challenger_base: 12_000_000,
+        }
+    }
+
+    /// Cost of a modular exponentiation at `bits` modulus size
+    /// (cubic scaling from the calibrated 1024-bit cost).
+    pub fn modexp(&self, bits: usize) -> u64 {
+        let ratio = bits as f64 / 1024.0;
+        (self.modexp_1024 as f64 * ratio * ratio * ratio) as u64
+    }
+
+    /// Cost of AES-encrypting `len` bytes (excluding key schedule).
+    pub fn aes_bytes(&self, len: usize) -> u64 {
+        (len.div_ceil(16) as u64) * self.aes_block
+    }
+
+    /// Cost of SHA-256 hashing `len` bytes.
+    pub fn sha256_bytes(&self, len: usize) -> u64 {
+        // One compression per 64-byte block plus one for padding.
+        (len as u64 / 64 + 1) * self.sha256_block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let mut c = Counters::new();
+        c.sgx(3);
+        c.normal(1000);
+        let snap = c;
+        c.sgx(2);
+        c.normal(500);
+        let d = c.since(snap);
+        assert_eq!(d.sgx_instr, 2);
+        assert_eq!(d.normal_instr, 500);
+        let mut m = Counters::new();
+        m.merge(c);
+        assert_eq!(m, c);
+    }
+
+    #[test]
+    fn cycle_formula_matches_paper_challenger() {
+        // Paper §5: "The challenger enclave consumes 626M cycles" with 8
+        // SGX(U) and 348M normal instructions (w/ DH).
+        let model = CostModel::paper();
+        let c = Counters {
+            sgx_instr: 8,
+            normal_instr: 348_000_000,
+        };
+        let cycles = c.cycles(&model);
+        // 8 * 10_000 + 1.8 * 348M = 626.48M
+        assert_eq!(cycles, 80_000 + 626_400_000);
+    }
+
+    #[test]
+    fn cycle_formula_matches_paper_remote_platform() {
+        // Paper: "the quoting and target enclave [...] consumes 8033M cycles"
+        // = (4338M + 125M) * 1.8 + (20 + 17) * 10K ≈ 8033.77M.
+        let model = CostModel::paper();
+        let c = Counters {
+            sgx_instr: 37,
+            normal_instr: 4_463_000_000,
+        };
+        let cycles = c.cycles(&model);
+        assert!((8_000_000_000..8_100_000_000).contains(&cycles), "{cycles}");
+    }
+
+    #[test]
+    fn modexp_scales_cubically() {
+        let m = CostModel::paper();
+        assert_eq!(m.modexp(1024), m.modexp_1024);
+        assert_eq!(m.modexp(2048), m.modexp_1024 * 8);
+        assert!(m.modexp(768) < m.modexp_1024 / 2);
+    }
+
+    #[test]
+    fn aes_cost_rounds_up_blocks() {
+        let m = CostModel::paper();
+        assert_eq!(m.aes_bytes(16), m.aes_block);
+        assert_eq!(m.aes_bytes(17), 2 * m.aes_block);
+        assert_eq!(m.aes_bytes(1500), 94 * m.aes_block);
+    }
+
+    #[test]
+    fn table2_calibration_single_packet() {
+        // Reproduce Table 2's "1 packet w/o crypto ≈ 13K" and "w/ crypto ≈ 97K".
+        let m = CostModel::paper();
+        let without = m.send_base + m.packet_copy;
+        assert!((12_000..14_000).contains(&without), "{without}");
+        let with = without + m.aes_key_schedule + m.aes_bytes(1500);
+        assert!((95_000..99_000).contains(&with), "{with}");
+    }
+
+    #[test]
+    fn table2_calibration_batch() {
+        // "100 packets w/o crypto ≈ 136K, w/ crypto ≈ 972K; 204 SGX instr".
+        let m = CostModel::paper();
+        let without = m.send_base + 100 * m.packet_copy;
+        assert!((130_000..140_000).contains(&without), "{without}");
+        let with = without + m.aes_key_schedule + 100 * m.aes_bytes(1500);
+        assert!((950_000..990_000).contains(&with), "{with}");
+        let sgx = m.io_batch_sgx + 100 * m.io_packet_sgx;
+        assert_eq!(sgx, 204);
+    }
+}

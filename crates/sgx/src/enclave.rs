@@ -1,0 +1,262 @@
+//! Enclaves, enclave programs and the in-enclave execution context.
+//!
+//! An *enclave program* is the application logic that would be compiled
+//! into a real enclave binary. Its **identity** is the measurement of its
+//! [`EnclaveProgram::code_image`] — a canonical byte serialisation of the
+//! code and static configuration. Two behaviourally different programs
+//! (e.g. a legitimate Tor OR and one modified to snoop, paper §3.2) must
+//! produce different images, which is what makes attestation-based
+//! exclusion of tampered nodes work in the case studies.
+
+use teenet_crypto::SecureRng;
+
+use crate::cost::{CostModel, Counters};
+use crate::epc::{Epc, PageType};
+use crate::error::{Result, SgxError};
+use crate::keys::{derive_key, KeyRequest};
+use crate::measurement::{Measurement, PAGE_SIZE};
+use crate::ocall::HostCalls;
+use crate::report::{ereport, Report, ReportBody, TargetInfo, REPORT_DATA_LEN};
+use crate::seal::{seal, unseal, SealedBlob};
+
+/// Identifier of a loaded enclave within one platform.
+pub type EnclaveId = u64;
+
+/// Application logic executed inside an enclave.
+pub trait EnclaveProgram {
+    /// Canonical byte image of the program; its hash is the MRENCLAVE.
+    ///
+    /// Must cover everything behaviour-defining (code version, static
+    /// configuration); anything an attacker could change to alter behaviour
+    /// belongs in the image.
+    fn code_image(&self) -> Vec<u8>;
+
+    /// Handles an ecall with function id `fn_id` and marshalled `input`.
+    fn ecall(&mut self, ctx: &mut EnclaveCtx<'_>, fn_id: u64, input: &[u8]) -> Result<Vec<u8>>;
+}
+
+/// A loaded enclave instance.
+pub struct Enclave {
+    /// Platform-local id.
+    pub id: EnclaveId,
+    /// Code identity.
+    pub mrenclave: Measurement,
+    /// Author identity.
+    pub mrsigner: Measurement,
+    /// Security version from the SIGSTRUCT.
+    pub isv_svn: u16,
+    /// Instructions executed inside (and on behalf of) this enclave.
+    pub counters: Counters,
+    pub(crate) program: Option<Box<dyn EnclaveProgram>>,
+    pub(crate) next_alloc_offset: usize,
+    pub(crate) heap_used: usize,
+    pub(crate) destroyed: bool,
+}
+
+/// Everything an enclave program can reach while executing: the "hardware"
+/// interface (EGETKEY, EREPORT, randomness), the cost accounting, dynamic
+/// memory, and the untrusted host (ocalls).
+pub struct EnclaveCtx<'a> {
+    /// Cost counters of the running enclave (charged as the program runs).
+    pub counters: &'a mut Counters,
+    /// The platform cost model.
+    pub model: &'a CostModel,
+    /// The running enclave's own identity.
+    pub mrenclave: Measurement,
+    /// The running enclave's author identity.
+    pub mrsigner: Measurement,
+    /// The running enclave's security version.
+    pub isv_svn: u16,
+    pub(crate) device_key: &'a [u8; 32],
+    pub(crate) rng: &'a mut SecureRng,
+    pub(crate) host: &'a mut dyn HostCalls,
+    pub(crate) epc: &'a mut Epc,
+    pub(crate) enclave_id: EnclaveId,
+    pub(crate) next_alloc_offset: &'a mut usize,
+    pub(crate) heap_used: &'a mut usize,
+}
+
+impl<'a> EnclaveCtx<'a> {
+    /// Charges `n` modelled normal instructions of application work.
+    pub fn charge(&mut self, n: u64) {
+        self.counters.normal(n);
+    }
+
+    /// EGETKEY: derives a key bound to this enclave's identity.
+    pub fn egetkey(&mut self, request: KeyRequest) -> [u8; 32] {
+        self.counters.sgx(1);
+        derive_key(self.device_key, request, &self.mrenclave, &self.mrsigner)
+    }
+
+    /// EREPORT: produces a REPORT about this enclave for `target`,
+    /// embedding `data` (truncated/zero-padded to 64 bytes).
+    pub fn ereport(&mut self, target: TargetInfo, data: &[u8; REPORT_DATA_LEN]) -> Report {
+        self.counters.sgx(1);
+        // MAC computation happens in microcode, but the marshalling around
+        // it is ordinary work.
+        self.counters.normal(self.model.hmac_short);
+        let body = ReportBody {
+            mrenclave: self.mrenclave,
+            mrsigner: self.mrsigner,
+            isv_svn: self.isv_svn,
+            report_data: *data,
+        };
+        ereport(self.device_key, target, body)
+    }
+
+    /// RDRAND-style randomness (deterministic per platform seed).
+    pub fn random(&mut self, dest: &mut [u8]) {
+        self.counters.normal(10 * dest.len() as u64);
+        self.rng.fill_bytes(dest);
+    }
+
+    /// Dynamic in-enclave memory allocation.
+    ///
+    /// Models what the paper blames for much of the steady-state overhead:
+    /// "mainly due to in-enclave I/O and dynamic memory allocation that
+    /// cause context switches" (§5). Each allocation charges the model's
+    /// base cost; every new EPC page adds a page cost and an
+    /// exit/re-enter pair.
+    pub fn alloc(&mut self, bytes: usize) -> Result<()> {
+        let pages = bytes.div_ceil(PAGE_SIZE);
+        self.counters.normal(self.model.alloc_base);
+        if pages > 0 {
+            self.ensure_epc_room(pages)?;
+            self.epc
+                .add_pages(self.enclave_id, *self.next_alloc_offset, pages, PageType::Regular)?;
+            *self.next_alloc_offset += pages * PAGE_SIZE;
+            self.counters.normal(self.model.alloc_page * pages as u64);
+            // Page extension traps to the host (EEXIT + EENTER per request).
+            self.counters.sgx(2);
+        }
+        Ok(())
+    }
+
+    /// Heap-style dynamic allocation: byte-granular, extending the EPC
+    /// only when the cumulative heap crosses a page boundary.
+    ///
+    /// Every call charges the allocator's base cost; a page-boundary
+    /// crossing additionally traps to the host for page extension (one
+    /// EEXIT/EENTER pair plus the per-page cost), which is the
+    /// context-switch behaviour the paper blames for much of the
+    /// steady-state overhead (§5). Use [`EnclaveCtx::alloc`] for
+    /// page-granular reservations instead.
+    pub fn malloc(&mut self, bytes: usize) -> Result<()> {
+        self.counters.normal(self.model.alloc_base);
+        let backed = self.heap_used.div_ceil(PAGE_SIZE);
+        *self.heap_used += bytes;
+        let required = self.heap_used.div_ceil(PAGE_SIZE);
+        if required > backed {
+            let count = required - backed;
+            self.ensure_epc_room(count)?;
+            self.epc.add_pages(
+                self.enclave_id,
+                *self.next_alloc_offset,
+                count,
+                PageType::Regular,
+            )?;
+            *self.next_alloc_offset += count * PAGE_SIZE;
+            self.counters.normal(self.model.alloc_page * count as u64);
+            // One page-extension trap (exit + re-enter).
+            self.counters.sgx(2);
+        }
+        Ok(())
+    }
+
+    /// Makes room in the EPC for `pages` new pages, evicting the oldest
+    /// resident pages (EWB) if the cache is oversubscribed.
+    ///
+    /// Each eviction pays the paging crypto (encrypt + MAC a 4 KiB page)
+    /// and an asynchronous exit/resume pair — the cost that makes
+    /// EPC-oversubscribed enclaves slow on real hardware.
+    fn ensure_epc_room(&mut self, pages: usize) -> Result<()> {
+        let free = self.epc.free_pages();
+        if free >= pages {
+            return Ok(());
+        }
+        let needed = pages - free;
+        let evicted = self.epc.evict_pages(needed);
+        if evicted < needed {
+            return Err(SgxError::EpcExhausted {
+                requested: pages,
+                free: self.epc.free_pages(),
+            });
+        }
+        self.counters.normal(self.model.ewb_page * evicted as u64);
+        self.counters.sgx(2 * evicted as u64); // AEX + ERESUME per page
+        Ok(())
+    }
+
+    /// An ocall: exit the enclave, run a host service, re-enter.
+    ///
+    /// Charges EEXIT + EENTER and marshalling proportional to the payload.
+    /// The returned bytes are **untrusted**; pass them through
+    /// [`crate::ocall::checked`] before use.
+    pub fn ocall(&mut self, name: &str, payload: &[u8]) -> Vec<u8> {
+        self.counters.sgx(2);
+        let reply = self.host.ocall(name, payload);
+        self.counters
+            .normal(((payload.len() + reply.len()) as u64) / 8 + 50);
+        reply
+    }
+
+    /// Seals `plaintext` under this enclave's seal key (given policy).
+    pub fn seal(&mut self, policy: KeyRequest, label: &[u8], plaintext: &[u8]) -> SealedBlob {
+        let key = self.egetkey(policy);
+        let mut nonce = [0u8; 16];
+        self.random(&mut nonce);
+        self.counters
+            .normal(self.model.aes_key_schedule + self.model.aes_bytes(plaintext.len()));
+        seal(&key, label, nonce, plaintext)
+    }
+
+    /// Unseals a blob sealed under the same policy by an eligible enclave.
+    pub fn unseal(&mut self, policy: KeyRequest, blob: &SealedBlob) -> Result<Vec<u8>> {
+        let key = self.egetkey(policy);
+        self.counters
+            .normal(self.model.aes_key_schedule + self.model.aes_bytes(blob.ciphertext.len()));
+        unseal(&key, blob)
+    }
+
+    /// Sends packets to the host for transmission, optionally encrypting
+    /// them first — the Table 2 I/O model.
+    ///
+    /// One batch costs `io_batch_sgx` SGX instructions plus `io_packet_sgx`
+    /// per packet, `send_base` normal instructions plus a copy per packet,
+    /// and if `encrypt` is set one AES key schedule plus per-byte AES work.
+    pub fn send_packets(&mut self, packets: &[&[u8]], encrypt: bool) {
+        self.counters.sgx(self.model.io_batch_sgx);
+        self.counters.normal(self.model.send_base);
+        if encrypt {
+            self.counters.normal(self.model.aes_key_schedule);
+        }
+        for p in packets {
+            self.counters.sgx(self.model.io_packet_sgx);
+            self.counters.normal(self.model.packet_copy);
+            if encrypt {
+                self.counters.normal(self.model.aes_bytes(p.len()));
+            }
+            // The actual transmission is a host service; its reply (bytes
+            // written) goes through an Iago check by the caller if used.
+            self.host.ocall("send", p);
+        }
+    }
+}
+
+impl Enclave {
+    /// Number of 4-KiB pages the program image occupies.
+    pub fn image_pages(image_len: usize) -> usize {
+        image_len.div_ceil(PAGE_SIZE).max(1)
+    }
+
+    pub(crate) fn check_alive(&self, op: &'static str) -> Result<()> {
+        if self.destroyed {
+            Err(SgxError::BadState {
+                op,
+                state: "destroyed",
+            })
+        } else {
+            Ok(())
+        }
+    }
+}

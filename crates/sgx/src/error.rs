@@ -1,0 +1,76 @@
+//! Error type for the SGX emulator.
+
+use core::fmt;
+use teenet_crypto::CryptoError;
+
+/// Errors produced by the SGX emulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SgxError {
+    /// The referenced enclave does not exist or was destroyed.
+    NoSuchEnclave(u64),
+    /// Enclave is not in the right lifecycle state for the operation.
+    BadState {
+        /// Operation attempted.
+        op: &'static str,
+        /// State the enclave was in.
+        state: &'static str,
+    },
+    /// The Enclave Page Cache is out of free pages.
+    EpcExhausted {
+        /// Pages requested.
+        requested: usize,
+        /// Pages free.
+        free: usize,
+    },
+    /// SIGSTRUCT signature or identity check failed at EINIT.
+    InitFailed(&'static str),
+    /// A REPORT MAC failed verification.
+    ReportMacMismatch,
+    /// A QUOTE signature failed verification.
+    QuoteInvalid(&'static str),
+    /// Measurement did not match the expected identity.
+    MeasurementMismatch,
+    /// Sealed blob could not be unsealed (wrong enclave, tampered, ...).
+    UnsealFailed(&'static str),
+    /// An ecall reached an enclave program that rejected it.
+    EcallRejected(&'static str),
+    /// A host (ocall) return value failed an Iago sanity check.
+    IagoViolation(&'static str),
+    /// Underlying cryptographic failure.
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for SgxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgxError::NoSuchEnclave(id) => write!(f, "no such enclave: {id}"),
+            SgxError::BadState { op, state } => {
+                write!(f, "cannot {op} while enclave is {state}")
+            }
+            SgxError::EpcExhausted { requested, free } => {
+                write!(f, "EPC exhausted: requested {requested} pages, {free} free")
+            }
+            SgxError::InitFailed(why) => write!(f, "EINIT failed: {why}"),
+            SgxError::ReportMacMismatch => write!(f, "REPORT MAC mismatch"),
+            SgxError::QuoteInvalid(why) => write!(f, "invalid QUOTE: {why}"),
+            SgxError::MeasurementMismatch => write!(f, "enclave measurement mismatch"),
+            SgxError::UnsealFailed(why) => write!(f, "unseal failed: {why}"),
+            SgxError::EcallRejected(why) => write!(f, "ecall rejected: {why}"),
+            SgxError::IagoViolation(why) => {
+                write!(f, "Iago check failed on host return value: {why}")
+            }
+            SgxError::Crypto(e) => write!(f, "crypto error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SgxError {}
+
+impl From<CryptoError> for SgxError {
+    fn from(e: CryptoError) -> Self {
+        SgxError::Crypto(e)
+    }
+}
+
+/// Result alias for the emulator.
+pub type Result<T> = core::result::Result<T, SgxError>;

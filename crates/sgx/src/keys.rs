@@ -1,0 +1,99 @@
+//! EGETKEY key derivation.
+//!
+//! All enclave-visible keys derive from the per-platform device key (fused
+//! into the CPU at manufacture, in our model derived from the platform
+//! seed). Derivations bind the requesting enclave's identity exactly the
+//! way real SGX does: the *report key* binds MRENCLAVE (only that enclave
+//! can verify REPORTs targeted at it), and *seal keys* bind MRENCLAVE or
+//! MRSIGNER depending on policy.
+
+use teenet_crypto::hmac::HmacSha256;
+
+use crate::measurement::Measurement;
+
+/// Key kinds an enclave can request through EGETKEY.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyRequest {
+    /// The key EREPORT used to MAC a REPORT targeted at this enclave.
+    Report,
+    /// Sealing key bound to the exact enclave identity (MRENCLAVE policy).
+    SealEnclave,
+    /// Sealing key bound to the enclave author (MRSIGNER policy) — survives
+    /// software upgrades by the same signer.
+    SealSigner {
+        /// Minimum security version embedded in the derivation.
+        isv_svn: u16,
+    },
+}
+
+/// Derives a 256-bit key for `request` on behalf of the enclave with the
+/// given identities, from the platform `device_key`.
+pub fn derive_key(
+    device_key: &[u8; 32],
+    request: KeyRequest,
+    mrenclave: &Measurement,
+    mrsigner: &Measurement,
+) -> [u8; 32] {
+    let mut mac = HmacSha256::new(device_key);
+    match request {
+        KeyRequest::Report => {
+            mac.update(b"sgx-report-key");
+            mac.update(&mrenclave.0);
+        }
+        KeyRequest::SealEnclave => {
+            mac.update(b"sgx-seal-mrenclave");
+            mac.update(&mrenclave.0);
+        }
+        KeyRequest::SealSigner { isv_svn } => {
+            mac.update(b"sgx-seal-mrsigner");
+            mac.update(&mrsigner.0);
+            mac.update(&isv_svn.to_le_bytes());
+        }
+    }
+    mac.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(b: u8) -> Measurement {
+        Measurement([b; 32])
+    }
+
+    #[test]
+    fn report_key_binds_mrenclave() {
+        let dk = [9u8; 32];
+        let k1 = derive_key(&dk, KeyRequest::Report, &m(1), &m(7));
+        let k2 = derive_key(&dk, KeyRequest::Report, &m(2), &m(7));
+        assert_ne!(k1, k2);
+        // Signer is irrelevant for the report key.
+        let k3 = derive_key(&dk, KeyRequest::Report, &m(1), &m(8));
+        assert_eq!(k1, k3);
+    }
+
+    #[test]
+    fn seal_signer_key_survives_enclave_change() {
+        let dk = [9u8; 32];
+        let k1 = derive_key(&dk, KeyRequest::SealSigner { isv_svn: 1 }, &m(1), &m(7));
+        let k2 = derive_key(&dk, KeyRequest::SealSigner { isv_svn: 1 }, &m(2), &m(7));
+        assert_eq!(k1, k2, "same signer, different code → same seal key");
+        let k3 = derive_key(&dk, KeyRequest::SealSigner { isv_svn: 2 }, &m(1), &m(7));
+        assert_ne!(k1, k3, "svn bump rotates the key");
+    }
+
+    #[test]
+    fn seal_enclave_key_differs_from_report_key() {
+        let dk = [9u8; 32];
+        let kr = derive_key(&dk, KeyRequest::Report, &m(1), &m(7));
+        let ks = derive_key(&dk, KeyRequest::SealEnclave, &m(1), &m(7));
+        assert_ne!(kr, ks);
+    }
+
+    #[test]
+    fn different_platforms_different_keys() {
+        let k1 = derive_key(&[1u8; 32], KeyRequest::Report, &m(1), &m(7));
+        let k2 = derive_key(&[2u8; 32], KeyRequest::Report, &m(1), &m(7));
+        assert_ne!(k1, k2);
+    }
+}

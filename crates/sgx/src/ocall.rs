@@ -1,0 +1,116 @@
+//! The ocall (enclave → host) interface and Iago sanity checking.
+//!
+//! An enclave cannot perform I/O itself; it must exit to the untrusted host
+//! (EEXIT), let the host run the operation, and re-enter (EENTER/ERESUME).
+//! The paper's discussion (§6) warns that "an enclave application can be
+//! subject to Iago attacks if it blindly relies on external services (e.g.,
+//! system call). The enclave program must verify/sanity check the return
+//! values and output parameters of system calls." The
+//! [`checked`](fn@checked) wrapper is that sanity-checking discipline, and
+//! [`NullHost`] / closures make hosts easy to fake (including maliciously)
+//! in tests.
+
+use crate::error::{Result, SgxError};
+
+/// The untrusted host services an enclave may invoke.
+///
+/// `name` identifies the service ("send", "recv", "time", …); payload and
+/// return value are opaque bytes marshalled across the boundary.
+pub trait HostCalls {
+    /// Executes a host call and returns the (untrusted) result.
+    fn ocall(&mut self, name: &str, payload: &[u8]) -> Vec<u8>;
+}
+
+/// A host that answers every call with an empty reply.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullHost;
+
+impl HostCalls for NullHost {
+    fn ocall(&mut self, _name: &str, _payload: &[u8]) -> Vec<u8> {
+        Vec::new()
+    }
+}
+
+/// Blanket impl so closures can serve as hosts in tests and examples.
+impl<F> HostCalls for F
+where
+    F: FnMut(&str, &[u8]) -> Vec<u8>,
+{
+    fn ocall(&mut self, name: &str, payload: &[u8]) -> Vec<u8> {
+        self(name, payload)
+    }
+}
+
+/// Applies an Iago sanity check to an untrusted host return value.
+///
+/// `validate` inspects the raw bytes and either converts them into a typed
+/// value or rejects them; rejection surfaces as
+/// [`SgxError::IagoViolation`]. Enclave code in this workspace never
+/// consumes an ocall result without passing through here.
+pub fn checked<T>(
+    raw: Vec<u8>,
+    what: &'static str,
+    validate: impl FnOnce(&[u8]) -> Option<T>,
+) -> Result<T> {
+    validate(&raw).ok_or(SgxError::IagoViolation(what))
+}
+
+/// Common validator: the host echoed back a length that must not exceed
+/// what the enclave asked for (e.g. a `read` that "returns" more bytes than
+/// the buffer).
+pub fn validate_len_le(raw: &[u8], max: usize) -> Option<usize> {
+    if raw.len() != 8 {
+        return None;
+    }
+    let len = u64::from_le_bytes(raw.try_into().ok()?) as usize;
+    (len <= max).then_some(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_host_returns_empty() {
+        let mut h = NullHost;
+        assert!(h.ocall("anything", b"payload").is_empty());
+    }
+
+    #[test]
+    fn closure_host_works() {
+        let mut h = |name: &str, payload: &[u8]| -> Vec<u8> {
+            assert_eq!(name, "echo");
+            payload.to_vec()
+        };
+        assert_eq!(HostCalls::ocall(&mut h, "echo", b"hi"), b"hi");
+    }
+
+    #[test]
+    fn checked_accepts_valid() {
+        let v = checked(vec![1, 2, 3], "triple", |raw| {
+            (raw.len() == 3).then(|| raw.to_vec())
+        })
+        .unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn checked_rejects_invalid() {
+        let err = checked(vec![1, 2], "triple", |raw| {
+            (raw.len() == 3).then(|| raw.to_vec())
+        })
+        .unwrap_err();
+        assert!(matches!(err, SgxError::IagoViolation("triple")));
+    }
+
+    #[test]
+    fn validate_len_le_bounds() {
+        // A malicious host claiming a 100-byte read into a 10-byte buffer
+        // must be caught (classic Iago vector).
+        let claim = 100u64.to_le_bytes().to_vec();
+        assert!(validate_len_le(&claim, 10).is_none());
+        let ok = 10u64.to_le_bytes().to_vec();
+        assert_eq!(validate_len_le(&ok, 10), Some(10));
+        assert!(validate_len_le(&[1, 2], 10).is_none());
+    }
+}

@@ -1,0 +1,545 @@
+//! An SGX-capable platform (one physical machine).
+//!
+//! Owns the device key, the EPC, the quoting enclave, and every loaded
+//! application enclave. The threat model is the paper's (§2.1): the host
+//! software stack is untrusted and interacts with enclaves only through
+//! ecalls/ocalls; it can refuse service (DoS) but cannot read or alter
+//! enclave state — which in this emulator is simply Rust state that the
+//! host side has no references to.
+
+use teenet_crypto::schnorr::SigningKey;
+use teenet_crypto::sha256::sha256;
+use teenet_crypto::SecureRng;
+
+use crate::cost::{CostModel, Counters};
+use crate::enclave::{Enclave, EnclaveCtx, EnclaveId, EnclaveProgram};
+use crate::epc::{Epc, PageType};
+use crate::error::{Result, SgxError};
+use crate::measurement::{measure_image, MeasurementBuilder, Sigstruct, PAGE_SIZE};
+use crate::ocall::{HostCalls, NullHost};
+use crate::quote::{EpidGroup, Quote, QuotingEnclave};
+use crate::report::Report;
+
+/// Default EPC size: 24 576 pages = 96 MiB (SGX1-era hardware).
+pub const DEFAULT_EPC_PAGES: usize = 24_576;
+
+/// Extra pages reserved per enclave for stack + static heap.
+const BASE_RUNTIME_PAGES: usize = 16;
+
+/// One SGX machine: enclaves, EPC, quoting enclave, device key.
+pub struct Platform {
+    /// Human-readable platform name (for reports and debugging).
+    pub name: String,
+    /// Cost model used for all accounting on this platform.
+    pub model: CostModel,
+    device_key: [u8; 32],
+    epc: Epc,
+    enclaves: Vec<Enclave>,
+    rng: SecureRng,
+    quoting: QuotingEnclave,
+}
+
+impl Platform {
+    /// Builds a platform named `name`, provisioned into `group`, with the
+    /// default EPC size. `seed` determines the device key and all
+    /// platform-local randomness.
+    pub fn new(name: &str, group: &EpidGroup, seed: u64) -> Self {
+        Self::with_epc(name, group, seed, DEFAULT_EPC_PAGES)
+    }
+
+    /// Same as [`Platform::new`] with an explicit EPC capacity.
+    pub fn with_epc(name: &str, group: &EpidGroup, seed: u64, epc_pages: usize) -> Self {
+        let mut seed_bytes = Vec::from(name.as_bytes());
+        seed_bytes.extend_from_slice(&seed.to_le_bytes());
+        let device_key = sha256(&seed_bytes);
+        let rng = SecureRng::from_seed(&device_key);
+        Platform {
+            name: name.to_owned(),
+            model: CostModel::paper(),
+            device_key,
+            epc: Epc::new(epc_pages),
+            enclaves: Vec::new(),
+            quoting: QuotingEnclave::new(group, rng.fork(b"quoting-enclave")),
+            rng,
+        }
+    }
+
+    /// Loads and initialises an enclave: ECREATE → EADD/EEXTEND per page →
+    /// EINIT with `sigstruct` verification.
+    ///
+    /// Launch cost is deliberately not charged to the enclave counters: the
+    /// paper "exclude\[s\] the cost launching an SGX application [...]
+    /// because it is a one-time cost" (§5).
+    pub fn create_enclave(
+        &mut self,
+        program: Box<dyn EnclaveProgram>,
+        sigstruct: &Sigstruct,
+    ) -> Result<EnclaveId> {
+        let image = program.code_image();
+        let image_pages = Enclave::image_pages(image.len());
+
+        // Measure exactly the way a loader would.
+        let mut builder = MeasurementBuilder::ecreate(image_pages);
+        for p in 0..image_pages {
+            let start = p * PAGE_SIZE;
+            let end = (start + PAGE_SIZE).min(image.len());
+            builder.eadd(start, PageType::Regular);
+            builder.eextend(start, image.get(start..end).unwrap_or(&[]));
+        }
+        let mrenclave = builder.finalize();
+
+        // EINIT: the measured identity must match what the author signed.
+        if mrenclave != sigstruct.mrenclave {
+            return Err(SgxError::InitFailed("measurement != SIGSTRUCT.mrenclave"));
+        }
+        let mrsigner = sigstruct.verify()?;
+
+        let id = self.enclaves.len() as EnclaveId;
+        self.epc
+            .add_pages(id, 0, image_pages + BASE_RUNTIME_PAGES, PageType::Regular)?;
+        self.enclaves.push(Enclave {
+            id,
+            mrenclave,
+            mrsigner,
+            isv_svn: sigstruct.isv_svn,
+            counters: Counters::new(),
+            program: Some(program),
+            next_alloc_offset: (image_pages + BASE_RUNTIME_PAGES) * PAGE_SIZE,
+            heap_used: 0,
+            destroyed: false,
+        });
+        Ok(id)
+    }
+
+    /// Convenience: signs the program with `author` and loads it.
+    pub fn create_signed(
+        &mut self,
+        program: Box<dyn EnclaveProgram>,
+        author: &SigningKey,
+        isv_svn: u16,
+    ) -> Result<EnclaveId> {
+        let mr = measure_image(&program.code_image());
+        let mut rng = self.rng.fork(b"sigstruct");
+        let sigstruct = Sigstruct::sign(mr, isv_svn, author, &mut rng)?;
+        self.create_enclave(program, &sigstruct)
+    }
+
+    /// EREMOVE: tears an enclave down, releasing its EPC pages.
+    pub fn destroy_enclave(&mut self, id: EnclaveId) -> Result<()> {
+        let enclave = self.enclave_mut(id)?;
+        enclave.check_alive("destroy")?;
+        enclave.destroyed = true;
+        enclave.program = None;
+        self.epc.remove_enclave(id);
+        Ok(())
+    }
+
+    /// Performs an ecall into enclave `id` with host services available.
+    pub fn ecall(
+        &mut self,
+        id: EnclaveId,
+        fn_id: u64,
+        input: &[u8],
+        host: &mut dyn HostCalls,
+    ) -> Result<Vec<u8>> {
+        let model = self.model.clone();
+        let enclave = self
+            .enclaves
+            .get_mut(id as usize)
+            .ok_or(SgxError::NoSuchEnclave(id))?;
+        enclave.check_alive("ecall")?;
+        let mut program = enclave
+            .program
+            .take()
+            .ok_or(SgxError::NoSuchEnclave(id))?;
+
+        // EENTER + eventual EEXIT, plus input marshalling.
+        enclave.counters.sgx(2);
+        enclave.counters.normal(input.len() as u64 / 8 + 50);
+
+        let mut rng = self.rng.fork(&[b"ecall".as_slice(), &id.to_le_bytes()].concat());
+        let result = {
+            let mut ctx = EnclaveCtx {
+                counters: &mut enclave.counters,
+                model: &model,
+                mrenclave: enclave.mrenclave,
+                mrsigner: enclave.mrsigner,
+                isv_svn: enclave.isv_svn,
+                device_key: &self.device_key,
+                rng: &mut rng,
+                host,
+                epc: &mut self.epc,
+                enclave_id: id,
+                next_alloc_offset: &mut enclave.next_alloc_offset,
+                heap_used: &mut enclave.heap_used,
+            };
+            program.ecall(&mut ctx, fn_id, input)
+        };
+        // Keep the platform RNG moving so successive ecalls differ.
+        self.rng = self.rng.fork(b"step");
+        enclave.counters.normal(
+            result.as_ref().map(|r| r.len() as u64).unwrap_or(0) / 8,
+        );
+        enclave.program = Some(program);
+        result
+    }
+
+    /// Ecall without host services (pure computation inside the enclave).
+    pub fn ecall_nohost(&mut self, id: EnclaveId, fn_id: u64, input: &[u8]) -> Result<Vec<u8>> {
+        let mut host = NullHost;
+        self.ecall(id, fn_id, input, &mut host)
+    }
+
+    /// Runs the quoting enclave over `report` (local attestation + sign).
+    pub fn quote(&mut self, report: &Report) -> Result<Quote> {
+        let model = self.model.clone();
+        self.quoting.quote(&self.device_key, report, &model)
+    }
+
+    /// The TargetInfo enclaves use to address reports to this platform's QE.
+    pub fn quoting_target_info(&self) -> crate::report::TargetInfo {
+        self.quoting.target_info()
+    }
+
+    /// Counters of one enclave.
+    pub fn counters_of(&self, id: EnclaveId) -> Result<Counters> {
+        Ok(self.enclave_ref(id)?.counters)
+    }
+
+    /// Counters of the quoting enclave.
+    pub fn quoting_counters(&self) -> Counters {
+        self.quoting.counters
+    }
+
+    /// Resets the counters of one enclave (e.g. to exclude setup phases,
+    /// as the paper does for Table 4).
+    pub fn reset_counters(&mut self, id: EnclaveId) -> Result<()> {
+        self.enclave_mut(id)?.counters = Counters::new();
+        Ok(())
+    }
+
+    /// Sum of all enclave counters plus the quoting enclave.
+    pub fn total_counters(&self) -> Counters {
+        let mut total = self.quoting.counters;
+        for e in &self.enclaves {
+            total.merge(e.counters);
+        }
+        total
+    }
+
+    /// The identity (MRENCLAVE) of a loaded enclave.
+    pub fn measurement_of(&self, id: EnclaveId) -> Result<crate::measurement::Measurement> {
+        Ok(self.enclave_ref(id)?.mrenclave)
+    }
+
+    /// Free EPC pages remaining.
+    pub fn epc_free_pages(&self) -> usize {
+        self.epc.free_pages()
+    }
+
+    fn enclave_ref(&self, id: EnclaveId) -> Result<&Enclave> {
+        self.enclaves
+            .get(id as usize)
+            .ok_or(SgxError::NoSuchEnclave(id))
+    }
+
+    fn enclave_mut(&mut self, id: EnclaveId) -> Result<&mut Enclave> {
+        self.enclaves
+            .get_mut(id as usize)
+            .ok_or(SgxError::NoSuchEnclave(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyRequest;
+    use crate::report::report_data_from;
+    use teenet_crypto::schnorr::SchnorrGroup;
+
+    /// A trivial program: fn 0 echoes, fn 1 seals input, fn 2 allocates.
+    struct Echo {
+        version: u8,
+        sealed: Option<crate::seal::SealedBlob>,
+    }
+
+    impl EnclaveProgram for Echo {
+        fn code_image(&self) -> Vec<u8> {
+            vec![b'e', b'c', b'h', b'o', self.version]
+        }
+        fn ecall(
+            &mut self,
+            ctx: &mut EnclaveCtx<'_>,
+            fn_id: u64,
+            input: &[u8],
+        ) -> Result<Vec<u8>> {
+            match fn_id {
+                0 => Ok(input.to_vec()),
+                1 => {
+                    let blob = ctx.seal(KeyRequest::SealEnclave, b"t", input);
+                    self.sealed = Some(blob);
+                    Ok(Vec::new())
+                }
+                2 => {
+                    let blob = self.sealed.as_ref().ok_or(SgxError::EcallRejected("no blob"))?;
+                    let blob = blob.clone();
+                    ctx.unseal(KeyRequest::SealEnclave, &blob)
+                }
+                3 => {
+                    ctx.alloc(10_000)?;
+                    Ok(Vec::new())
+                }
+                _ => Err(SgxError::EcallRejected("unknown fn")),
+            }
+        }
+    }
+
+    fn setup() -> (Platform, SigningKey) {
+        let mut rng = SecureRng::seed_from_u64(5);
+        let group = EpidGroup::new(1, &mut rng).unwrap();
+        let platform = Platform::new("test", &group, 7);
+        let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
+        (platform, author)
+    }
+
+    fn echo(version: u8) -> Box<Echo> {
+        Box::new(Echo {
+            version,
+            sealed: None,
+        })
+    }
+
+    #[test]
+    fn ecall_roundtrip_and_counting() {
+        let (mut p, author) = setup();
+        let id = p.create_signed(echo(1), &author, 1).unwrap();
+        let before = p.counters_of(id).unwrap();
+        assert_eq!(before, Counters::new(), "launch is not charged");
+        let out = p.ecall_nohost(id, 0, b"hello").unwrap();
+        assert_eq!(out, b"hello");
+        let after = p.counters_of(id).unwrap();
+        assert_eq!(after.sgx_instr, 2, "EENTER + EEXIT");
+        assert!(after.normal_instr > 0);
+    }
+
+    #[test]
+    fn einit_rejects_mismatched_sigstruct() {
+        let (mut p, author) = setup();
+        let mut rng = SecureRng::seed_from_u64(11);
+        // Sign version 1 but load version 2 ("tampered binary").
+        let mr = measure_image(&echo(1).code_image());
+        let sig = Sigstruct::sign(mr, 1, &author, &mut rng).unwrap();
+        let err = p.create_enclave(echo(2), &sig).unwrap_err();
+        assert!(matches!(err, SgxError::InitFailed(_)));
+    }
+
+    #[test]
+    fn seal_unseal_within_enclave() {
+        let (mut p, author) = setup();
+        let id = p.create_signed(echo(1), &author, 1).unwrap();
+        p.ecall_nohost(id, 1, b"top secret").unwrap();
+        let out = p.ecall_nohost(id, 2, b"").unwrap();
+        assert_eq!(out, b"top secret");
+    }
+
+    #[test]
+    fn alloc_consumes_epc_and_charges() {
+        let (mut p, author) = setup();
+        let id = p.create_signed(echo(1), &author, 1).unwrap();
+        let free_before = p.epc_free_pages();
+        let c_before = p.counters_of(id).unwrap();
+        p.ecall_nohost(id, 3, b"").unwrap();
+        assert_eq!(p.epc_free_pages(), free_before - 3); // 10 KB → 3 pages
+        let c = p.counters_of(id).unwrap().since(c_before);
+        assert!(c.sgx_instr >= 4, "ecall pair + alloc exit pair");
+    }
+
+    #[test]
+    fn epc_exhaustion_fails_enclave_creation() {
+        let mut rng = SecureRng::seed_from_u64(5);
+        let group = EpidGroup::new(1, &mut rng).unwrap();
+        let mut p = Platform::with_epc("tiny", &group, 7, 8);
+        let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
+        let err = p.create_signed(echo(1), &author, 1).unwrap_err();
+        assert!(matches!(err, SgxError::EpcExhausted { .. }));
+    }
+
+    #[test]
+    fn destroyed_enclave_rejects_ecalls() {
+        let (mut p, author) = setup();
+        let id = p.create_signed(echo(1), &author, 1).unwrap();
+        p.destroy_enclave(id).unwrap();
+        assert!(p.ecall_nohost(id, 0, b"x").is_err());
+        assert!(p.destroy_enclave(id).is_err());
+    }
+
+    #[test]
+    fn report_and_quote_flow() {
+        // Full local flow: enclave EREPORTs to the QE, QE quotes, a remote
+        // party verifies under the group public key.
+        let mut rng = SecureRng::seed_from_u64(5);
+        let group = EpidGroup::new(1, &mut rng).unwrap();
+        let mut p = Platform::new("test", &group, 7);
+        let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
+
+        struct Reporter;
+        impl EnclaveProgram for Reporter {
+            fn code_image(&self) -> Vec<u8> {
+                b"reporter-v1".to_vec()
+            }
+            fn ecall(
+                &mut self,
+                ctx: &mut EnclaveCtx<'_>,
+                _fn_id: u64,
+                input: &[u8],
+            ) -> Result<Vec<u8>> {
+                // input carries the QE measurement.
+                let mut mr = [0u8; 32];
+                mr.copy_from_slice(&input[..32]);
+                let report = ctx.ereport(
+                    crate::report::TargetInfo {
+                        mrenclave: crate::measurement::Measurement(mr),
+                    },
+                    &report_data_from(b"nonce"),
+                );
+                // Return the report body fields we need (test-only encoding).
+                let mut out = report.body.to_bytes();
+                out.extend_from_slice(&report.mac);
+                Ok(out)
+            }
+        }
+
+        let id = p.create_signed(Box::new(Reporter), &author, 1).unwrap();
+        let qe_mr = p.quoting_target_info().mrenclave;
+        let out = p.ecall_nohost(id, 0, &qe_mr.0).unwrap();
+
+        // Reassemble the report (the host merely ferries bytes).
+        let body = crate::report::ReportBody {
+            mrenclave: crate::measurement::Measurement(out[..32].try_into().unwrap()),
+            mrsigner: crate::measurement::Measurement(out[32..64].try_into().unwrap()),
+            isv_svn: u16::from_le_bytes(out[64..66].try_into().unwrap()),
+            report_data: out[66..130].try_into().unwrap(),
+        };
+        let mac: [u8; 32] = out[130..162].try_into().unwrap();
+        let report = Report {
+            body,
+            target: p.quoting_target_info(),
+            mac,
+        };
+        let quote = p.quote(&report).unwrap();
+        let mut c = Counters::new();
+        quote
+            .verify(&group.public_key(), &mut c, &CostModel::paper())
+            .unwrap();
+        assert_eq!(quote.body.mrenclave, p.measurement_of(id).unwrap());
+    }
+
+    #[test]
+    fn ecalls_with_randomness_differ_across_calls() {
+        struct Rand;
+        impl EnclaveProgram for Rand {
+            fn code_image(&self) -> Vec<u8> {
+                b"rand-v1".to_vec()
+            }
+            fn ecall(
+                &mut self,
+                ctx: &mut EnclaveCtx<'_>,
+                _fn_id: u64,
+                _input: &[u8],
+            ) -> Result<Vec<u8>> {
+                let mut buf = vec![0u8; 16];
+                ctx.random(&mut buf);
+                Ok(buf)
+            }
+        }
+        let (mut p, author) = setup();
+        let id = p.create_signed(Box::new(Rand), &author, 1).unwrap();
+        let a = p.ecall_nohost(id, 0, b"").unwrap();
+        let b = p.ecall_nohost(id, 0, b"").unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn identical_programs_same_measurement_across_platforms() {
+        let mut rng = SecureRng::seed_from_u64(5);
+        let group = EpidGroup::new(1, &mut rng).unwrap();
+        let mut p1 = Platform::new("alpha", &group, 1);
+        let mut p2 = Platform::new("beta", &group, 2);
+        let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
+        let id1 = p1.create_signed(echo(1), &author, 1).unwrap();
+        let id2 = p2.create_signed(echo(1), &author, 1).unwrap();
+        assert_eq!(
+            p1.measurement_of(id1).unwrap(),
+            p2.measurement_of(id2).unwrap()
+        );
+    }
+}
+
+#[cfg(test)]
+mod paging_tests {
+    use super::*;
+    use crate::enclave::{EnclaveCtx, EnclaveProgram};
+    use crate::error::SgxError;
+    use teenet_crypto::schnorr::SchnorrGroup;
+
+    /// Allocates the requested number of bytes via the heap allocator.
+    struct Hog;
+    impl EnclaveProgram for Hog {
+        fn code_image(&self) -> Vec<u8> {
+            b"hog-v1".to_vec()
+        }
+        fn ecall(
+            &mut self,
+            ctx: &mut EnclaveCtx<'_>,
+            _fn_id: u64,
+            input: &[u8],
+        ) -> Result<Vec<u8>> {
+            let bytes = u32::from_le_bytes(input.try_into().expect("4")) as usize;
+            ctx.malloc(bytes)?;
+            Ok(Vec::new())
+        }
+    }
+
+    fn tiny_platform(epc_pages: usize) -> (Platform, EnclaveId) {
+        let mut rng = SecureRng::seed_from_u64(77);
+        let group = EpidGroup::new(1, &mut rng).unwrap();
+        let mut p = Platform::with_epc("paging", &group, 7, epc_pages);
+        let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
+        let id = p.create_signed(Box::new(Hog), &author, 1).unwrap();
+        (p, id)
+    }
+
+    #[test]
+    fn oversubscription_triggers_ewb_instead_of_failing() {
+        // 24 pages total; the enclave base takes 17, leaving 7 free. A
+        // 40 KiB allocation (10 pages) must succeed by evicting.
+        let (mut p, id) = tiny_platform(24);
+        let before = p.counters_of(id).unwrap();
+        p.ecall_nohost(id, 0, &(40_960u32).to_le_bytes()).unwrap();
+        let delta = p.counters_of(id).unwrap().since(before);
+        // At least 3 pages were evicted: EWB cost + AEX pairs charged.
+        assert!(delta.normal_instr >= 3 * p.model.ewb_page);
+        assert!(delta.sgx_instr >= 2 + 6, "page-extension trap + 3 AEX pairs");
+    }
+
+    #[test]
+    fn eviction_cannot_exceed_total_capacity_in_one_request() {
+        // A single allocation larger than the whole EPC still fails.
+        let (mut p, id) = tiny_platform(24);
+        let err = p
+            .ecall_nohost(id, 0, &(24 * 4096u32 + 1).to_le_bytes())
+            .unwrap_err();
+        assert!(matches!(err, SgxError::EpcExhausted { .. }));
+    }
+
+    #[test]
+    fn repeated_small_allocations_page_forever() {
+        // The enclave can keep allocating past EPC capacity; each page
+        // past the limit costs an eviction (thrash accounting).
+        let (mut p, id) = tiny_platform(24);
+        for _ in 0..20 {
+            p.ecall_nohost(id, 0, &(4_096u32).to_le_bytes()).unwrap();
+        }
+        assert!(p.epc_free_pages() == 0 || p.epc_free_pages() < 24);
+    }
+}

@@ -1,0 +1,175 @@
+//! EREPORT and the REPORT structure (local/intra attestation).
+//!
+//! "Using the EREPORT instruction, [enclave A] creates a REPORT data
+//! structure that contains the hash value of the two enclaves (enclave
+//! identities), public key of the signer [...], some user data, and a
+//! message authentication code (MAC) over the data structure. The MAC is
+//! produced with a report key, only known to the target enclave and the
+//! EREPORT instruction on the same machine." (paper §2.2)
+
+use teenet_crypto::hmac::{hmac_sha256, hmac_verify};
+
+use crate::error::{Result, SgxError};
+use crate::keys::{derive_key, KeyRequest};
+use crate::measurement::Measurement;
+
+/// Size of the user data field carried in a REPORT (real SGX: 64 bytes).
+pub const REPORT_DATA_LEN: usize = 64;
+
+/// Identifies the enclave a REPORT is destined for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetInfo {
+    /// MRENCLAVE of the verifying enclave.
+    pub mrenclave: Measurement,
+}
+
+/// The REPORT body (the MACed portion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportBody {
+    /// Identity of the reporting enclave.
+    pub mrenclave: Measurement,
+    /// Identity of the reporting enclave's author.
+    pub mrsigner: Measurement,
+    /// Security version of the reporting enclave.
+    pub isv_svn: u16,
+    /// Caller-chosen user data (e.g. a DH public key digest).
+    pub report_data: [u8; REPORT_DATA_LEN],
+}
+
+impl ReportBody {
+    /// Canonical byte encoding used for MACs and quote signatures.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + 32 + 2 + REPORT_DATA_LEN);
+        out.extend_from_slice(&self.mrenclave.0);
+        out.extend_from_slice(&self.mrsigner.0);
+        out.extend_from_slice(&self.isv_svn.to_le_bytes());
+        out.extend_from_slice(&self.report_data);
+        out
+    }
+}
+
+/// A REPORT: body plus the MAC keyed to the target enclave's report key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// The authenticated body.
+    pub body: ReportBody,
+    /// Which enclave the report targets (whose report key MACs it).
+    pub target: TargetInfo,
+    /// HMAC-SHA256 over the body under the target's report key.
+    pub mac: [u8; 32],
+}
+
+/// EREPORT: creates a REPORT from `body` addressed to `target`, MACed with
+/// the target's report key derived from `device_key`.
+///
+/// Only callable by the "hardware" (the platform) on behalf of an enclave;
+/// the MAC key never leaves this module except through EGETKEY.
+pub fn ereport(device_key: &[u8; 32], target: TargetInfo, body: ReportBody) -> Report {
+    // The report key binds only the *target's* MRENCLAVE; the signer of the
+    // target is irrelevant, mirrored from keys::derive_key.
+    let key = derive_key(
+        device_key,
+        KeyRequest::Report,
+        &target.mrenclave,
+        &Measurement([0u8; 32]),
+    );
+    let mac = hmac_sha256(&key, &body.to_bytes());
+    Report { body, target, mac }
+}
+
+/// Verifies a REPORT with the report key obtained via EGETKEY.
+///
+/// The verifying enclave calls EGETKEY(Report) for its own report key and
+/// checks the MAC; success proves the report was produced by EREPORT *on
+/// the same platform* and targeted at this enclave.
+pub fn verify_report(report_key: &[u8; 32], report: &Report) -> Result<()> {
+    if hmac_verify(report_key, &report.body.to_bytes(), &report.mac) {
+        Ok(())
+    } else {
+        Err(SgxError::ReportMacMismatch)
+    }
+}
+
+/// Packs arbitrary bytes into the fixed-size report data field (hashing is
+/// the caller's job if the payload exceeds 64 bytes).
+pub fn report_data_from(bytes: &[u8]) -> [u8; REPORT_DATA_LEN] {
+    let mut out = [0u8; REPORT_DATA_LEN];
+    let n = bytes.len().min(REPORT_DATA_LEN);
+    out[..n].copy_from_slice(&bytes[..n]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(b: u8) -> Measurement {
+        Measurement([b; 32])
+    }
+
+    fn sample_body() -> ReportBody {
+        ReportBody {
+            mrenclave: m(1),
+            mrsigner: m(2),
+            isv_svn: 3,
+            report_data: report_data_from(b"user data"),
+        }
+    }
+
+    #[test]
+    fn report_roundtrip_on_same_platform() {
+        let dk = [5u8; 32];
+        let target = TargetInfo { mrenclave: m(9) };
+        let report = ereport(&dk, target, sample_body());
+        let report_key = derive_key(&dk, KeyRequest::Report, &m(9), &m(0));
+        verify_report(&report_key, &report).unwrap();
+    }
+
+    #[test]
+    fn report_fails_on_other_platform() {
+        // Reports are platform-local: a report key derived from a different
+        // device key must not verify.
+        let report = ereport(&[5u8; 32], TargetInfo { mrenclave: m(9) }, sample_body());
+        let other_key = derive_key(&[6u8; 32], KeyRequest::Report, &m(9), &m(0));
+        assert!(verify_report(&other_key, &report).is_err());
+    }
+
+    #[test]
+    fn report_fails_for_wrong_target() {
+        let dk = [5u8; 32];
+        let report = ereport(&dk, TargetInfo { mrenclave: m(9) }, sample_body());
+        // An enclave other than the target cannot verify it.
+        let eavesdropper_key = derive_key(&dk, KeyRequest::Report, &m(8), &m(0));
+        assert!(verify_report(&eavesdropper_key, &report).is_err());
+    }
+
+    #[test]
+    fn tampered_body_detected() {
+        let dk = [5u8; 32];
+        let target = TargetInfo { mrenclave: m(9) };
+        let mut report = ereport(&dk, target, sample_body());
+        report.body.mrenclave = m(66); // claim to be a different enclave
+        let report_key = derive_key(&dk, KeyRequest::Report, &m(9), &m(0));
+        assert!(verify_report(&report_key, &report).is_err());
+    }
+
+    #[test]
+    fn tampered_report_data_detected() {
+        let dk = [5u8; 32];
+        let target = TargetInfo { mrenclave: m(9) };
+        let mut report = ereport(&dk, target, sample_body());
+        report.body.report_data[0] ^= 1;
+        let report_key = derive_key(&dk, KeyRequest::Report, &m(9), &m(0));
+        assert!(verify_report(&report_key, &report).is_err());
+    }
+
+    #[test]
+    fn report_data_packing() {
+        let d = report_data_from(b"abc");
+        assert_eq!(&d[..3], b"abc");
+        assert!(d[3..].iter().all(|&b| b == 0));
+        let long = vec![7u8; 100];
+        let d = report_data_from(&long);
+        assert!(d.iter().all(|&b| b == 7));
+    }
+}

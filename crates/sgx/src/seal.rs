@@ -1,0 +1,193 @@
+//! Sealing: encrypting enclave secrets for storage outside the enclave.
+//!
+//! Sealed blobs are AES-128-CTR encrypted and HMAC-authenticated under a
+//! key from EGETKEY, so only the same enclave (MRENCLAVE policy) or the
+//! same author's enclaves (MRSIGNER policy) on the same platform can
+//! recover them. Used by e.g. the quoting enclave to persist its
+//! attestation key, and by directory authorities to protect their
+//! authority keys (paper §3.2: "they can keep authority keys and list of
+//! Tor nodes inside the enclaves").
+
+use teenet_crypto::aes::Aes128;
+use teenet_crypto::hmac::{hmac_sha256, hmac_verify};
+
+use crate::error::{Result, SgxError};
+
+/// A sealed blob: nonce, ciphertext, and MAC. Safe to hand to the host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBlob {
+    /// Associated data label bound into the MAC (not secret).
+    pub label: Vec<u8>,
+    /// CTR nonce.
+    pub nonce: [u8; 16],
+    /// Encrypted payload.
+    pub ciphertext: Vec<u8>,
+    /// HMAC over label, nonce and ciphertext.
+    pub mac: [u8; 32],
+}
+
+impl SealedBlob {
+    /// Wire encoding (blobs cross the enclave boundary for host storage).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(54 + self.label.len() + self.ciphertext.len());
+        out.extend_from_slice(&(self.label.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.label);
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&(self.ciphertext.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.ciphertext);
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Parses [`SealedBlob::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Self> {
+        let err = || SgxError::UnsealFailed("malformed sealed blob");
+        if buf.len() < 2 {
+            return Err(err());
+        }
+        let llen = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+        let mut off = 2;
+        let label = buf.get(off..off + llen).ok_or_else(err)?.to_vec();
+        off += llen;
+        let nonce: [u8; 16] = buf
+            .get(off..off + 16)
+            .ok_or_else(err)?
+            .try_into()
+            .expect("16");
+        off += 16;
+        let clen = u32::from_le_bytes(
+            buf.get(off..off + 4).ok_or_else(err)?.try_into().expect("4"),
+        ) as usize;
+        off += 4;
+        let ciphertext = buf.get(off..off + clen).ok_or_else(err)?.to_vec();
+        off += clen;
+        let mac: [u8; 32] = buf
+            .get(off..off + 32)
+            .ok_or_else(err)?
+            .try_into()
+            .expect("32");
+        off += 32;
+        if off != buf.len() {
+            return Err(err());
+        }
+        Ok(SealedBlob {
+            label,
+            nonce,
+            ciphertext,
+            mac,
+        })
+    }
+}
+
+fn split_key(seal_key: &[u8; 32]) -> ([u8; 16], [u8; 32]) {
+    let mut enc = [0u8; 16];
+    enc.copy_from_slice(&seal_key[..16]);
+    // MAC key: expand the upper half to 32 bytes by repetition-free HMAC.
+    let mac = hmac_sha256(&seal_key[16..], b"seal-mac-key");
+    (enc, mac)
+}
+
+/// Seals `plaintext` under `seal_key` with a caller-supplied unique nonce.
+pub fn seal(seal_key: &[u8; 32], label: &[u8], nonce: [u8; 16], plaintext: &[u8]) -> SealedBlob {
+    let (enc_key, mac_key) = split_key(seal_key);
+    let cipher = Aes128::new(&enc_key).expect("16-byte key");
+    let mut ciphertext = plaintext.to_vec();
+    cipher.ctr_apply(&nonce, &mut ciphertext);
+    let mut macd = Vec::with_capacity(label.len() + 16 + ciphertext.len());
+    macd.extend_from_slice(label);
+    macd.extend_from_slice(&nonce);
+    macd.extend_from_slice(&ciphertext);
+    let mac = hmac_sha256(&mac_key, &macd);
+    SealedBlob {
+        label: label.to_vec(),
+        nonce,
+        ciphertext,
+        mac,
+    }
+}
+
+/// Unseals a blob; fails on any tampering or wrong key.
+pub fn unseal(seal_key: &[u8; 32], blob: &SealedBlob) -> Result<Vec<u8>> {
+    let (enc_key, mac_key) = split_key(seal_key);
+    let mut macd = Vec::with_capacity(blob.label.len() + 16 + blob.ciphertext.len());
+    macd.extend_from_slice(&blob.label);
+    macd.extend_from_slice(&blob.nonce);
+    macd.extend_from_slice(&blob.ciphertext);
+    if !hmac_verify(&mac_key, &macd, &blob.mac) {
+        return Err(SgxError::UnsealFailed("MAC mismatch"));
+    }
+    let cipher = Aes128::new(&enc_key).expect("16-byte key");
+    let mut plaintext = blob.ciphertext.clone();
+    cipher.ctr_apply(&blob.nonce, &mut plaintext);
+    Ok(plaintext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blob_wire_roundtrip() {
+        let blob = seal(&[7u8; 32], b"label", [9u8; 16], b"payload bytes");
+        let parsed = SealedBlob::from_bytes(&blob.to_bytes()).unwrap();
+        assert_eq!(parsed, blob);
+        assert_eq!(unseal(&[7u8; 32], &parsed).unwrap(), b"payload bytes");
+        // Truncation and trailing garbage rejected.
+        let bytes = blob.to_bytes();
+        assert!(SealedBlob::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(SealedBlob::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let key = [7u8; 32];
+        let blob = seal(&key, b"authority-key", [1u8; 16], b"secret material");
+        assert_eq!(unseal(&key, &blob).unwrap(), b"secret material");
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let blob = seal(&[7u8; 32], b"l", [1u8; 16], b"secret");
+        assert!(unseal(&[8u8; 32], &blob).is_err());
+    }
+
+    #[test]
+    fn tampered_ciphertext_fails() {
+        let key = [7u8; 32];
+        let mut blob = seal(&key, b"l", [1u8; 16], b"secret");
+        blob.ciphertext[0] ^= 1;
+        assert!(unseal(&key, &blob).is_err());
+    }
+
+    #[test]
+    fn tampered_label_fails() {
+        let key = [7u8; 32];
+        let mut blob = seal(&key, b"label-a", [1u8; 16], b"secret");
+        blob.label = b"label-b".to_vec();
+        assert!(unseal(&key, &blob).is_err());
+    }
+
+    #[test]
+    fn tampered_nonce_fails() {
+        let key = [7u8; 32];
+        let mut blob = seal(&key, b"l", [1u8; 16], b"secret");
+        blob.nonce[0] ^= 1;
+        assert!(unseal(&key, &blob).is_err());
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let key = [7u8; 32];
+        let blob = seal(&key, b"l", [3u8; 16], b"visible secret!!");
+        assert_ne!(blob.ciphertext, b"visible secret!!");
+    }
+
+    #[test]
+    fn empty_plaintext_ok() {
+        let key = [7u8; 32];
+        let blob = seal(&key, b"l", [0u8; 16], b"");
+        assert_eq!(unseal(&key, &blob).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,198 @@
+//! Wire encodings for attestation structures.
+//!
+//! Reports and quotes cross trust boundaries as bytes (ecall/ocall
+//! payloads, network messages), so they get explicit canonical encodings
+//! with strict parsers. All integers little-endian; variable-length fields
+//! u16-length-prefixed.
+
+use teenet_crypto::schnorr::Signature;
+
+use crate::error::{Result, SgxError};
+use crate::measurement::Measurement;
+use crate::quote::Quote;
+use crate::report::{Report, ReportBody, TargetInfo, REPORT_DATA_LEN};
+
+fn take<'a>(buf: &mut &'a [u8], n: usize, what: &'static str) -> Result<&'a [u8]> {
+    if buf.len() < n {
+        return Err(SgxError::Crypto(teenet_crypto::CryptoError::Malformed(what)));
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+fn take_var<'a>(buf: &mut &'a [u8], what: &'static str) -> Result<&'a [u8]> {
+    let len_bytes = take(buf, 2, what)?;
+    let len = u16::from_le_bytes([len_bytes[0], len_bytes[1]]) as usize;
+    take(buf, len, what)
+}
+
+fn put_var(out: &mut Vec<u8>, bytes: &[u8]) {
+    debug_assert!(bytes.len() <= u16::MAX as usize);
+    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+impl ReportBody {
+    /// Parses a body from the canonical encoding of
+    /// [`ReportBody::to_bytes`].
+    pub fn from_bytes(mut buf: &[u8]) -> Result<Self> {
+        let mrenclave = take(&mut buf, 32, "report body mrenclave")?;
+        let mrsigner = take(&mut buf, 32, "report body mrsigner")?;
+        let svn = take(&mut buf, 2, "report body svn")?;
+        let data = take(&mut buf, REPORT_DATA_LEN, "report body data")?;
+        if !buf.is_empty() {
+            return Err(SgxError::Crypto(teenet_crypto::CryptoError::Malformed(
+                "report body trailing bytes",
+            )));
+        }
+        Ok(ReportBody {
+            mrenclave: Measurement(mrenclave.try_into().expect("32")),
+            mrsigner: Measurement(mrsigner.try_into().expect("32")),
+            isv_svn: u16::from_le_bytes([svn[0], svn[1]]),
+            report_data: data.try_into().expect("64"),
+        })
+    }
+
+    /// Encoded length of a report body.
+    pub const WIRE_LEN: usize = 32 + 32 + 2 + REPORT_DATA_LEN;
+}
+
+impl Report {
+    /// Canonical wire encoding (body ‖ target ‖ mac).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ReportBody::WIRE_LEN + 64);
+        out.extend_from_slice(&self.body.to_bytes());
+        out.extend_from_slice(&self.target.mrenclave.0);
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Parses the encoding of [`Report::to_bytes`].
+    pub fn from_bytes(mut buf: &[u8]) -> Result<Self> {
+        let body = take(&mut buf, ReportBody::WIRE_LEN, "report body")?;
+        let target = take(&mut buf, 32, "report target")?;
+        let mac = take(&mut buf, 32, "report mac")?;
+        if !buf.is_empty() {
+            return Err(SgxError::Crypto(teenet_crypto::CryptoError::Malformed(
+                "report trailing bytes",
+            )));
+        }
+        Ok(Report {
+            body: ReportBody::from_bytes(body)?,
+            target: TargetInfo {
+                mrenclave: Measurement(target.try_into().expect("32")),
+            },
+            mac: mac.try_into().expect("32"),
+        })
+    }
+}
+
+impl Quote {
+    /// Canonical wire encoding (body ‖ group_id ‖ signature).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let sig = self.signature.to_bytes();
+        let mut out = Vec::with_capacity(ReportBody::WIRE_LEN + 10 + sig.len());
+        out.extend_from_slice(&self.body.to_bytes());
+        out.extend_from_slice(&self.group_id.to_le_bytes());
+        put_var(&mut out, &sig);
+        out
+    }
+
+    /// Parses the encoding of [`Quote::to_bytes`].
+    pub fn from_bytes(mut buf: &[u8]) -> Result<Self> {
+        let body = take(&mut buf, ReportBody::WIRE_LEN, "quote body")?;
+        let gid = take(&mut buf, 8, "quote group id")?;
+        let sig = take_var(&mut buf, "quote signature")?;
+        if !buf.is_empty() {
+            return Err(SgxError::Crypto(teenet_crypto::CryptoError::Malformed(
+                "quote trailing bytes",
+            )));
+        }
+        Ok(Quote {
+            body: ReportBody::from_bytes(body)?,
+            group_id: u64::from_le_bytes(gid.try_into().expect("8")),
+            signature: Signature::from_bytes(sig).map_err(SgxError::Crypto)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::report_data_from;
+    use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
+    use teenet_crypto::SecureRng;
+
+    fn body() -> ReportBody {
+        ReportBody {
+            mrenclave: Measurement([1u8; 32]),
+            mrsigner: Measurement([2u8; 32]),
+            isv_svn: 0x0304,
+            report_data: report_data_from(b"bind me"),
+        }
+    }
+
+    #[test]
+    fn report_body_roundtrip() {
+        let b = body();
+        let parsed = ReportBody::from_bytes(&b.to_bytes()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn report_body_rejects_bad_lengths() {
+        let bytes = body().to_bytes();
+        assert!(ReportBody::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(ReportBody::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let r = Report {
+            body: body(),
+            target: TargetInfo {
+                mrenclave: Measurement([9u8; 32]),
+            },
+            mac: [7u8; 32],
+        };
+        let parsed = Report::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn quote_roundtrip() {
+        let mut rng = SecureRng::seed_from_u64(3);
+        let key = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
+        let sig = key.sign(b"anything", &mut rng).unwrap();
+        let q = Quote {
+            body: body(),
+            group_id: 42,
+            signature: sig,
+        };
+        let parsed = Quote::from_bytes(&q.to_bytes()).unwrap();
+        assert_eq!(parsed.body, q.body);
+        assert_eq!(parsed.group_id, 42);
+        assert_eq!(parsed.signature, q.signature);
+    }
+
+    #[test]
+    fn quote_rejects_truncation_and_trailing() {
+        let mut rng = SecureRng::seed_from_u64(3);
+        let key = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
+        let sig = key.sign(b"anything", &mut rng).unwrap();
+        let q = Quote {
+            body: body(),
+            group_id: 42,
+            signature: sig,
+        };
+        let bytes = q.to_bytes();
+        assert!(Quote::from_bytes(&bytes[..10]).is_err());
+        assert!(Quote::from_bytes(&bytes[..bytes.len() - 2]).is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(Quote::from_bytes(&long).is_err());
+    }
+}

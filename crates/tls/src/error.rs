@@ -1,0 +1,50 @@
+//! Error type for the TLS-like protocol.
+
+use core::fmt;
+use teenet_crypto::CryptoError;
+
+/// Errors from handshake or record processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TlsError {
+    /// A handshake or record message could not be parsed.
+    Malformed(&'static str),
+    /// A message arrived out of handshake order.
+    UnexpectedMessage {
+        /// What the state machine expected.
+        expected: &'static str,
+    },
+    /// The peer offered no mutually supported cipher suite.
+    NoCommonSuite,
+    /// A Finished MAC or record MAC failed.
+    BadMac(&'static str),
+    /// Record sequence number overflowed (session must be rekeyed).
+    SequenceOverflow,
+    /// Underlying crypto error.
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for TlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TlsError::Malformed(what) => write!(f, "malformed message: {what}"),
+            TlsError::UnexpectedMessage { expected } => {
+                write!(f, "unexpected message (expected {expected})")
+            }
+            TlsError::NoCommonSuite => write!(f, "no common cipher suite"),
+            TlsError::BadMac(what) => write!(f, "MAC verification failed: {what}"),
+            TlsError::SequenceOverflow => write!(f, "record sequence overflow"),
+            TlsError::Crypto(e) => write!(f, "crypto error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TlsError {}
+
+impl From<CryptoError> for TlsError {
+    fn from(e: CryptoError) -> Self {
+        TlsError::Crypto(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = core::result::Result<T, TlsError>;

@@ -1,0 +1,449 @@
+//! The handshake: ephemeral Diffie–Hellman with transcript-bound Finished
+//! MACs.
+//!
+//! Message flow (each message is a byte blob the application transports):
+//!
+//! ```text
+//! Client                                   Server
+//!   ClientHello(random, suites)  ───────────▶
+//!   ◀─────────── ServerHello(random, suite, dh_pub)
+//!   ClientKex(dh_pub, finished)  ───────────▶
+//!   ◀─────────────────── ServerFinished(finished)
+//! ```
+//!
+//! Keys derive from HKDF(salt = client_random ‖ server_random,
+//! ikm = DH shared secret); the Finished MACs authenticate the transcript,
+//! so suite downgrades and substituted key shares are detected. Endpoint
+//! *identity* authentication is deliberately out of scope here — in this
+//! workspace identity comes from SGX remote attestation (the paper's
+//! premise), which wraps or replaces certificate-based auth.
+
+use teenet_crypto::dh::{DhGroup, DhKeyPair};
+use teenet_crypto::hkdf;
+use teenet_crypto::hmac::hmac_sha256;
+use teenet_crypto::sha256::Sha256;
+use teenet_crypto::{BigUint, SecureRng};
+
+use crate::error::{Result, TlsError};
+use crate::record::DirectionKeys;
+use crate::session::{Role, SessionKeys, TlsSession};
+use crate::suite::CipherSuite;
+
+const MSG_CLIENT_HELLO: u8 = 1;
+const MSG_SERVER_HELLO: u8 = 2;
+const MSG_CLIENT_KEX: u8 = 3;
+const MSG_SERVER_FINISHED: u8 = 4;
+
+/// Handshake configuration.
+#[derive(Clone)]
+pub struct TlsConfig {
+    /// Cipher suites in preference order.
+    pub suites: Vec<CipherSuite>,
+    /// Diffie–Hellman group (the paper's evaluation uses 1024-bit).
+    pub group: DhGroup,
+}
+
+impl Default for TlsConfig {
+    fn default() -> Self {
+        TlsConfig {
+            suites: vec![
+                CipherSuite::Aes128CtrHmacSha256,
+                CipherSuite::ChaCha20HmacSha256,
+            ],
+            group: DhGroup::modp1024(),
+        }
+    }
+}
+
+impl TlsConfig {
+    /// A configuration with a 768-bit group for fast tests.
+    pub fn fast() -> Self {
+        TlsConfig {
+            group: DhGroup::modp768(),
+            ..Default::default()
+        }
+    }
+}
+
+fn derive_keys(
+    suite: CipherSuite,
+    client_random: &[u8; 32],
+    server_random: &[u8; 32],
+    shared: &[u8],
+) -> Result<(SessionKeys, [u8; 32])> {
+    let mut salt = Vec::with_capacity(64);
+    salt.extend_from_slice(client_random);
+    salt.extend_from_slice(server_random);
+    let prk = hkdf::extract(&salt, shared);
+    let expand = |info: &[u8], len: usize| -> Result<Vec<u8>> {
+        let mut out = vec![0u8; len];
+        hkdf::expand(&prk, info, &mut out)?;
+        Ok(out)
+    };
+    let keys = SessionKeys {
+        suite,
+        client_write: DirectionKeys {
+            enc_key: expand(b"client-enc", suite.key_len())?,
+            mac_key: expand(b"client-mac", 32)?.try_into().expect("32 bytes"),
+        },
+        server_write: DirectionKeys {
+            enc_key: expand(b"server-enc", suite.key_len())?,
+            mac_key: expand(b"server-mac", 32)?.try_into().expect("32 bytes"),
+        },
+    };
+    Ok((keys, prk))
+}
+
+fn finished_mac(prk: &[u8; 32], label: &[u8], transcript: &Sha256) -> [u8; 32] {
+    let digest = transcript.clone().finalize();
+    let mut msg = Vec::with_capacity(label.len() + 32);
+    msg.extend_from_slice(label);
+    msg.extend_from_slice(&digest);
+    hmac_sha256(prk, &msg)
+}
+
+/// Client-side handshake state machine.
+pub struct TlsClient {
+    config: TlsConfig,
+    random: [u8; 32],
+    keypair: DhKeyPair,
+    transcript: Sha256,
+    hello_sent: bool,
+}
+
+impl TlsClient {
+    /// Starts a handshake; returns the state machine and the ClientHello.
+    pub fn start(config: TlsConfig, rng: &mut SecureRng) -> Result<(Self, Vec<u8>)> {
+        if config.suites.is_empty() {
+            return Err(TlsError::NoCommonSuite);
+        }
+        let mut random = [0u8; 32];
+        rng.fill_bytes(&mut random);
+        let keypair = DhKeyPair::generate(&config.group, rng)?;
+        let mut hello = Vec::with_capacity(34 + config.suites.len());
+        hello.push(MSG_CLIENT_HELLO);
+        hello.extend_from_slice(&random);
+        hello.push(config.suites.len() as u8);
+        for s in &config.suites {
+            hello.push(*s as u8);
+        }
+        let mut transcript = Sha256::new();
+        transcript.update(&hello);
+        Ok((
+            TlsClient {
+                config,
+                random,
+                keypair,
+                transcript,
+                hello_sent: true,
+            },
+            hello,
+        ))
+    }
+
+    /// Processes the ServerHello; returns the ClientKex message and the
+    /// pending session (finalised when the ServerFinished arrives).
+    pub fn on_server_hello(mut self, msg: &[u8]) -> Result<(TlsClientAwaitFinished, Vec<u8>)> {
+        if !self.hello_sent {
+            return Err(TlsError::UnexpectedMessage {
+                expected: "start first",
+            });
+        }
+        if msg.len() < 36 || msg[0] != MSG_SERVER_HELLO {
+            return Err(TlsError::Malformed("ServerHello"));
+        }
+        let mut server_random = [0u8; 32];
+        server_random.copy_from_slice(&msg[1..33]);
+        let suite = CipherSuite::from_u8(msg[33]).ok_or(TlsError::Malformed("suite byte"))?;
+        if !self.config.suites.contains(&suite) {
+            return Err(TlsError::NoCommonSuite);
+        }
+        let dh_len = u16::from_be_bytes([msg[34], msg[35]]) as usize;
+        if msg.len() != 36 + dh_len {
+            return Err(TlsError::Malformed("ServerHello length"));
+        }
+        let server_pub = BigUint::from_bytes_be(&msg[36..]);
+        self.transcript.update(msg);
+
+        let shared = self.keypair.shared_secret(&server_pub)?;
+        let (keys, prk) = derive_keys(suite, &self.random, &server_random, &shared)?;
+
+        // ClientKex: our DH share, then Finished over the transcript
+        // including that share.
+        let pub_bytes = self.keypair.public_bytes();
+        let mut kex = Vec::with_capacity(3 + pub_bytes.len() + 32);
+        kex.push(MSG_CLIENT_KEX);
+        kex.extend_from_slice(&(pub_bytes.len() as u16).to_be_bytes());
+        kex.extend_from_slice(&pub_bytes);
+        self.transcript.update(&kex);
+        let fin = finished_mac(&prk, b"client finished", &self.transcript);
+        kex.extend_from_slice(&fin);
+
+        Ok((
+            TlsClientAwaitFinished {
+                keys,
+                prk,
+                transcript: self.transcript,
+            },
+            kex,
+        ))
+    }
+}
+
+/// Client state after sending ClientKex, awaiting ServerFinished.
+pub struct TlsClientAwaitFinished {
+    keys: SessionKeys,
+    prk: [u8; 32],
+    transcript: Sha256,
+}
+
+impl TlsClientAwaitFinished {
+    /// Verifies the ServerFinished and yields the established session.
+    pub fn on_server_finished(self, msg: &[u8]) -> Result<TlsSession> {
+        if msg.len() != 33 || msg[0] != MSG_SERVER_FINISHED {
+            return Err(TlsError::Malformed("ServerFinished"));
+        }
+        let expected = finished_mac(&self.prk, b"server finished", &self.transcript);
+        if !teenet_crypto::ct::ct_eq(&expected, &msg[1..]) {
+            return Err(TlsError::BadMac("server Finished"));
+        }
+        Ok(TlsSession::new(Role::Client, self.keys))
+    }
+}
+
+/// Server-side handshake state machine.
+pub struct TlsServer {
+    config: TlsConfig,
+}
+
+impl TlsServer {
+    /// Creates a server with the given configuration.
+    pub fn new(config: TlsConfig) -> Self {
+        TlsServer { config }
+    }
+
+    /// Processes a ClientHello; returns the ServerHello and the state
+    /// awaiting the ClientKex.
+    pub fn on_client_hello(
+        &self,
+        msg: &[u8],
+        rng: &mut SecureRng,
+    ) -> Result<(TlsServerAwaitKex, Vec<u8>)> {
+        if msg.len() < 34 || msg[0] != MSG_CLIENT_HELLO {
+            return Err(TlsError::Malformed("ClientHello"));
+        }
+        let mut client_random = [0u8; 32];
+        client_random.copy_from_slice(&msg[1..33]);
+        let n_suites = msg[33] as usize;
+        if msg.len() != 34 + n_suites {
+            return Err(TlsError::Malformed("ClientHello length"));
+        }
+        // First client-offered suite we also support (client preference).
+        let suite = msg[34..]
+            .iter()
+            .filter_map(|&b| CipherSuite::from_u8(b))
+            .find(|s| self.config.suites.contains(s))
+            .ok_or(TlsError::NoCommonSuite)?;
+
+        let mut server_random = [0u8; 32];
+        rng.fill_bytes(&mut server_random);
+        let keypair = DhKeyPair::generate(&self.config.group, rng)?;
+        let pub_bytes = keypair.public_bytes();
+
+        let mut hello = Vec::with_capacity(36 + pub_bytes.len());
+        hello.push(MSG_SERVER_HELLO);
+        hello.extend_from_slice(&server_random);
+        hello.push(suite as u8);
+        hello.extend_from_slice(&(pub_bytes.len() as u16).to_be_bytes());
+        hello.extend_from_slice(&pub_bytes);
+
+        let mut transcript = Sha256::new();
+        transcript.update(msg);
+        transcript.update(&hello);
+
+        Ok((
+            TlsServerAwaitKex {
+                suite,
+                client_random,
+                server_random,
+                keypair,
+                transcript,
+            },
+            hello,
+        ))
+    }
+}
+
+/// Server state awaiting the ClientKex.
+pub struct TlsServerAwaitKex {
+    suite: CipherSuite,
+    client_random: [u8; 32],
+    server_random: [u8; 32],
+    keypair: DhKeyPair,
+    transcript: Sha256,
+}
+
+impl TlsServerAwaitKex {
+    /// Processes the ClientKex: verifies the client Finished, returns the
+    /// ServerFinished message and the established session.
+    pub fn on_client_kex(mut self, msg: &[u8]) -> Result<(TlsSession, Vec<u8>)> {
+        if msg.len() < 35 || msg[0] != MSG_CLIENT_KEX {
+            return Err(TlsError::Malformed("ClientKex"));
+        }
+        let dh_len = u16::from_be_bytes([msg[1], msg[2]]) as usize;
+        if msg.len() != 3 + dh_len + 32 {
+            return Err(TlsError::Malformed("ClientKex length"));
+        }
+        let client_pub = BigUint::from_bytes_be(&msg[3..3 + dh_len]);
+        let client_fin = &msg[3 + dh_len..];
+
+        let shared = self.keypair.shared_secret(&client_pub)?;
+        let (keys, prk) = derive_keys(
+            self.suite,
+            &self.client_random,
+            &self.server_random,
+            &shared,
+        )?;
+
+        // Transcript includes the kex message *without* its Finished MAC.
+        self.transcript.update(&msg[..3 + dh_len]);
+        let expected = finished_mac(&prk, b"client finished", &self.transcript);
+        if !teenet_crypto::ct::ct_eq(&expected, client_fin) {
+            return Err(TlsError::BadMac("client Finished"));
+        }
+
+        let fin = finished_mac(&prk, b"server finished", &self.transcript);
+        let mut out = Vec::with_capacity(33);
+        out.push(MSG_SERVER_FINISHED);
+        out.extend_from_slice(&fin);
+        Ok((TlsSession::new(Role::Server, keys), out))
+    }
+}
+
+/// Runs a complete in-memory handshake (convenience for tests, examples and
+/// the case studies).
+pub fn handshake(
+    config: TlsConfig,
+    client_rng: &mut SecureRng,
+    server_rng: &mut SecureRng,
+) -> Result<(TlsSession, TlsSession)> {
+    let server = TlsServer::new(config.clone());
+    let (client, hello) = TlsClient::start(config, client_rng)?;
+    let (server_await, server_hello) = server.on_client_hello(&hello, server_rng)?;
+    let (client_await, kex) = client.on_server_hello(&server_hello)?;
+    let (server_session, server_fin) = server_await.on_client_kex(&kex)?;
+    let client_session = client_await.on_server_finished(&server_fin)?;
+    Ok((client_session, server_session))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rngs() -> (SecureRng, SecureRng) {
+        (SecureRng::seed_from_u64(1), SecureRng::seed_from_u64(2))
+    }
+
+    #[test]
+    fn full_handshake_and_data() {
+        let (mut crng, mut srng) = rngs();
+        let (mut c, mut s) = handshake(TlsConfig::fast(), &mut crng, &mut srng).unwrap();
+        let rec = c.send(b"GET / HTTP/1.1").unwrap();
+        assert_eq!(s.recv(&rec).unwrap(), b"GET / HTTP/1.1");
+        let rec = s.send(b"200 OK").unwrap();
+        assert_eq!(c.recv(&rec).unwrap(), b"200 OK");
+    }
+
+    #[test]
+    fn suite_negotiation_picks_client_preference() {
+        let (mut crng, mut srng) = rngs();
+        let client_cfg = TlsConfig {
+            suites: vec![CipherSuite::ChaCha20HmacSha256],
+            ..TlsConfig::fast()
+        };
+        let server = TlsServer::new(TlsConfig::fast());
+        let (client, hello) = TlsClient::start(client_cfg, &mut crng).unwrap();
+        let (sa, sh) = server.on_client_hello(&hello, &mut srng).unwrap();
+        let (ca, kex) = client.on_server_hello(&sh).unwrap();
+        let (mut ssess, fin) = sa.on_client_kex(&kex).unwrap();
+        let mut csess = ca.on_server_finished(&fin).unwrap();
+        assert_eq!(csess.export_keys().suite, CipherSuite::ChaCha20HmacSha256);
+        let rec = csess.send(b"x").unwrap();
+        assert_eq!(ssess.recv(&rec).unwrap(), b"x");
+    }
+
+    #[test]
+    fn no_common_suite_fails() {
+        let (mut crng, mut srng) = rngs();
+        let client_cfg = TlsConfig {
+            suites: vec![CipherSuite::ChaCha20HmacSha256],
+            ..TlsConfig::fast()
+        };
+        let server_cfg = TlsConfig {
+            suites: vec![CipherSuite::Aes128CtrHmacSha256],
+            ..TlsConfig::fast()
+        };
+        let server = TlsServer::new(server_cfg);
+        let (_, hello) = TlsClient::start(client_cfg, &mut crng).unwrap();
+        assert!(matches!(
+            server.on_client_hello(&hello, &mut srng),
+            Err(TlsError::NoCommonSuite)
+        ));
+    }
+
+    #[test]
+    fn tampered_server_hello_detected() {
+        // A MITM substituting the server's DH share breaks the Finished
+        // exchange (transcript mismatch on one side or shared-secret
+        // mismatch feeding into the MACs).
+        let (mut crng, mut srng) = rngs();
+        let mut mitm_rng = SecureRng::seed_from_u64(666);
+        let cfg = TlsConfig::fast();
+        let server = TlsServer::new(cfg.clone());
+        let (client, hello) = TlsClient::start(cfg.clone(), &mut crng).unwrap();
+        let (sa, mut sh) = server.on_client_hello(&hello, &mut srng).unwrap();
+        // Replace the server DH public value with the attacker's.
+        let attacker = DhKeyPair::generate(&cfg.group, &mut mitm_rng).unwrap();
+        let attacker_pub = attacker.public_bytes();
+        let dh_off = 36;
+        sh[dh_off..].copy_from_slice(&attacker_pub);
+        let (_, kex) = client.on_server_hello(&sh).unwrap();
+        // Server sees a Finished computed over a different shared secret.
+        assert!(sa.on_client_kex(&kex).is_err());
+    }
+
+    #[test]
+    fn tampered_finished_detected() {
+        let (mut crng, mut srng) = rngs();
+        let cfg = TlsConfig::fast();
+        let server = TlsServer::new(cfg.clone());
+        let (client, hello) = TlsClient::start(cfg, &mut crng).unwrap();
+        let (sa, sh) = server.on_client_hello(&hello, &mut srng).unwrap();
+        let (ca, kex) = client.on_server_hello(&sh).unwrap();
+        let (_, mut fin) = sa.on_client_kex(&kex).unwrap();
+        fin[5] ^= 1;
+        assert!(ca.on_server_finished(&fin).is_err());
+    }
+
+    #[test]
+    fn malformed_messages_rejected() {
+        let (mut crng, mut srng) = rngs();
+        let cfg = TlsConfig::fast();
+        let server = TlsServer::new(cfg.clone());
+        assert!(server.on_client_hello(b"", &mut srng).is_err());
+        assert!(server.on_client_hello(&[9u8; 40], &mut srng).is_err());
+        let (client, _) = TlsClient::start(cfg, &mut crng).unwrap();
+        assert!(client.on_server_hello(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn sessions_differ_across_handshakes() {
+        let (mut crng, mut srng) = rngs();
+        let (mut c1, _) = handshake(TlsConfig::fast(), &mut crng, &mut srng).unwrap();
+        let (mut c2, _) = handshake(TlsConfig::fast(), &mut crng, &mut srng).unwrap();
+        // Same plaintext encrypts differently under independent sessions.
+        let r1 = c1.send(b"same").unwrap();
+        let r2 = c2.send(b"same").unwrap();
+        assert_ne!(r1, r2);
+    }
+}

@@ -1,0 +1,242 @@
+//! Fixed-size Tor cells and relay sub-payloads.
+//!
+//! Cells are the 512-byte unit of Tor's wire protocol: a circuit id, a
+//! command, and a padded payload. Relay cells carry a second header inside
+//! the onion-encrypted payload — command, "recognized" marker, digest and
+//! length — which is how the terminal hop of a circuit recognises cells
+//! addressed to it.
+
+use crate::error::{Result, TorError};
+
+/// Total cell size on the wire.
+pub const CELL_LEN: usize = 512;
+/// Payload bytes after the 4-byte circuit id and 1-byte command.
+pub const PAYLOAD_LEN: usize = CELL_LEN - 5;
+/// Relay sub-header: cmd(1) + recognized(2) + digest(4) + len(2).
+pub const RELAY_HEADER_LEN: usize = 9;
+/// Maximum data bytes in one relay cell.
+pub const RELAY_DATA_LEN: usize = PAYLOAD_LEN - RELAY_HEADER_LEN;
+
+/// Link-level cell commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CellCmd {
+    /// First hop of circuit creation (carries a DH share).
+    Create = 1,
+    /// Response to CREATE (carries the responder DH share).
+    Created = 2,
+    /// Onion-encrypted relay payload.
+    Relay = 3,
+    /// Circuit teardown.
+    Destroy = 4,
+}
+
+impl CellCmd {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(CellCmd::Create),
+            2 => Some(CellCmd::Created),
+            3 => Some(CellCmd::Relay),
+            4 => Some(CellCmd::Destroy),
+            _ => None,
+        }
+    }
+}
+
+/// Commands inside a relay payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RelayCmd {
+    /// Extend the circuit to another router.
+    Extend = 1,
+    /// The circuit was extended.
+    Extended = 2,
+    /// Open a stream to a destination.
+    Begin = 3,
+    /// The stream is open.
+    Connected = 4,
+    /// Stream data.
+    Data = 5,
+    /// Stream closed.
+    End = 6,
+}
+
+impl RelayCmd {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(RelayCmd::Extend),
+            2 => Some(RelayCmd::Extended),
+            3 => Some(RelayCmd::Begin),
+            4 => Some(RelayCmd::Connected),
+            5 => Some(RelayCmd::Data),
+            6 => Some(RelayCmd::End),
+            _ => None,
+        }
+    }
+}
+
+/// A fixed-size cell.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Link-local circuit id.
+    pub circ_id: u32,
+    /// Cell command.
+    pub cmd: CellCmd,
+    /// Padded payload.
+    pub payload: [u8; PAYLOAD_LEN],
+}
+
+impl core::fmt::Debug for Cell {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Cell(circ={}, cmd={:?})", self.circ_id, self.cmd)
+    }
+}
+
+impl Cell {
+    /// Builds a cell, zero-padding `data` into the payload.
+    pub fn new(circ_id: u32, cmd: CellCmd, data: &[u8]) -> Result<Self> {
+        if data.len() > PAYLOAD_LEN {
+            return Err(TorError::BadCell("payload too large"));
+        }
+        let mut payload = [0u8; PAYLOAD_LEN];
+        payload[..data.len()].copy_from_slice(data);
+        Ok(Cell {
+            circ_id,
+            cmd,
+            payload,
+        })
+    }
+
+    /// Serialises to exactly [`CELL_LEN`] bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CELL_LEN);
+        out.extend_from_slice(&self.circ_id.to_be_bytes());
+        out.push(self.cmd as u8);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a [`CELL_LEN`]-byte buffer.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self> {
+        if buf.len() != CELL_LEN {
+            return Err(TorError::BadCell("wrong cell length"));
+        }
+        let circ_id = u32::from_be_bytes(buf[..4].try_into().expect("4"));
+        let cmd = CellCmd::from_u8(buf[4]).ok_or(TorError::BadCell("unknown command"))?;
+        let mut payload = [0u8; PAYLOAD_LEN];
+        payload.copy_from_slice(&buf[5..]);
+        Ok(Cell {
+            circ_id,
+            cmd,
+            payload,
+        })
+    }
+}
+
+/// A parsed relay sub-payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelayPayload {
+    /// Relay command.
+    pub cmd: RelayCmd,
+    /// Digest over the payload (zeroed during computation).
+    pub digest: [u8; 4],
+    /// The data bytes.
+    pub data: Vec<u8>,
+}
+
+impl RelayPayload {
+    /// Builds a relay payload (digest zero; set by the crypto layer).
+    pub fn new(cmd: RelayCmd, data: &[u8]) -> Result<Self> {
+        if data.len() > RELAY_DATA_LEN {
+            return Err(TorError::BadCell("relay data too large"));
+        }
+        Ok(RelayPayload {
+            cmd,
+            digest: [0u8; 4],
+            data: data.to_vec(),
+        })
+    }
+
+    /// Encodes into a fixed [`PAYLOAD_LEN`] buffer.
+    pub fn encode(&self) -> [u8; PAYLOAD_LEN] {
+        let mut out = [0u8; PAYLOAD_LEN];
+        out[0] = self.cmd as u8;
+        // bytes 1..3: "recognized" = 0.
+        out[3..7].copy_from_slice(&self.digest);
+        out[7..9].copy_from_slice(&(self.data.len() as u16).to_be_bytes());
+        out[RELAY_HEADER_LEN..RELAY_HEADER_LEN + self.data.len()].copy_from_slice(&self.data);
+        out
+    }
+
+    /// Attempts to parse a decrypted payload; fails if the "recognized"
+    /// marker is nonzero (meaning: more onion layers remain) or the
+    /// structure is invalid.
+    pub fn decode(buf: &[u8; PAYLOAD_LEN]) -> Result<Self> {
+        if buf[1] != 0 || buf[2] != 0 {
+            return Err(TorError::BadCell("not recognized"));
+        }
+        let cmd = RelayCmd::from_u8(buf[0]).ok_or(TorError::BadCell("unknown relay command"))?;
+        let mut digest = [0u8; 4];
+        digest.copy_from_slice(&buf[3..7]);
+        let len = u16::from_be_bytes([buf[7], buf[8]]) as usize;
+        if len > RELAY_DATA_LEN {
+            return Err(TorError::BadCell("relay length"));
+        }
+        Ok(RelayPayload {
+            cmd,
+            digest,
+            data: buf[RELAY_HEADER_LEN..RELAY_HEADER_LEN + len].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_roundtrip() {
+        let c = Cell::new(7, CellCmd::Create, b"dh share bytes").unwrap();
+        let bytes = c.to_bytes();
+        assert_eq!(bytes.len(), CELL_LEN);
+        let parsed = Cell::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn cell_rejects_bad_input() {
+        assert!(Cell::from_bytes(&[0u8; 100]).is_err());
+        let mut bytes = Cell::new(1, CellCmd::Relay, b"").unwrap().to_bytes();
+        bytes[4] = 99;
+        assert!(Cell::from_bytes(&bytes).is_err());
+        assert!(Cell::new(1, CellCmd::Relay, &[0u8; PAYLOAD_LEN + 1]).is_err());
+    }
+
+    #[test]
+    fn relay_payload_roundtrip() {
+        let p = RelayPayload::new(RelayCmd::Data, b"stream bytes").unwrap();
+        let encoded = p.encode();
+        let parsed = RelayPayload::decode(&encoded).unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn relay_payload_unrecognized_when_encrypted() {
+        // Random-looking bytes (still-encrypted layers) have nonzero
+        // "recognized" with overwhelming probability; decode must reject.
+        let mut buf = [0u8; PAYLOAD_LEN];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = (i * 37 + 11) as u8;
+        }
+        assert!(RelayPayload::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn relay_payload_max_data() {
+        let data = vec![0x5au8; RELAY_DATA_LEN];
+        let p = RelayPayload::new(RelayCmd::Data, &data).unwrap();
+        let parsed = RelayPayload::decode(&p.encode()).unwrap();
+        assert_eq!(parsed.data, data);
+        assert!(RelayPayload::new(RelayCmd::Data, &vec![0u8; RELAY_DATA_LEN + 1]).is_err());
+    }
+}

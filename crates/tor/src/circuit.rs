@@ -1,0 +1,420 @@
+//! The client (onion proxy): telescoping circuit construction and stream
+//! use.
+//!
+//! The client holds one [`HopKeys`] per established hop. Forward cells are
+//! sealed for the terminal hop and encrypted innermost-first; backward
+//! cells are stripped hop by hop until one hop's keys "recognise" the
+//! payload and its digest verifies (leaky-pipe style), which also tells
+//! the client which hop originated the cell.
+
+use std::collections::HashMap;
+
+use teenet_crypto::dh::{DhGroup, DhKeyPair};
+use teenet_crypto::{BigUint, SecureRng};
+use teenet_netsim::NodeId;
+
+use crate::cell::{Cell, CellCmd, RelayCmd, RelayPayload};
+use crate::crypto::{seal_relay, verify_relay_digest, HopKeys};
+use crate::error::{Result, TorError};
+use crate::network::frame_cell;
+
+/// Client-observable circuit events (for tests and reports).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// First hop established.
+    Created {
+        /// Circuit id.
+        circ: u32,
+    },
+    /// A hop was added.
+    Extended {
+        /// Circuit id.
+        circ: u32,
+        /// Hops established so far.
+        hops: usize,
+    },
+    /// All hops established.
+    Ready {
+        /// Circuit id.
+        circ: u32,
+    },
+    /// Stream open confirmed by the exit.
+    Connected {
+        /// Circuit id.
+        circ: u32,
+    },
+    /// Stream data delivered.
+    Data {
+        /// Circuit id.
+        circ: u32,
+        /// The delivered bytes.
+        data: Vec<u8>,
+    },
+    /// Stream refused/closed by the exit.
+    StreamEnd {
+        /// Circuit id.
+        circ: u32,
+        /// Reason bytes from the exit.
+        reason: Vec<u8>,
+    },
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum CircuitPhase {
+    Building,
+    Ready,
+}
+
+struct ClientCircuit {
+    path: Vec<NodeId>,
+    hops: Vec<HopKeys>,
+    pending_dh: Option<DhKeyPair>,
+    phase: CircuitPhase,
+}
+
+/// A Tor client.
+pub struct TorClient {
+    /// The client's network address.
+    pub net_node: NodeId,
+    group: DhGroup,
+    rng: SecureRng,
+    circuits: HashMap<u32, ClientCircuit>,
+    next_circ: u32,
+    /// Event log (latest last).
+    pub events: Vec<ClientEvent>,
+}
+
+impl TorClient {
+    /// Creates a client at `net_node`.
+    pub fn new(net_node: NodeId, group: DhGroup, rng: SecureRng) -> Self {
+        TorClient {
+            net_node,
+            group,
+            rng,
+            circuits: HashMap::new(),
+            next_circ: 1,
+            events: Vec::new(),
+        }
+    }
+
+    /// Starts building a circuit through `path` (relay network addresses,
+    /// guard first). Returns the circuit id and the initial messages.
+    pub fn open_circuit(&mut self, path: Vec<NodeId>) -> Result<(u32, Vec<(NodeId, Vec<u8>)>)> {
+        if path.is_empty() {
+            return Err(TorError::NoPath("empty path"));
+        }
+        let circ = self.next_circ;
+        self.next_circ += 1;
+        let dh = DhKeyPair::generate(&self.group, &mut self.rng)?;
+        let pub_bytes = dh.public_bytes();
+        let mut data = Vec::with_capacity(2 + pub_bytes.len());
+        data.extend_from_slice(&(pub_bytes.len() as u16).to_be_bytes());
+        data.extend_from_slice(&pub_bytes);
+        let create = Cell::new(circ, CellCmd::Create, &data)?;
+        let guard = path[0];
+        self.circuits.insert(
+            circ,
+            ClientCircuit {
+                path,
+                hops: Vec::new(),
+                pending_dh: Some(dh),
+                phase: CircuitPhase::Building,
+            },
+        );
+        Ok((circ, vec![(guard, frame_cell(&create))]))
+    }
+
+    /// True once the circuit has all its hops.
+    pub fn is_ready(&self, circ: u32) -> bool {
+        self.circuits
+            .get(&circ)
+            .map(|c| c.phase == CircuitPhase::Ready)
+            .unwrap_or(false)
+    }
+
+    /// Opens a stream to `dest` through a ready circuit.
+    pub fn begin(&mut self, circ: u32, dest: NodeId) -> Result<Vec<(NodeId, Vec<u8>)>> {
+        let payload = RelayPayload::new(RelayCmd::Begin, &dest.0.to_be_bytes())?;
+        self.send_relay(circ, payload)
+    }
+
+    /// Sends stream data through a ready circuit.
+    pub fn send_data(&mut self, circ: u32, data: &[u8]) -> Result<Vec<(NodeId, Vec<u8>)>> {
+        let payload = RelayPayload::new(RelayCmd::Data, data)?;
+        self.send_relay(circ, payload)
+    }
+
+    /// Tears down a circuit.
+    pub fn destroy(&mut self, circ: u32) -> Result<Vec<(NodeId, Vec<u8>)>> {
+        let state = self
+            .circuits
+            .remove(&circ)
+            .ok_or(TorError::UnknownCircuit(circ))?;
+        let destroy = Cell::new(circ, CellCmd::Destroy, b"")?;
+        Ok(vec![(state.path[0], frame_cell(&destroy))])
+    }
+
+    fn send_relay(&mut self, circ: u32, payload: RelayPayload) -> Result<Vec<(NodeId, Vec<u8>)>> {
+        let state = self
+            .circuits
+            .get_mut(&circ)
+            .ok_or(TorError::UnknownCircuit(circ))?;
+        if state.phase != CircuitPhase::Ready {
+            return Err(TorError::CircuitState("circuit not ready"));
+        }
+        let sealed = Self::onionize(&mut state.hops, &payload);
+        let cell = Cell {
+            circ_id: circ,
+            cmd: CellCmd::Relay,
+            payload: sealed,
+        };
+        Ok(vec![(state.path[0], frame_cell(&cell))])
+    }
+
+    /// Seals for the terminal hop, then applies all layers innermost-first.
+    fn onionize(
+        hops: &mut [HopKeys],
+        payload: &RelayPayload,
+    ) -> [u8; crate::cell::PAYLOAD_LEN] {
+        let terminal = hops.last().expect("at least one hop");
+        let mut sealed = seal_relay(terminal, true, payload);
+        for hop in hops.iter_mut().rev() {
+            hop.crypt_forward(&mut sealed);
+        }
+        sealed
+    }
+
+    /// Processes one inbound link message.
+    pub fn handle(&mut self, from: NodeId, msg: &[u8]) -> Vec<(NodeId, Vec<u8>)> {
+        if msg.first() != Some(&crate::network::TAG_CELL) {
+            return Vec::new();
+        }
+        let Ok(cell) = Cell::from_bytes(&msg[1..]) else {
+            return Vec::new();
+        };
+        self.handle_cell(from, cell).unwrap_or_default()
+    }
+
+    fn handle_cell(&mut self, from: NodeId, cell: Cell) -> Result<Vec<(NodeId, Vec<u8>)>> {
+        let circ = cell.circ_id;
+        let state = self
+            .circuits
+            .get_mut(&circ)
+            .ok_or(TorError::UnknownCircuit(circ))?;
+        if state.path.first() != Some(&from) {
+            return Err(TorError::BadCell("cell from non-guard"));
+        }
+        match cell.cmd {
+            CellCmd::Created => {
+                // Guard's DH answer: establish hop 0.
+                let len = u16::from_be_bytes([cell.payload[0], cell.payload[1]]) as usize;
+                if 2 + len > cell.payload.len() {
+                    return Err(TorError::BadCell("CREATED dh length"));
+                }
+                let relay_pub = BigUint::from_bytes_be(&cell.payload[2..2 + len]);
+                let dh = state
+                    .pending_dh
+                    .take()
+                    .ok_or(TorError::CircuitState("no pending DH"))?;
+                let shared = dh.shared_secret(&relay_pub)?;
+                state.hops.push(HopKeys::derive(&shared)?);
+                self.events.push(ClientEvent::Created { circ });
+                self.continue_building(circ)
+            }
+            CellCmd::Relay => {
+                // Strip layers until one hop recognises the payload.
+                let mut payload = cell.payload;
+                let mut consumed: Option<(usize, RelayPayload)> = None;
+                for i in 0..state.hops.len() {
+                    let ctr = state.hops[i].back_ctr;
+                    state.hops[i].crypt_backward(&mut payload);
+                    if let Ok(parsed) = RelayPayload::decode(&payload) {
+                        if verify_relay_digest(&state.hops[i], false, ctr, &parsed).is_ok() {
+                            consumed = Some((i, parsed));
+                            break;
+                        }
+                    }
+                }
+                let (_, parsed) = consumed.ok_or(TorError::DigestMismatch)?;
+                match parsed.cmd {
+                    RelayCmd::Extended => {
+                        if parsed.data.len() < 2 {
+                            return Err(TorError::BadCell("EXTENDED payload"));
+                        }
+                        let len =
+                            u16::from_be_bytes([parsed.data[0], parsed.data[1]]) as usize;
+                        if 2 + len > parsed.data.len() {
+                            return Err(TorError::BadCell("EXTENDED dh length"));
+                        }
+                        let relay_pub = BigUint::from_bytes_be(&parsed.data[2..2 + len]);
+                        let state = self.circuits.get_mut(&circ).expect("circuit exists");
+                        let dh = state
+                            .pending_dh
+                            .take()
+                            .ok_or(TorError::CircuitState("no pending DH"))?;
+                        let shared = dh.shared_secret(&relay_pub)?;
+                        state.hops.push(HopKeys::derive(&shared)?);
+                        self.events.push(ClientEvent::Extended {
+                            circ,
+                            hops: state.hops.len(),
+                        });
+                        self.continue_building(circ)
+                    }
+                    RelayCmd::Connected => {
+                        self.events.push(ClientEvent::Connected { circ });
+                        Ok(Vec::new())
+                    }
+                    RelayCmd::Data => {
+                        self.events.push(ClientEvent::Data {
+                            circ,
+                            data: parsed.data,
+                        });
+                        Ok(Vec::new())
+                    }
+                    RelayCmd::End => {
+                        self.events.push(ClientEvent::StreamEnd {
+                            circ,
+                            reason: parsed.data,
+                        });
+                        Ok(Vec::new())
+                    }
+                    _ => Err(TorError::BadCell("unexpected relay command at client")),
+                }
+            }
+            CellCmd::Destroy => {
+                self.circuits.remove(&circ);
+                Ok(Vec::new())
+            }
+            CellCmd::Create => Err(TorError::BadCell("CREATE at client")),
+        }
+    }
+
+    /// After a hop is established: extend to the next, or mark ready.
+    fn continue_building(&mut self, circ: u32) -> Result<Vec<(NodeId, Vec<u8>)>> {
+        let state = self
+            .circuits
+            .get_mut(&circ)
+            .ok_or(TorError::UnknownCircuit(circ))?;
+        let established = state.hops.len();
+        if established == state.path.len() {
+            state.phase = CircuitPhase::Ready;
+            self.events.push(ClientEvent::Ready { circ });
+            return Ok(Vec::new());
+        }
+        // Extend to path[established].
+        let next = state.path[established];
+        let dh = DhKeyPair::generate(&self.group, &mut self.rng)?;
+        let pub_bytes = dh.public_bytes();
+        state.pending_dh = Some(dh);
+        let mut data = Vec::with_capacity(6 + pub_bytes.len());
+        data.extend_from_slice(&next.0.to_be_bytes());
+        data.extend_from_slice(&(pub_bytes.len() as u16).to_be_bytes());
+        data.extend_from_slice(&pub_bytes);
+        let payload = RelayPayload::new(RelayCmd::Extend, &data)?;
+        let sealed = Self::onionize(&mut state.hops, &payload);
+        let cell = Cell {
+            circ_id: circ,
+            cmd: CellCmd::Relay,
+            payload: sealed,
+        };
+        Ok(vec![(state.path[0], frame_cell(&cell))])
+    }
+
+    /// Data received on a circuit so far.
+    pub fn received_data(&self, circ: u32) -> Vec<&[u8]> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                ClientEvent::Data { circ: c, data } if *c == circ => Some(data.as_slice()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::PAYLOAD_LEN;
+    use crate::network::frame_cell;
+
+    fn client() -> TorClient {
+        TorClient::new(
+            NodeId(0),
+            DhGroup::modp768(),
+            SecureRng::seed_from_u64(5),
+        )
+    }
+
+    #[test]
+    fn open_circuit_emits_create_to_guard() {
+        let mut c = client();
+        let (circ, msgs) = c.open_circuit(vec![NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].0, NodeId(1));
+        let cell = Cell::from_bytes(&msgs[0].1[1..]).unwrap();
+        assert_eq!(cell.cmd, CellCmd::Create);
+        assert_eq!(cell.circ_id, circ);
+        assert!(!c.is_ready(circ));
+    }
+
+    #[test]
+    fn empty_path_rejected() {
+        let mut c = client();
+        assert!(c.open_circuit(vec![]).is_err());
+    }
+
+    #[test]
+    fn malicious_guard_oversized_created_does_not_panic() {
+        // The guard answers CREATED with a length field larger than the
+        // payload; the client must drop it and keep the circuit pending.
+        let mut c = client();
+        let (circ, _) = c.open_circuit(vec![NodeId(1)]).unwrap();
+        let mut payload = [0u8; PAYLOAD_LEN];
+        payload[..2].copy_from_slice(&u16::MAX.to_be_bytes());
+        let evil = Cell {
+            circ_id: circ,
+            cmd: CellCmd::Created,
+            payload,
+        };
+        let out = c.handle(NodeId(1), &frame_cell(&evil));
+        assert!(out.is_empty());
+        assert!(!c.is_ready(circ));
+    }
+
+    #[test]
+    fn cells_from_non_guard_ignored() {
+        // Only the guard may speak to the client on this circuit; an
+        // off-path attacker injecting cells is ignored.
+        let mut c = client();
+        let (circ, _) = c.open_circuit(vec![NodeId(1)]).unwrap();
+        let cell = Cell::new(circ, CellCmd::Created, &[0u8, 1, 42]).unwrap();
+        let out = c.handle(NodeId(9), &frame_cell(&cell));
+        assert!(out.is_empty());
+        assert!(!c.is_ready(circ));
+    }
+
+    #[test]
+    fn unknown_circuit_cells_ignored() {
+        let mut c = client();
+        let cell = Cell::new(777, CellCmd::Relay, b"").unwrap();
+        assert!(c.handle(NodeId(1), &frame_cell(&cell)).is_empty());
+    }
+
+    #[test]
+    fn sending_before_ready_fails() {
+        let mut c = client();
+        let (circ, _) = c.open_circuit(vec![NodeId(1)]).unwrap();
+        assert!(c.send_data(circ, b"too early").is_err());
+        assert!(c.begin(circ, NodeId(5)).is_err());
+    }
+
+    #[test]
+    fn destroy_removes_circuit() {
+        let mut c = client();
+        let (circ, _) = c.open_circuit(vec![NodeId(1)]).unwrap();
+        let msgs = c.destroy(circ).unwrap();
+        assert_eq!(msgs[0].0, NodeId(1));
+        assert!(c.destroy(circ).is_err(), "already gone");
+    }
+}

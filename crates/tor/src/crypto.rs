@@ -1,0 +1,235 @@
+//! Onion-layer cryptography: per-hop keys, layered encryption, digests.
+//!
+//! Each circuit hop derives forward/backward AES-128-CTR keys and digest
+//! keys from its DH shared secret with the client. The client applies all
+//! layers outermost-last for forward cells; each relay strips (forward) or
+//! adds (backward) exactly one layer. The 4-byte digest inside the relay
+//! header authenticates payloads end-to-end between the client and the
+//! terminal hop.
+
+use teenet_crypto::aes::Aes128;
+use teenet_crypto::hkdf;
+use teenet_crypto::hmac::HmacSha256;
+
+use crate::cell::PAYLOAD_LEN;
+use crate::error::{Result, TorError};
+
+/// Key material for one hop of a circuit (one side's view).
+#[derive(Clone)]
+pub struct HopKeys {
+    fwd_key: [u8; 16],
+    back_key: [u8; 16],
+    fwd_digest_key: [u8; 32],
+    back_digest_key: [u8; 32],
+    /// Counter of forward cells processed (keystream position).
+    pub fwd_ctr: u64,
+    /// Counter of backward cells processed.
+    pub back_ctr: u64,
+}
+
+impl HopKeys {
+    /// Derives hop keys from the circuit-extension DH shared secret.
+    pub fn derive(shared_secret: &[u8]) -> Result<Self> {
+        let prk = hkdf::extract(b"teenet-tor-hop-v1", shared_secret);
+        let mut fwd_key = [0u8; 16];
+        let mut back_key = [0u8; 16];
+        let mut fwd_digest_key = [0u8; 32];
+        let mut back_digest_key = [0u8; 32];
+        hkdf::expand(&prk, b"fwd-key", &mut fwd_key).map_err(TorError::Crypto)?;
+        hkdf::expand(&prk, b"back-key", &mut back_key).map_err(TorError::Crypto)?;
+        hkdf::expand(&prk, b"fwd-digest", &mut fwd_digest_key).map_err(TorError::Crypto)?;
+        hkdf::expand(&prk, b"back-digest", &mut back_digest_key).map_err(TorError::Crypto)?;
+        Ok(HopKeys {
+            fwd_key,
+            back_key,
+            fwd_digest_key,
+            back_digest_key,
+            fwd_ctr: 0,
+            back_ctr: 0,
+        })
+    }
+
+    fn apply(key: &[u8; 16], ctr: u64, payload: &mut [u8; PAYLOAD_LEN]) {
+        let cipher = Aes128::new(key).expect("16-byte key");
+        let mut nonce = [0u8; 16];
+        nonce[..8].copy_from_slice(&ctr.to_be_bytes());
+        cipher.ctr_apply(&nonce, payload);
+    }
+
+    /// Applies one forward-direction layer (encrypt == decrypt in CTR),
+    /// consuming one forward counter step.
+    pub fn crypt_forward(&mut self, payload: &mut [u8; PAYLOAD_LEN]) {
+        Self::apply(&self.fwd_key, self.fwd_ctr, payload);
+        self.fwd_ctr += 1;
+    }
+
+    /// Applies one backward-direction layer, consuming one backward
+    /// counter step.
+    pub fn crypt_backward(&mut self, payload: &mut [u8; PAYLOAD_LEN]) {
+        Self::apply(&self.back_key, self.back_ctr, payload);
+        self.back_ctr += 1;
+    }
+
+    /// Digest over a relay payload whose digest field is zeroed, bound to
+    /// the direction and cell counter.
+    pub fn digest(&self, forward: bool, ctr: u64, payload_with_zero_digest: &[u8]) -> [u8; 4] {
+        let key = if forward {
+            &self.fwd_digest_key
+        } else {
+            &self.back_digest_key
+        };
+        let mut mac = HmacSha256::new(key);
+        mac.update(&[forward as u8]);
+        mac.update(&ctr.to_be_bytes());
+        mac.update(payload_with_zero_digest);
+        let tag = mac.finalize();
+        tag[..4].try_into().expect("4 bytes")
+    }
+}
+
+/// Seals a relay payload for the terminal hop: computes the digest at the
+/// current counter and returns the encoded payload with digest set.
+pub fn seal_relay(
+    keys: &HopKeys,
+    forward: bool,
+    payload: &crate::cell::RelayPayload,
+) -> [u8; PAYLOAD_LEN] {
+    let mut with_zero = payload.clone();
+    with_zero.digest = [0u8; 4];
+    let encoded = with_zero.encode();
+    let ctr = if forward { keys.fwd_ctr } else { keys.back_ctr };
+    let digest = keys.digest(forward, ctr, &encoded);
+    let mut sealed = payload.clone();
+    sealed.digest = digest;
+    sealed.encode()
+}
+
+/// Verifies the digest of a decrypted relay payload against `keys` at the
+/// just-consumed counter position (`ctr` = counter value *before* the
+/// decryption step consumed it).
+pub fn verify_relay_digest(
+    keys: &HopKeys,
+    forward: bool,
+    ctr: u64,
+    payload: &crate::cell::RelayPayload,
+) -> Result<()> {
+    let mut with_zero = payload.clone();
+    with_zero.digest = [0u8; 4];
+    let expected = keys.digest(forward, ctr, &with_zero.encode());
+    if teenet_crypto::ct::ct_eq(&expected, &payload.digest) {
+        Ok(())
+    } else {
+        Err(TorError::DigestMismatch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{RelayCmd, RelayPayload};
+
+    fn keys(seed: u8) -> HopKeys {
+        HopKeys::derive(&[seed; 32]).unwrap()
+    }
+
+    #[test]
+    fn distinct_keys_per_direction() {
+        let k = keys(1);
+        let mut fwd = [7u8; PAYLOAD_LEN];
+        let mut back = [7u8; PAYLOAD_LEN];
+        let mut kf = k.clone();
+        let mut kb = k.clone();
+        kf.crypt_forward(&mut fwd);
+        kb.crypt_backward(&mut back);
+        assert_ne!(fwd, back);
+    }
+
+    #[test]
+    fn three_layer_onion_roundtrip() {
+        // Client side: three hop key sets.
+        let mut guard = keys(1);
+        let mut middle = keys(2);
+        let mut exit = keys(3);
+        // Relay side: independent copies (derived from the same secrets).
+        let mut r_guard = keys(1);
+        let mut r_middle = keys(2);
+        let mut r_exit = keys(3);
+
+        let plain = {
+            let mut p = [0u8; PAYLOAD_LEN];
+            p[..5].copy_from_slice(b"DATA!");
+            p
+        };
+        let mut cell = plain;
+        // Client encrypts innermost (exit) first, guard last.
+        exit.crypt_forward(&mut cell);
+        middle.crypt_forward(&mut cell);
+        guard.crypt_forward(&mut cell);
+        // Each relay strips one layer in path order.
+        r_guard.crypt_forward(&mut cell);
+        r_middle.crypt_forward(&mut cell);
+        r_exit.crypt_forward(&mut cell);
+        assert_eq!(cell, plain);
+    }
+
+    #[test]
+    fn middle_relay_cannot_read() {
+        let mut exit = keys(3);
+        let mut middle_honest = keys(2);
+        let payload = RelayPayload::new(RelayCmd::Data, b"secret browsing").unwrap();
+        let mut cell = seal_relay(&exit, true, &payload);
+        exit.crypt_forward(&mut cell);
+        middle_honest.crypt_forward(&mut cell);
+        // After stripping only the middle layer the payload is still
+        // encrypted under the exit key: unrecognisable.
+        assert!(RelayPayload::decode(&cell).is_err());
+    }
+
+    #[test]
+    fn digest_seal_verify_roundtrip() {
+        let mut client_exit = keys(9);
+        let mut relay_exit = keys(9);
+        let payload = RelayPayload::new(RelayCmd::Begin, b"dest:80").unwrap();
+        let ctr = client_exit.fwd_ctr;
+        let mut cell = seal_relay(&client_exit, true, &payload);
+        client_exit.crypt_forward(&mut cell);
+        relay_exit.crypt_forward(&mut cell);
+        let parsed = RelayPayload::decode(&cell).unwrap();
+        verify_relay_digest(&relay_exit, true, ctr, &parsed).unwrap();
+    }
+
+    #[test]
+    fn tampered_payload_fails_digest() {
+        let client_exit = keys(9);
+        let relay_exit = keys(9);
+        let payload = RelayPayload::new(RelayCmd::Data, b"original").unwrap();
+        let sealed = seal_relay(&client_exit, true, &payload);
+        let mut parsed = RelayPayload::decode(&sealed).unwrap();
+        parsed.data = b"tampered".to_vec();
+        assert_eq!(
+            verify_relay_digest(&relay_exit, true, 0, &parsed),
+            Err(TorError::DigestMismatch)
+        );
+    }
+
+    #[test]
+    fn counters_advance_keystream() {
+        let mut k = keys(4);
+        let mut a = [0u8; PAYLOAD_LEN];
+        let mut b = [0u8; PAYLOAD_LEN];
+        k.crypt_forward(&mut a);
+        k.crypt_forward(&mut b);
+        assert_ne!(a, b, "successive cells must use fresh keystream");
+    }
+
+    #[test]
+    fn different_secrets_different_keys() {
+        let mut a = keys(1);
+        let mut b = keys(2);
+        let mut pa = [0u8; PAYLOAD_LEN];
+        let mut pb = [0u8; PAYLOAD_LEN];
+        a.crypt_forward(&mut pa);
+        b.crypt_forward(&mut pb);
+        assert_ne!(pa, pb);
+    }
+}

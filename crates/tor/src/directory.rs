@@ -1,0 +1,359 @@
+//! Directory authorities, votes and majority consensus.
+//!
+//! "Directory authorities perform admission control, determine the
+//! liveness of ORs, flag potentially malicious ORs [...] Tor maintains
+//! multiple independent directory servers and builds consensus on
+//! active/legitimate ORs through majority vote." (§3.2)
+//!
+//! A compromised authority is modelled as modified *code*
+//! ([`AuthorityBehavior::Compromised`]) that votes to admit attacker
+//! relays and drop honest ones — exactly the kind of behavioural change
+//! that SGX attestation exposes in the SGX-enabled phases.
+
+use std::collections::{HashMap, HashSet};
+
+use teenet_crypto::schnorr::{SchnorrGroup, Signature, SigningKey, VerifyingKey};
+use teenet_crypto::SecureRng;
+use teenet_netsim::NodeId;
+use teenet_sgx::Measurement;
+
+use crate::error::{Result, TorError};
+
+/// A relay's self-published descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterDescriptor {
+    /// Relay identifier.
+    pub relay_id: u32,
+    /// Network address.
+    pub net_node: NodeId,
+    /// Whether the relay exits.
+    pub is_exit: bool,
+    /// Software version.
+    pub version: u16,
+    /// Enclave measurement, for SGX-capable relays.
+    pub measurement: Option<Measurement>,
+}
+
+/// How an authority behaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthorityBehavior {
+    /// Votes for every relay that passes the checks it can perform.
+    Honest,
+    /// Subverted: force-admits and force-drops specific relays
+    /// (tie-breaking / bad-admission attacks, §3.2).
+    Compromised {
+        /// Relays to admit regardless of checks.
+        admit: Vec<u32>,
+        /// Relays to drop regardless of checks.
+        drop: Vec<u32>,
+    },
+}
+
+/// One directory authority.
+pub struct DirectoryAuthority {
+    /// Authority identifier.
+    pub id: u32,
+    /// Baked-in behaviour (part of the code identity in SGX phases).
+    pub behavior: AuthorityBehavior,
+    key: SigningKey,
+}
+
+/// An authority's signed vote.
+#[derive(Debug, Clone)]
+pub struct Vote {
+    /// Voting authority.
+    pub authority: u32,
+    /// Approved relay ids (sorted).
+    pub approved: Vec<u32>,
+    /// Signature over `(authority, approved)`.
+    pub signature: Signature,
+}
+
+fn vote_message(authority: u32, approved: &[u32]) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(12 + approved.len() * 4);
+    msg.extend_from_slice(b"TOR-VOTE");
+    msg.extend_from_slice(&authority.to_le_bytes());
+    for r in approved {
+        msg.extend_from_slice(&r.to_le_bytes());
+    }
+    msg
+}
+
+impl DirectoryAuthority {
+    /// Creates an authority with a fresh signing key.
+    pub fn new(id: u32, behavior: AuthorityBehavior, rng: &mut SecureRng) -> Result<Self> {
+        let key = SigningKey::generate(&SchnorrGroup::small(), rng)?;
+        Ok(DirectoryAuthority { id, behavior, key })
+    }
+
+    /// The authority's public key (known to all clients).
+    pub fn public_key(&self) -> VerifyingKey {
+        self.key.verifying_key()
+    }
+
+    /// Casts a vote over `descriptors`.
+    ///
+    /// `attestation_verdicts`, when present (SGX phases), maps relay id →
+    /// whether the relay passed remote attestation. Relays with a failing
+    /// verdict are never approved by an honest authority; relays with a
+    /// passing verdict are approved automatically ("admission of new ORs
+    /// can be done automatically", §3.2); relays *absent* from the map are
+    /// legacy (non-SGX) nodes that continue through the manual-vetting
+    /// path — which is exactly the interim-deployment tension the paper
+    /// flags. Without verdicts, honest authorities approve every
+    /// descriptor.
+    pub fn vote(
+        &self,
+        descriptors: &[RouterDescriptor],
+        attestation_verdicts: Option<&HashMap<u32, bool>>,
+        rng: &mut SecureRng,
+    ) -> Result<Vote> {
+        let mut approved: Vec<u32> = descriptors
+            .iter()
+            .filter(|d| match attestation_verdicts {
+                Some(verdicts) => verdicts.get(&d.relay_id).copied().unwrap_or(true),
+                None => true,
+            })
+            .map(|d| d.relay_id)
+            .collect();
+        if let AuthorityBehavior::Compromised { admit, drop } = &self.behavior {
+            for id in admit {
+                if !approved.contains(id) {
+                    approved.push(*id);
+                }
+            }
+            approved.retain(|id| !drop.contains(id));
+        }
+        approved.sort_unstable();
+        let signature = self.key.sign(&vote_message(self.id, &approved), rng)?;
+        Ok(Vote {
+            authority: self.id,
+            approved,
+            signature,
+        })
+    }
+}
+
+/// The consensus document clients consume.
+#[derive(Debug, Clone)]
+pub struct Consensus {
+    /// Descriptors of relays approved by a majority of counted votes.
+    pub routers: Vec<RouterDescriptor>,
+    /// The votes backing the consensus.
+    pub votes: Vec<Vote>,
+}
+
+/// Forms a consensus from `votes`: a relay is admitted when more than half
+/// of the votes approve it.
+pub fn form_consensus(descriptors: &[RouterDescriptor], votes: Vec<Vote>) -> Consensus {
+    let majority = votes.len() / 2 + 1;
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for vote in &votes {
+        for &r in &vote.approved {
+            *counts.entry(r).or_insert(0) += 1;
+        }
+    }
+    let routers = descriptors
+        .iter()
+        .filter(|d| counts.get(&d.relay_id).copied().unwrap_or(0) >= majority)
+        .cloned()
+        .collect();
+    Consensus { routers, votes }
+}
+
+impl Consensus {
+    /// Client-side validation: every counted vote must carry a valid
+    /// signature from a distinct known authority, at least
+    /// `min_signatures` of them, and the router set must match a recount.
+    pub fn validate(
+        &self,
+        authority_keys: &HashMap<u32, VerifyingKey>,
+        min_signatures: usize,
+    ) -> Result<()> {
+        let mut seen = HashSet::new();
+        let mut valid = 0usize;
+        for vote in &self.votes {
+            let Some(key) = authority_keys.get(&vote.authority) else {
+                return Err(TorError::Consensus("vote from unknown authority"));
+            };
+            if !seen.insert(vote.authority) {
+                return Err(TorError::Consensus("duplicate vote"));
+            }
+            key.verify(
+                &vote_message(vote.authority, &vote.approved),
+                &vote.signature,
+            )
+            .map_err(|_| TorError::Consensus("bad vote signature"))?;
+            valid += 1;
+        }
+        if valid < min_signatures {
+            return Err(TorError::Consensus("insufficient signatures"));
+        }
+        // Recount.
+        let majority = self.votes.len() / 2 + 1;
+        for router in &self.routers {
+            let approvals = self
+                .votes
+                .iter()
+                .filter(|v| v.approved.contains(&router.relay_id))
+                .count();
+            if approvals < majority {
+                return Err(TorError::Consensus("router lacks majority"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Admitted exit relays.
+    pub fn exits(&self) -> Vec<&RouterDescriptor> {
+        self.routers.iter().filter(|r| r.is_exit).collect()
+    }
+
+    /// Is a relay admitted?
+    pub fn contains(&self, relay_id: u32) -> bool {
+        self.routers.iter().any(|r| r.relay_id == relay_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn descriptors(n: u32) -> Vec<RouterDescriptor> {
+        (0..n)
+            .map(|i| RouterDescriptor {
+                relay_id: i,
+                net_node: NodeId(i),
+                is_exit: i % 2 == 0,
+                version: 1,
+                measurement: None,
+            })
+            .collect()
+    }
+
+    fn authorities(behaviors: Vec<AuthorityBehavior>) -> (Vec<DirectoryAuthority>, SecureRng) {
+        let mut rng = SecureRng::seed_from_u64(3);
+        let auths = behaviors
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| DirectoryAuthority::new(i as u32, b, &mut rng).unwrap())
+            .collect();
+        (auths, rng)
+    }
+
+    #[test]
+    fn honest_majority_consensus() {
+        let descs = descriptors(4);
+        let (auths, mut rng) = authorities(vec![
+            AuthorityBehavior::Honest,
+            AuthorityBehavior::Honest,
+            AuthorityBehavior::Honest,
+        ]);
+        let votes: Vec<Vote> = auths
+            .iter()
+            .map(|a| a.vote(&descs, None, &mut rng).unwrap())
+            .collect();
+        let consensus = form_consensus(&descs, votes);
+        assert_eq!(consensus.routers.len(), 4);
+        let keys: HashMap<u32, VerifyingKey> =
+            auths.iter().map(|a| (a.id, a.public_key())).collect();
+        consensus.validate(&keys, 2).unwrap();
+    }
+
+    #[test]
+    fn single_compromised_authority_outvoted() {
+        let descs = descriptors(4);
+        let (auths, mut rng) = authorities(vec![
+            AuthorityBehavior::Honest,
+            AuthorityBehavior::Honest,
+            AuthorityBehavior::Compromised {
+                admit: vec![99],
+                drop: vec![0],
+            },
+        ]);
+        let votes: Vec<Vote> = auths
+            .iter()
+            .map(|a| a.vote(&descs, None, &mut rng).unwrap())
+            .collect();
+        let consensus = form_consensus(&descs, votes);
+        assert!(consensus.contains(0));
+        assert!(!consensus.contains(99));
+    }
+
+    #[test]
+    fn compromised_majority_subverts_vanilla_consensus() {
+        // The §3.2 threat: "If directory authorities are subverted,
+        // attackers can admit malicious ORs or disable the Tor network."
+        let mut descs = descriptors(4);
+        descs.push(RouterDescriptor {
+            relay_id: 99,
+            net_node: NodeId(99),
+            is_exit: true,
+            version: 1,
+            measurement: None,
+        });
+        let bad = AuthorityBehavior::Compromised {
+            admit: vec![99],
+            drop: vec![0],
+        };
+        let (auths, mut rng) = authorities(vec![bad.clone(), bad, AuthorityBehavior::Honest]);
+        let votes: Vec<Vote> = auths
+            .iter()
+            .map(|a| a.vote(&descs, None, &mut rng).unwrap())
+            .collect();
+        let consensus = form_consensus(&descs, votes);
+        assert!(consensus.contains(99), "malicious relay admitted");
+        assert!(!consensus.contains(0), "honest relay dropped");
+    }
+
+    #[test]
+    fn attestation_verdicts_gate_admission() {
+        let descs = descriptors(3);
+        let (auths, mut rng) = authorities(vec![AuthorityBehavior::Honest]);
+        let mut verdicts = HashMap::new();
+        verdicts.insert(0u32, true);
+        verdicts.insert(1u32, false); // failed attestation
+        // relay 2 has no verdict (legacy, non-SGX) → manual path admits it.
+        let vote = auths[0].vote(&descs, Some(&verdicts), &mut rng).unwrap();
+        assert_eq!(vote.approved, vec![0, 2]);
+    }
+
+    #[test]
+    fn validation_rejects_forged_and_duplicate_votes() {
+        let descs = descriptors(2);
+        let (auths, mut rng) = authorities(vec![
+            AuthorityBehavior::Honest,
+            AuthorityBehavior::Honest,
+        ]);
+        let keys: HashMap<u32, VerifyingKey> =
+            auths.iter().map(|a| (a.id, a.public_key())).collect();
+
+        // Tampered approved list.
+        let mut votes: Vec<Vote> = auths
+            .iter()
+            .map(|a| a.vote(&descs, None, &mut rng).unwrap())
+            .collect();
+        votes[0].approved.push(99);
+        let consensus = form_consensus(&descs, votes);
+        assert!(consensus.validate(&keys, 2).is_err());
+
+        // Duplicate vote (one authority voting twice).
+        let v = auths[0].vote(&descs, None, &mut rng).unwrap();
+        let consensus = form_consensus(&descs, vec![v.clone(), v]);
+        assert!(consensus.validate(&keys, 2).is_err());
+
+        // Too few signatures.
+        let v = auths[0].vote(&descs, None, &mut rng).unwrap();
+        let consensus = form_consensus(&descs, vec![v]);
+        assert!(consensus.validate(&keys, 2).is_err());
+    }
+
+    #[test]
+    fn exits_filter() {
+        let descs = descriptors(4);
+        let (auths, mut rng) = authorities(vec![AuthorityBehavior::Honest]);
+        let votes = vec![auths[0].vote(&descs, None, &mut rng).unwrap()];
+        let consensus = form_consensus(&descs, votes);
+        assert_eq!(consensus.exits().len(), 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for the onion-routing simulator.
+
+use core::fmt;
+use teenet::TeenetError;
+use teenet_crypto::CryptoError;
+use teenet_sgx::SgxError;
+
+/// Errors from circuit building, cell processing or directory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TorError {
+    /// A cell failed to parse.
+    BadCell(&'static str),
+    /// A relay payload failed its digest check where one was required.
+    DigestMismatch,
+    /// Referenced an unknown circuit id.
+    UnknownCircuit(u32),
+    /// The circuit is not in the right state for the operation.
+    CircuitState(&'static str),
+    /// No suitable relays available for path selection.
+    NoPath(&'static str),
+    /// Consensus could not be formed or validated.
+    Consensus(&'static str),
+    /// A node failed attestation and was excluded.
+    AttestationFailed(&'static str),
+    /// DHT lookup failure.
+    Dht(&'static str),
+    /// Underlying attestation-layer error.
+    Teenet(TeenetError),
+    /// Underlying SGX error.
+    Sgx(SgxError),
+    /// Underlying crypto error.
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for TorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TorError::BadCell(w) => write!(f, "bad cell: {w}"),
+            TorError::DigestMismatch => write!(f, "relay digest mismatch"),
+            TorError::UnknownCircuit(id) => write!(f, "unknown circuit {id}"),
+            TorError::CircuitState(w) => write!(f, "bad circuit state: {w}"),
+            TorError::NoPath(w) => write!(f, "no path: {w}"),
+            TorError::Consensus(w) => write!(f, "consensus failure: {w}"),
+            TorError::AttestationFailed(w) => write!(f, "attestation failed: {w}"),
+            TorError::Dht(w) => write!(f, "dht failure: {w}"),
+            TorError::Teenet(e) => write!(f, "attestation error: {e}"),
+            TorError::Sgx(e) => write!(f, "sgx error: {e}"),
+            TorError::Crypto(e) => write!(f, "crypto error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TorError {}
+
+impl From<TeenetError> for TorError {
+    fn from(e: TeenetError) -> Self {
+        TorError::Teenet(e)
+    }
+}
+
+impl From<SgxError> for TorError {
+    fn from(e: SgxError) -> Self {
+        TorError::Sgx(e)
+    }
+}
+
+impl From<CryptoError> for TorError {
+    fn from(e: CryptoError) -> Self {
+        TorError::Crypto(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = core::result::Result<T, TorError>;

@@ -1,0 +1,111 @@
+//! Secure in-network functions (§3.3): endpoints attest middleboxes and
+//! release TLS session keys over the attestation channel — unilaterally
+//! (enterprise gateway) and bilaterally (cloud DPI both endpoints agree
+//! on), plus a two-box chain with block and rewrite actions.
+//!
+//! Run: `cargo run --release -p teenet-bench --example tls_middlebox`
+
+use teenet::attest::AttestConfig;
+use teenet::ledger::AttestLedger;
+use teenet_crypto::SecureRng;
+use teenet_mbox::scenarios::{cloud_dpi_bilateral, enterprise_outbound};
+use teenet_mbox::{
+    Action, EndpointRole, MiddleboxChain, MiddleboxHost, ProvisionPolicy, Rule,
+};
+use teenet_sgx::EpidGroup;
+use teenet_tls::handshake::{handshake, TlsConfig};
+
+fn main() {
+    // --- Scenario 1: enterprise outbound inspection (unilateral).
+    let report = enterprise_outbound(7).expect("scenario");
+    println!("enterprise outbound inspection (client-side unilateral provisioning):");
+    println!(
+        "  {} records passed, {} blocked, {} rule alerts, {} attestation(s)",
+        report.passed, report.blocked, report.alerts, report.attestations
+    );
+    for r in &report.server_received {
+        println!("  server received: {:?}", String::from_utf8_lossy(r));
+    }
+
+    // --- Scenario 2: cloud DPI with bilateral consent.
+    let report = cloud_dpi_bilateral(8).expect("scenario");
+    println!();
+    println!("cloud DPI (bilateral consent — inactive until BOTH endpoints attest):");
+    println!(
+        "  {} records passed, {} alerts, {} attestations (one per endpoint)",
+        report.passed, report.alerts, report.attestations
+    );
+
+    // --- Scenario 3: a chain of two middleboxes (firewall → DLP).
+    println!();
+    println!("middlebox chain: firewall (block) then DLP (rewrite):");
+    let mut rng = SecureRng::seed_from_u64(9);
+    let epid = EpidGroup::new(70, &mut rng).expect("group");
+    let mut ledger = AttestLedger::new();
+    let firewall = MiddleboxHost::deploy(
+        "firewall",
+        ProvisionPolicy::Unilateral,
+        vec![Rule::new(b"ATTACK", Action::Block)],
+        AttestConfig::fast(),
+        &epid,
+        1,
+        &mut rng,
+    )
+    .expect("deploy");
+    let dlp = MiddleboxHost::deploy(
+        "dlp",
+        ProvisionPolicy::Unilateral,
+        vec![Rule::new(b"card=4111111111111111", Action::Rewrite)],
+        AttestConfig::fast(),
+        &epid,
+        2,
+        &mut rng,
+    )
+    .expect("deploy");
+    let mut srng = rng.fork(b"server");
+    let (mut client, mut server) =
+        handshake(TlsConfig::fast(), &mut rng, &mut srng).expect("tls");
+    let mut chain = MiddleboxChain::provision(
+        vec![firewall, dlp],
+        EndpointRole::Client,
+        &client,
+        &mut rng,
+        &mut ledger,
+    )
+    .expect("provision");
+    println!(
+        "  chain provisioned: {} boxes, {} attestations (Table 3: one per in-path middlebox)",
+        chain.len(),
+        ledger.total()
+    );
+
+    for msg in [
+        b"GET /checkout".as_slice(),
+        b"pay with card=4111111111111111 now",
+        b"ATTACK payload",
+    ] {
+        let record = client.send(msg).expect("seal");
+        match chain
+            .process(EndpointRole::Client, &record)
+            .expect("process")
+        {
+            Some(bytes) => {
+                let plain = server.recv(&bytes).expect("open");
+                println!(
+                    "  {:?} -> delivered as {:?}",
+                    String::from_utf8_lossy(msg),
+                    String::from_utf8_lossy(&plain)
+                );
+            }
+            None => {
+                println!(
+                    "  {:?} -> BLOCKED by the chain",
+                    String::from_utf8_lossy(msg)
+                );
+                break; // a blocked record ends the TLS stream
+            }
+        }
+    }
+    let (alerts, blocked, passed) = chain.stats().expect("stats");
+    println!("  chain totals: {alerts} alerts, {blocked} blocked, {passed} passes");
+}

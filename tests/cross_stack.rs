@@ -1,0 +1,92 @@
+//! Integration: properties that cut across the whole workspace — the
+//! shared-code model of §4, cost-model consistency between the table
+//! harnesses, and determinism of every case study from one master seed.
+
+use teenet::attest::AttestConfig;
+use teenet::fmt;
+use teenet_crypto::SecureRng;
+use teenet_interdomain::{default_policies, run_native, SdnDeployment, Topology};
+use teenet_sgx::cost::{CostModel, Counters};
+use teenet_sgx::measure_image;
+use teenet_tor::deployment::TorServiceEnclave;
+
+#[test]
+fn shared_code_model_identical_builds_identical_identities() {
+    // §4: "virtually everyone can validate the integrity of the entire
+    // project" — a deterministic build of the same source yields the same
+    // measurement everywhere, so anyone holding the shared attestation
+    // key material can verify any node.
+    let a = TorServiceEnclave::honest_measurement("relay", 1);
+    let b = TorServiceEnclave::honest_measurement("relay", 1);
+    assert_eq!(a, b);
+    // Any change — version bump or patch — changes the identity.
+    assert_ne!(a, TorServiceEnclave::honest_measurement("relay", 2));
+    assert_ne!(a, TorServiceEnclave::honest_measurement("authority", 1));
+}
+
+#[test]
+fn controller_code_inspection_model() {
+    // The inter-domain controller identity is a pure function of its
+    // agreed configuration — ASes can compute the expected measurement
+    // from source without trusting anyone.
+    use teenet_interdomain::InterdomainController;
+    let cfg = AttestConfig::fast();
+    let m1 = InterdomainController::expected_measurement(&cfg);
+    let m2 = InterdomainController::expected_measurement(&cfg);
+    assert_eq!(m1, m2);
+    let honest = InterdomainController::new(cfg.clone());
+    use teenet_sgx::EnclaveProgram;
+    assert_eq!(measure_image(&honest.code_image()), m1);
+}
+
+#[test]
+fn cycle_model_is_the_papers_formula() {
+    let model = CostModel::paper();
+    let c = Counters {
+        sgx_instr: 37,
+        normal_instr: 4_463_000_000,
+    };
+    // 37 × 10_000 + 1.8 × 4463M = 8033.77M (the paper's "8033M cycles").
+    assert_eq!(c.cycles(&model), 370_000 + 8_033_400_000);
+    assert_eq!(fmt::cycles(c.cycles(&model)), "8033.8M");
+}
+
+#[test]
+fn master_seed_determinism_across_case_studies() {
+    // Re-running the full inter-domain deployment from one seed reproduces
+    // counters bit for bit — the property the whole evaluation rests on.
+    let run = || {
+        let t = Topology::random(10, &mut SecureRng::seed_from_u64(123));
+        let p = default_policies(&t);
+        let native = run_native(&t, &p);
+        let mut d = SdnDeployment::new(&t, &p, AttestConfig::fast(), 5).unwrap();
+        let r = d.run().unwrap();
+        (
+            native.interdomain.normal_instr,
+            r.interdomain.normal_instr,
+            r.interdomain.sgx_instr,
+            r.aslocal_avg().normal_instr,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn table_overheads_are_mutually_consistent() {
+    // The overhead reported by instruction counts and the overhead in
+    // cycles must be close: SGX(U) instructions are rare enough that the
+    // 10K-cycle penalty stays a small correction (paper: 82% instructions
+    // vs ~90% cycles).
+    let model = CostModel::paper();
+    let t = Topology::random(30, &mut SecureRng::seed_from_u64(2015));
+    let p = default_policies(&t);
+    let native = run_native(&t, &p);
+    let mut d = SdnDeployment::new(&t, &p, AttestConfig::fast(), 7).unwrap();
+    let r = d.run().unwrap();
+    let instr_overhead =
+        r.interdomain.normal_instr as f64 / native.interdomain.normal_instr as f64;
+    let cycle_overhead =
+        r.interdomain.cycles(&model) as f64 / native.interdomain.cycles(&model) as f64;
+    assert!((cycle_overhead - instr_overhead).abs() < 0.25);
+    assert!(cycle_overhead >= instr_overhead, "SGX instr add cycles");
+}

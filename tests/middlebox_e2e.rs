@@ -1,0 +1,168 @@
+//! Integration: the TLS-aware middlebox case study — key release through
+//! real attestation, inspection correctness, and the consent policies.
+
+use teenet::attest::AttestConfig;
+use teenet::ledger::AttestLedger;
+use teenet_crypto::SecureRng;
+use teenet_mbox::scenarios::{cloud_dpi_bilateral, enterprise_outbound};
+use teenet_mbox::{
+    Action, EndpointRole, MiddleboxChain, MiddleboxHost, ProcessResult, ProvisionPolicy, Rule,
+};
+use teenet_sgx::EpidGroup;
+use teenet_tls::handshake::{handshake, TlsConfig};
+
+#[test]
+fn scenarios_are_deterministic() {
+    let a = enterprise_outbound(42).unwrap();
+    let b = enterprise_outbound(42).unwrap();
+    assert_eq!(a.server_received, b.server_received);
+    assert_eq!(a.blocked, b.blocked);
+    let c = cloud_dpi_bilateral(43).unwrap();
+    assert_eq!(c.attestations, 2);
+}
+
+#[test]
+fn server_side_unilateral_inspection() {
+    // The paper's "service providers can deploy middleboxes that inspect
+    // TLS traffic" variant: the *server* releases keys; client unchanged.
+    let mut rng = SecureRng::seed_from_u64(50);
+    let epid = EpidGroup::new(60, &mut rng).unwrap();
+    let mut ledger = AttestLedger::new();
+    let mut inspector = MiddleboxHost::deploy(
+        "provider-ids",
+        ProvisionPolicy::Unilateral,
+        vec![Rule::new(b"bot-c2-beacon", Action::Alert)],
+        AttestConfig::fast(),
+        &epid,
+        60,
+        &mut rng,
+    )
+    .unwrap();
+    let mut srng = rng.fork(b"server");
+    let (mut client, mut server) = handshake(TlsConfig::fast(), &mut rng, &mut srng).unwrap();
+    let (sid, active) = inspector
+        .provision(EndpointRole::Server, &server, &mut rng, &mut ledger)
+        .unwrap();
+    assert!(active);
+
+    // Client→server traffic is inspected in flight.
+    let rec = client.send(b"bot-c2-beacon ping").unwrap();
+    let out = inspector.process(sid, EndpointRole::Client, &rec).unwrap();
+    let ProcessResult::Pass(bytes) = out else {
+        panic!("alert-only rule must pass");
+    };
+    assert_eq!(server.recv(&bytes).unwrap(), b"bot-c2-beacon ping");
+    // Server→client direction works too.
+    let rec = server.send(b"response").unwrap();
+    let out = inspector.process(sid, EndpointRole::Server, &rec).unwrap();
+    let ProcessResult::Pass(bytes) = out else {
+        panic!("pass");
+    };
+    assert_eq!(client.recv(&bytes).unwrap(), b"response");
+    let (alerts, _, passed) = inspector.stats(sid).unwrap();
+    assert_eq!(alerts, 1);
+    assert_eq!(passed, 2);
+}
+
+#[test]
+fn middlebox_transparent_to_endpoints_when_passing() {
+    // Passed records are byte-identical: endpoints cannot even tell the
+    // middlebox decrypted them (same keys, same seq, same ciphertext).
+    let mut rng = SecureRng::seed_from_u64(51);
+    let epid = EpidGroup::new(61, &mut rng).unwrap();
+    let mut ledger = AttestLedger::new();
+    let mut mb = MiddleboxHost::deploy(
+        "transparent",
+        ProvisionPolicy::Unilateral,
+        vec![Rule::new(b"nothing-matches-this", Action::Block)],
+        AttestConfig::fast(),
+        &epid,
+        61,
+        &mut rng,
+    )
+    .unwrap();
+    let mut srng = rng.fork(b"server");
+    let (mut client, _server) = handshake(TlsConfig::fast(), &mut rng, &mut srng).unwrap();
+    let (sid, _) = mb
+        .provision(EndpointRole::Client, &client, &mut rng, &mut ledger)
+        .unwrap();
+    let rec = client.send(b"innocent").unwrap();
+    let out = mb.process(sid, EndpointRole::Client, &rec).unwrap();
+    assert_eq!(out, ProcessResult::Pass(rec));
+}
+
+#[test]
+fn rewrite_keeps_downstream_chain_consistent() {
+    // Box 1 rewrites; box 2 must still authenticate and inspect the
+    // rewritten record; the endpoint must still accept it.
+    let mut rng = SecureRng::seed_from_u64(52);
+    let epid = EpidGroup::new(62, &mut rng).unwrap();
+    let mut ledger = AttestLedger::new();
+    let sanitizer = MiddleboxHost::deploy(
+        "sanitizer",
+        ProvisionPolicy::Unilateral,
+        vec![Rule::new(b"secret-token", Action::Rewrite)],
+        AttestConfig::fast(),
+        &epid,
+        62,
+        &mut rng,
+    )
+    .unwrap();
+    let auditor = MiddleboxHost::deploy(
+        "auditor",
+        ProvisionPolicy::Unilateral,
+        // The auditor alerts on the *masked* form — proof it inspected
+        // the post-rewrite plaintext.
+        vec![Rule::new(b"************", Action::Alert)],
+        AttestConfig::fast(),
+        &epid,
+        63,
+        &mut rng,
+    )
+    .unwrap();
+    let mut srng = rng.fork(b"server");
+    let (mut client, mut server) = handshake(TlsConfig::fast(), &mut rng, &mut srng).unwrap();
+    let mut chain = MiddleboxChain::provision(
+        vec![sanitizer, auditor],
+        EndpointRole::Client,
+        &client,
+        &mut rng,
+        &mut ledger,
+    )
+    .unwrap();
+    let rec = client.send(b"send secret-token now").unwrap();
+    let out = chain.process(EndpointRole::Client, &rec).unwrap().unwrap();
+    assert_eq!(server.recv(&out).unwrap(), b"send ************ now");
+    let (alerts, _, _) = chain.stats().unwrap();
+    assert_eq!(alerts, 2, "rewrite match + auditor's masked-form match");
+}
+
+#[test]
+fn bilateral_box_never_activates_with_one_endpoint() {
+    let mut rng = SecureRng::seed_from_u64(53);
+    let epid = EpidGroup::new(63, &mut rng).unwrap();
+    let mut ledger = AttestLedger::new();
+    let mut mb = MiddleboxHost::deploy(
+        "strict",
+        ProvisionPolicy::Bilateral,
+        vec![],
+        AttestConfig::fast(),
+        &epid,
+        64,
+        &mut rng,
+    )
+    .unwrap();
+    let mut srng = rng.fork(b"server");
+    let (mut client, _server) = handshake(TlsConfig::fast(), &mut rng, &mut srng).unwrap();
+    let (sid, active) = mb
+        .provision(EndpointRole::Client, &client, &mut rng, &mut ledger)
+        .unwrap();
+    assert!(!active);
+    // Same endpoint re-provisioning does not count as the second party.
+    let (_, active) = mb
+        .provision(EndpointRole::Client, &client, &mut rng, &mut ledger)
+        .unwrap();
+    assert!(!active, "one endpoint cannot consent twice");
+    let rec = client.send(b"data").unwrap();
+    assert!(mb.process(sid, EndpointRole::Client, &rec).is_err());
+}
