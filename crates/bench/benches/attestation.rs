@@ -12,7 +12,9 @@ use teenet_crypto::dh::DhGroup;
 
 fn bench_attestation(c: &mut Criterion) {
     let mut group = c.benchmark_group("remote_attestation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (label, config) in [
         ("no_dh_1024", AttestConfig::no_dh(DhGroup::modp1024())),
         ("with_dh_768", AttestConfig::fast()),

@@ -12,21 +12,19 @@ use teenet_interdomain::{compute_routes, default_policies, Topology};
 
 fn bench_bgp(c: &mut Criterion) {
     let mut group = c.benchmark_group("bgp");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [10u32, 20, 30] {
         let mut rng = SecureRng::seed_from_u64(2015);
         let topology = Topology::random(n, &mut rng);
         let policies = default_policies(&topology);
-        group.bench_with_input(
-            BenchmarkId::new("centralized", n),
-            &n,
-            |b, _| b.iter(|| compute_routes(black_box(&topology), black_box(&policies))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("distributed_oracle", n),
-            &n,
-            |b, _| b.iter(|| run_distributed_bgp(black_box(&topology), black_box(&policies), 7)),
-        );
+        group.bench_with_input(BenchmarkId::new("centralized", n), &n, |b, _| {
+            b.iter(|| compute_routes(black_box(&topology), black_box(&policies)))
+        });
+        group.bench_with_input(BenchmarkId::new("distributed_oracle", n), &n, |b, _| {
+            b.iter(|| run_distributed_bgp(black_box(&topology), black_box(&policies), 7))
+        });
     }
     group.finish();
 }

@@ -13,7 +13,9 @@ use teenet_crypto::{chacha20, SecureRng};
 
 fn bench_aes(c: &mut Criterion) {
     let mut group = c.benchmark_group("aes128");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     let cipher = Aes128::new(&[7u8; 16]).expect("key");
     group.bench_function("block", |b| {
         let mut block = [0u8; 16];
@@ -32,7 +34,9 @@ fn bench_aes(c: &mut Criterion) {
 
 fn bench_sha256(c: &mut Criterion) {
     let mut group = c.benchmark_group("sha256");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     group.throughput(Throughput::Bytes(1500));
     let data = vec![0xabu8; 1500];
     group.bench_function("mtu", |b| b.iter(|| sha256(black_box(&data))));
@@ -41,7 +45,9 @@ fn bench_sha256(c: &mut Criterion) {
 
 fn bench_chacha(c: &mut Criterion) {
     let mut group = c.benchmark_group("chacha20");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     group.throughput(Throughput::Bytes(1500));
     let key = [1u8; 32];
     let nonce = [2u8; 12];
@@ -54,7 +60,9 @@ fn bench_chacha(c: &mut Criterion) {
 
 fn bench_dh(c: &mut Criterion) {
     let mut group = c.benchmark_group("dh1024");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let dh_group = DhGroup::modp1024();
     let mut rng = SecureRng::seed_from_u64(1);
     let alice = DhKeyPair::generate(&dh_group, &mut rng).expect("keypair");
@@ -70,7 +78,9 @@ fn bench_dh(c: &mut Criterion) {
 
 fn bench_schnorr(c: &mut Criterion) {
     let mut group = c.benchmark_group("schnorr1024");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let sgroup = SchnorrGroup::standard();
     let mut rng = SecureRng::seed_from_u64(2);
     let key = SigningKey::generate(&sgroup, &mut rng).expect("key");
@@ -79,7 +89,11 @@ fn bench_schnorr(c: &mut Criterion) {
         b.iter(|| key.sign(black_box(b"quote body"), &mut rng).expect("sig"))
     });
     group.bench_function("verify", |b| {
-        b.iter(|| key.public.verify(black_box(b"quote body"), &sig).expect("ok"))
+        b.iter(|| {
+            key.public
+                .verify(black_box(b"quote body"), &sig)
+                .expect("ok")
+        })
     });
     group.finish();
 }

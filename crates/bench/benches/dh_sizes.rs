@@ -11,7 +11,9 @@ use teenet_crypto::SecureRng;
 
 fn bench_dh_sizes(c: &mut Criterion) {
     let mut group = c.benchmark_group("dh_modulus");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for (label, g) in [
         ("768", DhGroup::modp768()),
         ("1024", DhGroup::modp1024()),

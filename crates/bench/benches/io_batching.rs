@@ -22,7 +22,9 @@ fn bench_batching(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("io_batching");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     for batch in [1u32, 10, 100] {
         group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &n| {
             b.iter(|| black_box(measure_packet_send(n, true, 9)))

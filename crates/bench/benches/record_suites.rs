@@ -11,7 +11,9 @@ use teenet_tls::CipherSuite;
 
 fn bench_suites(c: &mut Criterion) {
     let mut group = c.benchmark_group("record_suite");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     group.throughput(Throughput::Bytes(1500));
     let payload = vec![0x5au8; 1500];
     for (label, suite) in [

@@ -11,7 +11,9 @@ use teenet_tor::dht::ChordRing;
 
 fn bench_circuit(c: &mut Criterion) {
     let mut group = c.benchmark_group("tor_circuit");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("build_and_exchange_vanilla", |b| {
         b.iter(|| {
             let mut dep =
@@ -26,7 +28,9 @@ fn bench_circuit(c: &mut Criterion) {
 
 fn bench_dht(c: &mut Criterion) {
     let mut group = c.benchmark_group("chord_lookup");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     for n in [16u32, 64, 256] {
         let mut ring = ChordRing::new();
         for i in 0..n {
@@ -47,7 +51,9 @@ fn bench_admission_phases(c: &mut Criterion) {
     // Ablation: admission cost by deployment phase. Attestation work grows
     // from zero (vanilla) through directory-only to the fully SGX design.
     let mut group = c.benchmark_group("tor_admission_phase");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (label, phase) in [
         ("vanilla", Phase::Vanilla),
         ("sgx_directory", Phase::SgxDirectory),
@@ -56,8 +62,7 @@ fn bench_admission_phases(c: &mut Criterion) {
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {
-                let mut dep =
-                    TorDeployment::build(TorSpec::fast(phase, 5)).expect("deployment");
+                let mut dep = TorDeployment::build(TorSpec::fast(phase, 5)).expect("deployment");
                 black_box(dep.run_admission().expect("admission"))
             })
         });

@@ -1,0 +1,182 @@
+//! `loadgen` — scenario-driven load generation against the paper's
+//! applications on virtual time.
+//!
+//! ```text
+//! cargo run -p teenet-bench --bin loadgen -- --scenario attest --sessions 10000 --seed 1
+//! ```
+//!
+//! Calibrates the chosen workload against the real enclaves (a handful of
+//! real protocol sessions), then replays it at scale on the deterministic
+//! network simulator: open-loop Poisson arrivals or closed-loop fixed
+//! concurrency, with optional link fault injection. Same scenario + seed
+//! ⇒ byte-identical `--json` output.
+
+use std::process::ExitCode;
+
+use teenet_load::scenarios::{by_name, NAMES};
+use teenet_load::{LoadConfig, LoadMode, LoadRunner};
+use teenet_netsim::fault::FaultConfig;
+use teenet_netsim::SimDuration;
+
+const USAGE: &str = "\
+loadgen — stress the paper's applications with synthetic load on virtual time
+
+USAGE:
+    loadgen --scenario <attest|tls|tor|bgp> [OPTIONS]
+
+OPTIONS:
+    --scenario <name>      workload to drive (required unless --list)
+    --sessions <n>         sessions to run            [default: 1000]
+    --seed <n>             seed for all randomness    [default: 1]
+    --mode <open|closed>   arrival discipline         [default: open]
+    --rate <r>             open-loop arrivals/sec     [default: auto ~50% capacity]
+    --concurrency <n>      closed-loop in-flight      [default: 32]
+    --workers <n>          server service workers     [default: 4]
+    --clients <n>          distinct client nodes      [default: 8]
+    --latency-us <n>       one-way link latency, µs   [default: 500]
+    --drop <p>             per-packet drop chance     [default: 0]
+    --corrupt <p>          per-packet corrupt chance  [default: 0]
+    --duplicate <p>        per-packet dup chance      [default: 0]
+    --json                 emit the byte-stable JSON report instead of text
+    --list                 list scenarios and exit
+    --help                 show this help
+";
+
+struct Args {
+    scenario: Option<String>,
+    sessions: u64,
+    seed: u64,
+    mode: String,
+    rate: Option<f64>,
+    concurrency: u32,
+    workers: u32,
+    clients: u32,
+    latency_us: u64,
+    drop: f64,
+    corrupt: f64,
+    duplicate: f64,
+    json: bool,
+    list: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scenario: None,
+            sessions: 1000,
+            seed: 1,
+            mode: "open".into(),
+            rate: None,
+            concurrency: 32,
+            workers: 4,
+            clients: 8,
+            latency_us: 500,
+            drop: 0.0,
+            corrupt: 0.0,
+            duplicate: 0.0,
+            json: false,
+            list: false,
+        }
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--scenario" => args.scenario = Some(value("--scenario")?.clone()),
+            "--sessions" => args.sessions = parse(value("--sessions")?, "--sessions")?,
+            "--seed" => args.seed = parse(value("--seed")?, "--seed")?,
+            "--mode" => args.mode = value("--mode")?.clone(),
+            "--rate" => args.rate = Some(parse(value("--rate")?, "--rate")?),
+            "--concurrency" => args.concurrency = parse(value("--concurrency")?, "--concurrency")?,
+            "--workers" => args.workers = parse(value("--workers")?, "--workers")?,
+            "--clients" => args.clients = parse(value("--clients")?, "--clients")?,
+            "--latency-us" => args.latency_us = parse(value("--latency-us")?, "--latency-us")?,
+            "--drop" => args.drop = parse(value("--drop")?, "--drop")?,
+            "--corrupt" => args.corrupt = parse(value("--corrupt")?, "--corrupt")?,
+            "--duplicate" => args.duplicate = parse(value("--duplicate")?, "--duplicate")?,
+            "--json" => args.json = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value for {flag}: {s}"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        for name in NAMES {
+            let s = by_name(name, 0).expect("listed scenario exists");
+            println!("{:<8} {}", s.name(), s.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(name) = args.scenario.as_deref() else {
+        eprintln!("error: --scenario is required (one of {NAMES:?})\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let Some(mut scenario) = by_name(name, args.seed) else {
+        eprintln!("error: unknown scenario {name:?} (one of {NAMES:?})");
+        return ExitCode::FAILURE;
+    };
+
+    let mode = match args.mode.as_str() {
+        "open" => LoadMode::Open {
+            rate_per_sec: args.rate,
+        },
+        "closed" => LoadMode::Closed {
+            concurrency: args.concurrency,
+        },
+        other => {
+            eprintln!("error: --mode must be open or closed, not {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut config = LoadConfig::new(args.sessions, args.seed, mode);
+    config.workers = args.workers;
+    config.clients = args.clients.max(1);
+    config.latency = SimDuration::from_micros(args.latency_us);
+    config.faults = FaultConfig {
+        drop_chance: args.drop,
+        corrupt_chance: args.corrupt,
+        duplicate_chance: args.duplicate,
+        ..FaultConfig::default()
+    };
+
+    if !args.json {
+        eprintln!("calibrating {name} against real enclaves...");
+    }
+    let calibration = scenario.calibrate();
+    let report = LoadRunner::new(config).run(scenario.name(), &calibration);
+    if args.json {
+        println!("{}", report.json());
+    } else {
+        print!("{}", report.text());
+    }
+    ExitCode::SUCCESS
+}

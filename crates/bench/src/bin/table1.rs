@@ -27,7 +27,12 @@ fn main() {
     println!("                 | w/o DH  w/ DH | w/o DH  w/ DH | w/o DH  w/ DH |");
     println!(
         "SGX(U) inst.     | {:>6}  {:>5} | {:>6}  {:>5} | {:>6}  {:>5} |",
-        t_no.sgx_instr, t_dh.sgx_instr, q_no.sgx_instr, q_dh.sgx_instr, c_no.sgx_instr, c_dh.sgx_instr
+        t_no.sgx_instr,
+        t_dh.sgx_instr,
+        q_no.sgx_instr,
+        q_dh.sgx_instr,
+        c_no.sgx_instr,
+        c_dh.sgx_instr
     );
     println!(
         "Normal inst.     | {:>6}  {:>5} | {:>6}  {:>5} | {:>6}  {:>5} |",

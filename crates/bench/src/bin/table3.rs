@@ -21,15 +21,18 @@ use teenet_tor::deployment::{Phase, TorDeployment, TorSpec};
 fn main() {
     println!("Table 3: Number of remote attestations for each design");
     println!();
-    println!("{:<28} {:>12} {:>12}  note", "Type", "parameter", "attestations");
+    println!(
+        "{:<28} {:>12} {:>12}  note",
+        "Type", "parameter", "attestations"
+    );
 
     // Inter-domain routing: one attestation per AS-local controller.
     let n_ases = 30;
     let mut rng = SecureRng::seed_from_u64(2015);
     let topology = Topology::random(n_ases, &mut rng);
     let policies = default_policies(&topology);
-    let mut sdn = SdnDeployment::new(&topology, &policies, AttestConfig::fast(), 7)
-        .expect("deployment");
+    let mut sdn =
+        SdnDeployment::new(&topology, &policies, AttestConfig::fast(), 7).expect("deployment");
     sdn.attest_all().expect("attestation");
     println!(
         "{:<28} {:>12} {:>12}  = number of AS controllers",
@@ -95,5 +98,7 @@ fn main() {
         "Repeat contacts avoided re-attestation (SDN deployment): {}",
         sdn.ledger.repeats_avoided()
     );
-    println!("Remote attestation occurs only at first contact; counts scale linearly with network size.");
+    println!(
+        "Remote attestation occurs only at first contact; counts scale linearly with network size."
+    );
 }

@@ -17,8 +17,8 @@ fn main() {
     let policies = default_policies(&topology);
 
     let native = run_native(&topology, &policies);
-    let mut deployment = SdnDeployment::new(&topology, &policies, AttestConfig::fast(), 7)
-        .expect("deployment");
+    let mut deployment =
+        SdnDeployment::new(&topology, &policies, AttestConfig::fast(), 7).expect("deployment");
     let report = deployment.run().expect("run");
 
     let native_avg = native.aslocal_avg();
@@ -58,6 +58,11 @@ fn main() {
     );
     println!(
         "Routes installed per AS (avg): {}",
-        report.routes_installed.iter().map(|&c| c as u64).sum::<u64>() / n_ases as u64
+        report
+            .routes_installed
+            .iter()
+            .map(|&c| c as u64)
+            .sum::<u64>()
+            / n_ases as u64
     );
 }

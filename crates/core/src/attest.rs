@@ -154,11 +154,7 @@ impl AttestResponse {
 /// Computes the report data binding the attestation session: a hash of the
 /// nonce and both DH shares, embedded in the REPORT by the target so the
 /// challenger knows the quoted enclave generated *this* key exchange.
-fn binding(
-    nonce: &[u8; 32],
-    challenger_pub: &[u8],
-    target_pub: &[u8],
-) -> [u8; REPORT_DATA_LEN] {
+fn binding(nonce: &[u8; 32], challenger_pub: &[u8], target_pub: &[u8]) -> [u8; REPORT_DATA_LEN] {
     let mut h = Sha256::new();
     h.update(b"teenet-attest-binding-v1");
     h.update(nonce);
@@ -263,7 +259,8 @@ impl Challenger {
         // Channel derivation.
         let channel = match &self.dh {
             Some(kp) => {
-                self.counters.normal(self.model.modexp(self.config.group.bits));
+                self.counters
+                    .normal(self.model.modexp(self.config.group.bits));
                 let shared = kp
                     .shared_secret(&BigUint::from_bytes_be(&response.target_dh_pub))
                     .map_err(TeenetError::Crypto)?;
@@ -473,7 +470,11 @@ mod tests {
     }
 
     /// Runs the full Figure-1 flow, returning the challenger outcome.
-    fn run_attestation(world: &mut World, policy: IdentityPolicy, config: AttestConfig) -> Result<AttestOutcome> {
+    fn run_attestation(
+        world: &mut World,
+        policy: IdentityPolicy,
+        config: AttestConfig,
+    ) -> Result<AttestOutcome> {
         let (challenger, request) =
             Challenger::start(policy, config, &world.model, &mut world.rng)?;
         // Host ferries msg 1 into the target enclave.
@@ -497,20 +498,13 @@ mod tests {
         let config = AttestConfig::fast();
         let mut world = setup(config.clone());
         let expected = world.platform.measurement_of(world.enclave).unwrap();
-        let outcome = run_attestation(
-            &mut world,
-            IdentityPolicy::Mrenclave(expected),
-            config,
-        )
-        .unwrap();
+        let outcome =
+            run_attestation(&mut world, IdentityPolicy::Mrenclave(expected), config).unwrap();
         assert_eq!(outcome.body.mrenclave, expected);
         let mut channel = outcome.channel.expect("channel bootstrapped");
         // Use the channel end-to-end through the enclave.
         let msg = channel.seal(b"hello enclave");
-        let reply = world
-            .platform
-            .ecall_nohost(world.enclave, 2, &msg)
-            .unwrap();
+        let reply = world.platform.ecall_nohost(world.enclave, 2, &msg).unwrap();
         assert_eq!(channel.open(&reply).unwrap(), b"echo: hello enclave");
     }
 
@@ -518,8 +512,7 @@ mod tests {
     fn attestation_without_dh_has_no_channel() {
         let config = AttestConfig::no_dh(DhGroup::modp768());
         let mut world = setup(config.clone());
-        let outcome =
-            run_attestation(&mut world, IdentityPolicy::AcceptAny, config).unwrap();
+        let outcome = run_attestation(&mut world, IdentityPolicy::AcceptAny, config).unwrap();
         assert!(outcome.channel.is_none());
     }
 
@@ -532,7 +525,8 @@ mod tests {
             IdentityPolicy::Mrenclave(teenet_sgx::Measurement([0xee; 32])),
             config,
         )
-        .map(|_| ()).unwrap_err();
+        .map(|_| ())
+        .unwrap_err();
         assert!(matches!(err, TeenetError::IdentityRejected(_)));
     }
 
@@ -551,7 +545,10 @@ mod tests {
         .unwrap();
         let mut input = request.to_bytes();
         input.extend_from_slice(&world.platform.quoting_target_info().mrenclave.0);
-        let report_bytes = world.platform.ecall_nohost(world.enclave, 0, &input).unwrap();
+        let report_bytes = world
+            .platform
+            .ecall_nohost(world.enclave, 0, &input)
+            .unwrap();
         let report = Report::from_bytes(&report_bytes).unwrap();
         let quote = world.platform.quote(&report).unwrap();
         let response_bytes = world
@@ -564,7 +561,8 @@ mod tests {
         response.target_dh_pub = attacker.public_bytes();
         let err = challenger
             .verify(&response, &world.group_public, None)
-            .map(|_| ()).unwrap_err();
+            .map(|_| ())
+            .unwrap_err();
         assert_eq!(err, TeenetError::BindingMismatch);
     }
 
@@ -583,7 +581,10 @@ mod tests {
         .unwrap();
         let mut input = request1.to_bytes();
         input.extend_from_slice(&world.platform.quoting_target_info().mrenclave.0);
-        let report_bytes = world.platform.ecall_nohost(world.enclave, 0, &input).unwrap();
+        let report_bytes = world
+            .platform
+            .ecall_nohost(world.enclave, 0, &input)
+            .unwrap();
         let report = Report::from_bytes(&report_bytes).unwrap();
         let quote = world.platform.quote(&report).unwrap();
         let response_bytes = world
@@ -602,7 +603,8 @@ mod tests {
         .unwrap();
         let err = challenger2
             .verify(&response, &world.group_public, None)
-            .map(|_| ()).unwrap_err();
+            .map(|_| ())
+            .unwrap_err();
         assert_eq!(err, TeenetError::BindingMismatch);
     }
 

@@ -23,10 +23,8 @@ impl Direction {
     fn derive(prk: &[u8; 32], label: &[u8]) -> Result<Self> {
         let mut enc_key = [0u8; 16];
         let mut mac_key = [0u8; 32];
-        hkdf::expand(prk, &[label, b"-enc"].concat(), &mut enc_key)
-            .map_err(TeenetError::Crypto)?;
-        hkdf::expand(prk, &[label, b"-mac"].concat(), &mut mac_key)
-            .map_err(TeenetError::Crypto)?;
+        hkdf::expand(prk, &[label, b"-enc"].concat(), &mut enc_key).map_err(TeenetError::Crypto)?;
+        hkdf::expand(prk, &[label, b"-mac"].concat(), &mut mac_key).map_err(TeenetError::Crypto)?;
         Ok(Direction {
             enc_key,
             mac_key,

@@ -1,0 +1,173 @@
+//! Calibration entry points for the load-generation subsystem
+//! (`teenet-load`).
+//!
+//! A load run does not execute tens of thousands of real protocol sessions
+//! — it runs a handful against the real enclaves here, captures each
+//! operation's instruction counters and wire sizes as a [`WorkProfile`],
+//! and replays that profile at scale on virtual time. The profile types
+//! live in this crate (rather than in `teenet-load`) so every application
+//! crate can expose a calibration hook without depending on the load
+//! driver.
+
+use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
+use teenet_crypto::SecureRng;
+use teenet_sgx::cost::{CostModel, Counters};
+use teenet_sgx::{EnclaveCtx, EnclaveProgram, EpidGroup, Platform, Report, SgxError};
+
+use crate::attest::{AttestConfig, AttestResponse, Challenger};
+use crate::error::{Result, TeenetError};
+use crate::identity::IdentityPolicy;
+use crate::responder::AttestResponder;
+
+/// The measured cost of one client→server exchange within a session.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkStep {
+    /// Step name (stable; surfaces in load reports).
+    pub name: &'static str,
+    /// Client-side instruction cost.
+    pub client: Counters,
+    /// Server-side instruction cost.
+    pub server: Counters,
+    /// Request size on the wire.
+    pub request_bytes: usize,
+    /// Response size on the wire.
+    pub response_bytes: usize,
+}
+
+/// A calibrated workload: one-time setup cost plus the per-session step
+/// script.
+#[derive(Debug, Clone)]
+pub struct WorkProfile {
+    /// One-time cost (enclave load, provisioning, admission attestations).
+    pub setup: Counters,
+    /// The steps of one session, in order.
+    pub steps: Vec<WorkStep>,
+}
+
+/// Minimal attestation-target enclave for calibration.
+struct AttestService {
+    responder: AttestResponder,
+}
+
+impl EnclaveProgram for AttestService {
+    fn code_image(&self) -> Vec<u8> {
+        b"load-attest-target-v1".to_vec()
+    }
+    fn ecall(
+        &mut self,
+        ctx: &mut EnclaveCtx<'_>,
+        fn_id: u64,
+        input: &[u8],
+    ) -> core::result::Result<Vec<u8>, SgxError> {
+        match fn_id {
+            0 => self.responder.handle_begin(ctx, input),
+            1 => self.responder.handle_finish(ctx, input),
+            _ => Err(SgxError::EcallRejected("unknown fn")),
+        }
+    }
+}
+
+/// Calibrates the attestation-storm workload: one session is one full
+/// Figure-1 remote attestation of a target enclave. Runs the real protocol
+/// once and returns its measured counters and true wire sizes.
+pub fn calibrate_attest(config: &AttestConfig, seed: u64) -> Result<WorkProfile> {
+    let model = CostModel::paper();
+    let mut rng = SecureRng::seed_from_u64(seed);
+    let epid = EpidGroup::new(1, &mut rng).map_err(TeenetError::Sgx)?;
+    let mut platform = Platform::new("load-attest-target", &epid, seed);
+    let author =
+        SigningKey::generate(&SchnorrGroup::small(), &mut rng).map_err(TeenetError::Crypto)?;
+    let enclave = platform
+        .create_signed(
+            Box::new(AttestService {
+                responder: AttestResponder::new(config.clone()),
+            }),
+            &author,
+            1,
+        )
+        .map_err(TeenetError::Sgx)?;
+    let setup = platform.counters_of(enclave).map_err(TeenetError::Sgx)?;
+
+    // One real attestation, driven message by message so the wire sizes
+    // are the true ones, not estimates.
+    let (challenger, request) =
+        Challenger::start(IdentityPolicy::AcceptAny, config.clone(), &model, &mut rng)?;
+    let request_wire = request.to_bytes();
+    let target_before = platform.counters_of(enclave).map_err(TeenetError::Sgx)?;
+    let quoting_before = platform.quoting_counters();
+
+    let mut begin_input = request_wire.clone();
+    begin_input.extend_from_slice(&platform.quoting_target_info().mrenclave.0);
+    let report_bytes = platform
+        .ecall_nohost(enclave, 0, &begin_input)
+        .map_err(TeenetError::Sgx)?;
+    let report = Report::from_bytes(&report_bytes).map_err(TeenetError::Sgx)?;
+    let quote = platform.quote(&report).map_err(TeenetError::Sgx)?;
+    let mut finish_input = request.nonce.to_vec();
+    finish_input.extend_from_slice(&quote.to_bytes());
+    let response_wire = platform
+        .ecall_nohost(enclave, 1, &finish_input)
+        .map_err(TeenetError::Sgx)?;
+    let response = AttestResponse::from_bytes(&response_wire)?;
+    let outcome = challenger.verify(&response, &epid.public_key(), None)?;
+
+    // The server side of an attestation is the target enclave plus its
+    // platform's quoting enclave.
+    let mut server = platform
+        .counters_of(enclave)
+        .map_err(TeenetError::Sgx)?
+        .since(target_before);
+    server.merge(platform.quoting_counters().since(quoting_before));
+
+    Ok(WorkProfile {
+        setup,
+        steps: vec![WorkStep {
+            name: "attest",
+            client: outcome.counters,
+            server,
+            request_bytes: request_wire.len(),
+            response_bytes: response_wire.len(),
+        }],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attest_profile_matches_table1_shape() {
+        let profile = calibrate_attest(&AttestConfig::fast(), 42).unwrap();
+        assert_eq!(profile.steps.len(), 1);
+        let step = &profile.steps[0];
+        // With DH the target dominates the challenger (paper: 4463M vs
+        // 348M at 1024 bits; the ratio holds at the fast 768-bit group).
+        assert!(step.server.normal_instr > 2 * step.client.normal_instr);
+        assert!(step.server.sgx_instr > 0);
+        // Real wire sizes: request = 34 + |dh share|; response carries a
+        // quote, so it is bigger than the request.
+        assert_eq!(step.request_bytes, 34 + 96); // 768-bit share
+        assert!(step.response_bytes > step.request_bytes);
+    }
+
+    #[test]
+    fn calibration_is_deterministic_in_seed() {
+        let a = calibrate_attest(&AttestConfig::fast(), 7).unwrap();
+        let b = calibrate_attest(&AttestConfig::fast(), 7).unwrap();
+        assert_eq!(a.steps[0].server, b.steps[0].server);
+        assert_eq!(a.steps[0].client, b.steps[0].client);
+        assert_eq!(a.steps[0].response_bytes, b.steps[0].response_bytes);
+        assert_eq!(a.setup, b.setup);
+    }
+
+    #[test]
+    fn no_dh_profile_is_much_cheaper() {
+        let with_dh = calibrate_attest(&AttestConfig::fast(), 1).unwrap();
+        let config = AttestConfig::no_dh(teenet_crypto::dh::DhGroup::modp768());
+        let without = calibrate_attest(&config, 1).unwrap();
+        assert!(
+            with_dh.steps[0].server.normal_instr > 5 * without.steps[0].server.normal_instr,
+            "DH must dominate the target cost"
+        );
+    }
+}

@@ -61,8 +61,8 @@ impl IdentityPolicy {
                 }
             }
             IdentityPolicy::Certified { authority } => {
-                let cert = certificate
-                    .ok_or(TeenetError::CertificateInvalid("certificate required"))?;
+                let cert =
+                    certificate.ok_or(TeenetError::CertificateInvalid("certificate required"))?;
                 cert.verify(authority)?;
                 if cert.identities.contains(&body.mrenclave) {
                     Ok(())
@@ -167,7 +167,10 @@ mod tests {
             min_svn: 3,
         };
         assert!(p.check(&body(1, 9, 3), None).is_ok());
-        assert!(p.check(&body(2, 9, 7), None).is_ok(), "any code, same signer");
+        assert!(
+            p.check(&body(2, 9, 7), None).is_ok(),
+            "any code, same signer"
+        );
         assert!(p.check(&body(1, 9, 2), None).is_err(), "svn rollback");
         assert!(p.check(&body(1, 8, 5), None).is_err(), "wrong signer");
     }
@@ -214,6 +217,8 @@ mod tests {
 
     #[test]
     fn accept_any_accepts() {
-        assert!(IdentityPolicy::AcceptAny.check(&body(9, 9, 0), None).is_ok());
+        assert!(IdentityPolicy::AcceptAny
+            .check(&body(9, 9, 0), None)
+            .is_ok());
     }
 }

@@ -30,6 +30,7 @@
 
 pub mod attest;
 pub mod channel;
+pub mod driver;
 pub mod error;
 pub mod fmt;
 pub mod identity;
@@ -37,8 +38,11 @@ pub mod ledger;
 pub mod mutual;
 pub mod responder;
 
-pub use attest::{AttestConfig, AttestOutcome, AttestRequest, AttestResponse, Challenger, TargetAttestor};
+pub use attest::{
+    AttestConfig, AttestOutcome, AttestRequest, AttestResponse, Challenger, TargetAttestor,
+};
 pub use channel::SecureChannel;
+pub use driver::{WorkProfile, WorkStep};
 pub use error::{Result, TeenetError};
 pub use identity::{IdentityPolicy, SoftwareCertificate};
 pub use ledger::{AttestKind, AttestLedger};

@@ -135,7 +135,14 @@ mod tests {
     fn setup(
         tag_a: u8,
         tag_b: u8,
-    ) -> (Platform, EnclaveId, Platform, EnclaveId, SecureRng, VerifyingKey) {
+    ) -> (
+        Platform,
+        EnclaveId,
+        Platform,
+        EnclaveId,
+        SecureRng,
+        VerifyingKey,
+    ) {
         let mut rng = SecureRng::seed_from_u64(tag_a as u64 * 251 + tag_b as u64);
         let epid = EpidGroup::new(1, &mut rng).unwrap();
         let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();

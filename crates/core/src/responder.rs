@@ -16,7 +16,9 @@ use teenet_sgx::cost::CostModel;
 use teenet_sgx::report::TargetInfo;
 use teenet_sgx::{EnclaveCtx, EnclaveId, Measurement, Platform, Quote, Report, SgxError};
 
-use crate::attest::{AttestConfig, AttestOutcome, AttestRequest, AttestResponse, Challenger, TargetAttestor};
+use crate::attest::{
+    AttestConfig, AttestOutcome, AttestRequest, AttestResponse, Challenger, TargetAttestor,
+};
 use crate::channel::SecureChannel;
 use crate::error::{Result, TeenetError};
 use crate::identity::{IdentityPolicy, SoftwareCertificate};

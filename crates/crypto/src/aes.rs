@@ -137,7 +137,7 @@ impl Aes128 {
     /// Present for fidelity with the paper's prototype; prefer
     /// [`Aes128::ctr_apply`] for anything real.
     pub fn ecb_encrypt(&self, data: &mut [u8]) -> Result<()> {
-        if data.len() % BLOCK_LEN != 0 {
+        if !data.len().is_multiple_of(BLOCK_LEN) {
             return Err(CryptoError::InvalidLength {
                 what: "ECB plaintext",
                 got: data.len(),
@@ -153,7 +153,7 @@ impl Aes128 {
 
     /// ECB-mode decryption. `data` length must be a multiple of 16.
     pub fn ecb_decrypt(&self, data: &mut [u8]) -> Result<()> {
-        if data.len() % BLOCK_LEN != 0 {
+        if !data.len().is_multiple_of(BLOCK_LEN) {
             return Err(CryptoError::InvalidLength {
                 what: "ECB ciphertext",
                 got: data.len(),
@@ -180,7 +180,8 @@ impl Aes128 {
                 *d ^= k;
             }
             // Increment low 32 bits big-endian.
-            let mut ctr32 = u32::from_be_bytes([counter[12], counter[13], counter[14], counter[15]]);
+            let mut ctr32 =
+                u32::from_be_bytes([counter[12], counter[13], counter[14], counter[15]]);
             ctr32 = ctr32.wrapping_add(1);
             counter[12..16].copy_from_slice(&ctr32.to_be_bytes());
         }
@@ -274,7 +275,9 @@ mod tests {
     fn fips197_appendix_b() {
         let key = unhex("2b7e151628aed2a6abf7158809cf4f3c");
         let cipher = Aes128::new(&key).unwrap();
-        let mut block: [u8; 16] = unhex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        let mut block: [u8; 16] = unhex("3243f6a8885a308d313198a2e0370734")
+            .try_into()
+            .unwrap();
         cipher.encrypt_block(&mut block);
         assert_eq!(block.to_vec(), unhex("3925841d02dc09fbdc118597196a0b32"));
         cipher.decrypt_block(&mut block);
@@ -286,7 +289,9 @@ mod tests {
     fn fips197_appendix_c1() {
         let key = unhex("000102030405060708090a0b0c0d0e0f");
         let cipher = Aes128::new(&key).unwrap();
-        let mut block: [u8; 16] = unhex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let mut block: [u8; 16] = unhex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
         cipher.encrypt_block(&mut block);
         assert_eq!(block.to_vec(), unhex("69c4e0d86a7b0430d8cdb78070b4c55a"));
     }
@@ -314,7 +319,9 @@ mod tests {
     fn sp800_38a_ctr() {
         let key = unhex("2b7e151628aed2a6abf7158809cf4f3c");
         let cipher = Aes128::new(&key).unwrap();
-        let nonce: [u8; 16] = unhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let nonce: [u8; 16] = unhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+            .try_into()
+            .unwrap();
         let mut data = unhex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51");
         cipher.ctr_apply(&nonce, &mut data);
         assert_eq!(

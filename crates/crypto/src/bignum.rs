@@ -152,7 +152,7 @@ impl BigUint {
 
     /// True iff the value is even (0 counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for the value 0).
@@ -166,7 +166,7 @@ impl BigUint {
     /// Returns bit `i` (little-endian bit order; out-of-range bits are 0).
     pub fn bit(&self, i: usize) -> bool {
         let (limb, off) = (i / 64, i % 64);
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     fn normalize(&mut self) {
@@ -184,9 +184,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &l) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long[i].overflowing_add(b);
+            let (s1, c1) = l.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -527,11 +527,7 @@ impl BigUint {
     /// give a false-positive bound of 2^-32 — ample for validating the
     /// built-in group parameters (the safe-prime property the Schnorr
     /// construction rests on).
-    pub fn is_probable_prime(
-        &self,
-        rounds: u32,
-        mut fill: impl FnMut(&mut [u8]),
-    ) -> Result<bool> {
+    pub fn is_probable_prime(&self, rounds: u32, mut fill: impl FnMut(&mut [u8])) -> Result<bool> {
         // Small cases and even numbers.
         if self.cmp_to(&BigUint::from_u64(2)) == Ordering::Less {
             return Ok(false);
@@ -588,7 +584,7 @@ impl BigUint {
         }
         let bits = bound.bit_len();
         let bytes = bits.div_ceil(8);
-        let top_mask = if bits % 8 == 0 {
+        let top_mask = if bits.is_multiple_of(8) {
             0xff
         } else {
             (1u8 << (bits % 8)) - 1
@@ -660,11 +656,11 @@ impl Montgomery {
     fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         let len = self.n.len();
         let mut t = vec![0u64; len + 2];
-        for i in 0..len {
-            // t += a[i] * b
+        for &ai in &a[..len] {
+            // t += ai * b
             let mut carry = 0u128;
             for j in 0..len {
-                let s = t[j] as u128 + a[i] as u128 * b[j] as u128 + carry;
+                let s = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
                 t[j] = s as u64;
                 carry = s >> 64;
             }
@@ -812,7 +808,10 @@ mod tests {
         assert_eq!(b(100).checked_sub(&b(58)).unwrap(), b(42));
         assert!(b(1).checked_sub(&b(2)).is_err());
         let big = BigUint::from_hex("10000000000000000").unwrap();
-        assert_eq!(big.checked_sub(&BigUint::one()).unwrap(), BigUint::from_u64(u64::MAX));
+        assert_eq!(
+            big.checked_sub(&BigUint::one()).unwrap(),
+            BigUint::from_u64(u64::MAX)
+        );
     }
 
     #[test]
@@ -864,16 +863,15 @@ mod tests {
 
     #[test]
     fn modexp_even_modulus() {
-        assert_eq!(b(3).modexp(&b(4), &b(100)).unwrap(), b(81 % 100));
+        assert_eq!(b(3).modexp(&b(4), &b(100)).unwrap(), b(81));
         assert_eq!(b(7).modexp(&b(5), &b(36)).unwrap(), b(16807 % 36));
     }
 
     #[test]
     fn modexp_matches_generic_on_large_odd_modulus() {
-        let m = BigUint::from_hex(
-            "f1d5d9c7a8b3e5f70123456789abcdef0123456789abcdef0123456789abcdef",
-        )
-        .unwrap();
+        let m =
+            BigUint::from_hex("f1d5d9c7a8b3e5f70123456789abcdef0123456789abcdef0123456789abcdef")
+                .unwrap();
         let base = BigUint::from_hex("abcdef0123456789").unwrap();
         let exp = BigUint::from_hex("fedcba9876543210f00d").unwrap();
         let fast = base.modexp(&exp, &m).unwrap();
@@ -1016,7 +1014,10 @@ mod primality_tests {
         // Fermat liars that defeat naive a^(n-1) tests: 561, 1105, 1729,
         // 41041, 825265.
         for c in [561u64, 1105, 1729, 41041, 825265] {
-            assert!(!is_prime(&BigUint::from_u64(c)), "{c} is a Carmichael number");
+            assert!(
+                !is_prime(&BigUint::from_u64(c)),
+                "{c} is a Carmichael number"
+            );
         }
     }
 

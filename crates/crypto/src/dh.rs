@@ -101,8 +101,8 @@ impl DhKeyPair {
     pub fn generate(group: &DhGroup, rng: &mut SecureRng) -> Result<Self> {
         // Private exponent in [2, p-2].
         let upper = group.p.checked_sub(&BigUint::from_u64(3))?;
-        let private = BigUint::random_below(&upper, |buf| rng.fill_bytes(buf))?
-            .add(&BigUint::from_u64(2));
+        let private =
+            BigUint::random_below(&upper, |buf| rng.fill_bytes(buf))?.add(&BigUint::from_u64(2));
         let public = group.g.modexp(&private, &group.p)?;
         Ok(DhKeyPair {
             group: group.clone(),

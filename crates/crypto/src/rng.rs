@@ -69,7 +69,8 @@ impl SecureRng {
                 self.refill();
             }
             let take = (dest.len() - written).min(64 - self.used);
-            dest[written..written + take].copy_from_slice(&self.buffer[self.used..self.used + take]);
+            dest[written..written + take]
+                .copy_from_slice(&self.buffer[self.used..self.used + take]);
             self.used += take;
             written += take;
         }

@@ -37,11 +37,7 @@ pub struct SchnorrGroup {
 impl SchnorrGroup {
     /// Builds the Schnorr group on top of a safe-prime DH group.
     pub fn from_dh_group(group: &DhGroup) -> Self {
-        let q = group
-            .p
-            .checked_sub(&BigUint::one())
-            .expect("p > 1")
-            .shr(1);
+        let q = group.p.checked_sub(&BigUint::one()).expect("p > 1").shr(1);
         SchnorrGroup {
             p: group.p.clone(),
             q,

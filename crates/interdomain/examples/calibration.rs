@@ -2,8 +2,8 @@
 //! (native vs SGX, inter-domain and AS-local controllers).
 use std::collections::HashMap;
 use teenet::attest::AttestConfig;
-use teenet_interdomain::*;
 use teenet_crypto::SecureRng;
+use teenet_interdomain::*;
 
 fn main() {
     let mut rng = SecureRng::seed_from_u64(2015);
@@ -11,15 +11,33 @@ fn main() {
     let p: HashMap<AsId, LocalPolicy> = default_policies(&t);
     let native = run_native(&t, &p);
     println!("work_units(30) = {}", native.outcome.work_units);
-    println!("native interdomain = {}M", native.interdomain.normal_instr / 1_000_000);
-    println!("native aslocal avg = {}M", native.aslocal_avg().normal_instr / 1_000_000);
+    println!(
+        "native interdomain = {}M",
+        native.interdomain.normal_instr / 1_000_000
+    );
+    println!(
+        "native aslocal avg = {}M",
+        native.aslocal_avg().normal_instr / 1_000_000
+    );
 
     let mut dep = SdnDeployment::new(&t, &p, AttestConfig::fast(), 7).unwrap();
     let report = dep.run().unwrap();
-    println!("sgx interdomain = {}M normal, {} sgx", report.interdomain.normal_instr/1_000_000, report.interdomain.sgx_instr);
-    println!("sgx aslocal avg = {}M normal, {} sgx", report.aslocal_avg().normal_instr/1_000_000, report.aslocal_avg().sgx_instr);
+    println!(
+        "sgx interdomain = {}M normal, {} sgx",
+        report.interdomain.normal_instr / 1_000_000,
+        report.interdomain.sgx_instr
+    );
+    println!(
+        "sgx aslocal avg = {}M normal, {} sgx",
+        report.aslocal_avg().normal_instr / 1_000_000,
+        report.aslocal_avg().sgx_instr
+    );
     println!("attestations = {}", report.attestations);
-    let oi = (report.interdomain.normal_instr as f64 / native.interdomain.normal_instr as f64 - 1.0) * 100.0;
-    let oa = (report.aslocal_avg().normal_instr as f64 / native.aslocal_avg().normal_instr as f64 - 1.0) * 100.0;
+    let oi = (report.interdomain.normal_instr as f64 / native.interdomain.normal_instr as f64
+        - 1.0)
+        * 100.0;
+    let oa = (report.aslocal_avg().normal_instr as f64 / native.aslocal_avg().normal_instr as f64
+        - 1.0)
+        * 100.0;
     println!("overhead interdomain = {oi:.0}%  aslocal = {oa:.0}%");
 }

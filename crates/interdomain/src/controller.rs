@@ -24,7 +24,7 @@ use crate::compute::{compute_routes, RoutingOutcome};
 use crate::cost;
 use crate::policy::LocalPolicy;
 use crate::predicate::Predicate;
-use crate::topology::{AsId, EdgeKind, Topology};
+use crate::topology::{AsId, EdgeKind, EdgeList, Topology};
 use crate::verify::{VerificationModule, VerifyStatus};
 use crate::wire;
 
@@ -99,7 +99,7 @@ pub struct InterdomainController {
     attest_config: AttestConfig,
     pending_attest: HashMap<Nonce, TargetAttestor>,
     sessions: HashMap<Nonce, Session>,
-    submissions: HashMap<AsId, (LocalPolicy, Vec<(AsId, AsId, EdgeKind)>)>,
+    submissions: HashMap<AsId, (LocalPolicy, EdgeList)>,
     outcome: Option<RoutingOutcome>,
     verifier: VerificationModule,
     /// Marker used only to build a tampered variant for tests: a
@@ -178,13 +178,9 @@ impl EnclaveProgram for InterdomainController {
                 let qe_target = TargetInfo {
                     mrenclave: Measurement(qe.try_into().expect("32")),
                 };
-                let (attestor, report) = TargetAttestor::begin(
-                    ctx,
-                    &request,
-                    qe_target,
-                    self.attest_config.clone(),
-                )
-                .map_err(|_| SgxError::EcallRejected("attest begin failed"))?;
+                let (attestor, report) =
+                    TargetAttestor::begin(ctx, &request, qe_target, self.attest_config.clone())
+                        .map_err(|_| SgxError::EcallRejected("attest begin failed"))?;
                 self.pending_attest.insert(request.nonce, attestor);
                 Ok(report.to_bytes())
             }
@@ -245,9 +241,10 @@ impl EnclaveProgram for InterdomainController {
                     max_as = max_as.max(as_id.0);
                     for &(a, b, kind) in local_edges {
                         max_as = max_as.max(a.0).max(b.0);
-                        if !edges.iter().any(|&(x, y, _)| {
-                            (x, y) == (a, b) || (x, y) == (b, a)
-                        }) {
+                        if !edges
+                            .iter()
+                            .any(|&(x, y, _)| (x, y) == (a, b) || (x, y) == (b, a))
+                        {
                             edges.push((a, b, kind));
                         }
                     }
@@ -255,7 +252,9 @@ impl EnclaveProgram for InterdomainController {
                 // Every AS on an edge must have submitted a policy;
                 // missing ones get Gao–Rexford defaults.
                 for i in 0..=max_as {
-                    policies.entry(AsId(i)).or_insert_with(|| LocalPolicy::new(AsId(i)));
+                    policies
+                        .entry(AsId(i))
+                        .or_insert_with(|| LocalPolicy::new(AsId(i)));
                 }
                 let topology = Topology::from_edges(max_as + 1, edges);
                 let outcome = compute_routes(&topology, &policies);

@@ -97,7 +97,8 @@ impl SdnDeployment {
         let mut as_platforms = Vec::with_capacity(topology.len());
         let mut as_enclaves = Vec::with_capacity(topology.len());
         for as_id in topology.ases() {
-            let mut platform = Platform::new(&format!("as-{}", as_id.0), &epid, seed + 1 + as_id.0 as u64);
+            let mut platform =
+                Platform::new(&format!("as-{}", as_id.0), &epid, seed + 1 + as_id.0 as u64);
             let local_edges: Vec<_> = topology
                 .edges()
                 .iter()
@@ -172,7 +173,8 @@ impl SdnDeployment {
     /// Excludes setup costs, as the paper's Table 4 does ("we exclude the
     /// cost of enclave initialization and remote attestation").
     pub fn reset_counters(&mut self) -> Result<()> {
-        self.controller_platform.reset_counters(self.controller_enclave)?;
+        self.controller_platform
+            .reset_counters(self.controller_enclave)?;
         for i in 0..self.as_enclaves.len() {
             self.as_platforms[i].reset_counters(self.as_enclaves[i])?;
         }
@@ -183,21 +185,24 @@ impl SdnDeployment {
     /// controller through the secure channels.
     pub fn submit_all(&mut self) -> Result<()> {
         for i in 0..self.as_enclaves.len() {
-            let sealed = self.as_platforms[i].ecall_nohost(
-                self.as_enclaves[i],
-                alc_fn::SUBMIT_POLICY,
-                &[],
-            )?;
-            let nonce = self.as_nonces[i].expect("attested");
-            let mut input = nonce.to_vec();
-            input.extend_from_slice(&sealed);
-            self.controller_platform.ecall_nohost(
-                self.controller_enclave,
-                ic_fn::SUBMIT,
-                &input,
-            )?;
+            self.submit_one(i)?;
         }
         Ok(())
+    }
+
+    /// Submits AS `i`'s policy alone (one message-4/5 exchange). Returns
+    /// the sealed policy blob's wire size; used by the load-calibration
+    /// driver to measure a single announcement.
+    pub fn submit_one(&mut self, i: usize) -> Result<usize> {
+        let sealed =
+            self.as_platforms[i].ecall_nohost(self.as_enclaves[i], alc_fn::SUBMIT_POLICY, &[])?;
+        let wire = sealed.len();
+        let nonce = self.as_nonces[i].expect("attested");
+        let mut input = nonce.to_vec();
+        input.extend_from_slice(&sealed);
+        self.controller_platform
+            .ecall_nohost(self.controller_enclave, ic_fn::SUBMIT, &input)?;
+        Ok(wire)
     }
 
     /// Phase 3 (message 6 prep): the controller computes paths for all
@@ -213,20 +218,28 @@ impl SdnDeployment {
     pub fn distribute_routes(&mut self) -> Result<Vec<u32>> {
         let mut counts = Vec::with_capacity(self.as_enclaves.len());
         for i in 0..self.as_enclaves.len() {
-            let nonce = self.as_nonces[i].expect("attested");
-            let sealed = self.controller_platform.ecall_nohost(
-                self.controller_enclave,
-                ic_fn::GET_ROUTES,
-                &nonce,
-            )?;
-            let count_bytes = self.as_platforms[i].ecall_nohost(
-                self.as_enclaves[i],
-                alc_fn::INSTALL_ROUTES,
-                &sealed,
-            )?;
-            counts.push(u32::from_le_bytes(count_bytes[..4].try_into().expect("4")));
+            counts.push(self.pull_one(i)?.1);
         }
         Ok(counts)
+    }
+
+    /// AS `i` pulls and installs its routes alone (messages 6–7 for one
+    /// AS). Returns the sealed route blob's wire size and the installed
+    /// route count; used by the load-calibration driver.
+    pub fn pull_one(&mut self, i: usize) -> Result<(usize, u32)> {
+        let nonce = self.as_nonces[i].expect("attested");
+        let sealed = self.controller_platform.ecall_nohost(
+            self.controller_enclave,
+            ic_fn::GET_ROUTES,
+            &nonce,
+        )?;
+        let count_bytes = self.as_platforms[i].ecall_nohost(
+            self.as_enclaves[i],
+            alc_fn::INSTALL_ROUTES,
+            &sealed,
+        )?;
+        let count = u32::from_le_bytes(count_bytes[..4].try_into().expect("4"));
+        Ok((sealed.len(), count))
     }
 
     /// Messages 8–9: submit a two-party verification predicate on behalf
@@ -243,11 +256,8 @@ impl SdnDeployment {
         plain.extend_from_slice(&party_a.0.to_le_bytes());
         plain.extend_from_slice(&party_b.0.to_le_bytes());
         plain.extend_from_slice(&predicate.to_bytes());
-        let sealed = self.as_platforms[i].ecall_nohost(
-            self.as_enclaves[i],
-            alc_fn::MAKE_VERIFY,
-            &plain,
-        )?;
+        let sealed =
+            self.as_platforms[i].ecall_nohost(self.as_enclaves[i], alc_fn::MAKE_VERIFY, &plain)?;
         let nonce = self.as_nonces[i].expect("attested");
         let mut input = nonce.to_vec();
         input.extend_from_slice(&sealed);
@@ -325,10 +335,7 @@ impl NativeReport {
 
 /// Executes the identical routing workload natively ("w/o SGX"): same
 /// computation, same per-unit costs, no enclave overheads.
-pub fn run_native(
-    topology: &Topology,
-    policies: &HashMap<AsId, LocalPolicy>,
-) -> NativeReport {
+pub fn run_native(topology: &Topology, policies: &HashMap<AsId, LocalPolicy>) -> NativeReport {
     let outcome = compute_routes(topology, policies);
     let mut interdomain = Counters::new();
     interdomain.normal(outcome.work_units * cost::ROUTE_EVAL_COST);

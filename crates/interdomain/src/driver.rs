@@ -1,0 +1,128 @@
+//! Calibration hook for the load generator: one session is one AS's
+//! round of BGP announcement churn — submit the private policy to the
+//! controller enclave, have the controller recompute, and pull the
+//! freshly sealed routes back.
+
+use std::collections::HashMap;
+
+use teenet::driver::{WorkProfile, WorkStep};
+use teenet::AttestConfig;
+use teenet_crypto::SecureRng;
+use teenet_sgx::cost::Counters;
+
+use crate::deployment::{Result, SdnDeployment};
+use crate::topology::Topology;
+
+/// Calibrates the BGP announcement-churn workload on a random three-tier
+/// topology of `n_ases` ASes.
+///
+/// Setup is the measured cost of bootstrapping: loading all enclaves and
+/// mutually attesting every AS-local controller to the inter-domain
+/// controller, plus one warm-up round (submit, compute, distribute) so
+/// steady-state measurements see a warmed controller. One session is one
+/// AS announcing ("announce": sealed policy submission, with the
+/// controller recomputing paths) and pulling its table ("pull": sealed
+/// route download and install).
+pub fn calibrate_bgp(seed: u64, n_ases: u32) -> Result<WorkProfile> {
+    assert!(n_ases >= 3, "need at least 3 ASes for a topology");
+    let mut rng = SecureRng::seed_from_u64(seed ^ 0x0062_6770);
+    let topology = Topology::random(n_ases, &mut rng);
+    let policies = HashMap::new();
+    let mut dep = SdnDeployment::new(&topology, &policies, AttestConfig::fast(), seed)?;
+    dep.attest_all()?;
+    dep.submit_all()?;
+    dep.compute()?;
+    dep.distribute_routes()?;
+
+    let mut setup = dep.controller_platform.total_counters();
+    for p in &dep.as_platforms {
+        setup.merge(p.total_counters());
+    }
+
+    // Steady state: AS 0 re-announces and the controller recomputes.
+    let subject = 0usize;
+    let controller_before = dep.controller_platform.total_counters();
+    let as_before = dep.as_platforms[subject].total_counters();
+    let announce_wire = dep.submit_one(subject)?;
+    dep.compute()?;
+    let announce_server = dep
+        .controller_platform
+        .total_counters()
+        .since(controller_before);
+    let announce_client = dep.as_platforms[subject].total_counters().since(as_before);
+
+    let controller_before = dep.controller_platform.total_counters();
+    let as_before = dep.as_platforms[subject].total_counters();
+    let (pull_wire, installed) = dep.pull_one(subject)?;
+    let pull_server = dep
+        .controller_platform
+        .total_counters()
+        .since(controller_before);
+    let pull_client = dep.as_platforms[subject].total_counters().since(as_before);
+    debug_assert!(installed > 0, "calibration AS must install routes");
+
+    Ok(WorkProfile {
+        setup,
+        steps: vec![
+            WorkStep {
+                name: "announce",
+                client: announce_client,
+                server: announce_server,
+                request_bytes: announce_wire,
+                // Message 5 is the controller's short sealed ack.
+                response_bytes: 64,
+            },
+            WorkStep {
+                name: "pull",
+                client: pull_client,
+                server: pull_server,
+                // Message 6 is the AS's nonce-bearing pull request.
+                request_bytes: 32,
+                response_bytes: pull_wire,
+            },
+        ],
+    })
+}
+
+/// `Counters` total across both steps of one session (convenience for
+/// tests and reports).
+pub fn session_total(profile: &WorkProfile) -> Counters {
+    let mut total = Counters::new();
+    for s in &profile.steps {
+        total.merge(s.client);
+        total.merge(s.server);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bgp_profile_shape() {
+        let profile = calibrate_bgp(21, 8).unwrap();
+        assert_eq!(profile.steps.len(), 2);
+        let announce = &profile.steps[0];
+        let pull = &profile.steps[1];
+        // The announce step includes a full path recomputation inside the
+        // controller enclave — it must dominate the pull.
+        assert!(announce.server.normal_instr > pull.server.normal_instr);
+        assert!(announce.server.sgx_instr > 0);
+        assert!(pull.client.sgx_instr > 0);
+        // Sealed blobs have real sizes.
+        assert!(announce.request_bytes > 0);
+        assert!(pull.response_bytes > 0);
+        // Bootstrapping (attestation of every AS) dwarfs one churn round.
+        assert!(profile.setup.normal_instr > session_total(&profile).normal_instr);
+    }
+
+    #[test]
+    fn bgp_calibration_deterministic() {
+        let a = calibrate_bgp(13, 6).unwrap();
+        let b = calibrate_bgp(13, 6).unwrap();
+        assert_eq!(a.setup, b.setup);
+        assert_eq!(a.steps[0].server, b.steps[0].server);
+        assert_eq!(a.steps[1].response_bytes, b.steps[1].response_bytes);
+    }
+}

@@ -24,6 +24,7 @@ pub mod compute;
 pub mod controller;
 pub mod cost;
 pub mod deployment;
+pub mod driver;
 pub mod policy;
 pub mod predicate;
 pub mod refbgp;
@@ -35,6 +36,7 @@ pub mod wire;
 pub use compute::{compute_routes, default_policies, RoutingOutcome};
 pub use controller::{AsLocalController, InterdomainController};
 pub use deployment::{run_native, NativeReport, SdnDeployment, SdnReport};
+pub use driver::calibrate_bgp;
 pub use policy::LocalPolicy;
 pub use predicate::Predicate;
 pub use route::Route;

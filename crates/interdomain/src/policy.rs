@@ -158,11 +158,19 @@ mod tests {
         assert!(p.may_export(None, AsId(2), Relationship::Provider));
         // Customer routes to everyone.
         assert!(p.may_export(Some(Relationship::Customer), AsId(2), Relationship::Peer));
-        assert!(p.may_export(Some(Relationship::Customer), AsId(2), Relationship::Provider));
+        assert!(p.may_export(
+            Some(Relationship::Customer),
+            AsId(2),
+            Relationship::Provider
+        ));
         // Peer/provider routes only to customers (no free transit).
         assert!(p.may_export(Some(Relationship::Peer), AsId(2), Relationship::Customer));
         assert!(!p.may_export(Some(Relationship::Peer), AsId(2), Relationship::Peer));
-        assert!(!p.may_export(Some(Relationship::Provider), AsId(2), Relationship::Provider));
+        assert!(!p.may_export(
+            Some(Relationship::Provider),
+            AsId(2),
+            Relationship::Provider
+        ));
         assert!(!p.may_export(Some(Relationship::Provider), AsId(2), Relationship::Peer));
     }
 

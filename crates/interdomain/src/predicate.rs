@@ -339,8 +339,11 @@ mod tests {
             dst: AsId(3),
             next_hop: AsId(1),
         };
-        assert!(Predicate::And(Box::new(t.clone()), Box::new(Predicate::Not(Box::new(f.clone()))))
-            .eval(&out));
+        assert!(Predicate::And(
+            Box::new(t.clone()),
+            Box::new(Predicate::Not(Box::new(f.clone())))
+        )
+        .eval(&out));
         assert!(Predicate::Or(Box::new(f.clone()), Box::new(t.clone())).eval(&out));
         assert!(!Predicate::And(Box::new(t), Box::new(f)).eval(&out));
     }

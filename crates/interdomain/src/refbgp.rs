@@ -168,7 +168,11 @@ pub fn run_distributed_bgp(
 
     // Bootstrap: every AS originates its own prefix.
     for a in topology.ases() {
-        nodes.get_mut(&a).expect("node").best.insert(a, Route::origin(a));
+        nodes
+            .get_mut(&a)
+            .expect("node")
+            .best
+            .insert(a, Route::origin(a));
         for u in nodes[&a].announcements(a) {
             enqueue(&mut sessions, u);
         }

@@ -43,6 +43,9 @@ pub enum EdgeKind {
     Peering,
 }
 
+/// An adjacency list of business-relationship edges.
+pub type EdgeList = Vec<(AsId, AsId, EdgeKind)>;
+
 /// An AS-level topology.
 #[derive(Debug, Clone)]
 pub struct Topology {
@@ -53,9 +56,7 @@ pub struct Topology {
 impl Topology {
     /// Builds a topology from explicit edges.
     pub fn from_edges(n: u32, edges: Vec<(AsId, AsId, EdgeKind)>) -> Self {
-        debug_assert!(edges
-            .iter()
-            .all(|&(a, b, _)| a.0 < n && b.0 < n && a != b));
+        debug_assert!(edges.iter().all(|&(a, b, _)| a.0 < n && b.0 < n && a != b));
         Topology { n, edges }
     }
 

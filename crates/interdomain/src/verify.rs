@@ -216,7 +216,10 @@ mod tests {
         );
         let mut p = default_policies(&t);
         // AS0 secretly downgrades customer 2 below peer 1.
-        p.get_mut(&AsId(0)).unwrap().pref_override.insert(AsId(2), 50);
+        p.get_mut(&AsId(0))
+            .unwrap()
+            .pref_override
+            .insert(AsId(2), 50);
         let out = compute_routes(&t, &p);
         let mut vm = VerificationModule::new();
         vm.submit(AsId(2), AsId(0), AsId(2), &promise(), Some(&out))

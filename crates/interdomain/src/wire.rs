@@ -2,7 +2,7 @@
 
 use crate::policy::LocalPolicy;
 use crate::route::Route;
-use crate::topology::{AsId, EdgeKind};
+use crate::topology::{AsId, EdgeKind, EdgeList};
 
 /// Encodes a list of edges (u32 count, then (a, b, kind) triples).
 pub fn encode_edges(edges: &[(AsId, AsId, EdgeKind)]) -> Vec<u8> {
@@ -20,7 +20,7 @@ pub fn encode_edges(edges: &[(AsId, AsId, EdgeKind)]) -> Vec<u8> {
 }
 
 /// Decodes [`encode_edges`]; returns edges and bytes consumed.
-pub fn decode_edges(buf: &[u8]) -> Option<(Vec<(AsId, AsId, EdgeKind)>, usize)> {
+pub fn decode_edges(buf: &[u8]) -> Option<(EdgeList, usize)> {
     if buf.len() < 4 {
         return None;
     }
@@ -60,7 +60,7 @@ pub fn encode_submission(policy: &LocalPolicy, edges: &[(AsId, AsId, EdgeKind)])
 }
 
 /// Decodes [`encode_submission`].
-pub fn decode_submission(buf: &[u8]) -> Option<(LocalPolicy, Vec<(AsId, AsId, EdgeKind)>)> {
+pub fn decode_submission(buf: &[u8]) -> Option<(LocalPolicy, EdgeList)> {
     if buf.len() < 4 {
         return None;
     }

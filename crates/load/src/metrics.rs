@@ -1,0 +1,156 @@
+//! Metrics core: monotonic counters, gauges with high-watermarks, and
+//! per-phase SGX instruction/cycle rollups folding in
+//! [`teenet_sgx::cost::Counters`].
+
+use teenet_sgx::cost::{CostModel, Counters};
+
+/// A monotonic event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A gauge tracking a current level and its high-watermark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge {
+    current: u64,
+    max: u64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the level, updating the high-watermark.
+    pub fn set(&mut self, v: u64) {
+        self.current = v;
+        self.max = self.max.max(v);
+    }
+
+    /// Raises the level by `n`.
+    pub fn rise(&mut self, n: u64) {
+        self.set(self.current + n);
+    }
+
+    /// Lowers the level by `n` (saturating).
+    pub fn fall(&mut self, n: u64) {
+        self.current = self.current.saturating_sub(n);
+    }
+
+    /// Current level.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// Highest level ever set.
+    pub fn high_watermark(&self) -> u64 {
+        self.max
+    }
+}
+
+/// Accumulated SGX/normal-instruction cost of one named phase of a load
+/// run (e.g. `calibration`, `steady.server`, `steady.client`), with the
+/// number of operations it covers.
+#[derive(Debug, Clone)]
+pub struct PhaseRollup {
+    /// Phase name (stable across runs; used as the JSON key).
+    pub name: &'static str,
+    /// Total instruction counters of the phase.
+    pub counters: Counters,
+    /// Operations folded into the rollup.
+    pub ops: u64,
+}
+
+impl PhaseRollup {
+    /// An empty rollup for `name`.
+    pub fn new(name: &'static str) -> Self {
+        PhaseRollup {
+            name,
+            counters: Counters::new(),
+            ops: 0,
+        }
+    }
+
+    /// Folds one operation's counters in.
+    pub fn fold(&mut self, c: Counters) {
+        self.counters.merge(c);
+        self.ops += 1;
+    }
+
+    /// Folds `n` operations that each cost `c` (replayed profiles).
+    pub fn fold_n(&mut self, c: Counters, n: u64) {
+        self.counters.merge(Counters {
+            sgx_instr: c.sgx_instr * n,
+            normal_instr: c.normal_instr * n,
+        });
+        self.ops += n;
+    }
+
+    /// Cycles under the paper's conversion (§5 fn. 6).
+    pub fn cycles(&self, model: &CostModel) -> u64 {
+        self.counters.cycles(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotonic() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_high_watermark() {
+        let mut g = Gauge::new();
+        g.rise(3);
+        g.rise(4);
+        g.fall(6);
+        assert_eq!(g.current(), 1);
+        assert_eq!(g.high_watermark(), 7);
+        g.fall(10);
+        assert_eq!(g.current(), 0);
+    }
+
+    #[test]
+    fn rollup_folds_and_converts() {
+        let model = CostModel::paper();
+        let mut r = PhaseRollup::new("steady.server");
+        let c = Counters {
+            sgx_instr: 2,
+            normal_instr: 1000,
+        };
+        r.fold(c);
+        r.fold_n(c, 9);
+        assert_eq!(r.ops, 10);
+        assert_eq!(r.counters.sgx_instr, 20);
+        assert_eq!(r.counters.normal_instr, 10_000);
+        assert_eq!(r.cycles(&model), 20 * 10_000 + 18_000);
+    }
+}

@@ -1,0 +1,276 @@
+//! Run reports: an aligned human-readable table and byte-stable JSON.
+//!
+//! The JSON is emitted by hand (stable key order, fixed float precision)
+//! rather than through a serialisation framework, because the determinism
+//! test in `tests/loadgen_determinism.rs` asserts *byte* equality of two
+//! runs with the same scenario and seed — formatting is part of the
+//! contract here, not an implementation detail.
+
+use std::fmt::Write as _;
+
+use teenet_netsim::sim::LinkStats;
+use teenet_sgx::cost::{CostModel, Counters};
+
+use crate::hist::Histogram;
+use crate::metrics::PhaseRollup;
+
+/// Everything a finished load run reports.
+pub struct RunReport {
+    /// Scenario name (`attest`, `tls`, `tor`, `bgp`).
+    pub scenario: String,
+    /// Load mode description (`open`, `closed`).
+    pub mode: String,
+    /// Seed driving all randomness in the run.
+    pub seed: u64,
+    /// Open-loop arrival rate actually used (0 for closed loop).
+    pub rate_per_sec: f64,
+    /// Closed-loop concurrency (0 for open loop).
+    pub concurrency: u32,
+    /// Sessions requested.
+    pub sessions: u64,
+    /// Sessions that completed every operation.
+    pub completed: u64,
+    /// Sessions abandoned after exhausting retransmissions.
+    pub failed: u64,
+    /// Request retransmissions triggered by timeouts.
+    pub retries: u64,
+    /// Packets discarded at the receiver for failed integrity checks.
+    pub corrupt_rx: u64,
+    /// Virtual time from first arrival to last completion, in nanoseconds.
+    pub duration_ns: u64,
+    /// Completed sessions per virtual second.
+    pub throughput_per_sec: f64,
+    /// Session latency distribution (arrival → final response), ns.
+    pub latency: Histogram,
+    /// Fault outcomes summed over all simulated links.
+    pub net: LinkStats,
+    /// Deepest the server inbox ever got.
+    pub max_server_queue: u64,
+    /// Per-phase SGX instruction/cycle rollups.
+    pub phases: Vec<PhaseRollup>,
+    /// Instruction totals across all phases.
+    pub total: Counters,
+    /// `total` converted to cycles under the paper's model.
+    pub total_cycles: u64,
+}
+
+impl RunReport {
+    /// The human-readable summary table.
+    pub fn text(&self) -> String {
+        let mut s = String::new();
+        let (p50, p90, p99, p999) = self.latency.percentiles();
+        let _ = writeln!(s, "== teenet-load: {} ({}) ==", self.scenario, self.mode);
+        let _ = writeln!(s, "{:<26} {}", "seed", self.seed);
+        if self.concurrency > 0 {
+            let _ = writeln!(s, "{:<26} {}", "concurrency", self.concurrency);
+        } else {
+            let _ = writeln!(s, "{:<26} {:.2}/s", "arrival rate", self.rate_per_sec);
+        }
+        let _ = writeln!(
+            s,
+            "{:<26} {} requested, {} completed, {} failed",
+            "sessions", self.sessions, self.completed, self.failed
+        );
+        let _ = writeln!(
+            s,
+            "{:<26} {:.6}s virtual",
+            "duration",
+            self.duration_ns as f64 / 1e9
+        );
+        let _ = writeln!(
+            s,
+            "{:<26} {:.2} sessions/s",
+            "throughput", self.throughput_per_sec
+        );
+        let _ = writeln!(
+            s,
+            "{:<26} p50={} p90={} p99={} p999={} max={}",
+            "latency (µs)",
+            p50 / 1_000,
+            p90 / 1_000,
+            p99 / 1_000,
+            p999 / 1_000,
+            self.latency.max() / 1_000
+        );
+        let _ = writeln!(
+            s,
+            "{:<26} sent={} delivered={} dropped={} corrupted={} duplicated={} delayed={}",
+            "network",
+            self.net.sent,
+            self.net.delivered,
+            self.net.dropped,
+            self.net.corrupted,
+            self.net.duplicated,
+            self.net.delayed
+        );
+        let _ = writeln!(
+            s,
+            "{:<26} retries={} corrupt_rx={} max_server_queue={}",
+            "recovery", self.retries, self.corrupt_rx, self.max_server_queue
+        );
+        let _ = writeln!(s, "-- SGX cost rollup --");
+        let _ = writeln!(
+            s,
+            "{:<26} {:>10} {:>14} {:>18} {:>18}",
+            "phase", "ops", "sgx instr", "normal instr", "cycles"
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                s,
+                "{:<26} {:>10} {:>14} {:>18} {:>18}",
+                p.name,
+                p.ops,
+                p.counters.sgx_instr,
+                p.counters.normal_instr,
+                p.cycles(&CostModel::paper())
+            );
+        }
+        let _ = writeln!(
+            s,
+            "{:<26} {:>10} {:>14} {:>18} {:>18}",
+            "total", "", self.total.sgx_instr, self.total.normal_instr, self.total_cycles
+        );
+        s
+    }
+
+    /// The byte-stable JSON report: fixed key order, fixed float precision.
+    pub fn json(&self) -> String {
+        let (p50, p90, p99, p999) = self.latency.percentiles();
+        let mut s = String::new();
+        s.push('{');
+        let _ = write!(s, "\"scenario\":\"{}\"", self.scenario);
+        let _ = write!(s, ",\"mode\":\"{}\"", self.mode);
+        let _ = write!(s, ",\"seed\":{}", self.seed);
+        let _ = write!(s, ",\"rate_per_sec\":{:.6}", self.rate_per_sec);
+        let _ = write!(s, ",\"concurrency\":{}", self.concurrency);
+        let _ = write!(s, ",\"sessions\":{}", self.sessions);
+        let _ = write!(s, ",\"completed\":{}", self.completed);
+        let _ = write!(s, ",\"failed\":{}", self.failed);
+        let _ = write!(s, ",\"retries\":{}", self.retries);
+        let _ = write!(s, ",\"corrupt_rx\":{}", self.corrupt_rx);
+        let _ = write!(s, ",\"duration_ns\":{}", self.duration_ns);
+        let _ = write!(s, ",\"throughput_per_sec\":{:.6}", self.throughput_per_sec);
+        let _ = write!(
+            s,
+            ",\"latency_ns\":{{\"count\":{},\"min\":{},\"mean\":{:.3},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+            self.latency.count(),
+            self.latency.min(),
+            self.latency.mean(),
+            p50,
+            p90,
+            p99,
+            p999,
+            self.latency.max()
+        );
+        let _ = write!(
+            s,
+            ",\"net\":{{\"sent\":{},\"delivered\":{},\"dropped\":{},\"corrupted\":{},\"duplicated\":{},\"delayed\":{}}}",
+            self.net.sent,
+            self.net.delivered,
+            self.net.dropped,
+            self.net.corrupted,
+            self.net.duplicated,
+            self.net.delayed
+        );
+        let _ = write!(s, ",\"max_server_queue\":{}", self.max_server_queue);
+        s.push_str(",\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"ops\":{},\"sgx_instr\":{},\"normal_instr\":{},\"cycles\":{}}}",
+                p.name,
+                p.ops,
+                p.counters.sgx_instr,
+                p.counters.normal_instr,
+                p.cycles(&CostModel::paper())
+            );
+        }
+        s.push(']');
+        let _ = write!(
+            s,
+            ",\"total\":{{\"sgx_instr\":{},\"normal_instr\":{},\"cycles\":{}}}",
+            self.total.sgx_instr, self.total.normal_instr, self.total_cycles
+        );
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let mut latency = Histogram::new();
+        for i in 1..=100u64 {
+            latency.record(i * 10_000);
+        }
+        let mut phase = PhaseRollup::new("steady.server");
+        phase.fold_n(
+            Counters {
+                sgx_instr: 4,
+                normal_instr: 1_000,
+            },
+            100,
+        );
+        let total = phase.counters;
+        let total_cycles = total.cycles(&teenet_sgx::cost::CostModel::paper());
+        RunReport {
+            scenario: "attest".into(),
+            mode: "open".into(),
+            seed: 1,
+            rate_per_sec: 100.0,
+            concurrency: 0,
+            sessions: 100,
+            completed: 100,
+            failed: 0,
+            retries: 2,
+            corrupt_rx: 1,
+            duration_ns: 1_000_000_000,
+            throughput_per_sec: 100.0,
+            latency,
+            net: LinkStats {
+                sent: 200,
+                delivered: 198,
+                dropped: 2,
+                corrupted: 1,
+                duplicated: 0,
+                delayed: 0,
+            },
+            max_server_queue: 7,
+            phases: vec![phase],
+            total,
+            total_cycles,
+        }
+    }
+
+    #[test]
+    fn json_is_stable_across_calls() {
+        let r = sample_report();
+        assert_eq!(r.json(), r.json());
+        assert!(r.json().starts_with("{\"scenario\":\"attest\""));
+        assert!(r.json().contains("\"p99\":"));
+        assert!(r.json().ends_with('}'));
+    }
+
+    #[test]
+    fn text_mentions_key_figures() {
+        let r = sample_report();
+        let t = r.text();
+        assert!(t.contains("attest"));
+        assert!(t.contains("throughput"));
+        assert!(t.contains("p99="));
+        assert!(t.contains("steady.server"));
+    }
+
+    #[test]
+    fn json_has_balanced_braces() {
+        let j = sample_report().json();
+        let opens = j.matches('{').count();
+        let closes = j.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

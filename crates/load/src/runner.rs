@@ -1,0 +1,709 @@
+//! The virtual-time load engine.
+//!
+//! Replays a calibrated per-session operation script ([`Calibration`])
+//! against a simulated server at scale. The engine owns a driver event
+//! heap (arrivals, service completions, retransmission timeouts) and
+//! interleaves it with `teenet-netsim` deliveries via
+//! [`Network::next_event_at`], so every network leg pays real latency,
+//! bandwidth serialisation, FIFO queueing and (optionally) faults, while
+//! service time derives from the calibrated SGX cycle cost at a fixed
+//! clock rate. Everything — arrival times, fault outcomes, worker
+//! assignment, event ordering — is deterministic in the seed.
+//!
+//! Request/response integrity: each datagram carries a checksummed header
+//! `(session, op, attempt)`. Corrupted datagrams fail the check and are
+//! discarded at the receiver; the client's retransmission timeout recovers
+//! them, exactly like drops. The server keeps an idempotent-response
+//! cache per session so a retransmitted request whose response was lost
+//! does not pay the service cost twice.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use teenet_crypto::SecureRng;
+use teenet_netsim::{FaultConfig, LinkConfig, Network, NodeId, SimDuration, SimTime};
+use teenet_sgx::cost::CostModel;
+
+use crate::arrival::{Arrival, ArrivalProcess};
+use crate::hist::Histogram;
+use crate::metrics::PhaseRollup;
+use crate::report::RunReport;
+use crate::scenario::Calibration;
+
+/// How load is injected.
+#[derive(Debug, Clone, Copy)]
+pub enum LoadMode {
+    /// Open loop: Poisson arrivals. `rate_per_sec = None` auto-targets
+    /// ~50% of the server's calibrated service capacity.
+    Open {
+        /// Arrival rate; `None` = auto from calibrated capacity.
+        rate_per_sec: Option<f64>,
+    },
+    /// Closed loop: a fixed number of sessions in flight.
+    Closed {
+        /// Concurrent in-flight sessions.
+        concurrency: u32,
+    },
+}
+
+/// Knobs of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Total sessions to drive.
+    pub sessions: u64,
+    /// Seed for arrivals and link faults.
+    pub seed: u64,
+    /// Open or closed loop.
+    pub mode: LoadMode,
+    /// Parallel service workers at the server (enclave worker threads).
+    pub workers: u32,
+    /// Distinct client nodes (sessions round-robin across them, each with
+    /// its own link, so unrelated sessions don't serialise behind each
+    /// other at the sender).
+    pub clients: u32,
+    /// One-way link propagation latency.
+    pub latency: SimDuration,
+    /// Link bandwidth in bytes/second (`None` = infinite).
+    pub bandwidth_bps: Option<u64>,
+    /// Fault injection applied to every link.
+    pub faults: FaultConfig,
+    /// Server clock rate used to convert calibrated cycles to service
+    /// time.
+    pub clock_hz: u64,
+    /// Retransmission timeout (`None` = derived from latency and the
+    /// slowest calibrated op).
+    pub timeout: Option<SimDuration>,
+    /// Retransmissions before a session is abandoned.
+    pub max_retries: u32,
+}
+
+impl LoadConfig {
+    /// A config with sensible defaults for `sessions` under `mode`.
+    pub fn new(sessions: u64, seed: u64, mode: LoadMode) -> Self {
+        LoadConfig {
+            sessions,
+            seed,
+            mode,
+            workers: 4,
+            clients: 8,
+            latency: SimDuration::from_micros(500),
+            bandwidth_bps: Some(1_250_000_000), // 10 Gbit/s
+            faults: FaultConfig::default(),
+            clock_hz: 3_000_000_000,
+            timeout: None,
+            max_retries: 8,
+        }
+    }
+}
+
+/// Driver-side events, interleaved with network deliveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Arrive { session: u64 },
+    ServiceDone { session: u64, op: u32 },
+    Timeout { session: u64, op: u32, attempt: u32 },
+}
+
+#[derive(PartialEq, Eq)]
+struct DriverEvent {
+    at: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl Ord for DriverEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for DriverEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Session {
+    arrived_at: SimTime,
+    client: NodeId,
+    /// Current op index into the calibration script.
+    op: u32,
+    /// Retransmission attempt of the current op.
+    attempt: u32,
+    /// Highest op the server has fully serviced (`None` = none yet).
+    serviced_through: Option<u32>,
+    /// Op currently occupying a worker, if any.
+    in_service: Option<u32>,
+    done: bool,
+    failed: bool,
+}
+
+/// Wire header: session (8) + op (4) + attempt (4) + FNV-1a checksum (8).
+const HEADER_LEN: usize = 24;
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn encode(session: u64, op: u32, attempt: u32, len: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; len.max(HEADER_LEN)];
+    buf[0..8].copy_from_slice(&session.to_le_bytes());
+    buf[8..12].copy_from_slice(&op.to_le_bytes());
+    buf[12..16].copy_from_slice(&attempt.to_le_bytes());
+    let sum = fnv1a(&buf[0..16]);
+    buf[16..24].copy_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+fn decode(buf: &[u8]) -> Option<(u64, u32, u32)> {
+    if buf.len() < HEADER_LEN {
+        return None;
+    }
+    let sum = u64::from_le_bytes(buf[16..24].try_into().ok()?);
+    if fnv1a(&buf[0..16]) != sum {
+        return None;
+    }
+    let session = u64::from_le_bytes(buf[0..8].try_into().ok()?);
+    let op = u32::from_le_bytes(buf[8..12].try_into().ok()?);
+    let attempt = u32::from_le_bytes(buf[12..16].try_into().ok()?);
+    Some((session, op, attempt))
+}
+
+/// The load engine. Construct with a [`LoadConfig`], then [`LoadRunner::run`]
+/// a calibrated scenario script through it.
+pub struct LoadRunner {
+    config: LoadConfig,
+    model: CostModel,
+}
+
+struct Engine<'a> {
+    cfg: &'a LoadConfig,
+    cal: &'a Calibration,
+    model: &'a CostModel,
+    net: Network,
+    server: NodeId,
+    client_nodes: Vec<NodeId>,
+    heap: BinaryHeap<Reverse<DriverEvent>>,
+    next_seq: u64,
+    sessions: Vec<Session>,
+    arrivals: ArrivalProcess,
+    /// Earliest-free time per service worker.
+    workers: Vec<SimTime>,
+    timeout: SimDuration,
+    // Outcome accumulators.
+    latency: Histogram,
+    completed: u64,
+    failed: u64,
+    retries: u64,
+    corrupt_rx: u64,
+    last_done_at: SimTime,
+    steady_client: PhaseRollup,
+    steady_server: PhaseRollup,
+}
+
+impl LoadRunner {
+    /// A runner using the paper's cost model.
+    pub fn new(config: LoadConfig) -> Self {
+        LoadRunner {
+            config,
+            model: CostModel::paper(),
+        }
+    }
+
+    /// Drives `calibration`'s per-session script under this runner's
+    /// config and returns the full report. `scenario` names the run.
+    pub fn run(&self, scenario: &str, calibration: &Calibration) -> RunReport {
+        assert!(
+            !calibration.ops.is_empty(),
+            "calibration must contain at least one op"
+        );
+        let cfg = &self.config;
+        let mut engine = Engine::new(cfg, calibration, &self.model);
+        engine.prime();
+        engine.drain();
+        engine.into_report(scenario, cfg)
+    }
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a LoadConfig, cal: &'a Calibration, model: &'a CostModel) -> Self {
+        let mut net = Network::new(cfg.seed ^ 0x6e65_7473_696d); // "netsim"
+        let server = net.add_node();
+        let clients = cfg.clients.max(1);
+        let link = LinkConfig {
+            latency: cfg.latency,
+            bandwidth_bps: cfg.bandwidth_bps,
+            faults: cfg.faults.clone(),
+        };
+        let client_nodes: Vec<NodeId> = (0..clients)
+            .map(|_| {
+                let c = net.add_node();
+                net.add_duplex_link(c, server, link.clone());
+                c
+            })
+            .collect();
+
+        // Retransmission timeout: a full round trip plus the slowest op's
+        // service time, with 4× headroom for queueing, unless pinned.
+        let slowest_op = cal
+            .ops
+            .iter()
+            .map(|op| op.service_nanos(model, cfg.clock_hz))
+            .max()
+            .unwrap_or(0);
+        let timeout = cfg.timeout.unwrap_or_else(|| {
+            SimDuration(
+                (2 * cfg.latency.as_nanos() + slowest_op)
+                    .saturating_mul(4)
+                    .max(1_000_000),
+            )
+        });
+
+        let rate = effective_rate(cfg, cal, model);
+        let kind = match cfg.mode {
+            LoadMode::Open { .. } => Arrival::OpenLoop { rate_per_sec: rate },
+            LoadMode::Closed { concurrency } => Arrival::ClosedLoop {
+                concurrency: concurrency.max(1),
+            },
+        };
+        let arrivals = ArrivalProcess::new(
+            kind,
+            cfg.sessions,
+            SecureRng::seed_from_u64(cfg.seed).fork(b"arrivals"),
+        );
+
+        Engine {
+            cfg,
+            cal,
+            model,
+            net,
+            server,
+            client_nodes,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            sessions: Vec::with_capacity(cfg.sessions as usize),
+            arrivals,
+            workers: vec![SimTime::ZERO; cfg.workers.max(1) as usize],
+            timeout,
+            latency: Histogram::new(),
+            completed: 0,
+            failed: 0,
+            retries: 0,
+            corrupt_rx: 0,
+            last_done_at: SimTime::ZERO,
+            steady_client: PhaseRollup::new("steady.client"),
+            steady_server: PhaseRollup::new("steady.server"),
+        }
+    }
+
+    fn push(&mut self, at: SimTime, ev: Ev) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(DriverEvent { at, seq, ev }));
+    }
+
+    /// Queues every precomputable arrival (all of them for open loop, the
+    /// initial batch for closed loop).
+    fn prime(&mut self) {
+        while let Some((idx, at)) = self.arrivals.next_arrival() {
+            self.push(at, Ev::Arrive { session: idx });
+        }
+    }
+
+    /// The main event loop: repeatedly handle whichever comes first — the
+    /// next network delivery or the next driver event. Network wins ties
+    /// so a response arriving at time t beats a timeout firing at t.
+    fn drain(&mut self) {
+        loop {
+            let drv = self.heap.peek().map(|Reverse(e)| e.at);
+            let net = self.net.next_event_at();
+            match (drv, net) {
+                (None, None) => break,
+                (Some(d), Some(n)) if n <= d => self.step_network(n),
+                (None, Some(n)) => self.step_network(n),
+                (Some(d), _) => self.step_driver(d),
+            }
+        }
+    }
+
+    fn step_network(&mut self, until: SimTime) {
+        self.net.run_until(until);
+        while let Some((at, packet)) = self.net.recv_timed(self.server) {
+            match decode(&packet.payload) {
+                Some((s, op, attempt)) => self.on_request(at, s, op, attempt),
+                None => self.corrupt_rx += 1,
+            }
+        }
+        for i in 0..self.client_nodes.len() {
+            let node = self.client_nodes[i];
+            while let Some((at, packet)) = self.net.recv_timed(node) {
+                match decode(&packet.payload) {
+                    Some((s, op, _)) => self.on_response(at, s, op),
+                    None => self.corrupt_rx += 1,
+                }
+            }
+        }
+    }
+
+    fn step_driver(&mut self, at: SimTime) {
+        self.net.run_until(at);
+        let Some(Reverse(event)) = self.heap.pop() else {
+            return;
+        };
+        match event.ev {
+            Ev::Arrive { session } => self.on_arrive(at, session),
+            Ev::ServiceDone { session, op } => self.on_service_done(at, session, op),
+            Ev::Timeout {
+                session,
+                op,
+                attempt,
+            } => self.on_timeout(at, session, op, attempt),
+        }
+    }
+
+    fn on_arrive(&mut self, at: SimTime, session: u64) {
+        debug_assert_eq!(session as usize, self.sessions.len());
+        let client = self.client_nodes[(session % self.client_nodes.len() as u64) as usize];
+        self.sessions.push(Session {
+            arrived_at: at,
+            client,
+            op: 0,
+            attempt: 0,
+            serviced_through: None,
+            in_service: None,
+            done: false,
+            failed: false,
+        });
+        self.send_request(at, session);
+    }
+
+    /// Transmits the current op's request for `session` and arms its
+    /// retransmission timeout.
+    fn send_request(&mut self, at: SimTime, session: u64) {
+        let sess = self.sessions[session as usize];
+        let op = &self.cal.ops[sess.op as usize];
+        if sess.attempt == 0 {
+            self.steady_client.fold(op.client);
+        }
+        let payload = encode(session, sess.op, sess.attempt, op.request_bytes);
+        self.net.send(sess.client, self.server, payload);
+        let _ = at;
+        self.push(
+            self.net.now() + self.timeout,
+            Ev::Timeout {
+                session,
+                op: sess.op,
+                attempt: sess.attempt,
+            },
+        );
+    }
+
+    fn on_request(&mut self, at: SimTime, session: u64, op: u32, _attempt: u32) {
+        let Some(sess) = self.sessions.get(session as usize).copied() else {
+            return;
+        };
+        if sess.done || sess.failed || op != sess.op {
+            return; // stale or duplicate of a finished op
+        }
+        if sess.in_service == Some(op) {
+            return; // duplicate while a worker is already on it
+        }
+        if sess.serviced_through.is_some_and(|t| t >= op) {
+            // Serviced before but the response was lost: resend from the
+            // idempotent cache without paying the service cost again.
+            self.send_response(session, op);
+            return;
+        }
+        // Earliest-free worker, lowest index on ties (deterministic).
+        let profile = self.cal.ops[op as usize];
+        let (widx, _) = self
+            .workers
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, t)| (**t, *i))
+            .expect("workers is non-empty");
+        let start = self.workers[widx].max(at);
+        let done_at = start + SimDuration(profile.service_nanos(self.model, self.cfg.clock_hz));
+        self.workers[widx] = done_at;
+        self.sessions[session as usize].in_service = Some(op);
+        self.steady_server.fold(profile.server);
+        self.push(done_at, Ev::ServiceDone { session, op });
+    }
+
+    fn on_service_done(&mut self, _at: SimTime, session: u64, op: u32) {
+        let sess = &mut self.sessions[session as usize];
+        if sess.done || sess.failed {
+            return;
+        }
+        sess.in_service = None;
+        sess.serviced_through = Some(op);
+        self.send_response(session, op);
+    }
+
+    fn send_response(&mut self, session: u64, op: u32) {
+        let client = self.sessions[session as usize].client;
+        let profile = &self.cal.ops[op as usize];
+        let payload = encode(session, op, 0, profile.response_bytes);
+        self.net.send(self.server, client, payload);
+    }
+
+    fn on_response(&mut self, at: SimTime, session: u64, op: u32) {
+        let sess = self.sessions[session as usize];
+        if sess.done || sess.failed || op != sess.op {
+            return; // duplicate or stale response
+        }
+        let sess = &mut self.sessions[session as usize];
+        sess.op += 1;
+        sess.attempt = 0;
+        if (sess.op as usize) == self.cal.ops.len() {
+            sess.done = true;
+            let took = at - sess.arrived_at;
+            self.latency.record(took.as_nanos());
+            self.completed += 1;
+            self.last_done_at = self.last_done_at.max(at);
+            self.next_closed_loop_arrival(at);
+        } else {
+            self.send_request(at, session);
+        }
+    }
+
+    fn on_timeout(&mut self, at: SimTime, session: u64, op: u32, attempt: u32) {
+        let sess = self.sessions[session as usize];
+        if sess.done || sess.failed || sess.op != op || sess.attempt != attempt {
+            return; // op already progressed; timeout is stale
+        }
+        if attempt >= self.cfg.max_retries {
+            let sess = &mut self.sessions[session as usize];
+            sess.failed = true;
+            self.failed += 1;
+            self.last_done_at = self.last_done_at.max(at);
+            self.next_closed_loop_arrival(at);
+            return;
+        }
+        self.retries += 1;
+        self.sessions[session as usize].attempt = attempt + 1;
+        self.send_request(at, session);
+    }
+
+    /// Closed loop replaces each finished session with a new arrival.
+    fn next_closed_loop_arrival(&mut self, at: SimTime) {
+        if let Some((idx, when)) = self.arrivals.completion_arrival(at) {
+            self.push(when, Ev::Arrive { session: idx });
+        }
+    }
+
+    fn into_report(self, scenario: &str, cfg: &LoadConfig) -> RunReport {
+        let duration_ns = self.last_done_at.as_nanos().max(1);
+        let throughput = self.completed as f64 / (duration_ns as f64 / 1e9);
+        let mut calibration_phase = PhaseRollup::new("calibration");
+        calibration_phase.fold(self.cal.setup);
+        let mut total = calibration_phase.counters;
+        total.merge(self.steady_client.counters);
+        total.merge(self.steady_server.counters);
+        let total_cycles = total.cycles(self.model);
+        let (mode, rate, concurrency) = match cfg.mode {
+            LoadMode::Open { .. } => ("open", effective_rate(cfg, self.cal, self.model), 0u32),
+            LoadMode::Closed { concurrency } => ("closed", 0.0, concurrency.max(1)),
+        };
+        RunReport {
+            scenario: scenario.to_string(),
+            mode: mode.to_string(),
+            seed: cfg.seed,
+            rate_per_sec: rate,
+            concurrency,
+            sessions: cfg.sessions,
+            completed: self.completed,
+            failed: self.failed,
+            retries: self.retries,
+            corrupt_rx: self.corrupt_rx,
+            duration_ns,
+            throughput_per_sec: throughput,
+            latency: self.latency,
+            net: self.net.fault_totals(),
+            max_server_queue: self.net.max_queue_depth(self.server) as u64,
+            phases: vec![calibration_phase, self.steady_client, self.steady_server],
+            total,
+            total_cycles,
+        }
+    }
+}
+
+/// The open-loop arrival rate: the configured one, or 50% of the server's
+/// calibrated service capacity (`workers / per-session busy time`).
+fn effective_rate(cfg: &LoadConfig, cal: &Calibration, model: &CostModel) -> f64 {
+    match cfg.mode {
+        LoadMode::Open {
+            rate_per_sec: Some(r),
+        } => r,
+        LoadMode::Open { rate_per_sec: None } => {
+            let busy_ns = cal.session_service_nanos(model, cfg.clock_hz);
+            if busy_ns == 0 {
+                1_000.0
+            } else {
+                0.5 * cfg.workers.max(1) as f64 / (busy_ns as f64 / 1e9)
+            }
+        }
+        LoadMode::Closed { .. } => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::OpProfile;
+    use teenet_sgx::cost::Counters;
+
+    fn c(sgx: u64, normal: u64) -> Counters {
+        Counters {
+            sgx_instr: sgx,
+            normal_instr: normal,
+        }
+    }
+
+    /// A synthetic two-op script: a cheap handshake then a pricier body.
+    fn toy_calibration() -> Calibration {
+        Calibration {
+            setup: c(10, 1_000_000),
+            ops: vec![
+                OpProfile {
+                    name: "hello",
+                    client: c(0, 50_000),
+                    server: c(4, 500_000),
+                    request_bytes: 128,
+                    response_bytes: 64,
+                },
+                OpProfile {
+                    name: "work",
+                    client: c(0, 10_000),
+                    server: c(8, 2_000_000),
+                    request_bytes: 256,
+                    response_bytes: 1024,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn open_loop_completes_all_sessions() {
+        let cfg = LoadConfig::new(200, 7, LoadMode::Open { rate_per_sec: None });
+        let report = LoadRunner::new(cfg).run("toy", &toy_calibration());
+        assert_eq!(report.completed, 200);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.latency.count(), 200);
+        assert!(report.throughput_per_sec > 0.0);
+        // Each session = 2 requests + 2 responses on clean links.
+        assert_eq!(report.net.sent, 800);
+        assert_eq!(report.net.delivered, 800);
+        // Server phase folded both ops per session.
+        let server = report
+            .phases
+            .iter()
+            .find(|p| p.name == "steady.server")
+            .unwrap();
+        assert_eq!(server.ops, 400);
+        assert_eq!(server.counters.sgx_instr, 200 * 12);
+    }
+
+    #[test]
+    fn closed_loop_completes_all_sessions() {
+        let cfg = LoadConfig::new(150, 3, LoadMode::Closed { concurrency: 16 });
+        let report = LoadRunner::new(cfg).run("toy", &toy_calibration());
+        assert_eq!(report.completed, 150);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.concurrency, 16);
+    }
+
+    #[test]
+    fn latency_includes_network_and_service() {
+        // One session, no queueing: latency = 2 round trips + service.
+        let mut cfg = LoadConfig::new(1, 1, LoadMode::Closed { concurrency: 1 });
+        cfg.latency = SimDuration::from_millis(1);
+        cfg.bandwidth_bps = None;
+        let cal = toy_calibration();
+        let model = CostModel::paper();
+        let service: u64 = cal.session_service_nanos(&model, cfg.clock_hz);
+        let report = LoadRunner::new(cfg).run("toy", &cal);
+        let expect = 4 * 1_000_000 + service;
+        let got = report.latency.max();
+        // Histogram bucketing gives ≤ 1/32 relative error.
+        assert!(
+            got >= expect && got <= expect + expect / 32 + 1,
+            "got {got}, expect {expect}"
+        );
+    }
+
+    #[test]
+    fn faulty_links_recover_via_retransmission() {
+        let mut cfg = LoadConfig::new(80, 11, LoadMode::Open { rate_per_sec: None });
+        cfg.faults = FaultConfig {
+            drop_chance: 0.08,
+            corrupt_chance: 0.05,
+            duplicate_chance: 0.05,
+            ..Default::default()
+        };
+        let report = LoadRunner::new(cfg).run("toy", &toy_calibration());
+        assert_eq!(
+            report.completed + report.failed,
+            80,
+            "every session resolves"
+        );
+        assert!(report.completed >= 78, "retries recover most faults");
+        assert!(report.retries > 0, "faults actually fired");
+        assert!(report.net.dropped > 0);
+    }
+
+    #[test]
+    fn same_seed_byte_identical_reports() {
+        let run = || {
+            let mut cfg = LoadConfig::new(60, 99, LoadMode::Open { rate_per_sec: None });
+            cfg.faults = FaultConfig {
+                drop_chance: 0.05,
+                ..Default::default()
+            };
+            LoadRunner::new(cfg).run("toy", &toy_calibration()).json()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let cfg = LoadConfig::new(50, seed, LoadMode::Open { rate_per_sec: None });
+            LoadRunner::new(cfg).run("toy", &toy_calibration()).json()
+        };
+        assert_ne!(run(1), run(2), "seed must actually drive the run");
+    }
+
+    #[test]
+    fn open_loop_saturation_grows_latency() {
+        // Driving arrivals at 4× capacity must show queueing in the tail
+        // relative to a lightly loaded run.
+        let run = |rate_scale: f64| {
+            let cal = toy_calibration();
+            let model = CostModel::paper();
+            let base = LoadConfig::new(300, 5, LoadMode::Open { rate_per_sec: None });
+            let capacity = base.workers as f64
+                / (cal.session_service_nanos(&model, base.clock_hz) as f64 / 1e9);
+            let mut cfg = base;
+            cfg.mode = LoadMode::Open {
+                rate_per_sec: Some(capacity * rate_scale),
+            };
+            cfg.timeout = Some(SimDuration::from_secs(3600)); // isolate queueing
+            LoadRunner::new(cfg).run("toy", &cal)
+        };
+        let light = run(0.3);
+        let heavy = run(4.0);
+        assert!(
+            heavy.latency.quantile(0.99) > 2 * light.latency.quantile(0.99),
+            "p99 {} vs {}",
+            heavy.latency.quantile(0.99),
+            light.latency.quantile(0.99)
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! The workload abstraction: calibrate-then-replay operation profiles.
+//!
+//! Driving tens of thousands of *real* protocol sessions (each with
+//! 1024-bit DH exchanges) is wall-clock infeasible, and — because the
+//! repo's SGX cost model is deterministic per operation — unnecessary. A
+//! scenario instead runs a handful of real sessions against the actual
+//! enclave code, captures each operation's instruction counters and wire
+//! sizes as an [`OpProfile`], and the runner replays those profiles at
+//! scale on virtual time. The replay is exact, not approximate: a second
+//! real session costs precisely what the first did, modulo the keys.
+
+use teenet_sgx::cost::{CostModel, Counters};
+
+/// The calibrated cost of one client→server exchange within a session:
+/// the client spends `client` instructions preparing `request_bytes`, the
+/// server spends `server` instructions servicing it and replies with
+/// `response_bytes`.
+#[derive(Debug, Clone, Copy)]
+pub struct OpProfile {
+    /// Step name (e.g. `attest.begin`, `record`, `cell`).
+    pub name: &'static str,
+    /// Client-side instruction cost of the step.
+    pub client: Counters,
+    /// Server-side instruction cost of the step.
+    pub server: Counters,
+    /// Request size on the wire, in bytes.
+    pub request_bytes: usize,
+    /// Response size on the wire, in bytes.
+    pub response_bytes: usize,
+}
+
+impl OpProfile {
+    /// Server-side service time of this step in virtual nanoseconds at
+    /// `clock_hz` under `model`.
+    pub fn service_nanos(&self, model: &CostModel, clock_hz: u64) -> u64 {
+        cycles_to_nanos(self.server.cycles(model), clock_hz)
+    }
+}
+
+/// Converts a cycle count to nanoseconds at `clock_hz`, rounding up so a
+/// nonzero cost always consumes time.
+pub fn cycles_to_nanos(cycles: u64, clock_hz: u64) -> u64 {
+    let hz = clock_hz.max(1);
+    (cycles.saturating_mul(1_000_000_000)).div_ceil(hz)
+}
+
+/// The output of calibrating a scenario: a one-time setup cost plus the
+/// per-session operation script the runner replays.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// One-time deployment cost (enclave launch, provisioning, topology
+    /// attestation) paid before any session traffic.
+    pub setup: Counters,
+    /// The steps of one session, in order. Each is one request/response
+    /// round trip.
+    pub ops: Vec<OpProfile>,
+}
+
+impl Calibration {
+    /// Summed server-side counters of one session.
+    pub fn session_server_cost(&self) -> Counters {
+        let mut total = Counters::new();
+        for op in &self.ops {
+            total.merge(op.server);
+        }
+        total
+    }
+
+    /// Summed client-side counters of one session.
+    pub fn session_client_cost(&self) -> Counters {
+        let mut total = Counters::new();
+        for op in &self.ops {
+            total.merge(op.client);
+        }
+        total
+    }
+
+    /// Server-side busy time of one session in virtual nanoseconds.
+    pub fn session_service_nanos(&self, model: &CostModel, clock_hz: u64) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| op.service_nanos(model, clock_hz))
+            .sum()
+    }
+}
+
+impl From<teenet::driver::WorkProfile> for Calibration {
+    fn from(profile: teenet::driver::WorkProfile) -> Self {
+        Calibration {
+            setup: profile.setup,
+            ops: profile
+                .steps
+                .into_iter()
+                .map(|s| OpProfile {
+                    name: s.name,
+                    client: s.client,
+                    server: s.server,
+                    request_bytes: s.request_bytes,
+                    response_bytes: s.response_bytes,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A workload that can calibrate itself into per-session [`OpProfile`]s.
+///
+/// Implementations hold their configuration and seed; `calibrate` runs the
+/// real protocol (real enclaves, real crypto) a bounded number of times
+/// and must be deterministic in the seed.
+pub trait Scenario {
+    /// Stable scenario name (used in reports and JSON).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `loadgen --list`.
+    fn describe(&self) -> &'static str;
+
+    /// Runs the real protocol and extracts the per-session script.
+    fn calibrate(&mut self) -> Calibration;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(sgx: u64, normal: u64) -> Counters {
+        Counters {
+            sgx_instr: sgx,
+            normal_instr: normal,
+        }
+    }
+
+    #[test]
+    fn session_costs_sum_over_ops() {
+        let cal = Calibration {
+            setup: c(1, 10),
+            ops: vec![
+                OpProfile {
+                    name: "a",
+                    client: c(0, 100),
+                    server: c(2, 200),
+                    request_bytes: 64,
+                    response_bytes: 32,
+                },
+                OpProfile {
+                    name: "b",
+                    client: c(1, 50),
+                    server: c(3, 300),
+                    request_bytes: 16,
+                    response_bytes: 16,
+                },
+            ],
+        };
+        assert_eq!(cal.session_server_cost(), c(5, 500));
+        assert_eq!(cal.session_client_cost(), c(1, 150));
+    }
+
+    #[test]
+    fn cycles_round_up_to_nanos() {
+        // 1 cycle at 3 GHz is a fraction of a nanosecond — still ≥ 1ns.
+        assert_eq!(cycles_to_nanos(1, 3_000_000_000), 1);
+        assert_eq!(cycles_to_nanos(3, 3_000_000_000), 1);
+        assert_eq!(cycles_to_nanos(4, 3_000_000_000), 2);
+        assert_eq!(cycles_to_nanos(3_000_000_000, 3_000_000_000), 1_000_000_000);
+        assert_eq!(cycles_to_nanos(0, 3_000_000_000), 0);
+    }
+
+    #[test]
+    fn service_nanos_uses_paper_model() {
+        let model = CostModel::paper();
+        let op = OpProfile {
+            name: "x",
+            client: Counters::new(),
+            server: c(1, 0), // one SGX instruction = 10_000 cycles
+            request_bytes: 1,
+            response_bytes: 1,
+        };
+        // 10_000 cycles at 1 GHz = 10_000 ns.
+        assert_eq!(op.service_nanos(&model, 1_000_000_000), 10_000);
+    }
+}

@@ -1,0 +1,27 @@
+//! The four paper workloads as [`crate::scenario::Scenario`] impls.
+
+pub mod attest;
+pub mod bgp;
+pub mod tls;
+pub mod tor;
+
+pub use attest::AttestScenario;
+pub use bgp::BgpScenario;
+pub use tls::TlsScenario;
+pub use tor::TorScenario;
+
+use crate::scenario::Scenario;
+
+/// All scenario names `loadgen` accepts.
+pub const NAMES: [&str; 4] = ["attest", "tls", "tor", "bgp"];
+
+/// Builds a scenario by name with its default shape, seeded with `seed`.
+pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Scenario>> {
+    match name {
+        "attest" => Some(Box::new(AttestScenario::new(seed))),
+        "tls" => Some(Box::new(TlsScenario::new(seed))),
+        "tor" => Some(Box::new(TorScenario::new(seed))),
+        "bgp" => Some(Box::new(BgpScenario::new(seed))),
+        _ => None,
+    }
+}

@@ -1,0 +1,58 @@
+//! The attestation-storm workload: every session is one full Figure-1
+//! remote attestation (nonce + DH challenge, REPORT, QUOTE, verify).
+
+use teenet::driver::calibrate_attest;
+use teenet::AttestConfig;
+
+use crate::scenario::{Calibration, Scenario};
+
+/// Attestation storm against a single target enclave.
+pub struct AttestScenario {
+    seed: u64,
+    config: AttestConfig,
+}
+
+impl AttestScenario {
+    /// Default shape: the fast 768-bit group with DH channel bootstrap.
+    pub fn new(seed: u64) -> Self {
+        AttestScenario {
+            seed,
+            config: AttestConfig::fast(),
+        }
+    }
+
+    /// Overrides the attestation configuration.
+    pub fn with_config(seed: u64, config: AttestConfig) -> Self {
+        AttestScenario { seed, config }
+    }
+}
+
+impl Scenario for AttestScenario {
+    fn name(&self) -> &'static str {
+        "attest"
+    }
+
+    fn describe(&self) -> &'static str {
+        "remote attestation storm: one Figure-1 attestation per session"
+    }
+
+    fn calibrate(&mut self) -> Calibration {
+        calibrate_attest(&self.config, self.seed)
+            .expect("attestation calibration cannot fail on an honest platform")
+            .into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attest_scenario_calibrates() {
+        let mut s = AttestScenario::new(1);
+        let cal = s.calibrate();
+        assert_eq!(cal.ops.len(), 1);
+        assert_eq!(cal.ops[0].name, "attest");
+        assert!(cal.ops[0].server.normal_instr > 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! The inter-domain routing workload: BGP announcement churn against the
+//! SGX controller (§3.1, Tables 3–4).
+
+use teenet_interdomain::driver::calibrate_bgp;
+
+use crate::scenario::{Calibration, Scenario};
+
+/// BGP announcement churn: submit policy, recompute, pull routes.
+pub struct BgpScenario {
+    seed: u64,
+    n_ases: u32,
+}
+
+impl BgpScenario {
+    /// Default shape: a random three-tier topology of 8 ASes.
+    pub fn new(seed: u64) -> Self {
+        BgpScenario { seed, n_ases: 8 }
+    }
+
+    /// Overrides the topology size.
+    pub fn with_ases(seed: u64, n_ases: u32) -> Self {
+        BgpScenario { seed, n_ases }
+    }
+}
+
+impl Scenario for BgpScenario {
+    fn name(&self) -> &'static str {
+        "bgp"
+    }
+
+    fn describe(&self) -> &'static str {
+        "BGP announcement churn against the SGX inter-domain controller"
+    }
+
+    fn calibrate(&mut self) -> Calibration {
+        calibrate_bgp(self.seed, self.n_ases)
+            .expect("bgp calibration cannot fail on an honest deployment")
+            .into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bgp_scenario_calibrates() {
+        let mut s = BgpScenario::new(4);
+        let cal = s.calibrate();
+        assert_eq!(cal.ops.len(), 2);
+        assert_eq!(cal.ops[0].name, "announce");
+        assert_eq!(cal.ops[1].name, "pull");
+        assert!(cal.ops[0].server.normal_instr > cal.ops[1].server.normal_instr);
+    }
+}

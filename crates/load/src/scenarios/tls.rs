@@ -1,0 +1,63 @@
+//! The TLS-middlebox workload: record traffic through an attested,
+//! key-provisioned gateway running in-enclave DPI (§3.3).
+
+use teenet_mbox::driver::calibrate_tls_mbox;
+
+use crate::scenario::{Calibration, Scenario};
+
+/// TLS records inspected by a unilateral enterprise gateway.
+pub struct TlsScenario {
+    seed: u64,
+    record_bytes: usize,
+    records_per_session: u32,
+}
+
+impl TlsScenario {
+    /// Default shape: 4 records of 1 KiB per session.
+    pub fn new(seed: u64) -> Self {
+        TlsScenario {
+            seed,
+            record_bytes: 1024,
+            records_per_session: 4,
+        }
+    }
+
+    /// Overrides record size and count.
+    pub fn with_shape(seed: u64, record_bytes: usize, records_per_session: u32) -> Self {
+        TlsScenario {
+            seed,
+            record_bytes,
+            records_per_session,
+        }
+    }
+}
+
+impl Scenario for TlsScenario {
+    fn name(&self) -> &'static str {
+        "tls"
+    }
+
+    fn describe(&self) -> &'static str {
+        "TLS middlebox record traffic: in-enclave DPI on provisioned sessions"
+    }
+
+    fn calibrate(&mut self) -> Calibration {
+        calibrate_tls_mbox(self.seed, self.record_bytes, self.records_per_session)
+            .expect("middlebox calibration cannot fail on an honest gateway")
+            .into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tls_scenario_calibrates() {
+        let mut s = TlsScenario::new(2);
+        let cal = s.calibrate();
+        assert_eq!(cal.ops.len(), 4);
+        assert!(cal.ops.iter().all(|op| op.name == "record"));
+        assert!(cal.ops[0].request_bytes > 1024);
+    }
+}

@@ -1,0 +1,48 @@
+//! The Tor workload: circuit construction plus stream traffic through a
+//! FullSgx deployment (§3.2, Table 3).
+
+use teenet_tor::driver::calibrate_tor;
+
+use crate::scenario::{Calibration, Scenario};
+
+/// Tor circuit + stream sessions over SGX relays.
+pub struct TorScenario {
+    seed: u64,
+}
+
+impl TorScenario {
+    /// Default shape: FullSgx, 3-hop circuits, one data cell per session.
+    pub fn new(seed: u64) -> Self {
+        TorScenario { seed }
+    }
+}
+
+impl Scenario for TorScenario {
+    fn name(&self) -> &'static str {
+        "tor"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Tor circuit + stream traffic through attested SGX onion routers"
+    }
+
+    fn calibrate(&mut self) -> Calibration {
+        calibrate_tor(self.seed)
+            .expect("tor calibration cannot fail on an honest FullSgx deployment")
+            .into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tor_scenario_calibrates() {
+        let mut s = TorScenario::new(3);
+        let cal = s.calibrate();
+        assert_eq!(cal.ops.len(), 5);
+        assert_eq!(cal.ops[0].name, "extend");
+        assert!(cal.setup.sgx_instr > 0);
+    }
+}

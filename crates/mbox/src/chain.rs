@@ -54,11 +54,7 @@ impl MiddleboxChain {
     /// Returns the bytes to deliver to the far endpoint, or `None` if some
     /// box blocked the record. Boxes after a rewrite see (and re-verify)
     /// the rewritten record.
-    pub fn process(
-        &mut self,
-        direction: EndpointRole,
-        record: &[u8],
-    ) -> Result<Option<Vec<u8>>> {
+    pub fn process(&mut self, direction: EndpointRole, record: &[u8]) -> Result<Option<Vec<u8>>> {
         let mut current = record.to_vec();
         for (host, sid) in self.hosts.iter_mut().zip(self.sids.iter()) {
             match host.process(*sid, direction, &current)? {

@@ -140,8 +140,7 @@ impl DpiEngine {
         let mut state = 0usize;
         for (i, &b) in haystack.iter().enumerate() {
             loop {
-                if let Some(&(_, next)) =
-                    self.nodes[state].children.iter().find(|&&(c, _)| c == b)
+                if let Some(&(_, next)) = self.nodes[state].children.iter().find(|&&(c, _)| c == b)
                 {
                     state = next;
                     break;
@@ -241,12 +240,7 @@ mod tests {
     use super::*;
 
     fn engine(patterns: &[(&[u8], Action)]) -> DpiEngine {
-        DpiEngine::build(
-            patterns
-                .iter()
-                .map(|(p, a)| Rule::new(p, *a))
-                .collect(),
-        )
+        DpiEngine::build(patterns.iter().map(|(p, a)| Rule::new(p, *a)).collect())
     }
 
     #[test]
@@ -260,7 +254,11 @@ mod tests {
 
     #[test]
     fn finds_overlapping_patterns() {
-        let e = engine(&[(b"he", Action::Alert), (b"she", Action::Alert), (b"hers", Action::Alert)]);
+        let e = engine(&[
+            (b"he", Action::Alert),
+            (b"she", Action::Alert),
+            (b"hers", Action::Alert),
+        ]);
         let m = e.scan(b"ushers");
         // "she" ends at 4, "he" ends at 4, "hers" ends at 6.
         let rules: Vec<usize> = m.iter().map(|m| m.rule).collect();

@@ -21,6 +21,7 @@
 pub mod baseline;
 pub mod chain;
 pub mod dpi;
+pub mod driver;
 pub mod error;
 pub mod middlebox;
 pub mod provision;
@@ -29,6 +30,7 @@ pub mod scenarios;
 pub use baseline::{compare_key_release_designs, ComparisonReport, ReleaseOutcome};
 pub use chain::MiddleboxChain;
 pub use dpi::{Action, DpiEngine, Rule, Verdict};
+pub use driver::calibrate_tls_mbox;
 pub use error::{MboxError, Result};
 pub use middlebox::{MiddleboxEnclave, ProvisionPolicy};
 pub use provision::{session_id, EndpointRole, ProvisionMsg};

@@ -191,7 +191,9 @@ impl EnclaveProgram for MiddleboxEnclave {
                     .get_mut(&sid)
                     .ok_or(SgxError::EcallRejected("unknown session"))?;
                 if !session.active {
-                    return Err(SgxError::EcallRejected("session not approved by all endpoints"));
+                    return Err(SgxError::EcallRejected(
+                        "session not approved by all endpoints",
+                    ));
                 }
                 let protection = if direction == 0 {
                     &mut session.c2s

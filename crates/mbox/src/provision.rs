@@ -83,10 +83,8 @@ impl ProvisionMsg {
             _ => return Err(MboxError::BadProvision("role")),
         };
         off += 1;
-        let suite = CipherSuite::from_u8(
-            *buf.get(off).ok_or(MboxError::BadProvision("suite"))?,
-        )
-        .ok_or(MboxError::BadProvision("suite"))?;
+        let suite = CipherSuite::from_u8(*buf.get(off).ok_or(MboxError::BadProvision("suite"))?)
+            .ok_or(MboxError::BadProvision("suite"))?;
         off += 1;
         let read_dir = |buf: &[u8], off: &mut usize| -> Result<DirectionKeys> {
             let len_bytes = take(buf, off, 2)?;

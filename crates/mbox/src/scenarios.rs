@@ -49,9 +49,8 @@ impl MiddleboxHost {
     ) -> Result<Self> {
         let engine = DpiEngine::build(rules);
         let expected = measure_image(&MiddleboxEnclave::image_for(name, 1, policy, &engine));
-        let author = SigningKey::generate(&SchnorrGroup::small(), rng).map_err(|e| {
-            MboxError::Teenet(teenet::TeenetError::Crypto(e))
-        })?;
+        let author = SigningKey::generate(&SchnorrGroup::small(), rng)
+            .map_err(|e| MboxError::Teenet(teenet::TeenetError::Crypto(e)))?;
         let mut platform = Platform::new(&format!("mbox-{name}"), epid, seed);
         let program = MiddleboxEnclave::new(name, 1, policy, engine, attest.clone());
         let enclave = platform.create_signed(Box::new(program), &author, 1)?;
@@ -259,16 +258,15 @@ pub fn cloud_dpi_bilateral(seed: u64) -> Result<ScenarioReport> {
 
     // Client provisions: not active yet — the middlebox refuses to touch
     // traffic until the *other* endpoint also consents.
-    let (sid, active) =
-        dpi.provision(EndpointRole::Client, &client, &mut rng, &mut ledger)?;
+    let (sid, active) = dpi.provision(EndpointRole::Client, &client, &mut rng, &mut ledger)?;
     assert!(!active, "bilateral needs both endpoints");
     assert!(
-        dpi.process(sid, EndpointRole::Client, b"\x00\x00garbage").is_err(),
+        dpi.process(sid, EndpointRole::Client, b"\x00\x00garbage")
+            .is_err(),
         "processing before mutual consent must be refused"
     );
     // Server consents: the session activates.
-    let (sid2, active) =
-        dpi.provision(EndpointRole::Server, &server, &mut rng, &mut ledger)?;
+    let (sid2, active) = dpi.provision(EndpointRole::Server, &server, &mut rng, &mut ledger)?;
     assert_eq!(sid, sid2);
     assert!(active);
 
@@ -278,9 +276,8 @@ pub fn cloud_dpi_bilateral(seed: u64) -> Result<ScenarioReport> {
         b"contains malware-signature bytes",
     ] {
         let record = client.send(plaintext)?;
-        match dpi.process(sid, EndpointRole::Client, &record) {
-            Ok(ProcessResult::Pass(bytes)) => server_received.push(server.recv(&bytes)?),
-            Ok(_) | Err(_) => {}
+        if let Ok(ProcessResult::Pass(bytes)) = dpi.process(sid, EndpointRole::Client, &record) {
+            server_received.push(server.recv(&bytes)?)
         }
     }
     let (alerts, blocked, passed) = dpi.stats(sid)?;

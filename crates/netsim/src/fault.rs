@@ -114,7 +114,7 @@ impl FaultInjector {
         if let Some(limit) = self.config.rate_limit {
             while now >= self.bucket_refill_at {
                 self.bucket_tokens = limit.tokens_per_interval;
-                self.bucket_refill_at = self.bucket_refill_at + limit.interval;
+                self.bucket_refill_at += limit.interval;
             }
             if self.bucket_tokens == 0 {
                 return FaultDecision::Drop;

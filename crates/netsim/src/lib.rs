@@ -27,7 +27,7 @@ pub mod trace;
 
 pub use fault::{FaultConfig, FaultDecision, FaultInjector, RateLimit};
 pub use packet::{NodeId, Packet, MTU};
-pub use sim::{LinkConfig, Network};
+pub use sim::{LinkConfig, LinkStats, Network};
 pub use stream::StreamConn;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceRecord};

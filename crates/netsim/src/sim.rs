@@ -38,16 +38,51 @@ impl Default for LinkConfig {
     }
 }
 
+/// Per-link delivery and fault-outcome counters, readable while a
+/// simulation runs (drive a workload, then assert on what the links did).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Datagrams handed to the link by [`Network::send`].
+    pub sent: u64,
+    /// Datagrams placed in the destination inbox (includes corrupted and
+    /// duplicated copies).
+    pub delivered: u64,
+    /// Datagrams lost to drop faults or rate limiting.
+    pub dropped: u64,
+    /// Datagrams delivered with corrupted payloads.
+    pub corrupted: u64,
+    /// Extra copies delivered by duplication faults.
+    pub duplicated: u64,
+    /// Datagrams held back by delay faults (beyond latency + serialisation).
+    pub delayed: u64,
+}
+
+impl LinkStats {
+    /// Folds another link's counters into this one.
+    pub fn merge(&mut self, other: &LinkStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.corrupted += other.corrupted;
+        self.duplicated += other.duplicated;
+        self.delayed += other.delayed;
+    }
+}
+
 struct Link {
     config: LinkConfig,
     injector: Option<FaultInjector>,
     /// When the link is next free to begin serialising (FIFO queueing).
     next_free: SimTime,
+    stats: LinkStats,
 }
 
 #[derive(Default)]
 struct Node {
-    inbox: VecDeque<Packet>,
+    /// Delivered packets with their delivery timestamps.
+    inbox: VecDeque<(SimTime, Packet)>,
+    /// Deepest the inbox has ever been (queue-depth high-watermark).
+    max_depth: usize,
 }
 
 #[derive(PartialEq, Eq)]
@@ -140,6 +175,7 @@ impl Network {
                 config,
                 injector,
                 next_free: SimTime::ZERO,
+                stats: LinkStats::default(),
             },
         );
     }
@@ -202,6 +238,8 @@ impl Network {
             None,
         );
 
+        link.stats.sent += 1;
+
         // FIFO serialisation: transmission begins when the link is free.
         let start = link.next_free.max(now);
         let serialisation = match link.config.bandwidth_bps {
@@ -218,6 +256,7 @@ impl Network {
         if let Some(injector) = &mut link.injector {
             match injector.decide(now) {
                 FaultDecision::Drop => {
+                    link.stats.dropped += 1;
                     self.trace.record(
                         TraceRecord {
                             time: now,
@@ -231,9 +270,18 @@ impl Network {
                     );
                     return Some(id);
                 }
-                FaultDecision::Corrupt => corrupted = true,
-                FaultDecision::Duplicate => duplicated = true,
-                FaultDecision::Delay(extra) => arrival += extra,
+                FaultDecision::Corrupt => {
+                    corrupted = true;
+                    link.stats.corrupted += 1;
+                }
+                FaultDecision::Duplicate => {
+                    duplicated = true;
+                    link.stats.duplicated += 1;
+                }
+                FaultDecision::Delay(extra) => {
+                    arrival += extra;
+                    link.stats.delayed += 1;
+                }
                 FaultDecision::Deliver => {}
             }
         }
@@ -299,9 +347,16 @@ impl Network {
                 },
                 Some(&delivery.packet),
             );
+            if let Some(link) = self
+                .links
+                .get_mut(&(delivery.packet.src, delivery.packet.dst))
+            {
+                link.stats.delivered += 1;
+            }
             let dst = delivery.packet.dst.0 as usize;
             if let Some(node) = self.nodes.get_mut(dst) {
-                node.inbox.push_back(delivery.packet);
+                node.inbox.push_back((delivery.at, delivery.packet));
+                node.max_depth = node.max_depth.max(node.inbox.len());
             }
         }
         self.now = self.now.max(until);
@@ -317,22 +372,57 @@ impl Network {
 
     /// Pops the next delivered packet at `node`, if any.
     pub fn recv(&mut self, node: NodeId) -> Option<Packet> {
+        self.recv_timed(node).map(|(_, p)| p)
+    }
+
+    /// Pops the next delivered packet at `node` with its delivery time.
+    pub fn recv_timed(&mut self, node: NodeId) -> Option<(SimTime, Packet)> {
         self.nodes.get_mut(node.0 as usize)?.inbox.pop_front()
     }
 
     /// Drains all delivered packets at `node`.
     pub fn recv_all(&mut self, node: NodeId) -> Vec<Packet> {
         match self.nodes.get_mut(node.0 as usize) {
-            Some(n) => n.inbox.drain(..).collect(),
+            Some(n) => n.inbox.drain(..).map(|(_, p)| p).collect(),
             None => Vec::new(),
         }
     }
 
     /// Number of packets waiting at `node`.
     pub fn pending(&self, node: NodeId) -> usize {
-        self.nodes
-            .get(node.0 as usize)
-            .map_or(0, |n| n.inbox.len())
+        self.nodes.get(node.0 as usize).map_or(0, |n| n.inbox.len())
+    }
+
+    /// Current inbox depth at `node` (alias of [`Network::pending`], named
+    /// for observability dashboards).
+    pub fn queue_depth(&self, node: NodeId) -> usize {
+        self.pending(node)
+    }
+
+    /// The deepest `node`'s inbox has ever been.
+    pub fn max_queue_depth(&self, node: NodeId) -> usize {
+        self.nodes.get(node.0 as usize).map_or(0, |n| n.max_depth)
+    }
+
+    /// Delivery/fault counters of the link `src → dst`, if configured.
+    pub fn link_stats(&self, src: NodeId, dst: NodeId) -> Option<LinkStats> {
+        self.links.get(&(src, dst)).map(|l| l.stats)
+    }
+
+    /// Fault outcomes summed over every link in the network.
+    pub fn fault_totals(&self) -> LinkStats {
+        let mut total = LinkStats::default();
+        for link in self.links.values() {
+            total.merge(&link.stats);
+        }
+        total
+    }
+
+    /// Time of the earliest in-flight delivery, or `None` when the network
+    /// is quiescent. Lets an external event loop interleave its own timers
+    /// with network deliveries without overshooting either.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(d)| d.at)
     }
 }
 
@@ -534,6 +624,85 @@ mod tests {
     }
 
     #[test]
+    fn link_stats_track_clean_traffic() {
+        let (mut net, a, b) = two_node_net(LinkConfig::default());
+        for i in 0..5u8 {
+            net.send(a, b, vec![i]);
+        }
+        net.run_to_idle();
+        let stats = net.link_stats(a, b).unwrap();
+        assert_eq!(stats.sent, 5);
+        assert_eq!(stats.delivered, 5);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.corrupted, 0);
+        // Reverse direction untouched.
+        assert_eq!(net.link_stats(b, a).unwrap(), LinkStats::default());
+        assert!(net.link_stats(b, NodeId(99)).is_none());
+    }
+
+    #[test]
+    fn link_stats_track_fault_outcomes() {
+        let (mut net, a, b) = two_node_net(LinkConfig {
+            faults: FaultConfig {
+                drop_chance: 0.3,
+                corrupt_chance: 0.2,
+                duplicate_chance: 0.2,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        for i in 0..200u8 {
+            net.send(a, b, vec![i]);
+        }
+        net.run_to_idle();
+        let stats = net.link_stats(a, b).unwrap();
+        assert_eq!(stats.sent, 200);
+        assert!(stats.dropped > 0, "{stats:?}");
+        assert!(stats.corrupted > 0, "{stats:?}");
+        assert!(stats.duplicated > 0, "{stats:?}");
+        // Every sent packet either dropped or delivered; duplicates add
+        // extra deliveries on top.
+        assert_eq!(
+            stats.delivered,
+            stats.sent - stats.dropped + stats.duplicated
+        );
+        assert_eq!(net.fault_totals(), stats, "only one active link");
+    }
+
+    #[test]
+    fn queue_depth_watermark_persists_after_drain() {
+        let (mut net, a, b) = two_node_net(LinkConfig::default());
+        for i in 0..7u8 {
+            net.send(a, b, vec![i]);
+        }
+        net.run_to_idle();
+        assert_eq!(net.queue_depth(b), 7);
+        assert_eq!(net.max_queue_depth(b), 7);
+        net.recv_all(b);
+        assert_eq!(net.queue_depth(b), 0);
+        assert_eq!(net.max_queue_depth(b), 7, "watermark survives drain");
+        assert_eq!(net.max_queue_depth(a), 0);
+    }
+
+    #[test]
+    fn recv_timed_reports_delivery_time() {
+        let (mut net, a, b) = two_node_net(LinkConfig {
+            latency: SimDuration::from_millis(3),
+            ..Default::default()
+        });
+        net.send(a, b, &b"x"[..]);
+        assert_eq!(
+            net.next_event_at(),
+            Some(SimTime::ZERO + SimDuration::from_millis(3))
+        );
+        net.run_to_idle();
+        let (at, p) = net.recv_timed(b).unwrap();
+        assert_eq!(at, SimTime::ZERO + SimDuration::from_millis(3));
+        assert_eq!(&p.payload[..], b"x");
+        assert_eq!(net.next_event_at(), None, "quiescent again");
+    }
+
+    #[test]
     fn pcap_capture_contains_delivered_payloads() {
         let mut net = Network::new(1);
         net.enable_pcap();
@@ -544,8 +713,6 @@ mod tests {
         net.run_to_idle();
         let pcap = net.trace.to_pcap();
         assert!(pcap.len() > 24);
-        assert!(pcap
-            .windows(8)
-            .any(|w| w == b"captured"));
+        assert!(pcap.windows(8).any(|w| w == b"captured"));
     }
 }

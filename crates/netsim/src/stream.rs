@@ -136,11 +136,7 @@ impl StreamConn {
             }
             TYPE_ACK => {
                 // seq is cumulative: all segments < seq are delivered.
-                let acked: Vec<u64> = self
-                    .outstanding
-                    .range(..seq)
-                    .map(|(&s, _)| s)
-                    .collect();
+                let acked: Vec<u64> = self.outstanding.range(..seq).map(|(&s, _)| s).collect();
                 for s in acked {
                     self.outstanding.remove(&s);
                 }
@@ -332,6 +328,9 @@ mod tests {
             payload: Bytes::from(encode_segment(TYPE_DATA, 0, b"injected")),
         };
         a.handle_packet(&bogus, &mut net);
-        assert!(a.read().is_empty(), "packet from wrong peer must be ignored");
+        assert!(
+            a.read().is_empty(),
+            "packet from wrong peer must be ignored"
+        );
     }
 }

@@ -71,8 +71,7 @@ impl Counters {
 
     /// Converts to CPU cycles under `model` (paper §5 fn. 6).
     pub fn cycles(&self, model: &CostModel) -> u64 {
-        self.sgx_instr * model.sgx_instr_cycles
-            + (self.normal_instr as f64 * model.cpi) as u64
+        self.sgx_instr * model.sgx_instr_cycles + (self.normal_instr as f64 * model.cpi) as u64
     }
 }
 

@@ -122,8 +122,12 @@ impl<'a> EnclaveCtx<'a> {
         self.counters.normal(self.model.alloc_base);
         if pages > 0 {
             self.ensure_epc_room(pages)?;
-            self.epc
-                .add_pages(self.enclave_id, *self.next_alloc_offset, pages, PageType::Regular)?;
+            self.epc.add_pages(
+                self.enclave_id,
+                *self.next_alloc_offset,
+                pages,
+                PageType::Regular,
+            )?;
             *self.next_alloc_offset += pages * PAGE_SIZE;
             self.counters.normal(self.model.alloc_page * pages as u64);
             // Page extension traps to the host (EEXIT + EENTER per request).

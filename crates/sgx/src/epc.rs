@@ -211,7 +211,8 @@ mod tests {
     fn access_control_per_enclave() {
         let mut epc = Epc::new(8);
         epc.add_pages(1, 0, 2, PageType::Regular).unwrap();
-        epc.add_pages(2, PAGE_SIZE * 2, 1, PageType::Regular).unwrap();
+        epc.add_pages(2, PAGE_SIZE * 2, 1, PageType::Regular)
+            .unwrap();
         // Enclave 1 can touch its own pages (any offset within them).
         assert!(epc.check_access(1, 0));
         assert!(epc.check_access(1, PAGE_SIZE + 123));

@@ -71,7 +71,8 @@ impl MeasurementBuilder {
         page[..n].copy_from_slice(&content[..n]);
         for (i, chunk) in page.chunks(EEXTEND_CHUNK).enumerate() {
             self.hasher.update(b"EEXTEND");
-            self.hasher.update(&((offset + i * EEXTEND_CHUNK) as u64).to_le_bytes());
+            self.hasher
+                .update(&((offset + i * EEXTEND_CHUNK) as u64).to_le_bytes());
             self.hasher.update(chunk);
         }
     }

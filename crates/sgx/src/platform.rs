@@ -148,16 +148,15 @@ impl Platform {
             .get_mut(id as usize)
             .ok_or(SgxError::NoSuchEnclave(id))?;
         enclave.check_alive("ecall")?;
-        let mut program = enclave
-            .program
-            .take()
-            .ok_or(SgxError::NoSuchEnclave(id))?;
+        let mut program = enclave.program.take().ok_or(SgxError::NoSuchEnclave(id))?;
 
         // EENTER + eventual EEXIT, plus input marshalling.
         enclave.counters.sgx(2);
         enclave.counters.normal(input.len() as u64 / 8 + 50);
 
-        let mut rng = self.rng.fork(&[b"ecall".as_slice(), &id.to_le_bytes()].concat());
+        let mut rng = self
+            .rng
+            .fork(&[b"ecall".as_slice(), &id.to_le_bytes()].concat());
         let result = {
             let mut ctx = EnclaveCtx {
                 counters: &mut enclave.counters,
@@ -177,9 +176,9 @@ impl Platform {
         };
         // Keep the platform RNG moving so successive ecalls differ.
         self.rng = self.rng.fork(b"step");
-        enclave.counters.normal(
-            result.as_ref().map(|r| r.len() as u64).unwrap_or(0) / 8,
-        );
+        enclave
+            .counters
+            .normal(result.as_ref().map(|r| r.len() as u64).unwrap_or(0) / 8);
         enclave.program = Some(program);
         result
     }
@@ -267,12 +266,7 @@ mod tests {
         fn code_image(&self) -> Vec<u8> {
             vec![b'e', b'c', b'h', b'o', self.version]
         }
-        fn ecall(
-            &mut self,
-            ctx: &mut EnclaveCtx<'_>,
-            fn_id: u64,
-            input: &[u8],
-        ) -> Result<Vec<u8>> {
+        fn ecall(&mut self, ctx: &mut EnclaveCtx<'_>, fn_id: u64, input: &[u8]) -> Result<Vec<u8>> {
             match fn_id {
                 0 => Ok(input.to_vec()),
                 1 => {
@@ -281,7 +275,10 @@ mod tests {
                     Ok(Vec::new())
                 }
                 2 => {
-                    let blob = self.sealed.as_ref().ok_or(SgxError::EcallRejected("no blob"))?;
+                    let blob = self
+                        .sealed
+                        .as_ref()
+                        .ok_or(SgxError::EcallRejected("no blob"))?;
                     let blob = blob.clone();
                     ctx.unseal(KeyRequest::SealEnclave, &blob)
                 }
@@ -519,7 +516,10 @@ mod paging_tests {
         let delta = p.counters_of(id).unwrap().since(before);
         // At least 3 pages were evicted: EWB cost + AEX pairs charged.
         assert!(delta.normal_instr >= 3 * p.model.ewb_page);
-        assert!(delta.sgx_instr >= 2 + 6, "page-extension trap + 3 AEX pairs");
+        assert!(
+            delta.sgx_instr >= 2 + 6,
+            "page-extension trap + 3 AEX pairs"
+        );
     }
 
     #[test]

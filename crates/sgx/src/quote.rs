@@ -122,7 +122,12 @@ impl QuotingEnclave {
     /// key, MAC verification — then signs. Instruction accounting follows
     /// Table 1's quoting-enclave column: entering/exiting the QE, EGETKEY,
     /// and the dominant signature cost.
-    pub fn quote(&mut self, device_key: &[u8; 32], report: &Report, model: &CostModel) -> Result<Quote> {
+    pub fn quote(
+        &mut self,
+        device_key: &[u8; 32],
+        report: &Report,
+        model: &CostModel,
+    ) -> Result<Quote> {
         // Host enters the QE with the report (EENTER ... EEXIT at the end);
         // the report/quote are moved over socket ocalls (recv report, send
         // verification, recv ack, send quote = 4 exits + 4 re-entries),

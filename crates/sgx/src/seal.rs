@@ -56,7 +56,10 @@ impl SealedBlob {
             .expect("16");
         off += 16;
         let clen = u32::from_le_bytes(
-            buf.get(off..off + 4).ok_or_else(err)?.try_into().expect("4"),
+            buf.get(off..off + 4)
+                .ok_or_else(err)?
+                .try_into()
+                .expect("4"),
         ) as usize;
         off += 4;
         let ciphertext = buf.get(off..off + clen).ok_or_else(err)?.to_vec();

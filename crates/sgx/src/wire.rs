@@ -14,7 +14,9 @@ use crate::report::{Report, ReportBody, TargetInfo, REPORT_DATA_LEN};
 
 fn take<'a>(buf: &mut &'a [u8], n: usize, what: &'static str) -> Result<&'a [u8]> {
     if buf.len() < n {
-        return Err(SgxError::Crypto(teenet_crypto::CryptoError::Malformed(what)));
+        return Err(SgxError::Crypto(teenet_crypto::CryptoError::Malformed(
+            what,
+        )));
     }
     let (head, rest) = buf.split_at(n);
     *buf = rest;

@@ -7,8 +7,8 @@
 
 use crate::error::{Result, TlsError};
 use crate::suite::CipherSuite;
-use teenet_crypto::hmac::{HmacSha256, TAG_LEN};
 use teenet_crypto::ct::ct_eq;
+use teenet_crypto::hmac::{HmacSha256, TAG_LEN};
 
 /// Keys for one direction of a session.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,9 +173,7 @@ mod tests {
     fn ciphertext_hides_plaintext() {
         let (mut tx, _) = pair();
         let rec = tx.seal(b"super secret payload").unwrap();
-        assert!(!rec
-            .windows(6)
-            .any(|w| w == b"secret"));
+        assert!(!rec.windows(6).any(|w| w == b"secret"));
     }
 
     #[test]

@@ -72,6 +72,10 @@ struct ClientCircuit {
     phase: CircuitPhase,
 }
 
+/// A batch of link-layer sends: `(destination node, wire bytes)` pairs the
+/// caller injects into the simulated network.
+pub type OutboundMsgs = Vec<(NodeId, Vec<u8>)>;
+
 /// A Tor client.
 pub struct TorClient {
     /// The client's network address.
@@ -99,7 +103,7 @@ impl TorClient {
 
     /// Starts building a circuit through `path` (relay network addresses,
     /// guard first). Returns the circuit id and the initial messages.
-    pub fn open_circuit(&mut self, path: Vec<NodeId>) -> Result<(u32, Vec<(NodeId, Vec<u8>)>)> {
+    pub fn open_circuit(&mut self, path: Vec<NodeId>) -> Result<(u32, OutboundMsgs)> {
         if path.is_empty() {
             return Err(TorError::NoPath("empty path"));
         }
@@ -133,19 +137,19 @@ impl TorClient {
     }
 
     /// Opens a stream to `dest` through a ready circuit.
-    pub fn begin(&mut self, circ: u32, dest: NodeId) -> Result<Vec<(NodeId, Vec<u8>)>> {
+    pub fn begin(&mut self, circ: u32, dest: NodeId) -> Result<OutboundMsgs> {
         let payload = RelayPayload::new(RelayCmd::Begin, &dest.0.to_be_bytes())?;
         self.send_relay(circ, payload)
     }
 
     /// Sends stream data through a ready circuit.
-    pub fn send_data(&mut self, circ: u32, data: &[u8]) -> Result<Vec<(NodeId, Vec<u8>)>> {
+    pub fn send_data(&mut self, circ: u32, data: &[u8]) -> Result<OutboundMsgs> {
         let payload = RelayPayload::new(RelayCmd::Data, data)?;
         self.send_relay(circ, payload)
     }
 
     /// Tears down a circuit.
-    pub fn destroy(&mut self, circ: u32) -> Result<Vec<(NodeId, Vec<u8>)>> {
+    pub fn destroy(&mut self, circ: u32) -> Result<OutboundMsgs> {
         let state = self
             .circuits
             .remove(&circ)
@@ -154,7 +158,7 @@ impl TorClient {
         Ok(vec![(state.path[0], frame_cell(&destroy))])
     }
 
-    fn send_relay(&mut self, circ: u32, payload: RelayPayload) -> Result<Vec<(NodeId, Vec<u8>)>> {
+    fn send_relay(&mut self, circ: u32, payload: RelayPayload) -> Result<OutboundMsgs> {
         let state = self
             .circuits
             .get_mut(&circ)
@@ -172,10 +176,7 @@ impl TorClient {
     }
 
     /// Seals for the terminal hop, then applies all layers innermost-first.
-    fn onionize(
-        hops: &mut [HopKeys],
-        payload: &RelayPayload,
-    ) -> [u8; crate::cell::PAYLOAD_LEN] {
+    fn onionize(hops: &mut [HopKeys], payload: &RelayPayload) -> [u8; crate::cell::PAYLOAD_LEN] {
         let terminal = hops.last().expect("at least one hop");
         let mut sealed = seal_relay(terminal, true, payload);
         for hop in hops.iter_mut().rev() {
@@ -185,7 +186,7 @@ impl TorClient {
     }
 
     /// Processes one inbound link message.
-    pub fn handle(&mut self, from: NodeId, msg: &[u8]) -> Vec<(NodeId, Vec<u8>)> {
+    pub fn handle(&mut self, from: NodeId, msg: &[u8]) -> OutboundMsgs {
         if msg.first() != Some(&crate::network::TAG_CELL) {
             return Vec::new();
         }
@@ -195,7 +196,7 @@ impl TorClient {
         self.handle_cell(from, cell).unwrap_or_default()
     }
 
-    fn handle_cell(&mut self, from: NodeId, cell: Cell) -> Result<Vec<(NodeId, Vec<u8>)>> {
+    fn handle_cell(&mut self, from: NodeId, cell: Cell) -> Result<OutboundMsgs> {
         let circ = cell.circ_id;
         let state = self
             .circuits
@@ -241,8 +242,7 @@ impl TorClient {
                         if parsed.data.len() < 2 {
                             return Err(TorError::BadCell("EXTENDED payload"));
                         }
-                        let len =
-                            u16::from_be_bytes([parsed.data[0], parsed.data[1]]) as usize;
+                        let len = u16::from_be_bytes([parsed.data[0], parsed.data[1]]) as usize;
                         if 2 + len > parsed.data.len() {
                             return Err(TorError::BadCell("EXTENDED dh length"));
                         }
@@ -290,7 +290,7 @@ impl TorClient {
     }
 
     /// After a hop is established: extend to the next, or mark ready.
-    fn continue_building(&mut self, circ: u32) -> Result<Vec<(NodeId, Vec<u8>)>> {
+    fn continue_building(&mut self, circ: u32) -> Result<OutboundMsgs> {
         let state = self
             .circuits
             .get_mut(&circ)
@@ -339,11 +339,7 @@ mod tests {
     use crate::network::frame_cell;
 
     fn client() -> TorClient {
-        TorClient::new(
-            NodeId(0),
-            DhGroup::modp768(),
-            SecureRng::seed_from_u64(5),
-        )
+        TorClient::new(NodeId(0), DhGroup::modp768(), SecureRng::seed_from_u64(5))
     }
 
     #[test]

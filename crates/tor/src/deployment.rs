@@ -65,7 +65,12 @@ pub struct TorServiceEnclave {
 impl TorServiceEnclave {
     /// Wraps a service of `kind` ("relay" / "authority") with a behaviour
     /// marker.
-    pub fn new(kind: &'static str, version: u16, behavior_marker: Vec<u8>, config: AttestConfig) -> Self {
+    pub fn new(
+        kind: &'static str,
+        version: u16,
+        behavior_marker: Vec<u8>,
+        config: AttestConfig,
+    ) -> Self {
         TorServiceEnclave {
             kind,
             version,
@@ -318,11 +323,8 @@ impl TorDeployment {
                 let authority = DirectoryAuthority::new(i as u32, behavior.clone(), &mut rng)?;
                 let sgx_capable = spec.phase != Phase::Vanilla;
                 if sgx_capable {
-                    let mut platform = Platform::new(
-                        &format!("authority-{i}"),
-                        &epid,
-                        spec.seed + 500 + i as u64,
-                    );
+                    let mut platform =
+                        Platform::new(&format!("authority-{i}"), &epid, spec.seed + 500 + i as u64);
                     let program = TorServiceEnclave::new(
                         "authority",
                         1,
@@ -445,13 +447,9 @@ impl TorDeployment {
             // logic) are excluded from the consensus process.
             let mut passed = vec![true; self.authorities.len()];
             for a in 0..self.authorities.len() {
-                for b in 0..self.authorities.len() {
-                    if a != b {
-                        let ok =
-                            self.attest_authority(AttestKind::TorAuthorityPeer, a as u64, b);
-                        if !ok {
-                            passed[b] = false;
-                        }
+                for (b, pass) in passed.iter_mut().enumerate() {
+                    if a != b && !self.attest_authority(AttestKind::TorAuthorityPeer, a as u64, b) {
+                        *pass = false;
                     }
                 }
             }
@@ -536,11 +534,8 @@ impl TorDeployment {
         admission: &Admission,
         force_exit: Option<u32>,
     ) -> Result<Vec<teenet_netsim::NodeId>> {
-        let exits: Vec<&RouterDescriptor> = admission
-            .admitted
-            .iter()
-            .filter(|d| d.is_exit)
-            .collect();
+        let exits: Vec<&RouterDescriptor> =
+            admission.admitted.iter().filter(|d| d.is_exit).collect();
         if exits.is_empty() {
             return Err(TorError::NoPath("no admitted exits"));
         }
@@ -571,11 +566,7 @@ impl TorDeployment {
 
     /// Builds a circuit along `path` and exchanges `data` with the
     /// built-in echo server; returns the reply the client received.
-    pub fn exchange(
-        &mut self,
-        path: Vec<teenet_netsim::NodeId>,
-        data: &[u8],
-    ) -> Result<Vec<u8>> {
+    pub fn exchange(&mut self, path: Vec<teenet_netsim::NodeId>, data: &[u8]) -> Result<Vec<u8>> {
         let client_node = self.network.clients[self.client].net_node;
         let server_node = self.network.servers[self.server].net_node;
         let (circ, msgs) = self.network.clients[self.client].open_circuit(path)?;
@@ -775,8 +766,7 @@ mod sealing_tests {
 
         // "Restart": tear the enclave down, load the identical build.
         platform.destroy_enclave(enclave).unwrap();
-        let author =
-            SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
+        let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
         let enclave2 = platform
             .create_signed(
                 Box::new(TorServiceEnclave::new(
@@ -823,7 +813,9 @@ mod sealing_tests {
         // A tampered build (different MRENCLAVE) cannot unseal the
         // authority's state even on the same platform.
         let (mut platform, enclave, _epid, mut rng) = sgx_platform(73);
-        let blob = platform.ecall_nohost(enclave, 2, b"keys + OR list").unwrap();
+        let blob = platform
+            .ecall_nohost(enclave, 2, b"keys + OR list")
+            .unwrap();
         let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
         let evil = platform
             .create_signed(

@@ -88,8 +88,7 @@ impl ChordRing {
 
     /// Is a relay currently a member?
     pub fn contains(&self, relay_id: u32) -> bool {
-        self.nodes
-            .contains_key(&ring_key(&relay_id.to_le_bytes()))
+        self.nodes.contains_key(&ring_key(&relay_id.to_le_bytes()))
     }
 
     fn successor_key(&self, key: u64) -> Option<u64> {
@@ -115,9 +114,7 @@ impl ChordRing {
 
     /// The relay responsible for `key` (its successor on the ring).
     pub fn owner(&self, key: u64) -> Result<u32> {
-        let k = self
-            .successor_key(key)
-            .ok_or(TorError::Dht("empty ring"))?;
+        let k = self.successor_key(key).ok_or(TorError::Dht("empty ring"))?;
         Ok(self.nodes[&k].relay_id)
     }
 

@@ -313,7 +313,7 @@ mod tests {
         let mut verdicts = HashMap::new();
         verdicts.insert(0u32, true);
         verdicts.insert(1u32, false); // failed attestation
-        // relay 2 has no verdict (legacy, non-SGX) → manual path admits it.
+                                      // relay 2 has no verdict (legacy, non-SGX) → manual path admits it.
         let vote = auths[0].vote(&descs, Some(&verdicts), &mut rng).unwrap();
         assert_eq!(vote.approved, vec![0, 2]);
     }
@@ -321,10 +321,8 @@ mod tests {
     #[test]
     fn validation_rejects_forged_and_duplicate_votes() {
         let descs = descriptors(2);
-        let (auths, mut rng) = authorities(vec![
-            AuthorityBehavior::Honest,
-            AuthorityBehavior::Honest,
-        ]);
+        let (auths, mut rng) =
+            authorities(vec![AuthorityBehavior::Honest, AuthorityBehavior::Honest]);
         let keys: HashMap<u32, VerifyingKey> =
             auths.iter().map(|a| (a.id, a.public_key())).collect();
 

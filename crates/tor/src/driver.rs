@@ -1,0 +1,115 @@
+//! Calibration hook for the load generator: one session is a Tor client
+//! building a 3-hop circuit through SGX relays, opening a stream, and
+//! exchanging one data cell.
+//!
+//! Admission (the attestation-heavy part, paper Table 3's FullSgx row) is
+//! measured for real against the deployed platforms. Steady-state cell
+//! costs are derived from the paper's cost model, because relay cell
+//! processing in this codebase runs outside the counter-instrumented
+//! platform ecall path.
+
+use teenet::driver::{WorkProfile, WorkStep};
+use teenet_sgx::cost::{CostModel, Counters};
+
+use crate::cell::CELL_LEN;
+use crate::deployment::{Phase, TorDeployment, TorSpec};
+use crate::error::{Result, TorError};
+
+/// Number of hops in the calibrated circuit (guard, middle, exit).
+pub const HOPS: u64 = 3;
+
+/// Calibrates the Tor circuit+stream workload on a FullSgx deployment.
+///
+/// Setup is the measured cost of admission — every relay attested by the
+/// client, quoting enclaves included — plus one end-to-end validation
+/// exchange. The session script is three `extend` steps (telescoping DH),
+/// one `begin`, and one `data` cell.
+pub fn calibrate_tor(seed: u64) -> Result<WorkProfile> {
+    let model = CostModel::paper();
+    let mut dep = TorDeployment::build(TorSpec::fast(Phase::FullSgx, seed))?;
+    let admission = dep.run_admission()?;
+
+    let mut setup = Counters::new();
+    for (platform, _) in dep.relay_platforms.iter().flatten() {
+        setup.merge(platform.total_counters());
+    }
+    for (platform, _) in dep.authority_platforms.iter().flatten() {
+        setup.merge(platform.total_counters());
+    }
+
+    // Prove the deployment actually carries traffic before profiling it.
+    let path = dep.select_path(&admission, None)?;
+    let reply = dep.exchange(path, b"calibrate")?;
+    if reply != b"echo:calibrate" {
+        return Err(TorError::CircuitState("calibration echo mismatch"));
+    }
+
+    let cell = CELL_LEN;
+    let mut steps = Vec::with_capacity(HOPS as usize + 2);
+    for hop in 0..HOPS {
+        // Telescoping extend to hop N: the client runs a fresh DH exchange
+        // (two modexps) and onion-wraps the cell once per hop already in
+        // the circuit; the target relay runs its DH half inside the
+        // enclave and unwraps one layer.
+        let mut client = Counters::new();
+        client.normal(2 * model.modexp(768) + (hop + 1) * model.aes_bytes(cell));
+        let mut server = Counters::new();
+        server.sgx(model.io_packet_sgx);
+        server.normal(2 * model.modexp(768) + model.aes_bytes(cell));
+        steps.push(WorkStep {
+            name: "extend",
+            client,
+            server,
+            request_bytes: cell,
+            response_bytes: cell,
+        });
+    }
+    for name in ["begin", "data"] {
+        // A relayed cell: the client adds all three onion layers; each of
+        // the three relays enters its enclave and strips one.
+        let mut client = Counters::new();
+        client.normal(HOPS * model.aes_bytes(cell));
+        let mut server = Counters::new();
+        server.sgx(HOPS * model.io_packet_sgx);
+        server.normal(HOPS * model.aes_bytes(cell));
+        steps.push(WorkStep {
+            name,
+            client,
+            server,
+            request_bytes: cell,
+            response_bytes: cell,
+        });
+    }
+
+    Ok(WorkProfile { setup, steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tor_profile_shape() {
+        let profile = calibrate_tor(11).unwrap();
+        assert_eq!(profile.steps.len(), 5);
+        assert_eq!(profile.steps[0].name, "extend");
+        assert_eq!(profile.steps[4].name, "data");
+        // Admission attests 6 relays: the setup dwarfs any single cell.
+        assert!(profile.setup.sgx_instr > 0);
+        assert!(profile.setup.normal_instr > profile.steps[0].server.normal_instr);
+        // Extends carry DH work; data cells are symmetric-only and cheaper.
+        assert!(profile.steps[0].server.normal_instr > profile.steps[4].server.normal_instr);
+        assert!(profile.steps.iter().all(|s| s.request_bytes == CELL_LEN));
+    }
+
+    #[test]
+    fn tor_calibration_deterministic() {
+        let a = calibrate_tor(4).unwrap();
+        let b = calibrate_tor(4).unwrap();
+        assert_eq!(a.setup, b.setup);
+        for (x, y) in a.steps.iter().zip(&b.steps) {
+            assert_eq!(x.server, y.server);
+            assert_eq!(x.client, y.client);
+        }
+    }
+}

@@ -28,6 +28,7 @@ pub mod crypto;
 pub mod deployment;
 pub mod dht;
 pub mod directory;
+pub mod driver;
 pub mod error;
 pub mod network;
 pub mod relay;
@@ -36,6 +37,7 @@ pub use cell::{Cell, CellCmd, RelayCmd, RelayPayload};
 pub use circuit::{ClientEvent, TorClient};
 pub use deployment::{Phase, TorDeployment, TorSpec};
 pub use directory::{AuthorityBehavior, Consensus, DirectoryAuthority, RouterDescriptor};
+pub use driver::calibrate_tor;
 pub use error::{Result, TorError};
 pub use network::{EchoServer, TorNetwork};
 pub use relay::{OnionRouter, RelayBehavior};

@@ -196,8 +196,8 @@ impl TorNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::relay::{OnionRouter, RelayBehavior};
     use crate::circuit::{ClientEvent, TorClient};
+    use crate::relay::{OnionRouter, RelayBehavior};
     use teenet_crypto::dh::DhGroup;
     use teenet_crypto::SecureRng;
 
@@ -229,13 +229,15 @@ mod tests {
     fn three_hop_circuit_and_stream() {
         let (mut tn, relays, client, server) = build_net(3);
         let server_node = tn.servers[server].net_node;
-        let (circ, msgs) = tn.clients[client]
-            .open_circuit(relays.clone())
-            .unwrap();
+        let (circ, msgs) = tn.clients[client].open_circuit(relays.clone()).unwrap();
         let src = tn.clients[client].net_node;
         tn.transmit(src, msgs);
         assert!(tn.pump(100), "network must quiesce");
-        assert!(tn.clients[client].is_ready(circ), "events: {:?}", tn.clients[client].events);
+        assert!(
+            tn.clients[client].is_ready(circ),
+            "events: {:?}",
+            tn.clients[client].events
+        );
 
         // Open a stream and send data.
         let msgs = tn.clients[client].begin(circ, server_node).unwrap();
@@ -260,9 +262,7 @@ mod tests {
         let (mut tn, relays, client, server) = build_net(1);
         let server_node = tn.servers[server].net_node;
         let src = tn.clients[client].net_node;
-        let (circ, msgs) = tn.clients[client]
-            .open_circuit(vec![relays[0]])
-            .unwrap();
+        let (circ, msgs) = tn.clients[client].open_circuit(vec![relays[0]]).unwrap();
         tn.transmit(src, msgs);
         assert!(tn.pump(50));
         assert!(tn.clients[client].is_ready(circ));
@@ -319,7 +319,9 @@ mod tests {
         let msgs = tn.clients[client].begin(circ, server_node).unwrap();
         tn.transmit(src, msgs);
         tn.pump(100);
-        let msgs = tn.clients[client].send_data(circ, b"password=hunter2").unwrap();
+        let msgs = tn.clients[client]
+            .send_data(circ, b"password=hunter2")
+            .unwrap();
         tn.transmit(src, msgs);
         tn.pump(100);
         assert!(tn.relays[2]

@@ -257,9 +257,8 @@ impl OnionRouter {
                 if payload.data.len() < 6 {
                     return Err(TorError::BadCell("EXTEND payload"));
                 }
-                let next_node = NodeId(u32::from_be_bytes(
-                    payload.data[..4].try_into().expect("4"),
-                ));
+                let next_node =
+                    NodeId(u32::from_be_bytes(payload.data[..4].try_into().expect("4")));
                 let circ = self.next_circ_id;
                 self.next_circ_id += 1;
                 let state = self
@@ -278,9 +277,7 @@ impl OnionRouter {
                 if !self.is_exit {
                     return self.backward_reply(internal, RelayCmd::End, b"not an exit");
                 }
-                let dest = NodeId(u32::from_be_bytes(
-                    payload.data[..4].try_into().expect("4"),
-                ));
+                let dest = NodeId(u32::from_be_bytes(payload.data[..4].try_into().expect("4")));
                 let state = self
                     .states
                     .get_mut(&internal)
@@ -398,7 +395,9 @@ mod tests {
         let mut r = relay(1);
         assert!(r.handle(NodeId(0), b"").is_empty());
         assert!(r.handle(NodeId(0), &[9, 9, 9]).is_empty());
-        assert!(r.handle(NodeId(0), &[crate::network::TAG_CELL, 1, 2]).is_empty());
+        assert!(r
+            .handle(NodeId(0), &[crate::network::TAG_CELL, 1, 2])
+            .is_empty());
         assert_eq!(r.circuit_count(), 0);
     }
 

@@ -9,9 +9,7 @@ use teenet::attest::AttestConfig;
 use teenet::fmt;
 use teenet_crypto::SecureRng;
 use teenet_interdomain::controller::verify_status;
-use teenet_interdomain::{
-    default_policies, run_native, AsId, Predicate, SdnDeployment, Topology,
-};
+use teenet_interdomain::{default_policies, run_native, AsId, Predicate, SdnDeployment, Topology};
 use teenet_sgx::cost::CostModel;
 
 fn main() {
@@ -35,8 +33,7 @@ fn main() {
 
     // Deploy: one enclave platform per AS plus the controller platform.
     let config = AttestConfig::fast();
-    let mut deployment =
-        SdnDeployment::new(&topology, &policies, config, 7).expect("deployment");
+    let mut deployment = SdnDeployment::new(&topology, &policies, config, 7).expect("deployment");
     let report = deployment.run().expect("figure-2 flow");
 
     println!();
@@ -44,10 +41,7 @@ fn main() {
         "attestations during setup: {} (one per AS-local controller)",
         report.attestations
     );
-    println!(
-        "routes installed per AS: {:?}",
-        report.routes_installed
-    );
+    println!("routes installed per AS: {:?}", report.routes_installed);
     let model = CostModel::paper();
     let native = run_native(&topology, &policies);
     println!(

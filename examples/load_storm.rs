@@ -1,0 +1,40 @@
+//! Load-generation walkthrough: stress the attestation service with an
+//! open-loop storm, then compare a lossy closed-loop run.
+//!
+//! ```text
+//! cargo run -p teenet-bench --example load_storm
+//! ```
+
+use teenet_load::scenarios::AttestScenario;
+use teenet_load::{LoadConfig, LoadMode, LoadRunner, Scenario};
+use teenet_netsim::fault::FaultConfig;
+
+fn main() {
+    // Calibrate once against the real enclave stack: one full Figure-1
+    // attestation is executed and its instruction counters and wire sizes
+    // captured. Everything after this line runs on virtual time.
+    let mut scenario = AttestScenario::new(42);
+    let calibration = scenario.calibrate();
+    println!(
+        "calibrated: {} op(s), server cost {} SGX + {} normal instructions/session\n",
+        calibration.ops.len(),
+        calibration.session_server_cost().sgx_instr,
+        calibration.session_server_cost().normal_instr,
+    );
+
+    // An open-loop Poisson storm at ~50% of calibrated capacity.
+    let config = LoadConfig::new(2_000, 42, LoadMode::Open { rate_per_sec: None });
+    let report = LoadRunner::new(config).run(scenario.name(), &calibration);
+    print!("{}", report.text());
+
+    // The same workload closed-loop over a 1%-lossy network: retransmission
+    // keeps sessions completing, at a latency cost visible in the tail.
+    let mut config = LoadConfig::new(2_000, 42, LoadMode::Closed { concurrency: 8 });
+    config.faults = FaultConfig {
+        drop_chance: 0.01,
+        ..FaultConfig::default()
+    };
+    let report = LoadRunner::new(config).run(scenario.name(), &calibration);
+    println!();
+    print!("{}", report.text());
+}

@@ -9,9 +9,7 @@ use teenet::attest::AttestConfig;
 use teenet::ledger::AttestLedger;
 use teenet_crypto::SecureRng;
 use teenet_mbox::scenarios::{cloud_dpi_bilateral, enterprise_outbound};
-use teenet_mbox::{
-    Action, EndpointRole, MiddleboxChain, MiddleboxHost, ProvisionPolicy, Rule,
-};
+use teenet_mbox::{Action, EndpointRole, MiddleboxChain, MiddleboxHost, ProvisionPolicy, Rule};
 use teenet_sgx::EpidGroup;
 use teenet_tls::handshake::{handshake, TlsConfig};
 
@@ -63,8 +61,7 @@ fn main() {
     )
     .expect("deploy");
     let mut srng = rng.fork(b"server");
-    let (mut client, mut server) =
-        handshake(TlsConfig::fast(), &mut rng, &mut srng).expect("tls");
+    let (mut client, mut server) = handshake(TlsConfig::fast(), &mut rng, &mut srng).expect("tls");
     let mut chain = MiddleboxChain::provision(
         vec![firewall, dlp],
         EndpointRole::Client,

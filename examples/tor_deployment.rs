@@ -19,7 +19,7 @@ fn phase_name(phase: Phase) -> &'static str {
 fn main() {
     println!("Tor attack/defense matrix across SGX deployment phases");
     println!();
-    println!("{:<24} {:<48} {}", "phase", "attack", "attacker wins?");
+    println!("{:<24} {:<48} attacker wins?", "phase", "attack");
     for outcome in defense_matrix(77).expect("matrix") {
         println!(
             "{:<24} {:<48} {}",

@@ -167,10 +167,7 @@ fn quotes_do_not_verify_under_foreign_group() {
     )
     .map(|_| ())
     .unwrap_err();
-    assert!(matches!(
-        err,
-        TeenetError::Sgx(SgxError::QuoteInvalid(_))
-    ));
+    assert!(matches!(err, TeenetError::Sgx(SgxError::QuoteInvalid(_))));
 }
 
 #[test]

@@ -83,8 +83,7 @@ fn table_overheads_are_mutually_consistent() {
     let native = run_native(&t, &p);
     let mut d = SdnDeployment::new(&t, &p, AttestConfig::fast(), 7).unwrap();
     let r = d.run().unwrap();
-    let instr_overhead =
-        r.interdomain.normal_instr as f64 / native.interdomain.normal_instr as f64;
+    let instr_overhead = r.interdomain.normal_instr as f64 / native.interdomain.normal_instr as f64;
     let cycle_overhead =
         r.interdomain.cycles(&model) as f64 / native.interdomain.cycles(&model) as f64;
     assert!((cycle_overhead - instr_overhead).abs() < 0.25);

@@ -3,10 +3,10 @@
 //! enclave program must verify/sanity check the return values and output
 //! parameters of system calls").
 
-use teenet_sgx::ocall::{checked, validate_len_le, HostCalls};
-use teenet_sgx::{EnclaveCtx, EnclaveProgram, EpidGroup, Platform, SgxError};
 use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
 use teenet_crypto::SecureRng;
+use teenet_sgx::ocall::{checked, validate_len_le, HostCalls};
+use teenet_sgx::{EnclaveCtx, EnclaveProgram, EpidGroup, Platform, SgxError};
 
 /// An enclave that reads data from the host through a *checked* recv: the
 /// host returns `len(u64) ‖ data`, and the enclave validates both the
@@ -175,5 +175,8 @@ fn malicious_host_cannot_break_attestation() {
     let outcome = challenger
         .verify(&response, &epid.public_key(), None)
         .unwrap();
-    assert!(outcome.channel.is_some(), "attestation unaffected by ocall lies");
+    assert!(
+        outcome.channel.is_some(),
+        "attestation unaffected by ocall lies"
+    );
 }

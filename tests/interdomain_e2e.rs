@@ -21,8 +21,7 @@ fn full_figure2_flow_distributes_correct_routes() {
     let policies = default_policies(&t);
     let reference = compute_routes(&t, &policies);
 
-    let mut deployment =
-        SdnDeployment::new(&t, &policies, AttestConfig::fast(), 9).unwrap();
+    let mut deployment = SdnDeployment::new(&t, &policies, AttestConfig::fast(), 9).unwrap();
     let report = deployment.run().unwrap();
 
     // Every AS got exactly the routes the reference computation selects.
@@ -42,8 +41,7 @@ fn three_way_agreement_native_enclave_distributed() {
     let distributed = run_distributed_bgp(&t, &policies, 77);
     assert_eq!(native.outcome.best, distributed.best);
 
-    let mut deployment =
-        SdnDeployment::new(&t, &policies, AttestConfig::fast(), 10).unwrap();
+    let mut deployment = SdnDeployment::new(&t, &policies, AttestConfig::fast(), 10).unwrap();
     let report = deployment.run().unwrap();
     for (i, &count) in report.routes_installed.iter().enumerate() {
         assert_eq!(
@@ -96,8 +94,7 @@ fn broken_promise_detected_through_the_enclave() {
         .unwrap()
         .pref_override
         .insert(AsId(2), 50);
-    let mut deployment =
-        SdnDeployment::new(&t, &cheating, AttestConfig::fast(), 12).unwrap();
+    let mut deployment = SdnDeployment::new(&t, &cheating, AttestConfig::fast(), 12).unwrap();
     deployment.run().unwrap();
     let s1 = deployment
         .verify_predicate(2, AsId(0), AsId(2), &promise)
@@ -113,8 +110,7 @@ fn broken_promise_detected_through_the_enclave() {
 fn verification_never_leaks_third_party_predicates() {
     let t = topology(8, 8);
     let policies = default_policies(&t);
-    let mut deployment =
-        SdnDeployment::new(&t, &policies, AttestConfig::fast(), 12).unwrap();
+    let mut deployment = SdnDeployment::new(&t, &policies, AttestConfig::fast(), 12).unwrap();
     deployment.run().unwrap();
 
     // AS1 and AS2 agree on a predicate that inspects AS5's routing.
@@ -137,15 +133,11 @@ fn table4_shape_holds_across_sizes() {
         let t = topology(n, 2015);
         let policies = default_policies(&t);
         let native = run_native(&t, &policies);
-        let mut deployment =
-            SdnDeployment::new(&t, &policies, AttestConfig::fast(), 13).unwrap();
+        let mut deployment = SdnDeployment::new(&t, &policies, AttestConfig::fast(), 13).unwrap();
         let report = deployment.run().unwrap();
-        let overhead = report.interdomain.normal_instr as f64
-            / native.interdomain.normal_instr as f64;
-        assert!(
-            (1.5..2.6).contains(&overhead),
-            "n={n}: overhead {overhead}"
-        );
+        let overhead =
+            report.interdomain.normal_instr as f64 / native.interdomain.normal_instr as f64;
+        assert!((1.5..2.6).contains(&overhead), "n={n}: overhead {overhead}");
         assert!(report.interdomain.normal_instr > last_sgx);
         last_sgx = report.interdomain.normal_instr;
     }

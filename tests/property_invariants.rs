@@ -8,11 +8,11 @@ use teenet::channel::SecureChannel;
 use teenet_crypto::SecureRng;
 use teenet_netsim::stream::drive_pair;
 use teenet_netsim::{FaultConfig, LinkConfig, Network, SimDuration, StreamConn};
+use teenet_tls::record::{DirectionKeys, RecordProtection};
+use teenet_tls::CipherSuite;
 use teenet_tor::cell::PAYLOAD_LEN;
 use teenet_tor::crypto::HopKeys;
 use teenet_tor::dht::ChordRing;
-use teenet_tls::record::{DirectionKeys, RecordProtection};
-use teenet_tls::CipherSuite;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

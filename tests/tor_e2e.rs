@@ -17,11 +17,7 @@ fn exit_sees_plaintext_but_not_client_guard_sees_client_but_not_plaintext() {
     let admission = dep.run_admission().unwrap();
     // Force a path where we know every position: guard=4, middle=5, exit=0.
     let relays = &dep.network.relays;
-    let path = vec![
-        relays[4].net_node,
-        relays[5].net_node,
-        relays[0].net_node,
-    ];
+    let path = vec![relays[4].net_node, relays[5].net_node, relays[0].net_node];
     assert!(admission.admitted.len() >= 3);
     let reply = dep.exchange(path, b"the secret").unwrap();
     assert_eq!(reply, b"echo:the secret");
@@ -59,7 +55,10 @@ fn defense_matrix_is_monotone() {
         Phase::IncrementalOrs,
         Phase::FullSgx,
     ];
-    for attack in ["bad-apple exit sniffing", "directory subversion (tie-breaking / bad admission)"] {
+    for attack in [
+        "bad-apple exit sniffing",
+        "directory subversion (tie-breaking / bad admission)",
+    ] {
         let mut seen_defended = false;
         for phase in phases {
             let outcome = matrix
@@ -70,10 +69,7 @@ fn defense_matrix_is_monotone() {
                 seen_defended = true;
             }
             if seen_defended {
-                assert!(
-                    !outcome.succeeded,
-                    "{attack} regressed at {phase:?}"
-                );
+                assert!(!outcome.succeeded, "{attack} regressed at {phase:?}");
             }
         }
         assert!(seen_defended, "{attack} never defended");
