@@ -13,10 +13,11 @@
 
 use std::process::ExitCode;
 
-use teenet_load::scenarios::{by_name, NAMES};
+use teenet_load::scenarios::{by_name, by_name_mode, NAMES};
 use teenet_load::{LoadConfig, LoadMode, LoadRunner};
 use teenet_netsim::fault::FaultConfig;
 use teenet_netsim::SimDuration;
+use teenet_sgx::TransitionMode;
 
 const USAGE: &str = "\
 loadgen — stress the paper's applications with synthetic load on virtual time
@@ -37,6 +38,8 @@ OPTIONS:
     --drop <p>             per-packet drop chance     [default: 0]
     --corrupt <p>          per-packet corrupt chance  [default: 0]
     --duplicate <p>        per-packet dup chance      [default: 0]
+    --switchless           calibrate with switchless/batched enclave
+                           transitions (default: classic EENTER/EEXIT)
     --json                 emit the byte-stable JSON report instead of text
     --list                 list scenarios and exit
     --help                 show this help
@@ -55,6 +58,7 @@ struct Args {
     drop: f64,
     corrupt: f64,
     duplicate: f64,
+    switchless: bool,
     json: bool,
     list: bool,
 }
@@ -74,6 +78,7 @@ impl Default for Args {
             drop: 0.0,
             corrupt: 0.0,
             duplicate: 0.0,
+            switchless: false,
             json: false,
             list: false,
         }
@@ -100,6 +105,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--drop" => args.drop = parse(value("--drop")?, "--drop")?,
             "--corrupt" => args.corrupt = parse(value("--corrupt")?, "--corrupt")?,
             "--duplicate" => args.duplicate = parse(value("--duplicate")?, "--duplicate")?,
+            "--switchless" => args.switchless = true,
             "--json" => args.json = true,
             "--list" => args.list = true,
             "--help" | "-h" => return Err(String::new()),
@@ -139,7 +145,12 @@ fn main() -> ExitCode {
         eprintln!("error: --scenario is required (one of {NAMES:?})\n\n{USAGE}");
         return ExitCode::FAILURE;
     };
-    let Some(mut scenario) = by_name(name, args.seed) else {
+    let transition_mode = if args.switchless {
+        TransitionMode::Switchless
+    } else {
+        TransitionMode::Classic
+    };
+    let Some(mut scenario) = by_name_mode(name, args.seed, transition_mode) else {
         eprintln!("error: unknown scenario {name:?} (one of {NAMES:?})");
         return ExitCode::FAILURE;
     };
@@ -169,7 +180,10 @@ fn main() -> ExitCode {
     };
 
     if !args.json {
-        eprintln!("calibrating {name} against real enclaves...");
+        eprintln!(
+            "calibrating {name} against real enclaves ({} transitions)...",
+            transition_mode.as_str()
+        );
     }
     let calibration = scenario.calibrate();
     let report = LoadRunner::new(config).run(scenario.name(), &calibration);

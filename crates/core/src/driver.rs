@@ -12,7 +12,10 @@
 use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::{CostModel, Counters};
-use teenet_sgx::{EnclaveCtx, EnclaveProgram, EpidGroup, Platform, Report, SgxError};
+use teenet_sgx::{
+    EnclaveCtx, EnclaveProgram, EpidGroup, Platform, Report, SgxError, TransitionMode,
+    TransitionStats,
+};
 
 use crate::attest::{AttestConfig, AttestResponse, Challenger};
 use crate::error::{Result, TeenetError};
@@ -32,6 +35,8 @@ pub struct WorkStep {
     pub request_bytes: usize,
     /// Response size on the wire.
     pub response_bytes: usize,
+    /// Server-side enclave boundary crossings during this step.
+    pub transitions: TransitionStats,
 }
 
 /// A calibrated workload: one-time setup cost plus the per-session step
@@ -42,6 +47,8 @@ pub struct WorkProfile {
     pub setup: Counters,
     /// The steps of one session, in order.
     pub steps: Vec<WorkStep>,
+    /// Transition mode the profile was calibrated under.
+    pub mode: TransitionMode,
 }
 
 /// Minimal attestation-target enclave for calibration.
@@ -71,6 +78,18 @@ impl EnclaveProgram for AttestService {
 /// Figure-1 remote attestation of a target enclave. Runs the real protocol
 /// once and returns its measured counters and true wire sizes.
 pub fn calibrate_attest(config: &AttestConfig, seed: u64) -> Result<WorkProfile> {
+    calibrate_attest_mode(config, seed, TransitionMode::Classic)
+}
+
+/// [`calibrate_attest`] with an explicit transition mode: under
+/// [`TransitionMode::Switchless`] the responder's ocalls (nonce echo,
+/// chunked response streaming) ride the shared call ring instead of paying
+/// EEXIT/EENTER pairs.
+pub fn calibrate_attest_mode(
+    config: &AttestConfig,
+    seed: u64,
+    mode: TransitionMode,
+) -> Result<WorkProfile> {
     let model = CostModel::paper();
     let mut rng = SecureRng::seed_from_u64(seed);
     let epid = EpidGroup::new(1, &mut rng).map_err(TeenetError::Sgx)?;
@@ -86,6 +105,9 @@ pub fn calibrate_attest(config: &AttestConfig, seed: u64) -> Result<WorkProfile>
             1,
         )
         .map_err(TeenetError::Sgx)?;
+    platform
+        .set_transition_mode(enclave, mode)
+        .map_err(TeenetError::Sgx)?;
     let setup = platform.counters_of(enclave).map_err(TeenetError::Sgx)?;
 
     // One real attestation, driven message by message so the wire sizes
@@ -94,6 +116,9 @@ pub fn calibrate_attest(config: &AttestConfig, seed: u64) -> Result<WorkProfile>
         Challenger::start(IdentityPolicy::AcceptAny, config.clone(), &model, &mut rng)?;
     let request_wire = request.to_bytes();
     let target_before = platform.counters_of(enclave).map_err(TeenetError::Sgx)?;
+    let transitions_before = platform
+        .transition_stats_of(enclave)
+        .map_err(TeenetError::Sgx)?;
     let quoting_before = platform.quoting_counters();
 
     let mut begin_input = request_wire.clone();
@@ -118,6 +143,10 @@ pub fn calibrate_attest(config: &AttestConfig, seed: u64) -> Result<WorkProfile>
         .map_err(TeenetError::Sgx)?
         .since(target_before);
     server.merge(platform.quoting_counters().since(quoting_before));
+    let transitions = platform
+        .transition_stats_of(enclave)
+        .map_err(TeenetError::Sgx)?
+        .since(transitions_before);
 
     Ok(WorkProfile {
         setup,
@@ -127,7 +156,9 @@ pub fn calibrate_attest(config: &AttestConfig, seed: u64) -> Result<WorkProfile>
             server,
             request_bytes: request_wire.len(),
             response_bytes: response_wire.len(),
+            transitions,
         }],
+        mode,
     })
 }
 
@@ -158,6 +189,21 @@ mod tests {
         assert_eq!(a.steps[0].client, b.steps[0].client);
         assert_eq!(a.steps[0].response_bytes, b.steps[0].response_bytes);
         assert_eq!(a.setup, b.setup);
+    }
+
+    #[test]
+    fn switchless_attest_elides_responder_ocalls() {
+        let classic = calibrate_attest(&AttestConfig::fast(), 9).unwrap();
+        let sw =
+            calibrate_attest_mode(&AttestConfig::fast(), 9, TransitionMode::Switchless).unwrap();
+        assert!(
+            sw.steps[0].server.sgx_instr < classic.steps[0].server.sgx_instr,
+            "ring-serviced ocalls must drop SGX instructions"
+        );
+        assert!(sw.steps[0].transitions.elided > 0);
+        assert_eq!(classic.steps[0].transitions.elided, 0);
+        assert_eq!(classic.mode, TransitionMode::Classic);
+        assert_eq!(sw.mode, TransitionMode::Switchless);
     }
 
     #[test]

@@ -16,7 +16,9 @@ use teenet::ledger::{AttestKind, AttestLedger};
 use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::Counters;
-use teenet_sgx::{EnclaveId, EpidGroup, Platform, Report, SgxError};
+use teenet_sgx::{
+    EnclaveId, EpidGroup, Platform, Report, SgxError, TransitionMode, TransitionStats,
+};
 
 use crate::compute::{compute_routes, RoutingOutcome};
 use crate::controller::{alc_fn, ic_fn, AsLocalController, InterdomainController};
@@ -203,6 +205,54 @@ impl SdnDeployment {
         self.controller_platform
             .ecall_nohost(self.controller_enclave, ic_fn::SUBMIT, &input)?;
         Ok(wire)
+    }
+
+    /// Submits the policies of several ASes as **one announcement batch**:
+    /// each AS seals its policy locally, then all sealed blobs enter the
+    /// controller under a single EENTER/EEXIT pair
+    /// ([`teenet_sgx::platform::Platform::ecall_batch`]). Returns each
+    /// sealed blob's wire size.
+    pub fn submit_batch(&mut self, indices: &[usize]) -> Result<Vec<usize>> {
+        let mut calls = Vec::with_capacity(indices.len());
+        let mut wires = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let sealed = self.as_platforms[i].ecall_nohost(
+                self.as_enclaves[i],
+                alc_fn::SUBMIT_POLICY,
+                &[],
+            )?;
+            wires.push(sealed.len());
+            let nonce = self.as_nonces[i].expect("attested");
+            let mut input = nonce.to_vec();
+            input.extend_from_slice(&sealed);
+            calls.push((ic_fn::SUBMIT, input));
+        }
+        self.controller_platform
+            .ecall_batch_nohost(self.controller_enclave, &calls)?;
+        Ok(wires)
+    }
+
+    /// Sets the transition mode of the controller enclave and every
+    /// AS-local enclave.
+    pub fn set_transition_mode(&mut self, mode: TransitionMode) -> Result<()> {
+        self.controller_platform
+            .set_transition_mode(self.controller_enclave, mode)?;
+        for i in 0..self.as_enclaves.len() {
+            self.as_platforms[i].set_transition_mode(self.as_enclaves[i], mode)?;
+        }
+        Ok(())
+    }
+
+    /// Combined crossing statistics: controller enclave plus every
+    /// AS-local enclave.
+    pub fn transition_stats(&self) -> Result<TransitionStats> {
+        let mut total = self
+            .controller_platform
+            .transition_stats_of(self.controller_enclave)?;
+        for i in 0..self.as_enclaves.len() {
+            total.merge(self.as_platforms[i].transition_stats_of(self.as_enclaves[i])?);
+        }
+        Ok(total)
     }
 
     /// Phase 3 (message 6 prep): the controller computes paths for all

@@ -9,6 +9,7 @@ use teenet::driver::{WorkProfile, WorkStep};
 use teenet::AttestConfig;
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::Counters;
+use teenet_sgx::TransitionMode;
 
 use crate::deployment::{Result, SdnDeployment};
 use crate::topology::Topology;
@@ -24,6 +25,16 @@ use crate::topology::Topology;
 /// controller recomputing paths) and pulling its table ("pull": sealed
 /// route download and install).
 pub fn calibrate_bgp(seed: u64, n_ases: u32) -> Result<WorkProfile> {
+    calibrate_bgp_mode(seed, n_ases, TransitionMode::Classic)
+}
+
+/// [`calibrate_bgp`] with an explicit transition mode.
+///
+/// Under [`TransitionMode::Switchless`] the controller's and every AS's
+/// sealed-blob sends (ocall-shaped host crossings) ride the shared call
+/// ring during steady state; setup (attestation, initial convergence)
+/// always runs classic.
+pub fn calibrate_bgp_mode(seed: u64, n_ases: u32, mode: TransitionMode) -> Result<WorkProfile> {
     assert!(n_ases >= 3, "need at least 3 ASes for a topology");
     let mut rng = SecureRng::seed_from_u64(seed ^ 0x0062_6770);
     let topology = Topology::random(n_ases, &mut rng);
@@ -38,11 +49,13 @@ pub fn calibrate_bgp(seed: u64, n_ases: u32) -> Result<WorkProfile> {
     for p in &dep.as_platforms {
         setup.merge(p.total_counters());
     }
+    dep.set_transition_mode(mode)?;
 
     // Steady state: AS 0 re-announces and the controller recomputes.
     let subject = 0usize;
     let controller_before = dep.controller_platform.total_counters();
     let as_before = dep.as_platforms[subject].total_counters();
+    let t_before = dep.transition_stats()?;
     let announce_wire = dep.submit_one(subject)?;
     dep.compute()?;
     let announce_server = dep
@@ -50,15 +63,18 @@ pub fn calibrate_bgp(seed: u64, n_ases: u32) -> Result<WorkProfile> {
         .total_counters()
         .since(controller_before);
     let announce_client = dep.as_platforms[subject].total_counters().since(as_before);
+    let announce_transitions = dep.transition_stats()?.since(t_before);
 
     let controller_before = dep.controller_platform.total_counters();
     let as_before = dep.as_platforms[subject].total_counters();
+    let t_before = dep.transition_stats()?;
     let (pull_wire, installed) = dep.pull_one(subject)?;
     let pull_server = dep
         .controller_platform
         .total_counters()
         .since(controller_before);
     let pull_client = dep.as_platforms[subject].total_counters().since(as_before);
+    let pull_transitions = dep.transition_stats()?.since(t_before);
     debug_assert!(installed > 0, "calibration AS must install routes");
 
     Ok(WorkProfile {
@@ -71,6 +87,7 @@ pub fn calibrate_bgp(seed: u64, n_ases: u32) -> Result<WorkProfile> {
                 request_bytes: announce_wire,
                 // Message 5 is the controller's short sealed ack.
                 response_bytes: 64,
+                transitions: announce_transitions,
             },
             WorkStep {
                 name: "pull",
@@ -79,8 +96,10 @@ pub fn calibrate_bgp(seed: u64, n_ases: u32) -> Result<WorkProfile> {
                 // Message 6 is the AS's nonce-bearing pull request.
                 request_bytes: 32,
                 response_bytes: pull_wire,
+                transitions: pull_transitions,
             },
         ],
+        mode,
     })
 }
 
@@ -115,6 +134,46 @@ mod tests {
         assert!(pull.response_bytes > 0);
         // Bootstrapping (attestation of every AS) dwarfs one churn round.
         assert!(profile.setup.normal_instr > session_total(&profile).normal_instr);
+    }
+
+    #[test]
+    fn switchless_bgp_reduces_steady_state_sgx() {
+        let classic = calibrate_bgp(21, 6).unwrap();
+        let sw = calibrate_bgp_mode(21, 6, TransitionMode::Switchless).unwrap();
+        let sgx_sum = |p: &WorkProfile| {
+            p.steps
+                .iter()
+                .map(|s| s.server.sgx_instr + s.client.sgx_instr)
+                .sum::<u64>()
+        };
+        assert!(
+            sgx_sum(&sw) < sgx_sum(&classic),
+            "ring-serviced sealed-blob sends must drop SGX instructions"
+        );
+        assert!(sw.steps.iter().any(|s| s.transitions.elided > 0));
+        assert_eq!(classic.setup, sw.setup, "setup always runs classic");
+    }
+
+    #[test]
+    fn announcement_batch_amortises_controller_entries() {
+        let mut rng = SecureRng::seed_from_u64(99);
+        let topology = Topology::random(6, &mut rng);
+        let policies = HashMap::new();
+        let mut dep = SdnDeployment::new(&topology, &policies, AttestConfig::fast(), 99).unwrap();
+        dep.attest_all().unwrap();
+        let t0 = dep.transition_stats().unwrap();
+        dep.submit_batch(&[0, 1, 2]).unwrap();
+        let batch = dep.transition_stats().unwrap().since(t0);
+        let t1 = dep.transition_stats().unwrap();
+        for i in 3..6 {
+            dep.submit_one(i).unwrap();
+        }
+        let sequential = dep.transition_stats().unwrap().since(t1);
+        assert!(
+            batch.taken < sequential.taken,
+            "one controller entry for the whole batch vs one per announcement"
+        );
+        assert_eq!(batch.elided, 2, "N-1 controller entries amortised away");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::fmt::Write as _;
 
 use teenet_netsim::sim::LinkStats;
 use teenet_sgx::cost::{CostModel, Counters};
+use teenet_sgx::TransitionStats;
 
 use crate::hist::Histogram;
 use crate::metrics::PhaseRollup;
@@ -20,6 +21,9 @@ pub struct RunReport {
     pub scenario: String,
     /// Load mode description (`open`, `closed`).
     pub mode: String,
+    /// Transition mode the scenario was calibrated under (`classic`,
+    /// `switchless`).
+    pub transition_mode: String,
     /// Seed driving all randomness in the run.
     pub seed: u64,
     /// Open-loop arrival rate actually used (0 for closed loop).
@@ -52,6 +56,8 @@ pub struct RunReport {
     pub total: Counters,
     /// `total` converted to cycles under the paper's model.
     pub total_cycles: u64,
+    /// Enclave boundary crossings accumulated over all steady-state ops.
+    pub transitions: TransitionStats,
 }
 
 impl RunReport {
@@ -61,6 +67,7 @@ impl RunReport {
         let (p50, p90, p99, p999) = self.latency.percentiles();
         let _ = writeln!(s, "== teenet-load: {} ({}) ==", self.scenario, self.mode);
         let _ = writeln!(s, "{:<26} {}", "seed", self.seed);
+        let _ = writeln!(s, "{:<26} {}", "transition mode", self.transition_mode);
         if self.concurrency > 0 {
             let _ = writeln!(s, "{:<26} {}", "concurrency", self.concurrency);
         } else {
@@ -108,6 +115,14 @@ impl RunReport {
             "{:<26} retries={} corrupt_rx={} max_server_queue={}",
             "recovery", self.retries, self.corrupt_rx, self.max_server_queue
         );
+        let _ = writeln!(
+            s,
+            "{:<26} taken={} elided={} fallbacks={}",
+            "transitions",
+            self.transitions.taken,
+            self.transitions.elided,
+            self.transitions.fallbacks
+        );
         let _ = writeln!(s, "-- SGX cost rollup --");
         let _ = writeln!(
             s,
@@ -140,6 +155,7 @@ impl RunReport {
         s.push('{');
         let _ = write!(s, "\"scenario\":\"{}\"", self.scenario);
         let _ = write!(s, ",\"mode\":\"{}\"", self.mode);
+        let _ = write!(s, ",\"transition_mode\":\"{}\"", self.transition_mode);
         let _ = write!(s, ",\"seed\":{}", self.seed);
         let _ = write!(s, ",\"rate_per_sec\":{:.6}", self.rate_per_sec);
         let _ = write!(s, ",\"concurrency\":{}", self.concurrency);
@@ -194,6 +210,11 @@ impl RunReport {
             ",\"total\":{{\"sgx_instr\":{},\"normal_instr\":{},\"cycles\":{}}}",
             self.total.sgx_instr, self.total.normal_instr, self.total_cycles
         );
+        let _ = write!(
+            s,
+            ",\"transitions\":{{\"taken\":{},\"elided\":{},\"fallbacks\":{}}}",
+            self.transitions.taken, self.transitions.elided, self.transitions.fallbacks
+        );
         s.push('}');
         s
     }
@@ -221,6 +242,7 @@ mod tests {
         RunReport {
             scenario: "attest".into(),
             mode: "open".into(),
+            transition_mode: "classic".into(),
             seed: 1,
             rate_per_sec: 100.0,
             concurrency: 0,
@@ -244,6 +266,11 @@ mod tests {
             phases: vec![phase],
             total,
             total_cycles,
+            transitions: TransitionStats {
+                taken: 100,
+                elided: 300,
+                fallbacks: 2,
+            },
         }
     }
 

@@ -23,6 +23,7 @@ use std::collections::BinaryHeap;
 use teenet_crypto::SecureRng;
 use teenet_netsim::{FaultConfig, LinkConfig, Network, NodeId, SimDuration, SimTime};
 use teenet_sgx::cost::CostModel;
+use teenet_sgx::TransitionStats;
 
 use crate::arrival::{Arrival, ArrivalProcess};
 use crate::hist::Histogram;
@@ -205,6 +206,7 @@ struct Engine<'a> {
     last_done_at: SimTime,
     steady_client: PhaseRollup,
     steady_server: PhaseRollup,
+    transitions: TransitionStats,
 }
 
 impl LoadRunner {
@@ -299,6 +301,7 @@ impl<'a> Engine<'a> {
             last_done_at: SimTime::ZERO,
             steady_client: PhaseRollup::new("steady.client"),
             steady_server: PhaseRollup::new("steady.server"),
+            transitions: TransitionStats::new(),
         }
     }
 
@@ -433,6 +436,7 @@ impl<'a> Engine<'a> {
         self.workers[widx] = done_at;
         self.sessions[session as usize].in_service = Some(op);
         self.steady_server.fold(profile.server);
+        self.transitions.merge(profile.transitions);
         self.push(done_at, Ev::ServiceDone { session, op });
     }
 
@@ -514,6 +518,7 @@ impl<'a> Engine<'a> {
         RunReport {
             scenario: scenario.to_string(),
             mode: mode.to_string(),
+            transition_mode: self.cal.mode.as_str().to_string(),
             seed: cfg.seed,
             rate_per_sec: rate,
             concurrency,
@@ -530,6 +535,7 @@ impl<'a> Engine<'a> {
             phases: vec![calibration_phase, self.steady_client, self.steady_server],
             total,
             total_cycles,
+            transitions: self.transitions,
         }
     }
 }
@@ -577,6 +583,11 @@ mod tests {
                     server: c(4, 500_000),
                     request_bytes: 128,
                     response_bytes: 64,
+                    transitions: TransitionStats {
+                        taken: 2,
+                        elided: 0,
+                        fallbacks: 0,
+                    },
                 },
                 OpProfile {
                     name: "work",
@@ -584,8 +595,14 @@ mod tests {
                     server: c(8, 2_000_000),
                     request_bytes: 256,
                     response_bytes: 1024,
+                    transitions: TransitionStats {
+                        taken: 4,
+                        elided: 0,
+                        fallbacks: 0,
+                    },
                 },
             ],
+            mode: Default::default(),
         }
     }
 
@@ -608,6 +625,42 @@ mod tests {
             .unwrap();
         assert_eq!(server.ops, 400);
         assert_eq!(server.counters.sgx_instr, 200 * 12);
+        // Transition stats accumulate per serviced op: 2 + 4 pairs/session.
+        assert_eq!(report.transitions.taken, 200 * 6);
+        assert_eq!(report.transitions.elided, 0);
+        assert_eq!(report.transition_mode, "classic");
+    }
+
+    /// Locks in the documented tie-break: "network wins ties so a response
+    /// arriving at time t beats a timeout firing at t". With zero service
+    /// time, latency L and timeout exactly 2L, both events land on the
+    /// identical `SimTime`; the response must win, so the session completes
+    /// with no retransmission and exactly one request/response pair on the
+    /// wire. (An inverted tie-break would fire the timeout first and
+    /// resend: retries = 1, sent = 3.)
+    #[test]
+    fn response_at_t_beats_timeout_at_t() {
+        let mut cfg = LoadConfig::new(1, 1, LoadMode::Closed { concurrency: 1 });
+        cfg.latency = SimDuration::from_millis(1);
+        cfg.bandwidth_bps = None; // delivery at exactly send + latency
+        cfg.timeout = Some(SimDuration(2_000_000)); // exactly one round trip
+        let cal = Calibration {
+            setup: c(0, 0),
+            ops: vec![OpProfile {
+                name: "ping",
+                client: c(0, 0),
+                server: c(0, 0), // zero service time: response at t = 2L
+                request_bytes: 64,
+                response_bytes: 64,
+                transitions: TransitionStats::default(),
+            }],
+            mode: Default::default(),
+        };
+        let report = LoadRunner::new(cfg).run("tie", &cal);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.retries, 0, "timeout at t must lose to response at t");
+        assert_eq!(report.net.sent, 2, "no duplicate retransmission");
+        assert_eq!(report.net.delivered, 2);
     }
 
     #[test]

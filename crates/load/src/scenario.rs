@@ -10,6 +10,7 @@
 //! real session costs precisely what the first did, modulo the keys.
 
 use teenet_sgx::cost::{CostModel, Counters};
+use teenet_sgx::{TransitionMode, TransitionStats};
 
 /// The calibrated cost of one client→server exchange within a session:
 /// the client spends `client` instructions preparing `request_bytes`, the
@@ -27,6 +28,8 @@ pub struct OpProfile {
     pub request_bytes: usize,
     /// Response size on the wire, in bytes.
     pub response_bytes: usize,
+    /// Server-side enclave boundary crossings during the step.
+    pub transitions: TransitionStats,
 }
 
 impl OpProfile {
@@ -54,6 +57,8 @@ pub struct Calibration {
     /// The steps of one session, in order. Each is one request/response
     /// round trip.
     pub ops: Vec<OpProfile>,
+    /// The transition mode the scenario was calibrated under.
+    pub mode: TransitionMode,
 }
 
 impl Calibration {
@@ -82,6 +87,15 @@ impl Calibration {
             .map(|op| op.service_nanos(model, clock_hz))
             .sum()
     }
+
+    /// Summed boundary-crossing statistics of one session.
+    pub fn session_transitions(&self) -> TransitionStats {
+        let mut total = TransitionStats::new();
+        for op in &self.ops {
+            total.merge(op.transitions);
+        }
+        total
+    }
 }
 
 impl From<teenet::driver::WorkProfile> for Calibration {
@@ -97,8 +111,10 @@ impl From<teenet::driver::WorkProfile> for Calibration {
                     server: s.server,
                     request_bytes: s.request_bytes,
                     response_bytes: s.response_bytes,
+                    transitions: s.transitions,
                 })
                 .collect(),
+            mode: profile.mode,
         }
     }
 }
@@ -141,6 +157,7 @@ mod tests {
                     server: c(2, 200),
                     request_bytes: 64,
                     response_bytes: 32,
+                    transitions: TransitionStats::default(),
                 },
                 OpProfile {
                     name: "b",
@@ -148,8 +165,10 @@ mod tests {
                     server: c(3, 300),
                     request_bytes: 16,
                     response_bytes: 16,
+                    transitions: TransitionStats::default(),
                 },
             ],
+            mode: TransitionMode::Classic,
         };
         assert_eq!(cal.session_server_cost(), c(5, 500));
         assert_eq!(cal.session_client_cost(), c(1, 150));
@@ -174,6 +193,7 @@ mod tests {
             server: c(1, 0), // one SGX instruction = 10_000 cycles
             request_bytes: 1,
             response_bytes: 1,
+            transitions: TransitionStats::default(),
         };
         // 10_000 cycles at 1 GHz = 10_000 ns.
         assert_eq!(op.service_nanos(&model, 1_000_000_000), 10_000);

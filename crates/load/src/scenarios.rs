@@ -10,6 +10,8 @@ pub use bgp::BgpScenario;
 pub use tls::TlsScenario;
 pub use tor::TorScenario;
 
+use teenet_sgx::TransitionMode;
+
 use crate::scenario::Scenario;
 
 /// All scenario names `loadgen` accepts.
@@ -17,11 +19,16 @@ pub const NAMES: [&str; 4] = ["attest", "tls", "tor", "bgp"];
 
 /// Builds a scenario by name with its default shape, seeded with `seed`.
 pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Scenario>> {
+    by_name_mode(name, seed, TransitionMode::Classic)
+}
+
+/// [`by_name`] with an explicit transition mode (`loadgen --switchless`).
+pub fn by_name_mode(name: &str, seed: u64, mode: TransitionMode) -> Option<Box<dyn Scenario>> {
     match name {
-        "attest" => Some(Box::new(AttestScenario::new(seed))),
-        "tls" => Some(Box::new(TlsScenario::new(seed))),
-        "tor" => Some(Box::new(TorScenario::new(seed))),
-        "bgp" => Some(Box::new(BgpScenario::new(seed))),
+        "attest" => Some(Box::new(AttestScenario::with_mode(seed, mode))),
+        "tls" => Some(Box::new(TlsScenario::with_mode(seed, mode))),
+        "tor" => Some(Box::new(TorScenario::with_mode(seed, mode))),
+        "bgp" => Some(Box::new(BgpScenario::with_mode(seed, mode))),
         _ => None,
     }
 }

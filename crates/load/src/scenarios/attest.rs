@@ -1,8 +1,9 @@
 //! The attestation-storm workload: every session is one full Figure-1
 //! remote attestation (nonce + DH challenge, REPORT, QUOTE, verify).
 
-use teenet::driver::calibrate_attest;
+use teenet::driver::calibrate_attest_mode;
 use teenet::AttestConfig;
+use teenet_sgx::TransitionMode;
 
 use crate::scenario::{Calibration, Scenario};
 
@@ -10,20 +11,31 @@ use crate::scenario::{Calibration, Scenario};
 pub struct AttestScenario {
     seed: u64,
     config: AttestConfig,
+    mode: TransitionMode,
 }
 
 impl AttestScenario {
     /// Default shape: the fast 768-bit group with DH channel bootstrap.
     pub fn new(seed: u64) -> Self {
+        Self::with_mode(seed, TransitionMode::Classic)
+    }
+
+    /// Same shape under an explicit transition mode.
+    pub fn with_mode(seed: u64, mode: TransitionMode) -> Self {
         AttestScenario {
             seed,
             config: AttestConfig::fast(),
+            mode,
         }
     }
 
     /// Overrides the attestation configuration.
     pub fn with_config(seed: u64, config: AttestConfig) -> Self {
-        AttestScenario { seed, config }
+        AttestScenario {
+            seed,
+            config,
+            mode: TransitionMode::Classic,
+        }
     }
 }
 
@@ -37,7 +49,7 @@ impl Scenario for AttestScenario {
     }
 
     fn calibrate(&mut self) -> Calibration {
-        calibrate_attest(&self.config, self.seed)
+        calibrate_attest_mode(&self.config, self.seed, self.mode)
             .expect("attestation calibration cannot fail on an honest platform")
             .into()
     }

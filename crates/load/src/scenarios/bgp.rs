@@ -1,7 +1,8 @@
 //! The inter-domain routing workload: BGP announcement churn against the
 //! SGX controller (§3.1, Tables 3–4).
 
-use teenet_interdomain::driver::calibrate_bgp;
+use teenet_interdomain::driver::calibrate_bgp_mode;
+use teenet_sgx::TransitionMode;
 
 use crate::scenario::{Calibration, Scenario};
 
@@ -9,17 +10,31 @@ use crate::scenario::{Calibration, Scenario};
 pub struct BgpScenario {
     seed: u64,
     n_ases: u32,
+    mode: TransitionMode,
 }
 
 impl BgpScenario {
     /// Default shape: a random three-tier topology of 8 ASes.
     pub fn new(seed: u64) -> Self {
-        BgpScenario { seed, n_ases: 8 }
+        Self::with_mode(seed, TransitionMode::Classic)
+    }
+
+    /// Same shape under an explicit transition mode.
+    pub fn with_mode(seed: u64, mode: TransitionMode) -> Self {
+        BgpScenario {
+            seed,
+            n_ases: 8,
+            mode,
+        }
     }
 
     /// Overrides the topology size.
     pub fn with_ases(seed: u64, n_ases: u32) -> Self {
-        BgpScenario { seed, n_ases }
+        BgpScenario {
+            seed,
+            n_ases,
+            mode: TransitionMode::Classic,
+        }
     }
 }
 
@@ -33,7 +48,7 @@ impl Scenario for BgpScenario {
     }
 
     fn calibrate(&mut self) -> Calibration {
-        calibrate_bgp(self.seed, self.n_ases)
+        calibrate_bgp_mode(self.seed, self.n_ases, self.mode)
             .expect("bgp calibration cannot fail on an honest deployment")
             .into()
     }

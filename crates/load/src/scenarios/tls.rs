@@ -1,7 +1,8 @@
 //! The TLS-middlebox workload: record traffic through an attested,
 //! key-provisioned gateway running in-enclave DPI (§3.3).
 
-use teenet_mbox::driver::calibrate_tls_mbox;
+use teenet_mbox::driver::calibrate_tls_mbox_mode;
+use teenet_sgx::TransitionMode;
 
 use crate::scenario::{Calibration, Scenario};
 
@@ -10,15 +11,22 @@ pub struct TlsScenario {
     seed: u64,
     record_bytes: usize,
     records_per_session: u32,
+    mode: TransitionMode,
 }
 
 impl TlsScenario {
     /// Default shape: 4 records of 1 KiB per session.
     pub fn new(seed: u64) -> Self {
+        Self::with_mode(seed, TransitionMode::Classic)
+    }
+
+    /// Same shape under an explicit transition mode.
+    pub fn with_mode(seed: u64, mode: TransitionMode) -> Self {
         TlsScenario {
             seed,
             record_bytes: 1024,
             records_per_session: 4,
+            mode,
         }
     }
 
@@ -28,6 +36,7 @@ impl TlsScenario {
             seed,
             record_bytes,
             records_per_session,
+            mode: TransitionMode::Classic,
         }
     }
 }
@@ -42,9 +51,14 @@ impl Scenario for TlsScenario {
     }
 
     fn calibrate(&mut self) -> Calibration {
-        calibrate_tls_mbox(self.seed, self.record_bytes, self.records_per_session)
-            .expect("middlebox calibration cannot fail on an honest gateway")
-            .into()
+        calibrate_tls_mbox_mode(
+            self.seed,
+            self.record_bytes,
+            self.records_per_session,
+            self.mode,
+        )
+        .expect("middlebox calibration cannot fail on an honest gateway")
+        .into()
     }
 }
 

@@ -1,19 +1,26 @@
 //! The Tor workload: circuit construction plus stream traffic through a
 //! FullSgx deployment (§3.2, Table 3).
 
-use teenet_tor::driver::calibrate_tor;
+use teenet_sgx::TransitionMode;
+use teenet_tor::driver::calibrate_tor_mode;
 
 use crate::scenario::{Calibration, Scenario};
 
 /// Tor circuit + stream sessions over SGX relays.
 pub struct TorScenario {
     seed: u64,
+    mode: TransitionMode,
 }
 
 impl TorScenario {
     /// Default shape: FullSgx, 3-hop circuits, one data cell per session.
     pub fn new(seed: u64) -> Self {
-        TorScenario { seed }
+        Self::with_mode(seed, TransitionMode::Classic)
+    }
+
+    /// Same shape under an explicit transition mode.
+    pub fn with_mode(seed: u64, mode: TransitionMode) -> Self {
+        TorScenario { seed, mode }
     }
 }
 
@@ -27,7 +34,7 @@ impl Scenario for TorScenario {
     }
 
     fn calibrate(&mut self) -> Calibration {
-        calibrate_tor(self.seed)
+        calibrate_tor_mode(self.seed, self.mode)
             .expect("tor calibration cannot fail on an honest FullSgx deployment")
             .into()
     }

@@ -7,7 +7,7 @@ use teenet::ledger::AttestLedger;
 use teenet::AttestConfig;
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::{CostModel, Counters};
-use teenet_sgx::EpidGroup;
+use teenet_sgx::{EpidGroup, TransitionMode};
 use teenet_tls::handshake::{handshake, TlsConfig};
 
 use crate::dpi::{Action, Rule};
@@ -29,6 +29,27 @@ pub fn calibrate_tls_mbox(
     record_bytes: usize,
     records_per_session: u32,
 ) -> Result<WorkProfile> {
+    calibrate_tls_mbox_mode(
+        seed,
+        record_bytes,
+        records_per_session,
+        TransitionMode::Classic,
+    )
+}
+
+/// [`calibrate_tls_mbox`] with an explicit transition mode.
+///
+/// Under [`TransitionMode::Switchless`] records flow through the batched
+/// ecall path ([`MiddleboxHost::process_batch`]): the first record of a
+/// session carries the lone EENTER/EEXIT pair, and every further record is
+/// a transition-free marginal cost, measured as batch-of-two minus
+/// batch-of-one — the per-record amortisation of the paper's Table 2.
+pub fn calibrate_tls_mbox_mode(
+    seed: u64,
+    record_bytes: usize,
+    records_per_session: u32,
+    mode: TransitionMode,
+) -> Result<WorkProfile> {
     assert!(records_per_session > 0, "a session needs at least 1 record");
     let model = CostModel::paper();
     let mut rng = SecureRng::seed_from_u64(seed);
@@ -49,38 +70,114 @@ pub fn calibrate_tls_mbox(
         .map_err(|e| crate::MboxError::Session(tls_err(e)))?;
     let (sid, active) = gateway.provision(EndpointRole::Client, &client, &mut rng, &mut ledger)?;
     debug_assert!(active);
+    gateway
+        .platform
+        .set_transition_mode(gateway.enclave, mode)
+        .map_err(crate::MboxError::Sgx)?;
     let setup = gateway.platform.total_counters();
 
     let payload = vec![0x61u8; record_bytes];
-    let record = client
-        .send(&payload)
-        .map_err(|e| crate::MboxError::Session(tls_err(e)))?;
-    let before = gateway.platform.total_counters();
-    match gateway.process(sid, EndpointRole::Client, &record)? {
-        ProcessResult::Pass(_) | ProcessResult::Rewritten(_) => {}
-        ProcessResult::Blocked => {
-            return Err(crate::MboxError::Session("calibration record blocked"))
+    let steps = match mode {
+        TransitionMode::Classic => {
+            let record = client
+                .send(&payload)
+                .map_err(|e| crate::MboxError::Session(tls_err(e)))?;
+            let record_len = record.len();
+            let before = gateway.platform.total_counters();
+            let t_before = gateway
+                .platform
+                .transition_stats_of(gateway.enclave)
+                .map_err(crate::MboxError::Sgx)?;
+            expect_pass(gateway.process(sid, EndpointRole::Client, &record)?)?;
+            let server = gateway.platform.total_counters().since(before);
+            let transitions = gateway
+                .platform
+                .transition_stats_of(gateway.enclave)
+                .map_err(crate::MboxError::Sgx)?
+                .since(t_before);
+            let step = record_step(&model, server, transitions, record_len);
+            vec![step; records_per_session as usize]
         }
+        TransitionMode::Switchless => {
+            // Three identical-shape records: one for the batch-of-one
+            // measurement, two for the batch-of-two.
+            let mut records = Vec::new();
+            for _ in 0..3 {
+                records.push(
+                    client
+                        .send(&payload)
+                        .map_err(|e| crate::MboxError::Session(tls_err(e)))?,
+                );
+            }
+            let record_len = records[0].len();
+            let c0 = gateway.platform.total_counters();
+            let t0 = gateway
+                .platform
+                .transition_stats_of(gateway.enclave)
+                .map_err(crate::MboxError::Sgx)?;
+            for r in gateway.process_batch(sid, EndpointRole::Client, &[&records[0]])? {
+                expect_pass(r)?;
+            }
+            let batch1 = gateway.platform.total_counters().since(c0);
+            let tb1 = gateway
+                .platform
+                .transition_stats_of(gateway.enclave)
+                .map_err(crate::MboxError::Sgx)?
+                .since(t0);
+            let c1 = gateway.platform.total_counters();
+            let t1 = gateway
+                .platform
+                .transition_stats_of(gateway.enclave)
+                .map_err(crate::MboxError::Sgx)?;
+            for r in
+                gateway.process_batch(sid, EndpointRole::Client, &[&records[1], &records[2]])?
+            {
+                expect_pass(r)?;
+            }
+            let batch2 = gateway.platform.total_counters().since(c1);
+            let tb2 = gateway
+                .platform
+                .transition_stats_of(gateway.enclave)
+                .map_err(crate::MboxError::Sgx)?
+                .since(t1);
+
+            // First record of a session pays the batch's transition pair;
+            // every further record is the transition-free marginal cost.
+            let first = record_step(&model, batch1, tb1, record_len);
+            let marginal = record_step(&model, batch2.since(batch1), tb2.since(tb1), record_len);
+            let mut steps = vec![first];
+            steps.extend(vec![marginal; records_per_session as usize - 1]);
+            steps
+        }
+    };
+    Ok(WorkProfile { setup, steps, mode })
+}
+
+fn expect_pass(result: ProcessResult) -> Result<()> {
+    match result {
+        ProcessResult::Pass(_) | ProcessResult::Rewritten(_) => Ok(()),
+        ProcessResult::Blocked => Err(crate::MboxError::Session("calibration record blocked")),
     }
-    let server = gateway.platform.total_counters().since(before);
+}
 
-    // The endpoint's share of a record: AES over the record plus the MAC.
+fn record_step(
+    model: &CostModel,
+    server: Counters,
+    transitions: teenet_sgx::TransitionStats,
+    record_len: usize,
+) -> WorkStep {
     let mut client_cost = Counters::new();
-    client_cost.normal(model.aes_bytes(record.len()) + model.hmac_short);
-
-    let step = WorkStep {
+    client_cost.normal(model.aes_bytes(record_len) + model.hmac_short);
+    WorkStep {
         name: "record",
         client: client_cost,
         server,
-        request_bytes: record.len(),
+        request_bytes: record_len,
         // The middlebox forwards the record onward; model the ack/continue
         // signal back to the sender as a bare status byte.
         response_bytes: 1,
-    };
-    Ok(WorkProfile {
-        setup,
-        steps: vec![step; records_per_session as usize],
-    })
+        transitions,
+    }
 }
 
 fn tls_err(_e: teenet_tls::TlsError) -> &'static str {
@@ -111,6 +208,21 @@ mod tests {
         assert_eq!(a.setup, b.setup);
         assert_eq!(a.steps[0].server, b.steps[0].server);
         assert_eq!(a.steps[0].request_bytes, b.steps[0].request_bytes);
+    }
+
+    #[test]
+    fn switchless_mbox_amortises_transitions() {
+        let classic = calibrate_tls_mbox(3, 1024, 4).unwrap();
+        let sw = calibrate_tls_mbox_mode(3, 1024, 4, TransitionMode::Switchless).unwrap();
+        let sgx_sum = |p: &WorkProfile| p.steps.iter().map(|s| s.server.sgx_instr).sum::<u64>();
+        assert!(
+            sgx_sum(&sw) < sgx_sum(&classic),
+            "batching must cut per-session SGX instructions"
+        );
+        // Records after the first ride the batch: no transition pair.
+        assert_eq!(sw.steps[1].transitions.taken, 0);
+        assert!(sw.steps[1].server.sgx_instr < sw.steps[0].server.sgx_instr);
+        assert_eq!(sw.steps.len(), classic.steps.len());
     }
 
     #[test]

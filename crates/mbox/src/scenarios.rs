@@ -139,6 +139,43 @@ impl MiddleboxHost {
         }
     }
 
+    /// Runs several records through the middlebox under a **single**
+    /// EENTER/EEXIT pair (batched ecall) — the switchless/batched hot path.
+    /// Records are processed in order; sequence-number discipline is the
+    /// same as calling [`MiddleboxHost::process`] repeatedly.
+    pub fn process_batch(
+        &mut self,
+        sid: [u8; 8],
+        direction: EndpointRole,
+        records: &[&[u8]],
+    ) -> Result<Vec<ProcessResult>> {
+        let dir_byte = match direction {
+            EndpointRole::Client => 0,
+            EndpointRole::Server => 1,
+        };
+        let calls: Vec<(u64, Vec<u8>)> = records
+            .iter()
+            .map(|record| {
+                let mut input = sid.to_vec();
+                input.push(dir_byte);
+                input.extend_from_slice(record);
+                (mb_fn::PROCESS, input)
+            })
+            .collect();
+        let replies = self.platform.ecall_batch_nohost(self.enclave, &calls)?;
+        replies
+            .iter()
+            .map(|reply| match reply.first() {
+                Some(&process_status::PASS) => Ok(ProcessResult::Pass(reply[1..].to_vec())),
+                Some(&process_status::BLOCKED) => Ok(ProcessResult::Blocked),
+                Some(&process_status::REWRITTEN) => {
+                    Ok(ProcessResult::Rewritten(reply[1..].to_vec()))
+                }
+                _ => Err(MboxError::Session("bad process reply")),
+            })
+            .collect()
+    }
+
     /// (alerts, blocked, passed) counters for a session.
     pub fn stats(&mut self, sid: [u8; 8]) -> Result<(u64, u64, u64)> {
         let reply = self

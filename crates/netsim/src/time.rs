@@ -30,19 +30,21 @@ impl SimDuration {
     /// Zero-length duration.
     pub const ZERO: SimDuration = SimDuration(0);
 
-    /// From microseconds.
+    /// From microseconds (saturating: a huge config value pins to the
+    /// maximum duration instead of silently wrapping to a tiny one, which
+    /// would fire spurious timeouts).
     pub fn from_micros(us: u64) -> Self {
-        SimDuration(us * 1_000)
+        SimDuration(us.saturating_mul(1_000))
     }
 
-    /// From milliseconds.
+    /// From milliseconds (saturating, see [`SimDuration::from_micros`]).
     pub fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000_000)
+        SimDuration(ms.saturating_mul(1_000_000))
     }
 
-    /// From seconds.
+    /// From seconds (saturating, see [`SimDuration::from_micros`]).
     pub fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000_000)
+        SimDuration(s.saturating_mul(1_000_000_000))
     }
 
     /// Nanoseconds in this duration.
@@ -111,5 +113,24 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(format!("{}", SimTime(1_500_000)), "0.001500s");
+    }
+
+    #[test]
+    fn constructors_saturate_instead_of_wrapping() {
+        assert_eq!(SimDuration::from_secs(u64::MAX), SimDuration(u64::MAX));
+        assert_eq!(SimDuration::from_millis(u64::MAX), SimDuration(u64::MAX));
+        assert_eq!(SimDuration::from_micros(u64::MAX), SimDuration(u64::MAX));
+        // One past the largest exactly-representable input saturates...
+        assert_eq!(
+            SimDuration::from_secs(u64::MAX / 1_000_000_000 + 1),
+            SimDuration(u64::MAX)
+        );
+        // ...while the largest exact input still converts exactly.
+        let max_secs = u64::MAX / 1_000_000_000;
+        assert_eq!(
+            SimDuration::from_secs(max_secs),
+            SimDuration(max_secs * 1_000_000_000)
+        );
+        assert_eq!(SimDuration::from_micros(3), SimDuration(3_000));
     }
 }

@@ -10,8 +10,9 @@
 //! ```
 //!
 //! where "IPC" is 1.8 (dimensionally cycles-per-instruction; we keep the
-//! paper's arithmetic so our cycle numbers are directly comparable, and call
-//! the constant [`CostModel::cpi`]).
+//! paper's arithmetic so our cycle numbers are directly comparable, and
+//! store the constant as the exact rational
+//! [`CostModel::cpi_num`]/[`CostModel::cpi_den`] = 9/5).
 //!
 //! OpenSGX counted instructions of real x86 binaries; we execute Rust, so we
 //! charge each primitive operation a fixed normal-instruction cost instead.
@@ -62,16 +63,37 @@ impl Counters {
     }
 
     /// Difference since an earlier snapshot (`self - earlier`).
+    ///
+    /// Saturating: a snapshot taken across a counter reset degrades to
+    /// zero instead of aborting a report in release mode (and trips a
+    /// `debug_assert!` in debug builds, where the stale snapshot is a
+    /// caller bug worth catching).
     pub fn since(&self, earlier: Counters) -> Counters {
+        debug_assert!(
+            self.sgx_instr >= earlier.sgx_instr && self.normal_instr >= earlier.normal_instr,
+            "Counters::since snapshot is ahead of the counter (taken across a reset?): \
+             now={self:?} earlier={earlier:?}"
+        );
         Counters {
-            sgx_instr: self.sgx_instr - earlier.sgx_instr,
-            normal_instr: self.normal_instr - earlier.normal_instr,
+            sgx_instr: self.sgx_instr.saturating_sub(earlier.sgx_instr),
+            normal_instr: self.normal_instr.saturating_sub(earlier.normal_instr),
         }
     }
 
     /// Converts to CPU cycles under `model` (paper §5 fn. 6).
+    ///
+    /// Exact integer arithmetic: the CPI is an exact rational
+    /// ([`CostModel::cpi_num`]/[`CostModel::cpi_den`], 9/5 for the paper's
+    /// 1.8), evaluated with 128-bit widening — no f64 rounding above 2^53
+    /// instructions, and phase-wise totals stay additive whenever the
+    /// per-phase normal-instruction contributions are exact in cycles
+    /// (always true for the paper's model, whose charges keep 9·n ≡ 0
+    /// mod 5 at phase granularity in the replayed workloads).
     pub fn cycles(&self, model: &CostModel) -> u64 {
-        self.sgx_instr * model.sgx_instr_cycles + (self.normal_instr as f64 * model.cpi) as u64
+        let normal =
+            self.normal_instr as u128 * model.cpi_num as u128 / model.cpi_den.max(1) as u128;
+        (self.sgx_instr as u128 * model.sgx_instr_cycles as u128 + normal).min(u64::MAX as u128)
+            as u64
     }
 }
 
@@ -80,8 +102,12 @@ impl Counters {
 pub struct CostModel {
     /// Cycles charged per SGX instruction (paper assumes 10 000).
     pub sgx_instr_cycles: u64,
-    /// Cycles per normal instruction (paper's "IPC" of 1.8).
-    pub cpi: f64,
+    /// Cycles per normal instruction, numerator (paper's "IPC" of 1.8 is
+    /// the exact rational 9/5 — stored as integers so cycle conversion
+    /// never loses precision to f64 rounding).
+    pub cpi_num: u64,
+    /// Cycles per normal instruction, denominator.
+    pub cpi_den: u64,
 
     // --- public-key cryptography ---
     /// One 1024-bit modular exponentiation.
@@ -112,6 +138,18 @@ pub struct CostModel {
     pub io_batch_sgx: u64,
     /// SGX instructions per packet within a batch (exit + resume).
     pub io_packet_sgx: u64,
+
+    // --- switchless transitions (HotCalls-style shared call ring) ---
+    /// Normal instructions for the enclave to post one request into the
+    /// untrusted shared ring (write args, publish, fence).
+    pub switchless_post: u64,
+    /// Normal instructions for the host worker to poll, unmarshal and
+    /// dispatch one ring request (charged to the enclave's role, as the
+    /// paper charges all work on the enclave's behalf).
+    pub switchless_poll: u64,
+    /// Normal instructions to wake a sleeping worker (futex path),
+    /// charged once per asleep-fallback.
+    pub switchless_wake: u64,
 
     // --- enclave memory management ---
     /// Normal instructions per dynamic allocation inside the enclave
@@ -144,7 +182,8 @@ impl CostModel {
     pub fn paper() -> Self {
         CostModel {
             sgx_instr_cycles: 10_000,
-            cpi: 1.8,
+            cpi_num: 9,
+            cpi_den: 5,
             modexp_1024: 112_000_000,
             dh_param_gen: 3_960_000_000,
             quote_sign: 112_000_000,
@@ -157,6 +196,9 @@ impl CostModel {
             packet_copy: 1_250,
             io_batch_sgx: 4,
             io_packet_sgx: 2,
+            switchless_post: 300,
+            switchless_poll: 600,
+            switchless_wake: 4_000,
             alloc_base: 1_800,
             alloc_page: 3_200,
             ewb_page: 25_000,
@@ -164,6 +206,12 @@ impl CostModel {
             attest_quote_base: 13_000_000,
             attest_challenger_base: 12_000_000,
         }
+    }
+
+    /// The CPI as a float, for display only — all accounting uses the
+    /// exact rational.
+    pub fn cpi(&self) -> f64 {
+        self.cpi_num as f64 / self.cpi_den.max(1) as f64
     }
 
     /// Cost of a modular exponentiation at `bits` modulus size
@@ -230,6 +278,75 @@ mod tests {
         };
         let cycles = c.cycles(&model);
         assert!((8_000_000_000..8_100_000_000).contains(&cycles), "{cycles}");
+    }
+
+    #[test]
+    fn cycles_exact_above_f64_precision() {
+        // 2^53 + 3 normal instructions: f64 cannot represent the count
+        // (it rounds to 2^53 + 4), so the old `normal as f64 * 1.8` path
+        // was off. Exact rational arithmetic gives the true value:
+        // (2^53 + 3) * 9 / 5 = 16_212_958_658_533_791.
+        let model = CostModel::paper();
+        let c = Counters {
+            sgx_instr: 0,
+            normal_instr: (1u64 << 53) + 3,
+        };
+        assert_eq!(c.cycles(&model), 16_212_958_658_533_791);
+    }
+
+    #[test]
+    fn phase_cycle_totals_are_additive() {
+        // Per-phase conversion then summation must equal converting the
+        // merged counters — no per-phase truncation drift. Phase counts
+        // are replayed-op multiples as the load runner produces them,
+        // including counts far above 2^53 where f64 rounding used to make
+        // sum-of-phase cycles ≠ cycles-of-sum.
+        let model = CostModel::paper();
+        let phases = [
+            Counters {
+                sgx_instr: 12,
+                normal_instr: 9_007_199_254_741_000, // > 2^53, ≡ 0 mod 5
+            },
+            Counters {
+                sgx_instr: 7,
+                normal_instr: model.aes_key_schedule * 1_000_000_000,
+            },
+            Counters {
+                sgx_instr: 0,
+                normal_instr: model.send_base * 123_456_789,
+            },
+        ];
+        let mut merged = Counters::new();
+        let mut summed = 0u64;
+        for p in &phases {
+            merged.merge(*p);
+            summed += p.cycles(&model);
+        }
+        assert_eq!(summed, merged.cycles(&model));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn since_across_reset_trips_debug_assert() {
+        let stale = Counters {
+            sgx_instr: 5,
+            normal_instr: 5,
+        };
+        let reset = Counters::new();
+        assert!(std::panic::catch_unwind(|| reset.since(stale)).is_err());
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn since_across_reset_saturates_in_release() {
+        // A stale snapshot (taken before a counter reset) must degrade to
+        // zero instead of aborting a release-mode load report.
+        let stale = Counters {
+            sgx_instr: 5,
+            normal_instr: 5,
+        };
+        let reset = Counters::new();
+        assert_eq!(reset.since(stale), Counters::new());
     }
 
     #[test]

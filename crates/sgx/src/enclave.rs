@@ -18,6 +18,7 @@ use crate::measurement::{Measurement, PAGE_SIZE};
 use crate::ocall::HostCalls;
 use crate::report::{ereport, Report, ReportBody, TargetInfo, REPORT_DATA_LEN};
 use crate::seal::{seal, unseal, SealedBlob};
+use crate::switchless::{Post, SwitchlessState, TransitionMode, TransitionStats};
 
 /// Identifier of a loaded enclave within one platform.
 pub type EnclaveId = u64;
@@ -47,6 +48,8 @@ pub struct Enclave {
     pub isv_svn: u16,
     /// Instructions executed inside (and on behalf of) this enclave.
     pub counters: Counters,
+    /// Transition mode, call ring and crossing statistics.
+    pub switchless: SwitchlessState,
     pub(crate) program: Option<Box<dyn EnclaveProgram>>,
     pub(crate) next_alloc_offset: usize,
     pub(crate) heap_used: usize,
@@ -74,12 +77,58 @@ pub struct EnclaveCtx<'a> {
     pub(crate) enclave_id: EnclaveId,
     pub(crate) next_alloc_offset: &'a mut usize,
     pub(crate) heap_used: &'a mut usize,
+    pub(crate) switchless: &'a mut SwitchlessState,
 }
 
 impl<'a> EnclaveCtx<'a> {
     /// Charges `n` modelled normal instructions of application work.
     pub fn charge(&mut self, n: u64) {
         self.counters.normal(n);
+    }
+
+    /// The enclave's current transition mode.
+    pub fn transition_mode(&self) -> TransitionMode {
+        self.switchless.mode
+    }
+
+    /// Crossing statistics accumulated so far.
+    pub fn transition_stats(&self) -> TransitionStats {
+        self.switchless.stats
+    }
+
+    /// Routes a would-be host crossing of `sgx_instr` SGX instructions
+    /// (`sgx_instr / 2` EEXIT/EENTER pairs) through the transition layer.
+    ///
+    /// Classic mode charges the SGX instructions as-is. Switchless mode
+    /// posts the request to the shared call ring instead — ring-post plus
+    /// worker-poll normal instructions per pair, zero SGX instructions —
+    /// unless the worker is asleep or the ring is full, in which case one
+    /// real transition is taken as a fallback. Returns `true` when the
+    /// crossing was elided.
+    fn host_transition(&mut self, sgx_instr: u64) -> bool {
+        let pairs = (sgx_instr / 2).max(1);
+        match self.switchless.post(pairs) {
+            Post::Classic => {
+                self.counters.sgx(sgx_instr);
+                self.switchless.stats.taken += pairs;
+                false
+            }
+            Post::Elided => {
+                self.counters
+                    .normal(pairs * (self.model.switchless_post + self.model.switchless_poll));
+                self.switchless.stats.elided += pairs;
+                true
+            }
+            Post::Fallback { woke } => {
+                self.counters.sgx(sgx_instr);
+                self.switchless.stats.taken += pairs;
+                self.switchless.stats.fallbacks += 1;
+                if woke {
+                    self.counters.normal(self.model.switchless_wake);
+                }
+                false
+            }
+        }
     }
 
     /// EGETKEY: derives a key bound to this enclave's identity.
@@ -130,8 +179,9 @@ impl<'a> EnclaveCtx<'a> {
             )?;
             *self.next_alloc_offset += pages * PAGE_SIZE;
             self.counters.normal(self.model.alloc_page * pages as u64);
-            // Page extension traps to the host (EEXIT + EENTER per request).
-            self.counters.sgx(2);
+            // Page extension traps to the host (EEXIT + EENTER per request)
+            // — elidable through the switchless ring.
+            self.host_transition(2);
         }
         Ok(())
     }
@@ -161,8 +211,9 @@ impl<'a> EnclaveCtx<'a> {
             )?;
             *self.next_alloc_offset += count * PAGE_SIZE;
             self.counters.normal(self.model.alloc_page * count as u64);
-            // One page-extension trap (exit + re-enter).
-            self.counters.sgx(2);
+            // One page-extension trap (exit + re-enter) — elidable through
+            // the switchless ring.
+            self.host_transition(2);
         }
         Ok(())
     }
@@ -197,7 +248,7 @@ impl<'a> EnclaveCtx<'a> {
     /// The returned bytes are **untrusted**; pass them through
     /// [`crate::ocall::checked`] before use.
     pub fn ocall(&mut self, name: &str, payload: &[u8]) -> Vec<u8> {
-        self.counters.sgx(2);
+        self.host_transition(2);
         let reply = self.host.ocall(name, payload);
         self.counters
             .normal(((payload.len() + reply.len()) as u64) / 8 + 50);
@@ -229,13 +280,13 @@ impl<'a> EnclaveCtx<'a> {
     /// per packet, `send_base` normal instructions plus a copy per packet,
     /// and if `encrypt` is set one AES key schedule plus per-byte AES work.
     pub fn send_packets(&mut self, packets: &[&[u8]], encrypt: bool) {
-        self.counters.sgx(self.model.io_batch_sgx);
+        self.host_transition(self.model.io_batch_sgx);
         self.counters.normal(self.model.send_base);
         if encrypt {
             self.counters.normal(self.model.aes_key_schedule);
         }
         for p in packets {
-            self.counters.sgx(self.model.io_packet_sgx);
+            self.host_transition(self.model.io_packet_sgx);
             self.counters.normal(self.model.packet_copy);
             if encrypt {
                 self.counters.normal(self.model.aes_bytes(p.len()));

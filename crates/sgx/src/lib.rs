@@ -42,6 +42,7 @@ pub mod platform;
 pub mod quote;
 pub mod report;
 pub mod seal;
+pub mod switchless;
 pub mod wire;
 
 pub use cost::{CostModel, Counters};
@@ -52,3 +53,4 @@ pub use ocall::{HostCalls, NullHost};
 pub use platform::Platform;
 pub use quote::{EpidGroup, Quote, QuotingEnclave};
 pub use report::{Report, ReportBody, TargetInfo};
+pub use switchless::{SwitchlessConfig, TransitionMode, TransitionStats};

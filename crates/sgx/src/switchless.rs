@@ -1,0 +1,323 @@
+//! Switchless enclave transitions: a shared-ring call model in the spirit
+//! of HotCalls (Svenningsson et al., "Speeding up enclave transitions for
+//! IO-intensive applications").
+//!
+//! The paper charges every enclave↔host crossing as SGX(U) instructions
+//! (EENTER/EEXIT at 10 000 cycles each, §5 fn. 6) and blames those
+//! crossings for much of the steady-state overhead: "mainly due to
+//! in-enclave I/O and dynamic memory allocation that cause context
+//! switches". Switchless calls remove the crossing: the enclave posts the
+//! request into an **untrusted shared ring** and a host worker thread,
+//! spinning on the ring, services it while the enclave keeps running.
+//! What remains is ordinary work — writing the request into the ring and
+//! the worker's poll/dispatch — charged as normal instructions.
+//!
+//! The emulated model, per would-be transition pair:
+//!
+//! * **Elided** — the worker is awake and the ring has a free slot: charge
+//!   [`crate::cost::CostModel::switchless_post`] +
+//!   [`crate::cost::CostModel::switchless_poll`] normal instructions and
+//!   zero SGX instructions.
+//! * **Fallback: ring full** — the ring has no free slot; the enclave
+//!   takes a real transition (which drains the ring while the host runs).
+//! * **Fallback: worker asleep** — the worker exhausted its spin budget
+//!   ([`SwitchlessConfig::worker_spin_ecalls`] consecutive ecalls with no
+//!   switchless traffic) and went to sleep; the enclave takes a real
+//!   transition and pays [`crate::cost::CostModel::switchless_wake`] to
+//!   wake it.
+//!
+//! Asynchronous exits (AEX on EPC eviction) are **never** elided — they
+//! are hardware-initiated, not call-shaped, so no ring can absorb them.
+//!
+//! Ecalls are amortised instead of elided: a batched ecall
+//! ([`crate::platform::Platform::ecall_batch`]) pays one EENTER/EEXIT
+//! pair for N queued calls, mirroring the paper's Table 2, where batching
+//! 100 packets turns 6 SGX instructions per packet into 204 per batch.
+
+/// How an enclave crosses the enclave↔host boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransitionMode {
+    /// Every crossing is a real EENTER/EEXIT pair (the paper's baseline).
+    #[default]
+    Classic,
+    /// Ocall-path crossings go through the shared call ring when possible.
+    Switchless,
+}
+
+impl TransitionMode {
+    /// Stable lowercase name (used in reports and JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TransitionMode::Classic => "classic",
+            TransitionMode::Switchless => "switchless",
+        }
+    }
+}
+
+/// Tuning knobs of the switchless layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchlessConfig {
+    /// Request slots in the untrusted shared ring. A burst longer than
+    /// this inside one ecall overflows and falls back to a real
+    /// transition (which drains the ring).
+    pub ring_capacity: usize,
+    /// Consecutive ecalls without switchless traffic the host worker
+    /// spins through before going to sleep. `0` means the worker sleeps
+    /// whenever an ecall posts nothing.
+    pub worker_spin_ecalls: u32,
+}
+
+impl Default for SwitchlessConfig {
+    fn default() -> Self {
+        SwitchlessConfig {
+            ring_capacity: 64,
+            worker_spin_ecalls: 8,
+        }
+    }
+}
+
+/// Per-enclave accounting of boundary crossings, in EENTER/EEXIT *pairs*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransitionStats {
+    /// Real transition pairs taken (classic crossings and fallbacks).
+    pub taken: u64,
+    /// Transition pairs elided — serviced through the ring, or amortised
+    /// away by ecall batching.
+    pub elided: u64,
+    /// Switchless posts that had to fall back to a real transition
+    /// (ring full or worker asleep). Always a subset of `taken`.
+    pub fallbacks: u64,
+}
+
+impl TransitionStats {
+    /// A zeroed stats record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates another record into this one.
+    pub fn merge(&mut self, other: TransitionStats) {
+        self.taken += other.taken;
+        self.elided += other.elided;
+        self.fallbacks += other.fallbacks;
+    }
+
+    /// Difference since an earlier snapshot (saturating, like
+    /// [`crate::cost::Counters::since`]).
+    pub fn since(&self, earlier: TransitionStats) -> TransitionStats {
+        TransitionStats {
+            taken: self.taken.saturating_sub(earlier.taken),
+            elided: self.elided.saturating_sub(earlier.elided),
+            fallbacks: self.fallbacks.saturating_sub(earlier.fallbacks),
+        }
+    }
+}
+
+/// Outcome of posting a would-be transition to the switchless layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Post {
+    /// Classic mode: take the real transition.
+    Classic,
+    /// Serviced through the ring; no SGX instructions.
+    Elided,
+    /// Switchless mode but the request could not be absorbed; take a real
+    /// transition. `woke` is true when the worker had to be woken.
+    Fallback {
+        /// Whether the sleeping worker was woken (charges the wake cost).
+        woke: bool,
+    },
+}
+
+/// Per-enclave switchless state: mode, ring occupancy, worker liveness.
+#[derive(Debug, Clone)]
+pub struct SwitchlessState {
+    /// Current transition mode.
+    pub mode: TransitionMode,
+    /// Ring/worker tuning.
+    pub config: SwitchlessConfig,
+    /// Crossing statistics since enclave creation.
+    pub stats: TransitionStats,
+    worker_awake: bool,
+    idle_ecalls: u32,
+    ring_used: usize,
+    posted_this_ecall: bool,
+}
+
+impl Default for SwitchlessState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SwitchlessState {
+    /// Classic-mode state (no ring, no worker).
+    pub fn new() -> Self {
+        SwitchlessState {
+            mode: TransitionMode::Classic,
+            config: SwitchlessConfig::default(),
+            stats: TransitionStats::new(),
+            worker_awake: false,
+            idle_ecalls: 0,
+            ring_used: 0,
+            posted_this_ecall: false,
+        }
+    }
+
+    /// Switches modes. Entering switchless starts the worker spinning
+    /// (awake); returning to classic parks it.
+    pub fn set_mode(&mut self, mode: TransitionMode) {
+        self.mode = mode;
+        self.worker_awake = mode == TransitionMode::Switchless;
+        self.idle_ecalls = 0;
+        self.ring_used = 0;
+    }
+
+    /// Whether the host worker is currently spinning on the ring.
+    pub fn worker_awake(&self) -> bool {
+        self.worker_awake
+    }
+
+    /// Called at every EENTER: the host ran between ecalls, so the worker
+    /// has drained the ring.
+    pub(crate) fn on_ecall_start(&mut self) {
+        self.ring_used = 0;
+        self.posted_this_ecall = false;
+    }
+
+    /// Called at every EEXIT: ecalls that post nothing burn the worker's
+    /// spin budget; past it, the worker sleeps.
+    pub(crate) fn on_ecall_end(&mut self) {
+        if self.mode != TransitionMode::Switchless {
+            return;
+        }
+        if self.posted_this_ecall {
+            self.idle_ecalls = 0;
+        } else {
+            self.idle_ecalls = self.idle_ecalls.saturating_add(1);
+            if self.idle_ecalls > self.config.worker_spin_ecalls {
+                self.worker_awake = false;
+            }
+        }
+    }
+
+    /// Tries to absorb `pairs` would-be transition pairs into the ring.
+    pub(crate) fn post(&mut self, pairs: u64) -> Post {
+        if self.mode != TransitionMode::Switchless {
+            return Post::Classic;
+        }
+        self.posted_this_ecall = true;
+        self.idle_ecalls = 0;
+        if !self.worker_awake {
+            // Wake the worker via a real transition; the ring is empty
+            // once it resumes spinning.
+            self.worker_awake = true;
+            self.ring_used = 0;
+            return Post::Fallback { woke: true };
+        }
+        let pairs = pairs as usize;
+        if self.ring_used + pairs > self.config.ring_capacity {
+            // Overflow: the real transition gives the worker time to
+            // drain everything.
+            self.ring_used = 0;
+            return Post::Fallback { woke: false };
+        }
+        self.ring_used += pairs;
+        Post::Elided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn switchless(ring: usize, spin: u32) -> SwitchlessState {
+        let mut s = SwitchlessState::new();
+        s.config = SwitchlessConfig {
+            ring_capacity: ring,
+            worker_spin_ecalls: spin,
+        };
+        s.set_mode(TransitionMode::Switchless);
+        s
+    }
+
+    #[test]
+    fn classic_mode_never_elides() {
+        let mut s = SwitchlessState::new();
+        assert_eq!(s.post(1), Post::Classic);
+        assert_eq!(s.post(10), Post::Classic);
+    }
+
+    #[test]
+    fn awake_worker_elides_until_ring_full() {
+        let mut s = switchless(3, 8);
+        s.on_ecall_start();
+        assert_eq!(s.post(1), Post::Elided);
+        assert_eq!(s.post(1), Post::Elided);
+        assert_eq!(s.post(1), Post::Elided);
+        // Fourth post overflows the 3-slot ring: fallback drains it.
+        assert_eq!(s.post(1), Post::Fallback { woke: false });
+        // Drained: elision resumes.
+        assert_eq!(s.post(1), Post::Elided);
+    }
+
+    #[test]
+    fn ring_drains_between_ecalls() {
+        let mut s = switchless(2, 8);
+        s.on_ecall_start();
+        assert_eq!(s.post(2), Post::Elided);
+        s.on_ecall_end();
+        s.on_ecall_start();
+        assert_eq!(s.post(2), Post::Elided, "fresh ecall sees an empty ring");
+    }
+
+    #[test]
+    fn idle_worker_sleeps_then_fallback_wakes_it() {
+        let mut s = switchless(8, 1);
+        // Two consecutive ecalls without switchless traffic: budget is 1,
+        // so the second idle ecall puts the worker to sleep.
+        for _ in 0..2 {
+            s.on_ecall_start();
+            s.on_ecall_end();
+        }
+        assert!(!s.worker_awake());
+        s.on_ecall_start();
+        assert_eq!(s.post(1), Post::Fallback { woke: true });
+        assert!(s.worker_awake());
+        assert_eq!(s.post(1), Post::Elided, "worker spins again after wake");
+    }
+
+    #[test]
+    fn posting_keeps_worker_awake() {
+        let mut s = switchless(8, 0);
+        for _ in 0..5 {
+            s.on_ecall_start();
+            assert_eq!(s.post(1), Post::Elided);
+            s.on_ecall_end();
+            assert!(s.worker_awake(), "active traffic resets the spin budget");
+        }
+    }
+
+    #[test]
+    fn stats_since_is_saturating() {
+        let a = TransitionStats {
+            taken: 1,
+            elided: 2,
+            fallbacks: 0,
+        };
+        let b = TransitionStats {
+            taken: 5,
+            elided: 1,
+            fallbacks: 3,
+        };
+        let d = a.since(b);
+        assert_eq!(d.taken, 0);
+        assert_eq!(d.elided, 1);
+        assert_eq!(d.fallbacks, 0);
+    }
+
+    #[test]
+    fn mode_names_are_stable() {
+        assert_eq!(TransitionMode::Classic.as_str(), "classic");
+        assert_eq!(TransitionMode::Switchless.as_str(), "switchless");
+    }
+}

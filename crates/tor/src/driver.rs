@@ -10,6 +10,7 @@
 
 use teenet::driver::{WorkProfile, WorkStep};
 use teenet_sgx::cost::{CostModel, Counters};
+use teenet_sgx::{TransitionMode, TransitionStats};
 
 use crate::cell::CELL_LEN;
 use crate::deployment::{Phase, TorDeployment, TorSpec};
@@ -25,6 +26,17 @@ pub const HOPS: u64 = 3;
 /// exchange. The session script is three `extend` steps (telescoping DH),
 /// one `begin`, and one `data` cell.
 pub fn calibrate_tor(seed: u64) -> Result<WorkProfile> {
+    calibrate_tor_mode(seed, TransitionMode::Classic)
+}
+
+/// [`calibrate_tor`] with an explicit transition mode.
+///
+/// Under [`TransitionMode::Switchless`] each relay's per-cell enclave
+/// crossing is serviced through the shared call ring: the EENTER/EEXIT
+/// pair becomes ring-post + worker-poll normal instructions. Admission
+/// (the attestation-heavy setup) always runs classic — it is one-time
+/// cost the paper excludes from steady state anyway.
+pub fn calibrate_tor_mode(seed: u64, mode: TransitionMode) -> Result<WorkProfile> {
     let model = CostModel::paper();
     let mut dep = TorDeployment::build(TorSpec::fast(Phase::FullSgx, seed))?;
     let admission = dep.run_admission()?;
@@ -44,6 +56,31 @@ pub fn calibrate_tor(seed: u64) -> Result<WorkProfile> {
         return Err(TorError::CircuitState("calibration echo mismatch"));
     }
 
+    // Charges `crossings` per-cell enclave crossings to `server`: real
+    // transitions in classic mode, ring-post + worker-poll normal work in
+    // switchless mode (the relay's cell loop keeps the worker spinning).
+    let cell_crossings = |server: &mut Counters, crossings: u64| -> TransitionStats {
+        let pairs = crossings * (model.io_packet_sgx / 2).max(1);
+        match mode {
+            TransitionMode::Classic => {
+                server.sgx(crossings * model.io_packet_sgx);
+                TransitionStats {
+                    taken: pairs,
+                    elided: 0,
+                    fallbacks: 0,
+                }
+            }
+            TransitionMode::Switchless => {
+                server.normal(pairs * (model.switchless_post + model.switchless_poll));
+                TransitionStats {
+                    taken: 0,
+                    elided: pairs,
+                    fallbacks: 0,
+                }
+            }
+        }
+    };
+
     let cell = CELL_LEN;
     let mut steps = Vec::with_capacity(HOPS as usize + 2);
     for hop in 0..HOPS {
@@ -54,7 +91,7 @@ pub fn calibrate_tor(seed: u64) -> Result<WorkProfile> {
         let mut client = Counters::new();
         client.normal(2 * model.modexp(768) + (hop + 1) * model.aes_bytes(cell));
         let mut server = Counters::new();
-        server.sgx(model.io_packet_sgx);
+        let transitions = cell_crossings(&mut server, 1);
         server.normal(2 * model.modexp(768) + model.aes_bytes(cell));
         steps.push(WorkStep {
             name: "extend",
@@ -62,6 +99,7 @@ pub fn calibrate_tor(seed: u64) -> Result<WorkProfile> {
             server,
             request_bytes: cell,
             response_bytes: cell,
+            transitions,
         });
     }
     for name in ["begin", "data"] {
@@ -70,7 +108,7 @@ pub fn calibrate_tor(seed: u64) -> Result<WorkProfile> {
         let mut client = Counters::new();
         client.normal(HOPS * model.aes_bytes(cell));
         let mut server = Counters::new();
-        server.sgx(HOPS * model.io_packet_sgx);
+        let transitions = cell_crossings(&mut server, HOPS);
         server.normal(HOPS * model.aes_bytes(cell));
         steps.push(WorkStep {
             name,
@@ -78,10 +116,11 @@ pub fn calibrate_tor(seed: u64) -> Result<WorkProfile> {
             server,
             request_bytes: cell,
             response_bytes: cell,
+            transitions,
         });
     }
 
-    Ok(WorkProfile { setup, steps })
+    Ok(WorkProfile { setup, steps, mode })
 }
 
 #[cfg(test)]
@@ -100,6 +139,21 @@ mod tests {
         // Extends carry DH work; data cells are symmetric-only and cheaper.
         assert!(profile.steps[0].server.normal_instr > profile.steps[4].server.normal_instr);
         assert!(profile.steps.iter().all(|s| s.request_bytes == CELL_LEN));
+    }
+
+    #[test]
+    fn switchless_tor_removes_cell_transitions() {
+        let classic = calibrate_tor(11).unwrap();
+        let sw = calibrate_tor_mode(11, TransitionMode::Switchless).unwrap();
+        let data_c = &classic.steps[4];
+        let data_s = &sw.steps[4];
+        assert_eq!(data_c.transitions.taken, HOPS);
+        assert_eq!(data_s.transitions.taken, 0);
+        assert_eq!(data_s.transitions.elided, HOPS);
+        assert_eq!(data_s.server.sgx_instr, 0, "no per-cell EENTER/EEXIT");
+        assert!(data_s.server.normal_instr > data_c.server.normal_instr);
+        // Admission is mode-independent.
+        assert_eq!(classic.setup, sw.setup);
     }
 
     #[test]
