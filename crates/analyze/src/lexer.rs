@@ -1,0 +1,469 @@
+//! A hand-rolled Rust lexer — the "AST-lite" layer of the linter.
+//!
+//! Offline-friendly by design: no `syn`, no `proc-macro2`, just enough
+//! tokenisation to be *sound about trivia*. The rules in
+//! [`crate::rules`] only need identifiers, punctuation and literals with
+//! line numbers; what they must never do is fire on the contents of a
+//! string literal or a doc comment (`/// see [`foo::bar`]` would
+//! otherwise look like an indexing expression). Comments are kept as
+//! tokens because the waiver grammar lives in them.
+//!
+//! Handled: line and (nested) block comments, string/raw-string/
+//! byte-string/char literals, lifetimes vs char literals, integer vs
+//! float literals, underscore digit separators, multi-`#` raw strings.
+
+/// What a token is, with just enough payload for the rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `u8`, ...).
+    Ident(String),
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Integer literal (`0`, `0x1f`, `4_096`, `32usize`).
+    Int,
+    /// Float literal (`1.8`, `1e9`, `0.5f64`).
+    Float,
+    /// String, raw string, byte string or char literal (contents dropped).
+    Literal,
+    /// A `//` or `/* */` comment, with its full text (waivers live here).
+    Comment(String),
+    /// Any single punctuation character (`[`, `]`, `!`, `.`, `#`, ...).
+    Punct(char),
+}
+
+/// One token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class and payload.
+    pub kind: TokenKind,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is exactly the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenises `src`, keeping comments (for waiver parsing) and dropping
+/// only whitespace. Unterminated literals are tolerated: the lexer never
+/// panics on malformed input, it just lexes what it can.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek() {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                out.push(Token {
+                    kind: TokenKind::Comment(text),
+                    line,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                let start = cur.pos;
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                out.push(Token {
+                    kind: TokenKind::Comment(text),
+                    line,
+                });
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                out.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+            }
+            b'r' | b'b' if raw_string_ahead(&cur) => {
+                lex_raw_or_byte_string(&mut cur);
+                out.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+            }
+            b'\'' => {
+                if char_literal_ahead(&cur) {
+                    lex_char(&mut cur);
+                    out.push(Token {
+                        kind: TokenKind::Literal,
+                        line,
+                    });
+                } else {
+                    // Lifetime: consume the quote and the identifier.
+                    cur.bump();
+                    while cur.peek().is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                    out.push(Token {
+                        kind: TokenKind::Lifetime,
+                        line,
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                let is_float = lex_number(&mut cur);
+                out.push(Token {
+                    kind: if is_float {
+                        TokenKind::Float
+                    } else {
+                        TokenKind::Int
+                    },
+                    line,
+                });
+            }
+            _ if is_ident_start(b) => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                out.push(Token {
+                    kind: TokenKind::Ident(text),
+                    line,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.push(Token {
+                    kind: TokenKind::Punct(b as char),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// After an `r` or `b`: does a raw/byte string start here (`r"`, `r#`,
+/// `b"`, `br"`, `br#`, `rb` is not a thing)?
+fn raw_string_ahead(cur: &Cursor<'_>) -> bool {
+    let mut i = 1;
+    if cur.peek() == Some(b'b') && cur.peek_at(1) == Some(b'r') {
+        i = 2;
+    } else if cur.peek() == Some(b'r') || cur.peek() == Some(b'b') {
+        i = 1;
+    }
+    // Skip any number of #s (raw strings only).
+    let hash_ok = cur.peek() != Some(b'b') || cur.peek_at(1) == Some(b'r');
+    let mut j = i;
+    while hash_ok && cur.peek_at(j) == Some(b'#') {
+        j += 1;
+    }
+    cur.peek_at(j) == Some(b'"')
+}
+
+fn lex_raw_or_byte_string(cur: &mut Cursor<'_>) {
+    let mut raw = false;
+    if cur.peek() == Some(b'b') {
+        cur.bump();
+    }
+    if cur.peek() == Some(b'r') {
+        raw = true;
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while raw && cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    if raw {
+        // Scan for `"` followed by `hashes` #s.
+        while cur.peek().is_some() {
+            if cur.peek() == Some(b'"') {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if cur.peek_at(1 + k) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    cur.bump();
+                    for _ in 0..hashes {
+                        cur.bump();
+                    }
+                    return;
+                }
+            }
+            cur.bump();
+        }
+    } else {
+        lex_string_body(cur);
+    }
+}
+
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    lex_string_body(cur);
+}
+
+fn lex_string_body(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.peek() {
+        match c {
+            b'\\' => {
+                cur.bump();
+                cur.bump();
+            }
+            b'"' => {
+                cur.bump();
+                return;
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+/// `'x'` / `'\n'` / `b'x'` are char literals; `'a` (no closing quote
+/// nearby) is a lifetime. Escapes always mean char literal.
+fn char_literal_ahead(cur: &Cursor<'_>) -> bool {
+    match cur.peek_at(1) {
+        Some(b'\\') => true,
+        Some(c) if c != b'\'' => cur.peek_at(2) == Some(b'\''),
+        _ => true, // `''` — malformed, treat as literal and move on
+    }
+}
+
+fn lex_char(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    if cur.peek() == Some(b'\\') {
+        cur.bump();
+        cur.bump();
+    } else {
+        cur.bump();
+    }
+    if cur.peek() == Some(b'\'') {
+        cur.bump();
+    }
+}
+
+/// Lexes a number, returning true when it is a float. A `.` is part of
+/// the number only when not followed by another `.` (range) or an
+/// identifier start (method call like `1.max(2)`).
+fn lex_number(cur: &mut Cursor<'_>) -> bool {
+    let mut is_float = false;
+    // Hex/octal/binary prefixes never produce floats.
+    if cur.peek() == Some(b'0')
+        && matches!(
+            cur.peek_at(1),
+            Some(b'x') | Some(b'o') | Some(b'b') | Some(b'X')
+        )
+    {
+        cur.bump();
+        cur.bump();
+        while cur
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            cur.bump();
+        }
+        return false;
+    }
+    while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+        cur.bump();
+    }
+    if cur.peek() == Some(b'.') {
+        let next = cur.peek_at(1);
+        let part_of_number = match next {
+            Some(b'.') => false,                   // range `1..n`
+            Some(c) if is_ident_start(c) => false, // method `1.max(..)`
+            _ => true,                             // `1.5`, `1.`
+        };
+        if part_of_number {
+            is_float = true;
+            cur.bump();
+            while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                cur.bump();
+            }
+        }
+    }
+    if matches!(cur.peek(), Some(b'e') | Some(b'E')) {
+        let mut k = 1;
+        if matches!(cur.peek_at(1), Some(b'+') | Some(b'-')) {
+            k = 2;
+        }
+        if cur.peek_at(k).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            cur.bump();
+            while cur
+                .peek()
+                .is_some_and(|c| c.is_ascii_digit() || c == b'_' || c == b'+' || c == b'-')
+            {
+                cur.bump();
+            }
+        }
+    }
+    // Type suffix (`u64`, `usize`, `f64`). An `f32`/`f64` suffix makes
+    // the literal a float even without a dot (`1f64`).
+    if cur.peek().is_some_and(is_ident_start) {
+        let start = cur.pos;
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        let suffix = &cur.src[start..cur.pos];
+        if suffix == b"f32" || suffix == b"f64" {
+            is_float = true;
+        }
+    }
+    is_float
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = "// unwrap() in a comment\n\
+                   /// doc with [`indexing`] link\n\
+                   let s = \"unwrap() inside a string\";\n\
+                   let r = r#\"raw with \"quotes\" and unwrap()\"#;\n\
+                   let b = b\"bytes\";\n\
+                   tail";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"indexing".to_string()));
+        assert!(
+            ids.contains(&"tail".to_string()),
+            "lexing resumed after the raw string"
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let toks = lex("let a = 1.8; let b = 1..8; let c = 1e9; let d = 4_096; let e = 1f64;");
+        let floats = toks.iter().filter(|t| t.kind == TokenKind::Float).count();
+        let ints = toks.iter().filter(|t| t.kind == TokenKind::Int).count();
+        assert_eq!(floats, 3, "1.8, 1e9 and 1f64");
+        assert_eq!(ints, 3, "1, 8 and 4_096");
+    }
+
+    #[test]
+    fn method_call_on_int_is_not_a_float() {
+        let toks = lex("let a = 1.max(2);");
+        assert!(toks.iter().all(|t| t.kind != TokenKind::Float));
+        assert!(toks.iter().any(|t| t.ident() == Some("max")));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still outer */ ident");
+        assert_eq!(toks.len(), 2);
+        assert!(matches!(toks[0].kind, TokenKind::Comment(_)));
+        assert_eq!(toks[1].ident(), Some("ident"));
+    }
+
+    #[test]
+    fn hex_is_int() {
+        let toks = lex("0x1f_ffu64 0b1010 0o777");
+        assert!(toks.iter().all(|t| t.kind == TokenKind::Int));
+    }
+}

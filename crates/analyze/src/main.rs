@@ -1,0 +1,182 @@
+//! CLI for the teenet correctness tooling.
+//!
+//! ```text
+//! teenet-analyze [--root PATH] [--json] [--deny-findings] [--model-check]
+//! ```
+//!
+//! Default run lints the workspace and prints the text report. With
+//! `--deny-findings` any unwaived finding makes the exit code 1 (the CI
+//! gate). `--model-check` additionally runs the switchless-ring model
+//! checker over a grid of configurations *and* verifies that both
+//! seeded mutations are rejected, so a vacuously-passing checker also
+//! fails the build.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use teenet_analyze::config::AnalyzeConfig;
+use teenet_analyze::ring::{check, ModelConfig, Mutation};
+use teenet_analyze::scan_workspace;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    deny_findings: bool,
+    model_check: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: default_root(),
+        json: false,
+        deny_findings: false,
+        model_check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                args.root = PathBuf::from(v);
+            }
+            "--json" => args.json = true,
+            "--deny-findings" => args.deny_findings = true,
+            "--model-check" => args.model_check = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: teenet-analyze [--root PATH] [--json] [--deny-findings] \
+                     [--model-check]"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// When run via `cargo run -p teenet-analyze`, the workspace root is two
+/// levels above this crate's manifest; otherwise the current directory.
+fn default_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let p = PathBuf::from(dir);
+            p.parent()
+                .and_then(|p| p.parent())
+                .map(PathBuf::from)
+                .unwrap_or(p)
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = AnalyzeConfig::repo();
+    let report = match scan_workspace(&args.root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("teenet-analyze: cannot scan {}: {e}", args.root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.json {
+        print!("{}", report.json());
+    } else {
+        print!("{}", report.text());
+    }
+
+    let mut failed = false;
+    if args.deny_findings && report.unwaived().next().is_some() {
+        eprintln!(
+            "teenet-analyze: {} unwaived finding(s) — fix them or waive with \
+             `// teenet-analyze: allow(<rule>) -- <reason>`",
+            report.unwaived().count()
+        );
+        failed = true;
+    }
+
+    if args.model_check && !run_model_check() {
+        failed = true;
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The CI model-check pass: the faithful model must hold over a grid of
+/// configurations, and both seeded mutations must be rejected.
+fn run_model_check() -> bool {
+    let grid = [
+        ModelConfig {
+            ring_capacity: 1,
+            spin_budget: 0,
+            calls: 4,
+            max_states: 1_000_000,
+        },
+        ModelConfig {
+            ring_capacity: 1,
+            spin_budget: 2,
+            calls: 5,
+            max_states: 1_000_000,
+        },
+        ModelConfig {
+            ring_capacity: 2,
+            spin_budget: 1,
+            calls: 6,
+            max_states: 1_000_000,
+        },
+        ModelConfig {
+            ring_capacity: 3,
+            spin_budget: 2,
+            calls: 6,
+            max_states: 4_000_000,
+        },
+    ];
+
+    println!();
+    println!("== teenet-analyze: switchless-ring model check ==");
+    let mut ok = true;
+    for cfg in &grid {
+        match check(cfg, Mutation::None) {
+            Ok(e) => println!(
+                "ring={} spin={} calls={:<2} {:>8} states, {:>6} terminals  ok",
+                cfg.ring_capacity, cfg.spin_budget, cfg.calls, e.states, e.terminals
+            ),
+            Err(v) => {
+                println!(
+                    "ring={} spin={} calls={}  FAILED",
+                    cfg.ring_capacity, cfg.spin_budget, cfg.calls
+                );
+                println!("{v}");
+                ok = false;
+            }
+        }
+    }
+
+    // The checker must have teeth: both seeded bugs must be caught.
+    for mutation in [Mutation::LostWakeup, Mutation::DoubleExecution] {
+        match check(&ModelConfig::default(), mutation) {
+            Err(v) => println!("mutation {:<16} rejected  ({})", mutation.as_str(), v.what),
+            Ok(_) => {
+                println!(
+                    "mutation {:<16} NOT rejected — the checker is vacuous",
+                    mutation.as_str()
+                );
+                ok = false;
+            }
+        }
+    }
+    ok
+}

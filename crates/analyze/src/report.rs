@@ -1,0 +1,174 @@
+//! Lint reports: a human-readable listing and byte-stable JSON.
+//!
+//! Same contract as `teenet-load`'s run reports: the JSON is emitted by
+//! hand with stable key order and stable finding order, because the
+//! fixture tests assert *byte* equality — formatting is part of the CI
+//! contract, not an implementation detail.
+
+use std::fmt::Write as _;
+
+use crate::rules::Finding;
+
+/// Result of scanning a workspace: file count plus every finding,
+/// sorted by (file, line, rule, message).
+pub struct LintReport {
+    /// Number of `.rs` files scanned (excluded prefixes not counted).
+    pub files_scanned: usize,
+    /// All findings, waived and unwaived, in stable order.
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// Findings not covered by a waiver — what `--deny-findings` gates on.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.waived.is_none())
+    }
+
+    /// Findings covered by an explicit waiver.
+    pub fn waived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.waived.is_some())
+    }
+
+    /// The human-readable report.
+    pub fn text(&self) -> String {
+        let unwaived: Vec<&Finding> = self.unwaived().collect();
+        let waived: Vec<&Finding> = self.waived().collect();
+        let mut s = String::new();
+        let _ = writeln!(s, "== teenet-analyze: enclave-invariant lint ==");
+        let _ = writeln!(s, "{:<26} {}", "files scanned", self.files_scanned);
+        let _ = writeln!(
+            s,
+            "{:<26} {} unwaived, {} waived",
+            "findings",
+            unwaived.len(),
+            waived.len()
+        );
+        if !unwaived.is_empty() {
+            let _ = writeln!(s);
+            for f in &unwaived {
+                let _ = writeln!(s, "{}:{} [{}] {}", f.file, f.line, f.rule, f.message);
+            }
+        }
+        if !waived.is_empty() {
+            let _ = writeln!(s);
+            let _ = writeln!(s, "waived:");
+            for f in &waived {
+                let reason = f.waived.as_deref().unwrap_or("");
+                let _ = writeln!(
+                    s,
+                    "{}:{} [{}] {} -- {}",
+                    f.file, f.line, f.rule, f.message, reason
+                );
+            }
+        }
+        s
+    }
+
+    /// The byte-stable JSON report.
+    pub fn json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\"files_scanned\":");
+        let _ = write!(s, "{}", self.files_scanned);
+        s.push_str(",\"findings\":[");
+        for (i, f) in self.unwaived().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_finding(&mut s, f, None);
+        }
+        s.push_str("],\"waived\":[");
+        for (i, f) in self.waived().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_finding(&mut s, f, f.waived.as_deref());
+        }
+        s.push_str("]}");
+        s.push('\n');
+        s
+    }
+}
+
+fn push_finding(s: &mut String, f: &Finding, reason: Option<&str>) {
+    s.push_str("{\"file\":");
+    push_json_str(s, &f.file);
+    let _ = write!(s, ",\"line\":{}", f.line);
+    s.push_str(",\"rule\":");
+    push_json_str(s, f.rule);
+    s.push_str(",\"message\":");
+    push_json_str(s, &f.message);
+    if let Some(r) = reason {
+        s.push_str(",\"reason\":");
+        push_json_str(s, r);
+    }
+    s.push('}');
+}
+
+fn push_json_str(s: &mut String, v: &str) {
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            '\r' => s.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, waived: Option<&str>) -> Finding {
+        Finding {
+            file: file.to_owned(),
+            line,
+            rule: crate::rules::rule::ENCLAVE_ABORT,
+            message: "msg with \"quotes\"".to_owned(),
+            waived: waived.map(str::to_owned),
+        }
+    }
+
+    #[test]
+    fn json_is_byte_stable_and_escaped() {
+        let r = LintReport {
+            files_scanned: 3,
+            findings: vec![finding("a.rs", 1, None), finding("b.rs", 2, Some("ok"))],
+        };
+        let j = r.json();
+        assert_eq!(j, r.json());
+        assert_eq!(
+            j,
+            "{\"files_scanned\":3,\"findings\":[{\"file\":\"a.rs\",\"line\":1,\
+             \"rule\":\"enclave-abort\",\"message\":\"msg with \\\"quotes\\\"\"}],\
+             \"waived\":[{\"file\":\"b.rs\",\"line\":2,\"rule\":\"enclave-abort\",\
+             \"message\":\"msg with \\\"quotes\\\"\",\"reason\":\"ok\"}]}\n"
+        );
+    }
+
+    #[test]
+    fn text_lists_unwaived_then_waived() {
+        let r = LintReport {
+            files_scanned: 3,
+            findings: vec![finding("a.rs", 1, None), finding("b.rs", 2, Some("ok"))],
+        };
+        let t = r.text();
+        assert!(t.contains("1 unwaived, 1 waived"));
+        assert!(t.contains("a.rs:1 [enclave-abort]"));
+        assert!(t.contains("b.rs:2 [enclave-abort] msg with \"quotes\" -- ok"));
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\x01b\nc");
+        assert_eq!(s, "\"a\\u0001b\\nc\"");
+    }
+}

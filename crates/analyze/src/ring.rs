@@ -1,0 +1,411 @@
+//! Bounded exhaustive-interleaving model checker for the switchless
+//! call ring (`teenet_sgx::switchless`).
+//!
+//! Svenningsson et al. ("Speeding up enclave transitions for
+//! IO-intensive applications") put the hard bugs of HotCalls-style
+//! designs exactly where this module looks: the sleep/wake handshake
+//! between the in-enclave poster and the spinning host worker. A worker
+//! that re-checks the ring *before* publishing "I am asleep" loses the
+//! post that lands in between (**lost wakeup**); a poster that writes
+//! the ring entry *before* discovering the ring is full services the
+//! call twice (**double execution**). `switchless.rs` is deterministic
+//! and sequential, so its unit tests cannot exercise these races — this
+//! checker explores the *concurrent design* the emulation stands for.
+//!
+//! ## The model
+//!
+//! Two actors over a shared ring, each step atomic:
+//!
+//! * **Enclave** posts calls `0..calls`, one slot each:
+//!   worker asleep → *fallback-wake* (the real transition services the
+//!   call itself, wakes the worker, resets its spin budget); ring full →
+//!   *fallback-full* (the real transition services the call itself; the
+//!   entry is **not** enqueued); otherwise → *elided* (entry enqueued).
+//! * **Worker**, while awake: pops and executes the oldest entry
+//!   (resetting its spin budget), or burns one unit of spin budget when
+//!   the ring is empty, or — with the ring empty **and** the budget
+//!   exhausted — goes to sleep. That final "ring empty" re-check is the
+//!   crux: dropping it is exactly the lost-wakeup race.
+//!
+//! The checker runs a depth-first search over *every* interleaving of
+//! those steps (memoising visited states, so the exploration is
+//! exhaustive over the reachable state space, not just over one run),
+//! and validates each terminal state:
+//!
+//! * every posted call executed **exactly once** (no drops, no double
+//!   execution),
+//! * the ring is empty (a non-empty ring with the worker asleep and the
+//!   enclave done is a lost wakeup — nothing will ever drain it),
+//! * conservation: `elided + fallbacks == calls`. In
+//!   [`teenet_sgx::TransitionStats`] terms each fallback is one `taken`
+//!   pair and one `fallbacks` tick, each elided post one `elided` pair,
+//!   so this is the model-side image of the stats invariant that
+//!   `taken`, `elided` and `fallbacks` partition the posted pairs (see
+//!   [`ModelCounters::as_transition_stats`]).
+//!
+//! ## Seeded mutations
+//!
+//! [`Mutation::LostWakeup`] lets the worker sleep on an exhausted spin
+//! budget *without* the final ring re-check; [`Mutation::DoubleExecution`]
+//! makes the full-ring fallback also leave its entry in the ring (the
+//! post-then-check ordering bug). The checker must reject both — that is
+//! asserted in `tests/ring_exhaustive.rs`, proving the invariants have
+//! teeth rather than passing vacuously.
+
+use std::collections::HashSet;
+
+use teenet_sgx::TransitionStats;
+
+/// Model bounds. State space is exhaustively explored within them.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelConfig {
+    /// Ring slots (each posted call occupies one).
+    pub ring_capacity: usize,
+    /// Worker spin steps tolerated on an empty ring before sleeping.
+    pub spin_budget: u32,
+    /// Calls the enclave posts (the exploration depth).
+    pub calls: u8,
+    /// Hard cap on distinct states; exceeding it is an error, never a
+    /// silent pass.
+    pub max_states: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            ring_capacity: 2,
+            spin_budget: 1,
+            calls: 4,
+            max_states: 1_000_000,
+        }
+    }
+}
+
+/// Which (if any) seeded bug the model runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The faithful model of the switchless design.
+    None,
+    /// Worker sleeps once its spin budget is exhausted *without*
+    /// re-checking the ring — the canonical sleep/post race.
+    LostWakeup,
+    /// Full-ring fallback both services the call synchronously *and*
+    /// leaves the entry in the ring (post-then-check ordering bug), so
+    /// the worker services it a second time.
+    DoubleExecution,
+}
+
+impl Mutation {
+    /// Stable lowercase name (used in reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::LostWakeup => "lost-wakeup",
+            Mutation::DoubleExecution => "double-execution",
+        }
+    }
+}
+
+/// Post/execution counters of one terminal state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelCounters {
+    /// Posts absorbed by the ring.
+    pub elided: u64,
+    /// Posts serviced by a real (fallback) transition.
+    pub fallbacks: u64,
+}
+
+impl ModelCounters {
+    /// The model counters as the real implementation would account them:
+    /// each fallback is a real transition pair, each elided post a pair
+    /// the ring absorbed. (The enclave's own EENTER/EEXIT pairs are
+    /// outside the model — it only covers the ocall path.)
+    pub fn as_transition_stats(&self) -> TransitionStats {
+        TransitionStats {
+            taken: self.fallbacks,
+            elided: self.elided,
+            fallbacks: self.fallbacks,
+        }
+    }
+}
+
+/// Proof of a violated invariant: what broke, and the exact
+/// interleaving (step labels from the initial state) that breaks it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Human-readable description of the broken invariant.
+    pub what: String,
+    /// The interleaving that reaches the violating state.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "invariant violated: {}", self.what)?;
+        writeln!(f, "interleaving:")?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>2}. {step}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary of a successful exhaustive exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exploration {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Distinct terminal states, all of which passed validation.
+    pub terminals: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    next_call: u8,
+    ring: Vec<u8>,
+    worker_awake: bool,
+    spin_left: u32,
+    exec: Vec<u8>,
+    elided: u8,
+    fallbacks: u8,
+}
+
+impl State {
+    fn initial(cfg: &ModelConfig) -> State {
+        State {
+            next_call: 0,
+            ring: Vec::new(),
+            // set_mode(Switchless) starts the worker spinning.
+            worker_awake: true,
+            spin_left: cfg.spin_budget,
+            exec: vec![0; cfg.calls as usize],
+            elided: 0,
+            fallbacks: 0,
+        }
+    }
+}
+
+/// Explores every interleaving of enclave and worker steps up to the
+/// configured bounds. `Ok` means every reachable terminal state passed
+/// every invariant; `Err` carries the first violation with its trace.
+pub fn check(cfg: &ModelConfig, mutation: Mutation) -> Result<Exploration, Violation> {
+    let mut visited = HashSet::new();
+    let mut stats = Exploration {
+        states: 0,
+        terminals: 0,
+    };
+    let mut trace = Vec::new();
+    explore(
+        cfg,
+        mutation,
+        State::initial(cfg),
+        &mut visited,
+        &mut trace,
+        &mut stats,
+    )?;
+    Ok(stats)
+}
+
+fn explore(
+    cfg: &ModelConfig,
+    mutation: Mutation,
+    s: State,
+    visited: &mut HashSet<State>,
+    trace: &mut Vec<String>,
+    stats: &mut Exploration,
+) -> Result<(), Violation> {
+    if visited.contains(&s) {
+        return Ok(());
+    }
+    stats.states += 1;
+    if stats.states > cfg.max_states {
+        return Err(Violation {
+            what: format!("state space exceeds max_states={}", cfg.max_states),
+            trace: trace.clone(),
+        });
+    }
+    let succ = successors(cfg, mutation, &s);
+    if succ.is_empty() {
+        stats.terminals += 1;
+        validate_terminal(cfg, &s, trace)?;
+    }
+    visited.insert(s);
+    for (label, n) in succ {
+        trace.push(label);
+        explore(cfg, mutation, n, visited, trace, stats)?;
+        trace.pop();
+    }
+    Ok(())
+}
+
+/// Every enabled atomic step from `s`, with a label for the trace.
+fn successors(cfg: &ModelConfig, mutation: Mutation, s: &State) -> Vec<(String, State)> {
+    let mut out = Vec::new();
+
+    // Enclave: post the next call.
+    if (s.next_call as usize) < cfg.calls as usize {
+        let c = s.next_call;
+        let mut n = s.clone();
+        n.next_call += 1;
+        if !s.worker_awake {
+            n.exec[c as usize] += 1;
+            n.fallbacks += 1;
+            n.worker_awake = true;
+            n.spin_left = cfg.spin_budget;
+            out.push((format!("enclave: post({c}) -> fallback-wake"), n));
+        } else if s.ring.len() >= cfg.ring_capacity {
+            n.exec[c as usize] += 1;
+            n.fallbacks += 1;
+            if mutation == Mutation::DoubleExecution {
+                // Bug: the entry was written before the capacity check.
+                n.ring.push(c);
+            }
+            out.push((format!("enclave: post({c}) -> fallback-full"), n));
+        } else {
+            n.ring.push(c);
+            n.elided += 1;
+            out.push((format!("enclave: post({c}) -> elided"), n));
+        }
+    }
+
+    // Worker: pop, spin, or sleep.
+    if s.worker_awake {
+        if let Some(&c) = s.ring.first() {
+            let mut n = s.clone();
+            n.ring.remove(0);
+            n.exec[c as usize] += 1;
+            n.spin_left = cfg.spin_budget;
+            out.push((format!("worker: pop({c}) + execute"), n));
+        } else if s.spin_left > 0 {
+            let mut n = s.clone();
+            n.spin_left -= 1;
+            out.push(("worker: spin".to_owned(), n));
+        }
+        let may_sleep = match mutation {
+            // Bug: no final ring re-check before publishing "asleep".
+            Mutation::LostWakeup => s.spin_left == 0,
+            _ => s.ring.is_empty() && s.spin_left == 0,
+        };
+        if may_sleep {
+            let mut n = s.clone();
+            n.worker_awake = false;
+            out.push(("worker: sleep".to_owned(), n));
+        }
+    }
+
+    out
+}
+
+fn validate_terminal(cfg: &ModelConfig, s: &State, trace: &[String]) -> Result<(), Violation> {
+    let fail = |what: String| {
+        Err(Violation {
+            what,
+            trace: trace.to_vec(),
+        })
+    };
+    if !s.ring.is_empty() {
+        // Terminal + non-empty ring means the worker is asleep and the
+        // enclave is done: nothing will ever drain these entries.
+        return fail(format!(
+            "lost wakeup: worker asleep with {:?} still in the ring",
+            s.ring
+        ));
+    }
+    for (c, &n) in s.exec.iter().enumerate() {
+        if n == 0 {
+            return fail(format!("call {c} was dropped (never executed)"));
+        }
+        if n > 1 {
+            return fail(format!("call {c} executed {n} times"));
+        }
+    }
+    let total = u64::from(s.elided) + u64::from(s.fallbacks);
+    if total != u64::from(cfg.calls) {
+        return fail(format!(
+            "conservation broken: elided {} + fallbacks {} != posts {}",
+            s.elided, s.fallbacks, cfg.calls
+        ));
+    }
+    let stats = ModelCounters {
+        elided: u64::from(s.elided),
+        fallbacks: u64::from(s.fallbacks),
+    }
+    .as_transition_stats();
+    if stats.fallbacks > stats.taken {
+        return fail(format!(
+            "stats invariant broken: fallbacks {} exceed taken {}",
+            stats.fallbacks, stats.taken
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faithful_model_passes_default_bounds() {
+        let e = check(&ModelConfig::default(), Mutation::None).expect("faithful model");
+        assert!(e.states > 0 && e.terminals > 0);
+    }
+
+    #[test]
+    fn lost_wakeup_mutation_caught() {
+        let v = check(&ModelConfig::default(), Mutation::LostWakeup)
+            .expect_err("mutation must be rejected");
+        assert!(
+            v.what.contains("lost wakeup") || v.what.contains("dropped"),
+            "{v}"
+        );
+        assert!(!v.trace.is_empty(), "violation must carry a witness trace");
+    }
+
+    #[test]
+    fn double_execution_mutation_caught() {
+        let v = check(&ModelConfig::default(), Mutation::DoubleExecution)
+            .expect_err("mutation must be rejected");
+        assert!(v.what.contains("executed 2 times"), "{v}");
+    }
+
+    #[test]
+    fn zero_spin_budget_still_sound() {
+        let cfg = ModelConfig {
+            spin_budget: 0,
+            ..ModelConfig::default()
+        };
+        check(&cfg, Mutation::None).expect("spin budget 0");
+    }
+
+    #[test]
+    fn single_slot_ring_still_sound() {
+        let cfg = ModelConfig {
+            ring_capacity: 1,
+            calls: 5,
+            ..ModelConfig::default()
+        };
+        check(&cfg, Mutation::None).expect("1-slot ring");
+    }
+
+    #[test]
+    fn state_cap_is_an_error_not_a_pass() {
+        let cfg = ModelConfig {
+            max_states: 3,
+            ..ModelConfig::default()
+        };
+        let v = check(&cfg, Mutation::None).expect_err("cap must fail loudly");
+        assert!(v.what.contains("max_states"));
+    }
+
+    #[test]
+    fn counters_map_onto_transition_stats() {
+        let s = ModelCounters {
+            elided: 5,
+            fallbacks: 2,
+        }
+        .as_transition_stats();
+        assert_eq!(s.taken, 2);
+        assert_eq!(s.elided, 5);
+        assert_eq!(s.fallbacks, 2);
+    }
+}

@@ -1,0 +1,752 @@
+//! The enclave-invariant rules and the waiver grammar.
+//!
+//! Four rules, each defending a specific property the paper's argument
+//! rests on (see DESIGN.md for the full rationale):
+//!
+//! * **`enclave-abort`** (L1a) — no `unwrap()` / `expect()` /
+//!   `panic!` / `unreachable!` / `todo!` / `unimplemented!` in
+//!   enclave-resident code. Untrusted input must surface as `Result`,
+//!   never abort the enclave ("What You Trust Is Insecure": crashing an
+//!   enclave on hostile input is a denial-of-service primitive and often
+//!   an oracle).
+//! * **`enclave-index`** (L1b) — no *data-dependent* indexing or
+//!   slicing in enclave-resident code: `buf[off..off + n]` panics when a
+//!   hostile length check was forgotten. All-literal indices
+//!   (`buf[0]`, `buf[..32]`) and named constants (`buf[..CELL_LEN]`)
+//!   are allowed — they fail loudly and deterministically in tests, not
+//!   data-dependently in production. Use `.get(..)` and return an error.
+//! * **`secret-egress`** (L2) — identifiers naming secret key material
+//!   must not appear in the argument list of a boundary-crossing call
+//!   (`ocall`, `send_packets`) except through the sealing API.
+//! * **`float-accounting`** (L3) — no floating point in
+//!   instruction/cycle accounting files (the exact class of precision
+//!   bug PR 2 fixed in `Counters::cycles`).
+//! * **`wall-clock`** (L4) — no wall-clock or ambient-entropy APIs
+//!   (`Instant`, `SystemTime`, `thread_rng`, ...) outside the netsim
+//!   virtual clock; determinism of the load reports depends on it.
+//!
+//! **Test code** (`#[cfg(test)]` modules, `#[test]` functions) is
+//! exempt from L1a/L1b by construction: a test aborting on a failed
+//! expectation is the assertion mechanism, not an enclave abort. The
+//! other rules still apply in tests (tests must stay deterministic and
+//! must not leak secrets either).
+//!
+//! ## Waiver grammar
+//!
+//! ```text
+//! // teenet-analyze: allow(rule-a, rule-b) -- why this is sound
+//! // teenet-analyze: allow-block(rule) -- covers the next braced block
+//! // teenet-analyze: allow-file(rule) -- covers the whole file
+//! ```
+//!
+//! `allow` covers its own line and the line below the comment. Every
+//! waiver needs a non-empty reason after `--`; a malformed waiver is
+//! itself a finding (`bad-waiver`), and a waiver that suppresses
+//! nothing is a finding too (`unused-waiver`) so stale waivers cannot
+//! accumulate.
+
+use crate::config::AnalyzeConfig;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Stable rule identifiers (used in reports, JSON and waivers).
+pub mod rule {
+    /// L1a: aborts in enclave-resident code.
+    pub const ENCLAVE_ABORT: &str = "enclave-abort";
+    /// L1b: data-dependent indexing in enclave-resident code.
+    pub const ENCLAVE_INDEX: &str = "enclave-index";
+    /// L2: secret material reaching an egress sink.
+    pub const SECRET_EGRESS: &str = "secret-egress";
+    /// L3: floating point in accounting paths.
+    pub const FLOAT_ACCOUNTING: &str = "float-accounting";
+    /// L4: wall-clock/entropy outside the virtual clock.
+    pub const WALL_CLOCK: &str = "wall-clock";
+    /// A syntactically invalid waiver comment.
+    pub const BAD_WAIVER: &str = "bad-waiver";
+    /// A waiver that suppressed no finding.
+    pub const UNUSED_WAIVER: &str = "unused-waiver";
+
+    /// All waivable rule ids (the two meta rules are not waivable).
+    pub const WAIVABLE: [&str; 5] = [
+        ENCLAVE_ABORT,
+        ENCLAVE_INDEX,
+        SECRET_EGRESS,
+        FLOAT_ACCOUNTING,
+        WALL_CLOCK,
+    ];
+}
+
+/// One linter finding, before or after waiver resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Stable rule id (see [`rule`]).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// `Some(reason)` when an explicit waiver covers this finding.
+    pub waived: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WaiverScope {
+    /// The waiver's own line and the line directly below it.
+    Line,
+    /// A line range `[from, to]` (the braced block after the comment).
+    Block(u32, u32),
+    /// The whole file.
+    File,
+}
+
+#[derive(Debug)]
+struct Waiver {
+    rules: Vec<String>,
+    reason: String,
+    line: u32,
+    scope: WaiverScope,
+    used: bool,
+}
+
+impl Waiver {
+    fn covers(&self, rule_id: &str, line: u32) -> bool {
+        if !self.rules.iter().any(|r| r == rule_id) {
+            return false;
+        }
+        match self.scope {
+            WaiverScope::Line => line == self.line || line == self.line + 1,
+            WaiverScope::Block(from, to) => (from..=to).contains(&line),
+            WaiverScope::File => true,
+        }
+    }
+}
+
+/// Scans one file's source, returning all findings (waived ones carry
+/// their reason). `rel_path` selects which rules apply per the config.
+pub fn scan_file(config: &AnalyzeConfig, rel_path: &str, src: &str) -> Vec<Finding> {
+    let tokens = lex(src);
+    // Significant tokens (comments stripped) drive the rule patterns;
+    // comments drive waivers and block/test scoping.
+    let sig: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::Comment(_)))
+        .collect();
+
+    let mut findings = Vec::new();
+    let mut waivers = parse_waivers(&tokens, &sig, rel_path, &mut findings);
+    let test_spans = test_scopes(&sig);
+
+    let in_tests = |line: u32| test_spans.iter().any(|&(a, b)| (a..=b).contains(&line));
+
+    let mut raw: Vec<(u32, &'static str, String)> = Vec::new();
+
+    if config.is_enclave_resident(rel_path) {
+        rule_enclave_abort(&sig, &mut raw);
+        rule_enclave_index(&sig, &mut raw);
+    }
+    rule_secret_egress(config, &sig, &mut raw);
+    if config.is_accounting(rel_path) {
+        rule_float_accounting(&sig, &mut raw);
+    }
+    if !config.is_clock_exempt(rel_path) {
+        rule_wall_clock(config, &sig, &mut raw);
+    }
+
+    for (line, rule_id, message) in raw {
+        // L1 is exempt in test scopes: aborting on a failed expectation
+        // is what tests do.
+        if (rule_id == rule::ENCLAVE_ABORT || rule_id == rule::ENCLAVE_INDEX) && in_tests(line) {
+            continue;
+        }
+        let waived = waivers
+            .iter_mut()
+            .find(|w| w.covers(rule_id, line))
+            .map(|w| {
+                w.used = true;
+                w.reason.clone()
+            });
+        findings.push(Finding {
+            file: rel_path.to_owned(),
+            line,
+            rule: rule_id,
+            message,
+            waived,
+        });
+    }
+
+    for w in &waivers {
+        if !w.used {
+            findings.push(Finding {
+                file: rel_path.to_owned(),
+                line: w.line,
+                rule: rule::UNUSED_WAIVER,
+                message: format!(
+                    "waiver for ({}) suppresses nothing — remove it or move it next to the finding",
+                    w.rules.join(", ")
+                ),
+                waived: None,
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.line, a.rule, a.message.as_str()).cmp(&(b.line, b.rule, b.message.as_str()))
+    });
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Waiver parsing
+// ---------------------------------------------------------------------
+
+const WAIVER_MARKER: &str = "teenet-analyze:";
+
+fn parse_waivers(
+    tokens: &[Token],
+    sig: &[&Token],
+    rel_path: &str,
+    findings: &mut Vec<Finding>,
+) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for t in tokens {
+        let TokenKind::Comment(text) = &t.kind else {
+            continue;
+        };
+        // Doc comments never carry live waivers — they are where the
+        // waiver grammar gets *documented*, with examples that must not
+        // fire.
+        if text.starts_with("///")
+            || text.starts_with("//!")
+            || text.starts_with("/**")
+            || text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(at) = text.find(WAIVER_MARKER) else {
+            continue;
+        };
+        let directive = text[at + WAIVER_MARKER.len()..].trim();
+        match parse_directive(directive) {
+            Ok((kind, rules, reason)) => {
+                let scope = match kind {
+                    DirectiveKind::Line => WaiverScope::Line,
+                    DirectiveKind::File => WaiverScope::File,
+                    DirectiveKind::Block => match block_after(sig, t.line) {
+                        Some((from, to)) => WaiverScope::Block(from, to),
+                        None => {
+                            findings.push(Finding {
+                                file: rel_path.to_owned(),
+                                line: t.line,
+                                rule: rule::BAD_WAIVER,
+                                message: "allow-block with no braced block below it".to_owned(),
+                                waived: None,
+                            });
+                            continue;
+                        }
+                    },
+                };
+                out.push(Waiver {
+                    rules,
+                    reason,
+                    line: t.line,
+                    scope,
+                    used: false,
+                });
+            }
+            Err(why) => findings.push(Finding {
+                file: rel_path.to_owned(),
+                line: t.line,
+                rule: rule::BAD_WAIVER,
+                message: why,
+                waived: None,
+            }),
+        }
+    }
+    out
+}
+
+enum DirectiveKind {
+    Line,
+    Block,
+    File,
+}
+
+fn parse_directive(directive: &str) -> Result<(DirectiveKind, Vec<String>, String), String> {
+    let (kind, rest) = if let Some(r) = directive.strip_prefix("allow-block") {
+        (DirectiveKind::Block, r)
+    } else if let Some(r) = directive.strip_prefix("allow-file") {
+        (DirectiveKind::File, r)
+    } else if let Some(r) = directive.strip_prefix("allow") {
+        (DirectiveKind::Line, r)
+    } else {
+        return Err(format!(
+            "unknown directive {directive:?} (expected allow / allow-block / allow-file)"
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("missing ( after allow".to_owned());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("missing ) in waiver rule list".to_owned());
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_owned())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("empty rule list in waiver".to_owned());
+    }
+    for r in &rules {
+        if !rule::WAIVABLE.contains(&r.as_str()) {
+            return Err(format!("unknown rule {r:?} in waiver"));
+        }
+    }
+    let after = rest[close + 1..].trim_start();
+    let Some(reason) = after.strip_prefix("--") else {
+        return Err("waiver must end with `-- <reason>`".to_owned());
+    };
+    let reason = reason.trim().trim_end_matches("*/").trim();
+    if reason.is_empty() {
+        return Err("waiver reason is empty".to_owned());
+    }
+    Ok((kind, rules, reason.to_owned()))
+}
+
+/// Line span of the first braced block starting at or after `line`.
+/// Stops at a `;` seen before any `{` (the next item has no block).
+fn block_after(sig: &[&Token], line: u32) -> Option<(u32, u32)> {
+    let start = sig.iter().position(|t| t.line > line)?;
+    let mut i = start;
+    while i < sig.len() {
+        if sig[i].is_punct(';') {
+            return None;
+        }
+        if sig[i].is_punct('{') {
+            let close = matching(sig, i, '{', '}')?;
+            return Some((sig[i].line, sig[close].line));
+        }
+        i += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Test-scope detection
+// ---------------------------------------------------------------------
+
+/// Line spans of `#[cfg(test)]` / `#[test]`-gated items.
+fn test_scopes(sig: &[&Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if sig[i].is_punct('#') && i + 1 < sig.len() && sig[i + 1].is_punct('[') {
+            if let Some(close) = matching(sig, i + 1, '[', ']') {
+                let attr: Vec<&str> = sig[i + 2..close].iter().filter_map(|t| t.ident()).collect();
+                let is_test_gate =
+                    attr == ["test"] || (attr.first() == Some(&"cfg") && attr.contains(&"test"));
+                if is_test_gate {
+                    if let Some((from, to)) = block_after(sig, sig[close].line.saturating_sub(1))
+                        .filter(|&(from, _)| from >= sig[close].line)
+                    {
+                        spans.push((sig[i].line, to));
+                        let _ = from;
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+// ---------------------------------------------------------------------
+// Rule implementations
+// ---------------------------------------------------------------------
+
+fn rule_enclave_abort(sig: &[&Token], out: &mut Vec<(u32, &'static str, String)>) {
+    for i in 0..sig.len() {
+        let Some(name) = sig[i].ident() else { continue };
+        match name {
+            "unwrap" | "expect" => {
+                let method = i > 0 && sig[i - 1].is_punct('.');
+                let called = i + 1 < sig.len() && sig[i + 1].is_punct('(');
+                if method && called {
+                    out.push((
+                        sig[i].line,
+                        rule::ENCLAVE_ABORT,
+                        format!(".{name}() aborts the enclave — return a Result instead"),
+                    ));
+                }
+            }
+            // `#[allow(unreachable_...)]`-style attribute idents are
+            // not followed by `!`, so the guard keeps this to macros.
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if i + 1 < sig.len() && sig[i + 1].is_punct('!') =>
+            {
+                out.push((
+                    sig[i].line,
+                    rule::ENCLAVE_ABORT,
+                    format!("{name}! aborts the enclave — return a Result instead"),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Keywords that can directly precede `[` without being an indexing base.
+const NON_BASE_KEYWORDS: [&str; 23] = [
+    "mut", "ref", "dyn", "impl", "in", "as", "return", "break", "else", "match", "if", "while",
+    "for", "loop", "move", "static", "const", "where", "box", "await", "yield", "become", "pub",
+];
+
+fn rule_enclave_index(sig: &[&Token], out: &mut Vec<(u32, &'static str, String)>) {
+    for i in 0..sig.len() {
+        if !sig[i].is_punct('[') || i == 0 {
+            continue;
+        }
+        // The token before `[` decides whether this is an indexing
+        // expression: an identifier (not a keyword), a `)` or a `]`.
+        let base_ok = match &sig[i - 1].kind {
+            TokenKind::Ident(name) => !NON_BASE_KEYWORDS.contains(&name.as_str()),
+            TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+            _ => false,
+        };
+        if !base_ok {
+            continue;
+        }
+        // Macro invocation `name![...]` is not indexing.
+        if i >= 2 && sig[i - 1].ident().is_some() && sig[i - 2].is_punct('!') {
+            continue;
+        }
+        let Some(close) = matching(sig, i, '[', ']') else {
+            continue;
+        };
+        if close == i + 1 {
+            continue; // `[]` — not indexing
+        }
+        let index = &sig[i + 1..close];
+        if index_is_static(index) {
+            continue;
+        }
+        let base = sig[i - 1].ident().unwrap_or("(expr)");
+        out.push((
+            sig[i].line,
+            rule::ENCLAVE_INDEX,
+            format!(
+                "data-dependent index on `{base}` can panic on untrusted input — \
+                 use .get(..) and return an error"
+            ),
+        ));
+    }
+}
+
+/// An index expression is statically safe when it is built only from
+/// integer literals, named constants (no lowercase letters), range dots
+/// and arithmetic on those — it can still be out of bounds, but it
+/// fails the same way on every input, so tests catch it.
+fn index_is_static(index: &[&Token]) -> bool {
+    index.iter().all(|t| match &t.kind {
+        TokenKind::Int => true,
+        TokenKind::Ident(name) => !name.chars().any(|c| c.is_ascii_lowercase()),
+        TokenKind::Punct('.')
+        | TokenKind::Punct('+')
+        | TokenKind::Punct('-')
+        | TokenKind::Punct('*')
+        | TokenKind::Punct('/')
+        | TokenKind::Punct('=') => true,
+        _ => false,
+    })
+}
+
+fn rule_secret_egress(
+    config: &AnalyzeConfig,
+    sig: &[&Token],
+    out: &mut Vec<(u32, &'static str, String)>,
+) {
+    for i in 0..sig.len() {
+        let Some(name) = sig[i].ident() else { continue };
+        if !config.egress_sinks.iter().any(|s| s == name) {
+            continue;
+        }
+        if i + 1 >= sig.len() || !sig[i + 1].is_punct('(') {
+            continue;
+        }
+        // Skip the sink's own definition (`fn ocall(...)`).
+        if i > 0 && sig[i - 1].ident() == Some("fn") {
+            continue;
+        }
+        let Some(close) = matching(sig, i + 1, '(', ')') else {
+            continue;
+        };
+        let mut j = i + 2;
+        while j < close {
+            if let Some(ident) = sig[j].ident() {
+                // A sanctioned call (sealing API) may consume secrets.
+                if config.sanctioned_egress.iter().any(|s| s == ident)
+                    && j + 1 < close
+                    && sig[j + 1].is_punct('(')
+                {
+                    if let Some(inner_close) = matching(sig, j + 1, '(', ')') {
+                        j = inner_close + 1;
+                        continue;
+                    }
+                }
+                if config.secret_idents.iter().any(|s| s == ident) {
+                    out.push((
+                        sig[j].line,
+                        rule::SECRET_EGRESS,
+                        format!(
+                            "secret `{ident}` reaches egress sink `{name}` — \
+                             only sealed blobs may cross the boundary"
+                        ),
+                    ));
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+fn rule_float_accounting(sig: &[&Token], out: &mut Vec<(u32, &'static str, String)>) {
+    for t in sig {
+        match &t.kind {
+            TokenKind::Float => out.push((
+                t.line,
+                rule::FLOAT_ACCOUNTING,
+                "float literal in an accounting path — use exact integer arithmetic".to_owned(),
+            )),
+            TokenKind::Ident(name) if name == "f64" || name == "f32" => out.push((
+                t.line,
+                rule::FLOAT_ACCOUNTING,
+                format!("{name} in an accounting path — use exact integer arithmetic"),
+            )),
+            _ => {}
+        }
+    }
+}
+
+fn rule_wall_clock(
+    config: &AnalyzeConfig,
+    sig: &[&Token],
+    out: &mut Vec<(u32, &'static str, String)>,
+) {
+    for t in sig {
+        let Some(name) = t.ident() else { continue };
+        if config.clock_idents.iter().any(|c| c == name) {
+            out.push((
+                t.line,
+                rule::WALL_CLOCK,
+                format!(
+                    "`{name}` breaks determinism — all time/randomness must come from \
+                     the netsim virtual clock or a seeded RNG"
+                ),
+            ));
+        }
+    }
+}
+
+/// Index of the token matching the opener at `open` (which must be
+/// `open_c`), honouring nesting.
+fn matching(sig: &[&Token], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in sig.iter().enumerate().skip(open) {
+        if t.is_punct(open_c) {
+            depth += 1;
+        } else if t.is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AnalyzeConfig {
+        let mut c = AnalyzeConfig::repo();
+        c.enclave_resident = vec!["enclave.rs".to_owned()];
+        c.accounting = vec!["cost.rs".to_owned()];
+        c
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_in_enclave_file_flagged() {
+        let f = scan_file(&cfg(), "enclave.rs", "fn f(x: Option<u8>) { x.unwrap(); }");
+        assert_eq!(rules_of(&f), vec![rule::ENCLAVE_ABORT]);
+    }
+
+    #[test]
+    fn unwrap_outside_enclave_set_ignored() {
+        let f = scan_file(&cfg(), "host.rs", "fn f(x: Option<u8>) { x.unwrap(); }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_test_mod_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f(x: Option<u8>) { x.unwrap(); }\n}\n";
+        let f = scan_file(&cfg(), "enclave.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_fn_is_exempt_but_code_after_is_not() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn prod(x: Option<u8>) { x.unwrap(); }\n";
+        let f = scan_file(&cfg(), "enclave.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn panic_macros_flagged() {
+        let src = "fn f() { panic!(\"boom\"); }\nfn g() { unreachable!() }\n";
+        let f = scan_file(&cfg(), "enclave.rs", src);
+        assert_eq!(rules_of(&f), vec![rule::ENCLAVE_ABORT, rule::ENCLAVE_ABORT]);
+    }
+
+    #[test]
+    fn data_dependent_index_flagged_literal_allowed() {
+        let src = "fn f(b: &[u8], n: usize) {\n\
+                   let a = b[0];\n\
+                   let c = &b[..32];\n\
+                   let d = &b[2..2 + n];\n\
+                   let e = b[n];\n\
+                   let g = &b[..CELL_LEN];\n\
+                   }\n";
+        let f = scan_file(&cfg(), "enclave.rs", src);
+        assert_eq!(rules_of(&f), vec![rule::ENCLAVE_INDEX, rule::ENCLAVE_INDEX]);
+        assert_eq!(f[0].line, 4);
+        assert_eq!(f[1].line, 5);
+    }
+
+    #[test]
+    fn array_types_and_macros_not_flagged() {
+        let src = "fn f(x: &mut [u8], y: [u8; 32]) -> Vec<u8> { vec![0u8; 4] }\n\
+                   #[cfg(feature = \"x\")]\nfn g() {}\n";
+        let f = scan_file(&cfg(), "enclave.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn secret_into_ocall_flagged_sealed_ok() {
+        let src = "fn f(ctx: &mut Ctx, device_key: &[u8; 32]) {\n\
+                   ctx.ocall(\"store\", device_key);\n\
+                   ctx.ocall(\"store\", &seal(device_key, b\"l\", n, p).to_bytes());\n\
+                   }\n";
+        let f = scan_file(&cfg(), "anyfile.rs", src);
+        assert_eq!(rules_of(&f), vec![rule::SECRET_EGRESS]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn floats_flagged_only_in_accounting_files() {
+        let src = "fn f() -> f64 { 1.8 }\n";
+        assert_eq!(scan_file(&cfg(), "cost.rs", src).len(), 2);
+        assert!(scan_file(&cfg(), "other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_everywhere_but_exempt_file() {
+        let mut c = cfg();
+        c.clock_exempt = vec!["time.rs".to_owned()];
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(scan_file(&c, "host.rs", src).len(), 1);
+        assert!(scan_file(&c, "time.rs", src).is_empty());
+    }
+
+    #[test]
+    fn line_waiver_covers_line_below() {
+        let src = "// teenet-analyze: allow(enclave-abort) -- infallible by construction\n\
+                   fn f(x: Option<u8>) { x.unwrap(); }\n";
+        let f = scan_file(&cfg(), "enclave.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].waived.as_deref(), Some("infallible by construction"));
+    }
+
+    #[test]
+    fn block_waiver_covers_block_only() {
+        let src = "// teenet-analyze: allow-block(enclave-abort) -- host-side helper\n\
+                   fn f(x: Option<u8>) {\n x.unwrap();\n}\n\
+                   fn g(x: Option<u8>) { x.unwrap(); }\n";
+        let f = scan_file(&cfg(), "enclave.rs", src);
+        let unwaived: Vec<_> = f.iter().filter(|x| x.waived.is_none()).collect();
+        assert_eq!(f.len(), 2);
+        assert_eq!(unwaived.len(), 1);
+        assert_eq!(unwaived[0].line, 5);
+    }
+
+    #[test]
+    fn file_waiver_covers_everything() {
+        let src = "// teenet-analyze: allow-file(enclave-index) -- table indices bounded by construction\n\
+                   fn f(t: &[u8], i: usize) { let _ = t[i]; }\n\
+                   fn g(t: &[u8], i: usize) { let _ = t[i]; }\n";
+        let f = scan_file(&cfg(), "enclave.rs", src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.waived.is_some()));
+    }
+
+    #[test]
+    fn unused_waiver_is_a_finding() {
+        let src = "// teenet-analyze: allow(enclave-abort) -- nothing here\nfn f() {}\n";
+        let f = scan_file(&cfg(), "enclave.rs", src);
+        assert_eq!(rules_of(&f), vec![rule::UNUSED_WAIVER]);
+    }
+
+    #[test]
+    fn malformed_waivers_are_findings() {
+        for bad in [
+            "// teenet-analyze: allow(enclave-abort)\nfn f() {}\n",
+            "// teenet-analyze: allow(no-such-rule) -- reason\nfn f() {}\n",
+            "// teenet-analyze: permit(enclave-abort) -- reason\nfn f() {}\n",
+            "// teenet-analyze: allow() -- reason\nfn f() {}\n",
+        ] {
+            let f = scan_file(&cfg(), "enclave.rs", bad);
+            assert_eq!(rules_of(&f), vec![rule::BAD_WAIVER], "source: {bad}");
+        }
+    }
+
+    #[test]
+    fn doc_comments_never_carry_live_waivers() {
+        let src = "/// teenet-analyze: allow(enclave-abort) -- doc example\n\
+                   //! teenet-analyze: allow(bogus-rule) -- doc example\n\
+                   fn f(x: Option<u8>) { x.unwrap(); }\n";
+        let f = scan_file(&cfg(), "enclave.rs", src);
+        assert_eq!(rules_of(&f), vec![rule::ENCLAVE_ABORT]);
+        assert!(f[0].waived.is_none());
+    }
+
+    #[test]
+    fn waiver_does_not_cover_other_rule() {
+        let src = "// teenet-analyze: allow(enclave-index) -- wrong rule\n\
+                   fn f(x: Option<u8>) { x.unwrap(); }\n";
+        let f = scan_file(&cfg(), "enclave.rs", src);
+        // The unwrap stays unwaived AND the waiver is unused.
+        assert_eq!(f.len(), 2);
+        assert!(f
+            .iter()
+            .any(|x| x.rule == rule::ENCLAVE_ABORT && x.waived.is_none()));
+        assert!(f.iter().any(|x| x.rule == rule::UNUSED_WAIVER));
+    }
+
+    #[test]
+    fn findings_sorted_and_deterministic() {
+        let src = "fn f(x: Option<u8>, b: &[u8], n: usize) { let _ = b[n]; x.unwrap(); }\n";
+        let a = scan_file(&cfg(), "enclave.rs", src);
+        let b = scan_file(&cfg(), "enclave.rs", src);
+        assert_eq!(a, b);
+        assert_eq!(rules_of(&a), vec![rule::ENCLAVE_ABORT, rule::ENCLAVE_INDEX]);
+    }
+}

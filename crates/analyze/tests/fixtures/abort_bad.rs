@@ -1,0 +1,34 @@
+// Known-bad corpus for the `enclave-abort` rule (L1a). The fixture
+// tests scan this file as enclave-resident; it is never compiled.
+
+pub fn opt_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn res_expect(x: Result<u8, ()>) -> u8 {
+    x.expect("present")
+}
+
+pub fn explicit_panic() {
+    panic!("boom");
+}
+
+pub fn not_reachable() {
+    unreachable!()
+}
+
+pub fn todo_later() {
+    todo!()
+}
+
+pub fn not_implemented() {
+    unimplemented!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn aborts_inside_tests_are_the_assertion_mechanism() {
+        Some(1u8).unwrap();
+    }
+}

@@ -1,0 +1,14 @@
+// Known-good corpus: scanned with every rule active (enclave-resident
+// AND accounting), expecting zero findings. Never compiled.
+
+pub fn parse(buf: &[u8]) -> Result<u8, Error> {
+    buf.first().copied().ok_or(Error::Truncated)
+}
+
+pub fn head(buf: &[u8]) -> Option<&[u8]> {
+    buf.get(..4)
+}
+
+pub fn cycles_exact(instr: u64) -> u64 {
+    instr * 29 / 20
+}

@@ -1,0 +1,21 @@
+// Known-bad corpus for the `wall-clock` rule (L4). Wall-clock and
+// ambient-entropy identifiers are findings anywhere outside the netsim
+// virtual clock. Never compiled.
+
+pub fn wall_now() -> u128 {
+    let t = SystemTime::now();
+    duration_ms(t)
+}
+
+pub fn elapsed_ns() -> u64 {
+    let t0 = Instant::now();
+    stop_ns(t0)
+}
+
+pub fn ambient_seed() -> u64 {
+    thread_rng().next_u64()
+}
+
+pub fn seeded_ok(rng: &mut Lcg) -> u64 {
+    rng.next_u64()
+}

@@ -1,0 +1,19 @@
+// Known-bad corpus for the `secret-egress` rule (L2). Secret idents in
+// a sink's argument list are findings unless wrapped in a sanctioned
+// sealing call. Never compiled.
+
+pub fn leak_ocall(ctx: &mut Ctx, seal_key: &[u8; 16]) {
+    ctx.ocall("persist", seal_key);
+}
+
+pub fn leak_wire(net: &mut Net, shared_secret: &[u8]) {
+    net.send_packets(core::slice::from_ref(&shared_secret));
+}
+
+pub fn sealed_ok(ctx: &mut Ctx, seal_key: &[u8; 16]) {
+    ctx.ocall("persist", &seal(seal_key, b"label", 0, 0).to_bytes());
+}
+
+pub fn plain_ok(ctx: &mut Ctx, blob: &[u8]) {
+    ctx.ocall("persist", blob);
+}

@@ -1,0 +1,10 @@
+// Known-bad corpus for the `float-accounting` rule (L3). The fixture
+// tests scan this file as an accounting path; never compiled.
+
+pub fn cpi_scaled(instr: u64) -> f64 {
+    instr as f64 * 1.45
+}
+
+pub fn exact_ok(instr: u64) -> u64 {
+    instr * 29 / 20
+}

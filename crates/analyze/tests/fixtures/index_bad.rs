@@ -1,0 +1,25 @@
+// Known-bad corpus for the `enclave-index` rule (L1b). Data-dependent
+// indices are findings; literal/const indices are not. Never compiled.
+
+pub const HDR: usize = 4;
+
+pub fn tail(buf: &[u8], n: usize) -> &[u8] {
+    &buf[n..]
+}
+
+pub fn pick(buf: &[u8], i: usize) -> u8 {
+    buf[i]
+}
+
+pub fn window(buf: &[u8], off: usize) -> &[u8] {
+    &buf[off..off + HDR]
+}
+
+pub fn static_ok(buf: &[u8]) -> (&[u8], u8) {
+    (&buf[..HDR], buf[0])
+}
+
+pub fn types_ok(x: [u8; 32], v: &mut Vec<u8>) -> [u8; 32] {
+    v.extend_from_slice(&x[..16]);
+    x
+}

@@ -1,0 +1,24 @@
+// Mixed waiver corpus: a line waiver, a block waiver, an unwaived
+// finding, a stale waiver and a malformed waiver. Never compiled.
+
+pub fn waived_line(x: Option<u8>) -> u8 {
+    // teenet-analyze: allow(enclave-abort) -- fixture: infallible by construction
+    x.unwrap()
+}
+
+// teenet-analyze: allow-block(enclave-index) -- fixture: indices bounded by caller
+pub fn waived_block(buf: &[u8], n: usize) -> (&[u8], u8) {
+    (&buf[..n], buf[n])
+}
+
+pub fn unwaived(buf: &[u8], n: usize) -> u8 {
+    buf[n]
+}
+
+// teenet-analyze: allow(enclave-abort) -- fixture: suppresses nothing
+pub fn stale() {}
+
+// teenet-analyze: allow(enclave-abort)
+pub fn malformed(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

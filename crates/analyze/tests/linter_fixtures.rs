@@ -1,0 +1,211 @@
+//! Linter fixture tests: a known-good / known-bad corpus per rule under
+//! `tests/fixtures/`, asserting exact finding counts, exact lines and
+//! byte-stable JSON. The fixture directory is in the workspace config's
+//! excluded prefixes, so the real CI lint never scans it — these tests
+//! scan it with their own config in which every fixture is (as needed)
+//! enclave-resident and/or an accounting path.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use teenet_analyze::config::AnalyzeConfig;
+use teenet_analyze::report::LintReport;
+use teenet_analyze::rules::{rule, scan_file, Finding};
+use teenet_analyze::scan_workspace;
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The fixture view of the workspace config: fixture files are scanned
+/// under the role their name implies; nothing is excluded or
+/// clock-exempt. `clean.rs` gets *every* role so all rules run on it.
+fn fixture_config() -> AnalyzeConfig {
+    let mut c = AnalyzeConfig::repo();
+    c.excluded_prefixes = Vec::new();
+    c.enclave_resident = [
+        "abort_bad.rs",
+        "index_bad.rs",
+        "waivers_mixed.rs",
+        "clean.rs",
+    ]
+    .map(str::to_owned)
+    .to_vec();
+    c.accounting = vec!["float_bad.rs".to_owned(), "clean.rs".to_owned()];
+    c.clock_exempt = Vec::new();
+    c
+}
+
+fn scan(name: &str) -> Vec<Finding> {
+    let src = fs::read_to_string(fixtures_root().join(name)).expect("fixture readable");
+    scan_file(&fixture_config(), name, &src)
+}
+
+fn lines(f: &[Finding]) -> Vec<u32> {
+    f.iter().map(|x| x.line).collect()
+}
+
+#[test]
+fn abort_fixture_exact_findings() {
+    let f = scan("abort_bad.rs");
+    assert!(
+        f.iter()
+            .all(|x| x.rule == rule::ENCLAVE_ABORT && x.waived.is_none()),
+        "{f:?}"
+    );
+    // One per abort construct; the unwrap inside #[cfg(test)] is exempt.
+    assert_eq!(lines(&f), vec![5, 9, 13, 17, 21, 25]);
+}
+
+#[test]
+fn index_fixture_exact_findings() {
+    let f = scan("index_bad.rs");
+    assert!(
+        f.iter()
+            .all(|x| x.rule == rule::ENCLAVE_INDEX && x.waived.is_none()),
+        "{f:?}"
+    );
+    // Literal / named-constant indices in static_ok and types_ok pass.
+    assert_eq!(lines(&f), vec![7, 11, 15]);
+}
+
+#[test]
+fn egress_fixture_exact_findings() {
+    let f = scan("egress_bad.rs");
+    assert!(
+        f.iter()
+            .all(|x| x.rule == rule::SECRET_EGRESS && x.waived.is_none()),
+        "{f:?}"
+    );
+    // The seal(..)-wrapped secret and the non-secret blob pass.
+    assert_eq!(lines(&f), vec![6, 10]);
+}
+
+#[test]
+fn float_fixture_exact_findings() {
+    let f = scan("float_bad.rs");
+    assert!(
+        f.iter()
+            .all(|x| x.rule == rule::FLOAT_ACCOUNTING && x.waived.is_none()),
+        "{f:?}"
+    );
+    // Line 4: return type f64. Line 5: `as f64` plus the 1.45 literal.
+    assert_eq!(lines(&f), vec![4, 5, 5]);
+}
+
+#[test]
+fn clock_fixture_exact_findings() {
+    let f = scan("clock_bad.rs");
+    assert!(
+        f.iter()
+            .all(|x| x.rule == rule::WALL_CLOCK && x.waived.is_none()),
+        "{f:?}"
+    );
+    // SystemTime, Instant, thread_rng; the seeded RNG passes.
+    assert_eq!(lines(&f), vec![6, 11, 16]);
+}
+
+#[test]
+fn waiver_fixture_exact_structure() {
+    let f = scan("waivers_mixed.rs");
+    assert_eq!(f.len(), 7, "{f:?}");
+
+    let waived: Vec<&Finding> = f.iter().filter(|x| x.waived.is_some()).collect();
+    let unwaived: Vec<&Finding> = f.iter().filter(|x| x.waived.is_none()).collect();
+
+    // Line waiver covers the unwrap on the next line; the block waiver
+    // covers both indices inside the braced block.
+    assert_eq!(
+        waived.iter().map(|x| (x.line, x.rule)).collect::<Vec<_>>(),
+        vec![
+            (6, rule::ENCLAVE_ABORT),
+            (11, rule::ENCLAVE_INDEX),
+            (11, rule::ENCLAVE_INDEX),
+        ]
+    );
+    assert_eq!(
+        waived[0].waived.as_deref(),
+        Some("fixture: infallible by construction")
+    );
+
+    // The uncovered index, the stale waiver, the malformed waiver, and
+    // the unwrap the malformed waiver failed to cover.
+    assert_eq!(
+        unwaived
+            .iter()
+            .map(|x| (x.line, x.rule))
+            .collect::<Vec<_>>(),
+        vec![
+            (15, rule::ENCLAVE_INDEX),
+            (18, rule::UNUSED_WAIVER),
+            (21, rule::BAD_WAIVER),
+            (23, rule::ENCLAVE_ABORT),
+        ]
+    );
+}
+
+#[test]
+fn clean_fixture_has_zero_findings() {
+    let f = scan("clean.rs");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn fixture_workspace_scan_tallies_and_stability() {
+    let cfg = fixture_config();
+    let a = scan_workspace(&fixtures_root(), &cfg).expect("scan fixtures");
+    let b = scan_workspace(&fixtures_root(), &cfg).expect("scan fixtures again");
+    assert_eq!(a.json(), b.json(), "report must be byte-stable");
+    assert_eq!(a.text(), b.text());
+
+    assert_eq!(a.files_scanned, 7);
+    assert_eq!(a.findings.len(), 24);
+    assert_eq!(a.unwaived().count(), 21);
+    assert_eq!(a.waived().count(), 3);
+
+    let count = |r: &str| a.findings.iter().filter(|f| f.rule == r).count();
+    assert_eq!(count(rule::ENCLAVE_ABORT), 8);
+    assert_eq!(count(rule::ENCLAVE_INDEX), 6);
+    assert_eq!(count(rule::SECRET_EGRESS), 2);
+    assert_eq!(count(rule::FLOAT_ACCOUNTING), 3);
+    assert_eq!(count(rule::WALL_CLOCK), 3);
+    assert_eq!(count(rule::UNUSED_WAIVER), 1);
+    assert_eq!(count(rule::BAD_WAIVER), 1);
+}
+
+#[test]
+fn float_fixture_json_exact_bytes() {
+    let r = LintReport {
+        files_scanned: 1,
+        findings: scan("float_bad.rs"),
+    };
+    assert_eq!(
+        r.json(),
+        "{\"files_scanned\":1,\"findings\":[\
+         {\"file\":\"float_bad.rs\",\"line\":4,\"rule\":\"float-accounting\",\
+         \"message\":\"f64 in an accounting path — use exact integer arithmetic\"},\
+         {\"file\":\"float_bad.rs\",\"line\":5,\"rule\":\"float-accounting\",\
+         \"message\":\"f64 in an accounting path — use exact integer arithmetic\"},\
+         {\"file\":\"float_bad.rs\",\"line\":5,\"rule\":\"float-accounting\",\
+         \"message\":\"float literal in an accounting path — use exact integer arithmetic\"}\
+         ],\"waived\":[]}\n"
+    );
+}
+
+#[test]
+fn real_workspace_has_zero_unwaived_findings() {
+    // The CI gate, as a test: the tree this crate sits in must lint
+    // clean under the real config (all findings fixed or waived).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let report = scan_workspace(&root, &AnalyzeConfig::repo()).expect("scan workspace");
+    let unwaived: Vec<&Finding> = report.unwaived().collect();
+    assert!(
+        unwaived.is_empty(),
+        "unwaived findings in the tree:\n{}",
+        report.text()
+    );
+}

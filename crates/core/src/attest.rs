@@ -96,7 +96,9 @@ impl AttestRequest {
         if buf.len() < 34 {
             return Err(TeenetError::Protocol("AttestRequest truncated"));
         }
-        let nonce: [u8; 32] = buf[..32].try_into().expect("32");
+        let nonce: [u8; 32] = buf[..32]
+            .try_into()
+            .map_err(|_| TeenetError::Protocol("AttestRequest nonce"))?;
         let len = u16::from_le_bytes([buf[32], buf[33]]) as usize;
         if buf.len() != 34 + len {
             return Err(TeenetError::Protocol("AttestRequest length"));
@@ -138,8 +140,13 @@ impl AttestResponse {
         if buf.len() < 2 + qlen + 2 {
             return Err(TeenetError::Protocol("AttestResponse quote length"));
         }
-        let quote = Quote::from_bytes(&buf[2..2 + qlen])?;
-        let rest = &buf[2 + qlen..];
+        let quote_bytes = buf
+            .get(2..2 + qlen)
+            .ok_or(TeenetError::Protocol("AttestResponse quote length"))?;
+        let quote = Quote::from_bytes(quote_bytes)?;
+        let rest = buf
+            .get(2 + qlen..)
+            .ok_or(TeenetError::Protocol("AttestResponse quote length"))?;
         let dlen = u16::from_le_bytes([rest[0], rest[1]]) as usize;
         if rest.len() != 2 + dlen {
             return Err(TeenetError::Protocol("AttestResponse dh length"));

@@ -61,7 +61,10 @@ impl AttestResponder {
         let request = AttestRequest::from_bytes(req_bytes)
             .map_err(|_| SgxError::EcallRejected("bad AttestRequest"))?;
         let qe_target = TargetInfo {
-            mrenclave: Measurement(qe.try_into().expect("32 bytes")),
+            mrenclave: Measurement(
+                qe.try_into()
+                    .map_err(|_| SgxError::EcallRejected("bad QE measurement"))?,
+            ),
         };
         // Message 1 arrived over the network: the enclave pulls it in via
         // an ocall (the host already marshalled it into `input`).
@@ -90,7 +93,9 @@ impl AttestResponder {
             return Err(SgxError::EcallRejected("short attest-finish input"));
         }
         let (nonce, quote_bytes) = input.split_at(32);
-        let nonce: SessionNonce = nonce.try_into().expect("32 bytes");
+        let nonce: SessionNonce = nonce
+            .try_into()
+            .map_err(|_| SgxError::EcallRejected("bad session nonce"))?;
         let quote = Quote::from_bytes(quote_bytes)?;
         let attestor = self
             .pending

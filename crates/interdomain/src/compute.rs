@@ -95,6 +95,7 @@ pub fn compute_routes(
     outcome
 }
 
+// teenet-analyze: allow-block(enclave-abort, enclave-index) -- adj is built from the topology itself in compute_routes, so every queued AS has adjacency, policy and rib entries by construction; a missing entry is a local logic bug, not reachable from wire input
 fn per_destination(
     dst: AsId,
     adj: &HashMap<AsId, Vec<(AsId, Relationship)>>,

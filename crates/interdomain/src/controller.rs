@@ -80,7 +80,10 @@ fn nonce_of(input: &[u8]) -> Result<(Nonce, &[u8]), SgxError> {
         return Err(SgxError::EcallRejected("missing session nonce"));
     }
     let (n, rest) = input.split_at(32);
-    Ok((n.try_into().expect("32"), rest))
+    let n = n
+        .try_into()
+        .map_err(|_| SgxError::EcallRejected("bad session nonce"))?;
+    Ok((n, rest))
 }
 
 struct Session {
@@ -176,7 +179,10 @@ impl EnclaveProgram for InterdomainController {
                 let request = AttestRequest::from_bytes(req_bytes)
                     .map_err(|_| SgxError::EcallRejected("bad AttestRequest"))?;
                 let qe_target = TargetInfo {
-                    mrenclave: Measurement(qe.try_into().expect("32")),
+                    mrenclave: Measurement(
+                        qe.try_into()
+                            .map_err(|_| SgxError::EcallRejected("bad QE measurement"))?,
+                    ),
                 };
                 let (attestor, report) =
                     TargetAttestor::begin(ctx, &request, qe_target, self.attest_config.clone())
@@ -314,8 +320,13 @@ impl EnclaveProgram for InterdomainController {
                 if plain.len() < 8 {
                     return Err(SgxError::EcallRejected("short verify request"));
                 }
-                let party_a = AsId(u32::from_le_bytes(plain[..4].try_into().expect("4")));
-                let party_b = AsId(u32::from_le_bytes(plain[4..8].try_into().expect("4")));
+                let bad = || SgxError::EcallRejected("short verify request");
+                let party_a = AsId(u32::from_le_bytes(
+                    plain[..4].try_into().map_err(|_| bad())?,
+                ));
+                let party_b = AsId(u32::from_le_bytes(
+                    plain[4..8].try_into().map_err(|_| bad())?,
+                ));
                 let predicate = Predicate::from_bytes(&plain[8..])
                     .ok_or(SgxError::EcallRejected("malformed predicate"))?;
                 let status = self

@@ -224,7 +224,7 @@ impl Predicate {
             )),
             6 | 7 => {
                 let (a, ua) = Self::decode(&buf[1..])?;
-                let (b, ub) = Self::decode(&buf[1 + ua..])?;
+                let (b, ub) = Self::decode(buf.get(1 + ua..)?)?;
                 let node = if tag == 6 {
                     Predicate::And(Box::new(a), Box::new(b))
                 } else {

@@ -66,7 +66,7 @@ pub fn decode_submission(buf: &[u8]) -> Option<(LocalPolicy, EdgeList)> {
     }
     let plen = u32::from_le_bytes(buf[..4].try_into().ok()?) as usize;
     let policy = LocalPolicy::from_bytes(buf.get(4..4 + plen)?)?;
-    let (edges, used) = decode_edges(&buf[4 + plen..])?;
+    let (edges, used) = decode_edges(buf.get(4 + plen..)?)?;
     if 4 + plen + used != buf.len() {
         return None;
     }
@@ -97,7 +97,7 @@ pub fn decode_routes(buf: &[u8]) -> Option<Vec<Route>> {
     let mut routes = Vec::with_capacity(n);
     let mut off = 4;
     for _ in 0..n {
-        let (r, used) = Route::from_bytes(&buf[off..])?;
+        let (r, used) = Route::from_bytes(buf.get(off..)?)?;
         routes.push(r);
         off += used;
     }

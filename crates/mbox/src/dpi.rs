@@ -6,6 +6,7 @@
 //! rule set ("TLS traffic in enterprise networks can be sent to the
 //! SGX-enabled cloud for deep packet inspection").
 
+// teenet-analyze: allow-file(enclave-index) -- every node/rule index is produced by the automaton construction itself (nodes.len()-1 at push time, match indices bounded by scan); record bytes only select transitions, never indices
 use std::collections::VecDeque;
 
 /// What to do when a rule matches.

@@ -144,7 +144,9 @@ impl EnclaveProgram for MiddleboxEnclave {
                     return Err(SgxError::EcallRejected("short provision input"));
                 }
                 let (nonce, sealed) = input.split_at(32);
-                let nonce: [u8; 32] = nonce.try_into().expect("32");
+                let nonce: [u8; 32] = nonce
+                    .try_into()
+                    .map_err(|_| SgxError::EcallRejected("bad session nonce"))?;
                 ctx.charge(ctx.model.aes_key_schedule + ctx.model.aes_bytes(sealed.len()));
                 let channel = self.responder.channel_mut(&nonce)?;
                 let plain = channel
@@ -182,7 +184,9 @@ impl EnclaveProgram for MiddleboxEnclave {
                 if input.len() < 9 {
                     return Err(SgxError::EcallRejected("short process input"));
                 }
-                let sid: [u8; 8] = input[..8].try_into().expect("8");
+                let sid: [u8; 8] = input[..8]
+                    .try_into()
+                    .map_err(|_| SgxError::EcallRejected("bad session id"))?;
                 let direction = input[8];
                 let record = &input[9..];
                 ctx.charge(ctx.model.aes_key_schedule + 2 * ctx.model.aes_bytes(record.len()));
@@ -244,7 +248,9 @@ impl EnclaveProgram for MiddleboxEnclave {
                 if input.len() != 8 {
                     return Err(SgxError::EcallRejected("short stats input"));
                 }
-                let sid: [u8; 8] = input.try_into().expect("8");
+                let sid: [u8; 8] = input
+                    .try_into()
+                    .map_err(|_| SgxError::EcallRejected("bad session id"))?;
                 let session = self
                     .sessions
                     .get(&sid)

@@ -210,12 +210,14 @@ impl CostModel {
 
     /// The CPI as a float, for display only — all accounting uses the
     /// exact rational.
+    // teenet-analyze: allow-block(float-accounting) -- display-only conversion; cycle totals use the exact rational in cycles()
     pub fn cpi(&self) -> f64 {
         self.cpi_num as f64 / self.cpi_den.max(1) as f64
     }
 
     /// Cost of a modular exponentiation at `bits` modulus size
     /// (cubic scaling from the calibrated 1024-bit cost).
+    // teenet-analyze: allow-block(float-accounting) -- one-off calibration scaling far below 2^53; never accumulated
     pub fn modexp(&self, bits: usize) -> u64 {
         let ratio = bits as f64 / 1024.0;
         (self.modexp_1024 as f64 * ratio * ratio * ratio) as u64

@@ -1,4 +1,19 @@
 #![warn(missing_docs)]
+// Enclave-abort hygiene (mirrors the teenet-analyze `enclave-abort`
+// rule): non-test code in this crate must surface failures as
+// `Result`, never abort. The rare infallible-by-construction sites
+// carry a teenet-analyze waiver plus a site-level `#[allow]`.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented,
+        clippy::unreachable
+    )
+)]
 
 //! # teenet-sgx
 //!

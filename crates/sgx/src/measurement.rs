@@ -68,6 +68,7 @@ impl MeasurementBuilder {
     pub fn eextend(&mut self, offset: usize, content: &[u8]) {
         let mut page = [0u8; PAGE_SIZE];
         let n = content.len().min(PAGE_SIZE);
+        // teenet-analyze: allow(enclave-index) -- n is min-clamped to both slice lengths
         page[..n].copy_from_slice(&content[..n]);
         for (i, chunk) in page.chunks(EEXTEND_CHUNK).enumerate() {
             self.hasher.update(b"EEXTEND");

@@ -95,6 +95,7 @@ pub fn verify_report(report_key: &[u8; 32], report: &Report) -> Result<()> {
 pub fn report_data_from(bytes: &[u8]) -> [u8; REPORT_DATA_LEN] {
     let mut out = [0u8; REPORT_DATA_LEN];
     let n = bytes.len().min(REPORT_DATA_LEN);
+    // teenet-analyze: allow(enclave-index) -- n is min-clamped to both slice lengths
     out[..n].copy_from_slice(&bytes[..n]);
     out
 }

@@ -42,6 +42,16 @@ impl SealedBlob {
     /// Parses [`SealedBlob::to_bytes`].
     pub fn from_bytes(buf: &[u8]) -> Result<Self> {
         let err = || SgxError::UnsealFailed("malformed sealed blob");
+        fn arr<const N: usize>(
+            buf: &[u8],
+            off: usize,
+            err: impl Fn() -> SgxError,
+        ) -> Result<[u8; N]> {
+            let slice = buf.get(off..off + N).ok_or_else(&err)?;
+            let mut out = [0u8; N];
+            out.copy_from_slice(slice);
+            Ok(out)
+        }
         if buf.len() < 2 {
             return Err(err());
         }
@@ -49,26 +59,13 @@ impl SealedBlob {
         let mut off = 2;
         let label = buf.get(off..off + llen).ok_or_else(err)?.to_vec();
         off += llen;
-        let nonce: [u8; 16] = buf
-            .get(off..off + 16)
-            .ok_or_else(err)?
-            .try_into()
-            .expect("16");
+        let nonce: [u8; 16] = arr(buf, off, err)?;
         off += 16;
-        let clen = u32::from_le_bytes(
-            buf.get(off..off + 4)
-                .ok_or_else(err)?
-                .try_into()
-                .expect("4"),
-        ) as usize;
+        let clen = u32::from_le_bytes(arr::<4>(buf, off, err)?) as usize;
         off += 4;
         let ciphertext = buf.get(off..off + clen).ok_or_else(err)?.to_vec();
         off += clen;
-        let mac: [u8; 32] = buf
-            .get(off..off + 32)
-            .ok_or_else(err)?
-            .try_into()
-            .expect("32");
+        let mac: [u8; 32] = arr(buf, off, err)?;
         off += 32;
         if off != buf.len() {
             return Err(err());
@@ -93,6 +90,8 @@ fn split_key(seal_key: &[u8; 32]) -> ([u8; 16], [u8; 32]) {
 /// Seals `plaintext` under `seal_key` with a caller-supplied unique nonce.
 pub fn seal(seal_key: &[u8; 32], label: &[u8], nonce: [u8; 16], plaintext: &[u8]) -> SealedBlob {
     let (enc_key, mac_key) = split_key(seal_key);
+    #[allow(clippy::expect_used)]
+    // teenet-analyze: allow(enclave-abort) -- key is the statically 16-byte half of split_key, not untrusted input
     let cipher = Aes128::new(&enc_key).expect("16-byte key");
     let mut ciphertext = plaintext.to_vec();
     cipher.ctr_apply(&nonce, &mut ciphertext);
@@ -119,6 +118,8 @@ pub fn unseal(seal_key: &[u8; 32], blob: &SealedBlob) -> Result<Vec<u8>> {
     if !hmac_verify(&mac_key, &macd, &blob.mac) {
         return Err(SgxError::UnsealFailed("MAC mismatch"));
     }
+    #[allow(clippy::expect_used)]
+    // teenet-analyze: allow(enclave-abort) -- key is the statically 16-byte half of split_key, not untrusted input
     let cipher = Aes128::new(&enc_key).expect("16-byte key");
     let mut plaintext = blob.ciphertext.clone();
     cipher.ctr_apply(&blob.nonce, &mut plaintext);

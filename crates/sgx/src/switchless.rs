@@ -320,4 +320,58 @@ mod tests {
         assert_eq!(TransitionMode::Classic.as_str(), "classic");
         assert_eq!(TransitionMode::Switchless.as_str(), "switchless");
     }
+
+    /// Sequential analogue of the `teenet-analyze` ring model checker:
+    /// enumerate every ecall sequence over {post one pair, overflow
+    /// post, idle ecall} and check the same invariants on the real
+    /// implementation — outcome conservation (every post is elided or
+    /// falls back), the woke flag reflecting the worker's state, posts
+    /// always leaving the worker spinning, and occupancy within the
+    /// ring capacity.
+    #[test]
+    fn enumerated_ecall_sequences_conserve_outcomes() {
+        const OPS: u32 = 3;
+        const DEPTH: u32 = 7;
+        for (ring, spin) in [(1usize, 0u32), (2, 1), (3, 2)] {
+            for encoded in 0..OPS.pow(DEPTH) {
+                let mut seq = encoded;
+                let mut s = switchless(ring, spin);
+                let (mut posts, mut elided, mut fallbacks) = (0u64, 0u64, 0u64);
+                for _ in 0..DEPTH {
+                    let op = seq % OPS;
+                    seq /= OPS;
+                    s.on_ecall_start();
+                    if op < 2 {
+                        let pairs = if op == 0 { 1 } else { ring as u64 + 1 };
+                        let awake_before = s.worker_awake();
+                        posts += 1;
+                        match s.post(pairs) {
+                            Post::Elided => elided += 1,
+                            Post::Fallback { woke } => {
+                                fallbacks += 1;
+                                assert_eq!(
+                                    woke, !awake_before,
+                                    "woke flag must reflect the worker state"
+                                );
+                            }
+                            Post::Classic => {
+                                panic!("switchless mode never returns Classic")
+                            }
+                        }
+                        assert!(s.worker_awake(), "a post always leaves the worker spinning");
+                    }
+                    s.on_ecall_end();
+                    assert!(
+                        s.ring_used <= s.config.ring_capacity,
+                        "ring occupancy must stay within capacity"
+                    );
+                }
+                assert_eq!(
+                    elided + fallbacks,
+                    posts,
+                    "every post is elided or falls back (seq {encoded}, ring {ring}, spin {spin})"
+                );
+            }
+        }
+    }
 }

@@ -23,6 +23,15 @@ fn take<'a>(buf: &mut &'a [u8], n: usize, what: &'static str) -> Result<&'a [u8]
     Ok(head)
 }
 
+/// Like [`take`], but returns a fixed array, so parsers never need an
+/// abort-on-mismatch `try_into().expect(..)` after a length check.
+fn take_arr<const N: usize>(buf: &mut &[u8], what: &'static str) -> Result<[u8; N]> {
+    let head = take(buf, N, what)?;
+    let mut out = [0u8; N];
+    out.copy_from_slice(head);
+    Ok(out)
+}
+
 fn take_var<'a>(buf: &mut &'a [u8], what: &'static str) -> Result<&'a [u8]> {
     let len_bytes = take(buf, 2, what)?;
     let len = u16::from_le_bytes([len_bytes[0], len_bytes[1]]) as usize;
@@ -39,20 +48,20 @@ impl ReportBody {
     /// Parses a body from the canonical encoding of
     /// [`ReportBody::to_bytes`].
     pub fn from_bytes(mut buf: &[u8]) -> Result<Self> {
-        let mrenclave = take(&mut buf, 32, "report body mrenclave")?;
-        let mrsigner = take(&mut buf, 32, "report body mrsigner")?;
-        let svn = take(&mut buf, 2, "report body svn")?;
-        let data = take(&mut buf, REPORT_DATA_LEN, "report body data")?;
+        let mrenclave = take_arr::<32>(&mut buf, "report body mrenclave")?;
+        let mrsigner = take_arr::<32>(&mut buf, "report body mrsigner")?;
+        let svn = take_arr::<2>(&mut buf, "report body svn")?;
+        let data = take_arr::<REPORT_DATA_LEN>(&mut buf, "report body data")?;
         if !buf.is_empty() {
             return Err(SgxError::Crypto(teenet_crypto::CryptoError::Malformed(
                 "report body trailing bytes",
             )));
         }
         Ok(ReportBody {
-            mrenclave: Measurement(mrenclave.try_into().expect("32")),
-            mrsigner: Measurement(mrsigner.try_into().expect("32")),
-            isv_svn: u16::from_le_bytes([svn[0], svn[1]]),
-            report_data: data.try_into().expect("64"),
+            mrenclave: Measurement(mrenclave),
+            mrsigner: Measurement(mrsigner),
+            isv_svn: u16::from_le_bytes(svn),
+            report_data: data,
         })
     }
 
@@ -73,8 +82,8 @@ impl Report {
     /// Parses the encoding of [`Report::to_bytes`].
     pub fn from_bytes(mut buf: &[u8]) -> Result<Self> {
         let body = take(&mut buf, ReportBody::WIRE_LEN, "report body")?;
-        let target = take(&mut buf, 32, "report target")?;
-        let mac = take(&mut buf, 32, "report mac")?;
+        let target = take_arr::<32>(&mut buf, "report target")?;
+        let mac = take_arr::<32>(&mut buf, "report mac")?;
         if !buf.is_empty() {
             return Err(SgxError::Crypto(teenet_crypto::CryptoError::Malformed(
                 "report trailing bytes",
@@ -83,9 +92,9 @@ impl Report {
         Ok(Report {
             body: ReportBody::from_bytes(body)?,
             target: TargetInfo {
-                mrenclave: Measurement(target.try_into().expect("32")),
+                mrenclave: Measurement(target),
             },
-            mac: mac.try_into().expect("32"),
+            mac,
         })
     }
 }
@@ -104,7 +113,7 @@ impl Quote {
     /// Parses the encoding of [`Quote::to_bytes`].
     pub fn from_bytes(mut buf: &[u8]) -> Result<Self> {
         let body = take(&mut buf, ReportBody::WIRE_LEN, "quote body")?;
-        let gid = take(&mut buf, 8, "quote group id")?;
+        let gid = take_arr::<8>(&mut buf, "quote group id")?;
         let sig = take_var(&mut buf, "quote signature")?;
         if !buf.is_empty() {
             return Err(SgxError::Crypto(teenet_crypto::CryptoError::Malformed(
@@ -113,7 +122,7 @@ impl Quote {
         }
         Ok(Quote {
             body: ReportBody::from_bytes(body)?,
-            group_id: u64::from_le_bytes(gid.try_into().expect("8")),
+            group_id: u64::from_le_bytes(gid),
             signature: Signature::from_bytes(sig).map_err(SgxError::Crypto)?,
         })
     }

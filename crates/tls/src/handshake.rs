@@ -84,10 +84,12 @@ fn derive_keys(
         suite,
         client_write: DirectionKeys {
             enc_key: expand(b"client-enc", suite.key_len())?,
+            // teenet-analyze: allow(enclave-abort) -- expand returns exactly the 32 bytes requested
             mac_key: expand(b"client-mac", 32)?.try_into().expect("32 bytes"),
         },
         server_write: DirectionKeys {
             enc_key: expand(b"server-enc", suite.key_len())?,
+            // teenet-analyze: allow(enclave-abort) -- expand returns exactly the 32 bytes requested
             mac_key: expand(b"server-mac", 32)?.try_into().expect("32 bytes"),
         },
     };
@@ -294,8 +296,13 @@ impl TlsServerAwaitKex {
         if msg.len() != 3 + dh_len + 32 {
             return Err(TlsError::Malformed("ClientKex length"));
         }
-        let client_pub = BigUint::from_bytes_be(&msg[3..3 + dh_len]);
-        let client_fin = &msg[3 + dh_len..];
+        let client_pub = BigUint::from_bytes_be(
+            msg.get(3..3 + dh_len)
+                .ok_or(TlsError::Malformed("ClientKex length"))?,
+        );
+        let client_fin = msg
+            .get(3 + dh_len..)
+            .ok_or(TlsError::Malformed("ClientKex length"))?;
 
         let shared = self.keypair.shared_secret(&client_pub)?;
         let (keys, prk) = derive_keys(
@@ -306,7 +313,10 @@ impl TlsServerAwaitKex {
         )?;
 
         // Transcript includes the kex message *without* its Finished MAC.
-        self.transcript.update(&msg[..3 + dh_len]);
+        self.transcript.update(
+            msg.get(..3 + dh_len)
+                .ok_or(TlsError::Malformed("ClientKex length"))?,
+        );
         let expected = finished_mac(&prk, b"client finished", &self.transcript);
         if !teenet_crypto::ct::ct_eq(&expected, client_fin) {
             return Err(TlsError::BadMac("client Finished"));

@@ -93,8 +93,12 @@ impl RecordProtection {
         if record.len() != 2 + len + TAG_LEN {
             return Err(TlsError::Malformed("record length mismatch"));
         }
-        let ciphertext = &record[2..2 + len];
-        let tag = &record[2 + len..];
+        let ciphertext = record
+            .get(2..2 + len)
+            .ok_or(TlsError::Malformed("record length mismatch"))?;
+        let tag = record
+            .get(2 + len..)
+            .ok_or(TlsError::Malformed("record length mismatch"))?;
         let seq = self.seq;
         let expected = self.mac(seq, ciphertext);
         if !ct_eq(&expected, tag) {

@@ -99,6 +99,7 @@ impl Cell {
             return Err(TorError::BadCell("payload too large"));
         }
         let mut payload = [0u8; PAYLOAD_LEN];
+        // teenet-analyze: allow(enclave-index) -- data.len() <= PAYLOAD_LEN checked above
         payload[..data.len()].copy_from_slice(data);
         Ok(Cell {
             circ_id,
@@ -121,7 +122,11 @@ impl Cell {
         if buf.len() != CELL_LEN {
             return Err(TorError::BadCell("wrong cell length"));
         }
-        let circ_id = u32::from_be_bytes(buf[..4].try_into().expect("4"));
+        let circ_id = u32::from_be_bytes(
+            buf[..4]
+                .try_into()
+                .map_err(|_| TorError::BadCell("wrong cell length"))?,
+        );
         let cmd = CellCmd::from_u8(buf[4]).ok_or(TorError::BadCell("unknown command"))?;
         let mut payload = [0u8; PAYLOAD_LEN];
         payload.copy_from_slice(&buf[5..]);
@@ -164,6 +169,7 @@ impl RelayPayload {
         // bytes 1..3: "recognized" = 0.
         out[3..7].copy_from_slice(&self.digest);
         out[7..9].copy_from_slice(&(self.data.len() as u16).to_be_bytes());
+        // teenet-analyze: allow(enclave-index) -- data.len() <= RELAY_DATA_LEN is a RelayPayload invariant (enforced by new and decode)
         out[RELAY_HEADER_LEN..RELAY_HEADER_LEN + self.data.len()].copy_from_slice(&self.data);
         out
     }
@@ -185,7 +191,10 @@ impl RelayPayload {
         Ok(RelayPayload {
             cmd,
             digest,
-            data: buf[RELAY_HEADER_LEN..RELAY_HEADER_LEN + len].to_vec(),
+            data: buf
+                .get(RELAY_HEADER_LEN..RELAY_HEADER_LEN + len)
+                .ok_or(TorError::BadCell("relay length"))?
+                .to_vec(),
         })
     }
 }

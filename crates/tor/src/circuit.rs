@@ -177,6 +177,7 @@ impl TorClient {
 
     /// Seals for the terminal hop, then applies all layers innermost-first.
     fn onionize(hops: &mut [HopKeys], payload: &RelayPayload) -> [u8; crate::cell::PAYLOAD_LEN] {
+        // teenet-analyze: allow(enclave-abort) -- internal helper, every caller extends an established (non-empty) circuit
         let terminal = hops.last().expect("at least one hop");
         let mut sealed = seal_relay(terminal, true, payload);
         for hop in hops.iter_mut().rev() {
@@ -212,7 +213,11 @@ impl TorClient {
                 if 2 + len > cell.payload.len() {
                     return Err(TorError::BadCell("CREATED dh length"));
                 }
-                let relay_pub = BigUint::from_bytes_be(&cell.payload[2..2 + len]);
+                let relay_pub = BigUint::from_bytes_be(
+                    cell.payload
+                        .get(2..2 + len)
+                        .ok_or(TorError::BadCell("CREATED dh length"))?,
+                );
                 let dh = state
                     .pending_dh
                     .take()
@@ -226,11 +231,11 @@ impl TorClient {
                 // Strip layers until one hop recognises the payload.
                 let mut payload = cell.payload;
                 let mut consumed: Option<(usize, RelayPayload)> = None;
-                for i in 0..state.hops.len() {
-                    let ctr = state.hops[i].back_ctr;
-                    state.hops[i].crypt_backward(&mut payload);
+                for (i, hop) in state.hops.iter_mut().enumerate() {
+                    let ctr = hop.back_ctr;
+                    hop.crypt_backward(&mut payload);
                     if let Ok(parsed) = RelayPayload::decode(&payload) {
-                        if verify_relay_digest(&state.hops[i], false, ctr, &parsed).is_ok() {
+                        if verify_relay_digest(hop, false, ctr, &parsed).is_ok() {
                             consumed = Some((i, parsed));
                             break;
                         }
@@ -246,8 +251,16 @@ impl TorClient {
                         if 2 + len > parsed.data.len() {
                             return Err(TorError::BadCell("EXTENDED dh length"));
                         }
-                        let relay_pub = BigUint::from_bytes_be(&parsed.data[2..2 + len]);
-                        let state = self.circuits.get_mut(&circ).expect("circuit exists");
+                        let relay_pub = BigUint::from_bytes_be(
+                            parsed
+                                .data
+                                .get(2..2 + len)
+                                .ok_or(TorError::BadCell("EXTENDED dh length"))?,
+                        );
+                        let state = self
+                            .circuits
+                            .get_mut(&circ)
+                            .ok_or(TorError::UnknownCircuit(circ))?;
                         let dh = state
                             .pending_dh
                             .take()
@@ -302,7 +315,10 @@ impl TorClient {
             return Ok(Vec::new());
         }
         // Extend to path[established].
-        let next = state.path[established];
+        let next = *state
+            .path
+            .get(established)
+            .ok_or(TorError::CircuitState("more hops than path entries"))?;
         let dh = DhKeyPair::generate(&self.group, &mut self.rng)?;
         let pub_bytes = dh.public_bytes();
         state.pending_dh = Some(dh);

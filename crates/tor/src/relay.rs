@@ -136,7 +136,11 @@ impl OnionRouter {
         if len + 2 > PAYLOAD_LEN {
             return Err(TorError::BadCell("CREATE dh length"));
         }
-        let client_pub = BigUint::from_bytes_be(&cell.payload[2..2 + len]);
+        let client_pub = BigUint::from_bytes_be(
+            cell.payload
+                .get(2..2 + len)
+                .ok_or(TorError::BadCell("CREATE dh length"))?,
+        );
         let keypair = DhKeyPair::generate(&self.group, &mut self.rng)?;
         let shared = keypair.shared_secret(&client_pub)?;
         let keys = HopKeys::derive(&shared)?;
@@ -187,7 +191,12 @@ impl OnionRouter {
         if 2 + len > cell.payload.len() {
             return Err(TorError::BadCell("CREATED dh length"));
         }
-        let payload = RelayPayload::new(RelayCmd::Extended, &cell.payload[..2 + len])?;
+        let payload = RelayPayload::new(
+            RelayCmd::Extended,
+            cell.payload
+                .get(..2 + len)
+                .ok_or(TorError::BadCell("CREATED dh length"))?,
+        )?;
         let mut sealed = seal_relay(&state.keys, false, &payload);
         state.keys.crypt_backward(&mut sealed);
         let relay_cell = Cell {
@@ -220,7 +229,10 @@ impl OnionRouter {
                 }
             }
             // Otherwise forward along the circuit.
-            let state = self.states.get_mut(&internal).expect("state exists");
+            let state = self
+                .states
+                .get_mut(&internal)
+                .ok_or(TorError::CircuitState("gone"))?;
             if let Some((next_node, next_circ)) = state.next {
                 if self.behavior == RelayBehavior::Snooper {
                     self.observed_metadata.push((state.prev, next_node));
@@ -257,8 +269,11 @@ impl OnionRouter {
                 if payload.data.len() < 6 {
                     return Err(TorError::BadCell("EXTEND payload"));
                 }
-                let next_node =
-                    NodeId(u32::from_be_bytes(payload.data[..4].try_into().expect("4")));
+                let next_node = NodeId(u32::from_be_bytes(
+                    payload.data[..4]
+                        .try_into()
+                        .map_err(|_| TorError::BadCell("EXTEND payload"))?,
+                ));
                 let circ = self.next_circ_id;
                 self.next_circ_id += 1;
                 let state = self
@@ -277,7 +292,11 @@ impl OnionRouter {
                 if !self.is_exit {
                     return self.backward_reply(internal, RelayCmd::End, b"not an exit");
                 }
-                let dest = NodeId(u32::from_be_bytes(payload.data[..4].try_into().expect("4")));
+                let dest = NodeId(u32::from_be_bytes(
+                    payload.data[..4]
+                        .try_into()
+                        .map_err(|_| TorError::BadCell("BEGIN payload"))?,
+                ));
                 let state = self
                     .states
                     .get_mut(&internal)
