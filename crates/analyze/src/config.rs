@@ -56,6 +56,9 @@ impl AnalyzeConfig {
             enclave_resident: vec![
                 // The SGX emulator: trusted by definition.
                 s("crates/sgx/src"),
+                // The service layer: harness + calibration paths shared by
+                // every workload; panics here would cross every app.
+                s("crates/app/src"),
                 // Attestation core: enclave-side protocol + channel.
                 s("crates/core/src/attest.rs"),
                 s("crates/core/src/responder.rs"),
@@ -163,6 +166,8 @@ mod tests {
         let c = AnalyzeConfig::repo();
         assert!(c.is_enclave_resident("crates/sgx/src/seal.rs"));
         assert!(c.is_enclave_resident("crates/sgx/src"));
+        assert!(c.is_enclave_resident("crates/app/src/harness.rs"));
+        assert!(!c.is_enclave_resident("crates/app/Cargo.toml"));
         assert!(!c.is_enclave_resident("crates/sgx/srcfoo.rs"));
         assert!(!c.is_enclave_resident("crates/netsim/src/sim.rs"));
         assert!(c.is_excluded("vendor/bytes/src/lib.rs"));

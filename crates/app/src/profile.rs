@@ -1,0 +1,119 @@
+//! The calibrated-workload profile types shared by every application.
+//!
+//! A load run does not execute tens of thousands of real protocol
+//! sessions — it runs a handful against the real enclaves (via
+//! [`crate::AppHarness`]), captures each operation's instruction counters
+//! and wire sizes as a [`WorkProfile`], and replays that profile at scale
+//! on virtual time. These types live here (rather than in the
+//! attestation core or the load driver) so every application crate can
+//! expose a calibration service without depending on either.
+
+use teenet_sgx::cost::Counters;
+use teenet_sgx::{TransitionMode, TransitionStats};
+
+/// The measured cost of one client→server exchange within a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkStep {
+    /// Step name (stable; surfaces in load reports).
+    pub name: &'static str,
+    /// Client-side instruction cost.
+    pub client: Counters,
+    /// Server-side instruction cost.
+    pub server: Counters,
+    /// Request size on the wire.
+    pub request_bytes: usize,
+    /// Response size on the wire.
+    pub response_bytes: usize,
+    /// Server-side enclave boundary crossings during this step.
+    pub transitions: TransitionStats,
+}
+
+/// A calibrated workload: one-time setup cost plus the per-session step
+/// script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkProfile {
+    /// One-time cost (enclave load, provisioning, admission attestations).
+    pub setup: Counters,
+    /// The steps of one session, in order.
+    pub steps: Vec<WorkStep>,
+    /// Transition mode the profile was calibrated under.
+    pub mode: TransitionMode,
+}
+
+impl WorkProfile {
+    /// Summed server-side counters of one session.
+    pub fn session_server(&self) -> Counters {
+        let mut total = Counters::new();
+        for s in &self.steps {
+            total.merge(s.server);
+        }
+        total
+    }
+
+    /// Summed client-side counters of one session.
+    pub fn session_client(&self) -> Counters {
+        let mut total = Counters::new();
+        for s in &self.steps {
+            total.merge(s.client);
+        }
+        total
+    }
+
+    /// Summed boundary-crossing statistics of one session.
+    pub fn session_transitions(&self) -> TransitionStats {
+        let mut total = TransitionStats::new();
+        for s in &self.steps {
+            total.merge(s.transitions);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(sgx: u64, normal: u64) -> Counters {
+        Counters {
+            sgx_instr: sgx,
+            normal_instr: normal,
+        }
+    }
+
+    fn step(name: &'static str, client: Counters, server: Counters) -> WorkStep {
+        WorkStep {
+            name,
+            client,
+            server,
+            request_bytes: 10,
+            response_bytes: 20,
+            transitions: TransitionStats {
+                taken: 1,
+                elided: 2,
+                fallbacks: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn session_rollups_sum_over_steps() {
+        let p = WorkProfile {
+            setup: c(1, 10),
+            steps: vec![
+                step("a", c(0, 100), c(2, 200)),
+                step("b", c(1, 50), c(3, 300)),
+            ],
+            mode: TransitionMode::Classic,
+        };
+        assert_eq!(p.session_server(), c(5, 500));
+        assert_eq!(p.session_client(), c(1, 150));
+        assert_eq!(
+            p.session_transitions(),
+            TransitionStats {
+                taken: 2,
+                elided: 4,
+                fallbacks: 0
+            }
+        );
+    }
+}

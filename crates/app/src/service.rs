@@ -1,0 +1,270 @@
+//! The [`EnclaveService`] trait: the contract between an enclave
+//! application and the [`crate::AppHarness`].
+//!
+//! Every paper workload used to re-implement the same lifecycle by hand:
+//! deploy enclaves, attest and provision, switch the transition mode,
+//! snapshot counters around each protocol step, and assemble a
+//! [`crate::WorkProfile`]. The trait splits that lifecycle into the parts
+//! only the application knows (what to deploy, how to provision, how to
+//! run one step) and leaves the cross-cutting parts — ordering, metering,
+//! the switchless marginal-cost measurement, profile assembly — to the
+//! harness.
+
+use core::fmt;
+
+use teenet_sgx::cost::{CostModel, Counters};
+use teenet_sgx::{TransitionMode, TransitionStats};
+
+use crate::ledger::AttestLedger;
+use crate::profile::WorkStep;
+
+/// Harness-side failures surfaced through a service's own error type
+/// (every [`EnclaveService::Error`] must be `From<AppError>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppError {
+    /// A calibration precondition failed (bad workload shape, e.g. a
+    /// session of zero records).
+    Calibration(&'static str),
+    /// The harness and the service disagreed about the protocol (empty
+    /// session script, wrong step-outcome kind, accessor use before
+    /// deployment).
+    Harness(&'static str),
+}
+
+impl AppError {
+    /// The underlying message.
+    pub fn message(self) -> &'static str {
+        match self {
+            AppError::Calibration(m) | AppError::Harness(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppError::Calibration(m) => write!(f, "calibration rejected: {m}"),
+            AppError::Harness(m) => write!(f, "harness protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {}
+
+// `teenet-interdomain`'s deployment layer reports errors directly as
+// `SgxError`; give it a lossless-enough lowering so its service impl can
+// use the shared harness without a new error enum.
+impl From<AppError> for teenet_sgx::SgxError {
+    fn from(e: AppError) -> Self {
+        teenet_sgx::SgxError::EcallRejected(e.message())
+    }
+}
+
+/// Cross-cutting state the harness wires into every calibration: the
+/// seed, the transition mode under test, the paper cost model, and a
+/// fresh attestation ledger for provisioning accounting.
+#[derive(Debug)]
+pub struct ServiceEnv {
+    /// Seed for all service-side randomness (services derive their own
+    /// [`teenet_crypto`-style] rngs from it so profiles are deterministic).
+    pub seed: u64,
+    /// The transition mode this calibration runs under.
+    pub mode: TransitionMode,
+    /// The calibrated paper cost model (client-side modelled costs).
+    pub model: CostModel,
+    /// Attestation accounting for the provisioning phase.
+    pub ledger: AttestLedger,
+}
+
+impl ServiceEnv {
+    /// A fresh environment for one calibration run.
+    pub fn new(seed: u64, mode: TransitionMode) -> Self {
+        ServiceEnv {
+            seed,
+            mode,
+            model: CostModel::paper(),
+            ledger: AttestLedger::new(),
+        }
+    }
+}
+
+/// How the harness turns one scripted step into profile steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// Execute once ([`StepRequest::Once`]), meter the delta, and emit
+    /// the measured step `n` times (one real measurement replayed —
+    /// exact, because the cost model is deterministic per operation).
+    Repeat(u32),
+    /// The batched-ecall marginal-cost measurement: execute a batch of
+    /// one then a batch of two ([`StepRequest::Batch`]); the first
+    /// profile step is the batch-of-one cost (it carries the batch's
+    /// lone transition pair), and the marginal cost (batch-of-two minus
+    /// batch-of-one) is emitted `n - 1` times.
+    AmortisedBatch(u32),
+    /// The service derives the full [`WorkStep`] from the cost model
+    /// itself (for paths that run outside the counter-instrumented
+    /// platform, e.g. Tor's per-cell relay loop).
+    Computed,
+}
+
+/// One entry of a service's session script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepSpec {
+    /// Step name (stable; surfaces in load reports).
+    pub name: &'static str,
+    /// How the harness measures and replays this step.
+    pub kind: StepKind,
+    /// Service-defined argument (e.g. the hop index of a Tor extend).
+    pub arg: u64,
+}
+
+impl StepSpec {
+    /// A step measured once and replayed `n` times.
+    pub fn repeat(name: &'static str, n: u32) -> Self {
+        StepSpec {
+            name,
+            kind: StepKind::Repeat(n),
+            arg: 0,
+        }
+    }
+
+    /// A step measured via the batched marginal-cost trick.
+    pub fn amortised(name: &'static str, n: u32) -> Self {
+        StepSpec {
+            name,
+            kind: StepKind::AmortisedBatch(n),
+            arg: 0,
+        }
+    }
+
+    /// A model-derived step with a service-defined argument.
+    pub fn computed(name: &'static str, arg: u64) -> Self {
+        StepSpec {
+            name,
+            kind: StepKind::Computed,
+            arg,
+        }
+    }
+}
+
+/// The typed request the harness hands to [`EnclaveService::run_step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepRequest {
+    /// Run the step once ([`StepKind::Repeat`] and [`StepKind::Computed`]).
+    Once,
+    /// Run `n` identical operations as one batched ecall
+    /// ([`StepKind::AmortisedBatch`]).
+    Batch(u32),
+}
+
+/// The typed response of one executed (harness-metered) step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepExecution {
+    /// Request size on the wire, per operation.
+    pub request_bytes: usize,
+    /// Response size on the wire, per operation.
+    pub response_bytes: usize,
+    /// Client-side cost *not* captured by [`EnclaveService::client_counters`]
+    /// (model-derived or challenger-measured). For [`StepRequest::Batch`]
+    /// this is the cost of the whole batch.
+    pub client: Counters,
+}
+
+/// What running one step produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The step ran against real enclaves; the harness meters the
+    /// server/client deltas around it.
+    Executed(StepExecution),
+    /// The service computed the full step from the cost model
+    /// ([`StepKind::Computed`] only).
+    Computed(WorkStep),
+}
+
+/// An enclave application the [`crate::AppHarness`] can deploy,
+/// provision, calibrate and tear down.
+///
+/// The harness drives the lifecycle strictly in this order:
+///
+/// 1. [`deploy`](EnclaveService::deploy) — load platforms and enclaves.
+/// 2. [`provision`](EnclaveService::provision) — attestation-gated key
+///    release / admission / topology bootstrap (records into
+///    [`ServiceEnv::ledger`]).
+/// 3. [`set_transition_mode`](EnclaveService::set_transition_mode) — put
+///    steady-state paths into the calibration's mode (setup always runs
+///    classic, as the paper excludes it from steady state).
+/// 4. [`setup_counters`](EnclaveService::setup_counters) — one-time cost.
+/// 5. [`session_script`](EnclaveService::session_script) +
+///    [`run_step`](EnclaveService::run_step) — per-step calibration, with
+///    the harness reading [`server_counters`](EnclaveService::server_counters),
+///    [`client_counters`](EnclaveService::client_counters) and
+///    [`transition_stats`](EnclaveService::transition_stats) around each
+///    execution.
+/// 6. [`teardown`](EnclaveService::teardown).
+///
+/// Implementations must be deterministic in [`ServiceEnv::seed`] and must
+/// surface failures as errors — calibration paths never panic.
+pub trait EnclaveService {
+    /// The service's error type; harness failures lower into it.
+    type Error: From<AppError> + fmt::Debug;
+
+    /// Stable service name (doubles as the load-scenario name).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for listings.
+    fn describe(&self) -> &'static str;
+
+    /// Loads platforms and enclaves. Must reset any previous deployment.
+    fn deploy(&mut self, env: &mut ServiceEnv) -> Result<(), Self::Error>;
+
+    /// Attestation-gated provisioning (key release, admission, topology
+    /// attestation). Default: nothing to provision.
+    fn provision(&mut self, env: &mut ServiceEnv) -> Result<(), Self::Error> {
+        let _ = env;
+        Ok(())
+    }
+
+    /// Switches steady-state paths to `mode`.
+    fn set_transition_mode(&mut self, mode: TransitionMode) -> Result<(), Self::Error>;
+
+    /// One-time setup cost (enclave load, provisioning, admission),
+    /// read by the harness after provisioning. Default: everything the
+    /// server and client meters have accumulated so far.
+    fn setup_counters(&self) -> Result<Counters, Self::Error> {
+        let mut total = self.server_counters()?;
+        total.merge(self.client_counters()?);
+        Ok(total)
+    }
+
+    /// Cumulative server-side counters (all server platforms), read by
+    /// the harness around each executed step.
+    fn server_counters(&self) -> Result<Counters, Self::Error>;
+
+    /// Cumulative client-side *platform* counters; services whose client
+    /// is unmetered (modelled in [`StepExecution::client`]) keep the
+    /// zero default.
+    fn client_counters(&self) -> Result<Counters, Self::Error> {
+        Ok(Counters::new())
+    }
+
+    /// Cumulative boundary-crossing statistics of the metered enclaves.
+    fn transition_stats(&self) -> Result<TransitionStats, Self::Error>;
+
+    /// The per-session step script for this calibration.
+    fn session_script(&self, env: &ServiceEnv) -> Result<Vec<StepSpec>, Self::Error>;
+
+    /// Executes one scripted step against the deployed enclaves.
+    fn run_step(
+        &mut self,
+        spec: &StepSpec,
+        request: StepRequest,
+        env: &mut ServiceEnv,
+    ) -> Result<StepOutcome, Self::Error>;
+
+    /// Releases deployment resources. Default: dropping the service is
+    /// enough.
+    fn teardown(&mut self, env: &mut ServiceEnv) -> Result<(), Self::Error> {
+        let _ = env;
+        Ok(())
+    }
+}

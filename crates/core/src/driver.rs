@@ -1,19 +1,24 @@
-//! Calibration entry points for the load-generation subsystem
-//! (`teenet-load`).
+//! The attestation-storm workload as an [`EnclaveService`].
 //!
-//! A load run does not execute tens of thousands of real protocol sessions
-//! — it runs a handful against the real enclaves here, captures each
-//! operation's instruction counters and wire sizes as a [`WorkProfile`],
-//! and replays that profile at scale on virtual time. The profile types
-//! live in this crate (rather than in `teenet-load`) so every application
-//! crate can expose a calibration hook without depending on the load
-//! driver.
+//! One session is one full Figure-1 remote attestation of a target
+//! enclave: the challenger's request, the in-enclave REPORT, the quoting
+//! enclave's QUOTE, and the challenger's verification. The service runs
+//! the real protocol message by message so the calibrated wire sizes are
+//! the true ones, not estimates.
+//!
+//! The profile types ([`WorkProfile`]/[`WorkStep`]) and the generic
+//! calibrator live in `teenet-app`; this module only implements the
+//! service contract plus deprecated shims for the old free-function API.
 
+use teenet_app::{
+    AppError, AppHarness, EnclaveService, ServiceEnv, StepExecution, StepOutcome, StepRequest,
+    StepSpec,
+};
 use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
 use teenet_crypto::SecureRng;
-use teenet_sgx::cost::{CostModel, Counters};
+use teenet_sgx::cost::Counters;
 use teenet_sgx::{
-    EnclaveCtx, EnclaveProgram, EpidGroup, Platform, Report, SgxError, TransitionMode,
+    EnclaveCtx, EnclaveId, EnclaveProgram, EpidGroup, Platform, Report, SgxError, TransitionMode,
     TransitionStats,
 };
 
@@ -22,41 +27,14 @@ use crate::error::{Result, TeenetError};
 use crate::identity::IdentityPolicy;
 use crate::responder::AttestResponder;
 
-/// The measured cost of one client→server exchange within a session.
-#[derive(Debug, Clone, Copy)]
-pub struct WorkStep {
-    /// Step name (stable; surfaces in load reports).
-    pub name: &'static str,
-    /// Client-side instruction cost.
-    pub client: Counters,
-    /// Server-side instruction cost.
-    pub server: Counters,
-    /// Request size on the wire.
-    pub request_bytes: usize,
-    /// Response size on the wire.
-    pub response_bytes: usize,
-    /// Server-side enclave boundary crossings during this step.
-    pub transitions: TransitionStats,
-}
-
-/// A calibrated workload: one-time setup cost plus the per-session step
-/// script.
-#[derive(Debug, Clone)]
-pub struct WorkProfile {
-    /// One-time cost (enclave load, provisioning, admission attestations).
-    pub setup: Counters,
-    /// The steps of one session, in order.
-    pub steps: Vec<WorkStep>,
-    /// Transition mode the profile was calibrated under.
-    pub mode: TransitionMode,
-}
+pub use teenet_app::{WorkProfile, WorkStep};
 
 /// Minimal attestation-target enclave for calibration.
-struct AttestService {
+struct AttestTarget {
     responder: AttestResponder,
 }
 
-impl EnclaveProgram for AttestService {
+impl EnclaveProgram for AttestTarget {
     fn code_image(&self) -> Vec<u8> {
         b"load-attest-target-v1".to_vec()
     }
@@ -74,101 +52,211 @@ impl EnclaveProgram for AttestService {
     }
 }
 
+struct Deployed {
+    platform: Platform,
+    enclave: EnclaveId,
+    epid: EpidGroup,
+    rng: SecureRng,
+}
+
+/// The attestation-storm workload: one Figure-1 remote attestation per
+/// session, driven through [`teenet_app::AppHarness`].
+pub struct AttestService {
+    config: AttestConfig,
+    deployed: Option<Deployed>,
+}
+
+impl AttestService {
+    /// A service attesting a target under `config`.
+    pub fn new(config: AttestConfig) -> Self {
+        AttestService {
+            config,
+            deployed: None,
+        }
+    }
+
+    fn state(&self) -> Result<&Deployed> {
+        self.deployed
+            .as_ref()
+            .ok_or(TeenetError::Protocol("attest service not deployed"))
+    }
+}
+
+impl Default for AttestService {
+    fn default() -> Self {
+        AttestService::new(AttestConfig::fast())
+    }
+}
+
+impl EnclaveService for AttestService {
+    type Error = TeenetError;
+
+    fn name(&self) -> &'static str {
+        "attest"
+    }
+
+    fn describe(&self) -> &'static str {
+        "remote attestation storm: one Figure-1 attestation per session"
+    }
+
+    fn deploy(&mut self, env: &mut ServiceEnv) -> Result<()> {
+        let mut rng = SecureRng::seed_from_u64(env.seed);
+        let epid = EpidGroup::new(1, &mut rng).map_err(TeenetError::Sgx)?;
+        let mut platform = Platform::new("load-attest-target", &epid, env.seed);
+        let author =
+            SigningKey::generate(&SchnorrGroup::small(), &mut rng).map_err(TeenetError::Crypto)?;
+        let enclave = platform
+            .create_signed(
+                Box::new(AttestTarget {
+                    responder: AttestResponder::new(self.config.clone()),
+                }),
+                &author,
+                1,
+            )
+            .map_err(TeenetError::Sgx)?;
+        self.deployed = Some(Deployed {
+            platform,
+            enclave,
+            epid,
+            rng,
+        });
+        Ok(())
+    }
+
+    fn set_transition_mode(&mut self, mode: TransitionMode) -> Result<()> {
+        let state = self
+            .deployed
+            .as_mut()
+            .ok_or(TeenetError::Protocol("attest service not deployed"))?;
+        let enclave = state.enclave;
+        state
+            .platform
+            .set_transition_mode(enclave, mode)
+            .map_err(TeenetError::Sgx)
+    }
+
+    /// Setup is the target enclave's load cost alone: the quoting enclave
+    /// only works during sessions, and the challenger is unmetered.
+    fn setup_counters(&self) -> Result<Counters> {
+        let state = self.state()?;
+        state
+            .platform
+            .counters_of(state.enclave)
+            .map_err(TeenetError::Sgx)
+    }
+
+    /// The server side of an attestation is the target enclave plus its
+    /// platform's quoting enclave.
+    fn server_counters(&self) -> Result<Counters> {
+        let state = self.state()?;
+        let mut total = state
+            .platform
+            .counters_of(state.enclave)
+            .map_err(TeenetError::Sgx)?;
+        total.merge(state.platform.quoting_counters());
+        Ok(total)
+    }
+
+    fn transition_stats(&self) -> Result<TransitionStats> {
+        let state = self.state()?;
+        state
+            .platform
+            .transition_stats_of(state.enclave)
+            .map_err(TeenetError::Sgx)
+    }
+
+    fn session_script(&self, _env: &ServiceEnv) -> Result<Vec<StepSpec>> {
+        Ok(vec![StepSpec::repeat("attest", 1)])
+    }
+
+    fn run_step(
+        &mut self,
+        _spec: &StepSpec,
+        _request: StepRequest,
+        env: &mut ServiceEnv,
+    ) -> Result<StepOutcome> {
+        let config = self.config.clone();
+        let state = self
+            .deployed
+            .as_mut()
+            .ok_or(TeenetError::Protocol("attest service not deployed"))?;
+
+        // One real attestation, driven message by message so the wire
+        // sizes are the true ones, not estimates.
+        let (challenger, request) = Challenger::start(
+            IdentityPolicy::AcceptAny,
+            config,
+            &env.model,
+            &mut state.rng,
+        )?;
+        let request_wire = request.to_bytes();
+
+        let mut begin_input = request_wire.clone();
+        begin_input.extend_from_slice(&state.platform.quoting_target_info().mrenclave.0);
+        let report_bytes = state
+            .platform
+            .ecall_nohost(state.enclave, 0, &begin_input)
+            .map_err(TeenetError::Sgx)?;
+        let report = Report::from_bytes(&report_bytes).map_err(TeenetError::Sgx)?;
+        let quote = state.platform.quote(&report).map_err(TeenetError::Sgx)?;
+        let mut finish_input = request.nonce.to_vec();
+        finish_input.extend_from_slice(&quote.to_bytes());
+        let response_wire = state
+            .platform
+            .ecall_nohost(state.enclave, 1, &finish_input)
+            .map_err(TeenetError::Sgx)?;
+        let response = AttestResponse::from_bytes(&response_wire)?;
+        let outcome = challenger.verify(&response, &state.epid.public_key(), None)?;
+
+        Ok(StepOutcome::Executed(StepExecution {
+            request_bytes: request_wire.len(),
+            response_bytes: response_wire.len(),
+            client: outcome.counters,
+        }))
+    }
+}
+
+impl From<AppError> for TeenetError {
+    fn from(e: AppError) -> Self {
+        TeenetError::Protocol(e.message())
+    }
+}
+
 /// Calibrates the attestation-storm workload: one session is one full
-/// Figure-1 remote attestation of a target enclave. Runs the real protocol
-/// once and returns its measured counters and true wire sizes.
+/// Figure-1 remote attestation of a target enclave.
+#[deprecated(note = "drive `AttestService` through `teenet_app::AppHarness` instead")]
 pub fn calibrate_attest(config: &AttestConfig, seed: u64) -> Result<WorkProfile> {
-    calibrate_attest_mode(config, seed, TransitionMode::Classic)
+    AppHarness::new(seed, TransitionMode::Classic)
+        .calibrate(&mut AttestService::new(config.clone()))
 }
 
 /// [`calibrate_attest`] with an explicit transition mode: under
 /// [`TransitionMode::Switchless`] the responder's ocalls (nonce echo,
 /// chunked response streaming) ride the shared call ring instead of paying
 /// EEXIT/EENTER pairs.
+#[deprecated(note = "drive `AttestService` through `teenet_app::AppHarness` instead")]
 pub fn calibrate_attest_mode(
     config: &AttestConfig,
     seed: u64,
     mode: TransitionMode,
 ) -> Result<WorkProfile> {
-    let model = CostModel::paper();
-    let mut rng = SecureRng::seed_from_u64(seed);
-    let epid = EpidGroup::new(1, &mut rng).map_err(TeenetError::Sgx)?;
-    let mut platform = Platform::new("load-attest-target", &epid, seed);
-    let author =
-        SigningKey::generate(&SchnorrGroup::small(), &mut rng).map_err(TeenetError::Crypto)?;
-    let enclave = platform
-        .create_signed(
-            Box::new(AttestService {
-                responder: AttestResponder::new(config.clone()),
-            }),
-            &author,
-            1,
-        )
-        .map_err(TeenetError::Sgx)?;
-    platform
-        .set_transition_mode(enclave, mode)
-        .map_err(TeenetError::Sgx)?;
-    let setup = platform.counters_of(enclave).map_err(TeenetError::Sgx)?;
-
-    // One real attestation, driven message by message so the wire sizes
-    // are the true ones, not estimates.
-    let (challenger, request) =
-        Challenger::start(IdentityPolicy::AcceptAny, config.clone(), &model, &mut rng)?;
-    let request_wire = request.to_bytes();
-    let target_before = platform.counters_of(enclave).map_err(TeenetError::Sgx)?;
-    let transitions_before = platform
-        .transition_stats_of(enclave)
-        .map_err(TeenetError::Sgx)?;
-    let quoting_before = platform.quoting_counters();
-
-    let mut begin_input = request_wire.clone();
-    begin_input.extend_from_slice(&platform.quoting_target_info().mrenclave.0);
-    let report_bytes = platform
-        .ecall_nohost(enclave, 0, &begin_input)
-        .map_err(TeenetError::Sgx)?;
-    let report = Report::from_bytes(&report_bytes).map_err(TeenetError::Sgx)?;
-    let quote = platform.quote(&report).map_err(TeenetError::Sgx)?;
-    let mut finish_input = request.nonce.to_vec();
-    finish_input.extend_from_slice(&quote.to_bytes());
-    let response_wire = platform
-        .ecall_nohost(enclave, 1, &finish_input)
-        .map_err(TeenetError::Sgx)?;
-    let response = AttestResponse::from_bytes(&response_wire)?;
-    let outcome = challenger.verify(&response, &epid.public_key(), None)?;
-
-    // The server side of an attestation is the target enclave plus its
-    // platform's quoting enclave.
-    let mut server = platform
-        .counters_of(enclave)
-        .map_err(TeenetError::Sgx)?
-        .since(target_before);
-    server.merge(platform.quoting_counters().since(quoting_before));
-    let transitions = platform
-        .transition_stats_of(enclave)
-        .map_err(TeenetError::Sgx)?
-        .since(transitions_before);
-
-    Ok(WorkProfile {
-        setup,
-        steps: vec![WorkStep {
-            name: "attest",
-            client: outcome.counters,
-            server,
-            request_bytes: request_wire.len(),
-            response_bytes: response_wire.len(),
-            transitions,
-        }],
-        mode,
-    })
+    AppHarness::new(seed, mode).calibrate(&mut AttestService::new(config.clone()))
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
+    fn calibrate(config: &AttestConfig, seed: u64, mode: TransitionMode) -> WorkProfile {
+        AppHarness::new(seed, mode)
+            .calibrate(&mut AttestService::new(config.clone()))
+            .unwrap()
+    }
+
     #[test]
     fn attest_profile_matches_table1_shape() {
-        let profile = calibrate_attest(&AttestConfig::fast(), 42).unwrap();
+        let profile = calibrate(&AttestConfig::fast(), 42, TransitionMode::Classic);
         assert_eq!(profile.steps.len(), 1);
         let step = &profile.steps[0];
         // With DH the target dominates the challenger (paper: 4463M vs
@@ -182,38 +270,23 @@ mod tests {
     }
 
     #[test]
-    fn calibration_is_deterministic_in_seed() {
-        let a = calibrate_attest(&AttestConfig::fast(), 7).unwrap();
-        let b = calibrate_attest(&AttestConfig::fast(), 7).unwrap();
-        assert_eq!(a.steps[0].server, b.steps[0].server);
-        assert_eq!(a.steps[0].client, b.steps[0].client);
-        assert_eq!(a.steps[0].response_bytes, b.steps[0].response_bytes);
-        assert_eq!(a.setup, b.setup);
-    }
-
-    #[test]
-    fn switchless_attest_elides_responder_ocalls() {
-        let classic = calibrate_attest(&AttestConfig::fast(), 9).unwrap();
-        let sw =
-            calibrate_attest_mode(&AttestConfig::fast(), 9, TransitionMode::Switchless).unwrap();
-        assert!(
-            sw.steps[0].server.sgx_instr < classic.steps[0].server.sgx_instr,
-            "ring-serviced ocalls must drop SGX instructions"
-        );
-        assert!(sw.steps[0].transitions.elided > 0);
-        assert_eq!(classic.steps[0].transitions.elided, 0);
-        assert_eq!(classic.mode, TransitionMode::Classic);
-        assert_eq!(sw.mode, TransitionMode::Switchless);
-    }
-
-    #[test]
     fn no_dh_profile_is_much_cheaper() {
-        let with_dh = calibrate_attest(&AttestConfig::fast(), 1).unwrap();
+        let with_dh = calibrate(&AttestConfig::fast(), 1, TransitionMode::Classic);
         let config = AttestConfig::no_dh(teenet_crypto::dh::DhGroup::modp768());
-        let without = calibrate_attest(&config, 1).unwrap();
+        let without = calibrate(&config, 1, TransitionMode::Classic);
         assert!(
             with_dh.steps[0].server.normal_instr > 5 * without.steps[0].server.normal_instr,
             "DH must dominate the target cost"
         );
+    }
+
+    #[test]
+    fn deprecated_shims_match_the_harness() {
+        let config = AttestConfig::fast();
+        let via_shim = calibrate_attest_mode(&config, 7, TransitionMode::Switchless).unwrap();
+        let via_harness = calibrate(&config, 7, TransitionMode::Switchless);
+        assert_eq!(via_shim, via_harness);
+        let classic_shim = calibrate_attest(&config, 7).unwrap();
+        assert_eq!(classic_shim.mode, TransitionMode::Classic);
     }
 }

@@ -34,15 +34,16 @@ pub mod driver;
 pub mod error;
 pub mod fmt;
 pub mod identity;
-pub mod ledger;
 pub mod mutual;
 pub mod responder;
+
+pub use teenet_app::ledger;
 
 pub use attest::{
     AttestConfig, AttestOutcome, AttestRequest, AttestResponse, Challenger, TargetAttestor,
 };
 pub use channel::SecureChannel;
-pub use driver::{WorkProfile, WorkStep};
+pub use driver::{AttestService, WorkProfile, WorkStep};
 pub use error::{Result, TeenetError};
 pub use identity::{IdentityPolicy, SoftwareCertificate};
 pub use ledger::{AttestKind, AttestLedger};

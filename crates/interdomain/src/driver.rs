@@ -1,106 +1,191 @@
-//! Calibration hook for the load generator: one session is one AS's
-//! round of BGP announcement churn — submit the private policy to the
+//! The BGP announcement-churn workload as an [`EnclaveService`]: one
+//! session is one AS's round of churn — submit the private policy to the
 //! controller enclave, have the controller recompute, and pull the
 //! freshly sealed routes back.
+//!
+//! Setup is the measured cost of bootstrapping: loading all enclaves and
+//! mutually attesting every AS-local controller to the inter-domain
+//! controller, plus one warm-up round (submit, compute, distribute) so
+//! steady-state measurements see a warmed controller.
+//!
+//! Under [`TransitionMode::Switchless`] the controller's and every AS's
+//! sealed-blob sends (ocall-shaped host crossings) ride the shared call
+//! ring during steady state; setup (attestation, initial convergence)
+//! always runs classic.
 
 use std::collections::HashMap;
 
-use teenet::driver::{WorkProfile, WorkStep};
 use teenet::AttestConfig;
+use teenet_app::{
+    AppError, AppHarness, EnclaveService, ServiceEnv, StepExecution, StepOutcome, StepRequest,
+    StepSpec,
+};
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::Counters;
-use teenet_sgx::TransitionMode;
+use teenet_sgx::{SgxError, TransitionMode, TransitionStats};
 
 use crate::deployment::{Result, SdnDeployment};
 use crate::topology::Topology;
 
+pub use teenet_app::{WorkProfile, WorkStep};
+
+/// The BGP announcement-churn workload on a random three-tier topology of
+/// `n_ases` ASes, driven through [`teenet_app::AppHarness`].
+pub struct BgpService {
+    n_ases: u32,
+    deployed: Option<SdnDeployment>,
+}
+
+impl BgpService {
+    /// A service over a random topology of `n_ases` ASes (at least 3).
+    pub fn new(n_ases: u32) -> Self {
+        BgpService {
+            n_ases,
+            deployed: None,
+        }
+    }
+
+    fn state(&self) -> Result<&SdnDeployment> {
+        self.deployed
+            .as_ref()
+            .ok_or(SgxError::EcallRejected("bgp service not deployed"))
+    }
+}
+
+impl Default for BgpService {
+    fn default() -> Self {
+        BgpService::new(8)
+    }
+}
+
+impl EnclaveService for BgpService {
+    type Error = SgxError;
+
+    fn name(&self) -> &'static str {
+        "bgp"
+    }
+
+    fn describe(&self) -> &'static str {
+        "BGP announcement churn against the SGX inter-domain controller"
+    }
+
+    fn deploy(&mut self, env: &mut ServiceEnv) -> Result<()> {
+        if self.n_ases < 3 {
+            return Err(AppError::Calibration("need at least 3 ASes for a topology").into());
+        }
+        let mut rng = SecureRng::seed_from_u64(env.seed ^ 0x0062_6770);
+        let topology = Topology::random(self.n_ases, &mut rng);
+        let policies = HashMap::new();
+        self.deployed = Some(SdnDeployment::new(
+            &topology,
+            &policies,
+            AttestConfig::fast(),
+            env.seed,
+        )?);
+        Ok(())
+    }
+
+    /// Mutual attestation of every AS to the controller, then one warm-up
+    /// round (submit, compute, distribute) so steady-state measurements
+    /// see a warmed controller.
+    fn provision(&mut self, _env: &mut ServiceEnv) -> Result<()> {
+        let dep = self
+            .deployed
+            .as_mut()
+            .ok_or(SgxError::EcallRejected("bgp service not deployed"))?;
+        dep.attest_all()?;
+        dep.submit_all()?;
+        dep.compute()?;
+        dep.distribute_routes()?;
+        Ok(())
+    }
+
+    fn set_transition_mode(&mut self, mode: TransitionMode) -> Result<()> {
+        self.deployed
+            .as_mut()
+            .ok_or(SgxError::EcallRejected("bgp service not deployed"))?
+            .set_transition_mode(mode)
+    }
+
+    fn server_counters(&self) -> Result<Counters> {
+        Ok(self.state()?.controller_platform.total_counters())
+    }
+
+    /// The session's client is AS 0; steady-state steps only touch that
+    /// platform, so the fleet-wide sum meters exactly the subject AS.
+    fn client_counters(&self) -> Result<Counters> {
+        let dep = self.state()?;
+        let mut total = Counters::new();
+        for p in &dep.as_platforms {
+            total.merge(p.total_counters());
+        }
+        Ok(total)
+    }
+
+    fn transition_stats(&self) -> Result<TransitionStats> {
+        self.state()?.transition_stats()
+    }
+
+    fn session_script(&self, _env: &ServiceEnv) -> Result<Vec<StepSpec>> {
+        Ok(vec![
+            StepSpec::repeat("announce", 1),
+            StepSpec::repeat("pull", 1),
+        ])
+    }
+
+    fn run_step(
+        &mut self,
+        spec: &StepSpec,
+        _request: StepRequest,
+        _env: &mut ServiceEnv,
+    ) -> Result<StepOutcome> {
+        let dep = self
+            .deployed
+            .as_mut()
+            .ok_or(SgxError::EcallRejected("bgp service not deployed"))?;
+        // Steady state: AS 0 re-announces and the controller recomputes.
+        let subject = 0usize;
+        match spec.name {
+            "announce" => {
+                let announce_wire = dep.submit_one(subject)?;
+                dep.compute()?;
+                Ok(StepOutcome::Executed(StepExecution {
+                    request_bytes: announce_wire,
+                    // Message 5 is the controller's short sealed ack.
+                    response_bytes: 64,
+                    client: Counters::new(),
+                }))
+            }
+            "pull" => {
+                let (pull_wire, installed) = dep.pull_one(subject)?;
+                if installed == 0 {
+                    return Err(SgxError::EcallRejected(
+                        "calibration AS must install routes",
+                    ));
+                }
+                Ok(StepOutcome::Executed(StepExecution {
+                    // Message 6 is the AS's nonce-bearing pull request.
+                    request_bytes: 32,
+                    response_bytes: pull_wire,
+                    client: Counters::new(),
+                }))
+            }
+            _ => Err(SgxError::EcallRejected("unknown bgp step")),
+        }
+    }
+}
+
 /// Calibrates the BGP announcement-churn workload on a random three-tier
 /// topology of `n_ases` ASes.
-///
-/// Setup is the measured cost of bootstrapping: loading all enclaves and
-/// mutually attesting every AS-local controller to the inter-domain
-/// controller, plus one warm-up round (submit, compute, distribute) so
-/// steady-state measurements see a warmed controller. One session is one
-/// AS announcing ("announce": sealed policy submission, with the
-/// controller recomputing paths) and pulling its table ("pull": sealed
-/// route download and install).
+#[deprecated(note = "drive `BgpService` through `teenet_app::AppHarness` instead")]
 pub fn calibrate_bgp(seed: u64, n_ases: u32) -> Result<WorkProfile> {
-    calibrate_bgp_mode(seed, n_ases, TransitionMode::Classic)
+    AppHarness::new(seed, TransitionMode::Classic).calibrate(&mut BgpService::new(n_ases))
 }
 
 /// [`calibrate_bgp`] with an explicit transition mode.
-///
-/// Under [`TransitionMode::Switchless`] the controller's and every AS's
-/// sealed-blob sends (ocall-shaped host crossings) ride the shared call
-/// ring during steady state; setup (attestation, initial convergence)
-/// always runs classic.
+#[deprecated(note = "drive `BgpService` through `teenet_app::AppHarness` instead")]
 pub fn calibrate_bgp_mode(seed: u64, n_ases: u32, mode: TransitionMode) -> Result<WorkProfile> {
-    assert!(n_ases >= 3, "need at least 3 ASes for a topology");
-    let mut rng = SecureRng::seed_from_u64(seed ^ 0x0062_6770);
-    let topology = Topology::random(n_ases, &mut rng);
-    let policies = HashMap::new();
-    let mut dep = SdnDeployment::new(&topology, &policies, AttestConfig::fast(), seed)?;
-    dep.attest_all()?;
-    dep.submit_all()?;
-    dep.compute()?;
-    dep.distribute_routes()?;
-
-    let mut setup = dep.controller_platform.total_counters();
-    for p in &dep.as_platforms {
-        setup.merge(p.total_counters());
-    }
-    dep.set_transition_mode(mode)?;
-
-    // Steady state: AS 0 re-announces and the controller recomputes.
-    let subject = 0usize;
-    let controller_before = dep.controller_platform.total_counters();
-    let as_before = dep.as_platforms[subject].total_counters();
-    let t_before = dep.transition_stats()?;
-    let announce_wire = dep.submit_one(subject)?;
-    dep.compute()?;
-    let announce_server = dep
-        .controller_platform
-        .total_counters()
-        .since(controller_before);
-    let announce_client = dep.as_platforms[subject].total_counters().since(as_before);
-    let announce_transitions = dep.transition_stats()?.since(t_before);
-
-    let controller_before = dep.controller_platform.total_counters();
-    let as_before = dep.as_platforms[subject].total_counters();
-    let t_before = dep.transition_stats()?;
-    let (pull_wire, installed) = dep.pull_one(subject)?;
-    let pull_server = dep
-        .controller_platform
-        .total_counters()
-        .since(controller_before);
-    let pull_client = dep.as_platforms[subject].total_counters().since(as_before);
-    let pull_transitions = dep.transition_stats()?.since(t_before);
-    debug_assert!(installed > 0, "calibration AS must install routes");
-
-    Ok(WorkProfile {
-        setup,
-        steps: vec![
-            WorkStep {
-                name: "announce",
-                client: announce_client,
-                server: announce_server,
-                request_bytes: announce_wire,
-                // Message 5 is the controller's short sealed ack.
-                response_bytes: 64,
-                transitions: announce_transitions,
-            },
-            WorkStep {
-                name: "pull",
-                client: pull_client,
-                server: pull_server,
-                // Message 6 is the AS's nonce-bearing pull request.
-                request_bytes: 32,
-                response_bytes: pull_wire,
-                transitions: pull_transitions,
-            },
-        ],
-        mode,
-    })
+    AppHarness::new(seed, mode).calibrate(&mut BgpService::new(n_ases))
 }
 
 /// `Counters` total across both steps of one session (convenience for
@@ -118,9 +203,13 @@ pub fn session_total(profile: &WorkProfile) -> Counters {
 mod tests {
     use super::*;
 
+    fn calibrate(seed: u64, n_ases: u32, mode: TransitionMode) -> Result<WorkProfile> {
+        AppHarness::new(seed, mode).calibrate(&mut BgpService::new(n_ases))
+    }
+
     #[test]
     fn bgp_profile_shape() {
-        let profile = calibrate_bgp(21, 8).unwrap();
+        let profile = calibrate(21, 8, TransitionMode::Classic).unwrap();
         assert_eq!(profile.steps.len(), 2);
         let announce = &profile.steps[0];
         let pull = &profile.steps[1];
@@ -137,21 +226,12 @@ mod tests {
     }
 
     #[test]
-    fn switchless_bgp_reduces_steady_state_sgx() {
-        let classic = calibrate_bgp(21, 6).unwrap();
-        let sw = calibrate_bgp_mode(21, 6, TransitionMode::Switchless).unwrap();
-        let sgx_sum = |p: &WorkProfile| {
-            p.steps
-                .iter()
-                .map(|s| s.server.sgx_instr + s.client.sgx_instr)
-                .sum::<u64>()
-        };
-        assert!(
-            sgx_sum(&sw) < sgx_sum(&classic),
-            "ring-serviced sealed-blob sends must drop SGX instructions"
+    fn tiny_topology_is_a_domain_error() {
+        let err = calibrate(21, 2, TransitionMode::Classic).unwrap_err();
+        assert_eq!(
+            err,
+            SgxError::EcallRejected("need at least 3 ASes for a topology")
         );
-        assert!(sw.steps.iter().any(|s| s.transitions.elided > 0));
-        assert_eq!(classic.setup, sw.setup, "setup always runs classic");
     }
 
     #[test]
@@ -177,11 +257,12 @@ mod tests {
     }
 
     #[test]
-    fn bgp_calibration_deterministic() {
-        let a = calibrate_bgp(13, 6).unwrap();
-        let b = calibrate_bgp(13, 6).unwrap();
-        assert_eq!(a.setup, b.setup);
-        assert_eq!(a.steps[0].server, b.steps[0].server);
-        assert_eq!(a.steps[1].response_bytes, b.steps[1].response_bytes);
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_harness() {
+        let via_shim = calibrate_bgp_mode(21, 6, TransitionMode::Switchless).unwrap();
+        let via_harness = calibrate(21, 6, TransitionMode::Switchless).unwrap();
+        assert_eq!(via_shim, via_harness);
+        let classic_shim = calibrate_bgp(13, 6).unwrap();
+        assert_eq!(classic_shim.mode, TransitionMode::Classic);
     }
 }

@@ -20,9 +20,11 @@
 //!   profiles replayed at scale (calibrate-then-replay, the standard
 //!   trace-driven-load technique; exact here because the cost model is
 //!   deterministic per operation).
-//! * [`scenarios`] — the four paper workloads: attestation storms,
+//! * [`scenarios`] — the four paper workloads (attestation storms,
 //!   TLS-middlebox record traffic, Tor circuit+stream traffic, BGP
-//!   announcement churn.
+//!   announcement churn), each a `teenet-app` [`EnclaveService`] wrapped
+//!   in the generic [`scenarios::ServiceScenario`] and registered in
+//!   [`scenarios::REGISTRY`].
 //! * [`runner`] — the virtual-time engine: a multi-worker service queue
 //!   behind `teenet-netsim` links (with faults, bandwidth and FIFO
 //!   queueing), timeouts, and deterministic event ordering.
@@ -43,3 +45,6 @@ pub use metrics::{Counter, Gauge, PhaseRollup};
 pub use report::RunReport;
 pub use runner::{LoadConfig, LoadMode, LoadRunner};
 pub use scenario::{Calibration, OpProfile, Scenario};
+pub use scenarios::{ScenarioEntry, ServiceScenario, NAMES, REGISTRY};
+
+pub use teenet_app::EnclaveService;

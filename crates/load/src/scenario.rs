@@ -98,8 +98,8 @@ impl Calibration {
     }
 }
 
-impl From<teenet::driver::WorkProfile> for Calibration {
-    fn from(profile: teenet::driver::WorkProfile) -> Self {
+impl From<teenet_app::WorkProfile> for Calibration {
+    fn from(profile: teenet_app::WorkProfile) -> Self {
         Calibration {
             setup: profile.setup,
             ops: profile

@@ -1,21 +1,144 @@
-//! The four paper workloads as [`crate::scenario::Scenario`] impls.
+//! The four paper workloads as load scenarios, all driven through one
+//! generic [`ServiceScenario`].
+//!
+//! Each workload crate implements [`EnclaveService`]; this module only
+//! wraps a service in the calibrate-then-replay [`Scenario`] contract and
+//! registers it in [`REGISTRY`], from which [`NAMES`] and the `by_name`
+//! lookups derive. Adding a fifth workload is one service impl plus one
+//! registry entry — no new scenario struct.
 
-pub mod attest;
-pub mod bgp;
-pub mod tls;
-pub mod tor;
-
-pub use attest::AttestScenario;
-pub use bgp::BgpScenario;
-pub use tls::TlsScenario;
-pub use tor::TorScenario;
-
+use teenet::driver::AttestService;
+use teenet_app::{AppHarness, EnclaveService};
+use teenet_interdomain::driver::BgpService;
+use teenet_mbox::driver::TlsMboxService;
 use teenet_sgx::TransitionMode;
+use teenet_tor::driver::TorService;
 
-use crate::scenario::Scenario;
+use crate::scenario::{Calibration, Scenario};
 
-/// All scenario names `loadgen` accepts.
-pub const NAMES: [&str; 4] = ["attest", "tls", "tor", "bgp"];
+/// A load scenario that drives any [`EnclaveService`] through
+/// [`AppHarness`] for calibration.
+pub struct ServiceScenario<S: EnclaveService> {
+    service: S,
+    seed: u64,
+    mode: TransitionMode,
+}
+
+impl<S: EnclaveService> ServiceScenario<S> {
+    /// Wraps `service`, calibrating at `seed` in classic mode.
+    pub fn new(service: S, seed: u64) -> Self {
+        Self::with_mode(service, seed, TransitionMode::Classic)
+    }
+
+    /// Same, under an explicit transition mode (`loadgen --switchless`).
+    pub fn with_mode(service: S, seed: u64, mode: TransitionMode) -> Self {
+        ServiceScenario {
+            service,
+            seed,
+            mode,
+        }
+    }
+}
+
+impl<S: EnclaveService> Scenario for ServiceScenario<S> {
+    fn name(&self) -> &'static str {
+        self.service.name()
+    }
+
+    fn describe(&self) -> &'static str {
+        self.service.describe()
+    }
+
+    fn calibrate(&mut self) -> Calibration {
+        AppHarness::new(self.seed, self.mode)
+            .calibrate(&mut self.service)
+            .expect("calibration cannot fail on an honest deployment")
+            .into()
+    }
+}
+
+/// One registered workload: its name, listing description, and builder.
+pub struct ScenarioEntry {
+    /// Stable scenario name (what `loadgen` accepts).
+    pub name: &'static str,
+    /// One-line description for `loadgen --list`.
+    pub describe: &'static str,
+    build: fn(u64, TransitionMode) -> Box<dyn Scenario>,
+}
+
+impl ScenarioEntry {
+    /// Builds this entry's scenario with its default shape.
+    pub fn build(&self, seed: u64, mode: TransitionMode) -> Box<dyn Scenario> {
+        (self.build)(seed, mode)
+    }
+}
+
+fn build_attest(seed: u64, mode: TransitionMode) -> Box<dyn Scenario> {
+    Box::new(ServiceScenario::with_mode(
+        AttestService::default(),
+        seed,
+        mode,
+    ))
+}
+
+fn build_tls(seed: u64, mode: TransitionMode) -> Box<dyn Scenario> {
+    Box::new(ServiceScenario::with_mode(
+        TlsMboxService::default(),
+        seed,
+        mode,
+    ))
+}
+
+fn build_tor(seed: u64, mode: TransitionMode) -> Box<dyn Scenario> {
+    Box::new(ServiceScenario::with_mode(
+        TorService::default(),
+        seed,
+        mode,
+    ))
+}
+
+fn build_bgp(seed: u64, mode: TransitionMode) -> Box<dyn Scenario> {
+    Box::new(ServiceScenario::with_mode(
+        BgpService::default(),
+        seed,
+        mode,
+    ))
+}
+
+/// Every workload `loadgen` can drive, in listing order.
+pub const REGISTRY: [ScenarioEntry; 4] = [
+    ScenarioEntry {
+        name: "attest",
+        describe: "remote attestation storm: one Figure-1 attestation per session",
+        build: build_attest,
+    },
+    ScenarioEntry {
+        name: "tls",
+        describe: "TLS middlebox record traffic: in-enclave DPI on provisioned sessions",
+        build: build_tls,
+    },
+    ScenarioEntry {
+        name: "tor",
+        describe: "Tor circuit + stream traffic through attested SGX onion routers",
+        build: build_tor,
+    },
+    ScenarioEntry {
+        name: "bgp",
+        describe: "BGP announcement churn against the SGX inter-domain controller",
+        build: build_bgp,
+    },
+];
+
+/// All scenario names `loadgen` accepts, derived from [`REGISTRY`].
+pub const NAMES: [&str; REGISTRY.len()] = {
+    let mut names = [""; REGISTRY.len()];
+    let mut i = 0;
+    while i < REGISTRY.len() {
+        names[i] = REGISTRY[i].name;
+        i += 1;
+    }
+    names
+};
 
 /// Builds a scenario by name with its default shape, seeded with `seed`.
 pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Scenario>> {
@@ -24,11 +147,55 @@ pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Scenario>> {
 
 /// [`by_name`] with an explicit transition mode (`loadgen --switchless`).
 pub fn by_name_mode(name: &str, seed: u64, mode: TransitionMode) -> Option<Box<dyn Scenario>> {
-    match name {
-        "attest" => Some(Box::new(AttestScenario::with_mode(seed, mode))),
-        "tls" => Some(Box::new(TlsScenario::with_mode(seed, mode))),
-        "tor" => Some(Box::new(TorScenario::with_mode(seed, mode))),
-        "bgp" => Some(Box::new(BgpScenario::with_mode(seed, mode))),
-        _ => None,
+    REGISTRY
+        .iter()
+        .find(|entry| entry.name == name)
+        .map(|entry| entry.build(seed, mode))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_service_resolves_and_round_trips_its_name() {
+        for entry in &REGISTRY {
+            let scenario = by_name(entry.name, 1).expect("registered name must resolve");
+            assert_eq!(scenario.name(), entry.name);
+            assert_eq!(scenario.describe(), entry.describe);
+        }
+        assert_eq!(NAMES, ["attest", "tls", "tor", "bgp"]);
+        assert!(by_name("nonesuch", 1).is_none());
+    }
+
+    #[test]
+    fn by_name_mode_tags_the_calibration() {
+        let mut s = by_name_mode("attest", 1, TransitionMode::Switchless).unwrap();
+        let cal = s.calibrate();
+        assert_eq!(cal.mode, TransitionMode::Switchless);
+        assert_eq!(cal.ops.len(), 1);
+        assert_eq!(cal.ops[0].name, "attest");
+    }
+
+    #[test]
+    fn default_shapes_calibrate() {
+        let mut tls = by_name("tls", 2).unwrap();
+        let cal = tls.calibrate();
+        assert_eq!(cal.ops.len(), 4);
+        assert!(cal.ops.iter().all(|op| op.name == "record"));
+        assert!(cal.ops[0].request_bytes > 1024);
+
+        let mut tor = by_name("tor", 3).unwrap();
+        let cal = tor.calibrate();
+        assert_eq!(cal.ops.len(), 5);
+        assert_eq!(cal.ops[0].name, "extend");
+        assert!(cal.setup.sgx_instr > 0);
+
+        let mut bgp = by_name("bgp", 4).unwrap();
+        let cal = bgp.calibrate();
+        assert_eq!(cal.ops.len(), 2);
+        assert_eq!(cal.ops[0].name, "announce");
+        assert_eq!(cal.ops[1].name, "pull");
+        assert!(cal.ops[0].server.normal_instr > cal.ops[1].server.normal_instr);
     }
 }

@@ -1,182 +1,275 @@
-//! Calibration hook for the load generator: measures one TLS-middlebox
-//! session (deploy + provision setup, then per-record inspection cost)
-//! and returns it as a replayable [`WorkProfile`].
+//! The TLS-middlebox record-traffic workload as an
+//! [`EnclaveService`].
+//!
+//! Setup covers enclave deployment plus a unilateral key provisioning
+//! (one attestation). One session is `records_per_session` TLS records of
+//! `record_bytes` application payload flowing client→server through the
+//! in-enclave DPI engine. The per-record enclave cost is measured on a
+//! real record; the client cost is the record encryption under the
+//! paper's model.
+//!
+//! Under [`TransitionMode::Switchless`] records flow through the batched
+//! ecall path ([`MiddleboxHost::process_batch`]): the first record of a
+//! session carries the lone EENTER/EEXIT pair, and every further record
+//! is a transition-free marginal cost, measured by the harness as
+//! batch-of-two minus batch-of-one — the per-record amortisation of the
+//! paper's Table 2.
 
-use teenet::driver::{WorkProfile, WorkStep};
-use teenet::ledger::AttestLedger;
 use teenet::AttestConfig;
+use teenet_app::{
+    AppError, AppHarness, EnclaveService, ServiceEnv, StepExecution, StepOutcome, StepRequest,
+    StepSpec,
+};
 use teenet_crypto::SecureRng;
-use teenet_sgx::cost::{CostModel, Counters};
-use teenet_sgx::{EpidGroup, TransitionMode};
+use teenet_sgx::cost::Counters;
+use teenet_sgx::{EpidGroup, TransitionMode, TransitionStats};
 use teenet_tls::handshake::{handshake, TlsConfig};
+use teenet_tls::TlsSession;
 
 use crate::dpi::{Action, Rule};
 use crate::middlebox::ProvisionPolicy;
 use crate::provision::EndpointRole;
 use crate::scenarios::{MiddleboxHost, ProcessResult};
-use crate::Result;
+use crate::{MboxError, Result};
+
+pub use teenet_app::{WorkProfile, WorkStep};
+
+struct Deployed {
+    gateway: MiddleboxHost,
+    rng: SecureRng,
+    srng: SecureRng,
+    client: Option<TlsSession>,
+    sid: [u8; 8],
+}
+
+/// The middlebox record-traffic workload: in-enclave DPI over provisioned
+/// TLS sessions, driven through [`teenet_app::AppHarness`].
+pub struct TlsMboxService {
+    record_bytes: usize,
+    records_per_session: u32,
+    deployed: Option<Deployed>,
+}
+
+impl TlsMboxService {
+    /// A service pushing `records_per_session` records of `record_bytes`
+    /// payload through the gateway per session.
+    pub fn new(record_bytes: usize, records_per_session: u32) -> Self {
+        TlsMboxService {
+            record_bytes,
+            records_per_session,
+            deployed: None,
+        }
+    }
+
+    fn state(&self) -> Result<&Deployed> {
+        self.deployed
+            .as_ref()
+            .ok_or(MboxError::Session("middlebox service not deployed"))
+    }
+}
+
+impl Default for TlsMboxService {
+    fn default() -> Self {
+        TlsMboxService::new(1024, 4)
+    }
+}
+
+impl EnclaveService for TlsMboxService {
+    type Error = MboxError;
+
+    fn name(&self) -> &'static str {
+        "tls"
+    }
+
+    fn describe(&self) -> &'static str {
+        "TLS middlebox record traffic: in-enclave DPI on provisioned sessions"
+    }
+
+    fn deploy(&mut self, env: &mut ServiceEnv) -> Result<()> {
+        let mut rng = SecureRng::seed_from_u64(env.seed);
+        let srng = rng.fork(b"tls-server");
+        let epid = EpidGroup::new(7, &mut rng).map_err(MboxError::Sgx)?;
+        let gateway = MiddleboxHost::deploy(
+            "load-gateway",
+            ProvisionPolicy::Unilateral,
+            vec![Rule::new(b"password", Action::Alert)],
+            AttestConfig::fast(),
+            &epid,
+            env.seed,
+            &mut rng,
+        )?;
+        self.deployed = Some(Deployed {
+            gateway,
+            rng,
+            srng,
+            client: None,
+            sid: [0; 8],
+        });
+        Ok(())
+    }
+
+    /// One endpoint handshake plus a unilateral key provisioning: the
+    /// client attests the gateway and releases its session keys.
+    fn provision(&mut self, env: &mut ServiceEnv) -> Result<()> {
+        let state = self
+            .deployed
+            .as_mut()
+            .ok_or(MboxError::Session("middlebox service not deployed"))?;
+        let (client, _server) = handshake(TlsConfig::fast(), &mut state.rng, &mut state.srng)
+            .map_err(|e| MboxError::Session(tls_err(e)))?;
+        let (sid, active) = state.gateway.provision(
+            EndpointRole::Client,
+            &client,
+            &mut state.rng,
+            &mut env.ledger,
+        )?;
+        if !active {
+            return Err(MboxError::Session("provisioned session failed to activate"));
+        }
+        state.client = Some(client);
+        state.sid = sid;
+        Ok(())
+    }
+
+    fn set_transition_mode(&mut self, mode: TransitionMode) -> Result<()> {
+        let state = self
+            .deployed
+            .as_mut()
+            .ok_or(MboxError::Session("middlebox service not deployed"))?;
+        let enclave = state.gateway.enclave;
+        state
+            .gateway
+            .platform
+            .set_transition_mode(enclave, mode)
+            .map_err(MboxError::Sgx)
+    }
+
+    fn server_counters(&self) -> Result<Counters> {
+        Ok(self.state()?.gateway.platform.total_counters())
+    }
+
+    fn transition_stats(&self) -> Result<TransitionStats> {
+        let state = self.state()?;
+        state
+            .gateway
+            .platform
+            .transition_stats_of(state.gateway.enclave)
+            .map_err(MboxError::Sgx)
+    }
+
+    fn session_script(&self, env: &ServiceEnv) -> Result<Vec<StepSpec>> {
+        if self.records_per_session == 0 {
+            return Err(MboxError::Calibration("a session needs at least 1 record"));
+        }
+        Ok(vec![match env.mode {
+            TransitionMode::Classic => StepSpec::repeat("record", self.records_per_session),
+            TransitionMode::Switchless => StepSpec::amortised("record", self.records_per_session),
+        }])
+    }
+
+    fn run_step(
+        &mut self,
+        _spec: &StepSpec,
+        request: StepRequest,
+        env: &mut ServiceEnv,
+    ) -> Result<StepOutcome> {
+        let payload = vec![0x61u8; self.record_bytes];
+        let state = self
+            .deployed
+            .as_mut()
+            .ok_or(MboxError::Session("middlebox service not deployed"))?;
+        let client = state
+            .client
+            .as_mut()
+            .ok_or(MboxError::Session("middlebox session not provisioned"))?;
+
+        let count = match request {
+            StepRequest::Once => 1,
+            StepRequest::Batch(k) => k,
+        };
+        let mut records = Vec::new();
+        for _ in 0..count {
+            records.push(
+                client
+                    .send(&payload)
+                    .map_err(|e| MboxError::Session(tls_err(e)))?,
+            );
+        }
+        let record_len = records.first().map(Vec::len).unwrap_or(0);
+
+        match request {
+            StepRequest::Once => {
+                let record = records
+                    .first()
+                    .ok_or(MboxError::Session("empty record batch"))?;
+                expect_pass(
+                    state
+                        .gateway
+                        .process(state.sid, EndpointRole::Client, record)?,
+                )?;
+            }
+            StepRequest::Batch(_) => {
+                let refs: Vec<&[u8]> = records.iter().map(Vec::as_slice).collect();
+                for r in state
+                    .gateway
+                    .process_batch(state.sid, EndpointRole::Client, &refs)?
+                {
+                    expect_pass(r)?;
+                }
+            }
+        }
+
+        // Client-side cost under the paper's model: one record encryption
+        // per record in the batch.
+        let mut client_cost = Counters::new();
+        client_cost
+            .normal(u64::from(count) * (env.model.aes_bytes(record_len) + env.model.hmac_short));
+        Ok(StepOutcome::Executed(StepExecution {
+            request_bytes: record_len,
+            // The middlebox forwards the record onward; model the
+            // ack/continue signal back to the sender as a bare status byte.
+            response_bytes: 1,
+            client: client_cost,
+        }))
+    }
+}
+
+impl From<AppError> for MboxError {
+    fn from(e: AppError) -> Self {
+        match e {
+            AppError::Calibration(m) => MboxError::Calibration(m),
+            AppError::Harness(m) => MboxError::Session(m),
+        }
+    }
+}
 
 /// Calibrates the middlebox record-traffic workload.
-///
-/// Setup covers enclave deployment plus a unilateral key provisioning
-/// (one attestation). One session is `records_per_session` TLS records of
-/// `record_bytes` application payload flowing client→server through the
-/// in-enclave DPI engine. The per-record enclave cost is measured on a
-/// real record; the client cost is the record encryption under the
-/// paper's model.
+#[deprecated(note = "drive `TlsMboxService` through `teenet_app::AppHarness` instead")]
 pub fn calibrate_tls_mbox(
     seed: u64,
     record_bytes: usize,
     records_per_session: u32,
 ) -> Result<WorkProfile> {
-    calibrate_tls_mbox_mode(
-        seed,
-        record_bytes,
-        records_per_session,
-        TransitionMode::Classic,
-    )
+    AppHarness::new(seed, TransitionMode::Classic)
+        .calibrate(&mut TlsMboxService::new(record_bytes, records_per_session))
 }
 
 /// [`calibrate_tls_mbox`] with an explicit transition mode.
-///
-/// Under [`TransitionMode::Switchless`] records flow through the batched
-/// ecall path ([`MiddleboxHost::process_batch`]): the first record of a
-/// session carries the lone EENTER/EEXIT pair, and every further record is
-/// a transition-free marginal cost, measured as batch-of-two minus
-/// batch-of-one — the per-record amortisation of the paper's Table 2.
+#[deprecated(note = "drive `TlsMboxService` through `teenet_app::AppHarness` instead")]
 pub fn calibrate_tls_mbox_mode(
     seed: u64,
     record_bytes: usize,
     records_per_session: u32,
     mode: TransitionMode,
 ) -> Result<WorkProfile> {
-    assert!(records_per_session > 0, "a session needs at least 1 record");
-    let model = CostModel::paper();
-    let mut rng = SecureRng::seed_from_u64(seed);
-    let mut srng = rng.fork(b"tls-server");
-    let epid = EpidGroup::new(7, &mut rng).map_err(crate::MboxError::Sgx)?;
-    let mut ledger = AttestLedger::new();
-    let mut gateway = MiddleboxHost::deploy(
-        "load-gateway",
-        ProvisionPolicy::Unilateral,
-        vec![Rule::new(b"password", Action::Alert)],
-        AttestConfig::fast(),
-        &epid,
-        seed,
-        &mut rng,
-    )?;
-
-    let (mut client, _server) = handshake(TlsConfig::fast(), &mut rng, &mut srng)
-        .map_err(|e| crate::MboxError::Session(tls_err(e)))?;
-    let (sid, active) = gateway.provision(EndpointRole::Client, &client, &mut rng, &mut ledger)?;
-    debug_assert!(active);
-    gateway
-        .platform
-        .set_transition_mode(gateway.enclave, mode)
-        .map_err(crate::MboxError::Sgx)?;
-    let setup = gateway.platform.total_counters();
-
-    let payload = vec![0x61u8; record_bytes];
-    let steps = match mode {
-        TransitionMode::Classic => {
-            let record = client
-                .send(&payload)
-                .map_err(|e| crate::MboxError::Session(tls_err(e)))?;
-            let record_len = record.len();
-            let before = gateway.platform.total_counters();
-            let t_before = gateway
-                .platform
-                .transition_stats_of(gateway.enclave)
-                .map_err(crate::MboxError::Sgx)?;
-            expect_pass(gateway.process(sid, EndpointRole::Client, &record)?)?;
-            let server = gateway.platform.total_counters().since(before);
-            let transitions = gateway
-                .platform
-                .transition_stats_of(gateway.enclave)
-                .map_err(crate::MboxError::Sgx)?
-                .since(t_before);
-            let step = record_step(&model, server, transitions, record_len);
-            vec![step; records_per_session as usize]
-        }
-        TransitionMode::Switchless => {
-            // Three identical-shape records: one for the batch-of-one
-            // measurement, two for the batch-of-two.
-            let mut records = Vec::new();
-            for _ in 0..3 {
-                records.push(
-                    client
-                        .send(&payload)
-                        .map_err(|e| crate::MboxError::Session(tls_err(e)))?,
-                );
-            }
-            let record_len = records[0].len();
-            let c0 = gateway.platform.total_counters();
-            let t0 = gateway
-                .platform
-                .transition_stats_of(gateway.enclave)
-                .map_err(crate::MboxError::Sgx)?;
-            for r in gateway.process_batch(sid, EndpointRole::Client, &[&records[0]])? {
-                expect_pass(r)?;
-            }
-            let batch1 = gateway.platform.total_counters().since(c0);
-            let tb1 = gateway
-                .platform
-                .transition_stats_of(gateway.enclave)
-                .map_err(crate::MboxError::Sgx)?
-                .since(t0);
-            let c1 = gateway.platform.total_counters();
-            let t1 = gateway
-                .platform
-                .transition_stats_of(gateway.enclave)
-                .map_err(crate::MboxError::Sgx)?;
-            for r in
-                gateway.process_batch(sid, EndpointRole::Client, &[&records[1], &records[2]])?
-            {
-                expect_pass(r)?;
-            }
-            let batch2 = gateway.platform.total_counters().since(c1);
-            let tb2 = gateway
-                .platform
-                .transition_stats_of(gateway.enclave)
-                .map_err(crate::MboxError::Sgx)?
-                .since(t1);
-
-            // First record of a session pays the batch's transition pair;
-            // every further record is the transition-free marginal cost.
-            let first = record_step(&model, batch1, tb1, record_len);
-            let marginal = record_step(&model, batch2.since(batch1), tb2.since(tb1), record_len);
-            let mut steps = vec![first];
-            steps.extend(vec![marginal; records_per_session as usize - 1]);
-            steps
-        }
-    };
-    Ok(WorkProfile { setup, steps, mode })
+    AppHarness::new(seed, mode)
+        .calibrate(&mut TlsMboxService::new(record_bytes, records_per_session))
 }
 
 fn expect_pass(result: ProcessResult) -> Result<()> {
     match result {
         ProcessResult::Pass(_) | ProcessResult::Rewritten(_) => Ok(()),
-        ProcessResult::Blocked => Err(crate::MboxError::Session("calibration record blocked")),
-    }
-}
-
-fn record_step(
-    model: &CostModel,
-    server: Counters,
-    transitions: teenet_sgx::TransitionStats,
-    record_len: usize,
-) -> WorkStep {
-    let mut client_cost = Counters::new();
-    client_cost.normal(model.aes_bytes(record_len) + model.hmac_short);
-    WorkStep {
-        name: "record",
-        client: client_cost,
-        server,
-        request_bytes: record_len,
-        // The middlebox forwards the record onward; model the ack/continue
-        // signal back to the sender as a bare status byte.
-        response_bytes: 1,
-        transitions,
+        ProcessResult::Blocked => Err(MboxError::Session("calibration record blocked")),
     }
 }
 
@@ -188,9 +281,19 @@ fn tls_err(_e: teenet_tls::TlsError) -> &'static str {
 mod tests {
     use super::*;
 
+    fn calibrate(
+        seed: u64,
+        record_bytes: usize,
+        records_per_session: u32,
+        mode: TransitionMode,
+    ) -> Result<WorkProfile> {
+        AppHarness::new(seed, mode)
+            .calibrate(&mut TlsMboxService::new(record_bytes, records_per_session))
+    }
+
     #[test]
     fn mbox_profile_shape() {
-        let profile = calibrate_tls_mbox(3, 1024, 4).unwrap();
+        let profile = calibrate(3, 1024, 4, TransitionMode::Classic).unwrap();
         assert_eq!(profile.steps.len(), 4);
         let step = &profile.steps[0];
         // Provisioning includes an attestation, so setup dwarfs a record.
@@ -202,37 +305,35 @@ mod tests {
     }
 
     #[test]
-    fn mbox_calibration_deterministic() {
-        let a = calibrate_tls_mbox(9, 512, 2).unwrap();
-        let b = calibrate_tls_mbox(9, 512, 2).unwrap();
-        assert_eq!(a.setup, b.setup);
-        assert_eq!(a.steps[0].server, b.steps[0].server);
-        assert_eq!(a.steps[0].request_bytes, b.steps[0].request_bytes);
-    }
-
-    #[test]
-    fn switchless_mbox_amortises_transitions() {
-        let classic = calibrate_tls_mbox(3, 1024, 4).unwrap();
-        let sw = calibrate_tls_mbox_mode(3, 1024, 4, TransitionMode::Switchless).unwrap();
-        let sgx_sum = |p: &WorkProfile| p.steps.iter().map(|s| s.server.sgx_instr).sum::<u64>();
-        assert!(
-            sgx_sum(&sw) < sgx_sum(&classic),
-            "batching must cut per-session SGX instructions"
+    fn zero_record_session_is_a_domain_error() {
+        let err = calibrate(3, 1024, 0, TransitionMode::Classic).unwrap_err();
+        assert_eq!(
+            err,
+            MboxError::Calibration("a session needs at least 1 record")
         );
-        // Records after the first ride the batch: no transition pair.
-        assert_eq!(sw.steps[1].transitions.taken, 0);
-        assert!(sw.steps[1].server.sgx_instr < sw.steps[0].server.sgx_instr);
-        assert_eq!(sw.steps.len(), classic.steps.len());
+        let err = calibrate(3, 1024, 0, TransitionMode::Switchless).unwrap_err();
+        assert!(matches!(err, MboxError::Calibration(_)));
     }
 
     #[test]
     fn bigger_records_cost_more() {
-        let small = calibrate_tls_mbox(5, 256, 1).unwrap();
-        let large = calibrate_tls_mbox(5, 4096, 1).unwrap();
+        let small = calibrate(5, 256, 1, TransitionMode::Classic).unwrap();
+        let large = calibrate(5, 4096, 1, TransitionMode::Classic).unwrap();
         assert!(
             large.steps[0].server.normal_instr > small.steps[0].server.normal_instr,
             "DPI over a longer record must cost more"
         );
         assert!(large.steps[0].client.normal_instr > small.steps[0].client.normal_instr);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_harness() {
+        let via_shim = calibrate_tls_mbox_mode(3, 1024, 4, TransitionMode::Switchless).unwrap();
+        let via_harness = calibrate(3, 1024, 4, TransitionMode::Switchless).unwrap();
+        assert_eq!(via_shim, via_harness);
+        let classic_shim = calibrate_tls_mbox(9, 512, 2).unwrap();
+        assert_eq!(classic_shim.mode, TransitionMode::Classic);
+        assert_eq!(classic_shim.steps.len(), 2);
     }
 }

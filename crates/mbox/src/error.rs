@@ -12,6 +12,8 @@ pub enum MboxError {
     BadProvision(&'static str),
     /// Session is unknown or not yet active.
     Session(&'static str),
+    /// A calibration precondition failed (e.g. a session of zero records).
+    Calibration(&'static str),
     /// The record was blocked by policy.
     Blocked,
     /// Underlying TLS failure.
@@ -27,6 +29,7 @@ impl fmt::Display for MboxError {
         match self {
             MboxError::BadProvision(w) => write!(f, "bad provisioning message: {w}"),
             MboxError::Session(w) => write!(f, "session error: {w}"),
+            MboxError::Calibration(w) => write!(f, "calibration rejected: {w}"),
             MboxError::Blocked => write!(f, "record blocked by policy"),
             MboxError::Tls(e) => write!(f, "tls error: {e}"),
             MboxError::Teenet(e) => write!(f, "attestation error: {e}"),

@@ -1,14 +1,23 @@
-//! Calibration hook for the load generator: one session is a Tor client
-//! building a 3-hop circuit through SGX relays, opening a stream, and
-//! exchanging one data cell.
+//! The Tor circuit+stream workload as an [`EnclaveService`]: one session
+//! is a Tor client building a 3-hop circuit through SGX relays, opening a
+//! stream, and exchanging one data cell.
 //!
 //! Admission (the attestation-heavy part, paper Table 3's FullSgx row) is
 //! measured for real against the deployed platforms. Steady-state cell
 //! costs are derived from the paper's cost model, because relay cell
 //! processing in this codebase runs outside the counter-instrumented
-//! platform ecall path.
+//! platform ecall path — the session script is therefore all
+//! [`StepKind::Computed`] steps.
+//!
+//! Under [`TransitionMode::Switchless`] each relay's per-cell enclave
+//! crossing is serviced through the shared call ring: the EENTER/EEXIT
+//! pair becomes ring-post + worker-poll normal instructions. Admission
+//! always runs classic — it is one-time cost the paper excludes from
+//! steady state anyway.
 
-use teenet::driver::{WorkProfile, WorkStep};
+use teenet_app::{
+    AppError, AppHarness, EnclaveService, ServiceEnv, StepKind, StepOutcome, StepRequest, StepSpec,
+};
 use teenet_sgx::cost::{CostModel, Counters};
 use teenet_sgx::{TransitionMode, TransitionStats};
 
@@ -16,120 +25,236 @@ use crate::cell::CELL_LEN;
 use crate::deployment::{Phase, TorDeployment, TorSpec};
 use crate::error::{Result, TorError};
 
+pub use teenet_app::{WorkProfile, WorkStep};
+
 /// Number of hops in the calibrated circuit (guard, middle, exit).
 pub const HOPS: u64 = 3;
 
-/// Calibrates the Tor circuit+stream workload on a FullSgx deployment.
+/// The Tor circuit+stream workload on a FullSgx deployment, driven
+/// through [`teenet_app::AppHarness`].
 ///
 /// Setup is the measured cost of admission — every relay attested by the
 /// client, quoting enclaves included — plus one end-to-end validation
 /// exchange. The session script is three `extend` steps (telescoping DH),
 /// one `begin`, and one `data` cell.
+#[derive(Default)]
+pub struct TorService {
+    deployed: Option<TorDeployment>,
+    setup: Counters,
+    mode: TransitionMode,
+}
+
+impl TorService {
+    /// A service over the fast FullSgx deployment spec.
+    pub fn new() -> Self {
+        TorService::default()
+    }
+}
+
+impl EnclaveService for TorService {
+    type Error = TorError;
+
+    fn name(&self) -> &'static str {
+        "tor"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Tor circuit + stream traffic through attested SGX onion routers"
+    }
+
+    fn deploy(&mut self, env: &mut ServiceEnv) -> Result<()> {
+        self.deployed = Some(TorDeployment::build(TorSpec::fast(
+            Phase::FullSgx,
+            env.seed,
+        ))?);
+        Ok(())
+    }
+
+    /// Runs admission (every relay attested), caches the setup cost, then
+    /// proves the deployment actually carries traffic with one end-to-end
+    /// echo exchange before any profiling.
+    fn provision(&mut self, _env: &mut ServiceEnv) -> Result<()> {
+        let dep = self
+            .deployed
+            .as_mut()
+            .ok_or(TorError::CircuitState("tor service not deployed"))?;
+        let admission = dep.run_admission()?;
+
+        let mut setup = Counters::new();
+        for (platform, _) in dep.relay_platforms.iter().flatten() {
+            setup.merge(platform.total_counters());
+        }
+        for (platform, _) in dep.authority_platforms.iter().flatten() {
+            setup.merge(platform.total_counters());
+        }
+        self.setup = setup;
+
+        let path = dep.select_path(&admission, None)?;
+        let reply = dep.exchange(path, b"calibrate")?;
+        if reply != b"echo:calibrate" {
+            return Err(TorError::CircuitState("calibration echo mismatch"));
+        }
+        Ok(())
+    }
+
+    /// The relay cell loop is modelled, not metered, so the mode is only
+    /// recorded here and applied when computing each step.
+    fn set_transition_mode(&mut self, mode: TransitionMode) -> Result<()> {
+        self.mode = mode;
+        Ok(())
+    }
+
+    /// Admission cost, snapshotted before the validation exchange so the
+    /// echo traffic never leaks into the profile.
+    fn setup_counters(&self) -> Result<Counters> {
+        Ok(self.setup)
+    }
+
+    fn server_counters(&self) -> Result<Counters> {
+        let dep = self
+            .deployed
+            .as_ref()
+            .ok_or(TorError::CircuitState("tor service not deployed"))?;
+        let mut total = Counters::new();
+        for (platform, _) in dep.relay_platforms.iter().flatten() {
+            total.merge(platform.total_counters());
+        }
+        for (platform, _) in dep.authority_platforms.iter().flatten() {
+            total.merge(platform.total_counters());
+        }
+        Ok(total)
+    }
+
+    /// Steady-state cells run outside the instrumented ecall path; their
+    /// crossings are part of each computed step, not a platform meter.
+    fn transition_stats(&self) -> Result<TransitionStats> {
+        Ok(TransitionStats::new())
+    }
+
+    fn session_script(&self, _env: &ServiceEnv) -> Result<Vec<StepSpec>> {
+        let mut script = Vec::with_capacity(HOPS as usize + 2);
+        for hop in 0..HOPS {
+            script.push(StepSpec::computed("extend", hop));
+        }
+        script.push(StepSpec::computed("begin", 0));
+        script.push(StepSpec::computed("data", 0));
+        Ok(script)
+    }
+
+    fn run_step(
+        &mut self,
+        spec: &StepSpec,
+        _request: StepRequest,
+        env: &mut ServiceEnv,
+    ) -> Result<StepOutcome> {
+        let model = &env.model;
+        let cell = CELL_LEN;
+        let step = match spec.kind {
+            StepKind::Computed if spec.name == "extend" => {
+                // Telescoping extend to hop N: the client runs a fresh DH
+                // exchange (two modexps) and onion-wraps the cell once per
+                // hop already in the circuit; the target relay runs its DH
+                // half inside the enclave and unwraps one layer.
+                let hop = spec.arg;
+                let mut client = Counters::new();
+                client.normal(2 * model.modexp(768) + (hop + 1) * model.aes_bytes(cell));
+                let mut server = Counters::new();
+                let transitions = cell_crossings(model, self.mode, &mut server, 1);
+                server.normal(2 * model.modexp(768) + model.aes_bytes(cell));
+                WorkStep {
+                    name: spec.name,
+                    client,
+                    server,
+                    request_bytes: cell,
+                    response_bytes: cell,
+                    transitions,
+                }
+            }
+            StepKind::Computed => {
+                // A relayed cell: the client adds all three onion layers;
+                // each of the three relays enters its enclave and strips
+                // one.
+                let mut client = Counters::new();
+                client.normal(HOPS * model.aes_bytes(cell));
+                let mut server = Counters::new();
+                let transitions = cell_crossings(model, self.mode, &mut server, HOPS);
+                server.normal(HOPS * model.aes_bytes(cell));
+                WorkStep {
+                    name: spec.name,
+                    client,
+                    server,
+                    request_bytes: cell,
+                    response_bytes: cell,
+                    transitions,
+                }
+            }
+            _ => return Err(TorError::CircuitState("tor steps are model-derived")),
+        };
+        Ok(StepOutcome::Computed(step))
+    }
+}
+
+/// Charges `crossings` per-cell enclave crossings to `server`: real
+/// transitions in classic mode, ring-post + worker-poll normal work in
+/// switchless mode (the relay's cell loop keeps the worker spinning).
+fn cell_crossings(
+    model: &CostModel,
+    mode: TransitionMode,
+    server: &mut Counters,
+    crossings: u64,
+) -> TransitionStats {
+    let pairs = crossings * (model.io_packet_sgx / 2).max(1);
+    match mode {
+        TransitionMode::Classic => {
+            server.sgx(crossings * model.io_packet_sgx);
+            TransitionStats {
+                taken: pairs,
+                elided: 0,
+                fallbacks: 0,
+            }
+        }
+        TransitionMode::Switchless => {
+            server.normal(pairs * (model.switchless_post + model.switchless_poll));
+            TransitionStats {
+                taken: 0,
+                elided: pairs,
+                fallbacks: 0,
+            }
+        }
+    }
+}
+
+impl From<AppError> for TorError {
+    fn from(e: AppError) -> Self {
+        TorError::CircuitState(e.message())
+    }
+}
+
+/// Calibrates the Tor circuit+stream workload on a FullSgx deployment.
+#[deprecated(note = "drive `TorService` through `teenet_app::AppHarness` instead")]
 pub fn calibrate_tor(seed: u64) -> Result<WorkProfile> {
-    calibrate_tor_mode(seed, TransitionMode::Classic)
+    AppHarness::new(seed, TransitionMode::Classic).calibrate(&mut TorService::new())
 }
 
 /// [`calibrate_tor`] with an explicit transition mode.
-///
-/// Under [`TransitionMode::Switchless`] each relay's per-cell enclave
-/// crossing is serviced through the shared call ring: the EENTER/EEXIT
-/// pair becomes ring-post + worker-poll normal instructions. Admission
-/// (the attestation-heavy setup) always runs classic — it is one-time
-/// cost the paper excludes from steady state anyway.
+#[deprecated(note = "drive `TorService` through `teenet_app::AppHarness` instead")]
 pub fn calibrate_tor_mode(seed: u64, mode: TransitionMode) -> Result<WorkProfile> {
-    let model = CostModel::paper();
-    let mut dep = TorDeployment::build(TorSpec::fast(Phase::FullSgx, seed))?;
-    let admission = dep.run_admission()?;
-
-    let mut setup = Counters::new();
-    for (platform, _) in dep.relay_platforms.iter().flatten() {
-        setup.merge(platform.total_counters());
-    }
-    for (platform, _) in dep.authority_platforms.iter().flatten() {
-        setup.merge(platform.total_counters());
-    }
-
-    // Prove the deployment actually carries traffic before profiling it.
-    let path = dep.select_path(&admission, None)?;
-    let reply = dep.exchange(path, b"calibrate")?;
-    if reply != b"echo:calibrate" {
-        return Err(TorError::CircuitState("calibration echo mismatch"));
-    }
-
-    // Charges `crossings` per-cell enclave crossings to `server`: real
-    // transitions in classic mode, ring-post + worker-poll normal work in
-    // switchless mode (the relay's cell loop keeps the worker spinning).
-    let cell_crossings = |server: &mut Counters, crossings: u64| -> TransitionStats {
-        let pairs = crossings * (model.io_packet_sgx / 2).max(1);
-        match mode {
-            TransitionMode::Classic => {
-                server.sgx(crossings * model.io_packet_sgx);
-                TransitionStats {
-                    taken: pairs,
-                    elided: 0,
-                    fallbacks: 0,
-                }
-            }
-            TransitionMode::Switchless => {
-                server.normal(pairs * (model.switchless_post + model.switchless_poll));
-                TransitionStats {
-                    taken: 0,
-                    elided: pairs,
-                    fallbacks: 0,
-                }
-            }
-        }
-    };
-
-    let cell = CELL_LEN;
-    let mut steps = Vec::with_capacity(HOPS as usize + 2);
-    for hop in 0..HOPS {
-        // Telescoping extend to hop N: the client runs a fresh DH exchange
-        // (two modexps) and onion-wraps the cell once per hop already in
-        // the circuit; the target relay runs its DH half inside the
-        // enclave and unwraps one layer.
-        let mut client = Counters::new();
-        client.normal(2 * model.modexp(768) + (hop + 1) * model.aes_bytes(cell));
-        let mut server = Counters::new();
-        let transitions = cell_crossings(&mut server, 1);
-        server.normal(2 * model.modexp(768) + model.aes_bytes(cell));
-        steps.push(WorkStep {
-            name: "extend",
-            client,
-            server,
-            request_bytes: cell,
-            response_bytes: cell,
-            transitions,
-        });
-    }
-    for name in ["begin", "data"] {
-        // A relayed cell: the client adds all three onion layers; each of
-        // the three relays enters its enclave and strips one.
-        let mut client = Counters::new();
-        client.normal(HOPS * model.aes_bytes(cell));
-        let mut server = Counters::new();
-        let transitions = cell_crossings(&mut server, HOPS);
-        server.normal(HOPS * model.aes_bytes(cell));
-        steps.push(WorkStep {
-            name,
-            client,
-            server,
-            request_bytes: cell,
-            response_bytes: cell,
-            transitions,
-        });
-    }
-
-    Ok(WorkProfile { setup, steps, mode })
+    AppHarness::new(seed, mode).calibrate(&mut TorService::new())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn calibrate(seed: u64, mode: TransitionMode) -> WorkProfile {
+        AppHarness::new(seed, mode)
+            .calibrate(&mut TorService::new())
+            .unwrap()
+    }
+
     #[test]
     fn tor_profile_shape() {
-        let profile = calibrate_tor(11).unwrap();
+        let profile = calibrate(11, TransitionMode::Classic);
         assert_eq!(profile.steps.len(), 5);
         assert_eq!(profile.steps[0].name, "extend");
         assert_eq!(profile.steps[4].name, "data");
@@ -143,8 +268,8 @@ mod tests {
 
     #[test]
     fn switchless_tor_removes_cell_transitions() {
-        let classic = calibrate_tor(11).unwrap();
-        let sw = calibrate_tor_mode(11, TransitionMode::Switchless).unwrap();
+        let classic = calibrate(11, TransitionMode::Classic);
+        let sw = calibrate(11, TransitionMode::Switchless);
         let data_c = &classic.steps[4];
         let data_s = &sw.steps[4];
         assert_eq!(data_c.transitions.taken, HOPS);
@@ -157,13 +282,12 @@ mod tests {
     }
 
     #[test]
-    fn tor_calibration_deterministic() {
-        let a = calibrate_tor(4).unwrap();
-        let b = calibrate_tor(4).unwrap();
-        assert_eq!(a.setup, b.setup);
-        for (x, y) in a.steps.iter().zip(&b.steps) {
-            assert_eq!(x.server, y.server);
-            assert_eq!(x.client, y.client);
-        }
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_harness() {
+        let via_shim = calibrate_tor_mode(4, TransitionMode::Switchless).unwrap();
+        let via_harness = calibrate(4, TransitionMode::Switchless);
+        assert_eq!(via_shim, via_harness);
+        let classic_shim = calibrate_tor(4).unwrap();
+        assert_eq!(classic_shim.mode, TransitionMode::Classic);
     }
 }

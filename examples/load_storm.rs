@@ -5,15 +5,15 @@
 //! cargo run -p teenet-bench --example load_storm
 //! ```
 
-use teenet_load::scenarios::AttestScenario;
-use teenet_load::{LoadConfig, LoadMode, LoadRunner, Scenario};
+use teenet::driver::AttestService;
+use teenet_load::{LoadConfig, LoadMode, LoadRunner, Scenario, ServiceScenario};
 use teenet_netsim::fault::FaultConfig;
 
 fn main() {
     // Calibrate once against the real enclave stack: one full Figure-1
     // attestation is executed and its instruction counters and wire sizes
     // captured. Everything after this line runs on virtual time.
-    let mut scenario = AttestScenario::new(42);
+    let mut scenario = ServiceScenario::new(AttestService::default(), 42);
     let calibration = scenario.calibrate();
     println!(
         "calibrated: {} op(s), server cost {} SGX + {} normal instructions/session\n",

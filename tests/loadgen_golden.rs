@@ -1,0 +1,113 @@
+//! Byte-stability gate for the load subsystem: the JSON report of every
+//! scenario, in both transition modes, at a fixed seed must match the
+//! committed golden fixture byte for byte.
+//!
+//! The fixtures pin the *numbers* of the calibrate-then-replay pipeline —
+//! calibration counters, wire sizes, latency percentiles, transition
+//! stats — so a refactor of the calibration stack (e.g. the move to the
+//! `teenet-app` service layer) cannot silently change replayed results.
+//! Any deliberate change must regenerate the fixtures in the same commit,
+//! with an explanation:
+//!
+//! ```text
+//! UPDATE_LOADGEN_GOLDEN=1 cargo test -p teenet-integration --test loadgen_golden
+//! ```
+
+use std::path::PathBuf;
+
+use teenet_load::scenarios::{by_name_mode, NAMES};
+use teenet_load::{LoadConfig, LoadMode, LoadRunner};
+use teenet_sgx::TransitionMode;
+
+/// Fixed shape of every golden run: open loop at the auto rate, default
+/// links, 60 sessions at seed 11.
+const SESSIONS: u64 = 60;
+const SEED: u64 = 11;
+
+fn run_json(name: &str, mode: TransitionMode) -> String {
+    let mut scenario = by_name_mode(name, SEED, mode).expect("known scenario");
+    let calibration = scenario.calibrate();
+    let config = LoadConfig::new(SESSIONS, SEED, LoadMode::Open { rate_per_sec: None });
+    LoadRunner::new(config)
+        .run(scenario.name(), &calibration)
+        .json()
+}
+
+fn fixture_path(name: &str, mode: TransitionMode) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures/loadgen")
+        .join(format!("{name}.{}.json", mode.as_str()))
+}
+
+fn check(name: &str, mode: TransitionMode) {
+    let got = run_json(name, mode);
+    let path = fixture_path(name, mode);
+    if std::env::var_os("UPDATE_LOADGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    assert_eq!(
+        got,
+        want,
+        "loadgen output for scenario {name} ({}) drifted from the golden fixture; \
+         if the change is deliberate, regenerate with UPDATE_LOADGEN_GOLDEN=1 and \
+         explain the diff in the commit",
+        mode.as_str()
+    );
+}
+
+#[test]
+fn attest_matches_golden_classic() {
+    check("attest", TransitionMode::Classic);
+}
+
+#[test]
+fn attest_matches_golden_switchless() {
+    check("attest", TransitionMode::Switchless);
+}
+
+#[test]
+fn tls_matches_golden_classic() {
+    check("tls", TransitionMode::Classic);
+}
+
+#[test]
+fn tls_matches_golden_switchless() {
+    check("tls", TransitionMode::Switchless);
+}
+
+#[test]
+fn tor_matches_golden_classic() {
+    check("tor", TransitionMode::Classic);
+}
+
+#[test]
+fn tor_matches_golden_switchless() {
+    check("tor", TransitionMode::Switchless);
+}
+
+#[test]
+fn bgp_matches_golden_classic() {
+    check("bgp", TransitionMode::Classic);
+}
+
+#[test]
+fn bgp_matches_golden_switchless() {
+    check("bgp", TransitionMode::Switchless);
+}
+
+#[test]
+fn every_scenario_has_a_fixture() {
+    for name in NAMES {
+        for mode in [TransitionMode::Classic, TransitionMode::Switchless] {
+            assert!(
+                fixture_path(name, mode).exists()
+                    || std::env::var_os("UPDATE_LOADGEN_GOLDEN").is_some(),
+                "no golden fixture for {name} ({})",
+                mode.as_str()
+            );
+        }
+    }
+}

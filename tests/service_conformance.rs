@@ -1,0 +1,115 @@
+//! Generic invariants every [`EnclaveService`] must satisfy, checked
+//! uniformly across all four paper workloads through the one
+//! [`AppHarness`] calibration path.
+//!
+//! These replace the per-driver copies of the same assertions: a service
+//! that registers with `teenet-load` gets every check here for free.
+
+use teenet_app::{AppHarness, EnclaveService, WorkProfile};
+use teenet_interdomain::driver::BgpService;
+use teenet_mbox::driver::TlsMboxService;
+use teenet_sgx::cost::Counters;
+use teenet_sgx::TransitionMode;
+use teenet_tor::driver::TorService;
+
+use teenet::driver::AttestService;
+
+fn calibrate<S, F>(build: &F, seed: u64, mode: TransitionMode) -> WorkProfile
+where
+    S: EnclaveService,
+    F: Fn() -> S,
+{
+    let mut svc = build();
+    match AppHarness::new(seed, mode).calibrate(&mut svc) {
+        Ok(profile) => profile,
+        Err(e) => panic!("calibration failed: {e:?}"),
+    }
+}
+
+/// One session's total SGX instructions, both sides of the wire.
+fn session_sgx(profile: &WorkProfile) -> u64 {
+    let server = profile.session_server();
+    let client = profile.session_client();
+    server.sgx_instr + client.sgx_instr
+}
+
+/// Runs the full conformance suite against one service constructor.
+fn conforms<S, F>(build: F, seed: u64)
+where
+    S: EnclaveService,
+    F: Fn() -> S,
+{
+    let name = build().name();
+
+    // A calibrated session must actually do work.
+    let classic = calibrate(&build, seed, TransitionMode::Classic);
+    assert!(
+        !classic.steps.is_empty(),
+        "{name}: session script must produce steps"
+    );
+    assert_eq!(classic.mode, TransitionMode::Classic);
+
+    // Counters additivity: merging setup and every step field-wise equals
+    // summing the raw fields — no step hides cost from the rollup.
+    let mut merged = Counters::new();
+    merged.merge(classic.setup);
+    merged.merge(classic.session_server());
+    merged.merge(classic.session_client());
+    let mut sgx_sum = classic.setup.sgx_instr;
+    let mut normal_sum = classic.setup.normal_instr;
+    for s in &classic.steps {
+        sgx_sum += s.server.sgx_instr + s.client.sgx_instr;
+        normal_sum += s.server.normal_instr + s.client.normal_instr;
+    }
+    assert_eq!(merged.sgx_instr, sgx_sum, "{name}: sgx additivity");
+    assert_eq!(merged.normal_instr, normal_sum, "{name}: normal additivity");
+
+    // Determinism: the same seed must reproduce the identical profile.
+    let again = calibrate(&build, seed, TransitionMode::Classic);
+    assert_eq!(
+        classic, again,
+        "{name}: same-seed profiles must be identical"
+    );
+
+    // Switchless must strictly lower per-session SGX instructions by
+    // eliding transitions; classic must elide none.
+    let sw = calibrate(&build, seed, TransitionMode::Switchless);
+    assert_eq!(sw.mode, TransitionMode::Switchless);
+    assert_eq!(sw.steps.len(), classic.steps.len(), "{name}: step count");
+    assert!(
+        session_sgx(&sw) < session_sgx(&classic),
+        "{name}: switchless must cut per-session SGX instructions \
+         ({} vs {})",
+        session_sgx(&sw),
+        session_sgx(&classic),
+    );
+    assert!(
+        sw.session_transitions().elided > 0,
+        "{name}: switchless must elide transitions"
+    );
+    assert_eq!(
+        classic.session_transitions().elided,
+        0,
+        "{name}: classic mode never rides the ring"
+    );
+}
+
+#[test]
+fn attest_service_conforms() {
+    conforms(AttestService::default, 9);
+}
+
+#[test]
+fn tls_mbox_service_conforms() {
+    conforms(TlsMboxService::default, 3);
+}
+
+#[test]
+fn tor_service_conforms() {
+    conforms(TorService::new, 11);
+}
+
+#[test]
+fn bgp_service_conforms() {
+    conforms(|| BgpService::new(6), 21);
+}
