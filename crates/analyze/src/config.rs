@@ -94,6 +94,10 @@ impl AnalyzeConfig {
                 // The virtual clock is the one sanctioned time source; if
                 // a wall-clock adapter is ever added, it goes here.
                 s("crates/netsim/src/time.rs"),
+                // The loadgen CLI times the sharded replay in wall-clock
+                // for BENCH_loadgen.json; the run reports themselves stay
+                // on virtual time.
+                s("crates/bench/src/bin/loadgen.rs"),
             ],
             secret_idents: vec![
                 s("device_key"),
@@ -181,6 +185,8 @@ mod tests {
         assert!(c.is_accounting("crates/sgx/src/cost.rs"));
         assert!(!c.is_accounting("crates/sgx/src/seal.rs"));
         assert!(c.is_clock_exempt("crates/netsim/src/time.rs"));
+        assert!(c.is_clock_exempt("crates/bench/src/bin/loadgen.rs"));
         assert!(!c.is_clock_exempt("crates/netsim/src/sim.rs"));
+        assert!(!c.is_clock_exempt("crates/load/src/shard.rs"));
     }
 }

@@ -204,7 +204,13 @@ pub enum StepOutcome {
 ///
 /// Implementations must be deterministic in [`ServiceEnv::seed`] and must
 /// surface failures as errors — calibration paths never panic.
-pub trait EnclaveService {
+///
+/// `Send` is a supertrait: a deployed service (platforms, enclaves, keys)
+/// must be movable to another OS thread so each load-generation shard can
+/// own its own deployment. Services hold only owned emulator state, so
+/// the bound is free — and it keeps future impls from silently capturing
+/// thread-bound handles.
+pub trait EnclaveService: Send {
     /// The service's error type; harness failures lower into it.
     type Error: From<AppError> + fmt::Debug;
 

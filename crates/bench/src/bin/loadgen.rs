@@ -10,8 +10,16 @@
 //! network simulator: open-loop Poisson arrivals or closed-loop fixed
 //! concurrency, with optional link fault injection. Same scenario + seed
 //! ⇒ byte-identical `--json` output.
+//!
+//! `--shards N` switches to the sharded replay model (`teenet-load`'s
+//! [`shard`](teenet_load::shard) module): sessions replay independently
+//! across N OS threads, and the report is byte-identical for every N.
+//! `--bench PATH` additionally times a 1-shard vs N-shard run of that
+//! model and writes the wall-clock results as machine-readable JSON —
+//! the only place wall time is allowed to exist; reports never carry it.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use teenet_load::scenarios::{by_name, by_name_mode, NAMES};
 use teenet_load::{LoadConfig, LoadMode, LoadRunner};
@@ -40,6 +48,11 @@ OPTIONS:
     --duplicate <p>        per-packet dup chance      [default: 0]
     --switchless           calibrate with switchless/batched enclave
                            transitions (default: classic EENTER/EEXIT)
+    --shards <n>           replay with the sharded model across n OS
+                           threads (report byte-identical for every n;
+                           default: the serial coupled engine)
+    --bench <path>         time a 1-shard vs --shards run of the sharded
+                           model and write wall-clock results as JSON
     --json                 emit the byte-stable JSON report instead of text
     --list                 list scenarios and exit
     --help                 show this help
@@ -59,6 +72,8 @@ struct Args {
     corrupt: f64,
     duplicate: f64,
     switchless: bool,
+    shards: Option<u32>,
+    bench: Option<String>,
     json: bool,
     list: bool,
 }
@@ -79,6 +94,8 @@ impl Default for Args {
             corrupt: 0.0,
             duplicate: 0.0,
             switchless: false,
+            shards: None,
+            bench: None,
             json: false,
             list: false,
         }
@@ -106,6 +123,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--corrupt" => args.corrupt = parse(value("--corrupt")?, "--corrupt")?,
             "--duplicate" => args.duplicate = parse(value("--duplicate")?, "--duplicate")?,
             "--switchless" => args.switchless = true,
+            "--shards" => args.shards = Some(parse(value("--shards")?, "--shards")?),
+            "--bench" => args.bench = Some(value("--bench")?.clone()),
             "--json" => args.json = true,
             "--list" => args.list = true,
             "--help" | "-h" => return Err(String::new()),
@@ -186,11 +205,107 @@ fn main() -> ExitCode {
         );
     }
     let calibration = scenario.calibrate();
-    let report = LoadRunner::new(config).run(scenario.name(), &calibration);
+    let runner = LoadRunner::new(config);
+
+    if let Some(path) = args.bench.as_deref() {
+        let shards = args.shards.unwrap_or(4).max(1);
+        let t0 = Instant::now();
+        let baseline = runner.run_sharded(scenario.name(), &calibration, 1);
+        let baseline_wall = t0.elapsed();
+        let t1 = Instant::now();
+        let sharded = runner.run_sharded(scenario.name(), &calibration, shards);
+        let sharded_wall = t1.elapsed();
+        let identical = baseline.json() == sharded.json();
+        let speedup = baseline_wall.as_secs_f64() / sharded_wall.as_secs_f64().max(1e-9);
+        let wall_rate = sharded.completed as f64 / sharded_wall.as_secs_f64().max(1e-9);
+        let bench = bench_json(
+            scenario.name(),
+            &sharded,
+            shards,
+            baseline_wall.as_nanos() as u64,
+            sharded_wall.as_nanos() as u64,
+            speedup,
+            wall_rate,
+            identical,
+        );
+        if let Err(e) = std::fs::write(path, &bench) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "bench: 1 shard {:.1} ms, {shards} shards {:.1} ms \
+             ({speedup:.2}x, {wall_rate:.0} sessions/s wall) -> {path}",
+            baseline_wall.as_secs_f64() * 1e3,
+            sharded_wall.as_secs_f64() * 1e3,
+        );
+        if args.json {
+            println!("{}", sharded.json());
+        } else {
+            print!("{}", sharded.text());
+        }
+        if !identical {
+            eprintln!("error: 1-shard and {shards}-shard reports diverged");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match args.shards {
+        Some(n) => {
+            let t0 = Instant::now();
+            let report = runner.run_sharded(scenario.name(), &calibration, n.max(1));
+            if !args.json {
+                let wall = t0.elapsed();
+                eprintln!(
+                    "replayed {} sessions on {} shard(s) in {:.1} ms wall",
+                    report.sessions,
+                    n.max(1),
+                    wall.as_secs_f64() * 1e3,
+                );
+            }
+            report
+        }
+        None => runner.run(scenario.name(), &calibration),
+    };
     if args.json {
         println!("{}", report.json());
     } else {
         print!("{}", report.text());
     }
     ExitCode::SUCCESS
+}
+
+/// Hand-rolled machine-readable bench record (`BENCH_loadgen.json`):
+/// wall-clock times and the shard speedup, none of which are allowed to
+/// appear in the deterministic run reports themselves.
+#[allow(clippy::too_many_arguments)]
+fn bench_json(
+    scenario: &str,
+    report: &teenet_load::RunReport,
+    shards: u32,
+    baseline_wall_ns: u64,
+    sharded_wall_ns: u64,
+    speedup: f64,
+    wall_rate: f64,
+    identical: bool,
+) -> String {
+    format!(
+        "{{\n  \"bench\": \"loadgen\",\n  \"scenario\": \"{}\",\n  \
+         \"mode\": \"{}\",\n  \"transition_mode\": \"{}\",\n  \
+         \"sessions\": {},\n  \"completed\": {},\n  \"shards\": {},\n  \
+         \"baseline_wall_ns\": {},\n  \"sharded_wall_ns\": {},\n  \
+         \"speedup\": {:.3},\n  \"wall_sessions_per_sec\": {:.3},\n  \
+         \"identical\": {}\n}}\n",
+        scenario,
+        report.mode,
+        report.transition_mode,
+        report.sessions,
+        report.completed,
+        shards,
+        baseline_wall_ns,
+        sharded_wall_ns,
+        speedup,
+        wall_rate,
+        identical,
+    )
 }

@@ -8,11 +8,11 @@
 //!
 //! The profile types ([`WorkProfile`]/[`WorkStep`]) and the generic
 //! calibrator live in `teenet-app`; this module only implements the
-//! service contract plus deprecated shims for the old free-function API.
+//! service contract — calibrate by driving [`AttestService`] through
+//! [`AppHarness`].
 
 use teenet_app::{
-    AppError, AppHarness, EnclaveService, ServiceEnv, StepExecution, StepOutcome, StepRequest,
-    StepSpec,
+    AppError, EnclaveService, ServiceEnv, StepExecution, StepOutcome, StepRequest, StepSpec,
 };
 use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
 use teenet_crypto::SecureRng;
@@ -222,31 +222,10 @@ impl From<AppError> for TeenetError {
     }
 }
 
-/// Calibrates the attestation-storm workload: one session is one full
-/// Figure-1 remote attestation of a target enclave.
-#[deprecated(note = "drive `AttestService` through `teenet_app::AppHarness` instead")]
-pub fn calibrate_attest(config: &AttestConfig, seed: u64) -> Result<WorkProfile> {
-    AppHarness::new(seed, TransitionMode::Classic)
-        .calibrate(&mut AttestService::new(config.clone()))
-}
-
-/// [`calibrate_attest`] with an explicit transition mode: under
-/// [`TransitionMode::Switchless`] the responder's ocalls (nonce echo,
-/// chunked response streaming) ride the shared call ring instead of paying
-/// EEXIT/EENTER pairs.
-#[deprecated(note = "drive `AttestService` through `teenet_app::AppHarness` instead")]
-pub fn calibrate_attest_mode(
-    config: &AttestConfig,
-    seed: u64,
-    mode: TransitionMode,
-) -> Result<WorkProfile> {
-    AppHarness::new(seed, mode).calibrate(&mut AttestService::new(config.clone()))
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use teenet_app::AppHarness;
 
     fn calibrate(config: &AttestConfig, seed: u64, mode: TransitionMode) -> WorkProfile {
         AppHarness::new(seed, mode)
@@ -278,15 +257,5 @@ mod tests {
             with_dh.steps[0].server.normal_instr > 5 * without.steps[0].server.normal_instr,
             "DH must dominate the target cost"
         );
-    }
-
-    #[test]
-    fn deprecated_shims_match_the_harness() {
-        let config = AttestConfig::fast();
-        let via_shim = calibrate_attest_mode(&config, 7, TransitionMode::Switchless).unwrap();
-        let via_harness = calibrate(&config, 7, TransitionMode::Switchless);
-        assert_eq!(via_shim, via_harness);
-        let classic_shim = calibrate_attest(&config, 7).unwrap();
-        assert_eq!(classic_shim.mode, TransitionMode::Classic);
     }
 }

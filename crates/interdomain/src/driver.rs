@@ -17,8 +17,7 @@ use std::collections::HashMap;
 
 use teenet::AttestConfig;
 use teenet_app::{
-    AppError, AppHarness, EnclaveService, ServiceEnv, StepExecution, StepOutcome, StepRequest,
-    StepSpec,
+    AppError, EnclaveService, ServiceEnv, StepExecution, StepOutcome, StepRequest, StepSpec,
 };
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::Counters;
@@ -175,19 +174,6 @@ impl EnclaveService for BgpService {
     }
 }
 
-/// Calibrates the BGP announcement-churn workload on a random three-tier
-/// topology of `n_ases` ASes.
-#[deprecated(note = "drive `BgpService` through `teenet_app::AppHarness` instead")]
-pub fn calibrate_bgp(seed: u64, n_ases: u32) -> Result<WorkProfile> {
-    AppHarness::new(seed, TransitionMode::Classic).calibrate(&mut BgpService::new(n_ases))
-}
-
-/// [`calibrate_bgp`] with an explicit transition mode.
-#[deprecated(note = "drive `BgpService` through `teenet_app::AppHarness` instead")]
-pub fn calibrate_bgp_mode(seed: u64, n_ases: u32, mode: TransitionMode) -> Result<WorkProfile> {
-    AppHarness::new(seed, mode).calibrate(&mut BgpService::new(n_ases))
-}
-
 /// `Counters` total across both steps of one session (convenience for
 /// tests and reports).
 pub fn session_total(profile: &WorkProfile) -> Counters {
@@ -202,6 +188,7 @@ pub fn session_total(profile: &WorkProfile) -> Counters {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use teenet_app::AppHarness;
 
     fn calibrate(seed: u64, n_ases: u32, mode: TransitionMode) -> Result<WorkProfile> {
         AppHarness::new(seed, mode).calibrate(&mut BgpService::new(n_ases))
@@ -254,15 +241,5 @@ mod tests {
             "one controller entry for the whole batch vs one per announcement"
         );
         assert_eq!(batch.elided, 2, "N-1 controller entries amortised away");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_harness() {
-        let via_shim = calibrate_bgp_mode(21, 6, TransitionMode::Switchless).unwrap();
-        let via_harness = calibrate(21, 6, TransitionMode::Switchless).unwrap();
-        assert_eq!(via_shim, via_harness);
-        let classic_shim = calibrate_bgp(13, 6).unwrap();
-        assert_eq!(classic_shim.mode, TransitionMode::Classic);
     }
 }

@@ -36,8 +36,6 @@ pub mod wire;
 pub use compute::{compute_routes, default_policies, RoutingOutcome};
 pub use controller::{AsLocalController, InterdomainController};
 pub use deployment::{run_native, NativeReport, SdnDeployment, SdnReport};
-#[allow(deprecated)]
-pub use driver::calibrate_bgp;
 pub use driver::BgpService;
 pub use policy::LocalPolicy;
 pub use predicate::Predicate;

@@ -283,6 +283,49 @@ mod tests {
             );
         }
 
+        /// merge is associative and commutative: (a∪b)∪c = a∪(b∪c) and
+        /// a∪b = b∪a observably — the law the sharded runner relies on to
+        /// make per-shard histograms partition-independent.
+        #[test]
+        fn merge_is_associative_and_commutative(
+            xs in proptest::collection::vec(any::<u64>(), 0..60),
+            ys in proptest::collection::vec(any::<u64>(), 0..60),
+            zs in proptest::collection::vec(any::<u64>(), 0..60),
+        ) {
+            let fill = |vals: &[u64]| {
+                let mut h = Histogram::new();
+                for &v in vals {
+                    h.record(v);
+                }
+                h
+            };
+            let same = |a: &Histogram, b: &Histogram| {
+                a.count() == b.count()
+                    && a.min() == b.min()
+                    && a.max() == b.max()
+                    && a.sum == b.sum
+                    && a.counts == b.counts
+            };
+
+            // Associativity.
+            let mut left = fill(&xs);
+            let mut bc = fill(&ys);
+            left.merge(&bc); // (a∪b)
+            left.merge(&fill(&zs)); // (a∪b)∪c
+            let mut right = fill(&xs);
+            bc = fill(&ys);
+            bc.merge(&fill(&zs)); // (b∪c)
+            right.merge(&bc); // a∪(b∪c)
+            prop_assert!(same(&left, &right), "merge not associative");
+
+            // Commutativity.
+            let mut ab = fill(&xs);
+            ab.merge(&fill(&ys));
+            let mut ba = fill(&ys);
+            ba.merge(&fill(&xs));
+            prop_assert!(same(&ab, &ba), "merge not commutative");
+        }
+
         /// record_n(v, n) is equivalent to n× record(v).
         #[test]
         fn record_n_matches_repeated_record(v in any::<u64>(), n in 1u64..100) {

@@ -28,6 +28,9 @@
 //! * [`runner`] — the virtual-time engine: a multi-worker service queue
 //!   behind `teenet-netsim` links (with faults, bandwidth and FIFO
 //!   queueing), timeouts, and deterministic event ordering.
+//! * [`shard`] — the sharded replay model: per-session independent
+//!   replay partitioned across OS threads, with reports byte-identical
+//!   for every thread count.
 //! * [`report`] — run reports as an aligned text table and byte-stable
 //!   JSON (same scenario + seed ⇒ identical bytes).
 
@@ -38,13 +41,15 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod scenarios;
+pub mod shard;
 
 pub use arrival::{Arrival, ArrivalProcess};
 pub use hist::Histogram;
-pub use metrics::{Counter, Gauge, PhaseRollup};
+pub use metrics::{Counter, Gauge, PhaseRollup, RunMetrics};
 pub use report::RunReport;
 pub use runner::{LoadConfig, LoadMode, LoadRunner};
 pub use scenario::{Calibration, OpProfile, Scenario};
 pub use scenarios::{ScenarioEntry, ServiceScenario, NAMES, REGISTRY};
+pub use shard::ShardPlan;
 
 pub use teenet_app::EnclaveService;

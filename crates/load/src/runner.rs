@@ -23,11 +23,9 @@ use std::collections::BinaryHeap;
 use teenet_crypto::SecureRng;
 use teenet_netsim::{FaultConfig, LinkConfig, Network, NodeId, SimDuration, SimTime};
 use teenet_sgx::cost::CostModel;
-use teenet_sgx::TransitionStats;
 
 use crate::arrival::{Arrival, ArrivalProcess};
-use crate::hist::Histogram;
-use crate::metrics::PhaseRollup;
+use crate::metrics::{PhaseRollup, RunMetrics};
 use crate::report::RunReport;
 use crate::scenario::Calibration;
 
@@ -143,7 +141,7 @@ struct Session {
 /// Wire header: session (8) + op (4) + attempt (4) + FNV-1a checksum (8).
 const HEADER_LEN: usize = 24;
 
-fn fnv1a(data: &[u8]) -> u64 {
+pub(crate) fn fnv1a(data: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in data {
         h ^= b as u64;
@@ -183,7 +181,7 @@ pub struct LoadRunner {
     model: CostModel,
 }
 
-struct Engine<'a> {
+pub(crate) struct Engine<'a> {
     cfg: &'a LoadConfig,
     cal: &'a Calibration,
     model: &'a CostModel,
@@ -197,16 +195,9 @@ struct Engine<'a> {
     /// Earliest-free time per service worker.
     workers: Vec<SimTime>,
     timeout: SimDuration,
-    // Outcome accumulators.
-    latency: Histogram,
-    completed: u64,
-    failed: u64,
-    retries: u64,
-    corrupt_rx: u64,
-    last_done_at: SimTime,
-    steady_client: PhaseRollup,
-    steady_server: PhaseRollup,
-    transitions: TransitionStats,
+    /// Every outcome accumulator, extracted into one mergeable value so
+    /// the sharded runner can combine per-shard engines.
+    metrics: RunMetrics,
 }
 
 impl LoadRunner {
@@ -216,6 +207,14 @@ impl LoadRunner {
             config,
             model: CostModel::paper(),
         }
+    }
+
+    pub(crate) fn config(&self) -> &LoadConfig {
+        &self.config
+    }
+
+    pub(crate) fn model(&self) -> &CostModel {
+        &self.model
     }
 
     /// Drives `calibration`'s per-session script under this runner's
@@ -234,7 +233,7 @@ impl LoadRunner {
 }
 
 impl<'a> Engine<'a> {
-    fn new(cfg: &'a LoadConfig, cal: &'a Calibration, model: &'a CostModel) -> Self {
+    pub(crate) fn new(cfg: &'a LoadConfig, cal: &'a Calibration, model: &'a CostModel) -> Self {
         let mut net = Network::new(cfg.seed ^ 0x6e65_7473_696d); // "netsim"
         let server = net.add_node();
         let clients = cfg.clients.max(1);
@@ -293,15 +292,7 @@ impl<'a> Engine<'a> {
             arrivals,
             workers: vec![SimTime::ZERO; cfg.workers.max(1) as usize],
             timeout,
-            latency: Histogram::new(),
-            completed: 0,
-            failed: 0,
-            retries: 0,
-            corrupt_rx: 0,
-            last_done_at: SimTime::ZERO,
-            steady_client: PhaseRollup::new("steady.client"),
-            steady_server: PhaseRollup::new("steady.server"),
-            transitions: TransitionStats::new(),
+            metrics: RunMetrics::new(),
         }
     }
 
@@ -313,7 +304,7 @@ impl<'a> Engine<'a> {
 
     /// Queues every precomputable arrival (all of them for open loop, the
     /// initial batch for closed loop).
-    fn prime(&mut self) {
+    pub(crate) fn prime(&mut self) {
         while let Some((idx, at)) = self.arrivals.next_arrival() {
             self.push(at, Ev::Arrive { session: idx });
         }
@@ -322,7 +313,7 @@ impl<'a> Engine<'a> {
     /// The main event loop: repeatedly handle whichever comes first — the
     /// next network delivery or the next driver event. Network wins ties
     /// so a response arriving at time t beats a timeout firing at t.
-    fn drain(&mut self) {
+    pub(crate) fn drain(&mut self) {
         loop {
             let drv = self.heap.peek().map(|Reverse(e)| e.at);
             let net = self.net.next_event_at();
@@ -340,7 +331,7 @@ impl<'a> Engine<'a> {
         while let Some((at, packet)) = self.net.recv_timed(self.server) {
             match decode(&packet.payload) {
                 Some((s, op, attempt)) => self.on_request(at, s, op, attempt),
-                None => self.corrupt_rx += 1,
+                None => self.metrics.corrupt_rx += 1,
             }
         }
         for i in 0..self.client_nodes.len() {
@@ -348,7 +339,7 @@ impl<'a> Engine<'a> {
             while let Some((at, packet)) = self.net.recv_timed(node) {
                 match decode(&packet.payload) {
                     Some((s, op, _)) => self.on_response(at, s, op),
-                    None => self.corrupt_rx += 1,
+                    None => self.metrics.corrupt_rx += 1,
                 }
             }
         }
@@ -392,7 +383,7 @@ impl<'a> Engine<'a> {
         let sess = self.sessions[session as usize];
         let op = &self.cal.ops[sess.op as usize];
         if sess.attempt == 0 {
-            self.steady_client.fold(op.client);
+            self.metrics.steady_client.fold(op.client);
         }
         let payload = encode(session, sess.op, sess.attempt, op.request_bytes);
         self.net.send(sess.client, self.server, payload);
@@ -435,8 +426,8 @@ impl<'a> Engine<'a> {
         let done_at = start + SimDuration(profile.service_nanos(self.model, self.cfg.clock_hz));
         self.workers[widx] = done_at;
         self.sessions[session as usize].in_service = Some(op);
-        self.steady_server.fold(profile.server);
-        self.transitions.merge(profile.transitions);
+        self.metrics.steady_server.fold(profile.server);
+        self.metrics.transitions.merge(profile.transitions);
         self.push(done_at, Ev::ServiceDone { session, op });
     }
 
@@ -468,9 +459,9 @@ impl<'a> Engine<'a> {
         if (sess.op as usize) == self.cal.ops.len() {
             sess.done = true;
             let took = at - sess.arrived_at;
-            self.latency.record(took.as_nanos());
-            self.completed += 1;
-            self.last_done_at = self.last_done_at.max(at);
+            self.metrics.latency.record(took.as_nanos());
+            self.metrics.completed += 1;
+            self.metrics.last_done_ns = self.metrics.last_done_ns.max(at.as_nanos());
             self.next_closed_loop_arrival(at);
         } else {
             self.send_request(at, session);
@@ -485,12 +476,12 @@ impl<'a> Engine<'a> {
         if attempt >= self.cfg.max_retries {
             let sess = &mut self.sessions[session as usize];
             sess.failed = true;
-            self.failed += 1;
-            self.last_done_at = self.last_done_at.max(at);
+            self.metrics.failed += 1;
+            self.metrics.last_done_ns = self.metrics.last_done_ns.max(at.as_nanos());
             self.next_closed_loop_arrival(at);
             return;
         }
-        self.retries += 1;
+        self.metrics.retries += 1;
         self.sessions[session as usize].attempt = attempt + 1;
         self.send_request(at, session);
     }
@@ -502,47 +493,77 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Finishes the run: folds the network's fault totals and queue
+    /// high-watermark into the accumulated metrics and returns them.
+    pub(crate) fn into_metrics(mut self) -> RunMetrics {
+        self.metrics.net.merge(&self.net.fault_totals());
+        self.metrics.max_server_queue = self
+            .metrics
+            .max_server_queue
+            .max(self.net.max_queue_depth(self.server) as u64);
+        self.metrics
+    }
+
     fn into_report(self, scenario: &str, cfg: &LoadConfig) -> RunReport {
-        let duration_ns = self.last_done_at.as_nanos().max(1);
-        let throughput = self.completed as f64 / (duration_ns as f64 / 1e9);
-        let mut calibration_phase = PhaseRollup::new("calibration");
-        calibration_phase.fold(self.cal.setup);
-        let mut total = calibration_phase.counters;
-        total.merge(self.steady_client.counters);
-        total.merge(self.steady_server.counters);
-        let total_cycles = total.cycles(self.model);
-        let (mode, rate, concurrency) = match cfg.mode {
-            LoadMode::Open { .. } => ("open", effective_rate(cfg, self.cal, self.model), 0u32),
-            LoadMode::Closed { concurrency } => ("closed", 0.0, concurrency.max(1)),
-        };
-        RunReport {
-            scenario: scenario.to_string(),
-            mode: mode.to_string(),
-            transition_mode: self.cal.mode.as_str().to_string(),
-            seed: cfg.seed,
-            rate_per_sec: rate,
-            concurrency,
-            sessions: cfg.sessions,
-            completed: self.completed,
-            failed: self.failed,
-            retries: self.retries,
-            corrupt_rx: self.corrupt_rx,
-            duration_ns,
-            throughput_per_sec: throughput,
-            latency: self.latency,
-            net: self.net.fault_totals(),
-            max_server_queue: self.net.max_queue_depth(self.server) as u64,
-            phases: vec![calibration_phase, self.steady_client, self.steady_server],
-            total,
-            total_cycles,
-            transitions: self.transitions,
-        }
+        let cal = self.cal;
+        let model = self.model;
+        report_from_metrics(scenario, cfg, cal, model, self.into_metrics())
+    }
+}
+
+/// Assembles the byte-stable [`RunReport`] from finished run metrics —
+/// shared by the serial engine and the sharded runner, so both paths
+/// format one identical way.
+pub(crate) fn report_from_metrics(
+    scenario: &str,
+    cfg: &LoadConfig,
+    cal: &Calibration,
+    model: &CostModel,
+    metrics: RunMetrics,
+) -> RunReport {
+    let duration_ns = metrics.last_done_ns.max(1);
+    let throughput = metrics.completed as f64 / (duration_ns as f64 / 1e9);
+    let mut calibration_phase = PhaseRollup::new("calibration");
+    calibration_phase.fold(cal.setup);
+    let mut total = calibration_phase.counters;
+    total.merge(metrics.steady_client.counters);
+    total.merge(metrics.steady_server.counters);
+    let total_cycles = total.cycles(model);
+    let (mode, rate, concurrency) = match cfg.mode {
+        LoadMode::Open { .. } => ("open", effective_rate(cfg, cal, model), 0u32),
+        LoadMode::Closed { concurrency } => ("closed", 0.0, concurrency.max(1)),
+    };
+    RunReport {
+        scenario: scenario.to_string(),
+        mode: mode.to_string(),
+        transition_mode: cal.mode.as_str().to_string(),
+        seed: cfg.seed,
+        rate_per_sec: rate,
+        concurrency,
+        sessions: cfg.sessions,
+        completed: metrics.completed,
+        failed: metrics.failed,
+        retries: metrics.retries,
+        corrupt_rx: metrics.corrupt_rx,
+        duration_ns,
+        throughput_per_sec: throughput,
+        latency: metrics.latency,
+        net: metrics.net,
+        max_server_queue: metrics.max_server_queue,
+        phases: vec![
+            calibration_phase,
+            metrics.steady_client,
+            metrics.steady_server,
+        ],
+        total,
+        total_cycles,
+        transitions: metrics.transitions,
     }
 }
 
 /// The open-loop arrival rate: the configured one, or 50% of the server's
 /// calibrated service capacity (`workers / per-session busy time`).
-fn effective_rate(cfg: &LoadConfig, cal: &Calibration, model: &CostModel) -> f64 {
+pub(crate) fn effective_rate(cfg: &LoadConfig, cal: &Calibration, model: &CostModel) -> f64 {
     match cfg.mode {
         LoadMode::Open {
             rate_per_sec: Some(r),
@@ -564,6 +585,7 @@ mod tests {
     use super::*;
     use crate::scenario::OpProfile;
     use teenet_sgx::cost::Counters;
+    use teenet_sgx::TransitionStats;
 
     fn c(sgx: u64, normal: u64) -> Counters {
         Counters {

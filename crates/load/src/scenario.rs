@@ -124,7 +124,10 @@ impl From<teenet_app::WorkProfile> for Calibration {
 /// Implementations hold their configuration and seed; `calibrate` runs the
 /// real protocol (real enclaves, real crypto) a bounded number of times
 /// and must be deterministic in the seed.
-pub trait Scenario {
+///
+/// `Send` is a supertrait so a boxed scenario (and the deployed service
+/// inside it) can move to a load shard's worker thread.
+pub trait Scenario: Send {
     /// Stable scenario name (used in reports and JSON).
     fn name(&self) -> &'static str;
 

@@ -1,0 +1,403 @@
+//! Sharded deterministic replay: the parallel counterpart of the serial
+//! [`crate::LoadRunner::run`] engine.
+//!
+//! The serial engine is one coupled discrete-event simulation — every
+//! session shares the server's worker pool, the links and the fault RNG,
+//! so its state cannot be split across threads without changing the
+//! answer. The sharded model trades that coupling for per-session
+//! independence: each session is replayed as a *pure function* of the run
+//! seed and its session index, on its own private two-node network with
+//! its own derived RNG and its own virtual clock starting at zero. Global
+//! time is then reconstructed analytically:
+//!
+//! * **Partitioning** — session indices `0..sessions` are split into
+//!   contiguous, balanced blocks, one per shard ([`ShardPlan::range`]).
+//!   Which shard replays a session never changes what the session does.
+//! * **Seed derivation** — session `i` replays under
+//!   `fnv1a(seed.to_le_bytes() ‖ i.to_le_bytes())`
+//!   ([`ShardPlan::session_seed`]), so per-session randomness (link
+//!   faults) is identical no matter which thread runs it.
+//! * **Scheduling** — open loop draws the global Poisson arrival times
+//!   exactly as the serial engine does and places session `i`'s
+//!   completion at `arrival_i + duration_i`; closed loop assigns session
+//!   `i` to lane `i mod concurrency` and runs each lane back-to-back.
+//!   Both need only the per-session durations, which the shards computed
+//!   in parallel.
+//! * **Merging** — per-shard [`RunMetrics`] are merged in fixed shard
+//!   order. Because every merge is associative and commutative and
+//!   contiguous blocks cover `0..sessions` in index order, the merged
+//!   result — and therefore the rendered report — is byte-identical for
+//!   *any* shard count.
+//!
+//! The sharded model is a different (documented) replay model from the
+//! serial engine: sessions never contend for the server's worker pool or
+//! a shared link, so under faults or saturation its numbers differ from
+//! [`crate::LoadRunner::run`]. What it guarantees is determinism in the
+//! seed and independence from the thread count.
+
+use std::ops::Range;
+use std::thread;
+
+use teenet_crypto::SecureRng;
+use teenet_sgx::cost::CostModel;
+
+use crate::arrival::{Arrival, ArrivalProcess};
+use crate::metrics::RunMetrics;
+use crate::report::RunReport;
+use crate::runner::{
+    effective_rate, fnv1a, report_from_metrics, Engine, LoadConfig, LoadMode, LoadRunner,
+};
+use crate::scenario::Calibration;
+
+/// The deterministic partition of a run's sessions across shards.
+///
+/// Contiguous balanced blocks: with `sessions = q·shards + r`, the first
+/// `r` shards get `q + 1` sessions and the rest get `q`, in index order.
+/// The plan is a pure function of `(sessions, shards)` so every thread
+/// count agrees on which sessions exist and what seeds they use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Total sessions in the run.
+    pub sessions: u64,
+    /// Number of shards (≥ 1).
+    pub shards: u32,
+}
+
+impl ShardPlan {
+    /// A plan splitting `sessions` across `shards` threads (clamped ≥ 1).
+    pub fn new(sessions: u64, shards: u32) -> Self {
+        ShardPlan {
+            sessions,
+            shards: shards.max(1),
+        }
+    }
+
+    /// The contiguous session-index range shard `shard` replays.
+    pub fn range(&self, shard: u32) -> Range<u64> {
+        debug_assert!(shard < self.shards);
+        let n = self.shards as u64;
+        let q = self.sessions / n;
+        let r = self.sessions % n;
+        let s = shard as u64;
+        let start = s * q + s.min(r);
+        let len = q + u64::from(s < r);
+        start..start + len
+    }
+
+    /// The derived seed session `index` replays under: FNV-1a over the
+    /// run seed and the index, so shards need no shared RNG state.
+    pub fn session_seed(seed: u64, index: u64) -> u64 {
+        let mut buf = [0u8; 16];
+        buf[0..8].copy_from_slice(&seed.to_le_bytes());
+        buf[8..16].copy_from_slice(&index.to_le_bytes());
+        fnv1a(&buf)
+    }
+}
+
+/// What one shard hands back: its merged metrics (the session-local
+/// `last_done_ns` in it is meaningless and overwritten by the scheduler)
+/// plus each session's duration in index order.
+struct ShardResult {
+    metrics: RunMetrics,
+    durations: Vec<u64>,
+}
+
+/// Replays every session in `range`, each on a private single-worker,
+/// single-client engine whose virtual clock starts at zero.
+fn run_shard(
+    cfg: &LoadConfig,
+    cal: &Calibration,
+    model: &CostModel,
+    range: Range<u64>,
+) -> ShardResult {
+    let mut metrics = RunMetrics::new();
+    let mut durations = Vec::with_capacity((range.end - range.start) as usize);
+    for index in range {
+        let mut session_cfg = cfg.clone();
+        session_cfg.sessions = 1;
+        session_cfg.seed = ShardPlan::session_seed(cfg.seed, index);
+        session_cfg.mode = LoadMode::Closed { concurrency: 1 };
+        session_cfg.workers = 1;
+        session_cfg.clients = 1;
+        let mut engine = Engine::new(&session_cfg, cal, model);
+        engine.prime();
+        engine.drain();
+        let m = engine.into_metrics();
+        // One session from t=0: its local last-done time IS its duration
+        // (completion or abandonment).
+        durations.push(m.last_done_ns);
+        metrics.merge(&m);
+    }
+    ShardResult { metrics, durations }
+}
+
+/// Reconstructs the run's global end time from per-session durations.
+///
+/// Open loop: the serial arrival schedule is regenerated (same fork of
+/// the seed the serial engine uses) and session `i` finishes at
+/// `arrival_i + duration_i`. Closed loop: session `i` occupies lane
+/// `i mod concurrency`; lanes run their sessions back-to-back, so each
+/// lane ends at the sum of its durations. Either way the run ends at the
+/// latest completion.
+fn schedule_completions(
+    cfg: &LoadConfig,
+    cal: &Calibration,
+    model: &CostModel,
+    durations: &[u64],
+) -> u64 {
+    match cfg.mode {
+        LoadMode::Open { .. } => {
+            let rate = effective_rate(cfg, cal, model);
+            let mut arrivals = ArrivalProcess::new(
+                Arrival::OpenLoop { rate_per_sec: rate },
+                cfg.sessions,
+                SecureRng::seed_from_u64(cfg.seed).fork(b"arrivals"),
+            );
+            let mut last = 0u64;
+            while let Some((idx, at)) = arrivals.next_arrival() {
+                last = last.max(at.as_nanos() + durations[idx as usize]);
+            }
+            last
+        }
+        LoadMode::Closed { concurrency } => {
+            let lanes = concurrency.max(1) as usize;
+            let mut lane_end = vec![0u64; lanes];
+            for (i, &d) in durations.iter().enumerate() {
+                lane_end[i % lanes] += d;
+            }
+            lane_end.into_iter().max().unwrap_or(0)
+        }
+    }
+}
+
+impl LoadRunner {
+    /// Drives `calibration`'s script through the sharded replay model on
+    /// `n_threads` OS threads and returns the full report.
+    ///
+    /// The report is byte-identical for every `n_threads` ≥ 1: sessions
+    /// are pure functions of `(seed, index)`, shards cover contiguous
+    /// index blocks, and the associative/commutative metric merges are
+    /// applied in fixed shard order.
+    pub fn run_sharded(
+        &self,
+        scenario: &str,
+        calibration: &Calibration,
+        n_threads: u32,
+    ) -> RunReport {
+        assert!(
+            !calibration.ops.is_empty(),
+            "calibration must contain at least one op"
+        );
+        let cfg = self.config();
+        let model = self.model();
+        let plan = ShardPlan::new(cfg.sessions, n_threads);
+
+        let results: Vec<ShardResult> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..plan.shards)
+                .map(|shard| {
+                    let range = plan.range(shard);
+                    scope.spawn(move || run_shard(cfg, calibration, model, range))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
+
+        // Fixed shard-order merge over contiguous blocks ≡ one serial
+        // index-order merge, for any shard count.
+        let mut metrics = RunMetrics::new();
+        let mut durations = Vec::with_capacity(cfg.sessions as usize);
+        for r in &results {
+            metrics.merge(&r.metrics);
+            durations.extend_from_slice(&r.durations);
+        }
+        metrics.last_done_ns = schedule_completions(cfg, calibration, model, &durations);
+        report_from_metrics(scenario, cfg, calibration, model, metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::OpProfile;
+    use proptest::prelude::*;
+    use teenet_netsim::FaultConfig;
+    use teenet_sgx::cost::Counters;
+    use teenet_sgx::TransitionStats;
+
+    fn c(sgx: u64, normal: u64) -> Counters {
+        Counters {
+            sgx_instr: sgx,
+            normal_instr: normal,
+        }
+    }
+
+    fn toy_calibration() -> Calibration {
+        Calibration {
+            setup: c(10, 1_000_000),
+            ops: vec![
+                OpProfile {
+                    name: "hello",
+                    client: c(0, 50_000),
+                    server: c(4, 500_000),
+                    request_bytes: 128,
+                    response_bytes: 64,
+                    transitions: TransitionStats {
+                        taken: 2,
+                        elided: 0,
+                        fallbacks: 0,
+                    },
+                },
+                OpProfile {
+                    name: "work",
+                    client: c(0, 10_000),
+                    server: c(8, 2_000_000),
+                    request_bytes: 256,
+                    response_bytes: 1024,
+                    transitions: TransitionStats {
+                        taken: 4,
+                        elided: 0,
+                        fallbacks: 0,
+                    },
+                },
+            ],
+            mode: Default::default(),
+        }
+    }
+
+    #[test]
+    fn plan_partitions_contiguously_and_balanced() {
+        let plan = ShardPlan::new(10, 4);
+        let ranges: Vec<_> = (0..4).map(|s| plan.range(s)).collect();
+        assert_eq!(ranges, vec![0..3, 3..6, 6..8, 8..10]);
+        // Cover 0..sessions exactly, in order, for assorted shapes.
+        for (sessions, shards) in [(0u64, 3u32), (1, 4), (7, 1), (100, 7), (5, 5), (3, 8)] {
+            let plan = ShardPlan::new(sessions, shards);
+            let mut next = 0u64;
+            for s in 0..plan.shards {
+                let r = plan.range(s);
+                assert_eq!(r.start, next, "{sessions}s/{shards}sh shard {s}");
+                next = r.end;
+            }
+            assert_eq!(next, sessions);
+        }
+    }
+
+    #[test]
+    fn session_seeds_differ_per_index_and_run_seed() {
+        let a = ShardPlan::session_seed(42, 0);
+        let b = ShardPlan::session_seed(42, 1);
+        let c = ShardPlan::session_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, ShardPlan::session_seed(42, 0), "pure function");
+    }
+
+    #[test]
+    fn shard_counts_agree_byte_for_byte() {
+        let cal = toy_calibration();
+        for mode in [
+            LoadMode::Open { rate_per_sec: None },
+            LoadMode::Closed { concurrency: 16 },
+        ] {
+            let mut cfg = LoadConfig::new(120, 7, mode);
+            cfg.faults = FaultConfig {
+                drop_chance: 0.05,
+                corrupt_chance: 0.03,
+                ..Default::default()
+            };
+            let runner = LoadRunner::new(cfg);
+            let one = runner.run_sharded("toy", &cal, 1);
+            let two = runner.run_sharded("toy", &cal, 2);
+            let four = runner.run_sharded("toy", &cal, 4);
+            let nine = runner.run_sharded("toy", &cal, 9);
+            assert_eq!(one.json(), two.json());
+            assert_eq!(one.json(), four.json());
+            assert_eq!(one.json(), nine.json());
+            assert_eq!(one.text(), four.text());
+        }
+    }
+
+    #[test]
+    fn sharded_run_completes_all_sessions() {
+        let cfg = LoadConfig::new(80, 3, LoadMode::Closed { concurrency: 8 });
+        let report = LoadRunner::new(cfg).run_sharded("toy", &toy_calibration(), 4);
+        assert_eq!(report.completed, 80);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.latency.count(), 80);
+        assert!(report.duration_ns > 0);
+        // Per-session cost rollups match the serial engine's semantics:
+        // both ops fold once per session.
+        let server = report
+            .phases
+            .iter()
+            .find(|p| p.name == "steady.server")
+            .unwrap();
+        assert_eq!(server.ops, 160);
+        assert_eq!(server.counters.sgx_instr, 80 * 12);
+        assert_eq!(report.transitions.taken, 80 * 6);
+    }
+
+    #[test]
+    fn seed_still_drives_the_sharded_run() {
+        let cal = toy_calibration();
+        let json = |seed| {
+            let mut cfg = LoadConfig::new(50, seed, LoadMode::Open { rate_per_sec: None });
+            cfg.faults = FaultConfig {
+                drop_chance: 0.05,
+                ..Default::default()
+            };
+            LoadRunner::new(cfg).run_sharded("toy", &cal, 2).json()
+        };
+        assert_ne!(json(1), json(2));
+        assert_eq!(json(5), json(5));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Any 2-way split of the session range merges to the exact
+        /// serial (single-shard, in-process) accumulation: replaying
+        /// `0..k` and `k..n` separately and merging equals replaying
+        /// `0..n` in one pass. This is the partition-independence the
+        /// threaded path inherits.
+        #[test]
+        fn any_two_way_split_matches_serial_fold(split in 0u64..41, closed in any::<bool>()) {
+            let cal = toy_calibration();
+            let n = 40u64;
+            let mode = if closed {
+                LoadMode::Closed { concurrency: 4 }
+            } else {
+                LoadMode::Open { rate_per_sec: None }
+            };
+            let mut cfg = LoadConfig::new(n, 13, mode);
+            cfg.faults = FaultConfig {
+                drop_chance: 0.04,
+                ..Default::default()
+            };
+            let model = CostModel::paper();
+
+            let serial = run_shard(&cfg, &cal, &model, 0..n);
+            let left = run_shard(&cfg, &cal, &model, 0..split);
+            let right = run_shard(&cfg, &cal, &model, split..n);
+
+            let mut merged = RunMetrics::new();
+            merged.merge(&left.metrics);
+            merged.merge(&right.metrics);
+            let mut durations = left.durations;
+            durations.extend_from_slice(&right.durations);
+            prop_assert_eq!(&durations[..], &serial.durations[..]);
+
+            merged.last_done_ns = schedule_completions(&cfg, &cal, &model, &durations);
+            let mut serial_metrics = serial.metrics;
+            serial_metrics.last_done_ns =
+                schedule_completions(&cfg, &cal, &model, &serial.durations);
+
+            let a = report_from_metrics("toy", &cfg, &cal, &model, merged);
+            let b = report_from_metrics("toy", &cfg, &cal, &model, serial_metrics);
+            prop_assert_eq!(a.json(), b.json());
+        }
+    }
+}

@@ -17,8 +17,7 @@
 
 use teenet::AttestConfig;
 use teenet_app::{
-    AppError, AppHarness, EnclaveService, ServiceEnv, StepExecution, StepOutcome, StepRequest,
-    StepSpec,
+    AppError, EnclaveService, ServiceEnv, StepExecution, StepOutcome, StepRequest, StepSpec,
 };
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::Counters;
@@ -243,29 +242,6 @@ impl From<AppError> for MboxError {
     }
 }
 
-/// Calibrates the middlebox record-traffic workload.
-#[deprecated(note = "drive `TlsMboxService` through `teenet_app::AppHarness` instead")]
-pub fn calibrate_tls_mbox(
-    seed: u64,
-    record_bytes: usize,
-    records_per_session: u32,
-) -> Result<WorkProfile> {
-    AppHarness::new(seed, TransitionMode::Classic)
-        .calibrate(&mut TlsMboxService::new(record_bytes, records_per_session))
-}
-
-/// [`calibrate_tls_mbox`] with an explicit transition mode.
-#[deprecated(note = "drive `TlsMboxService` through `teenet_app::AppHarness` instead")]
-pub fn calibrate_tls_mbox_mode(
-    seed: u64,
-    record_bytes: usize,
-    records_per_session: u32,
-    mode: TransitionMode,
-) -> Result<WorkProfile> {
-    AppHarness::new(seed, mode)
-        .calibrate(&mut TlsMboxService::new(record_bytes, records_per_session))
-}
-
 fn expect_pass(result: ProcessResult) -> Result<()> {
     match result {
         ProcessResult::Pass(_) | ProcessResult::Rewritten(_) => Ok(()),
@@ -280,6 +256,7 @@ fn tls_err(_e: teenet_tls::TlsError) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use teenet_app::AppHarness;
 
     fn calibrate(
         seed: u64,
@@ -324,16 +301,5 @@ mod tests {
             "DPI over a longer record must cost more"
         );
         assert!(large.steps[0].client.normal_instr > small.steps[0].client.normal_instr);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_harness() {
-        let via_shim = calibrate_tls_mbox_mode(3, 1024, 4, TransitionMode::Switchless).unwrap();
-        let via_harness = calibrate(3, 1024, 4, TransitionMode::Switchless).unwrap();
-        assert_eq!(via_shim, via_harness);
-        let classic_shim = calibrate_tls_mbox(9, 512, 2).unwrap();
-        assert_eq!(classic_shim.mode, TransitionMode::Classic);
-        assert_eq!(classic_shim.steps.len(), 2);
     }
 }

@@ -30,8 +30,6 @@ pub mod scenarios;
 pub use baseline::{compare_key_release_designs, ComparisonReport, ReleaseOutcome};
 pub use chain::MiddleboxChain;
 pub use dpi::{Action, DpiEngine, Rule, Verdict};
-#[allow(deprecated)]
-pub use driver::calibrate_tls_mbox;
 pub use driver::TlsMboxService;
 pub use error::{MboxError, Result};
 pub use middlebox::{MiddleboxEnclave, ProvisionPolicy};

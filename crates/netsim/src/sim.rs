@@ -439,6 +439,17 @@ mod tests {
         (net, a, b)
     }
 
+    /// Compile-time regression: a whole simulated network — virtual
+    /// clock, event heap, per-link fault RNGs — must stay `Send`, so each
+    /// load-generation shard can own an independent network with its own
+    /// virtual clock on its own OS thread.
+    #[test]
+    fn network_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Network>();
+        assert_send::<LinkStats>();
+    }
+
     #[test]
     fn basic_delivery_with_latency() {
         let (mut net, a, b) = two_node_net(LinkConfig {

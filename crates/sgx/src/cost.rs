@@ -216,11 +216,15 @@ impl CostModel {
     }
 
     /// Cost of a modular exponentiation at `bits` modulus size
-    /// (cubic scaling from the calibrated 1024-bit cost).
-    // teenet-analyze: allow-block(float-accounting) -- one-off calibration scaling far below 2^53; never accumulated
+    /// (cubic scaling from the calibrated 1024-bit cost), computed in
+    /// exact integer arithmetic: `modexp_1024 · bits³ / 1024³`, rounded
+    /// to nearest. The widest case (2⁶³-scale base cost at a few thousand
+    /// bits) stays far inside u128.
     pub fn modexp(&self, bits: usize) -> u64 {
-        let ratio = bits as f64 / 1024.0;
-        (self.modexp_1024 as f64 * ratio * ratio * ratio) as u64
+        const DEN: u128 = 1024 * 1024 * 1024;
+        let b = bits as u128;
+        let num = self.modexp_1024 as u128 * b * b * b;
+        ((num + DEN / 2) / DEN) as u64
     }
 
     /// Cost of AES-encrypting `len` bytes (excluding key schedule).

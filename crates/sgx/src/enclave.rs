@@ -24,7 +24,12 @@ use crate::switchless::{Post, SwitchlessState, TransitionMode, TransitionStats};
 pub type EnclaveId = u64;
 
 /// Application logic executed inside an enclave.
-pub trait EnclaveProgram {
+///
+/// `Send` is a supertrait: a loaded [`Enclave`] (and therefore a whole
+/// [`crate::Platform`]) must be movable to another OS thread so one
+/// independent platform instance can live per load-generation shard.
+/// Programs hold only owned protocol state, so the bound costs nothing.
+pub trait EnclaveProgram: Send {
     /// Canonical byte image of the program; its hash is the MRENCLAVE.
     ///
     /// Must cover everything behaviour-defining (code version, static

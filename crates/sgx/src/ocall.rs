@@ -16,7 +16,10 @@ use crate::error::{Result, SgxError};
 ///
 /// `name` identifies the service ("send", "recv", "time", …); payload and
 /// return value are opaque bytes marshalled across the boundary.
-pub trait HostCalls {
+///
+/// `Send` is a supertrait so a host implementation can accompany its
+/// platform onto another OS thread (one platform + host per load shard).
+pub trait HostCalls: Send {
     /// Executes a host call and returns the (untrusted) result.
     fn ocall(&mut self, name: &str, payload: &[u8]) -> Vec<u8>;
 }
@@ -34,7 +37,7 @@ impl HostCalls for NullHost {
 /// Blanket impl so closures can serve as hosts in tests and examples.
 impl<F> HostCalls for F
 where
-    F: FnMut(&str, &[u8]) -> Vec<u8>,
+    F: FnMut(&str, &[u8]) -> Vec<u8> + Send,
 {
     fn ocall(&mut self, name: &str, payload: &[u8]) -> Vec<u8> {
         self(name, payload)

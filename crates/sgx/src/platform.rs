@@ -428,6 +428,20 @@ mod tests {
         })
     }
 
+    /// Compile-time regression: a whole platform (device key, EPC,
+    /// enclaves with their boxed programs, quoting enclave) must stay
+    /// `Send` so one independent instance can live per load-generation
+    /// shard. Reintroducing non-`Send` state (an `Rc`, a thread-bound
+    /// handle) fails this test at compile time.
+    #[test]
+    fn platform_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Platform>();
+        assert_send::<Enclave>();
+        assert_send::<Box<dyn EnclaveProgram>>();
+        assert_send::<Box<dyn HostCalls>>();
+    }
+
     #[test]
     fn ecall_roundtrip_and_counting() {
         let (mut p, author) = setup();

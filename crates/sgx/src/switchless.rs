@@ -240,6 +240,16 @@ mod tests {
         s
     }
 
+    /// Compile-time regression: the switchless ring/worker state is plain
+    /// owned data and must stay `Send` (it rides inside `Enclave`, which
+    /// moves to a load shard's thread together with its platform).
+    #[test]
+    fn switchless_state_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SwitchlessState>();
+        assert_send::<TransitionStats>();
+    }
+
     #[test]
     fn classic_mode_never_elides() {
         let mut s = SwitchlessState::new();

@@ -16,7 +16,7 @@
 //! steady state anyway.
 
 use teenet_app::{
-    AppError, AppHarness, EnclaveService, ServiceEnv, StepKind, StepOutcome, StepRequest, StepSpec,
+    AppError, EnclaveService, ServiceEnv, StepKind, StepOutcome, StepRequest, StepSpec,
 };
 use teenet_sgx::cost::{CostModel, Counters};
 use teenet_sgx::{TransitionMode, TransitionStats};
@@ -230,21 +230,10 @@ impl From<AppError> for TorError {
     }
 }
 
-/// Calibrates the Tor circuit+stream workload on a FullSgx deployment.
-#[deprecated(note = "drive `TorService` through `teenet_app::AppHarness` instead")]
-pub fn calibrate_tor(seed: u64) -> Result<WorkProfile> {
-    AppHarness::new(seed, TransitionMode::Classic).calibrate(&mut TorService::new())
-}
-
-/// [`calibrate_tor`] with an explicit transition mode.
-#[deprecated(note = "drive `TorService` through `teenet_app::AppHarness` instead")]
-pub fn calibrate_tor_mode(seed: u64, mode: TransitionMode) -> Result<WorkProfile> {
-    AppHarness::new(seed, mode).calibrate(&mut TorService::new())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use teenet_app::AppHarness;
 
     fn calibrate(seed: u64, mode: TransitionMode) -> WorkProfile {
         AppHarness::new(seed, mode)
@@ -279,15 +268,5 @@ mod tests {
         assert!(data_s.server.normal_instr > data_c.server.normal_instr);
         // Admission is mode-independent.
         assert_eq!(classic.setup, sw.setup);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_harness() {
-        let via_shim = calibrate_tor_mode(4, TransitionMode::Switchless).unwrap();
-        let via_harness = calibrate(4, TransitionMode::Switchless);
-        assert_eq!(via_shim, via_harness);
-        let classic_shim = calibrate_tor(4).unwrap();
-        assert_eq!(classic_shim.mode, TransitionMode::Classic);
     }
 }

@@ -37,8 +37,6 @@ pub use cell::{Cell, CellCmd, RelayCmd, RelayPayload};
 pub use circuit::{ClientEvent, TorClient};
 pub use deployment::{Phase, TorDeployment, TorSpec};
 pub use directory::{AuthorityBehavior, Consensus, DirectoryAuthority, RouterDescriptor};
-#[allow(deprecated)]
-pub use driver::calibrate_tor;
 pub use driver::TorService;
 pub use error::{Result, TorError};
 pub use network::{EchoServer, TorNetwork};

@@ -1,5 +1,7 @@
 //! Load-generation walkthrough: stress the attestation service with an
-//! open-loop storm, then compare a lossy closed-loop run.
+//! open-loop storm, compare a lossy closed-loop run, then replay the
+//! same storm through the sharded model and show the report is identical
+//! no matter how many OS threads carry it.
 //!
 //! ```text
 //! cargo run -p teenet-bench --example load_storm
@@ -37,4 +39,24 @@ fn main() {
     let report = LoadRunner::new(config).run(scenario.name(), &calibration);
     println!();
     print!("{}", report.text());
+
+    // Sharded replay: sessions become pure functions of (seed, index) and
+    // split across OS threads. The report bytes cannot depend on the
+    // thread count — replaying on 1 and 4 shards proves it.
+    let mut config = LoadConfig::new(2_000, 42, LoadMode::Closed { concurrency: 8 });
+    config.faults = FaultConfig {
+        drop_chance: 0.01,
+        ..FaultConfig::default()
+    };
+    let runner = LoadRunner::new(config);
+    let one = runner.run_sharded(scenario.name(), &calibration, 1);
+    let four = runner.run_sharded(scenario.name(), &calibration, 4);
+    assert_eq!(
+        one.json(),
+        four.json(),
+        "sharded replay must be thread-count independent"
+    );
+    println!();
+    println!("sharded replay on 1 and 4 threads: byte-identical reports");
+    print!("{}", four.text());
 }

@@ -14,6 +14,21 @@ use teenet_tor::driver::TorService;
 
 use teenet::driver::AttestService;
 
+/// Compile-time regression: the platform layer and every service impl
+/// must stay `Send`, so a load shard can own its own deployment on its
+/// own OS thread. A future PR that captures non-`Send` state (an `Rc`, a
+/// thread-bound handle) in any of these types fails here at compile time.
+#[test]
+fn platform_and_all_services_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<teenet_sgx::Platform>();
+    assert_send::<AttestService>();
+    assert_send::<TlsMboxService>();
+    assert_send::<TorService>();
+    assert_send::<BgpService>();
+    assert_send::<Box<dyn teenet_load::Scenario>>();
+}
+
 fn calibrate<S, F>(build: &F, seed: u64, mode: TransitionMode) -> WorkProfile
 where
     S: EnclaveService,
