@@ -34,6 +34,9 @@ pub struct AnalyzeConfig {
     pub sanctioned_egress: Vec<String>,
     /// Wall-clock / ambient-entropy identifiers (rule L4).
     pub clock_idents: Vec<String>,
+    /// Function names whose return value is an attestation verdict —
+    /// discarding it is rule L5 (`attestation-unchecked`).
+    pub attest_verify_idents: Vec<String>,
 }
 
 impl AnalyzeConfig {
@@ -84,6 +87,11 @@ impl AnalyzeConfig {
                 s("crates/interdomain/src/compute.rs"),
                 s("crates/interdomain/src/predicate.rs"),
                 s("crates/interdomain/src/wire.rs"),
+                // Keystore: coordinator + fleet-worker enclave programs
+                // and their wire records.
+                s("crates/keystore/src/coordinator.rs"),
+                s("crates/keystore/src/worker.rs"),
+                s("crates/keystore/src/record.rs"),
             ],
             accounting: vec![
                 s("crates/sgx/src/cost.rs"),
@@ -120,6 +128,16 @@ impl AnalyzeConfig {
                 s("from_entropy"),
                 s("OsRng"),
                 s("getrandom"),
+            ],
+            attest_verify_idents: vec![
+                // `Challenger::verify` / `Quote::verify` /
+                // `SoftwareCertificate::verify` / `Signature::verify` —
+                // every `verify` in this tree returns a verdict.
+                s("verify"),
+                // The host-side one-shot attestation driver.
+                s("attest_enclave"),
+                // The symmetric enclave-to-enclave handshake.
+                s("mutual_attest"),
             ],
         }
     }
@@ -174,6 +192,11 @@ mod tests {
         assert!(!c.is_enclave_resident("crates/app/Cargo.toml"));
         assert!(!c.is_enclave_resident("crates/sgx/srcfoo.rs"));
         assert!(!c.is_enclave_resident("crates/netsim/src/sim.rs"));
+        // The keystore's enclave programs are in; its host-side service
+        // driver is not.
+        assert!(c.is_enclave_resident("crates/keystore/src/worker.rs"));
+        assert!(c.is_enclave_resident("crates/keystore/src/coordinator.rs"));
+        assert!(!c.is_enclave_resident("crates/keystore/src/service.rs"));
         assert!(c.is_excluded("vendor/bytes/src/lib.rs"));
         assert!(c.is_excluded("crates/analyze/tests/fixtures/abort_bad.rs"));
         assert!(!c.is_excluded("crates/analyze/src/lib.rs"));

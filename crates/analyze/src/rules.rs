@@ -1,6 +1,6 @@
 //! The enclave-invariant rules and the waiver grammar.
 //!
-//! Four rules, each defending a specific property the paper's argument
+//! Six rules, each defending a specific property the paper's argument
 //! rests on (see DESIGN.md for the full rationale):
 //!
 //! * **`enclave-abort`** (L1a) — no `unwrap()` / `expect()` /
@@ -24,6 +24,11 @@
 //! * **`wall-clock`** (L4) — no wall-clock or ambient-entropy APIs
 //!   (`Instant`, `SystemTime`, `thread_rng`, ...) outside the netsim
 //!   virtual clock; determinism of the load reports depends on it.
+//! * **`attestation-unchecked`** (L5) — a call to an attestation-verify
+//!   function (`verify`, `attest_enclave`, `mutual_attest`) whose
+//!   `Result` is discarded — `let _ =`, a trailing `.ok()`/`.err()`, or
+//!   a bare `;` — is a finding. An unchecked verdict is worse than no
+//!   attestation: the caller proceeds as if the peer were measured.
 //!
 //! **Test code** (`#[cfg(test)]` modules, `#[test]` functions) is
 //! exempt from L1a/L1b by construction: a test aborting on a failed
@@ -60,18 +65,21 @@ pub mod rule {
     pub const FLOAT_ACCOUNTING: &str = "float-accounting";
     /// L4: wall-clock/entropy outside the virtual clock.
     pub const WALL_CLOCK: &str = "wall-clock";
+    /// L5: a discarded attestation-verify `Result`.
+    pub const ATTEST_UNCHECKED: &str = "attestation-unchecked";
     /// A syntactically invalid waiver comment.
     pub const BAD_WAIVER: &str = "bad-waiver";
     /// A waiver that suppressed no finding.
     pub const UNUSED_WAIVER: &str = "unused-waiver";
 
     /// All waivable rule ids (the two meta rules are not waivable).
-    pub const WAIVABLE: [&str; 5] = [
+    pub const WAIVABLE: [&str; 6] = [
         ENCLAVE_ABORT,
         ENCLAVE_INDEX,
         SECRET_EGRESS,
         FLOAT_ACCOUNTING,
         WALL_CLOCK,
+        ATTEST_UNCHECKED,
     ];
 }
 
@@ -146,6 +154,7 @@ pub fn scan_file(config: &AnalyzeConfig, rel_path: &str, src: &str) -> Vec<Findi
         rule_enclave_index(&sig, &mut raw);
     }
     rule_secret_egress(config, &sig, &mut raw);
+    rule_attest_unchecked(config, &sig, &mut raw);
     if config.is_accounting(rel_path) {
         rule_float_accounting(&sig, &mut raw);
     }
@@ -551,6 +560,102 @@ fn rule_wall_clock(
     }
 }
 
+/// How the statement containing a call sinks the call's value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StatementSink {
+    /// Bound to a named place or returned — somebody can still check it.
+    Named,
+    /// `let _ =` / `_ =` — explicitly thrown away.
+    Underscore,
+    /// A bare expression statement: nothing receives the value.
+    Bare,
+}
+
+/// Classifies the statement whose last expression is the call starting
+/// at `call_start`, scanning back to the statement boundary (`;`, `{`
+/// or `}`).
+fn statement_sink(sig: &[&Token], call_start: usize) -> StatementSink {
+    let mut start = call_start;
+    while start > 0 {
+        let t = sig[start - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        start -= 1;
+    }
+    let prefix = &sig[start..call_start];
+    let Some(eq) = prefix.iter().rposition(|t| t.is_punct('=')) else {
+        let returns = prefix
+            .iter()
+            .any(|t| matches!(t.ident(), Some("return" | "break")));
+        return if returns {
+            StatementSink::Named
+        } else {
+            StatementSink::Bare
+        };
+    };
+    if eq > 0 && prefix[eq - 1].ident() == Some("_") {
+        StatementSink::Underscore
+    } else {
+        StatementSink::Named
+    }
+}
+
+fn rule_attest_unchecked(
+    config: &AnalyzeConfig,
+    sig: &[&Token],
+    out: &mut Vec<(u32, &'static str, String)>,
+) {
+    for i in 0..sig.len() {
+        let Some(name) = sig[i].ident() else { continue };
+        if !config.attest_verify_idents.iter().any(|v| v == name) {
+            continue;
+        }
+        if i + 1 >= sig.len() || !sig[i + 1].is_punct('(') {
+            continue;
+        }
+        // Skip the definition itself (`fn verify(...)`).
+        if i > 0 && sig[i - 1].ident() == Some("fn") {
+            continue;
+        }
+        let Some(close) = matching(sig, i + 1, '(', ')') else {
+            continue;
+        };
+        // A trailing `.ok()` / `.err()` converts the `Result` away;
+        // dropping the conversion is still discarding the verdict.
+        let mut end = close;
+        let mut via = "a bare `;`";
+        if close + 3 < sig.len() && sig[close + 1].is_punct('.') {
+            if let Some(m) = sig[close + 2].ident() {
+                if (m == "ok" || m == "err") && sig[close + 3].is_punct('(') {
+                    if let Some(mclose) = matching(sig, close + 3, '(', ')') {
+                        end = mclose;
+                        via = if m == "ok" { "`.ok()`" } else { "`.err()`" };
+                    }
+                }
+            }
+        }
+        // Anything but `;` next — `?`, a longer chain, a match/if
+        // scrutinee, an argument position — consumes the result.
+        if !sig.get(end + 1).is_some_and(|t| t.is_punct(';')) {
+            continue;
+        }
+        match statement_sink(sig, i) {
+            StatementSink::Named => continue,
+            StatementSink::Underscore => via = "`let _ =`",
+            StatementSink::Bare => {}
+        }
+        out.push((
+            sig[i].line,
+            rule::ATTEST_UNCHECKED,
+            format!(
+                "attestation result of `{name}(...)` is discarded via {via} — \
+                 a failed verification must be handled, not dropped"
+            ),
+        ));
+    }
+}
+
 /// Index of the token matching the opener at `open` (which must be
 /// `open_c`), honouring nesting.
 fn matching(sig: &[&Token], open: usize, open_c: char, close_c: char) -> Option<usize> {
@@ -581,6 +686,10 @@ mod tests {
 
     fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
         findings.iter().map(|f| f.rule).collect()
+    }
+
+    fn lines_of(findings: &[Finding]) -> Vec<u32> {
+        findings.iter().map(|f| f.line).collect()
     }
 
     #[test]
@@ -739,6 +848,66 @@ mod tests {
             .iter()
             .any(|x| x.rule == rule::ENCLAVE_ABORT && x.waived.is_none()));
         assert!(f.iter().any(|x| x.rule == rule::UNUSED_WAIVER));
+    }
+
+    #[test]
+    fn discarded_attestation_verdicts_flagged() {
+        let src = "fn f(challenger: Challenger, r: &Resp, pk: &Key) {\n\
+                   let _ = challenger.verify(r, pk, None);\n\
+                   gate.verify(r, pk, None).ok();\n\
+                   gate.verify(r, pk, None);\n\
+                   attest_enclave(&mut p, id, &c).err();\n\
+                   mutual_attest(&mut a, &mut b);\n\
+                   }\n";
+        let f = scan_file(&cfg(), "host.rs", src);
+        assert_eq!(rules_of(&f), vec![rule::ATTEST_UNCHECKED; 5], "{f:?}");
+        assert_eq!(lines_of(&f), vec![2, 3, 4, 5, 6]);
+        assert!(f[0].message.contains("`let _ =`"));
+        assert!(f[1].message.contains("`.ok()`"));
+        assert!(f[2].message.contains("a bare `;`"));
+    }
+
+    #[test]
+    fn discarded_attestation_verdict_spanning_lines_flagged() {
+        // The regex a grep would use stops at the line break; the
+        // token-level scan does not.
+        let src = "fn f() {\n\
+                   challenger\n  .verify(\n    &response,\n    &pk,\n    None,\n  )\n  .ok();\n\
+                   }\n";
+        let f = scan_file(&cfg(), "host.rs", src);
+        assert_eq!(rules_of(&f), vec![rule::ATTEST_UNCHECKED]);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn consumed_attestation_verdicts_pass() {
+        let src = "fn verify(x: &Resp) -> Result<(), E> { Ok(()) }\n\
+                   fn f(c: Challenger, r: &Resp, pk: &Key) -> Result<Outcome, E> {\n\
+                   let outcome = c.verify(r, pk, None)?;\n\
+                   quote.verify(pk).map_err(E::from)?;\n\
+                   if gate.verify(r, pk, None).is_err() { return Err(E::Bad); }\n\
+                   match attest_enclave(&mut p, id, &cfg) {\n Ok(ch) => use_channel(ch),\n Err(e) => reject(e),\n }\n\
+                   let maybe = mutual_attest(&mut a, &mut b).ok();\n\
+                   record(attest_enclave(&mut p, id, &cfg));\n\
+                   return c.verify(r, pk, None);\n\
+                   }\n";
+        let f = scan_file(&cfg(), "host.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn attest_unchecked_applies_in_tests_and_is_waivable() {
+        // Unlike L1, test scopes are NOT exempt: a test that drops the
+        // verdict asserts nothing.
+        let src = "#[test]\nfn t() { gate.verify(r, pk, None); }\n";
+        let f = scan_file(&cfg(), "host.rs", src);
+        assert_eq!(rules_of(&f), vec![rule::ATTEST_UNCHECKED]);
+
+        let src = "// teenet-analyze: allow(attestation-unchecked) -- probing the reject path\n\
+                   fn t() { gate.verify(r, pk, None); }\n";
+        let f = scan_file(&cfg(), "host.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].waived.as_deref(), Some("probing the reject path"));
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! Known-bad corpus for `attestation-unchecked`: every way this tree
+//! could drop an attestation verdict on the floor. Not compiled — the
+//! linter reads it as text.
+
+fn drops_everything(challenger: Challenger, response: &AttestResponse, pk: &VerifyingKey) {
+    let _ = challenger.verify(response, pk, None);
+    client.verify(response, pk, None).ok();
+    gate.verify(response, pk, None);
+    attest_enclave(&mut platform, id, &config).err();
+}
+
+fn multiline_discard(challenger: Challenger, response: &AttestResponse, pk: &VerifyingKey) {
+    challenger
+        .verify(response, pk, None)
+        .ok();
+}
+
+fn symmetric_discard(a: &mut Platform, b: &mut Platform) {
+    mutual_attest(a, b);
+}
+
+// teenet-analyze: allow-block(attestation-unchecked) -- fixture: probing the reject path only
+fn waived_probe(gate: &Gate, response: &AttestResponse) {
+    gate.verify(response, &GROUP_KEY, None).err();
+}

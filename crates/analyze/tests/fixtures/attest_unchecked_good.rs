@@ -1,0 +1,30 @@
+//! Known-good corpus for `attestation-unchecked`: every checked
+//! consumption of an attestation verdict, plus the definition form the
+//! rule must skip. Not compiled — the linter reads it as text.
+
+fn verify(response: &AttestResponse) -> Result<Outcome, Error> {
+    Ok(Outcome::new(response))
+}
+
+fn propagated(c: Challenger, r: &AttestResponse, pk: &VerifyingKey) -> Result<Outcome, Error> {
+    let outcome = c.verify(r, pk, None)?;
+    quote.verify(pk).map_err(Error::from)?;
+    Ok(outcome)
+}
+
+fn branched(gate: &Gate, r: &AttestResponse, pk: &VerifyingKey) -> Result<(), Error> {
+    if gate.verify(r, pk, None).is_err() {
+        return Err(Error::AttestRejected);
+    }
+    match attest_enclave(&mut platform, id, &config) {
+        Ok(channel) => adopt(channel),
+        Err(e) => reject(e),
+    }
+    Ok(())
+}
+
+fn bound_and_forwarded(a: &mut Platform, b: &mut Platform) -> Result<Channel, Error> {
+    let maybe = mutual_attest(a, b).ok();
+    record(attest_enclave(&mut platform, id, &config));
+    return maybe.ok_or(Error::AttestRejected);
+}

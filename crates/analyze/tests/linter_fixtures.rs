@@ -145,6 +145,28 @@ fn waiver_fixture_exact_structure() {
 }
 
 #[test]
+fn attest_unchecked_bad_fixture_exact_findings() {
+    let f = scan("attest_unchecked_bad.rs");
+    assert!(f.iter().all(|x| x.rule == rule::ATTEST_UNCHECKED), "{f:?}");
+    // `let _ =`, `.ok()`, bare `;`, `.err()`, the multi-line chain, and
+    // the bare mutual_attest; the block-waived probe is the 7th.
+    assert_eq!(lines(&f), vec![6, 7, 8, 9, 14, 19, 24]);
+    let waived: Vec<&Finding> = f.iter().filter(|x| x.waived.is_some()).collect();
+    assert_eq!(waived.len(), 1);
+    assert_eq!(waived[0].line, 24);
+    assert_eq!(
+        waived[0].waived.as_deref(),
+        Some("fixture: probing the reject path only")
+    );
+}
+
+#[test]
+fn attest_unchecked_good_fixture_has_zero_findings() {
+    let f = scan("attest_unchecked_good.rs");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
 fn clean_fixture_has_zero_findings() {
     let f = scan("clean.rs");
     assert!(f.is_empty(), "{f:?}");
@@ -158,10 +180,10 @@ fn fixture_workspace_scan_tallies_and_stability() {
     assert_eq!(a.json(), b.json(), "report must be byte-stable");
     assert_eq!(a.text(), b.text());
 
-    assert_eq!(a.files_scanned, 7);
-    assert_eq!(a.findings.len(), 24);
-    assert_eq!(a.unwaived().count(), 21);
-    assert_eq!(a.waived().count(), 3);
+    assert_eq!(a.files_scanned, 9);
+    assert_eq!(a.findings.len(), 31);
+    assert_eq!(a.unwaived().count(), 27);
+    assert_eq!(a.waived().count(), 4);
 
     let count = |r: &str| a.findings.iter().filter(|f| f.rule == r).count();
     assert_eq!(count(rule::ENCLAVE_ABORT), 8);
@@ -169,6 +191,7 @@ fn fixture_workspace_scan_tallies_and_stability() {
     assert_eq!(count(rule::SECRET_EGRESS), 2);
     assert_eq!(count(rule::FLOAT_ACCOUNTING), 3);
     assert_eq!(count(rule::WALL_CLOCK), 3);
+    assert_eq!(count(rule::ATTEST_UNCHECKED), 7);
     assert_eq!(count(rule::UNUSED_WAIVER), 1);
     assert_eq!(count(rule::BAD_WAIVER), 1);
 }

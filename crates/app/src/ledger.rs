@@ -22,6 +22,9 @@ pub enum AttestKind {
     TorClientCircuit,
     /// TLS endpoint → in-path middlebox (§3.3).
     MiddleboxProvision,
+    /// Keystore coordinator → fleet worker before sealed key release
+    /// (the fifth workload's admission edge).
+    KeystoreWorker,
     /// Anything else (tests, extensions).
     Other,
 }

@@ -31,7 +31,7 @@ const USAGE: &str = "\
 loadgen — stress the paper's applications with synthetic load on virtual time
 
 USAGE:
-    loadgen --scenario <attest|tls|tor|bgp> [OPTIONS]
+    loadgen --scenario <attest|tls|tor|bgp|keystore> [OPTIONS]
 
 OPTIONS:
     --scenario <name>      workload to drive (required unless --list)

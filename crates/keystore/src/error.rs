@@ -1,0 +1,95 @@
+//! Keystore domain errors.
+//!
+//! Every protocol failure the fleet can hit — a worker that fails
+//! attestation, a stale sealed blob replayed at a worker, a job minted
+//! against a revoked epoch — is a distinct variant, never a silent
+//! drop: the misuse literature's top TEE bugs (unchecked attestation
+//! results, sealed-state rollback) must surface in reports.
+
+use core::fmt;
+
+use teenet_app::AppError;
+use teenet_sgx::SgxError;
+
+use crate::coordinator;
+use crate::worker;
+
+/// Everything the keystore workload can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeystoreError {
+    /// A worker failed remote attestation against the coordinator's
+    /// identity policy; the worker gets no key material.
+    Attestation(&'static str),
+    /// A provision record's freshness nonce did not match the worker's
+    /// live attestation session.
+    Freshness(&'static str),
+    /// A sealed blob with a non-advancing monotonic counter was replayed
+    /// at a worker (stale re-provision) and the worker rejected it.
+    Rollback(&'static str),
+    /// A worker *accepted* a stale sealed blob during the revoke-step
+    /// rollback probe — the monotonic-counter gate is broken.
+    RollbackNotEnforced,
+    /// A job referenced a revoked key epoch.
+    Revoked(&'static str),
+    /// Wire-format or fleet-protocol violation.
+    Protocol(&'static str),
+    /// A calibration precondition failed (e.g. an empty fleet).
+    Calibration(&'static str),
+    /// An emulator-level failure underneath the protocol.
+    Sgx(SgxError),
+}
+
+impl fmt::Display for KeystoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeystoreError::Attestation(m) => write!(f, "worker attestation failed: {m}"),
+            KeystoreError::Freshness(m) => write!(f, "freshness check failed: {m}"),
+            KeystoreError::Rollback(m) => write!(f, "rollback rejected: {m}"),
+            KeystoreError::RollbackNotEnforced => {
+                write!(
+                    f,
+                    "worker accepted a stale sealed blob (rollback gate broken)"
+                )
+            }
+            KeystoreError::Revoked(m) => write!(f, "revoked epoch: {m}"),
+            KeystoreError::Protocol(m) => write!(f, "keystore protocol violation: {m}"),
+            KeystoreError::Calibration(m) => write!(f, "calibration rejected: {m}"),
+            KeystoreError::Sgx(e) => write!(f, "sgx failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KeystoreError {}
+
+impl From<AppError> for KeystoreError {
+    fn from(e: AppError) -> Self {
+        match e {
+            AppError::Calibration(m) => KeystoreError::Calibration(m),
+            AppError::Harness(m) => KeystoreError::Protocol(m),
+        }
+    }
+}
+
+impl From<SgxError> for KeystoreError {
+    fn from(e: SgxError) -> Self {
+        // Enclave-side domain rejections travel through the emulator as
+        // `EcallRejected` with a known message; lift them back into their
+        // domain variant so callers never have to string-match.
+        match e {
+            SgxError::EcallRejected(m) if m == worker::ROLLBACK_REJECTED => {
+                KeystoreError::Rollback(m)
+            }
+            SgxError::EcallRejected(m) if m == worker::FRESHNESS_MISMATCH => {
+                KeystoreError::Freshness(m)
+            }
+            SgxError::EcallRejected(m) if m == worker::EPOCH_REVOKED => KeystoreError::Revoked(m),
+            SgxError::EcallRejected(m) if m == coordinator::ATTEST_REJECTED => {
+                KeystoreError::Attestation(m)
+            }
+            other => KeystoreError::Sgx(other),
+        }
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, KeystoreError>;

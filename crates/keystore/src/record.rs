@@ -1,0 +1,229 @@
+//! Wire formats of the keystore protocol.
+//!
+//! Three messages cross the enclave boundary: the [`ProvisionRecord`] the
+//! coordinator seals into the attested channel, the [`SealedSlot`] a
+//! worker persists inside its sealed blob, and the [`Job`] the
+//! coordinator signs for release. All three parse inside enclaves, so
+//! every read is length-guarded — malformed input is an
+//! [`SgxError::EcallRejected`], never a panic.
+
+use teenet_crypto::hmac::hmac_sha256;
+use teenet_sgx::SgxError;
+
+type Result<T> = core::result::Result<T, SgxError>;
+
+/// Key material length (HMAC-SHA256 output).
+pub const KEY_LEN: usize = 32;
+/// Freshness nonce length (the attestation session nonce).
+pub const NONCE_LEN: usize = 32;
+
+fn arr<const N: usize>(buf: &[u8], off: usize, err: impl Fn() -> SgxError) -> Result<[u8; N]> {
+    let slice = buf.get(off..off + N).ok_or_else(&err)?;
+    let mut out = [0u8; N];
+    out.copy_from_slice(slice);
+    Ok(out)
+}
+
+/// What the coordinator releases to an attested worker: a key bound to a
+/// monotonic epoch counter and to the freshness nonce of the attestation
+/// session it travels over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvisionRecord {
+    /// Which fleet slot this key belongs to.
+    pub key_id: u32,
+    /// Monotonic epoch counter; a worker only adopts strictly newer ones.
+    pub counter: u64,
+    /// The attestation session nonce the record is fresh for.
+    pub nonce: [u8; NONCE_LEN],
+    /// The released key material.
+    pub key: [u8; KEY_LEN],
+}
+
+impl ProvisionRecord {
+    /// Wire encoding (travels channel-sealed, coordinator → worker).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 8 + NONCE_LEN + KEY_LEN);
+        out.extend_from_slice(&self.key_id.to_le_bytes());
+        out.extend_from_slice(&self.counter.to_le_bytes());
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&self.key);
+        out
+    }
+
+    /// Parses [`ProvisionRecord::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Self> {
+        let err = || SgxError::EcallRejected("malformed provision record");
+        if buf.len() != 4 + 8 + NONCE_LEN + KEY_LEN {
+            return Err(err());
+        }
+        Ok(ProvisionRecord {
+            key_id: u32::from_le_bytes(arr(buf, 0, err)?),
+            counter: u64::from_le_bytes(arr(buf, 4, err)?),
+            nonce: arr(buf, 12, err)?,
+            key: arr(buf, 12 + NONCE_LEN, err)?,
+        })
+    }
+}
+
+/// What a worker persists inside its sealed blob: the adopted key and its
+/// epoch counter. The freshness nonce is deliberately *not* kept — a
+/// blob outlives the attestation session that delivered it; only the
+/// counter gates re-activation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedSlot {
+    /// Which fleet slot this key belongs to.
+    pub key_id: u32,
+    /// The epoch counter the rollback gate compares against.
+    pub counter: u64,
+    /// The key material.
+    pub key: [u8; KEY_LEN],
+}
+
+impl SealedSlot {
+    /// Plaintext encoding (only ever exists inside the enclave or sealed).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 8 + KEY_LEN);
+        out.extend_from_slice(&self.key_id.to_le_bytes());
+        out.extend_from_slice(&self.counter.to_le_bytes());
+        out.extend_from_slice(&self.key);
+        out
+    }
+
+    /// Parses [`SealedSlot::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Self> {
+        let err = || SgxError::EcallRejected("malformed sealed key slot");
+        if buf.len() != 4 + 8 + KEY_LEN {
+            return Err(err());
+        }
+        Ok(SealedSlot {
+            key_id: u32::from_le_bytes(arr(buf, 0, err)?),
+            counter: u64::from_le_bytes(arr(buf, 4, err)?),
+            key: arr(buf, 12, err)?,
+        })
+    }
+}
+
+/// A signed job the coordinator dispatches for a worker to execute under
+/// its provisioned key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// The key epoch the job was minted against.
+    pub epoch: u64,
+    /// Dispatch sequence number (unique per coordinator).
+    pub job_id: u64,
+    /// Opaque job payload.
+    pub payload: Vec<u8>,
+    /// HMAC over epoch, job id and payload under the epoch key.
+    pub mac: [u8; 32],
+}
+
+impl Job {
+    /// The MAC preimage binding a job to its epoch key.
+    pub fn mac_input(epoch: u64, job_id: u64, payload: &[u8]) -> Vec<u8> {
+        let mut input = Vec::with_capacity(24 + 16 + payload.len());
+        input.extend_from_slice(b"teenet-keystore-job1");
+        input.extend_from_slice(&epoch.to_le_bytes());
+        input.extend_from_slice(&job_id.to_le_bytes());
+        input.extend_from_slice(payload);
+        input
+    }
+
+    /// Mints a job: MACs the payload under `key` for `epoch`.
+    pub fn mint(key: &[u8; KEY_LEN], epoch: u64, job_id: u64, payload: Vec<u8>) -> Self {
+        let mac = hmac_sha256(key, &Job::mac_input(epoch, job_id, &payload));
+        Job {
+            epoch,
+            job_id,
+            payload,
+            mac,
+        }
+    }
+
+    /// Wire encoding (travels in the clear, host-ferried to the worker).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 8 + 4 + self.payload.len() + 32);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.job_id.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Parses [`Job::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Self> {
+        let err = || SgxError::EcallRejected("malformed job");
+        let epoch = u64::from_le_bytes(arr(buf, 0, err)?);
+        let job_id = u64::from_le_bytes(arr(buf, 8, err)?);
+        let plen = u32::from_le_bytes(arr(buf, 16, err)?) as usize;
+        let payload = buf.get(20..20 + plen).ok_or_else(err)?.to_vec();
+        let mac: [u8; 32] = arr(buf, 20 + plen, err)?;
+        if 20 + plen + 32 != buf.len() {
+            return Err(err());
+        }
+        Ok(Job {
+            epoch,
+            job_id,
+            payload,
+            mac,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provision_record_roundtrip() {
+        let r = ProvisionRecord {
+            key_id: 7,
+            counter: 99,
+            nonce: [3u8; 32],
+            key: [4u8; 32],
+        };
+        assert_eq!(ProvisionRecord::from_bytes(&r.to_bytes()).unwrap(), r);
+        let bytes = r.to_bytes();
+        assert!(ProvisionRecord::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(ProvisionRecord::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn sealed_slot_roundtrip() {
+        let s = SealedSlot {
+            key_id: 2,
+            counter: 5,
+            key: [9u8; 32],
+        };
+        assert_eq!(SealedSlot::from_bytes(&s.to_bytes()).unwrap(), s);
+        assert!(SealedSlot::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn job_roundtrip_and_mac() {
+        let key = [6u8; 32];
+        let job = Job::mint(&key, 3, 41, b"rotate tls ticket key".to_vec());
+        let parsed = Job::from_bytes(&job.to_bytes()).unwrap();
+        assert_eq!(parsed, job);
+        assert_eq!(
+            parsed.mac,
+            hmac_sha256(&key, &Job::mac_input(3, 41, b"rotate tls ticket key"))
+        );
+        // Truncation and trailing garbage rejected.
+        let bytes = job.to_bytes();
+        assert!(Job::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut long = bytes;
+        long.push(0);
+        assert!(Job::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn job_mac_binds_epoch() {
+        let key = [6u8; 32];
+        let a = Job::mint(&key, 1, 0, b"p".to_vec());
+        let b = Job::mint(&key, 2, 0, b"p".to_vec());
+        assert_ne!(a.mac, b.mac);
+    }
+}

@@ -16,7 +16,7 @@ use teenet_sgx::{TransitionMode, TransitionStats};
 /// the client spends `client` instructions preparing `request_bytes`, the
 /// server spends `server` instructions servicing it and replies with
 /// `response_bytes`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpProfile {
     /// Step name (e.g. `attest.begin`, `record`, `cell`).
     pub name: &'static str,
@@ -49,7 +49,7 @@ pub fn cycles_to_nanos(cycles: u64, clock_hz: u64) -> u64 {
 
 /// The output of calibrating a scenario: a one-time setup cost plus the
 /// per-session operation script the runner replays.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Calibration {
     /// One-time deployment cost (enclave launch, provisioning, topology
     /// attestation) paid before any session traffic.

@@ -10,6 +10,7 @@
 use teenet::driver::AttestService;
 use teenet_app::{AppHarness, EnclaveService};
 use teenet_interdomain::driver::BgpService;
+use teenet_keystore::KeystoreService;
 use teenet_mbox::driver::TlsMboxService;
 use teenet_sgx::TransitionMode;
 use teenet_tor::driver::TorService;
@@ -105,8 +106,16 @@ fn build_bgp(seed: u64, mode: TransitionMode) -> Box<dyn Scenario> {
     ))
 }
 
+fn build_keystore(seed: u64, mode: TransitionMode) -> Box<dyn Scenario> {
+    Box::new(ServiceScenario::with_mode(
+        KeystoreService::default(),
+        seed,
+        mode,
+    ))
+}
+
 /// Every workload `loadgen` can drive, in listing order.
-pub const REGISTRY: [ScenarioEntry; 4] = [
+pub const REGISTRY: [ScenarioEntry; 5] = [
     ScenarioEntry {
         name: "attest",
         describe: "remote attestation storm: one Figure-1 attestation per session",
@@ -126,6 +135,11 @@ pub const REGISTRY: [ScenarioEntry; 4] = [
         name: "bgp",
         describe: "BGP announcement churn against the SGX inter-domain controller",
         build: build_bgp,
+    },
+    ScenarioEntry {
+        name: "keystore",
+        describe: "attested coordinator/worker keystore: sealed key churn across an enclave fleet",
+        build: build_keystore,
     },
 ];
 
@@ -164,7 +178,7 @@ mod tests {
             assert_eq!(scenario.name(), entry.name);
             assert_eq!(scenario.describe(), entry.describe);
         }
-        assert_eq!(NAMES, ["attest", "tls", "tor", "bgp"]);
+        assert_eq!(NAMES, ["attest", "tls", "tor", "bgp", "keystore"]);
         assert!(by_name("nonesuch", 1).is_none());
     }
 
@@ -197,5 +211,14 @@ mod tests {
         assert_eq!(cal.ops[0].name, "announce");
         assert_eq!(cal.ops[1].name, "pull");
         assert!(cal.ops[0].server.normal_instr > cal.ops[1].server.normal_instr);
+
+        let mut keystore = by_name("keystore", 5).unwrap();
+        let cal = keystore.calibrate();
+        // attest + provision + 4×release + revoke.
+        assert_eq!(cal.ops.len(), 7);
+        assert_eq!(cal.ops[0].name, "attest");
+        assert_eq!(cal.ops[6].name, "revoke");
+        // Fleet bootstrap (4 attestations + provisions) dominates setup.
+        assert!(cal.setup.sgx_instr > 0);
     }
 }

@@ -99,6 +99,16 @@ fn bgp_matches_golden_switchless() {
 }
 
 #[test]
+fn keystore_matches_golden_classic() {
+    check("keystore", TransitionMode::Classic);
+}
+
+#[test]
+fn keystore_matches_golden_switchless() {
+    check("keystore", TransitionMode::Switchless);
+}
+
+#[test]
 fn every_scenario_has_a_fixture() {
     for name in NAMES {
         for mode in [TransitionMode::Classic, TransitionMode::Switchless] {

@@ -1,130 +1,100 @@
-//! Generic invariants every [`EnclaveService`] must satisfy, checked
-//! uniformly across all four paper workloads through the one
-//! [`AppHarness`] calibration path.
+//! Generic invariants every [`teenet_app::EnclaveService`] must satisfy,
+//! checked uniformly across *every* workload registered in the
+//! `teenet-load` [`REGISTRY`] — the service list is derived, not
+//! hard-coded, so a new workload (the keystore fleet, a future sixth) is
+//! conformance-checked the moment its registry entry lands.
 //!
 //! These replace the per-driver copies of the same assertions: a service
 //! that registers with `teenet-load` gets every check here for free.
 
-use teenet_app::{AppHarness, EnclaveService, WorkProfile};
-use teenet_interdomain::driver::BgpService;
-use teenet_mbox::driver::TlsMboxService;
+use teenet_load::scenario::Calibration;
+use teenet_load::scenarios::REGISTRY;
 use teenet_sgx::cost::Counters;
 use teenet_sgx::TransitionMode;
-use teenet_tor::driver::TorService;
 
-use teenet::driver::AttestService;
-
-/// Compile-time regression: the platform layer and every service impl
-/// must stay `Send`, so a load shard can own its own deployment on its
-/// own OS thread. A future PR that captures non-`Send` state (an `Rc`, a
-/// thread-bound handle) in any of these types fails here at compile time.
+/// Compile-time regression: the platform layer and the boxed scenario
+/// type must stay `Send`, so a load shard can own its own deployment on
+/// its own OS thread. The registry builds trait objects, so one bound on
+/// the box covers every registered service — current and future.
 #[test]
-fn platform_and_all_services_are_send() {
+fn platform_and_registry_scenarios_are_send() {
     fn assert_send<T: Send>() {}
     assert_send::<teenet_sgx::Platform>();
-    assert_send::<AttestService>();
-    assert_send::<TlsMboxService>();
-    assert_send::<TorService>();
-    assert_send::<BgpService>();
     assert_send::<Box<dyn teenet_load::Scenario>>();
 }
 
-fn calibrate<S, F>(build: &F, seed: u64, mode: TransitionMode) -> WorkProfile
-where
-    S: EnclaveService,
-    F: Fn() -> S,
-{
-    let mut svc = build();
-    match AppHarness::new(seed, mode).calibrate(&mut svc) {
-        Ok(profile) => profile,
-        Err(e) => panic!("calibration failed: {e:?}"),
-    }
+fn calibrate(
+    entry: &teenet_load::scenarios::ScenarioEntry,
+    seed: u64,
+    mode: TransitionMode,
+) -> Calibration {
+    entry.build(seed, mode).calibrate()
 }
 
 /// One session's total SGX instructions, both sides of the wire.
-fn session_sgx(profile: &WorkProfile) -> u64 {
-    let server = profile.session_server();
-    let client = profile.session_client();
-    server.sgx_instr + client.sgx_instr
+fn session_sgx(cal: &Calibration) -> u64 {
+    cal.session_server_cost().sgx_instr + cal.session_client_cost().sgx_instr
 }
 
-/// Runs the full conformance suite against one service constructor.
-fn conforms<S, F>(build: F, seed: u64)
-where
-    S: EnclaveService,
-    F: Fn() -> S,
-{
-    let name = build().name();
+/// Runs the full conformance suite against every registered workload.
+#[test]
+fn every_registered_service_conforms() {
+    for (i, entry) in REGISTRY.iter().enumerate() {
+        // Distinct seeds per entry so no two workloads share an RNG
+        // stream by accident.
+        let seed = 3 + 2 * i as u64;
+        let name = entry.name;
 
-    // A calibrated session must actually do work.
-    let classic = calibrate(&build, seed, TransitionMode::Classic);
-    assert!(
-        !classic.steps.is_empty(),
-        "{name}: session script must produce steps"
-    );
-    assert_eq!(classic.mode, TransitionMode::Classic);
+        // A calibrated session must actually do work.
+        let classic = calibrate(entry, seed, TransitionMode::Classic);
+        assert!(
+            !classic.ops.is_empty(),
+            "{name}: session script must produce steps"
+        );
+        assert_eq!(classic.mode, TransitionMode::Classic);
 
-    // Counters additivity: merging setup and every step field-wise equals
-    // summing the raw fields — no step hides cost from the rollup.
-    let mut merged = Counters::new();
-    merged.merge(classic.setup);
-    merged.merge(classic.session_server());
-    merged.merge(classic.session_client());
-    let mut sgx_sum = classic.setup.sgx_instr;
-    let mut normal_sum = classic.setup.normal_instr;
-    for s in &classic.steps {
-        sgx_sum += s.server.sgx_instr + s.client.sgx_instr;
-        normal_sum += s.server.normal_instr + s.client.normal_instr;
+        // Counters additivity: the session rollups must equal the
+        // field-wise sum over steps — no step hides cost from the rollup.
+        let mut merged = Counters::new();
+        merged.merge(classic.session_server_cost());
+        merged.merge(classic.session_client_cost());
+        let mut sgx_sum = 0;
+        let mut normal_sum = 0;
+        for op in &classic.ops {
+            sgx_sum += op.server.sgx_instr + op.client.sgx_instr;
+            normal_sum += op.server.normal_instr + op.client.normal_instr;
+        }
+        assert_eq!(merged.sgx_instr, sgx_sum, "{name}: sgx additivity");
+        assert_eq!(merged.normal_instr, normal_sum, "{name}: normal additivity");
+
+        // Determinism: the same seed must reproduce the identical
+        // calibration, setup included.
+        let again = calibrate(entry, seed, TransitionMode::Classic);
+        assert_eq!(
+            classic, again,
+            "{name}: same-seed calibrations must be identical"
+        );
+
+        // Switchless must strictly lower per-session SGX instructions by
+        // eliding transitions; classic must elide none.
+        let sw = calibrate(entry, seed, TransitionMode::Switchless);
+        assert_eq!(sw.mode, TransitionMode::Switchless);
+        assert_eq!(sw.ops.len(), classic.ops.len(), "{name}: step count");
+        assert!(
+            session_sgx(&sw) < session_sgx(&classic),
+            "{name}: switchless must cut per-session SGX instructions \
+             ({} vs {})",
+            session_sgx(&sw),
+            session_sgx(&classic),
+        );
+        assert!(
+            sw.session_transitions().elided > 0,
+            "{name}: switchless must elide transitions"
+        );
+        assert_eq!(
+            classic.session_transitions().elided,
+            0,
+            "{name}: classic mode never rides the ring"
+        );
     }
-    assert_eq!(merged.sgx_instr, sgx_sum, "{name}: sgx additivity");
-    assert_eq!(merged.normal_instr, normal_sum, "{name}: normal additivity");
-
-    // Determinism: the same seed must reproduce the identical profile.
-    let again = calibrate(&build, seed, TransitionMode::Classic);
-    assert_eq!(
-        classic, again,
-        "{name}: same-seed profiles must be identical"
-    );
-
-    // Switchless must strictly lower per-session SGX instructions by
-    // eliding transitions; classic must elide none.
-    let sw = calibrate(&build, seed, TransitionMode::Switchless);
-    assert_eq!(sw.mode, TransitionMode::Switchless);
-    assert_eq!(sw.steps.len(), classic.steps.len(), "{name}: step count");
-    assert!(
-        session_sgx(&sw) < session_sgx(&classic),
-        "{name}: switchless must cut per-session SGX instructions \
-         ({} vs {})",
-        session_sgx(&sw),
-        session_sgx(&classic),
-    );
-    assert!(
-        sw.session_transitions().elided > 0,
-        "{name}: switchless must elide transitions"
-    );
-    assert_eq!(
-        classic.session_transitions().elided,
-        0,
-        "{name}: classic mode never rides the ring"
-    );
-}
-
-#[test]
-fn attest_service_conforms() {
-    conforms(AttestService::default, 9);
-}
-
-#[test]
-fn tls_mbox_service_conforms() {
-    conforms(TlsMboxService::default, 3);
-}
-
-#[test]
-fn tor_service_conforms() {
-    conforms(TorService::new, 11);
-}
-
-#[test]
-fn bgp_service_conforms() {
-    conforms(|| BgpService::new(6), 21);
 }
