@@ -11,12 +11,21 @@
 //! concurrency, with optional link fault injection. Same scenario + seed
 //! ⇒ byte-identical `--json` output.
 //!
+//! The default engine is the streaming one — sessions generated lazily
+//! and retired as they finish, memory O(live sessions) — so `--sessions
+//! 1000000` runs in a few megabytes of RSS. `--reference` switches to the
+//! retained oracle engine (every session materialised, O(sessions)
+//! memory), whose reports are byte-identical; CI diffs the two. `--rss`
+//! prints the process's peak RSS to stderr after the run.
+//!
 //! `--shards N` switches to the sharded replay model (`teenet-load`'s
 //! [`shard`](teenet_load::shard) module): sessions replay independently
 //! across N OS threads, and the report is byte-identical for every N.
 //! `--bench PATH` additionally times a 1-shard vs N-shard run of that
-//! model and writes the wall-clock results as machine-readable JSON —
-//! the only place wall time is allowed to exist; reports never carry it.
+//! model and *appends* the wall-clock results (plus peak RSS) to the
+//! trajectory file at PATH — checked in per PR, so the perf history is
+//! visible in-repo. This is the only place wall time is allowed to
+//! exist; reports never carry it.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -50,9 +59,15 @@ OPTIONS:
                            transitions (default: classic EENTER/EEXIT)
     --shards <n>           replay with the sharded model across n OS
                            threads (report byte-identical for every n;
-                           default: the serial coupled engine)
+                           default: the serial streaming engine)
+    --reference            serial runs only: use the retained reference
+                           engine (O(sessions) memory) instead of the
+                           streaming one — reports are byte-identical
+    --rss                  print `peak_rss_bytes=<n>` (VmHWM) to stderr
+                           after the run
     --bench <path>         time a 1-shard vs --shards run of the sharded
-                           model and write wall-clock results as JSON
+                           model and append {wall clock, speedup, peak
+                           RSS} to the JSON trajectory at <path>
     --json                 emit the byte-stable JSON report instead of text
     --list                 list scenarios and exit
     --help                 show this help
@@ -73,6 +88,8 @@ struct Args {
     duplicate: f64,
     switchless: bool,
     shards: Option<u32>,
+    reference: bool,
+    rss: bool,
     bench: Option<String>,
     json: bool,
     list: bool,
@@ -95,6 +112,8 @@ impl Default for Args {
             duplicate: 0.0,
             switchless: false,
             shards: None,
+            reference: false,
+            rss: false,
             bench: None,
             json: false,
             list: false,
@@ -124,6 +143,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--duplicate" => args.duplicate = parse(value("--duplicate")?, "--duplicate")?,
             "--switchless" => args.switchless = true,
             "--shards" => args.shards = Some(parse(value("--shards")?, "--shards")?),
+            "--reference" => args.reference = true,
+            "--rss" => args.rss = true,
             "--bench" => args.bench = Some(value("--bench")?.clone()),
             "--json" => args.json = true,
             "--list" => args.list = true,
@@ -136,6 +157,26 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 
 fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("bad value for {flag}: {s}"))
+}
+
+/// The process's peak resident set (VmHWM) in bytes, from
+/// `/proc/self/status`. `None` where procfs is unavailable.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+fn report_rss() {
+    match peak_rss_bytes() {
+        Some(b) => eprintln!("peak_rss_bytes={b}"),
+        None => eprintln!("peak_rss_bytes=unavailable"),
+    }
 }
 
 fn main() -> ExitCode {
@@ -164,6 +205,10 @@ fn main() -> ExitCode {
         eprintln!("error: --scenario is required (one of {NAMES:?})\n\n{USAGE}");
         return ExitCode::FAILURE;
     };
+    if args.reference && (args.shards.is_some() || args.bench.is_some()) {
+        eprintln!("error: --reference is the serial oracle engine; it cannot combine with --shards/--bench");
+        return ExitCode::FAILURE;
+    }
     let transition_mode = if args.switchless {
         TransitionMode::Switchless
     } else {
@@ -218,7 +263,7 @@ fn main() -> ExitCode {
         let identical = baseline.json() == sharded.json();
         let speedup = baseline_wall.as_secs_f64() / sharded_wall.as_secs_f64().max(1e-9);
         let wall_rate = sharded.completed as f64 / sharded_wall.as_secs_f64().max(1e-9);
-        let bench = bench_json(
+        let entry = bench_entry(
             scenario.name(),
             &sharded,
             shards,
@@ -226,9 +271,10 @@ fn main() -> ExitCode {
             sharded_wall.as_nanos() as u64,
             speedup,
             wall_rate,
+            peak_rss_bytes().unwrap_or(0),
             identical,
         );
-        if let Err(e) = std::fs::write(path, &bench) {
+        if let Err(e) = append_trajectory(path, &entry) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -242,6 +288,9 @@ fn main() -> ExitCode {
             println!("{}", sharded.json());
         } else {
             print!("{}", sharded.text());
+        }
+        if args.rss {
+            report_rss();
         }
         if !identical {
             eprintln!("error: 1-shard and {shards}-shard reports diverged");
@@ -265,6 +314,13 @@ fn main() -> ExitCode {
             }
             report
         }
+        None if args.reference => match runner.run_reference(scenario.name(), &calibration) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
         None => runner.run(scenario.name(), &calibration),
     };
     if args.json {
@@ -272,14 +328,17 @@ fn main() -> ExitCode {
     } else {
         print!("{}", report.text());
     }
+    if args.rss {
+        report_rss();
+    }
     ExitCode::SUCCESS
 }
 
-/// Hand-rolled machine-readable bench record (`BENCH_loadgen.json`):
-/// wall-clock times and the shard speedup, none of which are allowed to
+/// One trajectory entry (a single line of JSON): the wall-clock numbers
+/// and peak RSS of this bench invocation, none of which are allowed to
 /// appear in the deterministic run reports themselves.
 #[allow(clippy::too_many_arguments)]
-fn bench_json(
+fn bench_entry(
     scenario: &str,
     report: &teenet_load::RunReport,
     shards: u32,
@@ -287,15 +346,15 @@ fn bench_json(
     sharded_wall_ns: u64,
     speedup: f64,
     wall_rate: f64,
+    peak_rss: u64,
     identical: bool,
 ) -> String {
     format!(
-        "{{\n  \"bench\": \"loadgen\",\n  \"scenario\": \"{}\",\n  \
-         \"mode\": \"{}\",\n  \"transition_mode\": \"{}\",\n  \
-         \"sessions\": {},\n  \"completed\": {},\n  \"shards\": {},\n  \
-         \"baseline_wall_ns\": {},\n  \"sharded_wall_ns\": {},\n  \
-         \"speedup\": {:.3},\n  \"wall_sessions_per_sec\": {:.3},\n  \
-         \"identical\": {}\n}}\n",
+        "{{\"scenario\": \"{}\", \"mode\": \"{}\", \"transition_mode\": \"{}\", \
+         \"sessions\": {}, \"completed\": {}, \"shards\": {}, \
+         \"baseline_wall_ns\": {}, \"sharded_wall_ns\": {}, \
+         \"speedup\": {:.3}, \"wall_sessions_per_sec\": {:.3}, \
+         \"peak_rss_bytes\": {}, \"identical\": {}}}",
         scenario,
         report.mode,
         report.transition_mode,
@@ -306,6 +365,32 @@ fn bench_json(
         sharded_wall_ns,
         speedup,
         wall_rate,
+        peak_rss,
         identical,
     )
+}
+
+const TRAJECTORY_HEADER: &str = "{\n  \"bench\": \"loadgen\",\n  \"trajectory\": [\n";
+const TRAJECTORY_FOOTER: &str = "  ]\n}\n";
+
+/// Appends `entry` to the bench trajectory at `path` (`BENCH_loadgen.json`
+/// is checked in, so the per-PR perf history accretes). A missing or
+/// foreign-format file is replaced by a fresh one-entry trajectory.
+fn append_trajectory(path: &str, entry: &str) -> std::io::Result<()> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing)
+            if existing.starts_with(TRAJECTORY_HEADER) && existing.ends_with(TRAJECTORY_FOOTER) =>
+        {
+            let inner =
+                &existing[TRAJECTORY_HEADER.len()..existing.len() - TRAJECTORY_FOOTER.len()];
+            let inner = inner.trim_end_matches('\n');
+            if inner.is_empty() {
+                format!("{TRAJECTORY_HEADER}    {entry}\n{TRAJECTORY_FOOTER}")
+            } else {
+                format!("{TRAJECTORY_HEADER}{inner},\n    {entry}\n{TRAJECTORY_FOOTER}")
+            }
+        }
+        _ => format!("{TRAJECTORY_HEADER}    {entry}\n{TRAJECTORY_FOOTER}"),
+    };
+    std::fs::write(path, body)
 }

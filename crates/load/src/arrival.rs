@@ -85,6 +85,19 @@ impl ArrivalProcess {
         }
     }
 
+    /// Advances past the next `n` arrivals without handing them out, so a
+    /// shard can re-derive the global open-loop schedule and position it
+    /// at its own index range in O(n) cheap RNG draws with no per-session
+    /// storage. (Closed loop stops at the initial batch like
+    /// [`ArrivalProcess::next_arrival`] does.)
+    pub fn skip(&mut self, n: u64) {
+        for _ in 0..n {
+            if self.next_arrival().is_none() {
+                break;
+            }
+        }
+    }
+
     /// Closed loop only: the session replacing a completed one, arriving
     /// at the completion time. Returns `None` when exhausted or open-loop.
     pub fn completion_arrival(&mut self, at: SimTime) -> Option<(u64, SimTime)> {
@@ -158,6 +171,26 @@ mod tests {
         assert_eq!(p.completion_arrival(t), Some((4, t)));
         assert_eq!(p.completion_arrival(t), Some((5, t)));
         assert_eq!(p.completion_arrival(t), None, "exhausted");
+    }
+
+    #[test]
+    fn skip_positions_a_fresh_stream_mid_schedule() {
+        let make = || {
+            ArrivalProcess::new(
+                Arrival::OpenLoop { rate_per_sec: 75.0 },
+                200,
+                SecureRng::seed_from_u64(5),
+            )
+        };
+        let mut full = make();
+        full.skip(120);
+        let tail: Vec<_> = std::iter::from_fn(|| full.next_arrival()).collect();
+        let mut reference = make();
+        let all: Vec<_> = std::iter::from_fn(|| reference.next_arrival()).collect();
+        assert_eq!(tail, all[120..], "skip ≡ discarding the first n draws");
+        let mut past_end = make();
+        past_end.skip(10_000);
+        assert_eq!(past_end.next_arrival(), None, "skip clamps at exhaustion");
     }
 
     #[test]

@@ -27,7 +27,11 @@
 //!   [`scenarios::REGISTRY`].
 //! * [`runner`] — the virtual-time engine: a multi-worker service queue
 //!   behind `teenet-netsim` links (with faults, bandwidth and FIFO
-//!   queueing), timeouts, and deterministic event ordering.
+//!   queueing), timeouts, and deterministic event ordering. Sessions are
+//!   generated lazily and retired into a recycled slab as they finish, so
+//!   memory is O(live sessions) — a million-session run fits in a bounded
+//!   footprint. A retained reference engine
+//!   ([`LoadRunner::run_reference`]) is kept as the byte-identity oracle.
 //! * [`shard`] — the sharded replay model: per-session independent
 //!   replay partitioned across OS threads, with reports byte-identical
 //!   for every thread count.
@@ -47,7 +51,7 @@ pub use arrival::{Arrival, ArrivalProcess};
 pub use hist::Histogram;
 pub use metrics::{Counter, Gauge, PhaseRollup, RunMetrics};
 pub use report::RunReport;
-pub use runner::{LoadConfig, LoadMode, LoadRunner};
+pub use runner::{EngineStats, LoadConfig, LoadError, LoadMode, LoadRunner};
 pub use scenario::{Calibration, OpProfile, Scenario};
 pub use scenarios::{ScenarioEntry, ServiceScenario, NAMES, REGISTRY};
 pub use shard::ShardPlan;

@@ -16,10 +16,42 @@
 //! them, exactly like drops. The server keeps an idempotent-response
 //! cache per session so a retransmitted request whose response was lost
 //! does not pay the service cost twice.
+//!
+//! ## Streaming vs. reference replay
+//!
+//! The default engine is *streaming*: sessions are generated lazily from
+//! the arrival process, live in a recycled slab of slots sized by the
+//! number of *concurrently live* sessions, and are retired (slot and
+//! scratch buffer returned to the pool) the moment they complete or fail.
+//! Open-loop arrivals are scheduled one at a time — only the next pending
+//! arrival ever sits in the heap — so driving N sessions costs
+//! O(live sessions) memory, not O(N). Session identity is the global
+//! session index, carried in the wire header and in the slot, so slot
+//! reuse is invisible to every observable: reports are byte-identical to
+//! the retained engine's.
+//!
+//! [`LoadRunner::run_reference`] keeps the pre-streaming *retained*
+//! engine: every session materialised in a `Vec` for the whole run and
+//! every open-loop arrival heap-loaded at t=0. It exists as the
+//! equivalence oracle (`tests/loadgen_streaming_equiv.rs` and the
+//! proptest below hold the two byte-identical) and costs O(N) memory by
+//! design.
+//!
+//! Event-order equivalence of the two paths is by construction: driver
+//! events order by `(time, seq)`, and both paths assign the *same* seq to
+//! every event. Open-loop arrival `i` always gets seq `i` (the retained
+//! path pushes all arrivals first, so its running counter hands arrival
+//! `i` exactly `i`; the streaming path pins it explicitly) and both paths
+//! start the shared counter for non-arrival events at `sessions`. Since
+//! arrival times strictly increase, arrival `i+1` is always scheduled
+//! (while handling arrival `i`) before any event ordered after it can
+//! fire, so lazy insertion never reorders the heap.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::fmt;
 
+use bytes::Bytes;
 use teenet_crypto::SecureRng;
 use teenet_netsim::{FaultConfig, LinkConfig, Network, NodeId, SimDuration, SimTime};
 use teenet_sgx::cost::CostModel;
@@ -95,6 +127,35 @@ impl LoadConfig {
     }
 }
 
+/// A load run that cannot start on this target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadError {
+    /// The retained reference engine must materialise every session in
+    /// one `Vec`, so the session count has to fit the target's address
+    /// space. On 32-bit targets a >4G count used to wrap silently in an
+    /// `as usize` cast; it is now rejected up front. The streaming engine
+    /// has no such limit — its memory scales with *live* sessions only.
+    SessionCountOverflow {
+        /// The requested session count.
+        sessions: u64,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::SessionCountOverflow { sessions } => write!(
+                f,
+                "{sessions} sessions cannot be materialised by the retained reference \
+                 engine on this target (usize is {} bits); use the streaming engine",
+                usize::BITS
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
 /// Driver-side events, interleaved with network deliveries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
@@ -139,7 +200,7 @@ struct Session {
 }
 
 /// Wire header: session (8) + op (4) + attempt (4) + FNV-1a checksum (8).
-const HEADER_LEN: usize = 24;
+pub(crate) const HEADER_LEN: usize = 24;
 
 pub(crate) fn fnv1a(data: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -150,13 +211,23 @@ pub(crate) fn fnv1a(data: &[u8]) -> u64 {
     h
 }
 
-fn encode(session: u64, op: u32, attempt: u32, len: usize) -> Vec<u8> {
-    let mut buf = vec![0u8; len.max(HEADER_LEN)];
+/// Frames `(session, op, attempt)` plus zero padding to `len` into `buf`,
+/// reusing its capacity. The wire format of [`encode`], allocation-free
+/// once the buffer has grown to the scenario's largest frame.
+fn encode_into(buf: &mut Vec<u8>, session: u64, op: u32, attempt: u32, len: usize) {
+    buf.clear();
+    buf.resize(len.max(HEADER_LEN), 0);
     buf[0..8].copy_from_slice(&session.to_le_bytes());
     buf[8..12].copy_from_slice(&op.to_le_bytes());
     buf[12..16].copy_from_slice(&attempt.to_le_bytes());
     let sum = fnv1a(&buf[0..16]);
     buf[16..24].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Frames into a fresh allocation — the retained reference engine's path.
+fn encode(session: u64, op: u32, attempt: u32, len: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_into(&mut buf, session, op, attempt, len);
     buf
 }
 
@@ -172,6 +243,132 @@ fn decode(buf: &[u8]) -> Option<(u64, u32, u32)> {
     let op = u32::from_le_bytes(buf[8..12].try_into().ok()?);
     let attempt = u32::from_le_bytes(buf[12..16].try_into().ok()?);
     Some((session, op, attempt))
+}
+
+/// Peak-resource diagnostics of one engine run. Never part of the
+/// [`RunReport`] (reports stay byte-identical across engine paths); used
+/// by the retirement and heap-bound regression tests and by callers that
+/// want to confirm a run stayed O(live sessions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Most sessions ever live at once. Streaming: live slab entries
+    /// (bounded by concurrency + in-flight arrivals). Retained reference:
+    /// every arrived session stays live, so this reaches the session
+    /// count.
+    pub peak_live_sessions: u64,
+    /// Most driver events (arrivals, service completions, timeouts) ever
+    /// queued at once. Streaming open loop holds a single pending arrival
+    /// plus O(live) timeouts; the retained path heap-loads every arrival
+    /// at t=0.
+    pub peak_heap_events: u64,
+    /// Distinct session slots ever allocated (streaming only): how well
+    /// retirement recycles. Retained reference reports 0.
+    pub slots_allocated: u64,
+}
+
+/// One live session's storage: its global identity, protocol state, and
+/// the scratch buffer every frame it sends is built in. Recycled (with
+/// the scratch capacity) when the slot is reused by a later session.
+struct Slot {
+    id: u64,
+    sess: Session,
+    scratch: Vec<u8>,
+}
+
+/// Where the engine keeps session state: the streaming slab (O(live))
+/// or the retained reference `Vec` (O(total), kept as the equivalence
+/// oracle for the streaming path).
+enum SessionTable {
+    Retained(Vec<Session>),
+    Slab {
+        slots: Vec<Slot>,
+        free: Vec<u32>,
+        /// Session id → slot. Deterministic lookups (no hashing RNG);
+        /// holds only live sessions, so O(live) nodes.
+        index: BTreeMap<u64, u32>,
+    },
+}
+
+impl SessionTable {
+    /// Inserts a newly arrived session; returns the live count after.
+    fn insert(&mut self, id: u64, sess: Session, frame_cap: usize, allocated: &mut u64) -> u64 {
+        match self {
+            SessionTable::Retained(v) => {
+                debug_assert_eq!(v.len() as u64, id);
+                v.push(sess);
+                v.len() as u64
+            }
+            SessionTable::Slab { slots, free, index } => {
+                let slot = match free.pop() {
+                    Some(i) => {
+                        let s = &mut slots[i as usize];
+                        s.id = id;
+                        s.sess = sess;
+                        i
+                    }
+                    None => {
+                        *allocated += 1;
+                        slots.push(Slot {
+                            id,
+                            sess,
+                            scratch: Vec::with_capacity(frame_cap),
+                        });
+                        (slots.len() - 1) as u32
+                    }
+                };
+                index.insert(id, slot);
+                index.len() as u64
+            }
+        }
+    }
+
+    fn get(&self, id: u64) -> Option<&Session> {
+        match self {
+            SessionTable::Retained(v) => usize::try_from(id).ok().and_then(|i| v.get(i)),
+            SessionTable::Slab { slots, index, .. } => {
+                index.get(&id).map(|&i| &slots[i as usize].sess)
+            }
+        }
+    }
+
+    fn get_mut(&mut self, id: u64) -> Option<&mut Session> {
+        match self {
+            SessionTable::Retained(v) => usize::try_from(id).ok().and_then(|i| v.get_mut(i)),
+            SessionTable::Slab { slots, index, .. } => {
+                index.get(&id).map(|&i| &mut slots[i as usize].sess)
+            }
+        }
+    }
+
+    /// Frames a message for `id` as wire bytes. Streaming: built in the
+    /// session's pooled scratch buffer (no per-message `Vec`). Retained:
+    /// a fresh allocation, exactly as the pre-streaming engine framed.
+    fn frame(&mut self, id: u64, op: u32, attempt: u32, len: usize) -> Option<Bytes> {
+        match self {
+            SessionTable::Retained(_) => Some(Bytes::from(encode(id, op, attempt, len))),
+            SessionTable::Slab { slots, index, .. } => {
+                let &slot = index.get(&id)?;
+                let scratch = &mut slots[slot as usize].scratch;
+                encode_into(scratch, id, op, attempt, len);
+                Some(Bytes::copy_from_slice(scratch))
+            }
+        }
+    }
+
+    /// Returns a finished session's slot (and scratch capacity) to the
+    /// pool. Stale events looking the id up afterwards find nothing and
+    /// are dropped — observationally identical to the retained path's
+    /// `done`/`failed` flag checks. No-op for the retained table.
+    fn retire(&mut self, id: u64) {
+        if let SessionTable::Slab { slots, free, index } = self {
+            if let Some(slot) = index.remove(&id) {
+                let s = &mut slots[slot as usize];
+                s.id = u64::MAX;
+                s.scratch.clear();
+                free.push(slot);
+            }
+        }
+    }
 }
 
 /// The load engine. Construct with a [`LoadConfig`], then [`LoadRunner::run`]
@@ -190,7 +387,13 @@ pub(crate) struct Engine<'a> {
     client_nodes: Vec<NodeId>,
     heap: BinaryHeap<Reverse<DriverEvent>>,
     next_seq: u64,
-    sessions: Vec<Session>,
+    table: SessionTable,
+    /// Streaming open loop schedules arrivals one ahead; every other
+    /// combination heap-loads what [`ArrivalProcess`] hands out up front.
+    lazy_arrivals: bool,
+    /// Pre-sized capacity for per-slot scratch buffers (largest frame of
+    /// the calibrated script).
+    frame_cap: usize,
     arrivals: ArrivalProcess,
     /// Earliest-free time per service worker.
     workers: Vec<SimTime>,
@@ -198,6 +401,7 @@ pub(crate) struct Engine<'a> {
     /// Every outcome accumulator, extracted into one mergeable value so
     /// the sharded runner can combine per-shard engines.
     metrics: RunMetrics,
+    stats: EngineStats,
 }
 
 impl LoadRunner {
@@ -218,8 +422,20 @@ impl LoadRunner {
     }
 
     /// Drives `calibration`'s per-session script under this runner's
-    /// config and returns the full report. `scenario` names the run.
+    /// config through the streaming engine and returns the full report.
+    /// `scenario` names the run. Memory is O(live sessions), not
+    /// O(`sessions`).
     pub fn run(&self, scenario: &str, calibration: &Calibration) -> RunReport {
+        self.run_with_stats(scenario, calibration).0
+    }
+
+    /// [`LoadRunner::run`], also returning the engine's peak-resource
+    /// diagnostics (never part of the report).
+    pub fn run_with_stats(
+        &self,
+        scenario: &str,
+        calibration: &Calibration,
+    ) -> (RunReport, EngineStats) {
         assert!(
             !calibration.ops.is_empty(),
             "calibration must contain at least one op"
@@ -228,13 +444,90 @@ impl LoadRunner {
         let mut engine = Engine::new(cfg, calibration, &self.model);
         engine.prime();
         engine.drain();
-        engine.into_report(scenario, cfg)
+        let stats = engine.stats();
+        (engine.into_report(scenario, cfg), stats)
+    }
+
+    /// Drives the run through the retained reference engine: every
+    /// session materialised for the whole run, every open-loop arrival
+    /// heap-loaded at t=0 — the pre-streaming implementation, kept as the
+    /// byte-identity oracle the streaming engine is tested against.
+    /// Costs O(`sessions`) memory by design; errors if that cannot even
+    /// be addressed on this target.
+    pub fn run_reference(
+        &self,
+        scenario: &str,
+        calibration: &Calibration,
+    ) -> Result<RunReport, LoadError> {
+        Ok(self.run_reference_with_stats(scenario, calibration)?.0)
+    }
+
+    /// [`LoadRunner::run_reference`] with peak-resource diagnostics.
+    pub fn run_reference_with_stats(
+        &self,
+        scenario: &str,
+        calibration: &Calibration,
+    ) -> Result<(RunReport, EngineStats), LoadError> {
+        assert!(
+            !calibration.ops.is_empty(),
+            "calibration must contain at least one op"
+        );
+        let cfg = &self.config;
+        let mut engine = Engine::new_reference(cfg, calibration, &self.model)?;
+        engine.prime();
+        engine.drain();
+        let stats = engine.stats();
+        Ok((engine.into_report(scenario, cfg), stats))
     }
 }
 
 impl<'a> Engine<'a> {
+    /// The streaming engine: slab-of-live-sessions storage and (open
+    /// loop) one-ahead arrival scheduling.
     pub(crate) fn new(cfg: &'a LoadConfig, cal: &'a Calibration, model: &'a CostModel) -> Self {
+        let table = SessionTable::Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: BTreeMap::new(),
+        };
+        Engine::build(cfg, cal, model, table)
+    }
+
+    /// The retained reference engine. Checked conversion: a session count
+    /// beyond the target's address space is a domain error, not a silent
+    /// `as usize` wrap.
+    pub(crate) fn new_reference(
+        cfg: &'a LoadConfig,
+        cal: &'a Calibration,
+        model: &'a CostModel,
+    ) -> Result<Self, LoadError> {
+        let capacity =
+            usize::try_from(cfg.sessions).map_err(|_| LoadError::SessionCountOverflow {
+                sessions: cfg.sessions,
+            })?;
+        let mut engine = Engine::build(
+            cfg,
+            cal,
+            model,
+            SessionTable::Retained(Vec::with_capacity(capacity)),
+        );
+        // The reference path heap-loads every open-loop arrival in
+        // prime(), handing arrival i seq i from the shared counter.
+        engine.lazy_arrivals = false;
+        engine.next_seq = 0;
+        Ok(engine)
+    }
+
+    fn build(
+        cfg: &'a LoadConfig,
+        cal: &'a Calibration,
+        model: &'a CostModel,
+        table: SessionTable,
+    ) -> Self {
         let mut net = Network::new(cfg.seed ^ 0x6e65_7473_696d); // "netsim"
+                                                                 // The engine never reads the packet trace; recording it would be
+                                                                 // the one remaining O(total packets) buffer in a streaming run.
+        net.set_tracing(false);
         let server = net.add_node();
         let clients = cfg.clients.max(1);
         let link = LinkConfig {
@@ -279,6 +572,7 @@ impl<'a> Engine<'a> {
             SecureRng::seed_from_u64(cfg.seed).fork(b"arrivals"),
         );
 
+        let lazy_arrivals = matches!(cfg.mode, LoadMode::Open { .. });
         Engine {
             cfg,
             cal,
@@ -287,26 +581,56 @@ impl<'a> Engine<'a> {
             server,
             client_nodes,
             heap: BinaryHeap::new(),
-            next_seq: 0,
-            sessions: Vec::with_capacity(cfg.sessions as usize),
+            // Open-loop arrival i is pinned to seq i in both engine
+            // paths; the shared counter for everything else therefore
+            // starts past the arrival block.
+            next_seq: if lazy_arrivals { cfg.sessions } else { 0 },
+            table,
+            lazy_arrivals,
+            frame_cap: cal.max_frame_bytes(),
             arrivals,
             workers: vec![SimTime::ZERO; cfg.workers.max(1) as usize],
             timeout,
             metrics: RunMetrics::new(),
+            stats: EngineStats::default(),
         }
+    }
+
+    pub(crate) fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    fn push_raw(&mut self, at: SimTime, seq: u64, ev: Ev) {
+        self.heap.push(Reverse(DriverEvent { at, seq, ev }));
+        self.stats.peak_heap_events = self.stats.peak_heap_events.max(self.heap.len() as u64);
     }
 
     fn push(&mut self, at: SimTime, ev: Ev) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(DriverEvent { at, seq, ev }));
+        self.push_raw(at, seq, ev);
     }
 
-    /// Queues every precomputable arrival (all of them for open loop, the
-    /// initial batch for closed loop).
+    /// Schedules the next open-loop arrival (streaming path): exactly one
+    /// pending arrival in the heap at any time, pinned to seq = index.
+    fn schedule_next_arrival(&mut self) {
+        if let Some((idx, at)) = self.arrivals.next_arrival() {
+            self.push_raw(at, idx, Ev::Arrive { session: idx });
+        }
+    }
+
+    /// Queues the initial arrivals. Streaming open loop: only the first
+    /// (each arrival schedules its successor). Everything else: all the
+    /// arrival process hands out up front — every open-loop arrival for
+    /// the retained reference path, the initial closed-loop batch
+    /// (O(concurrency)) for both paths.
     pub(crate) fn prime(&mut self) {
-        while let Some((idx, at)) = self.arrivals.next_arrival() {
-            self.push(at, Ev::Arrive { session: idx });
+        if self.lazy_arrivals {
+            self.schedule_next_arrival();
+        } else {
+            while let Some((idx, at)) = self.arrivals.next_arrival() {
+                self.push(at, Ev::Arrive { session: idx });
+            }
         }
     }
 
@@ -362,30 +686,46 @@ impl<'a> Engine<'a> {
     }
 
     fn on_arrive(&mut self, at: SimTime, session: u64) {
-        debug_assert_eq!(session as usize, self.sessions.len());
+        if self.lazy_arrivals {
+            self.schedule_next_arrival();
+        }
         let client = self.client_nodes[(session % self.client_nodes.len() as u64) as usize];
-        self.sessions.push(Session {
-            arrived_at: at,
-            client,
-            op: 0,
-            attempt: 0,
-            serviced_through: None,
-            in_service: None,
-            done: false,
-            failed: false,
-        });
+        let live = self.table.insert(
+            session,
+            Session {
+                arrived_at: at,
+                client,
+                op: 0,
+                attempt: 0,
+                serviced_through: None,
+                in_service: None,
+                done: false,
+                failed: false,
+            },
+            self.frame_cap,
+            &mut self.stats.slots_allocated,
+        );
+        self.stats.peak_live_sessions = self.stats.peak_live_sessions.max(live);
         self.send_request(at, session);
     }
 
     /// Transmits the current op's request for `session` and arms its
     /// retransmission timeout.
     fn send_request(&mut self, at: SimTime, session: u64) {
-        let sess = self.sessions[session as usize];
+        let Some(sess) = self.table.get(session).copied() else {
+            return;
+        };
         let op = &self.cal.ops[sess.op as usize];
         if sess.attempt == 0 {
             self.metrics.steady_client.fold(op.client);
         }
-        let payload = encode(session, sess.op, sess.attempt, op.request_bytes);
+        let request_bytes = op.request_bytes;
+        let Some(payload) = self
+            .table
+            .frame(session, sess.op, sess.attempt, request_bytes)
+        else {
+            return;
+        };
         self.net.send(sess.client, self.server, payload);
         let _ = at;
         self.push(
@@ -399,7 +739,10 @@ impl<'a> Engine<'a> {
     }
 
     fn on_request(&mut self, at: SimTime, session: u64, op: u32, _attempt: u32) {
-        let Some(sess) = self.sessions.get(session as usize).copied() else {
+        // A miss is a session not yet arrived (stray bytes) or already
+        // retired — either way the datagram is stale and dropped, exactly
+        // as the retained path's done/failed guards drop it.
+        let Some(sess) = self.table.get(session).copied() else {
             return;
         };
         if sess.done || sess.failed || op != sess.op {
@@ -425,14 +768,18 @@ impl<'a> Engine<'a> {
         let start = self.workers[widx].max(at);
         let done_at = start + SimDuration(profile.service_nanos(self.model, self.cfg.clock_hz));
         self.workers[widx] = done_at;
-        self.sessions[session as usize].in_service = Some(op);
+        if let Some(sess) = self.table.get_mut(session) {
+            sess.in_service = Some(op);
+        }
         self.metrics.steady_server.fold(profile.server);
         self.metrics.transitions.merge(profile.transitions);
         self.push(done_at, Ev::ServiceDone { session, op });
     }
 
     fn on_service_done(&mut self, _at: SimTime, session: u64, op: u32) {
-        let sess = &mut self.sessions[session as usize];
+        let Some(sess) = self.table.get_mut(session) else {
+            return; // session retired while the op was in service
+        };
         if sess.done || sess.failed {
             return;
         }
@@ -442,47 +789,65 @@ impl<'a> Engine<'a> {
     }
 
     fn send_response(&mut self, session: u64, op: u32) {
-        let client = self.sessions[session as usize].client;
-        let profile = &self.cal.ops[op as usize];
-        let payload = encode(session, op, 0, profile.response_bytes);
+        let Some(client) = self.table.get(session).map(|s| s.client) else {
+            return;
+        };
+        let response_bytes = self.cal.ops[op as usize].response_bytes;
+        let Some(payload) = self.table.frame(session, op, 0, response_bytes) else {
+            return;
+        };
         self.net.send(self.server, client, payload);
     }
 
     fn on_response(&mut self, at: SimTime, session: u64, op: u32) {
-        let sess = self.sessions[session as usize];
+        let Some(sess) = self.table.get(session).copied() else {
+            return; // response to a retired session
+        };
         if sess.done || sess.failed || op != sess.op {
             return; // duplicate or stale response
         }
-        let sess = &mut self.sessions[session as usize];
-        sess.op += 1;
-        sess.attempt = 0;
-        if (sess.op as usize) == self.cal.ops.len() {
-            sess.done = true;
+        let finished = {
+            let sess = self.table.get_mut(session).expect("session is live");
+            sess.op += 1;
+            sess.attempt = 0;
+            (sess.op as usize) == self.cal.ops.len()
+        };
+        if finished {
+            if let Some(sess) = self.table.get_mut(session) {
+                sess.done = true;
+            }
             let took = at - sess.arrived_at;
             self.metrics.latency.record(took.as_nanos());
             self.metrics.completed += 1;
             self.metrics.last_done_ns = self.metrics.last_done_ns.max(at.as_nanos());
             self.next_closed_loop_arrival(at);
+            self.table.retire(session);
         } else {
             self.send_request(at, session);
         }
     }
 
     fn on_timeout(&mut self, at: SimTime, session: u64, op: u32, attempt: u32) {
-        let sess = self.sessions[session as usize];
+        let Some(sess) = self.table.get(session).copied() else {
+            return; // timeout outlived its (retired) session
+        };
         if sess.done || sess.failed || sess.op != op || sess.attempt != attempt {
             return; // op already progressed; timeout is stale
         }
         if attempt >= self.cfg.max_retries {
-            let sess = &mut self.sessions[session as usize];
-            sess.failed = true;
+            if let Some(sess) = self.table.get_mut(session) {
+                sess.failed = true;
+            }
             self.metrics.failed += 1;
             self.metrics.last_done_ns = self.metrics.last_done_ns.max(at.as_nanos());
             self.next_closed_loop_arrival(at);
+            self.table.retire(session);
             return;
         }
         self.metrics.retries += 1;
-        self.sessions[session as usize].attempt = attempt + 1;
+        if let Some(sess) = self.table.get_mut(session) {
+            sess.attempt = attempt + 1;
+        }
         self.send_request(at, session);
     }
 
@@ -584,6 +949,7 @@ pub(crate) fn effective_rate(cfg: &LoadConfig, cal: &Calibration, model: &CostMo
 mod tests {
     use super::*;
     use crate::scenario::OpProfile;
+    use proptest::prelude::*;
     use teenet_sgx::cost::Counters;
     use teenet_sgx::TransitionStats;
 
@@ -780,5 +1146,136 @@ mod tests {
             heavy.latency.quantile(0.99),
             light.latency.quantile(0.99)
         );
+    }
+
+    #[test]
+    fn framing_round_trips_through_scratch_buffer() {
+        let mut scratch = Vec::new();
+        encode_into(&mut scratch, 42, 3, 1, 100);
+        assert_eq!(scratch.len(), 100);
+        assert_eq!(decode(&scratch), Some((42, 3, 1)));
+        assert_eq!(scratch, encode(42, 3, 1, 100), "pooled == allocating path");
+        // Reuse with a shorter frame: stale bytes must not leak in.
+        let cap = scratch.capacity();
+        encode_into(&mut scratch, 7, 0, 0, 10);
+        assert_eq!(scratch.len(), HEADER_LEN);
+        assert_eq!(scratch, encode(7, 0, 0, 10));
+        assert_eq!(scratch.capacity(), cap, "capacity is retained");
+    }
+
+    #[test]
+    fn streaming_equals_reference_byte_for_byte() {
+        let cal = toy_calibration();
+        for mode in [
+            LoadMode::Open { rate_per_sec: None },
+            LoadMode::Closed { concurrency: 12 },
+        ] {
+            let mut cfg = LoadConfig::new(150, 21, mode);
+            cfg.faults = FaultConfig {
+                drop_chance: 0.06,
+                corrupt_chance: 0.04,
+                duplicate_chance: 0.03,
+                ..Default::default()
+            };
+            let runner = LoadRunner::new(cfg);
+            let streaming = runner.run("toy", &cal);
+            let reference = runner.run_reference("toy", &cal).unwrap();
+            assert_eq!(streaming.json(), reference.json());
+            assert_eq!(streaming.text(), reference.text());
+        }
+    }
+
+    #[test]
+    fn closed_loop_retires_sessions_slots_bounded_by_concurrency() {
+        let concurrency = 16u32;
+        let cfg = LoadConfig::new(500, 9, LoadMode::Closed { concurrency });
+        let (report, stats) = LoadRunner::new(cfg).run_with_stats("toy", &toy_calibration());
+        assert_eq!(report.completed, 500);
+        assert_eq!(
+            stats.peak_live_sessions, concurrency as u64,
+            "a retired session's slot is reused by its replacement"
+        );
+        assert_eq!(stats.slots_allocated, concurrency as u64);
+    }
+
+    #[test]
+    fn open_loop_heap_holds_one_pending_arrival_not_all() {
+        let n = 4000u64;
+        let cfg = LoadConfig::new(n, 3, LoadMode::Open { rate_per_sec: None });
+        let runner = LoadRunner::new(cfg);
+        let cal = toy_calibration();
+        let (report, stream) = runner.run_with_stats("toy", &cal);
+        let (_, reference) = runner.run_reference_with_stats("toy", &cal).unwrap();
+        assert_eq!(report.completed, n);
+        assert!(
+            reference.peak_heap_events >= n,
+            "reference heap-loads every arrival: {}",
+            reference.peak_heap_events
+        );
+        // Streaming: one pending arrival + O(live) timeouts. At ~50%
+        // utilisation live sessions stay far below the total.
+        assert!(
+            stream.peak_heap_events < n / 8,
+            "streaming heap stayed O(live): {} events for {n} sessions",
+            stream.peak_heap_events
+        );
+        assert!(
+            stream.peak_live_sessions < n / 8,
+            "sessions retire as they complete: {} live peak",
+            stream.peak_live_sessions
+        );
+    }
+
+    #[test]
+    fn load_error_reports_the_count() {
+        let err = LoadError::SessionCountOverflow { sessions: 1 << 40 };
+        let msg = err.to_string();
+        assert!(msg.contains("1099511627776"), "{msg}");
+        assert!(msg.contains("streaming"), "{msg}");
+    }
+
+    #[cfg(target_pointer_width = "32")]
+    #[test]
+    fn reference_engine_rejects_unaddressable_session_counts() {
+        let cfg = LoadConfig::new(u64::MAX, 1, LoadMode::Open { rate_per_sec: None });
+        let err = LoadRunner::new(cfg)
+            .run_reference("toy", &toy_calibration())
+            .unwrap_err();
+        assert_eq!(err, LoadError::SessionCountOverflow { sessions: u64::MAX });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The streaming engine is observationally identical to the
+        /// retained reference across random seeds, loop disciplines and
+        /// fault mixes: same text, same JSON, byte for byte.
+        #[test]
+        fn streaming_reference_equivalence(
+            seed in any::<u64>(),
+            closed in any::<bool>(),
+            drop in 0u32..10,
+            corrupt in 0u32..8,
+            duplicate in 0u32..8,
+        ) {
+            let cal = toy_calibration();
+            let mode = if closed {
+                LoadMode::Closed { concurrency: 8 }
+            } else {
+                LoadMode::Open { rate_per_sec: None }
+            };
+            let mut cfg = LoadConfig::new(60, seed, mode);
+            cfg.faults = FaultConfig {
+                drop_chance: drop as f64 / 100.0,
+                corrupt_chance: corrupt as f64 / 100.0,
+                duplicate_chance: duplicate as f64 / 100.0,
+                ..Default::default()
+            };
+            let runner = LoadRunner::new(cfg);
+            let streaming = runner.run("toy", &cal);
+            let reference = runner.run_reference("toy", &cal).unwrap();
+            prop_assert_eq!(streaming.json(), reference.json());
+            prop_assert_eq!(streaming.text(), reference.text());
+        }
     }
 }

@@ -18,13 +18,19 @@
 //!   ([`ShardPlan::session_seed`]), so per-session randomness (link
 //!   faults) is identical no matter which thread runs it.
 //! * **Scheduling** — open loop draws the global Poisson arrival times
-//!   exactly as the serial engine does and places session `i`'s
-//!   completion at `arrival_i + duration_i`; closed loop assigns session
-//!   `i` to lane `i mod concurrency` and runs each lane back-to-back.
-//!   Both need only the per-session durations, which the shards computed
-//!   in parallel.
+//!   exactly as the serial engine does (each shard re-derives the stream
+//!   and [`ArrivalProcess::skip`]s to its own range) and places session
+//!   `i`'s completion at `arrival_i + duration_i`; closed loop assigns
+//!   session `i` to lane `i mod concurrency` and runs each lane
+//!   back-to-back. Both reduce *as the shard streams through its range*:
+//!   open loop keeps only the latest completion seen, closed loop keeps
+//!   per-lane partial busy-time sums — no shard (and no merge step) ever
+//!   materialises a per-session array, so sharded replay is
+//!   constant-memory in the session count just like the streaming serial
+//!   engine.
 //! * **Merging** — per-shard [`RunMetrics`] are merged in fixed shard
-//!   order. Because every merge is associative and commutative and
+//!   order, per-lane busy times are summed, and completion maxima are
+//!   maxed. Because every merge is associative and commutative and
 //!   contiguous blocks cover `0..sessions` in index order, the merged
 //!   result — and therefore the rendered report — is byte-identical for
 //!   *any* shard count.
@@ -96,14 +102,22 @@ impl ShardPlan {
 
 /// What one shard hands back: its merged metrics (the session-local
 /// `last_done_ns` in it is meaningless and overwritten by the scheduler)
-/// plus each session's duration in index order.
+/// plus the constant-size scheduling aggregates its range reduced to —
+/// per-lane busy-time partial sums (closed loop) or the latest completion
+/// time (open loop). Never a per-session array.
 struct ShardResult {
     metrics: RunMetrics,
-    durations: Vec<u64>,
+    /// Closed loop: this shard's busy-time contribution per lane
+    /// (`len == concurrency`); empty for open loop.
+    lane_busy: Vec<u64>,
+    /// Open loop: `max(arrival_i + duration_i)` over this shard's range;
+    /// 0 for closed loop.
+    last_completion: u64,
 }
 
 /// Replays every session in `range`, each on a private single-worker,
-/// single-client engine whose virtual clock starts at zero.
+/// single-client engine whose virtual clock starts at zero, reducing
+/// scheduling state on the fly.
 fn run_shard(
     cfg: &LoadConfig,
     cal: &Calibration,
@@ -111,7 +125,22 @@ fn run_shard(
     range: Range<u64>,
 ) -> ShardResult {
     let mut metrics = RunMetrics::new();
-    let mut durations = Vec::with_capacity((range.end - range.start) as usize);
+    let (mut lane_busy, mut arrivals) = match cfg.mode {
+        LoadMode::Closed { concurrency } => (vec![0u64; concurrency.max(1) as usize], None),
+        LoadMode::Open { .. } => {
+            // Re-derive the global Poisson schedule (same fork the serial
+            // engine uses) and position it at this shard's first index.
+            let rate = effective_rate(cfg, cal, model);
+            let mut a = ArrivalProcess::new(
+                Arrival::OpenLoop { rate_per_sec: rate },
+                cfg.sessions,
+                SecureRng::seed_from_u64(cfg.seed).fork(b"arrivals"),
+            );
+            a.skip(range.start);
+            (Vec::new(), Some(a))
+        }
+    };
+    let mut last_completion = 0u64;
     for index in range {
         let mut session_cfg = cfg.clone();
         session_cfg.sessions = 1;
@@ -125,49 +154,51 @@ fn run_shard(
         let m = engine.into_metrics();
         // One session from t=0: its local last-done time IS its duration
         // (completion or abandonment).
-        durations.push(m.last_done_ns);
+        let duration = m.last_done_ns;
+        match arrivals.as_mut() {
+            Some(a) => {
+                let (idx, at) = a.next_arrival().expect("stream covers the shard's range");
+                debug_assert_eq!(idx, index);
+                last_completion = last_completion.max(at.as_nanos() + duration);
+            }
+            None => {
+                let lanes = lane_busy.len() as u64;
+                lane_busy[(index % lanes) as usize] += duration;
+            }
+        }
         metrics.merge(&m);
     }
-    ShardResult { metrics, durations }
+    ShardResult {
+        metrics,
+        lane_busy,
+        last_completion,
+    }
 }
 
-/// Reconstructs the run's global end time from per-session durations.
-///
-/// Open loop: the serial arrival schedule is regenerated (same fork of
-/// the seed the serial engine uses) and session `i` finishes at
-/// `arrival_i + duration_i`. Closed loop: session `i` occupies lane
-/// `i mod concurrency`; lanes run their sessions back-to-back, so each
-/// lane ends at the sum of its durations. Either way the run ends at the
-/// latest completion.
-fn schedule_completions(
-    cfg: &LoadConfig,
-    cal: &Calibration,
-    model: &CostModel,
-    durations: &[u64],
-) -> u64 {
-    match cfg.mode {
-        LoadMode::Open { .. } => {
-            let rate = effective_rate(cfg, cal, model);
-            let mut arrivals = ArrivalProcess::new(
-                Arrival::OpenLoop { rate_per_sec: rate },
-                cfg.sessions,
-                SecureRng::seed_from_u64(cfg.seed).fork(b"arrivals"),
-            );
-            let mut last = 0u64;
-            while let Some((idx, at)) = arrivals.next_arrival() {
-                last = last.max(at.as_nanos() + durations[idx as usize]);
-            }
-            last
+/// Merges per-shard results (in fixed shard order) into the run's global
+/// metrics, reconstructing the global end time from the shards'
+/// scheduling aggregates: open loop ends at the latest completion across
+/// shards; closed loop sums each lane's busy time across shards (lanes
+/// run back-to-back) and ends at the fullest lane.
+fn merge_shards(cfg: &LoadConfig, results: &[ShardResult]) -> RunMetrics {
+    let mut metrics = RunMetrics::new();
+    let mut lane_busy = match cfg.mode {
+        LoadMode::Closed { concurrency } => vec![0u64; concurrency.max(1) as usize],
+        LoadMode::Open { .. } => Vec::new(),
+    };
+    let mut last_completion = 0u64;
+    for r in results {
+        metrics.merge(&r.metrics);
+        for (lane, busy) in r.lane_busy.iter().enumerate() {
+            lane_busy[lane] += busy;
         }
-        LoadMode::Closed { concurrency } => {
-            let lanes = concurrency.max(1) as usize;
-            let mut lane_end = vec![0u64; lanes];
-            for (i, &d) in durations.iter().enumerate() {
-                lane_end[i % lanes] += d;
-            }
-            lane_end.into_iter().max().unwrap_or(0)
-        }
+        last_completion = last_completion.max(r.last_completion);
     }
+    metrics.last_done_ns = match cfg.mode {
+        LoadMode::Open { .. } => last_completion,
+        LoadMode::Closed { .. } => lane_busy.into_iter().max().unwrap_or(0),
+    };
+    metrics
 }
 
 impl LoadRunner {
@@ -177,7 +208,8 @@ impl LoadRunner {
     /// The report is byte-identical for every `n_threads` ≥ 1: sessions
     /// are pure functions of `(seed, index)`, shards cover contiguous
     /// index blocks, and the associative/commutative metric merges are
-    /// applied in fixed shard order.
+    /// applied in fixed shard order. Memory is O(shards · live state per
+    /// shard) — no per-session array exists anywhere in the path.
     pub fn run_sharded(
         &self,
         scenario: &str,
@@ -207,13 +239,7 @@ impl LoadRunner {
 
         // Fixed shard-order merge over contiguous blocks ≡ one serial
         // index-order merge, for any shard count.
-        let mut metrics = RunMetrics::new();
-        let mut durations = Vec::with_capacity(cfg.sessions as usize);
-        for r in &results {
-            metrics.merge(&r.metrics);
-            durations.extend_from_slice(&r.durations);
-        }
-        metrics.last_done_ns = schedule_completions(cfg, calibration, model, &durations);
+        let metrics = merge_shards(cfg, &results);
         report_from_metrics(scenario, cfg, calibration, model, metrics)
     }
 }
@@ -360,9 +386,9 @@ mod tests {
 
         /// Any 2-way split of the session range merges to the exact
         /// serial (single-shard, in-process) accumulation: replaying
-        /// `0..k` and `k..n` separately and merging equals replaying
-        /// `0..n` in one pass. This is the partition-independence the
-        /// threaded path inherits.
+        /// `0..k` and `k..n` separately and merging the streamed
+        /// scheduling aggregates equals replaying `0..n` in one pass.
+        /// This is the partition-independence the threaded path inherits.
         #[test]
         fn any_two_way_split_matches_serial_fold(split in 0u64..41, closed in any::<bool>()) {
             let cal = toy_calibration();
@@ -383,17 +409,9 @@ mod tests {
             let left = run_shard(&cfg, &cal, &model, 0..split);
             let right = run_shard(&cfg, &cal, &model, split..n);
 
-            let mut merged = RunMetrics::new();
-            merged.merge(&left.metrics);
-            merged.merge(&right.metrics);
-            let mut durations = left.durations;
-            durations.extend_from_slice(&right.durations);
-            prop_assert_eq!(&durations[..], &serial.durations[..]);
-
-            merged.last_done_ns = schedule_completions(&cfg, &cal, &model, &durations);
-            let mut serial_metrics = serial.metrics;
-            serial_metrics.last_done_ns =
-                schedule_completions(&cfg, &cal, &model, &serial.durations);
+            let merged = merge_shards(&cfg, &[left, right]);
+            let serial_metrics = merge_shards(&cfg, &[serial]);
+            prop_assert_eq!(merged.last_done_ns, serial_metrics.last_done_ns);
 
             let a = report_from_metrics("toy", &cfg, &cal, &model, merged);
             let b = report_from_metrics("toy", &cfg, &cal, &model, serial_metrics);

@@ -115,8 +115,8 @@ pub struct Network {
     next_packet_id: u64,
     next_seq: u64,
     rng: SecureRng,
-    /// Packet trace (always on; payload capture opt-in via
-    /// [`Network::enable_pcap`]).
+    /// Packet trace (on by default; disable via [`Network::set_tracing`],
+    /// payload capture opt-in via [`Network::enable_pcap`]).
     pub trace: Trace,
 }
 
@@ -139,6 +139,14 @@ impl Network {
     /// Discards any existing trace records.
     pub fn enable_pcap(&mut self) {
         self.trace = Trace::with_payloads();
+    }
+
+    /// Turns packet tracing on or off. The trace accumulates one record
+    /// per packet event, so a driver that never reads it (a long load
+    /// run) should switch it off to keep the network's memory independent
+    /// of how many packets flow through it.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.trace.set_enabled(enabled);
     }
 
     /// Adds a node and returns its id.
@@ -286,17 +294,23 @@ impl Network {
             }
         }
 
-        let mut bytes = payload.to_vec();
-        if corrupted {
+        // Reuse the caller's buffer untouched (a cheap refcount clone for
+        // an already-shared `Bytes`); only a corrupting fault pays for a
+        // mutable copy.
+        let payload = if corrupted {
+            let mut bytes = payload.to_vec();
             if let Some(injector) = &mut link.injector {
                 injector.corrupt(&mut bytes);
             }
-        }
+            Bytes::from(bytes)
+        } else {
+            payload
+        };
         let packet = Packet {
             id,
             src,
             dst,
-            payload: Bytes::from(bytes),
+            payload,
         };
         let seq = self.next_seq;
         self.next_seq += 1;

@@ -40,12 +40,24 @@ pub struct TraceRecord {
 }
 
 /// An in-memory packet trace.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Trace {
     records: Vec<TraceRecord>,
     /// Raw payload snapshots for pcap export (only for delivered packets).
     payloads: Vec<(SimTime, Vec<u8>)>,
     capture_payloads: bool,
+    enabled: bool,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace {
+            records: Vec::new(),
+            payloads: Vec::new(),
+            capture_payloads: false,
+            enabled: true,
+        }
+    }
 }
 
 impl Trace {
@@ -62,8 +74,24 @@ impl Trace {
         }
     }
 
-    /// Records an event.
+    /// Turns recording on or off. A disabled trace discards events
+    /// instead of accumulating a record per packet — the difference
+    /// between O(total packets) and O(1) memory on a long run. Already-
+    /// recorded events are kept.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether events are currently being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (dropped silently while disabled).
     pub fn record(&mut self, record: TraceRecord, packet: Option<&Packet>) {
+        if !self.enabled {
+            return;
+        }
         if self.capture_payloads && record.event == TraceEvent::Delivered {
             if let Some(p) = packet {
                 self.payloads.push((record.time, p.payload.to_vec()));
@@ -158,6 +186,20 @@ mod tests {
         // Captured length field.
         assert_eq!(&pcap[32..36], &4u32.to_le_bytes());
         assert_eq!(&pcap[40..44], b"data");
+    }
+
+    #[test]
+    fn disabled_trace_discards_events() {
+        let mut t = Trace::with_payloads();
+        t.record(rec(TraceEvent::Sent), Some(&pkt()));
+        t.set_enabled(false);
+        assert!(!t.is_enabled());
+        t.record(rec(TraceEvent::Delivered), Some(&pkt()));
+        assert_eq!(t.records().len(), 1, "prior records kept, new discarded");
+        assert_eq!(t.to_pcap().len(), 24, "no payload snapshot while off");
+        t.set_enabled(true);
+        t.record(rec(TraceEvent::Delivered), Some(&pkt()));
+        assert_eq!(t.records().len(), 2);
     }
 
     #[test]
