@@ -37,6 +37,19 @@ pub struct AnalyzeConfig {
     /// Function names whose return value is an attestation verdict —
     /// discarding it is rule L5 (`attestation-unchecked`).
     pub attest_verify_idents: Vec<String>,
+    /// Function names that recover sealed state — their results seed the
+    /// rollback taint of rule L6 (`seal-rollback`).
+    pub unseal_idents: Vec<String>,
+    /// Field names that carry a sealed blob's monotonic counter; a
+    /// projection of a tainted value through one of these into an
+    /// ordered comparison is the rollback gate (rule L6).
+    pub counter_fields: Vec<String>,
+    /// Field names that carry unsealed key material; projecting a
+    /// tainted value through one of these is a *use* (rule L6).
+    pub key_fields: Vec<String>,
+    /// Function names that consume a nonce/IV argument (seal/encrypt
+    /// call sites for rule L7, `seal-nonce-reuse`).
+    pub nonce_sinks: Vec<String>,
 }
 
 impl AnalyzeConfig {
@@ -138,6 +151,18 @@ impl AnalyzeConfig {
                 s("attest_enclave"),
                 // The symmetric enclave-to-enclave handshake.
                 s("mutual_attest"),
+            ],
+            unseal_idents: vec![s("unseal")],
+            counter_fields: vec![s("counter"), s("epoch")],
+            key_fields: vec![s("key"), s("material"), s("key_material"), s("secret")],
+            nonce_sinks: vec![
+                // The sealing primitive itself (`EnclaveCtx::seal`
+                // derives its nonce internally; only call sites that
+                // pass an explicit nonce argument are keyed).
+                s("seal"),
+                // The raw CTR-mode primitives.
+                s("ctr_apply"),
+                s("apply"),
             ],
         }
     }

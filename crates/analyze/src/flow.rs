@@ -1,0 +1,758 @@
+//! Intra-procedural dataflow on top of the token stream — the layer that
+//! turns the pattern linter into a flow-aware analysis.
+//!
+//! [`function_bodies`] splits a comment-stripped token stream into
+//! function bodies; [`FlowAnalysis::of`] then walks one body linearly,
+//! building a def-use graph over `let` bindings, reassignments and call
+//! arguments:
+//!
+//! - every `let` pattern, `for` pattern and function parameter binds a
+//!   fresh *value*; shadowing rebinds the name to a new value;
+//! - a reassignment (`x = ..`, `x += ..`) or a `&mut x` call argument
+//!   creates a new value derived from the old one — that is what
+//!   "re-derivation from a fresh source" means to the nonce-reuse rule;
+//! - the defining expression's resolved identifiers become derivation
+//!   edges (`sources`) and its called names are recorded (`callees`), so
+//!   a rule can seed taint on "values produced by `unseal`";
+//! - calls to *barrier* functions (the sanctioned sealing API) are
+//!   skipped entirely: their arguments neither taint the result nor
+//!   count as uses.
+//!
+//! What the walker deliberately does **not** see, so rules stay honest
+//! about their guarantees: closures are scanned as part of the enclosing
+//! function (their parameters are simply unresolved names), `match` arm
+//! patterns do not bind, scopes are flat (an `if let` binding survives
+//! past its block as an over-approximation), and there is no
+//! inter-procedural propagation — a secret that round-trips through a
+//! helper's *return value* is out of scope, one passed *into* a sink or
+//! helper argument is not.
+
+use crate::lexer::{Token, TokenKind};
+use std::collections::{BTreeMap, HashMap};
+
+/// One function body found in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnBody {
+    /// Function name (the identifier after `fn`).
+    pub name: String,
+    /// Token indices of the parameter list `(` and its matching `)`.
+    pub params: (usize, usize),
+    /// Token indices of the body `{` and its matching `}`.
+    pub body: (usize, usize),
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// One value in the def-use graph: a binding generation of some name.
+#[derive(Debug, Clone)]
+pub struct ValueDef {
+    /// The bound name.
+    pub name: String,
+    /// 1-based line where this generation was defined.
+    pub def_line: u32,
+    /// Values used in the defining expression (always earlier ids).
+    pub sources: Vec<usize>,
+    /// Function/method names called in the defining expression.
+    pub callees: Vec<String>,
+    /// True when this generation came from a `&mut` refresh — it
+    /// derives from its predecessor but is *not* an alias of it.
+    pub refreshed: bool,
+}
+
+/// The def-use graph of one function body.
+#[derive(Debug)]
+pub struct FlowAnalysis {
+    /// All values in definition order (parameters first).
+    pub values: Vec<ValueDef>,
+    /// Resolved identifier uses: token index → value id, in token order.
+    occ_by_token: BTreeMap<usize, usize>,
+}
+
+/// Splits `sig` (comment-stripped tokens) into function bodies. Nested
+/// functions are reported as their own bodies as well; bodiless trait
+/// method declarations are skipped.
+pub fn function_bodies(sig: &[&Token]) -> Vec<FnBody> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if sig[i].ident() != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let line = sig[i].line;
+        let Some(name) = sig.get(i + 1).and_then(|t| t.ident()) else {
+            i += 1;
+            continue;
+        };
+        // Skip generic parameters between the name and the `(`.
+        let mut j = i + 2;
+        if j < sig.len() && sig[j].is_punct('<') {
+            let mut angle = 0i32;
+            while j < sig.len() {
+                if sig[j].is_punct('<') {
+                    angle += 1;
+                } else if sig[j].is_punct('>') && !(j > 0 && sig[j - 1].is_punct('-')) {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        let Some(open) = (j..sig.len()).find(|&k| sig[k].is_punct('(')) else {
+            i += 1;
+            continue;
+        };
+        let Some(close) = matching(sig, open, '(', ')') else {
+            i += 1;
+            continue;
+        };
+        // After the signature: a `{` opens the body, a `;` means a
+        // bodiless trait declaration. Neither the return type nor a
+        // where clause can contain a top-level `{`.
+        let mut k = close + 1;
+        let mut depth = 0usize;
+        let mut body = None;
+        while k < sig.len() {
+            match &sig[k].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth = depth.saturating_sub(1),
+                TokenKind::Punct('{') if depth == 0 => {
+                    if let Some(end) = matching(sig, k, '{', '}') {
+                        body = Some((k, end));
+                    }
+                    break;
+                }
+                TokenKind::Punct(';') if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if let Some(body) = body {
+            out.push(FnBody {
+                name: name.to_string(),
+                params: (open, close),
+                body,
+                line,
+            });
+        }
+        i += 2;
+    }
+    out
+}
+
+/// Finds the index of the token matching `open_c` at `open`.
+fn matching(sig: &[&Token], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in sig.iter().enumerate().skip(open) {
+        if t.is_punct(open_c) {
+            depth += 1;
+        } else if t.is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Names that look like bindings in a pattern but are not.
+const PATTERN_NON_BINDING: [&str; 4] = ["mut", "ref", "box", "self"];
+
+/// Method names that forward a value unchanged, for alias resolution.
+const CLONE_LIKE: [&str; 7] = [
+    "clone", "to_vec", "to_owned", "as_ref", "as_slice", "as_bytes", "copy",
+];
+
+struct Walker<'s> {
+    sig: &'s [&'s Token],
+    barriers: &'s [&'s str],
+    env: HashMap<String, usize>,
+    values: Vec<ValueDef>,
+    occ_by_token: BTreeMap<usize, usize>,
+}
+
+/// Where an expression scan stops (always at depth 0).
+#[derive(Clone, Copy, PartialEq)]
+enum Stop {
+    /// At `;` — a plain statement.
+    Semi,
+    /// At `;` or `{` — an `if let` / `while let` / `for` header, where
+    /// the block brace ends the scrutinee.
+    SemiOrBrace,
+}
+
+impl<'s> Walker<'s> {
+    fn bind(&mut self, name: &str, def_line: u32, sources: Vec<usize>, callees: Vec<String>) {
+        let id = self.values.len();
+        self.values.push(ValueDef {
+            name: name.to_string(),
+            def_line,
+            sources,
+            callees,
+            refreshed: false,
+        });
+        self.env.insert(name.to_string(), id);
+    }
+
+    /// Binds a new generation produced by a `&mut` refresh.
+    fn bind_refreshed(&mut self, name: &str, def_line: u32, old: usize) {
+        self.bind(name, def_line, vec![old], Vec::new());
+        if let Some(v) = self.values.last_mut() {
+            v.refreshed = true;
+        }
+    }
+
+    /// Binds every parameter name (the identifiers before each
+    /// top-level `:`) as a fresh source-less value.
+    fn bind_params(&mut self, params: (usize, usize)) {
+        let (open, close) = params;
+        let mut depth = 0usize;
+        let mut in_type = false;
+        for k in open + 1..close {
+            let t = self.sig[k];
+            match &t.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                    depth = depth.saturating_sub(1)
+                }
+                TokenKind::Punct(':') if depth == 0 => in_type = true,
+                TokenKind::Punct(',') if depth == 0 => in_type = false,
+                TokenKind::Ident(name) if !in_type && binds(name) => {
+                    self.bind(name, t.line, Vec::new(), Vec::new());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Scans an expression from `start`, recording occurrences, callees
+    /// and `&mut` refreshes. Returns `(stop_index, uses, callees)`; the
+    /// stop index points at the terminator (or `limit` if none found).
+    fn scan_expr(
+        &mut self,
+        start: usize,
+        limit: usize,
+        stop: Stop,
+    ) -> (usize, Vec<usize>, Vec<String>) {
+        let mut uses = Vec::new();
+        let mut callees = Vec::new();
+        let mut depth = 0usize;
+        let mut i = start;
+        while i < limit {
+            let t = self.sig[i];
+            match &t.kind {
+                TokenKind::Punct(';') if depth == 0 => break,
+                TokenKind::Punct('{') if depth == 0 && stop == Stop::SemiOrBrace => break,
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                    if depth == 0 {
+                        break; // fell off the enclosing block — malformed
+                    }
+                    depth -= 1;
+                }
+                TokenKind::Punct('&')
+                    if self.sig.get(i + 1).and_then(|t| t.ident()) == Some("mut") =>
+                {
+                    if let Some(name) = self.sig.get(i + 2).and_then(|t| t.ident()) {
+                        if let Some(&old) = self.env.get(name) {
+                            uses.push(old);
+                            let line = self.sig[i + 2].line;
+                            self.bind_refreshed(name, line, old);
+                            i += 3;
+                            continue;
+                        }
+                    }
+                }
+                TokenKind::Ident(name) => {
+                    let called = self.sig.get(i + 1).is_some_and(|t| t.is_punct('('));
+                    if called {
+                        callees.push(name.clone());
+                        if self.barriers.contains(&name.as_str()) {
+                            if let Some(close) = matching(self.sig, i + 1, '(', ')') {
+                                i = close + 1;
+                                continue;
+                            }
+                        }
+                    } else if !projected_segment(self.sig, i) {
+                        if let Some(&id) = self.env.get(name.as_str()) {
+                            self.occ_by_token.insert(i, id);
+                            uses.push(id);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        (i, uses, callees)
+    }
+
+    /// Handles a `let` statement (or `if let` / `while let` header) at
+    /// index `i` ("let"). Returns the index to resume from.
+    fn let_stmt(&mut self, i: usize, limit: usize) -> usize {
+        let header = i > 0 && matches!(self.sig[i - 1].ident(), Some("if") | Some("while"));
+        let let_line = self.sig[i].line;
+        // Pattern region: collect bound names until the top-level `=`,
+        // skipping an optional `: Type` annotation (angle-aware, since a
+        // type may contain `Iterator<Item = u8>`).
+        let mut names: Vec<String> = Vec::new();
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        let mut in_type = false;
+        let mut angle = 0i32;
+        while j < limit {
+            let t = self.sig[j];
+            match &t.kind {
+                TokenKind::Punct('=') if depth == 0 && angle == 0 => {
+                    if self.sig.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+                        return j + 2; // `==` — not a let initialiser; bail
+                    }
+                    break;
+                }
+                TokenKind::Punct(';') if depth == 0 => {
+                    // `let x;` — declaration without initialiser.
+                    for name in &names {
+                        self.bind(name, let_line, Vec::new(), Vec::new());
+                    }
+                    return j + 1;
+                }
+                TokenKind::Punct(':') if depth == 0 => in_type = true,
+                TokenKind::Punct('<') if in_type => angle += 1,
+                TokenKind::Punct('>') if in_type && !self.sig[j - 1].is_punct('-') => angle -= 1,
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                    depth = depth.saturating_sub(1)
+                }
+                TokenKind::Ident(name) if !in_type && binds(name) => names.push(name.clone()),
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= limit {
+            return limit;
+        }
+        let stop = if header {
+            Stop::SemiOrBrace
+        } else {
+            Stop::Semi
+        };
+        let (end, uses, callees) = self.scan_expr(j + 1, limit, stop);
+        for name in &names {
+            self.bind(name, let_line, uses.clone(), callees.clone());
+        }
+        end + 1
+    }
+
+    /// Handles `for <pat> in <expr> {`. Returns the resume index (just
+    /// past the block-opening `{`), or `i + 1` when this `for` is not a
+    /// loop header (`impl Trait for Type`).
+    fn for_stmt(&mut self, i: usize, limit: usize) -> usize {
+        let mut names: Vec<String> = Vec::new();
+        let mut j = i + 1;
+        while j < limit {
+            match self.sig[j].ident() {
+                Some("in") => break,
+                Some(name) if binds(name) => names.push(name.to_string()),
+                _ => {}
+            }
+            if self.sig[j].is_punct('{') || self.sig[j].is_punct(';') {
+                return i + 1; // `impl .. for ..` — no `in` before the block
+            }
+            j += 1;
+        }
+        if j >= limit {
+            return limit;
+        }
+        let for_line = self.sig[i].line;
+        let (end, uses, callees) = self.scan_expr(j + 1, limit, Stop::SemiOrBrace);
+        for name in &names {
+            self.bind(name, for_line, uses.clone(), callees.clone());
+        }
+        end + 1
+    }
+
+    /// Handles `x = expr;` / `x += expr;` where `x` resolves. Returns
+    /// the resume index.
+    fn reassign_stmt(&mut self, i: usize, limit: usize, compound: bool) -> usize {
+        let name = self.sig[i].ident().unwrap().to_string();
+        let old = self.env[&name];
+        let line = self.sig[i].line;
+        let op_len = if compound { 2 } else { 1 };
+        let (end, mut uses, callees) = self.scan_expr(i + 1 + op_len, limit, Stop::Semi);
+        if compound {
+            uses.push(old);
+        }
+        self.bind(&name, line, uses, callees);
+        end + 1
+    }
+
+    fn walk(&mut self, body: (usize, usize)) {
+        let (open, close) = body;
+        let mut i = open + 1;
+        while i < close {
+            let t = self.sig[i];
+            match t.ident() {
+                Some("fn") => {
+                    // Nested function item: its body is analysed
+                    // separately; skip it here so its locals do not leak
+                    // into this function's environment.
+                    let mut k = i + 1;
+                    let mut depth = 0usize;
+                    while k < close {
+                        match &self.sig[k].kind {
+                            TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                            TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                                depth = depth.saturating_sub(1)
+                            }
+                            TokenKind::Punct('{') if depth == 0 => {
+                                k = matching(self.sig, k, '{', '}').map_or(close, |e| e + 1);
+                                break;
+                            }
+                            TokenKind::Punct(';') if depth == 0 => {
+                                k += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    i = k;
+                }
+                Some("let") => i = self.let_stmt(i, close),
+                Some("for") => i = self.for_stmt(i, close),
+                Some(name)
+                    if self.env.contains_key(name)
+                        && !(i > 0
+                            && (self.sig[i - 1].is_punct('.')
+                                || self.sig[i - 1].is_punct(':')))
+                        && assign_op(self.sig, i).is_some() =>
+                {
+                    let compound = assign_op(self.sig, i).unwrap();
+                    i = self.reassign_stmt(i, close, compound);
+                }
+                _ => i = self.process_at(i),
+            }
+        }
+    }
+
+    /// Processes one free token (outside any binding statement):
+    /// records occurrences and `&mut` refreshes, skips barrier-call
+    /// argument lists. Returns the next index.
+    fn process_at(&mut self, i: usize) -> usize {
+        let t = self.sig[i];
+        match &t.kind {
+            TokenKind::Punct('&') if self.sig.get(i + 1).and_then(|t| t.ident()) == Some("mut") => {
+                if let Some(name) = self.sig.get(i + 2).and_then(|t| t.ident()) {
+                    if let Some(&old) = self.env.get(name) {
+                        let line = self.sig[i + 2].line;
+                        self.bind_refreshed(name, line, old);
+                        return i + 3;
+                    }
+                }
+                i + 1
+            }
+            TokenKind::Ident(name) => {
+                let called = self.sig.get(i + 1).is_some_and(|t| t.is_punct('('));
+                if called {
+                    if self.barriers.contains(&name.as_str()) {
+                        if let Some(close) = matching(self.sig, i + 1, '(', ')') {
+                            return close + 1;
+                        }
+                    }
+                } else if !projected_segment(self.sig, i) {
+                    if let Some(&id) = self.env.get(name.as_str()) {
+                        self.occ_by_token.insert(i, id);
+                    }
+                }
+                i + 1
+            }
+            _ => i + 1,
+        }
+    }
+}
+
+/// Is the identifier after index `i` an assignment operator? Returns
+/// `Some(is_compound)`, or `None` when the tokens are a comparison
+/// (`==`), a match arm (`=>`), or no assignment at all.
+fn assign_op(sig: &[&Token], i: usize) -> Option<bool> {
+    let next = sig.get(i + 1)?;
+    if next.is_punct('=') {
+        let after = sig.get(i + 2);
+        if after.is_some_and(|t| t.is_punct('=') || t.is_punct('>')) {
+            return None;
+        }
+        return Some(false);
+    }
+    if matches!(
+        next.kind,
+        TokenKind::Punct('+')
+            | TokenKind::Punct('-')
+            | TokenKind::Punct('*')
+            | TokenKind::Punct('/')
+            | TokenKind::Punct('%')
+            | TokenKind::Punct('^')
+            | TokenKind::Punct('&')
+            | TokenKind::Punct('|')
+    ) && sig.get(i + 2).is_some_and(|t| t.is_punct('='))
+        && !sig.get(i + 3).is_some_and(|t| t.is_punct('='))
+    {
+        return Some(true);
+    }
+    None
+}
+
+/// Is the identifier at `i` a field/method projection (`x.field`) or a
+/// path segment (`mod::name`)? A single `:` (a struct-literal field
+/// value, `Active { material: slot }`) does not hide the value.
+fn projected_segment(sig: &[&Token], i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    if sig[i - 1].is_punct('.') {
+        return true;
+    }
+    sig[i - 1].is_punct(':') && i > 1 && sig[i - 2].is_punct(':')
+}
+
+/// Does this pattern identifier bind a name? PascalCase path segments
+/// (`Some`, `SealedSlot`) and pattern keywords do not.
+fn binds(name: &str) -> bool {
+    !PATTERN_NON_BINDING.contains(&name)
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_lowercase() || c == '_')
+}
+
+impl FlowAnalysis {
+    /// Analyses one function body. `barriers` are callee names whose
+    /// argument lists are opaque (the sanctioned sealing API): their
+    /// arguments are neither uses nor taint sources, and their results
+    /// are clean.
+    pub fn of(sig: &[&Token], body: &FnBody, barriers: &[&str]) -> FlowAnalysis {
+        let mut w = Walker {
+            sig,
+            barriers,
+            env: HashMap::new(),
+            values: Vec::new(),
+            occ_by_token: BTreeMap::new(),
+        };
+        w.bind_params(body.params);
+        w.walk(body.body);
+        FlowAnalysis {
+            values: w.values,
+            occ_by_token: w.occ_by_token,
+        }
+    }
+
+    /// The value a resolved identifier occurrence at `token_idx` refers
+    /// to, if any.
+    pub fn value_at(&self, token_idx: usize) -> Option<usize> {
+        self.occ_by_token.get(&token_idx).copied()
+    }
+
+    /// All resolved occurrences as `(token_idx, value_id)`, token order.
+    pub fn occurrences(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.occ_by_token.iter().map(|(&t, &v)| (t, v))
+    }
+
+    /// Transitive taint: for each value, the id of the (earliest) seed
+    /// it derives from, or `None` when untainted. Sources always point
+    /// at earlier values, so one forward pass is a fixpoint.
+    pub fn taint_from<F: Fn(&ValueDef) -> bool>(&self, is_seed: F) -> Vec<Option<usize>> {
+        let mut root: Vec<Option<usize>> = vec![None; self.values.len()];
+        for id in 0..self.values.len() {
+            if is_seed(&self.values[id]) {
+                root[id] = Some(id);
+                continue;
+            }
+            root[id] = self.values[id].sources.iter().find_map(|&s| root[s]);
+        }
+        root
+    }
+
+    /// Follows pure-alias chains (`let n = nonce;`, `let n = nonce
+    /// .clone();`) back to the originating value. Any computation other
+    /// than a clone-like forwarding stops the chain.
+    pub fn resolve_alias(&self, mut id: usize) -> usize {
+        loop {
+            let v = &self.values[id];
+            let forwarding = v.callees.iter().all(|c| CLONE_LIKE.contains(&c.as_str()));
+            if v.sources.len() == 1 && forwarding && !v.refreshed && v.sources[0] != id {
+                id = v.sources[0];
+            } else {
+                return id;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn analysed(src: &str) -> (Vec<crate::lexer::Token>, Vec<FnBody>) {
+        let toks = lex(src);
+        let sig: Vec<&Token> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::Comment(_)))
+            .collect();
+        let bodies = function_bodies(&sig);
+        (toks.clone(), bodies)
+    }
+
+    fn flow(src: &str, barriers: &[&str]) -> FlowAnalysis {
+        let toks = lex(src);
+        let sig: Vec<&Token> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::Comment(_)))
+            .collect();
+        let bodies = function_bodies(&sig);
+        assert_eq!(bodies.len(), 1, "expected exactly one fn in {src:?}");
+        FlowAnalysis::of(&sig, &bodies[0], barriers)
+    }
+
+    fn value<'a>(fa: &'a FlowAnalysis, name: &str) -> &'a ValueDef {
+        fa.values
+            .iter()
+            .rev()
+            .find(|v| v.name == name)
+            .unwrap_or_else(|| panic!("no value named {name}"))
+    }
+
+    #[test]
+    fn splits_bodies_and_skips_trait_decls() {
+        let src = "trait T { fn decl(&self) -> u8; }\n\
+                   fn outer(x: u8) -> u8 { fn inner() {} x }\n\
+                   fn generic<F: Fn() -> u8>(f: F) { f(); }";
+        let (_, bodies) = analysed(src);
+        let names: Vec<&str> = bodies.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner", "generic"]);
+    }
+
+    #[test]
+    fn params_and_lets_bind_with_derivation_edges() {
+        let fa = flow(
+            "fn f(input: &[u8]) { let blob = parse(input); let plain = ctx.unseal(&blob); }",
+            &[],
+        );
+        assert_eq!(value(&fa, "blob").callees, vec!["parse"]);
+        let plain = value(&fa, "plain");
+        assert_eq!(plain.callees, vec!["unseal"]);
+        let blob_id = fa.values.iter().position(|v| v.name == "blob").unwrap();
+        assert_eq!(plain.sources, vec![blob_id]);
+    }
+
+    #[test]
+    fn taint_propagates_through_bindings_and_stops_at_barriers() {
+        let fa = flow(
+            "fn f(device_key: &[u8]) {\n\
+                 let staged = device_key.to_vec();\n\
+                 let packed = wrap(&staged);\n\
+                 let sealed = seal(device_key, b\"l\");\n\
+             }",
+            &["seal"],
+        );
+        let taint = fa.taint_from(|v| v.name == "device_key");
+        let id = |n: &str| fa.values.iter().position(|v| v.name == n).unwrap();
+        assert!(taint[id("staged")].is_some());
+        assert!(taint[id("packed")].is_some());
+        assert!(taint[id("sealed")].is_none(), "barrier cleans the result");
+    }
+
+    #[test]
+    fn shadowing_and_reassignment_make_new_generations() {
+        let fa = flow(
+            "fn f() { let mut n = fresh(); use_it(n); n = fresh(); use_it(n); let n = n; }",
+            &[],
+        );
+        let gens: Vec<&ValueDef> = fa.values.iter().filter(|v| v.name == "n").collect();
+        assert_eq!(gens.len(), 3, "let, reassign, shadow");
+        // The shadowing let aliases the reassigned generation.
+        let last = fa.values.len() - 1;
+        assert_eq!(fa.resolve_alias(last), last - 1);
+    }
+
+    #[test]
+    fn mut_borrow_in_call_args_refreshes_the_value() {
+        let fa = flow(
+            "fn f() { let mut nonce = [0u8; 16]; rng.fill(&mut nonce); send(nonce); }",
+            &[],
+        );
+        let gens: Vec<usize> = fa
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.name == "nonce")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(gens.len(), 2, "&mut re-derives");
+        // The use inside send(..) resolves to the refreshed generation.
+        let last_occ = fa.occurrences().last().unwrap();
+        assert_eq!(last_occ.1, gens[1]);
+    }
+
+    #[test]
+    fn if_let_and_for_patterns_bind() {
+        let fa = flow(
+            "fn f(items: Vec<u8>) {\n\
+                 if let Some(x) = items.first() { use_it(x); }\n\
+                 for item in items { use_it(item); }\n\
+             }",
+            &[],
+        );
+        assert!(fa.values.iter().any(|v| v.name == "x"));
+        assert!(fa.values.iter().any(|v| v.name == "item"));
+        let items_id = fa.values.iter().position(|v| v.name == "items").unwrap();
+        assert_eq!(value(&fa, "item").sources, vec![items_id]);
+    }
+
+    #[test]
+    fn alias_resolution_follows_clone_like_chains_only() {
+        let fa = flow(
+            "fn f(nonce: [u8; 16]) { let a = nonce; let b = a.clone(); let c = derive(b); }",
+            &[],
+        );
+        let id = |n: &str| fa.values.iter().position(|v| v.name == n).unwrap();
+        assert_eq!(fa.resolve_alias(id("b")), id("nonce"));
+        assert_eq!(fa.resolve_alias(id("c")), id("c"), "derive() is fresh");
+    }
+
+    #[test]
+    fn type_annotations_do_not_bind_or_use() {
+        let fa = flow(
+            "fn f() { let x: Box<dyn Iterator<Item = u8>> = mk(); let y: [u8; 4] = [0; 4]; }",
+            &[],
+        );
+        let names: Vec<&str> = fa.values.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn nested_fn_locals_do_not_leak() {
+        let src = "fn outer() { fn inner() { let hidden = mk(); } let seen = mk(); }";
+        let toks = lex(src);
+        let sig: Vec<&Token> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::Comment(_)))
+            .collect();
+        let bodies = function_bodies(&sig);
+        assert_eq!(bodies[0].name, "outer");
+        let fa = FlowAnalysis::of(&sig, &bodies[0], &[]);
+        assert!(fa.values.iter().all(|v| v.name != "hidden"));
+        assert!(fa.values.iter().any(|v| v.name == "seen"));
+    }
+
+    #[test]
+    fn occurrences_are_position_sensitive_under_shadowing() {
+        let src = "fn f() { let k = a1(); use1(k); let k = a2(); use2(k); }";
+        let fa = flow(src, &[]);
+        let occs: Vec<usize> = fa.occurrences().map(|(_, v)| v).collect();
+        assert_eq!(occs, vec![0, 1], "each use resolves to its generation");
+    }
+}

@@ -19,8 +19,9 @@ pub enum TokenKind {
     Ident(String),
     /// A lifetime such as `'a` (distinguished from char literals).
     Lifetime,
-    /// Integer literal (`0`, `0x1f`, `4_096`, `32usize`).
-    Int,
+    /// Integer literal (`0`, `0x1f`, `4_096`, `32usize`) with its exact
+    /// source text, so flow rules can tell `[1u8; 16]` from `[2u8; 16]`.
+    Int(String),
     /// Float literal (`1.8`, `1e9`, `0.5f64`).
     Float,
     /// String, raw string, byte string or char literal (contents dropped).
@@ -181,12 +182,14 @@ pub fn lex(src: &str) -> Vec<Token> {
                 }
             }
             b'0'..=b'9' => {
+                let start = cur.pos;
                 let is_float = lex_number(&mut cur);
                 out.push(Token {
                     kind: if is_float {
                         TokenKind::Float
                     } else {
-                        TokenKind::Int
+                        let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                        TokenKind::Int(text)
                     },
                     line,
                 });
@@ -434,7 +437,10 @@ mod tests {
     fn float_vs_int_vs_range() {
         let toks = lex("let a = 1.8; let b = 1..8; let c = 1e9; let d = 4_096; let e = 1f64;");
         let floats = toks.iter().filter(|t| t.kind == TokenKind::Float).count();
-        let ints = toks.iter().filter(|t| t.kind == TokenKind::Int).count();
+        let ints = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Int(_)))
+            .count();
         assert_eq!(floats, 3, "1.8, 1e9 and 1f64");
         assert_eq!(ints, 3, "1, 8 and 4_096");
     }
@@ -464,6 +470,19 @@ mod tests {
     #[test]
     fn hex_is_int() {
         let toks = lex("0x1f_ffu64 0b1010 0o777");
-        assert!(toks.iter().all(|t| t.kind == TokenKind::Int));
+        assert!(toks.iter().all(|t| matches!(t.kind, TokenKind::Int(_))));
+    }
+
+    #[test]
+    fn int_literals_keep_their_exact_text() {
+        let toks = lex("[1u8; 16] [2u8; 16] 0x1f");
+        let texts: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Int(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(texts, vec!["1u8", "16", "2u8", "16", "0x1f"]);
     }
 }

@@ -21,6 +21,7 @@
 //! unwaived finding or ring-invariant violation.
 
 pub mod config;
+pub mod flow;
 pub mod lexer;
 pub mod report;
 pub mod ring;

@@ -2,20 +2,26 @@
 //!
 //! ```text
 //! teenet-analyze [--root PATH] [--json] [--deny-findings] [--model-check]
+//!                [--waiver-budget PATH] [--list-rules] [--explain RULE]
 //! ```
 //!
 //! Default run lints the workspace and prints the text report. With
 //! `--deny-findings` any unwaived finding makes the exit code 1 (the CI
-//! gate). `--model-check` additionally runs the switchless-ring model
-//! checker over a grid of configurations *and* verifies that both
-//! seeded mutations are rejected, so a vacuously-passing checker also
-//! fails the build.
+//! gate). `--waiver-budget PATH` compares the waiver count against a
+//! checked-in baseline and fails if it grew — adding a waiver means
+//! updating the baseline in the same reviewed diff. `--model-check`
+//! additionally runs the switchless-ring model checker over a grid of
+//! configurations *and* verifies that both seeded mutations are
+//! rejected, so a vacuously-passing checker also fails the build.
+//! `--list-rules` and `--explain RULE` document the rule pack without
+//! scanning anything.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use teenet_analyze::config::AnalyzeConfig;
 use teenet_analyze::ring::{check, ModelConfig, Mutation};
+use teenet_analyze::rules::RULES;
 use teenet_analyze::scan_workspace;
 
 struct Args {
@@ -23,6 +29,9 @@ struct Args {
     json: bool,
     deny_findings: bool,
     model_check: bool,
+    waiver_budget: Option<PathBuf>,
+    list_rules: bool,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +40,9 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         deny_findings: false,
         model_check: false,
+        waiver_budget: None,
+        list_rules: false,
+        explain: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -42,10 +54,20 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = true,
             "--deny-findings" => args.deny_findings = true,
             "--model-check" => args.model_check = true,
+            "--waiver-budget" => {
+                let v = it.next().ok_or("--waiver-budget needs a path")?;
+                args.waiver_budget = Some(PathBuf::from(v));
+            }
+            "--list-rules" => args.list_rules = true,
+            "--explain" => {
+                let v = it.next().ok_or("--explain needs a rule id")?;
+                args.explain = Some(v);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: teenet-analyze [--root PATH] [--json] [--deny-findings] \
-                     [--model-check]"
+                     [--model-check] [--waiver-budget PATH] [--list-rules] \
+                     [--explain RULE]"
                         .to_owned(),
                 )
             }
@@ -53,6 +75,74 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// `--list-rules`: one line per rule — id, level, summary.
+fn list_rules() {
+    println!("== teenet-analyze: rule pack ==");
+    for r in &RULES {
+        println!("{:<22} {:<4} {}", r.id, r.level, r.summary);
+    }
+    println!();
+    println!("`--explain <rule>` prints the rationale and waiver syntax.");
+}
+
+/// `--explain <rule>`: the full card for one rule.
+fn explain_rule(id: &str) -> bool {
+    let Some(r) = RULES.iter().find(|r| r.id == id) else {
+        eprintln!("teenet-analyze: unknown rule {id:?} (try --list-rules)");
+        return false;
+    };
+    println!("rule      {}", r.id);
+    println!("level     {}", r.level);
+    println!("summary   {}", r.summary);
+    println!("rationale {}", r.rationale);
+    match r.waiver {
+        Some(w) => println!("waiver    {w}"),
+        None => println!("waiver    not waivable (meta rule about waivers themselves)"),
+    }
+    true
+}
+
+/// The waiver-budget gate: the report's waiver count may not exceed the
+/// checked-in baseline. Growing the count and updating the baseline must
+/// land in the same diff, so every new waiver is a reviewed decision.
+fn check_waiver_budget(path: &Path, waivers: usize) -> bool {
+    let baseline: usize = match std::fs::read_to_string(path) {
+        Ok(s) => match s.trim().parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!(
+                    "teenet-analyze: waiver budget {} is not a number",
+                    path.display()
+                );
+                return false;
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "teenet-analyze: cannot read waiver budget {}: {e}",
+                path.display()
+            );
+            return false;
+        }
+    };
+    if waivers > baseline {
+        eprintln!(
+            "teenet-analyze: waiver count grew to {waivers} (budget {baseline}) — \
+             update {} in this PR if every new waiver is justified",
+            path.display()
+        );
+        return false;
+    }
+    if waivers < baseline {
+        println!(
+            "waiver count {waivers} is below the budget {baseline} — consider \
+             lowering {}",
+            path.display()
+        );
+    }
+    true
 }
 
 /// When run via `cargo run -p teenet-analyze`, the workspace root is two
@@ -79,6 +169,19 @@ fn main() -> ExitCode {
         }
     };
 
+    // Documentation modes never scan; they only read the rule table.
+    if args.list_rules {
+        list_rules();
+        return ExitCode::SUCCESS;
+    }
+    if let Some(id) = &args.explain {
+        return if explain_rule(id) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     let config = AnalyzeConfig::repo();
     let report = match scan_workspace(&args.root, &config) {
         Ok(r) => r,
@@ -102,6 +205,12 @@ fn main() -> ExitCode {
             report.unwaived().count()
         );
         failed = true;
+    }
+
+    if let Some(path) = &args.waiver_budget {
+        if !check_waiver_budget(path, report.waived().count()) {
+            failed = true;
+        }
     }
 
     if args.model_check && !run_model_check() {

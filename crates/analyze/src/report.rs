@@ -64,11 +64,13 @@ impl LintReport {
         s
     }
 
-    /// The byte-stable JSON report.
+    /// The byte-stable JSON report. `waiver_count` is first-class so the
+    /// CI waiver-budget gate can read it without recounting the arrays.
     pub fn json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\"files_scanned\":");
         let _ = write!(s, "{}", self.files_scanned);
+        let _ = write!(s, ",\"waiver_count\":{}", self.waived().count());
         s.push_str(",\"findings\":[");
         for (i, f) in self.unwaived().enumerate() {
             if i > 0 {
@@ -146,8 +148,8 @@ mod tests {
         assert_eq!(j, r.json());
         assert_eq!(
             j,
-            "{\"files_scanned\":3,\"findings\":[{\"file\":\"a.rs\",\"line\":1,\
-             \"rule\":\"enclave-abort\",\"message\":\"msg with \\\"quotes\\\"\"}],\
+            "{\"files_scanned\":3,\"waiver_count\":1,\"findings\":[{\"file\":\"a.rs\",\
+             \"line\":1,\"rule\":\"enclave-abort\",\"message\":\"msg with \\\"quotes\\\"\"}],\
              \"waived\":[{\"file\":\"b.rs\",\"line\":2,\"rule\":\"enclave-abort\",\
              \"message\":\"msg with \\\"quotes\\\"\",\"reason\":\"ok\"}]}\n"
         );

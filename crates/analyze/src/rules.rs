@@ -1,6 +1,6 @@
 //! The enclave-invariant rules and the waiver grammar.
 //!
-//! Six rules, each defending a specific property the paper's argument
+//! Eight rules, each defending a specific property the paper's argument
 //! rests on (see DESIGN.md for the full rationale):
 //!
 //! * **`enclave-abort`** (L1a) — no `unwrap()` / `expect()` /
@@ -15,9 +15,12 @@
 //!   (`buf[0]`, `buf[..32]`) and named constants (`buf[..CELL_LEN]`)
 //!   are allowed — they fail loudly and deterministically in tests, not
 //!   data-dependently in production. Use `.get(..)` and return an error.
-//! * **`secret-egress`** (L2) — identifiers naming secret key material
-//!   must not appear in the argument list of a boundary-crossing call
-//!   (`ocall`, `send_packets`) except through the sealing API.
+//! * **`secret-egress`** (L2) — secret key material must not reach a
+//!   boundary-crossing call (`ocall`, `send_packets`) except through
+//!   the sealing API. Flow-aware: on top of the original token-adjacency
+//!   check, taint from secret-named bindings is propagated through
+//!   intermediate `let` bindings and helper-call arguments (see
+//!   [`crate::flow`]), so renaming a secret no longer hides the leak.
 //! * **`float-accounting`** (L3) — no floating point in
 //!   instruction/cycle accounting files (the exact class of precision
 //!   bug PR 2 fixed in `Counters::cycles`).
@@ -26,15 +29,33 @@
 //!   virtual clock; determinism of the load reports depends on it.
 //! * **`attestation-unchecked`** (L5) — a call to an attestation-verify
 //!   function (`verify`, `attest_enclave`, `mutual_attest`) whose
-//!   `Result` is discarded — `let _ =`, a trailing `.ok()`/`.err()`, or
-//!   a bare `;` — is a finding. An unchecked verdict is worse than no
-//!   attestation: the caller proceeds as if the peer were measured.
+//!   `Result` is discarded — `let _ =`, a trailing `.ok()`/`.err()`, a
+//!   bare `;`, an empty `if let Err(_) = .. {}` body, or a
+//!   `.unwrap_or_default()` that fabricates a default verdict — is a
+//!   finding. An unchecked verdict is worse than no attestation: the
+//!   caller proceeds as if the peer were measured.
+//! * **`seal-rollback`** (L6) — in enclave-resident code, a value
+//!   recovered by `unseal` must have a counter/epoch field compared
+//!   with an ordered (strictly-greater) check before any use of its key
+//!   material (a `.key`/`.material` projection or adoption into
+//!   `self.<field>`). This is keystore `activate`'s gate, generalized:
+//!   without it the host can replay an old sealed blob ("What You Trust
+//!   Is Insecure" finds sealed-state rollback the most common real
+//!   sealing misuse).
+//! * **`seal-nonce-reuse`** (L7) — the same nonce/IV identifier,
+//!   projection or array literal reaching two distinct seal/encrypt
+//!   call sites (`seal`, `ctr_apply`, `apply`) in one function without
+//!   re-derivation in between (a reassignment or `&mut` refresh). CTR
+//!   keystreams XOR plaintext, so one nonce reuse under the same key
+//!   reveals the XOR of two plaintexts.
 //!
 //! **Test code** (`#[cfg(test)]` modules, `#[test]` functions) is
 //! exempt from L1a/L1b by construction: a test aborting on a failed
-//! expectation is the assertion mechanism, not an enclave abort. The
-//! other rules still apply in tests (tests must stay deterministic and
-//! must not leak secrets either).
+//! expectation is the assertion mechanism, not an enclave abort — and
+//! from L6, because rollback tests must construct the very replays the
+//! rule forbids. The other rules still apply in tests (tests must stay
+//! deterministic and must not leak secrets either); a CTR round-trip
+//! test that deliberately reuses a nonce carries an explicit waiver.
 //!
 //! ## Waiver grammar
 //!
@@ -51,6 +72,7 @@
 //! accumulate.
 
 use crate::config::AnalyzeConfig;
+use crate::flow::{function_bodies, FlowAnalysis, FnBody};
 use crate::lexer::{lex, Token, TokenKind};
 
 /// Stable rule identifiers (used in reports, JSON and waivers).
@@ -67,21 +89,137 @@ pub mod rule {
     pub const WALL_CLOCK: &str = "wall-clock";
     /// L5: a discarded attestation-verify `Result`.
     pub const ATTEST_UNCHECKED: &str = "attestation-unchecked";
+    /// L6: unsealed state used before a monotonic-counter check.
+    pub const SEAL_ROLLBACK: &str = "seal-rollback";
+    /// L7: a nonce/IV reaching two seal/encrypt call sites.
+    pub const SEAL_NONCE_REUSE: &str = "seal-nonce-reuse";
     /// A syntactically invalid waiver comment.
     pub const BAD_WAIVER: &str = "bad-waiver";
     /// A waiver that suppressed no finding.
     pub const UNUSED_WAIVER: &str = "unused-waiver";
 
     /// All waivable rule ids (the two meta rules are not waivable).
-    pub const WAIVABLE: [&str; 6] = [
+    pub const WAIVABLE: [&str; 8] = [
         ENCLAVE_ABORT,
         ENCLAVE_INDEX,
         SECRET_EGRESS,
         FLOAT_ACCOUNTING,
         WALL_CLOCK,
         ATTEST_UNCHECKED,
+        SEAL_ROLLBACK,
+        SEAL_NONCE_REUSE,
     ];
 }
+
+/// Static metadata for one rule, backing `--list-rules` / `--explain`.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule id.
+    pub id: &'static str,
+    /// Rule level (`L1a` … `L7`, or `meta` for the waiver rules).
+    pub level: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Why the rule exists — the property it defends.
+    pub rationale: &'static str,
+    /// Example waiver syntax, or `None` for non-waivable meta rules.
+    pub waiver: Option<&'static str>,
+}
+
+/// All rules, in level order (the `--list-rules` order).
+pub const RULES: [RuleInfo; 10] = [
+    RuleInfo {
+        id: rule::ENCLAVE_ABORT,
+        level: "L1a",
+        summary: "no unwrap/expect/panic in enclave-resident code",
+        rationale: "crashing an enclave on hostile input is a denial-of-service \
+                    primitive and often an oracle; untrusted input must surface \
+                    as Result, never abort",
+        waiver: Some("// teenet-analyze: allow(enclave-abort) -- <why this cannot abort>"),
+    },
+    RuleInfo {
+        id: rule::ENCLAVE_INDEX,
+        level: "L1b",
+        summary: "no data-dependent indexing/slicing in enclave-resident code",
+        rationale: "buf[off..off + n] panics when a hostile length check was \
+                    forgotten; all-literal and named-constant indices fail \
+                    deterministically in tests instead",
+        waiver: Some("// teenet-analyze: allow(enclave-index) -- <why the bound holds>"),
+    },
+    RuleInfo {
+        id: rule::SECRET_EGRESS,
+        level: "L2",
+        summary: "secrets must not reach ocall/send_packets except via sealing",
+        rationale: "flow-aware: taint from secret-named bindings is tracked \
+                    through intermediate lets and helper-call arguments into \
+                    egress sinks, so renaming a secret does not hide the leak",
+        waiver: Some("// teenet-analyze: allow(secret-egress) -- <why this egress is sealed>"),
+    },
+    RuleInfo {
+        id: rule::FLOAT_ACCOUNTING,
+        level: "L3",
+        summary: "no floating point in instruction/cycle accounting",
+        rationale: "float rounding drifts the calibrated cost model; accounting \
+                    must be exact integer arithmetic",
+        waiver: Some("// teenet-analyze: allow(float-accounting) -- <why exactness is kept>"),
+    },
+    RuleInfo {
+        id: rule::WALL_CLOCK,
+        level: "L4",
+        summary: "no wall-clock/ambient-entropy outside the virtual clock",
+        rationale: "byte-identical reports depend on every time source and RNG \
+                    being seeded and virtual",
+        waiver: Some("// teenet-analyze: allow(wall-clock) -- <why determinism survives>"),
+    },
+    RuleInfo {
+        id: rule::ATTEST_UNCHECKED,
+        level: "L5",
+        summary: "an attestation verdict must be handled, not discarded",
+        rationale: "a dropped verify() Result — let _ =, .ok(), a bare ;, an \
+                    empty if-let-Err body, or .unwrap_or_default() — means the \
+                    caller proceeds as if the peer were measured",
+        waiver: Some(
+            "// teenet-analyze: allow(attestation-unchecked) -- <why the verdict is irrelevant>",
+        ),
+    },
+    RuleInfo {
+        id: rule::SEAL_ROLLBACK,
+        level: "L6",
+        summary: "unsealed state must pass a monotonic-counter gate before use",
+        rationale: "without a strictly-greater counter comparison the host can \
+                    replay an old sealed blob and roll the enclave back to a \
+                    revoked key or stale policy",
+        waiver: Some("// teenet-analyze: allow(seal-rollback) -- <why replay is impossible>"),
+    },
+    RuleInfo {
+        id: rule::SEAL_NONCE_REUSE,
+        level: "L7",
+        summary: "a nonce/IV must not reach two seal/encrypt sites unrefreshed",
+        rationale: "CTR keystreams XOR plaintext: one nonce reuse under the \
+                    same key reveals the XOR of two plaintexts; every seal \
+                    needs a fresh nonce",
+        waiver: Some(
+            "// teenet-analyze: allow(seal-nonce-reuse) -- <why both sites share one keystream \
+             by design>",
+        ),
+    },
+    RuleInfo {
+        id: rule::BAD_WAIVER,
+        level: "meta",
+        summary: "a syntactically invalid waiver comment",
+        rationale: "a waiver that does not parse would silently suppress \
+                    nothing; it must be fixed or removed",
+        waiver: None,
+    },
+    RuleInfo {
+        id: rule::UNUSED_WAIVER,
+        level: "meta",
+        summary: "a waiver that suppresses no finding",
+        rationale: "stale waivers accumulate into blind spots; every waiver \
+                    must cover a live finding",
+        waiver: None,
+    },
+];
 
 /// One linter finding, before or after waiver resolution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,11 +287,15 @@ pub fn scan_file(config: &AnalyzeConfig, rel_path: &str, src: &str) -> Vec<Findi
 
     let mut raw: Vec<(u32, &'static str, String)> = Vec::new();
 
+    let bodies = function_bodies(&sig);
+
     if config.is_enclave_resident(rel_path) {
         rule_enclave_abort(&sig, &mut raw);
         rule_enclave_index(&sig, &mut raw);
+        rule_seal_rollback(config, &sig, &bodies, &mut raw);
     }
-    rule_secret_egress(config, &sig, &mut raw);
+    rule_secret_egress(config, &sig, &bodies, &mut raw);
+    rule_seal_nonce_reuse(config, &sig, &bodies, &mut raw);
     rule_attest_unchecked(config, &sig, &mut raw);
     if config.is_accounting(rel_path) {
         rule_float_accounting(&sig, &mut raw);
@@ -164,8 +306,13 @@ pub fn scan_file(config: &AnalyzeConfig, rel_path: &str, src: &str) -> Vec<Findi
 
     for (line, rule_id, message) in raw {
         // L1 is exempt in test scopes: aborting on a failed expectation
-        // is what tests do.
-        if (rule_id == rule::ENCLAVE_ABORT || rule_id == rule::ENCLAVE_INDEX) && in_tests(line) {
+        // is what tests do. L6 is exempt too: a rollback test must
+        // construct the very replay the rule forbids.
+        if (rule_id == rule::ENCLAVE_ABORT
+            || rule_id == rule::ENCLAVE_INDEX
+            || rule_id == rule::SEAL_ROLLBACK)
+            && in_tests(line)
+        {
             continue;
         }
         let waived = waivers
@@ -461,7 +608,7 @@ fn rule_enclave_index(sig: &[&Token], out: &mut Vec<(u32, &'static str, String)>
 /// fails the same way on every input, so tests catch it.
 fn index_is_static(index: &[&Token]) -> bool {
     index.iter().all(|t| match &t.kind {
-        TokenKind::Int => true,
+        TokenKind::Int(_) => true,
         TokenKind::Ident(name) => !name.chars().any(|c| c.is_ascii_lowercase()),
         TokenKind::Punct('.')
         | TokenKind::Punct('+')
@@ -473,7 +620,11 @@ fn index_is_static(index: &[&Token]) -> bool {
     })
 }
 
-fn rule_secret_egress(
+/// The original token-adjacency engine: a secret identifier literally
+/// inside a sink's argument list. Kept as the first layer of the flow
+/// rule and exported (via [`secret_egress_adjacency_scan`]) so a test
+/// can prove what the flow upgrade catches that this engine misses.
+fn rule_secret_egress_adjacent(
     config: &AnalyzeConfig,
     sig: &[&Token],
     out: &mut Vec<(u32, &'static str, String)>,
@@ -519,6 +670,386 @@ fn rule_secret_egress(
             }
             j += 1;
         }
+    }
+}
+
+/// Runs only the pre-flow token-adjacency secret-egress engine over
+/// `src`, returning the lines it flags. Exists solely so tests can
+/// demonstrate the flow upgrade's delta against the old engine.
+pub fn secret_egress_adjacency_scan(config: &AnalyzeConfig, src: &str) -> Vec<u32> {
+    let tokens = lex(src);
+    let sig: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::Comment(_)))
+        .collect();
+    let mut out = Vec::new();
+    rule_secret_egress_adjacent(config, &sig, &mut out);
+    out.into_iter().map(|(line, _, _)| line).collect()
+}
+
+/// L2, flow-aware: the adjacency layer above, plus taint propagation —
+/// a binding derived from a secret-named value (through `let` chains
+/// and helper-call arguments) reaching a sink argument is flagged even
+/// though the secret's name no longer appears at the call site. Calls
+/// into the sanctioned sealing API are taint barriers: their results
+/// are clean and their argument lists are skipped.
+fn rule_secret_egress(
+    config: &AnalyzeConfig,
+    sig: &[&Token],
+    bodies: &[FnBody],
+    out: &mut Vec<(u32, &'static str, String)>,
+) {
+    rule_secret_egress_adjacent(config, sig, out);
+
+    let barriers: Vec<&str> = config
+        .sanctioned_egress
+        .iter()
+        .map(|s| s.as_str())
+        .collect();
+    for body in bodies {
+        let fa = FlowAnalysis::of(sig, body, &barriers);
+        let taint = fa.taint_from(|v| config.secret_idents.iter().any(|s| s == &v.name));
+        if taint.iter().all(|t| t.is_none()) {
+            continue;
+        }
+        for site in sink_sites(sig, body, &config.egress_sinks) {
+            let (i, close) = (site.ident, site.close);
+            let sink = sig[i].ident().unwrap_or_default();
+            for (j, tok) in sig.iter().enumerate().take(close).skip(i + 2) {
+                let Some(ident) = tok.ident() else {
+                    continue;
+                };
+                // Direct secret names are the adjacency layer's job;
+                // reporting them here too would double-count.
+                if config.secret_idents.iter().any(|s| s == ident) {
+                    continue;
+                }
+                let Some(vid) = fa.value_at(j) else { continue };
+                let Some(root) = taint[vid] else { continue };
+                out.push((
+                    sig[j].line,
+                    rule::SECRET_EGRESS,
+                    format!(
+                        "secret `{}` reaches egress sink `{sink}` via `{ident}` \
+                         (bound on line {}) — only sealed blobs may cross the boundary",
+                        fa.values[root].name, fa.values[vid].def_line
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// One sink call site inside a function body.
+struct SinkSite {
+    /// Index of the sink's identifier token.
+    ident: usize,
+    /// Index of the matching `)` of its argument list.
+    close: usize,
+}
+
+/// All call sites of `sinks` inside `body`, skipping definitions.
+fn sink_sites(sig: &[&Token], body: &FnBody, sinks: &[String]) -> Vec<SinkSite> {
+    let mut out = Vec::new();
+    for i in body.body.0 + 1..body.body.1 {
+        let Some(name) = sig[i].ident() else { continue };
+        if !sinks.iter().any(|s| s == name) {
+            continue;
+        }
+        if i + 1 >= sig.len() || !sig[i + 1].is_punct('(') {
+            continue;
+        }
+        if i > 0 && sig[i - 1].ident() == Some("fn") {
+            continue;
+        }
+        if let Some(close) = matching(sig, i + 1, '(', ')') {
+            out.push(SinkSite { ident: i, close });
+        }
+    }
+    out
+}
+
+/// Is the token at `k` an ordered comparison (`<`, `>`, `<=`, `>=`)?
+/// Excludes shifts (`<<`, `>>`), arrows (`->`, `=>`) and equality.
+fn ordered_cmp_at(sig: &[&Token], k: usize) -> bool {
+    let Some(t) = sig.get(k) else { return false };
+    if t.is_punct('<') {
+        return !(sig.get(k + 1).is_some_and(|n| n.is_punct('<'))
+            || k > 0 && sig[k - 1].is_punct('<'));
+    }
+    if t.is_punct('>') {
+        return !sig.get(k + 1).is_some_and(|n| n.is_punct('>'))
+            && !(k > 0
+                && (sig[k - 1].is_punct('>')
+                    || sig[k - 1].is_punct('-')
+                    || sig[k - 1].is_punct('=')));
+    }
+    false
+}
+
+/// L6: in every function, values tainted by an `unseal` call must have
+/// a counter/epoch field flow into an ordered comparison before any use
+/// of the recovered key material. A *gate* is `tainted.counter`
+/// adjacent to `<`/`>`/`<=`/`>=` (either side); a *use* is a
+/// `tainted.key`-style projection or a `self.<field> = tainted`
+/// adoption. Equality (`==`) is not a gate: it cannot order a replayed
+/// counter against the current one.
+fn rule_seal_rollback(
+    config: &AnalyzeConfig,
+    sig: &[&Token],
+    bodies: &[FnBody],
+    out: &mut Vec<(u32, &'static str, String)>,
+) {
+    for body in bodies {
+        let fa = FlowAnalysis::of(sig, body, &[]);
+        let taint = fa.taint_from(|v| {
+            v.callees
+                .iter()
+                .any(|c| config.unseal_idents.iter().any(|u| u == c))
+        });
+        if taint.iter().all(|t| t.is_none()) {
+            continue;
+        }
+        let mut gated: Vec<usize> = Vec::new();
+        for (tok, vid) in fa.occurrences() {
+            let Some(root) = taint[vid] else { continue };
+            let vname = fa.values[vid].name.as_str();
+            let projected = sig.get(tok + 1).is_some_and(|t| t.is_punct('.'));
+            let field = if projected {
+                sig.get(tok + 2).and_then(|t| t.ident())
+            } else {
+                None
+            };
+            if let Some(field) = field {
+                if config.counter_fields.iter().any(|c| c == field)
+                    && (ordered_cmp_at(sig, tok + 3)
+                        || (tok > 0
+                            && (ordered_cmp_at(sig, tok - 1)
+                                || (sig[tok - 1].is_punct('=') && ordered_cmp_at(sig, tok - 2)))))
+                {
+                    gated.push(root);
+                    continue;
+                }
+                if config.key_fields.iter().any(|k| k == field) && !gated.contains(&root) {
+                    out.push((
+                        sig[tok].line,
+                        rule::SEAL_ROLLBACK,
+                        format!(
+                            "unsealed `{vname}` exposes key material `.{field}` before any \
+                             rollback check — compare its monotonic counter (strictly \
+                             greater) against the last-seen value first"
+                        ),
+                    ));
+                    continue;
+                }
+            }
+            if !gated.contains(&root) {
+                if let Some(state_field) = adopted_into_state(sig, tok) {
+                    out.push((
+                        sig[tok].line,
+                        rule::SEAL_ROLLBACK,
+                        format!(
+                            "unsealed `{vname}` is adopted into `self.{state_field}` before \
+                             any rollback check — compare its monotonic counter (strictly \
+                             greater) against the last-seen value first"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// When the statement containing the occurrence at `tok` has the exact
+/// shape `self . <field> = <expr>`, returns the field name — adopting a
+/// tainted value into enclave state.
+fn adopted_into_state<'a>(sig: &[&'a Token], tok: usize) -> Option<&'a str> {
+    let mut start = tok;
+    while start > 0 {
+        let t = sig[start - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        start -= 1;
+    }
+    if sig.get(start)?.ident() != Some("self")
+        || !sig.get(start + 1)?.is_punct('.')
+        || !sig.get(start + 3)?.is_punct('=')
+        || sig.get(start + 4).is_some_and(|t| t.is_punct('='))
+    {
+        return None;
+    }
+    // The occurrence must be on the right-hand side, not the target.
+    if tok <= start + 3 {
+        return None;
+    }
+    sig.get(start + 2)?.ident()
+}
+
+/// A nonce-ish name: any `_`-separated segment that is `nonce` or `iv`
+/// once trailing digits are stripped (`nonce`, `iv2`, `session_nonce`,
+/// `iv_bytes` — but not `derive` or `receiver`).
+fn nonce_like(name: &str) -> bool {
+    name.split('_').any(|seg| {
+        let stem = seg.trim_end_matches(|c: char| c.is_ascii_digit());
+        stem.eq_ignore_ascii_case("nonce") || stem.eq_ignore_ascii_case("iv")
+    })
+}
+
+/// How one seal/encrypt argument is keyed for reuse detection.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum NonceKey {
+    /// A resolved local value (alias chains followed).
+    Value(usize),
+    /// An unresolved nonce-named identifier (a const or static).
+    Name(String),
+    /// A projection path rooted at a value or unresolved name.
+    Path(String, String),
+    /// An array literal, rendered token-exactly (`[0u8;16]`).
+    ArrayLit(String),
+}
+
+/// L7: within one function, the same nonce/IV — an identifier (alias
+/// chains followed), a `x.nonce` projection, or an array literal —
+/// reaching two distinct seal/encrypt call sites with no re-derivation
+/// in between. Reassignment and `&mut` refreshes create new value
+/// generations in the flow graph, so a refreshed nonce never collides
+/// with its previous generation.
+fn rule_seal_nonce_reuse(
+    config: &AnalyzeConfig,
+    sig: &[&Token],
+    bodies: &[FnBody],
+    out: &mut Vec<(u32, &'static str, String)>,
+) {
+    for body in bodies {
+        let fa = FlowAnalysis::of(sig, body, &[]);
+        let mut seen: std::collections::HashMap<NonceKey, (u32, usize)> =
+            std::collections::HashMap::new();
+        for (site_no, site) in sink_sites(sig, body, &config.nonce_sinks)
+            .into_iter()
+            .enumerate()
+        {
+            let sink = sig[site.ident].ident().unwrap_or_default();
+            for (astart, aend) in split_args(sig, site.ident + 1, site.close) {
+                let Some((key, desc)) = classify_nonce_arg(sig, &fa, astart, aend) else {
+                    continue;
+                };
+                let line = sig[astart].line;
+                match seen.get(&key) {
+                    Some(&(first_line, first_site)) if first_site != site_no => {
+                        out.push((
+                            line,
+                            rule::SEAL_NONCE_REUSE,
+                            format!(
+                                "nonce `{desc}` reaches a second `{sink}` call site \
+                                 (first used on line {first_line}) without re-derivation \
+                                 from a fresh source — every seal needs a fresh nonce"
+                            ),
+                        ));
+                    }
+                    Some(_) => {}
+                    None => {
+                        seen.insert(key, (line, site_no));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Splits the argument list between `open` (the `(`) and `close` into
+/// top-level `(start, end)` token ranges, skipping empty arguments.
+fn split_args(sig: &[&Token], open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = open + 1;
+    for (k, tok) in sig.iter().enumerate().take(close).skip(open + 1) {
+        match &tok.kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1)
+            }
+            TokenKind::Punct(',') if depth == 0 => {
+                if start < k {
+                    out.push((start, k));
+                }
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < close {
+        out.push((start, close));
+    }
+    out
+}
+
+/// Classifies one argument as a trackable nonce, returning its reuse
+/// key and display name. Arguments that are fresh by construction
+/// (calls) or untrackable (string literals, whose contents the lexer
+/// drops) return `None`.
+fn classify_nonce_arg(
+    sig: &[&Token],
+    fa: &FlowAnalysis,
+    start: usize,
+    end: usize,
+) -> Option<(NonceKey, String)> {
+    // Strip leading `&`, `mut`, `*`.
+    let mut s = start;
+    while s < end && (sig[s].is_punct('&') || sig[s].is_punct('*') || sig[s].ident() == Some("mut"))
+    {
+        s += 1;
+    }
+    if s >= end {
+        return None;
+    }
+    // Array literal: render token-exactly.
+    if sig[s].is_punct('[') {
+        let mut rendered = String::new();
+        for t in &sig[s..end] {
+            match &t.kind {
+                TokenKind::Ident(name) => rendered.push_str(name),
+                TokenKind::Int(text) => rendered.push_str(text),
+                TokenKind::Punct(c) => rendered.push(*c),
+                _ => return None,
+            }
+        }
+        return Some((NonceKey::ArrayLit(rendered.clone()), rendered));
+    }
+    let name = sig[s].ident()?;
+    // A call (`fresh_nonce()`, `rng.gen()`) derives a fresh value.
+    if sig[s + 1..end].iter().any(|t| t.is_punct('(')) {
+        return None;
+    }
+    // Projection chain `x.nonce` / `self.iv`: keyed by root + path when
+    // the last segment is nonce-named.
+    if s + 2 < end && sig[s + 1].is_punct('.') {
+        let segments: Vec<&str> = sig[s..end].iter().filter_map(|t| t.ident()).collect();
+        let last = segments.last()?;
+        if !nonce_like(last) {
+            return None;
+        }
+        let path = segments.join(".");
+        let root = match fa.value_at(s) {
+            Some(vid) => format!("v{}", fa.resolve_alias(vid)),
+            None => name.to_string(),
+        };
+        return Some((NonceKey::Path(root, path.clone()), path));
+    }
+    if s + 1 != end {
+        return None; // something more complex than a bare identifier
+    }
+    match fa.value_at(s) {
+        Some(vid) => {
+            let rid = fa.resolve_alias(vid);
+            if nonce_like(name) || nonce_like(&fa.values[rid].name) {
+                Some((NonceKey::Value(rid), name.to_string()))
+            } else {
+                None
+            }
+        }
+        None if nonce_like(name) => Some((NonceKey::Name(name.to_string()), name.to_string())),
+        None => None,
     }
 }
 
@@ -621,6 +1152,38 @@ fn rule_attest_unchecked(
         let Some(close) = matching(sig, i + 1, '(', ')') else {
             continue;
         };
+        // `.unwrap_or_default()` fabricates a default verdict on
+        // failure — discarding the error no matter what receives the
+        // fabricated value.
+        if sig.get(close + 1).is_some_and(|t| t.is_punct('.'))
+            && sig.get(close + 2).and_then(|t| t.ident()) == Some("unwrap_or_default")
+            && sig.get(close + 3).is_some_and(|t| t.is_punct('('))
+        {
+            out.push((
+                sig[i].line,
+                rule::ATTEST_UNCHECKED,
+                format!(
+                    "attestation result of `{name}(...)` is discarded via \
+                     `.unwrap_or_default()` — a failed verification must be \
+                     handled, not replaced by a fabricated default"
+                ),
+            ));
+            continue;
+        }
+        // `if let Err(_) = verify(..) {}` with an empty body and no
+        // `else`: the failure branch exists but does nothing.
+        if empty_if_let_err(sig, i, close) {
+            out.push((
+                sig[i].line,
+                rule::ATTEST_UNCHECKED,
+                format!(
+                    "attestation result of `{name}(...)` is discarded via an empty \
+                     `if let Err(_)` body — a failed verification must be handled, \
+                     not dropped"
+                ),
+            ));
+            continue;
+        }
         // A trailing `.ok()` / `.err()` converts the `Result` away;
         // dropping the conversion is still discarding the verdict.
         let mut end = close;
@@ -654,6 +1217,33 @@ fn rule_attest_unchecked(
             ),
         ));
     }
+}
+
+/// True when the call whose identifier is at `call_start` (argument
+/// list closing at `close`) is the scrutinee of an
+/// `if let Err(_) = .. { }` with an empty body and no `else`.
+fn empty_if_let_err(sig: &[&Token], call_start: usize, close: usize) -> bool {
+    let mut start = call_start;
+    while start > 0 {
+        let t = sig[start - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        start -= 1;
+    }
+    let prefix = &sig[start..call_start];
+    let header = prefix.len() >= 7
+        && prefix[0].ident() == Some("if")
+        && prefix[1].ident() == Some("let")
+        && prefix[2].ident() == Some("Err")
+        && prefix[3].is_punct('(')
+        && prefix[4].ident() == Some("_")
+        && prefix[5].is_punct(')')
+        && prefix[6].is_punct('=');
+    header
+        && sig.get(close + 1).is_some_and(|t| t.is_punct('{'))
+        && sig.get(close + 2).is_some_and(|t| t.is_punct('}'))
+        && sig.get(close + 3).and_then(|t| t.ident()) != Some("else")
 }
 
 /// Index of the token matching the opener at `open` (which must be
@@ -917,5 +1507,282 @@ mod tests {
         let b = scan_file(&cfg(), "enclave.rs", src);
         assert_eq!(a, b);
         assert_eq!(rules_of(&a), vec![rule::ENCLAVE_ABORT, rule::ENCLAVE_INDEX]);
+    }
+
+    // ---- seal-rollback -------------------------------------------------
+
+    #[test]
+    fn gated_unseal_passes_seal_rollback() {
+        // The keystore `activate` shape: counter compared before use.
+        let src = "fn activate(&mut self, input: &[u8]) -> Result<(), E> {\n\
+                       let blob = SealedBlob::from_bytes(input)?;\n\
+                       let plain = ctx.unseal(KeyRequest::SealEnclave, &blob)?;\n\
+                       let slot = SealedSlot::from_bytes(&plain)?;\n\
+                       if slot.counter <= self.last_counter { return Err(E::Rollback); }\n\
+                       self.last_counter = slot.counter;\n\
+                       self.active = Some(Active { material: slot.key });\n\
+                       Ok(())\n\
+                   }\n";
+        let f = scan_file(&cfg(), "enclave.rs", src);
+        assert!(
+            f.iter().all(|x| x.rule != rule::SEAL_ROLLBACK),
+            "gate precedes use: {f:?}"
+        );
+    }
+
+    #[test]
+    fn ungated_key_projection_fires_seal_rollback() {
+        let src = "fn activate(&mut self, input: &[u8]) -> Result<(), E> {\n\
+                       let plain = ctx.unseal(KeyRequest::SealEnclave, input)?;\n\
+                       let slot = SealedSlot::from_bytes(&plain)?;\n\
+                       self.active = Some(Active { material: slot.key });\n\
+                       Ok(())\n\
+                   }\n";
+        let f = scan_file(&cfg(), "enclave.rs", src);
+        let hits: Vec<&Finding> = f.iter().filter(|x| x.rule == rule::SEAL_ROLLBACK).collect();
+        assert_eq!(hits.len(), 1, "{f:?}");
+        assert_eq!(hits[0].line, 4);
+        assert!(hits[0].message.contains("`.key`"));
+    }
+
+    #[test]
+    fn ungated_state_adoption_fires_seal_rollback() {
+        // The tor RESTORE_STATE shape before the fix.
+        let src = "fn restore(&mut self, input: &[u8]) -> Result<u32, E> {\n\
+                       let blob = SealedBlob::from_bytes(input)?;\n\
+                       let plain = ctx.unseal(KeyRequest::SealEnclave, &blob)?;\n\
+                       let len = plain.len() as u32;\n\
+                       self.state = plain;\n\
+                       Ok(len)\n\
+                   }\n";
+        let f = scan_file(&cfg(), "enclave.rs", src);
+        let hits: Vec<&Finding> = f.iter().filter(|x| x.rule == rule::SEAL_ROLLBACK).collect();
+        assert_eq!(hits.len(), 1, "{f:?}");
+        assert_eq!(hits[0].line, 5);
+        assert!(hits[0].message.contains("self.state"));
+    }
+
+    #[test]
+    fn equality_comparison_is_not_a_rollback_gate() {
+        let src = "fn restore(&mut self, input: &[u8]) {\n\
+                       let slot = ctx.unseal(K::Seal, input);\n\
+                       if slot.counter == self.last { return; }\n\
+                       self.state = slot;\n\
+                   }\n";
+        let f = scan_file(&cfg(), "enclave.rs", src);
+        assert!(
+            f.iter().any(|x| x.rule == rule::SEAL_ROLLBACK),
+            "== cannot order a replayed counter: {f:?}"
+        );
+    }
+
+    #[test]
+    fn seal_rollback_only_in_enclave_files_and_not_in_tests() {
+        let src = "fn restore(&mut self, input: &[u8]) {\n\
+                       let plain = ctx.unseal(K::Seal, input);\n\
+                       self.state = plain;\n\
+                   }\n";
+        assert!(scan_file(&cfg(), "host.rs", src)
+            .iter()
+            .all(|x| x.rule != rule::SEAL_ROLLBACK));
+        let test_src = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+        assert!(scan_file(&cfg(), "enclave.rs", &test_src)
+            .iter()
+            .all(|x| x.rule != rule::SEAL_ROLLBACK));
+    }
+
+    // ---- seal-nonce-reuse ----------------------------------------------
+
+    #[test]
+    fn nonce_ident_reaching_two_seals_fires() {
+        let src = "fn f(key: &[u8]) {\n\
+                       let nonce = [7u8; 16];\n\
+                       seal(key, &nonce, b\"a\");\n\
+                       seal(key, &nonce, b\"b\");\n\
+                   }\n";
+        let f = scan_file(&cfg(), "host.rs", src);
+        let hits: Vec<&Finding> = f
+            .iter()
+            .filter(|x| x.rule == rule::SEAL_NONCE_REUSE)
+            .collect();
+        assert_eq!(hits.len(), 1, "{f:?}");
+        assert_eq!(hits[0].line, 4);
+        assert!(hits[0].message.contains("`nonce`"));
+        assert!(hits[0].message.contains("line 3"));
+    }
+
+    #[test]
+    fn refreshed_nonce_is_clean() {
+        let src = "fn f(key: &[u8]) {\n\
+                       let mut nonce = [7u8; 16];\n\
+                       seal(key, &nonce, b\"a\");\n\
+                       rng.fill(&mut nonce);\n\
+                       seal(key, &nonce, b\"b\");\n\
+                   }\n";
+        let f = scan_file(&cfg(), "host.rs", src);
+        assert!(
+            f.iter().all(|x| x.rule != rule::SEAL_NONCE_REUSE),
+            "&mut refresh re-derives: {f:?}"
+        );
+    }
+
+    #[test]
+    fn reassigned_nonce_is_clean_but_alias_is_not() {
+        let clean = "fn f(k: &[u8]) {\n\
+                         let mut iv = mk();\n\
+                         ctr_apply(k, &iv, data);\n\
+                         iv = mk();\n\
+                         ctr_apply(k, &iv, data);\n\
+                     }\n";
+        assert!(scan_file(&cfg(), "host.rs", clean)
+            .iter()
+            .all(|x| x.rule != rule::SEAL_NONCE_REUSE));
+
+        let alias = "fn f(k: &[u8]) {\n\
+                         let nonce = mk();\n\
+                         ctr_apply(k, &nonce, data);\n\
+                         let same = nonce;\n\
+                         ctr_apply(k, &same, data);\n\
+                     }\n";
+        let f = scan_file(&cfg(), "host.rs", alias);
+        let hits: Vec<&Finding> = f
+            .iter()
+            .filter(|x| x.rule == rule::SEAL_NONCE_REUSE)
+            .collect();
+        assert_eq!(hits.len(), 1, "alias chains are followed: {f:?}");
+        assert_eq!(hits[0].line, 5);
+    }
+
+    #[test]
+    fn array_literal_nonces_compare_token_exactly() {
+        let reused = "fn f(k: &[u8]) { seal(k, [0u8; 16], a); seal(k, [0u8; 16], b); }\n";
+        let f = scan_file(&cfg(), "host.rs", reused);
+        assert_eq!(
+            f.iter()
+                .filter(|x| x.rule == rule::SEAL_NONCE_REUSE)
+                .count(),
+            1,
+            "{f:?}"
+        );
+
+        let distinct = "fn f(k: &[u8]) { seal(k, [1u8; 16], a); seal(k, [2u8; 16], b); }\n";
+        assert!(scan_file(&cfg(), "host.rs", distinct)
+            .iter()
+            .all(|x| x.rule != rule::SEAL_NONCE_REUSE));
+    }
+
+    #[test]
+    fn non_nonce_args_are_not_tracked() {
+        // `apply` with no nonce-named argument (tor relay crypto).
+        let src = "fn f(k: &[u8]) { apply(k, payload); apply(k, payload); }\n";
+        assert!(scan_file(&cfg(), "host.rs", src)
+            .iter()
+            .all(|x| x.rule != rule::SEAL_NONCE_REUSE));
+    }
+
+    // ---- flow-aware secret-egress --------------------------------------
+
+    #[test]
+    fn renamed_secret_caught_by_flow_missed_by_adjacency() {
+        let src = "fn stage(device_key: &[u8], ctx: &mut Ctx) {\n\
+                       let staged = device_key.to_vec();\n\
+                       ctx.ocall(\"persist\", &staged);\n\
+                   }\n";
+        // The old token-adjacency engine misses the renamed binding…
+        assert_eq!(secret_egress_adjacency_scan(&cfg(), src), Vec::<u32>::new());
+        // …the flow engine does not.
+        let f = scan_file(&cfg(), "host.rs", src);
+        let hits: Vec<&Finding> = f.iter().filter(|x| x.rule == rule::SECRET_EGRESS).collect();
+        assert_eq!(hits.len(), 1, "{f:?}");
+        assert_eq!(hits[0].line, 3);
+        assert!(hits[0].message.contains("`device_key`"));
+        assert!(hits[0].message.contains("`staged`"));
+        assert!(hits[0].message.contains("line 2"));
+    }
+
+    #[test]
+    fn sealed_intermediate_stays_clean() {
+        let src = "fn stage(device_key: &[u8], ctx: &mut Ctx) {\n\
+                       let blob = seal(device_key, b\"slot\");\n\
+                       let bytes = blob.to_bytes();\n\
+                       ctx.ocall(\"persist\", &bytes);\n\
+                   }\n";
+        let f = scan_file(&cfg(), "host.rs", src);
+        assert!(
+            f.iter().all(|x| x.rule != rule::SECRET_EGRESS),
+            "the sealing barrier cleans taint: {f:?}"
+        );
+    }
+
+    #[test]
+    fn direct_secret_in_sink_reported_once() {
+        let src = "fn f(device_key: &[u8], ctx: &mut Ctx) { ctx.ocall(\"x\", device_key); }\n";
+        let f = scan_file(&cfg(), "host.rs", src);
+        assert_eq!(
+            f.iter().filter(|x| x.rule == rule::SECRET_EGRESS).count(),
+            1,
+            "adjacency and flow layers must not double-count: {f:?}"
+        );
+    }
+
+    // ---- hardened attestation-unchecked --------------------------------
+
+    #[test]
+    fn empty_if_let_err_body_fires() {
+        let src = "fn f() { if let Err(_) = gate.verify(r, pk, None) {} }\n";
+        let f = scan_file(&cfg(), "host.rs", src);
+        let hits: Vec<&Finding> = f
+            .iter()
+            .filter(|x| x.rule == rule::ATTEST_UNCHECKED)
+            .collect();
+        assert_eq!(hits.len(), 1, "{f:?}");
+        assert!(hits[0].message.contains("empty `if let Err(_)` body"));
+    }
+
+    #[test]
+    fn handled_if_let_err_is_clean() {
+        let handled = "fn f() { if let Err(e) = gate.verify(r, pk, None) { log(e); } }\n";
+        assert!(scan_file(&cfg(), "host.rs", handled)
+            .iter()
+            .all(|x| x.rule != rule::ATTEST_UNCHECKED));
+        let non_empty = "fn f() { if let Err(_) = gate.verify(r, pk, None) { bail(); } }\n";
+        assert!(scan_file(&cfg(), "host.rs", non_empty)
+            .iter()
+            .all(|x| x.rule != rule::ATTEST_UNCHECKED));
+        let with_else = "fn f() { if let Err(_) = gate.verify(r, pk, None) {} else { go(); } }\n";
+        assert!(scan_file(&cfg(), "host.rs", with_else)
+            .iter()
+            .all(|x| x.rule != rule::ATTEST_UNCHECKED));
+    }
+
+    #[test]
+    fn unwrap_or_default_discard_fires() {
+        let src = "fn f() { let ch = gate.verify(r, pk, None).unwrap_or_default(); use_it(ch); }\n";
+        let f = scan_file(&cfg(), "host.rs", src);
+        let hits: Vec<&Finding> = f
+            .iter()
+            .filter(|x| x.rule == rule::ATTEST_UNCHECKED)
+            .collect();
+        assert_eq!(hits.len(), 1, "{f:?}");
+        assert!(hits[0].message.contains("unwrap_or_default"));
+    }
+
+    #[test]
+    fn rule_metadata_covers_every_rule_id() {
+        let ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+        for id in rule::WAIVABLE {
+            assert!(ids.contains(&id));
+        }
+        assert!(ids.contains(&rule::BAD_WAIVER));
+        assert!(ids.contains(&rule::UNUSED_WAIVER));
+        // Waivable rules carry waiver syntax; meta rules do not.
+        for info in &RULES {
+            assert_eq!(
+                info.waiver.is_some(),
+                rule::WAIVABLE.contains(&info.id),
+                "{}",
+                info.id
+            );
+        }
     }
 }

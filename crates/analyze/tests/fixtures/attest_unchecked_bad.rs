@@ -23,3 +23,11 @@ fn symmetric_discard(a: &mut Platform, b: &mut Platform) {
 fn waived_probe(gate: &Gate, response: &AttestResponse) {
     gate.verify(response, &GROUP_KEY, None).err();
 }
+
+fn silent_branch(challenger: Challenger, response: &AttestResponse, pk: &VerifyingKey) {
+    if let Err(_) = challenger.verify(response, pk, None) {}
+}
+
+fn fabricated_default(gate: &Gate, response: &AttestResponse) {
+    gate.verify(response, &GROUP_KEY, None).unwrap_or_default();
+}

@@ -28,3 +28,12 @@ fn bound_and_forwarded(a: &mut Platform, b: &mut Platform) -> Result<Channel, Er
     record(attest_enclave(&mut platform, id, &config));
     return maybe.ok_or(Error::AttestRejected);
 }
+
+fn handled_branch(c: &Challenger, r: &AttestResponse, pk: &VerifyingKey) {
+    if let Err(e) = c.verify(r, pk, None) {
+        log_reject(e);
+    }
+    if let Err(_) = c.verify(r, pk, None) {
+        bail();
+    }
+}

@@ -1,0 +1,19 @@
+// Known-bad corpus for flow-aware `secret-egress` (L2): the secret is
+// renamed before it reaches the sink, which the old token-adjacency
+// engine provably missed (see the delta test). Never compiled.
+
+pub fn renamed_leak(ctx: &mut Ctx, seal_key: &[u8; 16]) {
+    let wrapped = seal_key.to_vec();
+    ctx.ocall("persist", &wrapped);
+}
+
+pub fn two_hop_leak(net: &mut Net, dh_secret: &[u8]) {
+    let shared = dh_secret.to_vec();
+    let packet = frame(&shared);
+    net.send_packets(&packet);
+}
+
+pub fn sealed_intermediate_ok(ctx: &mut Ctx, seal_key: &[u8; 16]) {
+    let blob = seal(seal_key, b"label", 0, 0);
+    ctx.ocall("persist", &blob.to_bytes());
+}

@@ -1,0 +1,24 @@
+// Known-bad corpus for `seal-nonce-reuse` (L7): one nonce, two
+// keystreams. Never compiled.
+
+pub fn ident_reuse(cipher: &Aes128, nonce: &[u8; 16], a: &mut [u8], b: &mut [u8]) {
+    cipher.ctr_apply(nonce, a);
+    cipher.ctr_apply(nonce, b);
+}
+
+pub fn alias_reuse(cipher: &Aes128, a: &mut [u8], b: &mut [u8]) {
+    let nonce = derive_nonce();
+    let iv = nonce.clone();
+    cipher.ctr_apply(&nonce, a);
+    cipher.ctr_apply(&iv, b);
+}
+
+pub fn literal_reuse(cipher: &Aes128, a: &mut [u8], b: &mut [u8]) {
+    cipher.ctr_apply(&[7u8; 16], a);
+    cipher.ctr_apply(&[7u8; 16], b);
+}
+
+pub fn field_reuse(&mut self, sealer: &Sealer, a: &[u8], b: &[u8]) {
+    sealer.seal(self.nonce, a);
+    sealer.seal(self.nonce, b);
+}

@@ -1,0 +1,33 @@
+// Known-good corpus for `seal-nonce-reuse`: every accepted
+// re-derivation shape, plus untracked non-nonce arguments. Never
+// compiled.
+
+pub fn refreshed(cipher: &Aes128, rng: &mut SecureRng, a: &mut [u8], b: &mut [u8]) {
+    let mut nonce = [0u8; 16];
+    rng.fill_bytes(&mut nonce);
+    cipher.ctr_apply(&nonce, a);
+    rng.fill_bytes(&mut nonce);
+    cipher.ctr_apply(&nonce, b);
+}
+
+pub fn reassigned(cipher: &Aes128, ctr: &mut Counter, a: &mut [u8], b: &mut [u8]) {
+    let mut nonce = ctr.next_nonce();
+    cipher.ctr_apply(&nonce, a);
+    nonce = ctr.next_nonce();
+    cipher.ctr_apply(&nonce, b);
+}
+
+pub fn distinct_literals(cipher: &Aes128, a: &mut [u8], b: &mut [u8]) {
+    cipher.ctr_apply(&[1u8; 16], a);
+    cipher.ctr_apply(&[2u8; 16], b);
+}
+
+pub fn fresh_calls(sealer: &Sealer, ctr: &mut Counter, a: &[u8], b: &[u8]) {
+    sealer.seal(ctr.next_nonce(), a);
+    sealer.seal(ctr.next_nonce(), b);
+}
+
+pub fn untracked_payloads(cipher: &Aes128, key: &[u8], a: &mut [u8], b: &mut [u8]) {
+    cipher.ctr_apply(key, a);
+    cipher.ctr_apply(key, b);
+}

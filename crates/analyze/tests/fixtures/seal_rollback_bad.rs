@@ -1,0 +1,29 @@
+// Known-bad corpus for `seal-rollback` (L6): unsealed state used
+// before any monotonic-counter gate. Never compiled.
+
+pub fn key_before_gate(ctx: &mut Ctx, blob: &SealedBlob) -> Vec<u8> {
+    let snap = ctx.unseal(KeyRequest::SealEnclave, blob);
+    snap.key.to_vec()
+}
+
+pub fn adopted_before_gate(&mut self, ctx: &mut Ctx, blob: &SealedBlob) {
+    let plain = ctx.unseal(KeyRequest::SealEnclave, blob);
+    self.state = plain;
+}
+
+pub fn gate_too_late(ctx: &mut Ctx, blob: &SealedBlob, last: u64) -> Vec<u8> {
+    let snap = ctx.unseal(KeyRequest::SealEnclave, blob);
+    let key = snap.material.to_vec();
+    if snap.counter > last {
+        return key;
+    }
+    Vec::new()
+}
+
+pub fn equality_is_no_gate(ctx: &mut Ctx, blob: &SealedBlob, last: u64) -> Vec<u8> {
+    let snap = ctx.unseal(KeyRequest::SealEnclave, blob);
+    if snap.counter == last {
+        return Vec::new();
+    }
+    snap.key.to_vec()
+}

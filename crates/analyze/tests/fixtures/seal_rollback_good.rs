@@ -1,0 +1,24 @@
+// Known-good corpus for `seal-rollback`: every accepted gate shape,
+// plus untainted look-alikes. Never compiled.
+
+pub fn gated_then_used(ctx: &mut Ctx, blob: &SealedBlob, last: u64) -> Result<Vec<u8>, Error> {
+    let snap = ctx.unseal(KeyRequest::SealEnclave, blob)?;
+    if snap.counter <= last {
+        return Err(Error::Rollback);
+    }
+    Ok(snap.key.to_vec())
+}
+
+pub fn gate_via_derived(&mut self, ctx: &mut Ctx, blob: &SealedBlob) -> Result<(), Error> {
+    let plain = ctx.unseal(KeyRequest::SealEnclave, blob)?;
+    let snap = Snapshot::parse(&plain)?;
+    if snap.epoch <= self.epoch {
+        return Err(Error::Rollback);
+    }
+    self.state = snap.state;
+    Ok(())
+}
+
+pub fn untainted_key_projection(cfg: &Config) -> Vec<u8> {
+    cfg.key.to_vec()
+}

@@ -1,0 +1,29 @@
+// Mixed waiver corpus for the flow rules: a line waiver on a nonce
+// reuse, a block waiver on a rollback, a stale flow waiver and an
+// uncovered finding. Never compiled.
+
+pub fn waived_reuse(cipher: &Aes128, nonce: &[u8; 16], a: &mut [u8], b: &mut [u8]) {
+    cipher.ctr_apply(nonce, a);
+    // teenet-analyze: allow(seal-nonce-reuse) -- fixture: involution round-trip
+    cipher.ctr_apply(nonce, b);
+}
+
+// teenet-analyze: allow-block(seal-rollback) -- fixture: single-shot enclave, no persistent counter
+pub fn waived_rollback(ctx: &mut Ctx, blob: &SealedBlob) -> Vec<u8> {
+    let snap = ctx.unseal(KeyRequest::SealEnclave, blob);
+    snap.key.to_vec()
+}
+
+// teenet-analyze: allow(seal-rollback) -- fixture: suppresses nothing
+pub fn stale_gated(ctx: &mut Ctx, blob: &SealedBlob, last: u64) -> Vec<u8> {
+    let snap = ctx.unseal(KeyRequest::SealEnclave, blob);
+    if snap.counter > last {
+        return snap.key.to_vec();
+    }
+    Vec::new()
+}
+
+pub fn uncovered(cipher: &Aes128, iv: &[u8; 12], a: &mut [u8], b: &mut [u8]) {
+    cipher.ctr_apply(iv, a);
+    cipher.ctr_apply(iv, b);
+}

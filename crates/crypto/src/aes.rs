@@ -329,6 +329,7 @@ mod tests {
             unhex("874d6191b620e3261bef6864990db6ce9806f66b7970fdff8617187bb9fffdff")
         );
         // CTR is its own inverse.
+        // teenet-analyze: allow(seal-nonce-reuse) -- round-trip against the NIST vector: the test decrypts what it just encrypted, which requires the same nonce by definition
         cipher.ctr_apply(&nonce, &mut data);
         assert_eq!(
             data,
@@ -358,6 +359,7 @@ mod tests {
         let orig = data.clone();
         cipher.ctr_apply(&nonce, &mut data);
         assert_ne!(data, orig);
+        // teenet-analyze: allow(seal-nonce-reuse) -- round-trip test: decrypting the buffer requires re-applying the same keystream
         cipher.ctr_apply(&nonce, &mut data);
         assert_eq!(data, orig);
     }
@@ -380,6 +382,7 @@ mod tests {
             let cipher = Aes128::new(&key).unwrap();
             let mut buf = data.clone();
             cipher.ctr_apply(&nonce, &mut buf);
+            // teenet-analyze: allow(seal-nonce-reuse) -- property under test IS the involution: applying the same nonce twice must restore the plaintext
             cipher.ctr_apply(&nonce, &mut buf);
             prop_assert_eq!(buf, data);
         }

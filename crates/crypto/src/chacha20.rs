@@ -129,6 +129,7 @@ only one tip for the future, sunscreen would be it."
             unhex("6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b")
         );
         // Round trip.
+        // teenet-analyze: allow(seal-nonce-reuse) -- round-trip against the RFC 7539 vector: decryption requires the same nonce by definition
         apply(&key, &nonce, 1, &mut data).unwrap();
         assert!(data.starts_with(b"Ladies and Gentlemen"));
     }
@@ -148,6 +149,7 @@ only one tip for the future, sunscreen would be it."
         apply(&key, &nonce, 0, &mut long).unwrap();
         // Second 64-byte block must equal a fresh application at counter 1.
         let mut second = vec![0u8; 64];
+        // teenet-analyze: allow(seal-nonce-reuse) -- the test checks counter advancement, which needs the same (key, nonce) keystream at two offsets
         apply(&key, &nonce, 1, &mut second).unwrap();
         assert_eq!(&long[64..], &second[..]);
     }

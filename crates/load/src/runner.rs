@@ -861,12 +861,65 @@ impl<'a> Engine<'a> {
     /// Finishes the run: folds the network's fault totals and queue
     /// high-watermark into the accumulated metrics and returns them.
     pub(crate) fn into_metrics(mut self) -> RunMetrics {
+        self.take_metrics()
+    }
+
+    /// [`Engine::into_metrics`] without consuming the engine: hands out
+    /// the finished run's metrics (network totals folded in) and leaves
+    /// a zeroed accumulator behind, so a pooled engine can be
+    /// [`Engine::reset_for_session`]-rewound and driven again.
+    pub(crate) fn take_metrics(&mut self) -> RunMetrics {
         self.metrics.net.merge(&self.net.fault_totals());
         self.metrics.max_server_queue = self
             .metrics
             .max_server_queue
             .max(self.net.max_queue_depth(self.server) as u64);
-        self.metrics
+        std::mem::take(&mut self.metrics)
+    }
+
+    /// Rewinds the engine to the state [`Engine::new`] would produce for
+    /// this config with its seed replaced by `seed`, reusing every
+    /// allocation: the network topology (and its cleared per-node
+    /// inboxes), the session slab with its scratch capacities, and the
+    /// event heap's backing storage. The per-session seed is a parameter
+    /// because the sharded replay derives it per index while the borrowed
+    /// config's own seed stays the run seed.
+    pub(crate) fn reset_for_session(&mut self, seed: u64) {
+        self.net.reset(seed ^ 0x6e65_7473_696d); // "netsim", as in build()
+        self.heap.clear();
+        self.next_seq = if self.lazy_arrivals {
+            self.cfg.sessions
+        } else {
+            0
+        };
+        if let SessionTable::Slab { slots, free, index } = &mut self.table {
+            // Drained runs retire every session, but a defensive sweep
+            // keeps a partially drained engine from leaking live slots
+            // into the next session.
+            index.clear();
+            free.clear();
+            for (i, slot) in slots.iter_mut().enumerate() {
+                slot.id = u64::MAX;
+                slot.scratch.clear();
+                free.push(i as u32);
+            }
+        }
+        let rate = effective_rate(self.cfg, self.cal, self.model);
+        let kind = match self.cfg.mode {
+            LoadMode::Open { .. } => Arrival::OpenLoop { rate_per_sec: rate },
+            LoadMode::Closed { concurrency } => Arrival::ClosedLoop {
+                concurrency: concurrency.max(1),
+            },
+        };
+        self.arrivals = ArrivalProcess::new(
+            kind,
+            self.cfg.sessions,
+            SecureRng::seed_from_u64(seed).fork(b"arrivals"),
+        );
+        for w in &mut self.workers {
+            *w = SimTime::ZERO;
+        }
+        self.metrics = RunMetrics::new();
     }
 
     fn into_report(self, scenario: &str, cfg: &LoadConfig) -> RunReport {

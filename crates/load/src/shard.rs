@@ -141,17 +141,24 @@ fn run_shard(
         }
     };
     let mut last_completion = 0u64;
+    // One engine per shard, rewound per session: the private two-node
+    // network, the session slab (and its scratch buffer) and the event
+    // heap are allocated once and reused across the whole range instead
+    // of being rebuilt per session. Only the derived seed changes, so
+    // `reset_for_session` takes it as a parameter while the hoisted
+    // config keeps the session-replay shape (one session, one closed
+    // lane, one worker, one client).
+    let mut session_cfg = cfg.clone();
+    session_cfg.sessions = 1;
+    session_cfg.mode = LoadMode::Closed { concurrency: 1 };
+    session_cfg.workers = 1;
+    session_cfg.clients = 1;
+    let mut engine = Engine::new(&session_cfg, cal, model);
     for index in range {
-        let mut session_cfg = cfg.clone();
-        session_cfg.sessions = 1;
-        session_cfg.seed = ShardPlan::session_seed(cfg.seed, index);
-        session_cfg.mode = LoadMode::Closed { concurrency: 1 };
-        session_cfg.workers = 1;
-        session_cfg.clients = 1;
-        let mut engine = Engine::new(&session_cfg, cal, model);
+        engine.reset_for_session(ShardPlan::session_seed(cfg.seed, index));
         engine.prime();
         engine.drain();
-        let m = engine.into_metrics();
+        let m = engine.take_metrics();
         // One session from t=0: its local last-done time IS its duration
         // (completion or abandonment).
         let duration = m.last_done_ns;
@@ -344,6 +351,51 @@ mod tests {
             assert_eq!(one.json(), nine.json());
             assert_eq!(one.text(), four.text());
         }
+    }
+
+    /// The pooled per-shard engine (one engine rewound per session) must
+    /// be byte-identical to the pre-pooling model (a fresh engine built
+    /// per session) — `reset_for_session` is an optimisation, not a
+    /// different replay.
+    #[test]
+    fn pooled_reset_matches_fresh_engines() {
+        let cal = toy_calibration();
+        let mut cfg = LoadConfig::new(5, 17, LoadMode::Closed { concurrency: 2 });
+        cfg.faults = FaultConfig {
+            drop_chance: 0.2,
+            corrupt_chance: 0.1,
+            ..Default::default()
+        };
+        let model = CostModel::paper();
+
+        let pooled = run_shard(&cfg, &cal, &model, 0..5);
+
+        let mut metrics = RunMetrics::new();
+        let mut lane_busy = vec![0u64; 2];
+        for index in 0..5u64 {
+            let mut session_cfg = cfg.clone();
+            session_cfg.sessions = 1;
+            session_cfg.seed = ShardPlan::session_seed(cfg.seed, index);
+            session_cfg.mode = LoadMode::Closed { concurrency: 1 };
+            session_cfg.workers = 1;
+            session_cfg.clients = 1;
+            let mut engine = Engine::new(&session_cfg, &cal, &model);
+            engine.prime();
+            engine.drain();
+            let m = engine.into_metrics();
+            lane_busy[(index % 2) as usize] += m.last_done_ns;
+            metrics.merge(&m);
+        }
+        let fresh = ShardResult {
+            metrics,
+            lane_busy,
+            last_completion: 0,
+        };
+
+        let a = report_from_metrics("toy", &cfg, &cal, &model, merge_shards(&cfg, &[pooled]));
+        let b = report_from_metrics("toy", &cfg, &cal, &model, merge_shards(&cfg, &[fresh]));
+        assert_eq!(a.json(), b.json());
+        assert_eq!(a.text(), b.text());
     }
 
     #[test]

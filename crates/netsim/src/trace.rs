@@ -87,6 +87,14 @@ impl Trace {
         self.enabled
     }
 
+    /// Discards all recorded events and payload snapshots, keeping the
+    /// capture mode and enabled flag (and the buffers' capacity). Used
+    /// when a network is rewound for reuse.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.payloads.clear();
+    }
+
     /// Records an event (dropped silently while disabled).
     pub fn record(&mut self, record: TraceRecord, packet: Option<&Packet>) {
         if !self.enabled {

@@ -61,6 +61,38 @@ pub struct TorServiceEnclave {
     responder: AttestResponder,
     /// In-enclave secret state (e.g. a directory authority's signing key).
     state: Vec<u8>,
+    /// Monotonic epoch of the current state. Every SEAL_STATE bumps it and
+    /// bakes it into the sealed blob; RESTORE_STATE rejects any blob whose
+    /// epoch is not strictly greater — a host replaying an old (sealed,
+    /// authentic) snapshot cannot roll the authority's keys back.
+    epoch: u64,
+}
+
+/// The payload inside a SEAL_STATE blob: monotonic epoch + state bytes.
+struct StateSnapshot {
+    epoch: u64,
+    state: Vec<u8>,
+}
+
+impl StateSnapshot {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.state.len());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.state);
+        out
+    }
+
+    fn parse(bytes: &[u8]) -> core::result::Result<StateSnapshot, SgxError> {
+        if bytes.len() < 8 {
+            return Err(SgxError::EcallRejected("sealed state snapshot too short"));
+        }
+        let mut epoch_bytes = [0u8; 8];
+        epoch_bytes.copy_from_slice(&bytes[..8]);
+        Ok(StateSnapshot {
+            epoch: u64::from_le_bytes(epoch_bytes),
+            state: bytes[8..].to_vec(),
+        })
+    }
 }
 
 impl TorServiceEnclave {
@@ -78,6 +110,7 @@ impl TorServiceEnclave {
             behavior_marker,
             responder: AttestResponder::new(config),
             state: Vec::new(),
+            epoch: 0,
         }
     }
 
@@ -130,24 +163,39 @@ impl EnclaveProgram for TorServiceEnclave {
             // SEAL_STATE: store `input` as secret state and return the
             // sealed blob for the host to persist across restarts —
             // "they can keep authority keys and list of Tor nodes inside
-            // the enclaves" (§3.2).
+            // the enclaves" (§3.2). The blob carries the bumped epoch so
+            // RESTORE_STATE can reject rolled-back snapshots.
             2 => {
+                self.epoch += 1;
                 self.state = input.to_vec();
+                let snap = StateSnapshot {
+                    epoch: self.epoch,
+                    state: input.to_vec(),
+                };
                 let blob = ctx.seal(
                     teenet_sgx::keys::KeyRequest::SealEnclave,
                     b"tor-service-state",
-                    input,
+                    &snap.to_bytes(),
                 );
                 Ok(blob.to_bytes())
             }
             // RESTORE_STATE: unseal a blob produced by SEAL_STATE on this
-            // platform by this exact code identity. Returns the state
-            // length (the secret itself never leaves).
+            // platform by this exact code identity, rejecting any snapshot
+            // whose epoch does not strictly advance (rollback/replay of an
+            // authentic but stale blob). Returns the state length (the
+            // secret itself never leaves).
             3 => {
                 let blob = teenet_sgx::seal::SealedBlob::from_bytes(input)?;
                 let plain = ctx.unseal(teenet_sgx::keys::KeyRequest::SealEnclave, &blob)?;
-                let len = plain.len() as u32;
-                self.state = plain;
+                let snap = StateSnapshot::parse(&plain)?;
+                if snap.epoch <= self.epoch {
+                    return Err(SgxError::EcallRejected(
+                        "stale sealed state (rollback rejected)",
+                    ));
+                }
+                let len = snap.state.len() as u32;
+                self.epoch = snap.epoch;
+                self.state = snap.state;
                 Ok(len.to_le_bytes().to_vec())
             }
             // STATE_DIGEST: a public commitment to the current state (for
@@ -785,6 +833,36 @@ mod sealing_tests {
         // The restored state matches (checked via a public digest).
         let digest = platform.ecall_nohost(enclave2, 4, &[]).unwrap();
         assert_eq!(digest, sha256(&authority_key).to_vec());
+    }
+
+    #[test]
+    fn stale_sealed_state_is_rejected_as_rollback() {
+        let (mut platform, enclave, _epid, _rng) = sgx_platform(73);
+        // Two generations of state: the host keeps both sealed blobs.
+        let old_blob = platform
+            .ecall_nohost(enclave, 2, b"signing key v1")
+            .unwrap();
+        let new_blob = platform
+            .ecall_nohost(enclave, 2, b"signing key v2")
+            .unwrap();
+
+        // Restoring the current generation over itself is a replay: the
+        // epoch does not advance, so the enclave refuses.
+        assert!(platform.ecall_nohost(enclave, 3, &new_blob).is_err());
+
+        // A fresh instance accepts the latest blob once...
+        let (mut p2, e2, _epid2, _rng2) = sgx_platform(73);
+        let len = p2.ecall_nohost(e2, 3, &new_blob).unwrap();
+        assert_eq!(u32::from_le_bytes(len.try_into().unwrap()), 14);
+        let digest = p2.ecall_nohost(e2, 4, &[]).unwrap();
+        assert_eq!(digest, sha256(b"signing key v2").to_vec());
+
+        // ...then rejects the older generation: an authentic blob, sealed
+        // by this very code on this very platform, but stale.
+        assert!(p2.ecall_nohost(e2, 3, &old_blob).is_err());
+        // State is untouched by the failed rollback.
+        let digest = p2.ecall_nohost(e2, 4, &[]).unwrap();
+        assert_eq!(digest, sha256(b"signing key v2").to_vec());
     }
 
     #[test]
