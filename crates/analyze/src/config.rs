@@ -109,6 +109,11 @@ impl AnalyzeConfig {
             accounting: vec![
                 s("crates/sgx/src/cost.rs"),
                 s("crates/sgx/src/switchless.rs"),
+                // The backend abstraction and the VM-TEE profile charge
+                // counters directly (ecall pairs, page acceptance, PSP
+                // attestation) — accounting code, same as cost.rs.
+                s("crates/sgx/src/tee.rs"),
+                s("crates/sgx/src/vmtee.rs"),
                 s("crates/load/src/metrics.rs"),
             ],
             clock_exempt: vec![
@@ -212,6 +217,8 @@ mod tests {
     fn prefix_matching_is_component_wise() {
         let c = AnalyzeConfig::repo();
         assert!(c.is_enclave_resident("crates/sgx/src/seal.rs"));
+        assert!(c.is_enclave_resident("crates/sgx/src/tee.rs"));
+        assert!(c.is_enclave_resident("crates/sgx/src/vmtee.rs"));
         assert!(c.is_enclave_resident("crates/sgx/src"));
         assert!(c.is_enclave_resident("crates/app/src/harness.rs"));
         assert!(!c.is_enclave_resident("crates/app/Cargo.toml"));
@@ -231,6 +238,8 @@ mod tests {
     fn accounting_and_clock_sets() {
         let c = AnalyzeConfig::repo();
         assert!(c.is_accounting("crates/sgx/src/cost.rs"));
+        assert!(c.is_accounting("crates/sgx/src/tee.rs"));
+        assert!(c.is_accounting("crates/sgx/src/vmtee.rs"));
         assert!(!c.is_accounting("crates/sgx/src/seal.rs"));
         assert!(c.is_clock_exempt("crates/netsim/src/time.rs"));
         assert!(c.is_clock_exempt("crates/bench/src/bin/loadgen.rs"));

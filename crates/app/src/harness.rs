@@ -8,7 +8,7 @@
 //! the final [`WorkProfile`].
 
 use teenet_sgx::cost::Counters;
-use teenet_sgx::{TransitionMode, TransitionStats};
+use teenet_sgx::{TeeBackend, TransitionMode, TransitionStats};
 
 use crate::profile::{WorkProfile, WorkStep};
 use crate::service::{
@@ -51,10 +51,18 @@ pub struct AppHarness {
 }
 
 impl AppHarness {
-    /// A harness for one calibration run at `seed` under `mode`.
+    /// A harness for one calibration run at `seed` under `mode`, on the
+    /// SGX backend.
     pub fn new(seed: u64, mode: TransitionMode) -> Self {
         AppHarness {
             env: ServiceEnv::new(seed, mode),
+        }
+    }
+
+    /// A harness calibrating against `backend`.
+    pub fn with_backend(seed: u64, mode: TransitionMode, backend: TeeBackend) -> Self {
+        AppHarness {
+            env: ServiceEnv::with_backend(seed, mode, backend),
         }
     }
 
@@ -100,6 +108,7 @@ impl AppHarness {
             setup,
             steps,
             mode: self.env.mode,
+            backend: self.env.backend,
         })
     }
 

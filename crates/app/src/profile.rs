@@ -9,7 +9,7 @@
 //! expose a calibration service without depending on either.
 
 use teenet_sgx::cost::Counters;
-use teenet_sgx::{TransitionMode, TransitionStats};
+use teenet_sgx::{TeeBackend, TransitionMode, TransitionStats};
 
 /// The measured cost of one client→server exchange within a session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +38,9 @@ pub struct WorkProfile {
     pub steps: Vec<WorkStep>,
     /// Transition mode the profile was calibrated under.
     pub mode: TransitionMode,
+    /// TEE backend the profile was calibrated against (determines the
+    /// cost model any replay of this profile must price cycles with).
+    pub backend: TeeBackend,
 }
 
 impl WorkProfile {
@@ -104,6 +107,7 @@ mod tests {
                 step("b", c(1, 50), c(3, 300)),
             ],
             mode: TransitionMode::Classic,
+            backend: TeeBackend::Sgx,
         };
         assert_eq!(p.session_server(), c(5, 500));
         assert_eq!(p.session_client(), c(1, 150));

@@ -13,7 +13,7 @@
 use core::fmt;
 
 use teenet_sgx::cost::{CostModel, Counters};
-use teenet_sgx::{TransitionMode, TransitionStats};
+use teenet_sgx::{TeeBackend, TransitionMode, TransitionStats};
 
 use crate::ledger::AttestLedger;
 use crate::profile::WorkStep;
@@ -70,19 +70,27 @@ pub struct ServiceEnv {
     pub seed: u64,
     /// The transition mode this calibration runs under.
     pub mode: TransitionMode,
-    /// The calibrated paper cost model (client-side modelled costs).
+    /// The TEE backend services deploy their platforms against.
+    pub backend: TeeBackend,
+    /// The backend's calibrated cost model (client-side modelled costs).
     pub model: CostModel,
     /// Attestation accounting for the provisioning phase.
     pub ledger: AttestLedger,
 }
 
 impl ServiceEnv {
-    /// A fresh environment for one calibration run.
+    /// A fresh environment for one calibration run on the SGX backend.
     pub fn new(seed: u64, mode: TransitionMode) -> Self {
+        Self::with_backend(seed, mode, TeeBackend::Sgx)
+    }
+
+    /// A fresh environment for one calibration run on `backend`.
+    pub fn with_backend(seed: u64, mode: TransitionMode, backend: TeeBackend) -> Self {
         ServiceEnv {
             seed,
             mode,
-            model: CostModel::paper(),
+            backend,
+            model: backend.cost_model(),
             ledger: AttestLedger::new(),
         }
     }

@@ -30,11 +30,11 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use teenet_load::scenarios::{by_name, by_name_mode, NAMES};
+use teenet_load::scenarios::{by_name, by_name_backend, NAMES};
 use teenet_load::{LoadConfig, LoadMode, LoadRunner};
 use teenet_netsim::fault::FaultConfig;
 use teenet_netsim::SimDuration;
-use teenet_sgx::TransitionMode;
+use teenet_sgx::{TeeBackend, TransitionMode};
 
 const USAGE: &str = "\
 loadgen — stress the paper's applications with synthetic load on virtual time
@@ -57,6 +57,10 @@ OPTIONS:
     --duplicate <p>        per-packet dup chance      [default: 0]
     --switchless           calibrate with switchless/batched enclave
                            transitions (default: classic EENTER/EEXIT)
+    --backend <sgx|vmtee>  TEE backend to deploy the workload on
+                           (default: sgx; vmtee prices a TDX/SEV-SNP-style
+                           cost model — no per-call EENTER/EEXIT, VM-exit
+                           charges on I/O crossings, PSP attestation)
     --shards <n>           replay with the sharded model across n OS
                            threads (report byte-identical for every n;
                            default: the serial streaming engine)
@@ -87,6 +91,7 @@ struct Args {
     corrupt: f64,
     duplicate: f64,
     switchless: bool,
+    backend: TeeBackend,
     shards: Option<u32>,
     reference: bool,
     rss: bool,
@@ -111,6 +116,7 @@ impl Default for Args {
             corrupt: 0.0,
             duplicate: 0.0,
             switchless: false,
+            backend: TeeBackend::Sgx,
             shards: None,
             reference: false,
             rss: false,
@@ -142,6 +148,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--corrupt" => args.corrupt = parse(value("--corrupt")?, "--corrupt")?,
             "--duplicate" => args.duplicate = parse(value("--duplicate")?, "--duplicate")?,
             "--switchless" => args.switchless = true,
+            "--backend" => {
+                let raw = value("--backend")?;
+                args.backend = TeeBackend::parse(raw)
+                    .ok_or_else(|| format!("bad value for --backend: {raw} (sgx or vmtee)"))?;
+            }
             "--shards" => args.shards = Some(parse(value("--shards")?, "--shards")?),
             "--reference" => args.reference = true,
             "--rss" => args.rss = true,
@@ -214,7 +225,7 @@ fn main() -> ExitCode {
     } else {
         TransitionMode::Classic
     };
-    let Some(mut scenario) = by_name_mode(name, args.seed, transition_mode) else {
+    let Some(mut scenario) = by_name_backend(name, args.seed, transition_mode, args.backend) else {
         eprintln!("error: unknown scenario {name:?} (one of {NAMES:?})");
         return ExitCode::FAILURE;
     };
@@ -245,8 +256,9 @@ fn main() -> ExitCode {
 
     if !args.json {
         eprintln!(
-            "calibrating {name} against real enclaves ({} transitions)...",
-            transition_mode.as_str()
+            "calibrating {name} against real enclaves ({} transitions, {} backend)...",
+            transition_mode.as_str(),
+            args.backend.as_str(),
         );
     }
     let calibration = scenario.calibrate();
@@ -351,6 +363,7 @@ fn bench_entry(
 ) -> String {
     format!(
         "{{\"scenario\": \"{}\", \"mode\": \"{}\", \"transition_mode\": \"{}\", \
+         \"backend\": \"{}\", \
          \"sessions\": {}, \"completed\": {}, \"shards\": {}, \
          \"baseline_wall_ns\": {}, \"sharded_wall_ns\": {}, \
          \"speedup\": {:.3}, \"wall_sessions_per_sec\": {:.3}, \
@@ -358,6 +371,7 @@ fn bench_entry(
         scenario,
         report.mode,
         report.transition_mode,
+        report.backend.as_str(),
         report.sessions,
         report.completed,
         shards,

@@ -19,7 +19,10 @@ use teenet::responder::{attest_enclave, AttestResponder};
 use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::{CostModel, Counters};
-use teenet_sgx::{EnclaveCtx, EnclaveId, EnclaveProgram, EpidGroup, Platform, SgxError};
+use teenet_sgx::{
+    deploy_platform, EnclaveCtx, EnclaveId, EnclaveProgram, EpidGroup, SgxError, TeeBackend,
+    TeePlatform,
+};
 
 /// A minimal attestation-target enclave (responder ecalls only) used by
 /// the Table 1 harness and the attestation benches.
@@ -84,7 +87,7 @@ impl EnclaveProgram for PacketSender {
 /// Everything needed to run one attestation measurement.
 pub struct AttestBench {
     /// The target platform (hosting target + quoting enclaves).
-    pub platform: Platform,
+    pub platform: Box<dyn TeePlatform>,
     /// The target enclave.
     pub enclave: EnclaveId,
     /// The attestation group.
@@ -100,7 +103,8 @@ impl AttestBench {
     pub fn new(config: &AttestConfig, seed: u64) -> Self {
         let mut rng = SecureRng::seed_from_u64(seed);
         let epid = EpidGroup::new(1, &mut rng).expect("group");
-        let mut platform = Platform::new("bench-target", &epid, seed);
+        let mut platform =
+            deploy_platform(TeeBackend::Sgx, "bench-target", &epid, seed).expect("platform");
         let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).expect("key");
         let enclave = platform
             .create_signed(Box::new(AttestTarget::new(config.clone())), &author, 1)
@@ -118,13 +122,13 @@ impl AttestBench {
     /// (target counters delta, quoting counters delta, challenger counters).
     pub fn run_once(&mut self, config: &AttestConfig) -> (Counters, Counters, Counters) {
         let target_before = self.platform.counters_of(self.enclave).expect("counters");
-        let quoting_before = self.platform.quoting_counters();
+        let quoting_before = self.platform.attestor_counters();
         let (outcome, _) = attest_enclave(
             IdentityPolicy::AcceptAny,
             config.clone(),
             &self.model,
             &mut self.rng,
-            &mut self.platform,
+            self.platform.as_mut(),
             self.enclave,
             0,
             1,
@@ -137,7 +141,7 @@ impl AttestBench {
             .counters_of(self.enclave)
             .expect("counters")
             .since(target_before);
-        let quoting = self.platform.quoting_counters().since(quoting_before);
+        let quoting = self.platform.attestor_counters().since(quoting_before);
         (target, quoting, outcome.counters)
     }
 }
@@ -148,7 +152,7 @@ impl AttestBench {
 pub fn measure_packet_send(count: u32, encrypt: bool, seed: u64) -> Counters {
     let mut rng = SecureRng::seed_from_u64(seed);
     let epid = EpidGroup::new(1, &mut rng).expect("group");
-    let mut platform = Platform::new("bench-io", &epid, seed);
+    let mut platform = deploy_platform(TeeBackend::Sgx, "bench-io", &epid, seed).expect("platform");
     let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).expect("key");
     let enclave = platform
         .create_signed(Box::new(PacketSender), &author, 1)
@@ -167,11 +171,11 @@ pub fn measure_packet_send(count: u32, encrypt: bool, seed: u64) -> Counters {
         .expect("counters")
         .since(before);
     let ecall_overhead = Counters {
-        sgx_instr: zero_call.sgx_instr - platform.model.io_batch_sgx,
+        sgx_instr: zero_call.sgx_instr - platform.model().io_batch_sgx,
         normal_instr: zero_call.normal_instr
-            - platform.model.send_base
+            - platform.model().send_base
             - if encrypt {
-                platform.model.aes_key_schedule
+                platform.model().aes_key_schedule
             } else {
                 0
             },

@@ -30,7 +30,7 @@ use teenet_crypto::sha256::Sha256;
 use teenet_crypto::{BigUint, SecureRng};
 use teenet_sgx::cost::{CostModel, Counters};
 use teenet_sgx::report::{report_data_from, Report, TargetInfo, REPORT_DATA_LEN};
-use teenet_sgx::{EnclaveCtx, Quote};
+use teenet_sgx::{EnclaveCtx, Evidence};
 
 use crate::channel::SecureChannel;
 use crate::error::{Result, TeenetError};
@@ -113,19 +113,21 @@ impl AttestRequest {
 /// Messages 5–8 combined: the target's attestation response.
 #[derive(Debug, Clone)]
 pub struct AttestResponse {
-    /// The signed QUOTE.
-    pub quote: Quote,
+    /// The signed attestation evidence (an EPID QUOTE on SGX, a
+    /// PSP-signed report plus endorsement chain on a VM TEE).
+    pub evidence: Evidence,
     /// Target's DH public value (empty when `with_dh` is off).
     pub target_dh_pub: Vec<u8>,
 }
 
 impl AttestResponse {
-    /// Wire encoding.
+    /// Wire encoding. Byte-identical to the historical quote-carrying
+    /// encoding when the evidence is EPID.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let quote = self.quote.to_bytes();
-        let mut out = Vec::with_capacity(4 + quote.len() + self.target_dh_pub.len());
-        out.extend_from_slice(&(quote.len() as u16).to_le_bytes());
-        out.extend_from_slice(&quote);
+        let evidence = self.evidence.to_bytes();
+        let mut out = Vec::with_capacity(4 + evidence.len() + self.target_dh_pub.len());
+        out.extend_from_slice(&(evidence.len() as u16).to_le_bytes());
+        out.extend_from_slice(&evidence);
         out.extend_from_slice(&(self.target_dh_pub.len() as u16).to_le_bytes());
         out.extend_from_slice(&self.target_dh_pub);
         out
@@ -138,21 +140,21 @@ impl AttestResponse {
         }
         let qlen = u16::from_le_bytes([buf[0], buf[1]]) as usize;
         if buf.len() < 2 + qlen + 2 {
-            return Err(TeenetError::Protocol("AttestResponse quote length"));
+            return Err(TeenetError::Protocol("AttestResponse evidence length"));
         }
-        let quote_bytes = buf
+        let evidence_bytes = buf
             .get(2..2 + qlen)
-            .ok_or(TeenetError::Protocol("AttestResponse quote length"))?;
-        let quote = Quote::from_bytes(quote_bytes)?;
+            .ok_or(TeenetError::Protocol("AttestResponse evidence length"))?;
+        let evidence = Evidence::from_bytes(evidence_bytes)?;
         let rest = buf
             .get(2 + qlen..)
-            .ok_or(TeenetError::Protocol("AttestResponse quote length"))?;
+            .ok_or(TeenetError::Protocol("AttestResponse evidence length"))?;
         let dlen = u16::from_le_bytes([rest[0], rest[1]]) as usize;
         if rest.len() != 2 + dlen {
             return Err(TeenetError::Protocol("AttestResponse dh length"));
         }
         Ok(AttestResponse {
-            quote,
+            evidence,
             target_dh_pub: rest[2..].to_vec(),
         })
     }
@@ -208,8 +210,9 @@ impl Challenger {
         let mut counters = Counters::new();
         counters.normal(model.attest_challenger_base);
         // The challenger runs in its own enclave: entering it and sending
-        // message 1 through an ocall are four SGX(U) instructions.
-        counters.sgx(4);
+        // message 1 costs one protocol leg of TEE transitions (four SGX(U)
+        // instructions on SGX; a VM TEE charges fewer).
+        counters.sgx(model.challenger_entry_sgx);
         let mut nonce = [0u8; 32];
         rng.fill_bytes(&mut nonce);
         let (dh, challenger_dh_pub) = if config.with_dh {
@@ -245,13 +248,14 @@ impl Challenger {
         certificate: Option<&SoftwareCertificate>,
     ) -> Result<AttestOutcome> {
         // Receiving messages 5-8 re-enters the challenger enclave.
-        self.counters.sgx(4);
-        // Signature check (challenger pays quote_verify).
+        self.counters.sgx(self.model.challenger_entry_sgx);
+        // Signature check (challenger pays the backend's verification
+        // cost: one quote_verify on SGX, two on a VM TEE).
         response
-            .quote
+            .evidence
             .verify(group_public, &mut self.counters, &self.model)?;
         // Identity policy.
-        self.policy.check(&response.quote.body, certificate)?;
+        self.policy.check(response.evidence.body(), certificate)?;
         // Session binding: the quoted report_data must commit to our nonce
         // and both DH shares.
         let challenger_pub = self
@@ -260,7 +264,7 @@ impl Challenger {
             .map(|kp| kp.public_bytes())
             .unwrap_or_default();
         let expected = binding(&self.nonce, &challenger_pub, &response.target_dh_pub);
-        if expected != response.quote.body.report_data {
+        if expected != response.evidence.body().report_data {
             return Err(TeenetError::BindingMismatch);
         }
         // Channel derivation.
@@ -280,7 +284,7 @@ impl Challenger {
             None => None,
         };
         Ok(AttestOutcome {
-            body: response.quote.body.clone(),
+            body: response.evidence.body().clone(),
             channel,
             counters: self.counters,
         })
@@ -340,12 +344,12 @@ impl TargetAttestor {
         ))
     }
 
-    /// Step two (messages 5–8): package the QUOTE into the response and
-    /// derive the target's end of the secure channel.
+    /// Step two (messages 5–8): package the attestation evidence into the
+    /// response and derive the target's end of the secure channel.
     pub fn finish(
         self,
         ctx: &mut EnclaveCtx<'_>,
-        quote: Quote,
+        evidence: Evidence,
     ) -> Result<(AttestResponse, Option<SecureChannel>)> {
         // Derive the seal key under which session state would persist
         // across enclave restarts (one EGETKEY).
@@ -366,7 +370,7 @@ impl TargetAttestor {
         };
         Ok((
             AttestResponse {
-                quote,
+                evidence,
                 target_dh_pub,
             },
             channel,
@@ -378,7 +382,9 @@ impl TargetAttestor {
 mod tests {
     use super::*;
     use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
-    use teenet_sgx::{EnclaveProgram, EpidGroup, Platform, SgxError};
+    use teenet_sgx::{
+        deploy_platform, EnclaveProgram, EpidGroup, SgxError, TeeBackend, TeePlatform,
+    };
 
     /// Test enclave program implementing the target side of attestation.
     struct Target {
@@ -412,15 +418,15 @@ mod tests {
                     self.pending = Some(attestor);
                     Ok(report.to_bytes())
                 }
-                // finish: input = Quote
+                // finish: input = Evidence
                 1 => {
-                    let quote = Quote::from_bytes(input)?;
+                    let evidence = Evidence::from_bytes(input)?;
                     let attestor = self
                         .pending
                         .take()
                         .ok_or(SgxError::EcallRejected("no pending attestation"))?;
                     let (response, channel) = attestor
-                        .finish(ctx, quote)
+                        .finish(ctx, evidence)
                         .map_err(|_| SgxError::EcallRejected("finish failed"))?;
                     self.channel = channel;
                     Ok(response.to_bytes())
@@ -444,7 +450,7 @@ mod tests {
     }
 
     struct World {
-        platform: Platform,
+        platform: Box<dyn TeePlatform>,
         enclave: teenet_sgx::EnclaveId,
         group_public: VerifyingKey,
         rng: SecureRng,
@@ -452,9 +458,13 @@ mod tests {
     }
 
     fn setup(config: AttestConfig) -> World {
+        setup_backend(config, TeeBackend::Sgx)
+    }
+
+    fn setup_backend(config: AttestConfig, backend: TeeBackend) -> World {
         let mut rng = SecureRng::seed_from_u64(77);
         let epid = EpidGroup::new(1, &mut rng).unwrap();
-        let mut platform = Platform::new("target-host", &epid, 3);
+        let mut platform = deploy_platform(backend, "target-host", &epid, 3).unwrap();
         let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
         let enclave = platform
             .create_signed(
@@ -467,12 +477,13 @@ mod tests {
                 1,
             )
             .unwrap();
+        let model = backend.cost_model();
         World {
             platform,
             enclave,
             group_public: epid.public_key(),
             rng,
-            model: CostModel::paper(),
+            model,
         }
     }
 
@@ -486,15 +497,16 @@ mod tests {
             Challenger::start(policy, config, &world.model, &mut world.rng)?;
         // Host ferries msg 1 into the target enclave.
         let mut input = request.to_bytes();
-        input.extend_from_slice(&world.platform.quoting_target_info().mrenclave.0);
+        input.extend_from_slice(&world.platform.attestation_target_info().mrenclave.0);
         let report_bytes = world.platform.ecall_nohost(world.enclave, 0, &input)?;
         let report = Report::from_bytes(&report_bytes)?;
-        // Host runs the QE (msgs 3–4).
-        let quote = world.platform.quote(&report)?;
-        // Host returns quote to the target (msgs 5–8 assembled inside).
+        // Host runs the attestation component (msgs 3–4): the QE on SGX,
+        // the PSP on a VM TEE.
+        let evidence = world.platform.evidence(&report)?;
+        // Host returns evidence to the target (msgs 5–8 assembled inside).
         let response_bytes = world
             .platform
-            .ecall_nohost(world.enclave, 1, &quote.to_bytes())?;
+            .ecall_nohost(world.enclave, 1, &evidence.to_bytes())?;
         let response = AttestResponse::from_bytes(&response_bytes)?;
         // Msg 9.
         challenger.verify(&response, &world.group_public, None)
@@ -513,6 +525,27 @@ mod tests {
         let msg = channel.seal(b"hello enclave");
         let reply = world.platform.ecall_nohost(world.enclave, 2, &msg).unwrap();
         assert_eq!(channel.open(&reply).unwrap(), b"echo: hello enclave");
+    }
+
+    #[test]
+    fn full_attestation_with_channel_on_vmtee() {
+        // The same Figure-1 flow against the VM-TEE backend: the PSP's
+        // evidence (report signature + endorsement chain) must satisfy the
+        // unchanged in-enclave challenger, and the channel must work.
+        let config = AttestConfig::fast();
+        let mut world = setup_backend(config.clone(), TeeBackend::VmTee);
+        let expected = world.platform.measurement_of(world.enclave).unwrap();
+        let outcome =
+            run_attestation(&mut world, IdentityPolicy::Mrenclave(expected), config).unwrap();
+        assert_eq!(outcome.body.mrenclave, expected);
+        let mut channel = outcome.channel.expect("channel bootstrapped");
+        let msg = channel.seal(b"hello guest");
+        let reply = world.platform.ecall_nohost(world.enclave, 2, &msg).unwrap();
+        assert_eq!(channel.open(&reply).unwrap(), b"echo: hello guest");
+        // The challenger paid the VM-TEE verification shape: two signature
+        // checks, cheaper protocol-leg transitions.
+        assert!(outcome.counters.normal_instr >= 2 * world.model.quote_verify);
+        assert_eq!(world.model.challenger_entry_sgx, 2);
     }
 
     #[test]
@@ -551,16 +584,16 @@ mod tests {
         )
         .unwrap();
         let mut input = request.to_bytes();
-        input.extend_from_slice(&world.platform.quoting_target_info().mrenclave.0);
+        input.extend_from_slice(&world.platform.attestation_target_info().mrenclave.0);
         let report_bytes = world
             .platform
             .ecall_nohost(world.enclave, 0, &input)
             .unwrap();
         let report = Report::from_bytes(&report_bytes).unwrap();
-        let quote = world.platform.quote(&report).unwrap();
+        let evidence = world.platform.evidence(&report).unwrap();
         let response_bytes = world
             .platform
-            .ecall_nohost(world.enclave, 1, &quote.to_bytes())
+            .ecall_nohost(world.enclave, 1, &evidence.to_bytes())
             .unwrap();
         let mut response = AttestResponse::from_bytes(&response_bytes).unwrap();
         // MITM swaps in its own DH public value.
@@ -587,16 +620,16 @@ mod tests {
         )
         .unwrap();
         let mut input = request1.to_bytes();
-        input.extend_from_slice(&world.platform.quoting_target_info().mrenclave.0);
+        input.extend_from_slice(&world.platform.attestation_target_info().mrenclave.0);
         let report_bytes = world
             .platform
             .ecall_nohost(world.enclave, 0, &input)
             .unwrap();
         let report = Report::from_bytes(&report_bytes).unwrap();
-        let quote = world.platform.quote(&report).unwrap();
+        let evidence = world.platform.evidence(&report).unwrap();
         let response_bytes = world
             .platform
-            .ecall_nohost(world.enclave, 1, &quote.to_bytes())
+            .ecall_nohost(world.enclave, 1, &evidence.to_bytes())
             .unwrap();
         let response = AttestResponse::from_bytes(&response_bytes).unwrap();
         drop(challenger1);

@@ -18,8 +18,8 @@ use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::Counters;
 use teenet_sgx::{
-    EnclaveCtx, EnclaveId, EnclaveProgram, EpidGroup, Platform, Report, SgxError, TransitionMode,
-    TransitionStats,
+    deploy_platform, EnclaveCtx, EnclaveId, EnclaveProgram, EpidGroup, Report, SgxError,
+    TeePlatform, TransitionMode, TransitionStats,
 };
 
 use crate::attest::{AttestConfig, AttestResponse, Challenger};
@@ -53,7 +53,7 @@ impl EnclaveProgram for AttestTarget {
 }
 
 struct Deployed {
-    platform: Platform,
+    platform: Box<dyn TeePlatform>,
     enclave: EnclaveId,
     epid: EpidGroup,
     rng: SecureRng,
@@ -102,7 +102,8 @@ impl EnclaveService for AttestService {
     fn deploy(&mut self, env: &mut ServiceEnv) -> Result<()> {
         let mut rng = SecureRng::seed_from_u64(env.seed);
         let epid = EpidGroup::new(1, &mut rng).map_err(TeenetError::Sgx)?;
-        let mut platform = Platform::new("load-attest-target", &epid, env.seed);
+        let mut platform = deploy_platform(env.backend, "load-attest-target", &epid, env.seed)
+            .map_err(TeenetError::Sgx)?;
         let author =
             SigningKey::generate(&SchnorrGroup::small(), &mut rng).map_err(TeenetError::Crypto)?;
         let enclave = platform
@@ -153,7 +154,7 @@ impl EnclaveService for AttestService {
             .platform
             .counters_of(state.enclave)
             .map_err(TeenetError::Sgx)?;
-        total.merge(state.platform.quoting_counters());
+        total.merge(state.platform.attestor_counters());
         Ok(total)
     }
 
@@ -192,15 +193,15 @@ impl EnclaveService for AttestService {
         let request_wire = request.to_bytes();
 
         let mut begin_input = request_wire.clone();
-        begin_input.extend_from_slice(&state.platform.quoting_target_info().mrenclave.0);
+        begin_input.extend_from_slice(&state.platform.attestation_target_info().mrenclave.0);
         let report_bytes = state
             .platform
             .ecall_nohost(state.enclave, 0, &begin_input)
             .map_err(TeenetError::Sgx)?;
         let report = Report::from_bytes(&report_bytes).map_err(TeenetError::Sgx)?;
-        let quote = state.platform.quote(&report).map_err(TeenetError::Sgx)?;
+        let evidence = state.platform.evidence(&report).map_err(TeenetError::Sgx)?;
         let mut finish_input = request.nonce.to_vec();
-        finish_input.extend_from_slice(&quote.to_bytes());
+        finish_input.extend_from_slice(&evidence.to_bytes());
         let response_wire = state
             .platform
             .ecall_nohost(state.enclave, 1, &finish_input)
@@ -246,6 +247,21 @@ mod tests {
         // quote, so it is bigger than the request.
         assert_eq!(step.request_bytes, 34 + 96); // 768-bit share
         assert!(step.response_bytes > step.request_bytes);
+    }
+
+    #[test]
+    fn attest_service_calibrates_on_vmtee() {
+        use teenet_sgx::TeeBackend;
+        let sgx = calibrate(&AttestConfig::fast(), 7, TransitionMode::Classic);
+        let vm = AppHarness::with_backend(7, TransitionMode::Classic, TeeBackend::VmTee)
+            .calibrate(&mut AttestService::new(AttestConfig::fast()))
+            .unwrap();
+        assert_eq!(vm.backend, TeeBackend::VmTee);
+        assert_eq!(vm.steps.len(), sgx.steps.len());
+        // Same protocol either way; the VM-TEE evidence carries an
+        // endorsement chain, so its response is strictly longer.
+        assert_eq!(vm.steps[0].request_bytes, sgx.steps[0].request_bytes);
+        assert!(vm.steps[0].response_bytes > sgx.steps[0].response_bytes);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use teenet_crypto::schnorr::VerifyingKey;
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::CostModel;
-use teenet_sgx::{EnclaveId, Platform, ReportBody};
+use teenet_sgx::{EnclaveId, ReportBody, TeePlatform};
 
 use crate::attest::AttestConfig;
 use crate::channel::SecureChannel;
@@ -40,8 +40,8 @@ pub struct MutualOutcome {
 
 /// Parameters describing one side of a mutual attestation.
 pub struct Party<'a> {
-    /// The platform hosting this side's enclave.
-    pub platform: &'a mut Platform,
+    /// The platform hosting this side's enclave (any TEE backend).
+    pub platform: &'a mut dyn TeePlatform,
     /// The enclave exposing responder ecalls.
     pub enclave: EnclaveId,
     /// Responder ecall id for *begin*.
@@ -107,7 +107,9 @@ mod tests {
     use super::*;
     use crate::responder::AttestResponder;
     use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
-    use teenet_sgx::{EnclaveCtx, EnclaveProgram, EpidGroup, SgxError};
+    use teenet_sgx::{
+        deploy_platform, EnclaveCtx, EnclaveProgram, EpidGroup, SgxError, TeeBackend,
+    };
 
     struct Svc {
         responder: AttestResponder,
@@ -136,9 +138,9 @@ mod tests {
         tag_a: u8,
         tag_b: u8,
     ) -> (
-        Platform,
+        Box<dyn TeePlatform>,
         EnclaveId,
-        Platform,
+        Box<dyn TeePlatform>,
         EnclaveId,
         SecureRng,
         VerifyingKey,
@@ -146,8 +148,20 @@ mod tests {
         let mut rng = SecureRng::seed_from_u64(tag_a as u64 * 251 + tag_b as u64);
         let epid = EpidGroup::new(1, &mut rng).unwrap();
         let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
-        let mut pa = Platform::new(&format!("mutual-a-{tag_a}-{tag_b}"), &epid, 1);
-        let mut pb = Platform::new(&format!("mutual-b-{tag_a}-{tag_b}"), &epid, 2);
+        let mut pa = deploy_platform(
+            TeeBackend::Sgx,
+            &format!("mutual-a-{tag_a}-{tag_b}"),
+            &epid,
+            1,
+        )
+        .unwrap();
+        let mut pb = deploy_platform(
+            TeeBackend::Sgx,
+            &format!("mutual-b-{tag_a}-{tag_b}"),
+            &epid,
+            2,
+        )
+        .unwrap();
         let ea = pa
             .create_signed(
                 Box::new(Svc {
@@ -180,7 +194,7 @@ mod tests {
         let model = CostModel::paper();
         let outcome = mutual_attest(
             &mut Party {
-                platform: &mut pa,
+                platform: pa.as_mut(),
                 enclave: ea,
                 begin_fn: 0,
                 finish_fn: 1,
@@ -189,7 +203,7 @@ mod tests {
                 group_public: &gk,
             },
             &mut Party {
-                platform: &mut pb,
+                platform: pb.as_mut(),
                 enclave: eb,
                 begin_fn: 0,
                 finish_fn: 1,
@@ -217,7 +231,7 @@ mod tests {
         // A expects the wrong identity of B.
         let result = mutual_attest(
             &mut Party {
-                platform: &mut pa,
+                platform: pa.as_mut(),
                 enclave: ea,
                 begin_fn: 0,
                 finish_fn: 1,
@@ -226,7 +240,7 @@ mod tests {
                 group_public: &gk,
             },
             &mut Party {
-                platform: &mut pb,
+                platform: pb.as_mut(),
                 enclave: eb,
                 begin_fn: 0,
                 finish_fn: 1,

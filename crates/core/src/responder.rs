@@ -14,7 +14,7 @@ use teenet_crypto::schnorr::VerifyingKey;
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::CostModel;
 use teenet_sgx::report::TargetInfo;
-use teenet_sgx::{EnclaveCtx, EnclaveId, Measurement, Platform, Quote, Report, SgxError};
+use teenet_sgx::{EnclaveCtx, EnclaveId, Evidence, Measurement, Report, SgxError, TeePlatform};
 
 use crate::attest::{
     AttestConfig, AttestOutcome, AttestRequest, AttestResponse, Challenger, TargetAttestor,
@@ -47,8 +47,9 @@ impl AttestResponder {
 
     /// Ecall handler for the *begin* step.
     ///
-    /// `input` = serialized [`AttestRequest`] ‖ QE measurement (32 bytes);
-    /// returns the serialized REPORT for the host to ferry to the QE.
+    /// `input` = serialized [`AttestRequest`] ‖ attestation-target
+    /// measurement (32 bytes — the QE on SGX, the PSP on a VM TEE);
+    /// returns the serialized REPORT for the host to ferry to it.
     pub fn handle_begin(
         &mut self,
         ctx: &mut EnclaveCtx<'_>,
@@ -81,9 +82,9 @@ impl AttestResponder {
 
     /// Ecall handler for the *finish* step.
     ///
-    /// `input` = session nonce (32 bytes) ‖ serialized QUOTE; returns the
-    /// serialized [`AttestResponse`] and stores the channel under the
-    /// nonce.
+    /// `input` = session nonce (32 bytes) ‖ serialized [`Evidence`];
+    /// returns the serialized [`AttestResponse`] and stores the channel
+    /// under the nonce.
     pub fn handle_finish(
         &mut self,
         ctx: &mut EnclaveCtx<'_>,
@@ -92,19 +93,19 @@ impl AttestResponder {
         if input.len() < 32 {
             return Err(SgxError::EcallRejected("short attest-finish input"));
         }
-        let (nonce, quote_bytes) = input.split_at(32);
+        let (nonce, evidence_bytes) = input.split_at(32);
         let nonce: SessionNonce = nonce
             .try_into()
             .map_err(|_| SgxError::EcallRejected("bad session nonce"))?;
-        let quote = Quote::from_bytes(quote_bytes)?;
+        let evidence = Evidence::from_bytes(evidence_bytes)?;
         let attestor = self
             .pending
             .remove(&nonce)
             .ok_or(SgxError::EcallRejected("no pending attestation"))?;
-        // Message 4 (the QUOTE) arrives from the quoting enclave.
+        // Message 4 (the evidence) arrives from the attestation component.
         ctx.ocall("recv", &[]);
         let (response, channel) = attestor
-            .finish(ctx, quote)
+            .finish(ctx, evidence)
             .map_err(|_| SgxError::EcallRejected("attest finish failed"))?;
         if let Some(channel) = channel {
             self.channels.insert(nonce, channel);
@@ -139,7 +140,7 @@ pub fn attest_enclave(
     config: AttestConfig,
     model: &CostModel,
     rng: &mut SecureRng,
-    platform: &mut Platform,
+    platform: &mut dyn TeePlatform,
     enclave: EnclaveId,
     begin_fn: u64,
     finish_fn: u64,
@@ -149,14 +150,14 @@ pub fn attest_enclave(
     let (challenger, request) = Challenger::start(policy, config, model, rng)?;
     let nonce = request.nonce;
     let mut begin_input = request.to_bytes();
-    begin_input.extend_from_slice(&platform.quoting_target_info().mrenclave.0);
+    begin_input.extend_from_slice(&platform.attestation_target_info().mrenclave.0);
     let report_bytes = platform
         .ecall_nohost(enclave, begin_fn, &begin_input)
         .map_err(TeenetError::Sgx)?;
     let report = Report::from_bytes(&report_bytes).map_err(TeenetError::Sgx)?;
-    let quote = platform.quote(&report).map_err(TeenetError::Sgx)?;
+    let evidence = platform.evidence(&report).map_err(TeenetError::Sgx)?;
     let mut finish_input = nonce.to_vec();
-    finish_input.extend_from_slice(&quote.to_bytes());
+    finish_input.extend_from_slice(&evidence.to_bytes());
     let response_bytes = platform
         .ecall_nohost(enclave, finish_fn, &finish_input)
         .map_err(TeenetError::Sgx)?;
@@ -169,7 +170,7 @@ pub fn attest_enclave(
 mod tests {
     use super::*;
     use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
-    use teenet_sgx::{EnclaveProgram, EpidGroup};
+    use teenet_sgx::{deploy_platform, EnclaveProgram, EpidGroup, TeeBackend};
 
     /// Minimal enclave exposing the responder ecalls plus an echo over the
     /// channel.
@@ -204,11 +205,10 @@ mod tests {
         }
     }
 
-    #[test]
-    fn responder_flow_end_to_end() {
+    fn run_responder_flow(backend: TeeBackend) {
         let mut rng = SecureRng::seed_from_u64(5);
         let epid = EpidGroup::new(1, &mut rng).unwrap();
-        let mut platform = Platform::new("svc", &epid, 9);
+        let mut platform = deploy_platform(backend, "svc", &epid, 9).unwrap();
         let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
         let enclave = platform
             .create_signed(
@@ -219,13 +219,13 @@ mod tests {
                 1,
             )
             .unwrap();
-        let model = CostModel::paper();
+        let model = backend.cost_model();
         let (outcome, nonce) = attest_enclave(
             IdentityPolicy::Mrenclave(platform.measurement_of(enclave).unwrap()),
             AttestConfig::fast(),
             &model,
             &mut rng,
-            &mut platform,
+            platform.as_mut(),
             enclave,
             0,
             1,
@@ -241,10 +241,20 @@ mod tests {
     }
 
     #[test]
+    fn responder_flow_end_to_end() {
+        run_responder_flow(TeeBackend::Sgx);
+    }
+
+    #[test]
+    fn responder_flow_end_to_end_on_vmtee() {
+        run_responder_flow(TeeBackend::VmTee);
+    }
+
+    #[test]
     fn responder_rejects_unknown_session() {
         let mut rng = SecureRng::seed_from_u64(6);
         let epid = EpidGroup::new(1, &mut rng).unwrap();
-        let mut platform = Platform::new("svc", &epid, 9);
+        let mut platform = deploy_platform(TeeBackend::Sgx, "svc", &epid, 9).unwrap();
         let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
         let enclave = platform
             .create_signed(
@@ -265,7 +275,7 @@ mod tests {
     fn wrong_expected_identity_fails_in_driver() {
         let mut rng = SecureRng::seed_from_u64(7);
         let epid = EpidGroup::new(1, &mut rng).unwrap();
-        let mut platform = Platform::new("svc", &epid, 9);
+        let mut platform = deploy_platform(TeeBackend::Sgx, "svc", &epid, 9).unwrap();
         let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
         let enclave = platform
             .create_signed(
@@ -282,7 +292,7 @@ mod tests {
             AttestConfig::fast(),
             &model,
             &mut rng,
-            &mut platform,
+            platform.as_mut(),
             enclave,
             0,
             1,

@@ -18,7 +18,7 @@ use teenet::identity::IdentityPolicy;
 use teenet_crypto::schnorr::VerifyingKey;
 use teenet_crypto::SecureRng;
 use teenet_sgx::report::TargetInfo;
-use teenet_sgx::{EnclaveCtx, EnclaveProgram, Measurement, Quote, SgxError};
+use teenet_sgx::{EnclaveCtx, EnclaveProgram, Evidence, Measurement, SgxError};
 
 use crate::compute::{compute_routes, RoutingOutcome};
 use crate::cost;
@@ -32,7 +32,7 @@ use crate::wire;
 pub mod ic_fn {
     /// Attestation step 1 (input: AttestRequest ‖ QE measurement).
     pub const ATTEST_BEGIN: u64 = 0;
-    /// Attestation step 2 (input: nonce ‖ Quote).
+    /// Attestation step 2 (input: nonce ‖ Evidence).
     pub const ATTEST_FINISH: u64 = 1;
     /// Policy/topology submission (input: nonce ‖ sealed submission).
     pub const SUBMIT: u64 = 2;
@@ -191,14 +191,14 @@ impl EnclaveProgram for InterdomainController {
                 Ok(report.to_bytes())
             }
             ic_fn::ATTEST_FINISH => {
-                let (nonce, quote_bytes) = nonce_of(input)?;
-                let quote = Quote::from_bytes(quote_bytes)?;
+                let (nonce, evidence_bytes) = nonce_of(input)?;
+                let evidence = Evidence::from_bytes(evidence_bytes)?;
                 let attestor = self
                     .pending_attest
                     .remove(&nonce)
                     .ok_or(SgxError::EcallRejected("no pending attestation"))?;
                 let (response, channel) = attestor
-                    .finish(ctx, quote)
+                    .finish(ctx, evidence)
                     .map_err(|_| SgxError::EcallRejected("attest finish failed"))?;
                 let channel =
                     channel.ok_or(SgxError::EcallRejected("attestation without channel"))?;

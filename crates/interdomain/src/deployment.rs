@@ -17,7 +17,8 @@ use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::Counters;
 use teenet_sgx::{
-    EnclaveId, EpidGroup, Platform, Report, SgxError, TransitionMode, TransitionStats,
+    deploy_platform, EnclaveId, EpidGroup, Report, SgxError, TeeBackend, TeePlatform,
+    TransitionMode, TransitionStats,
 };
 
 use crate::compute::{compute_routes, RoutingOutcome};
@@ -64,9 +65,9 @@ impl SdnReport {
 /// A deployed SGX inter-domain routing system.
 pub struct SdnDeployment {
     /// Platform hosting the inter-domain controller.
-    pub controller_platform: Platform,
+    pub controller_platform: Box<dyn TeePlatform>,
     /// One platform per AS.
-    pub as_platforms: Vec<Platform>,
+    pub as_platforms: Vec<Box<dyn TeePlatform>>,
     controller_enclave: EnclaveId,
     as_enclaves: Vec<EnclaveId>,
     as_nonces: Vec<Option<[u8; 32]>>,
@@ -84,12 +85,24 @@ impl SdnDeployment {
         config: AttestConfig,
         seed: u64,
     ) -> Result<Self> {
+        Self::with_backend(topology, policies, config, seed, TeeBackend::Sgx)
+    }
+
+    /// [`SdnDeployment::new`] on an explicit TEE backend.
+    pub fn with_backend(
+        topology: &Topology,
+        policies: &HashMap<AsId, LocalPolicy>,
+        config: AttestConfig,
+        seed: u64,
+        backend: TeeBackend,
+    ) -> Result<Self> {
         let mut rng = SecureRng::seed_from_u64(seed);
         let epid = EpidGroup::new(1, &mut rng)?;
         let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng)?;
         let expected = InterdomainController::expected_measurement(&config);
 
-        let mut controller_platform = Platform::new("interdomain-controller", &epid, seed);
+        let mut controller_platform =
+            deploy_platform(backend, "interdomain-controller", &epid, seed)?;
         let controller_enclave = controller_platform.create_signed(
             Box::new(InterdomainController::new(config.clone())),
             &author,
@@ -99,8 +112,12 @@ impl SdnDeployment {
         let mut as_platforms = Vec::with_capacity(topology.len());
         let mut as_enclaves = Vec::with_capacity(topology.len());
         for as_id in topology.ases() {
-            let mut platform =
-                Platform::new(&format!("as-{}", as_id.0), &epid, seed + 1 + as_id.0 as u64);
+            let mut platform = deploy_platform(
+                backend,
+                &format!("as-{}", as_id.0),
+                &epid,
+                seed + 1 + as_id.0 as u64,
+            )?;
             let local_edges: Vec<_> = topology
                 .edges()
                 .iter()
@@ -137,7 +154,7 @@ impl SdnDeployment {
     /// Phase 1 (messages 1–4 of Figure 2): every AS-local controller
     /// attests the inter-domain controller and bootstraps its channel.
     pub fn attest_all(&mut self) -> Result<()> {
-        let qe_mr = self.controller_platform.quoting_target_info().mrenclave;
+        let qe_mr = self.controller_platform.attestation_target_info().mrenclave;
         for i in 0..self.as_enclaves.len() {
             // Message 1 from the AS-local enclave (the challenger).
             let request =
@@ -153,9 +170,9 @@ impl SdnDeployment {
                 &begin_input,
             )?;
             let report = Report::from_bytes(&report_bytes)?;
-            let quote = self.controller_platform.quote(&report)?;
+            let evidence = self.controller_platform.evidence(&report)?;
             let mut finish_input = nonce.to_vec();
-            finish_input.extend_from_slice(&quote.to_bytes());
+            finish_input.extend_from_slice(&evidence.to_bytes());
             let response = self.controller_platform.ecall_nohost(
                 self.controller_enclave,
                 ic_fn::ATTEST_FINISH,

@@ -75,11 +75,12 @@ impl EnclaveService for BgpService {
         let mut rng = SecureRng::seed_from_u64(env.seed ^ 0x0062_6770);
         let topology = Topology::random(self.n_ases, &mut rng);
         let policies = HashMap::new();
-        self.deployed = Some(SdnDeployment::new(
+        self.deployed = Some(SdnDeployment::with_backend(
             &topology,
             &policies,
             AttestConfig::fast(),
             env.seed,
+            env.backend,
         )?);
         Ok(())
     }

@@ -31,7 +31,8 @@ use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::Counters;
 use teenet_sgx::{
-    EnclaveId, EpidGroup, Platform, Report, SgxError, TransitionMode, TransitionStats,
+    deploy_platform, EnclaveId, EpidGroup, Report, SgxError, TeePlatform, TransitionMode,
+    TransitionStats,
 };
 
 use crate::coordinator::{
@@ -55,9 +56,9 @@ struct BlobSlot {
 }
 
 struct Deployed {
-    coordinator_platform: Platform,
+    coordinator_platform: Box<dyn TeePlatform>,
     coordinator: EnclaveId,
-    worker_platform: Platform,
+    worker_platform: Box<dyn TeePlatform>,
     workers: Vec<EnclaveId>,
     blobs: Vec<BlobSlot>,
     cursor: usize,
@@ -123,14 +124,14 @@ fn attest_fleet_member(
     let request = AttestRequest::from_bytes(&request_wire)
         .map_err(|_| KeystoreError::Protocol("coordinator emitted a bad attest request"))?;
     let mut begin_input = request_wire.clone();
-    begin_input.extend_from_slice(&state.worker_platform.quoting_target_info().mrenclave.0);
+    begin_input.extend_from_slice(&state.worker_platform.attestation_target_info().mrenclave.0);
     let report_bytes = state
         .worker_platform
         .ecall_nohost(worker, FN_ATTEST_BEGIN, &begin_input)?;
     let report = Report::from_bytes(&report_bytes)?;
-    let quote = state.worker_platform.quote(&report)?;
+    let evidence = state.worker_platform.evidence(&report)?;
     let mut finish_input = request.nonce.to_vec();
-    finish_input.extend_from_slice(&quote.to_bytes());
+    finish_input.extend_from_slice(&evidence.to_bytes());
     let response_wire =
         state
             .worker_platform
@@ -217,7 +218,8 @@ impl EnclaveService for KeystoreService {
         let epid = EpidGroup::new(9, &mut rng).map_err(KeystoreError::Sgx)?;
         let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng)
             .map_err(|_| KeystoreError::Protocol("author keygen failed"))?;
-        let mut worker_platform = Platform::new("keystore-fleet", &epid, env.seed);
+        let mut worker_platform = deploy_platform(env.backend, "keystore-fleet", &epid, env.seed)
+            .map_err(KeystoreError::Sgx)?;
         let mut workers = Vec::with_capacity(self.fleet_size as usize);
         for _ in 0..self.fleet_size {
             let id = worker_platform
@@ -236,8 +238,13 @@ impl EnclaveService for KeystoreService {
         let expected = worker_platform
             .measurement_of(first)
             .map_err(KeystoreError::Sgx)?;
-        let mut coordinator_platform =
-            Platform::new("keystore-coordinator", &epid, env.seed.wrapping_add(1));
+        let mut coordinator_platform = deploy_platform(
+            env.backend,
+            "keystore-coordinator",
+            &epid,
+            env.seed.wrapping_add(1),
+        )
+        .map_err(KeystoreError::Sgx)?;
         let coordinator = coordinator_platform
             .create_signed(
                 Box::new(CoordinatorEnclave::new(

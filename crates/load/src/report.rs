@@ -9,8 +9,8 @@
 use std::fmt::Write as _;
 
 use teenet_netsim::sim::LinkStats;
-use teenet_sgx::cost::{CostModel, Counters};
-use teenet_sgx::TransitionStats;
+use teenet_sgx::cost::Counters;
+use teenet_sgx::{TeeBackend, TransitionStats};
 
 use crate::hist::Histogram;
 use crate::metrics::PhaseRollup;
@@ -24,6 +24,9 @@ pub struct RunReport {
     /// Transition mode the scenario was calibrated under (`classic`,
     /// `switchless`).
     pub transition_mode: String,
+    /// The TEE backend the run was calibrated and priced against. Phase
+    /// and total cycles in this report use this backend's cost model.
+    pub backend: TeeBackend,
     /// Seed driving all randomness in the run.
     pub seed: u64,
     /// Open-loop arrival rate actually used (0 for closed loop).
@@ -54,7 +57,7 @@ pub struct RunReport {
     pub phases: Vec<PhaseRollup>,
     /// Instruction totals across all phases.
     pub total: Counters,
-    /// `total` converted to cycles under the paper's model.
+    /// `total` converted to cycles under the backend's model.
     pub total_cycles: u64,
     /// Enclave boundary crossings accumulated over all steady-state ops.
     pub transitions: TransitionStats,
@@ -64,10 +67,16 @@ impl RunReport {
     /// The human-readable summary table.
     pub fn text(&self) -> String {
         let mut s = String::new();
+        let model = self.backend.cost_model();
         let (p50, p90, p99, p999) = self.latency.percentiles();
         let _ = writeln!(s, "== teenet-load: {} ({}) ==", self.scenario, self.mode);
         let _ = writeln!(s, "{:<26} {}", "seed", self.seed);
         let _ = writeln!(s, "{:<26} {}", "transition mode", self.transition_mode);
+        // The backend line is emitted only off the SGX default so reports
+        // produced before the multi-backend split stay byte-identical.
+        if self.backend != TeeBackend::Sgx {
+            let _ = writeln!(s, "{:<26} {}", "backend", self.backend.as_str());
+        }
         if self.concurrency > 0 {
             let _ = writeln!(s, "{:<26} {}", "concurrency", self.concurrency);
         } else {
@@ -137,7 +146,7 @@ impl RunReport {
                 p.ops,
                 p.counters.sgx_instr,
                 p.counters.normal_instr,
-                p.cycles(&CostModel::paper())
+                p.cycles(&model)
             );
         }
         let _ = writeln!(
@@ -150,12 +159,18 @@ impl RunReport {
 
     /// The byte-stable JSON report: fixed key order, fixed float precision.
     pub fn json(&self) -> String {
+        let model = self.backend.cost_model();
         let (p50, p90, p99, p999) = self.latency.percentiles();
         let mut s = String::new();
         s.push('{');
         let _ = write!(s, "\"scenario\":\"{}\"", self.scenario);
         let _ = write!(s, ",\"mode\":\"{}\"", self.mode);
         let _ = write!(s, ",\"transition_mode\":\"{}\"", self.transition_mode);
+        // Emitted only off the SGX default: pre-split consumers (and the
+        // golden fixtures) never saw this key.
+        if self.backend != TeeBackend::Sgx {
+            let _ = write!(s, ",\"backend\":\"{}\"", self.backend.as_str());
+        }
         let _ = write!(s, ",\"seed\":{}", self.seed);
         let _ = write!(s, ",\"rate_per_sec\":{:.6}", self.rate_per_sec);
         let _ = write!(s, ",\"concurrency\":{}", self.concurrency);
@@ -201,7 +216,7 @@ impl RunReport {
                 p.ops,
                 p.counters.sgx_instr,
                 p.counters.normal_instr,
-                p.cycles(&CostModel::paper())
+                p.cycles(&model)
             );
         }
         s.push(']');
@@ -243,6 +258,7 @@ mod tests {
             scenario: "attest".into(),
             mode: "open".into(),
             transition_mode: "classic".into(),
+            backend: TeeBackend::Sgx,
             seed: 1,
             rate_per_sec: 100.0,
             concurrency: 0,
@@ -299,5 +315,22 @@ mod tests {
         let opens = j.matches('{').count();
         let closes = j.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn backend_key_appears_only_off_the_sgx_default() {
+        let sgx = sample_report();
+        assert!(!sgx.json().contains("\"backend\""));
+        assert!(!sgx.text().contains("backend"));
+
+        let mut vm = sample_report();
+        vm.backend = TeeBackend::VmTee;
+        vm.total_cycles = vm.total.cycles(&vm.backend.cost_model());
+        let j = vm.json();
+        assert!(j.contains("\"transition_mode\":\"classic\",\"backend\":\"vmtee\",\"seed\":1"));
+        assert!(vm.text().contains("backend"));
+        // Same counters, different model: the priced cycles must differ.
+        assert_ne!(vm.total_cycles, sgx.total_cycles);
+        assert_ne!(j, sgx.json());
     }
 }

@@ -375,7 +375,6 @@ impl SessionTable {
 /// a calibrated scenario script through it.
 pub struct LoadRunner {
     config: LoadConfig,
-    model: CostModel,
 }
 
 pub(crate) struct Engine<'a> {
@@ -405,20 +404,15 @@ pub(crate) struct Engine<'a> {
 }
 
 impl LoadRunner {
-    /// A runner using the paper's cost model.
+    /// A runner for `config`. The cost model is not fixed here: each run
+    /// prices cycles with the model of the calibration's TEE backend
+    /// ([`Calibration::cost_model`]).
     pub fn new(config: LoadConfig) -> Self {
-        LoadRunner {
-            config,
-            model: CostModel::paper(),
-        }
+        LoadRunner { config }
     }
 
     pub(crate) fn config(&self) -> &LoadConfig {
         &self.config
-    }
-
-    pub(crate) fn model(&self) -> &CostModel {
-        &self.model
     }
 
     /// Drives `calibration`'s per-session script under this runner's
@@ -441,7 +435,8 @@ impl LoadRunner {
             "calibration must contain at least one op"
         );
         let cfg = &self.config;
-        let mut engine = Engine::new(cfg, calibration, &self.model);
+        let model = calibration.cost_model();
+        let mut engine = Engine::new(cfg, calibration, &model);
         engine.prime();
         engine.drain();
         let stats = engine.stats();
@@ -473,7 +468,8 @@ impl LoadRunner {
             "calibration must contain at least one op"
         );
         let cfg = &self.config;
-        let mut engine = Engine::new_reference(cfg, calibration, &self.model)?;
+        let model = calibration.cost_model();
+        let mut engine = Engine::new_reference(cfg, calibration, &model)?;
         engine.prime();
         engine.drain();
         let stats = engine.stats();
@@ -955,6 +951,7 @@ pub(crate) fn report_from_metrics(
         scenario: scenario.to_string(),
         mode: mode.to_string(),
         transition_mode: cal.mode.as_str().to_string(),
+        backend: cal.backend,
         seed: cfg.seed,
         rate_per_sec: rate,
         concurrency,
@@ -1044,6 +1041,7 @@ mod tests {
                 },
             ],
             mode: Default::default(),
+            backend: teenet_sgx::TeeBackend::Sgx,
         }
     }
 
@@ -1096,6 +1094,7 @@ mod tests {
                 transitions: TransitionStats::default(),
             }],
             mode: Default::default(),
+            backend: teenet_sgx::TeeBackend::Sgx,
         };
         let report = LoadRunner::new(cfg).run("tie", &cal);
         assert_eq!(report.completed, 1);

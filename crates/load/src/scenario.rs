@@ -10,7 +10,7 @@
 //! real session costs precisely what the first did, modulo the keys.
 
 use teenet_sgx::cost::{CostModel, Counters};
-use teenet_sgx::{TransitionMode, TransitionStats};
+use teenet_sgx::{TeeBackend, TransitionMode, TransitionStats};
 
 /// The calibrated cost of one client→server exchange within a session:
 /// the client spends `client` instructions preparing `request_bytes`, the
@@ -59,9 +59,18 @@ pub struct Calibration {
     pub ops: Vec<OpProfile>,
     /// The transition mode the scenario was calibrated under.
     pub mode: TransitionMode,
+    /// The TEE backend the scenario was calibrated against. Replay must
+    /// price cycles with this backend's cost model, or the virtual clock
+    /// disagrees with the calibration.
+    pub backend: TeeBackend,
 }
 
 impl Calibration {
+    /// The cost model any replay of this calibration prices cycles with.
+    pub fn cost_model(&self) -> CostModel {
+        self.backend.cost_model()
+    }
+
     /// Summed server-side counters of one session.
     pub fn session_server_cost(&self) -> Counters {
         let mut total = Counters::new();
@@ -127,6 +136,7 @@ impl From<teenet_app::WorkProfile> for Calibration {
                 })
                 .collect(),
             mode: profile.mode,
+            backend: profile.backend,
         }
     }
 }
@@ -184,6 +194,7 @@ mod tests {
                 },
             ],
             mode: TransitionMode::Classic,
+            backend: TeeBackend::Sgx,
         };
         assert_eq!(cal.session_server_cost(), c(5, 500));
         assert_eq!(cal.session_client_cost(), c(1, 150));
@@ -203,6 +214,7 @@ mod tests {
             setup: c(0, 0),
             ops,
             mode: TransitionMode::Classic,
+            backend: TeeBackend::Sgx,
         };
         assert_eq!(cal(vec![op(64, 2048), op(512, 32)]).max_frame_bytes(), 2048);
         // Tiny frames are padded to the wire header; so is the scratch.

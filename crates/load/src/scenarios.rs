@@ -12,7 +12,7 @@ use teenet_app::{AppHarness, EnclaveService};
 use teenet_interdomain::driver::BgpService;
 use teenet_keystore::KeystoreService;
 use teenet_mbox::driver::TlsMboxService;
-use teenet_sgx::TransitionMode;
+use teenet_sgx::{TeeBackend, TransitionMode};
 use teenet_tor::driver::TorService;
 
 use crate::scenario::{Calibration, Scenario};
@@ -23,20 +23,28 @@ pub struct ServiceScenario<S: EnclaveService> {
     service: S,
     seed: u64,
     mode: TransitionMode,
+    backend: TeeBackend,
 }
 
 impl<S: EnclaveService> ServiceScenario<S> {
-    /// Wraps `service`, calibrating at `seed` in classic mode.
+    /// Wraps `service`, calibrating at `seed` in classic mode on SGX.
     pub fn new(service: S, seed: u64) -> Self {
         Self::with_mode(service, seed, TransitionMode::Classic)
     }
 
     /// Same, under an explicit transition mode (`loadgen --switchless`).
     pub fn with_mode(service: S, seed: u64, mode: TransitionMode) -> Self {
+        Self::with_backend(service, seed, mode, TeeBackend::Sgx)
+    }
+
+    /// Same, deployed against an explicit TEE backend
+    /// (`loadgen --backend vmtee`).
+    pub fn with_backend(service: S, seed: u64, mode: TransitionMode, backend: TeeBackend) -> Self {
         ServiceScenario {
             service,
             seed,
             mode,
+            backend,
         }
     }
 }
@@ -51,7 +59,7 @@ impl<S: EnclaveService> Scenario for ServiceScenario<S> {
     }
 
     fn calibrate(&mut self) -> Calibration {
-        AppHarness::new(self.seed, self.mode)
+        AppHarness::with_backend(self.seed, self.mode, self.backend)
             .calibrate(&mut self.service)
             .expect("calibration cannot fail on an honest deployment")
             .into()
@@ -64,53 +72,68 @@ pub struct ScenarioEntry {
     pub name: &'static str,
     /// One-line description for `loadgen --list`.
     pub describe: &'static str,
-    build: fn(u64, TransitionMode) -> Box<dyn Scenario>,
+    build: fn(u64, TransitionMode, TeeBackend) -> Box<dyn Scenario>,
 }
 
 impl ScenarioEntry {
-    /// Builds this entry's scenario with its default shape.
+    /// Builds this entry's scenario with its default shape on SGX.
     pub fn build(&self, seed: u64, mode: TransitionMode) -> Box<dyn Scenario> {
-        (self.build)(seed, mode)
+        self.build_backend(seed, mode, TeeBackend::Sgx)
+    }
+
+    /// [`ScenarioEntry::build`] against an explicit TEE backend.
+    pub fn build_backend(
+        &self,
+        seed: u64,
+        mode: TransitionMode,
+        backend: TeeBackend,
+    ) -> Box<dyn Scenario> {
+        (self.build)(seed, mode, backend)
     }
 }
 
-fn build_attest(seed: u64, mode: TransitionMode) -> Box<dyn Scenario> {
-    Box::new(ServiceScenario::with_mode(
+fn build_attest(seed: u64, mode: TransitionMode, backend: TeeBackend) -> Box<dyn Scenario> {
+    Box::new(ServiceScenario::with_backend(
         AttestService::default(),
         seed,
         mode,
+        backend,
     ))
 }
 
-fn build_tls(seed: u64, mode: TransitionMode) -> Box<dyn Scenario> {
-    Box::new(ServiceScenario::with_mode(
+fn build_tls(seed: u64, mode: TransitionMode, backend: TeeBackend) -> Box<dyn Scenario> {
+    Box::new(ServiceScenario::with_backend(
         TlsMboxService::default(),
         seed,
         mode,
+        backend,
     ))
 }
 
-fn build_tor(seed: u64, mode: TransitionMode) -> Box<dyn Scenario> {
-    Box::new(ServiceScenario::with_mode(
+fn build_tor(seed: u64, mode: TransitionMode, backend: TeeBackend) -> Box<dyn Scenario> {
+    Box::new(ServiceScenario::with_backend(
         TorService::default(),
         seed,
         mode,
+        backend,
     ))
 }
 
-fn build_bgp(seed: u64, mode: TransitionMode) -> Box<dyn Scenario> {
-    Box::new(ServiceScenario::with_mode(
+fn build_bgp(seed: u64, mode: TransitionMode, backend: TeeBackend) -> Box<dyn Scenario> {
+    Box::new(ServiceScenario::with_backend(
         BgpService::default(),
         seed,
         mode,
+        backend,
     ))
 }
 
-fn build_keystore(seed: u64, mode: TransitionMode) -> Box<dyn Scenario> {
-    Box::new(ServiceScenario::with_mode(
+fn build_keystore(seed: u64, mode: TransitionMode, backend: TeeBackend) -> Box<dyn Scenario> {
+    Box::new(ServiceScenario::with_backend(
         KeystoreService::default(),
         seed,
         mode,
+        backend,
     ))
 }
 
@@ -161,10 +184,20 @@ pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Scenario>> {
 
 /// [`by_name`] with an explicit transition mode (`loadgen --switchless`).
 pub fn by_name_mode(name: &str, seed: u64, mode: TransitionMode) -> Option<Box<dyn Scenario>> {
+    by_name_backend(name, seed, mode, TeeBackend::Sgx)
+}
+
+/// [`by_name_mode`] against an explicit TEE backend (`loadgen --backend`).
+pub fn by_name_backend(
+    name: &str,
+    seed: u64,
+    mode: TransitionMode,
+    backend: TeeBackend,
+) -> Option<Box<dyn Scenario>> {
     REGISTRY
         .iter()
         .find(|entry| entry.name == name)
-        .map(|entry| entry.build(seed, mode))
+        .map(|entry| entry.build_backend(seed, mode, backend))
 }
 
 #[cfg(test)]
@@ -187,8 +220,26 @@ mod tests {
         let mut s = by_name_mode("attest", 1, TransitionMode::Switchless).unwrap();
         let cal = s.calibrate();
         assert_eq!(cal.mode, TransitionMode::Switchless);
+        assert_eq!(cal.backend, TeeBackend::Sgx);
         assert_eq!(cal.ops.len(), 1);
         assert_eq!(cal.ops[0].name, "attest");
+    }
+
+    #[test]
+    fn by_name_backend_tags_and_reprices_the_calibration() {
+        let classic = TransitionMode::Classic;
+        let mut sgx = by_name_backend("attest", 1, classic, TeeBackend::Sgx).unwrap();
+        let mut vm = by_name_backend("attest", 1, classic, TeeBackend::VmTee).unwrap();
+        let sgx_cal = sgx.calibrate();
+        let vm_cal = vm.calibrate();
+        assert_eq!(vm_cal.backend, TeeBackend::VmTee);
+        assert_eq!(vm_cal.ops.len(), sgx_cal.ops.len());
+        // Same protocol, different boundary pricing: the session scripts
+        // must not cost the same, and each prices under its own model.
+        assert_ne!(
+            sgx_cal.session_server_cost().cycles(&sgx_cal.cost_model()),
+            vm_cal.session_server_cost().cycles(&vm_cal.cost_model()),
+        );
     }
 
     #[test]

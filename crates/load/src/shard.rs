@@ -228,7 +228,7 @@ impl LoadRunner {
             "calibration must contain at least one op"
         );
         let cfg = self.config();
-        let model = self.model();
+        let model = &calibration.cost_model();
         let plan = ShardPlan::new(cfg.sessions, n_threads);
 
         let results: Vec<ShardResult> = thread::scope(|scope| {
@@ -297,6 +297,7 @@ mod tests {
                 },
             ],
             mode: Default::default(),
+            backend: teenet_sgx::TeeBackend::Sgx,
         }
     }
 

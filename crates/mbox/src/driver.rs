@@ -88,7 +88,8 @@ impl EnclaveService for TlsMboxService {
         let mut rng = SecureRng::seed_from_u64(env.seed);
         let srng = rng.fork(b"tls-server");
         let epid = EpidGroup::new(7, &mut rng).map_err(MboxError::Sgx)?;
-        let gateway = MiddleboxHost::deploy(
+        let gateway = MiddleboxHost::deploy_backend(
+            env.backend,
             "load-gateway",
             ProvisionPolicy::Unilateral,
             vec![Rule::new(b"password", Action::Alert)],

@@ -12,8 +12,9 @@ use teenet::ledger::{AttestKind, AttestLedger};
 use teenet::responder::attest_enclave;
 use teenet_crypto::schnorr::{SchnorrGroup, SigningKey, VerifyingKey};
 use teenet_crypto::SecureRng;
-use teenet_sgx::cost::CostModel;
-use teenet_sgx::{measure_image, EnclaveId, EpidGroup, Measurement, Platform};
+use teenet_sgx::{
+    deploy_platform, measure_image, EnclaveId, EpidGroup, Measurement, TeeBackend, TeePlatform,
+};
 use teenet_tls::handshake::{handshake, TlsConfig};
 use teenet_tls::session::TlsSession;
 
@@ -24,8 +25,8 @@ use crate::provision::{EndpointRole, ProvisionMsg};
 
 /// A deployed middlebox: its platform, enclave, and pinned identity.
 pub struct MiddleboxHost {
-    /// The SGX machine hosting the middlebox.
-    pub platform: Platform,
+    /// The TEE machine hosting the middlebox.
+    pub platform: Box<dyn TeePlatform>,
     /// The middlebox enclave.
     pub enclave: EnclaveId,
     /// The identity endpoints pin (honest build of name+policy+rules).
@@ -37,8 +38,32 @@ pub struct MiddleboxHost {
 }
 
 impl MiddleboxHost {
-    /// Deploys a middlebox with the given rules onto a fresh platform.
+    /// Deploys a middlebox with the given rules onto a fresh SGX platform.
     pub fn deploy(
+        name: &str,
+        policy: ProvisionPolicy,
+        rules: Vec<Rule>,
+        attest: AttestConfig,
+        epid: &EpidGroup,
+        seed: u64,
+        rng: &mut SecureRng,
+    ) -> Result<Self> {
+        Self::deploy_backend(
+            TeeBackend::Sgx,
+            name,
+            policy,
+            rules,
+            attest,
+            epid,
+            seed,
+            rng,
+        )
+    }
+
+    /// [`MiddleboxHost::deploy`] onto an explicit TEE backend.
+    #[allow(clippy::too_many_arguments)]
+    pub fn deploy_backend(
+        backend: TeeBackend,
         name: &str,
         policy: ProvisionPolicy,
         rules: Vec<Rule>,
@@ -51,7 +76,8 @@ impl MiddleboxHost {
         let expected = measure_image(&MiddleboxEnclave::image_for(name, 1, policy, &engine));
         let author = SigningKey::generate(&SchnorrGroup::small(), rng)
             .map_err(|e| MboxError::Teenet(teenet::TeenetError::Crypto(e)))?;
-        let mut platform = Platform::new(&format!("mbox-{name}"), epid, seed);
+        let mut platform = deploy_platform(backend, &format!("mbox-{name}"), epid, seed)
+            .map_err(MboxError::Sgx)?;
         let program = MiddleboxEnclave::new(name, 1, policy, engine, attest.clone());
         let enclave = platform.create_signed(Box::new(program), &author, 1)?;
         Ok(MiddleboxHost {
@@ -73,7 +99,7 @@ impl MiddleboxHost {
         rng: &mut SecureRng,
         ledger: &mut AttestLedger,
     ) -> Result<([u8; 8], bool)> {
-        let model = CostModel::paper();
+        let model = self.platform.model().clone();
         // Ledger target id: derived from the pinned identity so distinct
         // middleboxes count separately even across platforms.
         let target_tag = u64::from_le_bytes(self.expected.0[..8].try_into().expect("8"));
@@ -83,7 +109,7 @@ impl MiddleboxHost {
             self.attest.clone(),
             &model,
             rng,
-            &mut self.platform,
+            self.platform.as_mut(),
             self.enclave,
             mb_fn::ATTEST_BEGIN,
             mb_fn::ATTEST_FINISH,

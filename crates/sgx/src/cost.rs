@@ -169,6 +169,21 @@ pub struct CostModel {
     pub attest_quote_base: u64,
     /// Challenger base besides signature verification.
     pub attest_challenger_base: u64,
+
+    // --- backend profile (enclave-TEE vs VM-TEE crossing shape) ---
+    /// TEE-transition instructions charged per direct guest call (an
+    /// ecall's EENTER/EEXIT pair on SGX; zero on a VM TEE, where a guest
+    /// call is an ordinary function call and only I/O-shaped crossings
+    /// VM-exit).
+    pub ecall_pair_sgx: u64,
+    /// Normal instructions per newly accepted private page (SEV-SNP
+    /// PVALIDATE / TDX EACCEPT bookkeeping); zero on SGX, where EPC
+    /// paging costs are modelled by `alloc_page`/`ewb_page` instead.
+    pub page_accept: u64,
+    /// TEE-transition instructions the challenger charges per protocol
+    /// leg (entering the challenger enclave plus the message ocall on
+    /// SGX; request/response VM exits on a VM TEE).
+    pub challenger_entry_sgx: u64,
 }
 
 impl Default for CostModel {
@@ -205,6 +220,42 @@ impl CostModel {
             attest_target_base: 154_000_000,
             attest_quote_base: 13_000_000,
             attest_challenger_base: 12_000_000,
+            ecall_pair_sgx: 2,
+            page_accept: 0,
+            challenger_entry_sgx: 4,
+        }
+    }
+
+    /// A VM-TEE (TDX/SEV-SNP-style) cost profile.
+    ///
+    /// The application-crypto constants are shared with [`CostModel::paper`]
+    /// — the workload does the same work — but the *crossing shape*
+    /// differs:
+    ///
+    /// * a TEE-transition instruction is a VM exit/resume leg (~2 500
+    ///   cycles), not a 10 000-cycle EENTER/EEXIT microcode flow;
+    /// * direct guest calls pay **no** transition pair
+    ///   (`ecall_pair_sgx = 0`): only I/O- and ocall-shaped crossings
+    ///   VM-exit, so switchless elision buys proportionally less;
+    /// * dynamic memory pays per-page acceptance (PVALIDATE/EACCEPT,
+    ///   `page_accept`) instead of EPC eviction ever firing (the guest's
+    ///   private memory is sized like ordinary RAM);
+    /// * attestation is PSP-style: a cheaper report signature
+    ///   (`quote_sign`) plus a second verification for the host-fetched
+    ///   endorsement chain (`quote_verify` is charged once per link by
+    ///   the evidence verifier), with no in-enclave quoting-enclave
+    ///   round trips (`attest_target_base`, `attest_quote_base`).
+    pub fn vmtee() -> Self {
+        CostModel {
+            sgx_instr_cycles: 2_500,
+            quote_sign: 45_000_000,
+            quote_verify: 50_000_000,
+            attest_target_base: 60_000_000,
+            attest_quote_base: 5_000_000,
+            ecall_pair_sgx: 0,
+            page_accept: 2_600,
+            challenger_entry_sgx: 2,
+            ..Self::paper()
         }
     }
 
@@ -353,6 +404,25 @@ mod tests {
         };
         let reset = Counters::new();
         assert_eq!(reset.since(stale), Counters::new());
+    }
+
+    #[test]
+    fn vmtee_profile_differs_only_in_crossing_shape() {
+        let paper = CostModel::paper();
+        let vm = CostModel::vmtee();
+        // Crossings are cheaper and direct guest calls are free.
+        assert!(vm.sgx_instr_cycles < paper.sgx_instr_cycles);
+        assert_eq!(vm.ecall_pair_sgx, 0);
+        assert!(vm.page_accept > 0);
+        assert_eq!(paper.page_accept, 0);
+        // Application crypto is identical — the workload does the same work.
+        assert_eq!(vm.aes_block, paper.aes_block);
+        assert_eq!(vm.modexp_1024, paper.modexp_1024);
+        assert_eq!(vm.send_base, paper.send_base);
+        assert_eq!((vm.cpi_num, vm.cpi_den), (paper.cpi_num, paper.cpi_den));
+        // The paper profile carries the calibrated SGX crossing shape.
+        assert_eq!(paper.ecall_pair_sgx, 2);
+        assert_eq!(paper.challenger_entry_sgx, 4);
     }
 
     #[test]

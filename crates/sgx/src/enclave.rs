@@ -184,6 +184,9 @@ impl<'a> EnclaveCtx<'a> {
             )?;
             *self.next_alloc_offset += pages * PAGE_SIZE;
             self.counters.normal(self.model.alloc_page * pages as u64);
+            // Per-page acceptance cost (PVALIDATE/EACCEPT) — zero on the
+            // SGX profile, where paging costs live in alloc_page/ewb_page.
+            self.counters.normal(self.model.page_accept * pages as u64);
             // Page extension traps to the host (EEXIT + EENTER per request)
             // — elidable through the switchless ring.
             self.host_transition(2);
@@ -216,6 +219,9 @@ impl<'a> EnclaveCtx<'a> {
             )?;
             *self.next_alloc_offset += count * PAGE_SIZE;
             self.counters.normal(self.model.alloc_page * count as u64);
+            // Per-page acceptance cost (PVALIDATE/EACCEPT) — zero on the
+            // SGX profile.
+            self.counters.normal(self.model.page_accept * count as u64);
             // One page-extension trap (exit + re-enter) — elidable through
             // the switchless ring.
             self.host_transition(2);

@@ -28,6 +28,9 @@ pub enum SgxError {
     ReportMacMismatch,
     /// A QUOTE signature failed verification.
     QuoteInvalid(&'static str),
+    /// A VM-TEE endorsement chain (vendor root → report-signing key)
+    /// failed verification.
+    EndorsementInvalid(&'static str),
     /// Measurement did not match the expected identity.
     MeasurementMismatch,
     /// Sealed blob could not be unsealed (wrong enclave, tampered, ...).
@@ -53,6 +56,9 @@ impl fmt::Display for SgxError {
             SgxError::InitFailed(why) => write!(f, "EINIT failed: {why}"),
             SgxError::ReportMacMismatch => write!(f, "REPORT MAC mismatch"),
             SgxError::QuoteInvalid(why) => write!(f, "invalid QUOTE: {why}"),
+            SgxError::EndorsementInvalid(why) => {
+                write!(f, "invalid endorsement chain: {why}")
+            }
             SgxError::MeasurementMismatch => write!(f, "enclave measurement mismatch"),
             SgxError::UnsealFailed(why) => write!(f, "unseal failed: {why}"),
             SgxError::EcallRejected(why) => write!(f, "ecall rejected: {why}"),

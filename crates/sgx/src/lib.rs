@@ -37,6 +37,10 @@
 //!   checking as §6 prescribes.
 //! * [`cost`] — the calibrated instruction/cycle model that regenerates the
 //!   paper's tables (see that module's docs for calibration provenance).
+//! * [`tee`] / [`vmtee`] — the multi-backend abstraction: the
+//!   [`tee::TeePlatform`] trait every workload deploys against, with the
+//!   SGX [`platform::Platform`] and a TDX/SEV-SNP-style
+//!   [`vmtee::VmTeePlatform`] as its two implementors.
 //!
 //! ## Threat model
 //!
@@ -58,6 +62,8 @@ pub mod quote;
 pub mod report;
 pub mod seal;
 pub mod switchless;
+pub mod tee;
+pub mod vmtee;
 pub mod wire;
 
 pub use cost::{CostModel, Counters};
@@ -69,3 +75,5 @@ pub use platform::Platform;
 pub use quote::{EpidGroup, Quote, QuotingEnclave};
 pub use report::{Report, ReportBody, TargetInfo};
 pub use switchless::{SwitchlessConfig, TransitionMode, TransitionStats};
+pub use tee::{deploy_platform, Evidence, TeeBackend, TeePlatform};
+pub use vmtee::{VmEvidence, VmTeePlatform};

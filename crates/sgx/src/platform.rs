@@ -154,8 +154,10 @@ impl Platform {
 
         // EENTER + eventual EEXIT, plus input marshalling. Ecalls always
         // pay their own pair (only *batching* amortises it); the ring only
-        // absorbs ocall-shaped crossings made while inside.
-        enclave.counters.sgx(2);
+        // absorbs ocall-shaped crossings made while inside. On a VM-TEE
+        // profile the pair costs zero instructions — a guest call is an
+        // ordinary call — but it still counts as a taken crossing.
+        enclave.counters.sgx(model.ecall_pair_sgx);
         enclave.switchless.stats.taken += 1;
         enclave.counters.normal(input.len() as u64 / 8 + 50);
         enclave.switchless.on_ecall_start();
@@ -219,7 +221,7 @@ impl Platform {
 
         // One transition pair for the whole batch; the other N-1 would-be
         // pairs are elided by the queue.
-        enclave.counters.sgx(2);
+        enclave.counters.sgx(model.ecall_pair_sgx);
         enclave.switchless.stats.taken += 1;
         enclave.switchless.stats.elided += calls.len() as u64 - 1;
         enclave.switchless.on_ecall_start();
@@ -356,6 +358,13 @@ impl Platform {
     /// Free EPC pages remaining.
     pub fn epc_free_pages(&self) -> usize {
         self.epc.free_pages()
+    }
+
+    /// The platform's device key (crate-internal: the VM-TEE backend's
+    /// security processor verifies report MACs with it, exactly as the
+    /// quoting enclave does here).
+    pub(crate) fn device_key(&self) -> &[u8; 32] {
+        &self.device_key
     }
 
     fn enclave_ref(&self, id: EnclaveId) -> Result<&Enclave> {

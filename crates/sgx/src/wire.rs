@@ -12,7 +12,7 @@ use crate::measurement::Measurement;
 use crate::quote::Quote;
 use crate::report::{Report, ReportBody, TargetInfo, REPORT_DATA_LEN};
 
-fn take<'a>(buf: &mut &'a [u8], n: usize, what: &'static str) -> Result<&'a [u8]> {
+pub(crate) fn take<'a>(buf: &mut &'a [u8], n: usize, what: &'static str) -> Result<&'a [u8]> {
     if buf.len() < n {
         return Err(SgxError::Crypto(teenet_crypto::CryptoError::Malformed(
             what,
@@ -25,20 +25,20 @@ fn take<'a>(buf: &mut &'a [u8], n: usize, what: &'static str) -> Result<&'a [u8]
 
 /// Like [`take`], but returns a fixed array, so parsers never need an
 /// abort-on-mismatch `try_into().expect(..)` after a length check.
-fn take_arr<const N: usize>(buf: &mut &[u8], what: &'static str) -> Result<[u8; N]> {
+pub(crate) fn take_arr<const N: usize>(buf: &mut &[u8], what: &'static str) -> Result<[u8; N]> {
     let head = take(buf, N, what)?;
     let mut out = [0u8; N];
     out.copy_from_slice(head);
     Ok(out)
 }
 
-fn take_var<'a>(buf: &mut &'a [u8], what: &'static str) -> Result<&'a [u8]> {
+pub(crate) fn take_var<'a>(buf: &mut &'a [u8], what: &'static str) -> Result<&'a [u8]> {
     let len_bytes = take(buf, 2, what)?;
     let len = u16::from_le_bytes([len_bytes[0], len_bytes[1]]) as usize;
     take(buf, len, what)
 }
 
-fn put_var(out: &mut Vec<u8>, bytes: &[u8]) {
+pub(crate) fn put_var(out: &mut Vec<u8>, bytes: &[u8]) {
     debug_assert!(bytes.len() <= u16::MAX as usize);
     out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
     out.extend_from_slice(bytes);

@@ -21,8 +21,8 @@ use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::CostModel;
 use teenet_sgx::{
-    measure_image, EnclaveCtx, EnclaveId, EnclaveProgram, EpidGroup, Measurement, Platform,
-    SgxError,
+    deploy_platform, measure_image, EnclaveCtx, EnclaveId, EnclaveProgram, EpidGroup, Measurement,
+    SgxError, TeeBackend, TeePlatform,
 };
 
 use crate::circuit::TorClient;
@@ -233,6 +233,8 @@ pub struct TorSpec {
     pub circuit_group: DhGroup,
     /// Attestation configuration.
     pub attest: AttestConfig,
+    /// The TEE backend every TEE-capable relay and authority deploys on.
+    pub backend: TeeBackend,
 }
 
 impl TorSpec {
@@ -250,6 +252,7 @@ impl TorSpec {
             seed,
             circuit_group: DhGroup::modp768(),
             attest: AttestConfig::fast(),
+            backend: TeeBackend::Sgx,
         }
     }
 }
@@ -274,10 +277,10 @@ pub struct TorDeployment {
     pub network: TorNetwork,
     /// Directory authorities (empty in FullSgx).
     pub authorities: Vec<DirectoryAuthority>,
-    /// SGX platform per relay (None = not SGX-capable in this phase).
-    pub relay_platforms: Vec<Option<(Platform, EnclaveId)>>,
-    /// SGX platform per authority.
-    pub authority_platforms: Vec<Option<(Platform, EnclaveId)>>,
+    /// TEE platform per relay (None = not TEE-capable in this phase).
+    pub relay_platforms: Vec<Option<(Box<dyn TeePlatform>, EnclaveId)>>,
+    /// TEE platform per authority.
+    pub authority_platforms: Vec<Option<(Box<dyn TeePlatform>, EnclaveId)>>,
     /// The attestation group.
     pub epid: EpidGroup,
     /// Foundation-signed certificate of honest builds.
@@ -336,8 +339,12 @@ impl TorDeployment {
                 Phase::FullSgx => true,
             };
             if sgx_capable {
-                let mut platform =
-                    Platform::new(&format!("relay-{i}"), &epid, spec.seed + 100 + i as u64);
+                let mut platform = deploy_platform(
+                    spec.backend,
+                    &format!("relay-{i}"),
+                    &epid,
+                    spec.seed + 100 + i as u64,
+                )?;
                 let program = TorServiceEnclave::new(
                     "relay",
                     1,
@@ -372,8 +379,12 @@ impl TorDeployment {
                 let authority = DirectoryAuthority::new(i as u32, behavior.clone(), &mut rng)?;
                 let sgx_capable = spec.phase != Phase::Vanilla;
                 if sgx_capable {
-                    let mut platform =
-                        Platform::new(&format!("authority-{i}"), &epid, spec.seed + 500 + i as u64);
+                    let mut platform = deploy_platform(
+                        spec.backend,
+                        &format!("authority-{i}"),
+                        &epid,
+                        spec.seed + 500 + i as u64,
+                    )?;
                     let program = TorServiceEnclave::new(
                         "authority",
                         1,
@@ -390,6 +401,7 @@ impl TorDeployment {
         }
 
         let foundation_public = foundation.verifying_key();
+        let model = spec.backend.cost_model();
         Ok(TorDeployment {
             spec,
             network,
@@ -402,7 +414,7 @@ impl TorDeployment {
             ledger: AttestLedger::new(),
             client,
             server,
-            model: CostModel::paper(),
+            model,
             rng,
         })
     }
@@ -421,7 +433,7 @@ impl TorDeployment {
             self.spec.attest.clone(),
             &self.model,
             &mut self.rng,
-            platform,
+            platform.as_mut(),
             *enclave,
             0,
             1,
@@ -444,7 +456,7 @@ impl TorDeployment {
             self.spec.attest.clone(),
             &self.model,
             &mut self.rng,
-            platform,
+            platform.as_mut(),
             *enclave,
             0,
             1,
@@ -778,11 +790,11 @@ mod sealing_tests {
     use super::*;
     use teenet_crypto::sha256::sha256;
 
-    fn sgx_platform(seed: u64) -> (Platform, EnclaveId, EpidGroup, SecureRng) {
+    fn sgx_platform(seed: u64) -> (Box<dyn TeePlatform>, EnclaveId, EpidGroup, SecureRng) {
         let mut rng = SecureRng::seed_from_u64(seed);
         let epid = EpidGroup::new(9, &mut rng).unwrap();
         let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
-        let mut platform = Platform::new("authority-host", &epid, seed);
+        let mut platform = deploy_platform(TeeBackend::Sgx, "authority-host", &epid, seed).unwrap();
         let enclave = platform
             .create_signed(
                 Box::new(TorServiceEnclave::new(
@@ -871,7 +883,7 @@ mod sealing_tests {
         let blob = p1.ecall_nohost(e1, 2, b"authority secret").unwrap();
         // Same code, different machine: the device key differs.
         let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
-        let mut p2 = Platform::new("stolen-disk-host", &epid, 999);
+        let mut p2 = deploy_platform(TeeBackend::Sgx, "stolen-disk-host", &epid, 999).unwrap();
         let e2 = p2
             .create_signed(
                 Box::new(TorServiceEnclave::new(

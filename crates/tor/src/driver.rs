@@ -63,10 +63,9 @@ impl EnclaveService for TorService {
     }
 
     fn deploy(&mut self, env: &mut ServiceEnv) -> Result<()> {
-        self.deployed = Some(TorDeployment::build(TorSpec::fast(
-            Phase::FullSgx,
-            env.seed,
-        ))?);
+        let mut spec = TorSpec::fast(Phase::FullSgx, env.seed);
+        spec.backend = env.backend;
+        self.deployed = Some(TorDeployment::build(spec)?);
         Ok(())
     }
 

@@ -9,7 +9,7 @@ use teenet::responder::{attest_enclave, AttestResponder, SessionNonce};
 use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::CostModel;
-use teenet_sgx::{EnclaveCtx, EnclaveProgram, EpidGroup, Platform, SgxError};
+use teenet_sgx::{deploy_platform, EnclaveCtx, EnclaveProgram, EpidGroup, SgxError, TeeBackend};
 
 /// A tiny service enclave: answers attestation, then serves encrypted
 /// "what time is it"-style queries over the bootstrapped channel.
@@ -58,7 +58,8 @@ fn main() {
     // --- Provisioning: an attestation group and a platform (one machine).
     let mut rng = SecureRng::seed_from_u64(42);
     let epid = EpidGroup::new(1, &mut rng).expect("attestation group");
-    let mut platform = Platform::new("service-host", &epid, 7);
+    let mut platform =
+        deploy_platform(TeeBackend::Sgx, "service-host", &epid, 7).expect("platform deploy");
     let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).expect("author key");
 
     // --- Load the enclave. Its MRENCLAVE derives from the code image.
@@ -83,7 +84,7 @@ fn main() {
         config,
         &model,
         &mut rng,
-        &mut platform,
+        platform.as_mut(),
         enclave,
         0,
         1,

@@ -8,7 +8,7 @@ use teenet::TeenetError;
 use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::CostModel;
-use teenet_sgx::{EnclaveCtx, EnclaveProgram, EpidGroup, Platform, SgxError};
+use teenet_sgx::{deploy_platform, EnclaveCtx, EnclaveProgram, EpidGroup, SgxError, TeeBackend};
 
 struct EchoService {
     responder: AttestResponder,
@@ -59,7 +59,7 @@ fn cross_platform_attestation_and_channel() {
     let model = CostModel::paper();
 
     for (name, seed) in [("host-a", 10u64), ("host-b", 20)] {
-        let mut platform = Platform::new(name, &epid, seed);
+        let mut platform = deploy_platform(TeeBackend::Sgx, name, &epid, seed).unwrap();
         let enclave = platform.create_signed(service(1), &author, 1).unwrap();
         let expected = platform.measurement_of(enclave).unwrap();
         let (outcome, nonce) = attest_enclave(
@@ -67,7 +67,7 @@ fn cross_platform_attestation_and_channel() {
             AttestConfig::fast(),
             &model,
             &mut rng,
-            &mut platform,
+            platform.as_mut(),
             enclave,
             0,
             1,
@@ -106,7 +106,7 @@ fn certificate_gated_attestation() {
         authority: foundation.verifying_key(),
     };
 
-    let mut platform = Platform::new("host", &epid, 3);
+    let mut platform = deploy_platform(TeeBackend::Sgx, "host", &epid, 3).unwrap();
     let v1 = platform.create_signed(service(1), &author, 1).unwrap();
     let v2 = platform.create_signed(service(2), &author, 2).unwrap();
 
@@ -115,7 +115,7 @@ fn certificate_gated_attestation() {
         AttestConfig::fast(),
         &model,
         &mut rng,
-        &mut platform,
+        platform.as_mut(),
         v1,
         0,
         1,
@@ -129,7 +129,7 @@ fn certificate_gated_attestation() {
         AttestConfig::fast(),
         &model,
         &mut rng,
-        &mut platform,
+        platform.as_mut(),
         v2,
         0,
         1,
@@ -151,14 +151,14 @@ fn quotes_do_not_verify_under_foreign_group() {
     let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
     let model = CostModel::paper();
 
-    let mut platform = Platform::new("host", &group_a, 4);
+    let mut platform = deploy_platform(TeeBackend::Sgx, "host", &group_a, 4).unwrap();
     let enclave = platform.create_signed(service(1), &author, 1).unwrap();
     let err = attest_enclave(
         IdentityPolicy::AcceptAny,
         AttestConfig::fast(),
         &model,
         &mut rng,
-        &mut platform,
+        platform.as_mut(),
         enclave,
         0,
         1,
@@ -176,14 +176,14 @@ fn channel_messages_survive_many_rounds() {
     let epid = EpidGroup::new(1, &mut rng).unwrap();
     let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
     let model = CostModel::paper();
-    let mut platform = Platform::new("host", &epid, 5);
+    let mut platform = deploy_platform(TeeBackend::Sgx, "host", &epid, 5).unwrap();
     let enclave = platform.create_signed(service(1), &author, 1).unwrap();
     let (outcome, nonce) = attest_enclave(
         IdentityPolicy::AcceptAny,
         AttestConfig::fast(),
         &model,
         &mut rng,
-        &mut platform,
+        platform.as_mut(),
         enclave,
         0,
         1,
@@ -211,7 +211,7 @@ fn two_independent_sessions_to_one_enclave() {
     let epid = EpidGroup::new(1, &mut rng).unwrap();
     let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
     let model = CostModel::paper();
-    let mut platform = Platform::new("host", &epid, 6);
+    let mut platform = deploy_platform(TeeBackend::Sgx, "host", &epid, 6).unwrap();
     let enclave = platform.create_signed(service(1), &author, 1).unwrap();
 
     let mut sessions = Vec::new();
@@ -221,7 +221,7 @@ fn two_independent_sessions_to_one_enclave() {
             AttestConfig::fast(),
             &model,
             &mut rng,
-            &mut platform,
+            platform.as_mut(),
             enclave,
             0,
             1,

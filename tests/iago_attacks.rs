@@ -6,7 +6,9 @@
 use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
 use teenet_crypto::SecureRng;
 use teenet_sgx::ocall::{checked, validate_len_le, HostCalls};
-use teenet_sgx::{EnclaveCtx, EnclaveProgram, EpidGroup, Platform, SgxError};
+use teenet_sgx::{
+    deploy_platform, EnclaveCtx, EnclaveProgram, EpidGroup, SgxError, TeeBackend, TeePlatform,
+};
 
 /// An enclave that reads data from the host through a *checked* recv: the
 /// host returns `len(u64) ‖ data`, and the enclave validates both the
@@ -42,10 +44,10 @@ impl EnclaveProgram for CheckedReader {
     }
 }
 
-fn setup() -> (Platform, u64) {
+fn setup() -> (Box<dyn TeePlatform>, u64) {
     let mut rng = SecureRng::seed_from_u64(99);
     let epid = EpidGroup::new(1, &mut rng).unwrap();
-    let mut platform = Platform::new("iago-host", &epid, 1);
+    let mut platform = deploy_platform(TeeBackend::Sgx, "iago-host", &epid, 1).unwrap();
     let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
     let enclave = platform
         .create_signed(
@@ -140,7 +142,7 @@ fn malicious_host_cannot_break_attestation() {
     let mut rng = SecureRng::seed_from_u64(5);
     let epid = EpidGroup::new(1, &mut rng).unwrap();
     let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).unwrap();
-    let mut platform = Platform::new("host", &epid, 2);
+    let mut platform = deploy_platform(TeeBackend::Sgx, "host", &epid, 2).unwrap();
     let enclave = platform
         .create_signed(
             Box::new(Svc {
@@ -162,10 +164,10 @@ fn malicious_host_cannot_break_attestation() {
     .unwrap();
     let mut evil = |_n: &str, _p: &[u8]| b"\xff\xff lies from the host \xff\xff".to_vec();
     let mut begin_input = request.to_bytes();
-    begin_input.extend_from_slice(&platform.quoting_target_info().mrenclave.0);
+    begin_input.extend_from_slice(&platform.attestation_target_info().mrenclave.0);
     let report_bytes = platform.ecall(enclave, 0, &begin_input, &mut evil).unwrap();
     let report = teenet_sgx::Report::from_bytes(&report_bytes).unwrap();
-    let quote = platform.quote(&report).unwrap();
+    let quote = platform.evidence(&report).unwrap();
     let mut finish_input = request.nonce.to_vec();
     finish_input.extend_from_slice(&quote.to_bytes());
     let response_bytes = platform

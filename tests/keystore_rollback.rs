@@ -21,16 +21,19 @@ use teenet_keystore::worker::{
 use teenet_keystore::KeystoreError;
 use teenet_load::scenarios::by_name_mode;
 use teenet_load::{LoadConfig, LoadMode, LoadRunner};
-use teenet_sgx::{EnclaveId, EpidGroup, Platform, Report, SgxError, TransitionMode};
+use teenet_sgx::{
+    deploy_platform, EnclaveId, EpidGroup, Report, SgxError, TeeBackend, TeePlatform,
+    TransitionMode,
+};
 
 use teenet::attest::{AttestConfig, AttestRequest};
 
 /// One coordinator + one worker, attested and channel-established, built
 /// from the crate's public enclave programs.
 struct Rig {
-    coordinator_platform: Platform,
+    coordinator_platform: Box<dyn TeePlatform>,
     coordinator: EnclaveId,
-    worker_platform: Platform,
+    worker_platform: Box<dyn TeePlatform>,
     worker: EnclaveId,
 }
 
@@ -38,7 +41,8 @@ fn rig(seed: u64) -> Rig {
     let mut rng = SecureRng::seed_from_u64(seed).fork(b"rollback-rig");
     let epid = EpidGroup::new(9, &mut rng).expect("epid group");
     let author = SigningKey::generate(&SchnorrGroup::small(), &mut rng).expect("author key");
-    let mut worker_platform = Platform::new("rig-fleet", &epid, seed);
+    let mut worker_platform =
+        deploy_platform(TeeBackend::Sgx, "rig-fleet", &epid, seed).expect("worker platform");
     let worker = worker_platform
         .create_signed(
             Box::new(WorkerEnclave::new(AttestConfig::fast())),
@@ -47,7 +51,13 @@ fn rig(seed: u64) -> Rig {
         )
         .expect("worker enclave");
     let expected = worker_platform.measurement_of(worker).expect("measurement");
-    let mut coordinator_platform = Platform::new("rig-coordinator", &epid, seed.wrapping_add(1));
+    let mut coordinator_platform = deploy_platform(
+        TeeBackend::Sgx,
+        "rig-coordinator",
+        &epid,
+        seed.wrapping_add(1),
+    )
+    .expect("coordinator platform");
     let coordinator = coordinator_platform
         .create_signed(
             Box::new(CoordinatorEnclave::new(
@@ -79,15 +89,15 @@ fn attest(rig: &mut Rig) {
         .expect("attest start");
     let request = AttestRequest::from_bytes(&request_wire).expect("attest request");
     let mut begin_input = request_wire.clone();
-    begin_input.extend_from_slice(&rig.worker_platform.quoting_target_info().mrenclave.0);
+    begin_input.extend_from_slice(&rig.worker_platform.attestation_target_info().mrenclave.0);
     let report_bytes = rig
         .worker_platform
         .ecall_nohost(rig.worker, FN_ATTEST_BEGIN, &begin_input)
         .expect("attest begin");
     let report = Report::from_bytes(&report_bytes).expect("report");
-    let quote = rig.worker_platform.quote(&report).expect("quote");
+    let evidence = rig.worker_platform.evidence(&report).expect("evidence");
     let mut finish_input = request.nonce.to_vec();
-    finish_input.extend_from_slice(&quote.to_bytes());
+    finish_input.extend_from_slice(&evidence.to_bytes());
     let response_wire = rig
         .worker_platform
         .ecall_nohost(rig.worker, FN_ATTEST_FINISH, &finish_input)

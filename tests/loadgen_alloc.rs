@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use teenet_load::scenario::{Calibration, OpProfile};
 use teenet_load::{LoadConfig, LoadMode, LoadRunner};
 use teenet_sgx::cost::Counters;
-use teenet_sgx::TransitionStats;
+use teenet_sgx::{TeeBackend, TransitionStats};
 
 struct CountingAllocator;
 
@@ -81,6 +81,7 @@ fn toy_calibration() -> Calibration {
             },
         ],
         mode: Default::default(),
+        backend: TeeBackend::Sgx,
     }
 }
 

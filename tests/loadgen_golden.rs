@@ -15,9 +15,9 @@
 
 use std::path::PathBuf;
 
-use teenet_load::scenarios::{by_name_mode, NAMES};
+use teenet_load::scenarios::{by_name_backend, by_name_mode, NAMES};
 use teenet_load::{LoadConfig, LoadMode, LoadRunner};
-use teenet_sgx::TransitionMode;
+use teenet_sgx::{TeeBackend, TransitionMode};
 
 /// Fixed shape of every golden run: open loop at the auto rate, default
 /// links, 60 sessions at seed 11.
@@ -33,10 +33,29 @@ fn run_json(name: &str, mode: TransitionMode) -> String {
         .json()
 }
 
+fn run_json_vmtee(name: &str, mode: TransitionMode) -> String {
+    let mut scenario =
+        by_name_backend(name, SEED, mode, TeeBackend::VmTee).expect("known scenario");
+    let calibration = scenario.calibrate();
+    let config = LoadConfig::new(SESSIONS, SEED, LoadMode::Open { rate_per_sec: None });
+    LoadRunner::new(config)
+        .run(scenario.name(), &calibration)
+        .json()
+}
+
 fn fixture_path(name: &str, mode: TransitionMode) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../../tests/fixtures/loadgen")
         .join(format!("{name}.{}.json", mode.as_str()))
+}
+
+/// VM-TEE fixtures sit next to the SGX ones with a `.vmtee` infix; the
+/// SGX files keep their pre-multi-backend names so this PR provably does
+/// not rewrite them.
+fn vmtee_fixture_path(name: &str, mode: TransitionMode) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures/loadgen")
+        .join(format!("{name}.{}.vmtee.json", mode.as_str()))
 }
 
 fn check(name: &str, mode: TransitionMode) {
@@ -56,6 +75,29 @@ fn check(name: &str, mode: TransitionMode) {
          explain the diff in the commit",
         mode.as_str()
     );
+}
+
+fn check_vmtee(name: &str, mode: TransitionMode) {
+    let got = run_json_vmtee(name, mode);
+    let path = vmtee_fixture_path(name, mode);
+    if std::env::var_os("UPDATE_LOADGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write vmtee golden fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    assert_eq!(
+        got,
+        want,
+        "vmtee loadgen output for scenario {name} ({}) drifted from the golden fixture; \
+         if the change is deliberate, regenerate with UPDATE_LOADGEN_GOLDEN=1 and \
+         explain the diff in the commit",
+        mode.as_str()
+    );
+    // The VM-TEE profile must actually reprice the run: a fixture equal to
+    // the SGX one would mean the backend never reached the cost model.
+    assert!(got.contains("\"backend\":\"vmtee\""));
+    assert_ne!(got, run_json(name, mode));
 }
 
 #[test]
@@ -106,6 +148,26 @@ fn keystore_matches_golden_classic() {
 #[test]
 fn keystore_matches_golden_switchless() {
     check("keystore", TransitionMode::Switchless);
+}
+
+#[test]
+fn tls_matches_golden_vmtee_classic() {
+    check_vmtee("tls", TransitionMode::Classic);
+}
+
+#[test]
+fn tls_matches_golden_vmtee_switchless() {
+    check_vmtee("tls", TransitionMode::Switchless);
+}
+
+#[test]
+fn keystore_matches_golden_vmtee_classic() {
+    check_vmtee("keystore", TransitionMode::Classic);
+}
+
+#[test]
+fn keystore_matches_golden_vmtee_switchless() {
+    check_vmtee("keystore", TransitionMode::Switchless);
 }
 
 #[test]
