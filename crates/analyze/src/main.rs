@@ -10,9 +10,10 @@
 //! gate). `--waiver-budget PATH` compares the waiver count against a
 //! checked-in baseline and fails if it grew — adding a waiver means
 //! updating the baseline in the same reviewed diff. `--model-check`
-//! additionally runs the switchless-ring model checker over a grid of
-//! configurations *and* verifies that both seeded mutations are
-//! rejected, so a vacuously-passing checker also fails the build.
+//! additionally runs the switchless-ring model checker over a
+//! `{workers} × {ring} × {spin}` grid *and* verifies that all three
+//! seeded mutations are rejected, so a vacuously-passing checker also
+//! fails the build.
 //! `--list-rules` and `--explain RULE` document the rule pack without
 //! scanning anything.
 
@@ -20,7 +21,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use teenet_analyze::config::AnalyzeConfig;
-use teenet_analyze::ring::{check, ModelConfig, Mutation};
+use teenet_analyze::ring::{check, ModelConfig, Mutation, MODEL_TOPICS};
 use teenet_analyze::rules::RULES;
 use teenet_analyze::scan_workspace;
 
@@ -77,31 +78,45 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// `--list-rules`: one line per rule — id, level, summary.
+/// `--list-rules`: one line per rule — id, level, summary — plus the
+/// model-checker topics `--explain` also covers.
 fn list_rules() {
     println!("== teenet-analyze: rule pack ==");
     for r in &RULES {
         println!("{:<22} {:<4} {}", r.id, r.level, r.summary);
     }
     println!();
+    println!("== model checker (--model-check) ==");
+    for t in &MODEL_TOPICS {
+        println!("{:<22} {:<4} {}", t.id, "mc", t.summary);
+    }
+    println!();
     println!("`--explain <rule>` prints the rationale and waiver syntax.");
 }
 
-/// `--explain <rule>`: the full card for one rule.
+/// `--explain <rule>`: the full card for one lint rule or model topic.
 fn explain_rule(id: &str) -> bool {
-    let Some(r) = RULES.iter().find(|r| r.id == id) else {
-        eprintln!("teenet-analyze: unknown rule {id:?} (try --list-rules)");
-        return false;
-    };
-    println!("rule      {}", r.id);
-    println!("level     {}", r.level);
-    println!("summary   {}", r.summary);
-    println!("rationale {}", r.rationale);
-    match r.waiver {
-        Some(w) => println!("waiver    {w}"),
-        None => println!("waiver    not waivable (meta rule about waivers themselves)"),
+    if let Some(r) = RULES.iter().find(|r| r.id == id) {
+        println!("rule      {}", r.id);
+        println!("level     {}", r.level);
+        println!("summary   {}", r.summary);
+        println!("rationale {}", r.rationale);
+        match r.waiver {
+            Some(w) => println!("waiver    {w}"),
+            None => println!("waiver    not waivable (meta rule about waivers themselves)"),
+        }
+        return true;
     }
-    true
+    if let Some(t) = MODEL_TOPICS.iter().find(|t| t.id == id) {
+        println!("topic     {}", t.id);
+        println!("level     model-check");
+        println!("summary   {}", t.summary);
+        println!("rationale {}", t.rationale);
+        println!("waiver    not waivable (model invariants gate CI unconditionally)");
+        return true;
+    }
+    eprintln!("teenet-analyze: unknown rule {id:?} (try --list-rules)");
+    false
 }
 
 /// The waiver-budget gate: the report's waiver count may not exceed the
@@ -224,35 +239,24 @@ fn main() -> ExitCode {
     }
 }
 
-/// The CI model-check pass: the faithful model must hold over a grid of
-/// configurations, and both seeded mutations must be rejected.
+/// The CI model-check pass: the faithful model must hold over a
+/// `{workers} × {ring} × {spin}` grid, and all three seeded mutations
+/// must be rejected.
 fn run_model_check() -> bool {
-    let grid = [
-        ModelConfig {
-            ring_capacity: 1,
-            spin_budget: 0,
-            calls: 4,
-            max_states: 1_000_000,
-        },
-        ModelConfig {
-            ring_capacity: 1,
-            spin_budget: 2,
-            calls: 5,
-            max_states: 1_000_000,
-        },
-        ModelConfig {
-            ring_capacity: 2,
-            spin_budget: 1,
-            calls: 6,
-            max_states: 1_000_000,
-        },
-        ModelConfig {
-            ring_capacity: 3,
-            spin_budget: 2,
-            calls: 6,
-            max_states: 4_000_000,
-        },
-    ];
+    // One axis point per dimension value; calls/max_states sized so each
+    // cell stays comfortably exhaustive.
+    let mut grid = Vec::new();
+    for workers in [1usize, 2, 3] {
+        for &(ring_capacity, spin_budget) in &[(1usize, 0u32), (2, 1), (3, 2)] {
+            grid.push(ModelConfig {
+                ring_capacity,
+                spin_budget,
+                workers,
+                calls: if workers == 3 { 5 } else { 6 },
+                max_states: 8_000_000,
+            });
+        }
+    }
 
     println!();
     println!("== teenet-analyze: switchless-ring model check ==");
@@ -260,13 +264,13 @@ fn run_model_check() -> bool {
     for cfg in &grid {
         match check(cfg, Mutation::None) {
             Ok(e) => println!(
-                "ring={} spin={} calls={:<2} {:>8} states, {:>6} terminals  ok",
-                cfg.ring_capacity, cfg.spin_budget, cfg.calls, e.states, e.terminals
+                "workers={} ring={} spin={} calls={:<2} {:>8} states, {:>6} terminals  ok",
+                cfg.workers, cfg.ring_capacity, cfg.spin_budget, cfg.calls, e.states, e.terminals
             ),
             Err(v) => {
                 println!(
-                    "ring={} spin={} calls={}  FAILED",
-                    cfg.ring_capacity, cfg.spin_budget, cfg.calls
+                    "workers={} ring={} spin={} calls={}  FAILED",
+                    cfg.workers, cfg.ring_capacity, cfg.spin_budget, cfg.calls
                 );
                 println!("{v}");
                 ok = false;
@@ -274,8 +278,15 @@ fn run_model_check() -> bool {
         }
     }
 
-    // The checker must have teeth: both seeded bugs must be caught.
-    for mutation in [Mutation::LostWakeup, Mutation::DoubleExecution] {
+    // The checker must have teeth: all three seeded bugs must be caught.
+    // The stampede steal needs an awake worker and a sleeper at once, so
+    // every mutation runs on the 2-worker default (where all three are
+    // expressible).
+    for mutation in [
+        Mutation::LostWakeup,
+        Mutation::DoubleExecution,
+        Mutation::StampedeWake,
+    ] {
         match check(&ModelConfig::default(), mutation) {
             Err(v) => println!("mutation {:<16} rejected  ({})", mutation.as_str(), v.what),
             Ok(_) => {

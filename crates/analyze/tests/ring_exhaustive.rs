@@ -1,29 +1,41 @@
-//! Exhaustive switchless-ring model check over a grid of bounds, plus
-//! the teeth test: both seeded mutations (lost wakeup, double
-//! execution) must be rejected with a concrete witness interleaving on
-//! every grid point — a checker that only passes the faithful model
-//! could be vacuous.
+//! Exhaustive switchless-ring model check over a `{workers} × {ring} ×
+//! {spin}` grid of bounds, plus the teeth test: all three seeded
+//! mutations (lost wakeup, double execution, stampede wake) must be
+//! rejected with a concrete witness interleaving on every grid point
+//! where they are expressible — a checker that only passes the faithful
+//! model could be vacuous.
 
 use teenet_analyze::ring::{check, ModelConfig, Mutation};
 
-/// (ring_capacity, spin_budget, calls) grid. Small bounds are the point:
-/// both seeded bugs already bite with one ring slot and zero spin.
-const GRID: [(usize, u32, u8); 5] = [(1, 0, 4), (1, 2, 5), (2, 1, 6), (2, 2, 4), (3, 2, 6)];
+/// (workers, ring_capacity, spin_budget, calls) grid. Small bounds are
+/// the point: the seeded bugs already bite with one ring slot and zero
+/// spin, and the multi-worker races need no more than three workers.
+const GRID: [(usize, usize, u32, u8); 8] = [
+    (1, 1, 0, 4),
+    (1, 2, 1, 6),
+    (1, 3, 2, 6),
+    (2, 1, 0, 4),
+    (2, 1, 2, 5),
+    (2, 2, 1, 6),
+    (2, 2, 2, 4),
+    (3, 2, 1, 5),
+];
 
-fn cfg(ring_capacity: usize, spin_budget: u32, calls: u8) -> ModelConfig {
+fn cfg(workers: usize, ring_capacity: usize, spin_budget: u32, calls: u8) -> ModelConfig {
     ModelConfig {
         ring_capacity,
         spin_budget,
+        workers,
         calls,
-        max_states: 4_000_000,
+        max_states: 8_000_000,
     }
 }
 
 #[test]
 fn faithful_model_passes_exhaustively_on_every_grid_point() {
-    for (ring, spin, calls) in GRID {
-        let e = check(&cfg(ring, spin, calls), Mutation::None).unwrap_or_else(|v| {
-            panic!("ring={ring} spin={spin} calls={calls}: {v}");
+    for (workers, ring, spin, calls) in GRID {
+        let e = check(&cfg(workers, ring, spin, calls), Mutation::None).unwrap_or_else(|v| {
+            panic!("workers={workers} ring={ring} spin={spin} calls={calls}: {v}");
         });
         assert!(e.states > 0, "exploration must visit states");
         assert!(e.terminals > 0, "exploration must reach terminal states");
@@ -32,20 +44,22 @@ fn faithful_model_passes_exhaustively_on_every_grid_point() {
 
 #[test]
 fn lost_wakeup_mutation_rejected_on_every_grid_point() {
-    for (ring, spin, calls) in GRID {
-        let v = check(&cfg(ring, spin, calls), Mutation::LostWakeup).expect_err(
+    for (workers, ring, spin, calls) in GRID {
+        let v = check(&cfg(workers, ring, spin, calls), Mutation::LostWakeup).expect_err(
             "worker sleeping without the final ring re-check must violate an invariant",
         );
         assert!(
             v.what.contains("lost wakeup") || v.what.contains("dropped"),
-            "ring={ring} spin={spin} calls={calls}: unexpected violation {v}"
+            "workers={workers} ring={ring} spin={spin} calls={calls}: unexpected violation {v}"
         );
         assert!(
             !v.trace.is_empty(),
             "the violation must carry a witness interleaving"
         );
         assert!(
-            v.trace.iter().any(|s| s == "worker: sleep"),
+            v.trace
+                .iter()
+                .any(|s| s.starts_with("worker") && s.ends_with("sleep")),
             "the witness must include the buggy sleep step: {v}"
         );
     }
@@ -53,13 +67,13 @@ fn lost_wakeup_mutation_rejected_on_every_grid_point() {
 
 #[test]
 fn double_execution_mutation_rejected_on_every_grid_point() {
-    for (ring, spin, calls) in GRID {
-        let v = check(&cfg(ring, spin, calls), Mutation::DoubleExecution).expect_err(
+    for (workers, ring, spin, calls) in GRID {
+        let v = check(&cfg(workers, ring, spin, calls), Mutation::DoubleExecution).expect_err(
             "fallback that also enqueues its entry must violate exactly-once execution",
         );
         assert!(
             v.what.contains("executed 2 times"),
-            "ring={ring} spin={spin} calls={calls}: unexpected violation {v}"
+            "workers={workers} ring={ring} spin={spin} calls={calls}: unexpected violation {v}"
         );
         assert!(
             v.trace.iter().any(|s| s.contains("fallback-full")),
@@ -68,10 +82,41 @@ fn double_execution_mutation_rejected_on_every_grid_point() {
     }
 }
 
+/// The stampede steal needs an awake worker and a sleeper at the same
+/// time, so it is only expressible at `workers >= 2` — on those grid
+/// points it must be rejected with a witness showing the steal.
+#[test]
+fn stampede_wake_mutation_rejected_on_every_multiworker_grid_point() {
+    for (workers, ring, spin, calls) in GRID {
+        let result = check(&cfg(workers, ring, spin, calls), Mutation::StampedeWake);
+        if workers < 2 {
+            result.unwrap_or_else(|v| {
+                panic!("stampede is unreachable with one worker, got: {v}");
+            });
+            continue;
+        }
+        let v = result
+            .expect_err("an awake worker stealing the sleeper's wake must violate wake accounting");
+        assert!(
+            v.what.contains("stampede wake"),
+            "workers={workers} ring={ring} spin={spin} calls={calls}: unexpected violation {v}"
+        );
+        assert!(
+            v.trace.iter().any(|s| s.contains("steal wake")),
+            "the witness must include the steal step: {v}"
+        );
+    }
+}
+
 #[test]
 fn witness_traces_are_deterministic() {
-    let a = check(&cfg(2, 1, 4), Mutation::LostWakeup).expect_err("rejected");
-    let b = check(&cfg(2, 1, 4), Mutation::LostWakeup).expect_err("rejected");
+    let a = check(&cfg(2, 2, 1, 4), Mutation::LostWakeup).expect_err("rejected");
+    let b = check(&cfg(2, 2, 1, 4), Mutation::LostWakeup).expect_err("rejected");
+    assert_eq!(a.what, b.what);
+    assert_eq!(a.trace, b.trace);
+
+    let a = check(&cfg(2, 1, 1, 4), Mutation::StampedeWake).expect_err("rejected");
+    let b = check(&cfg(2, 1, 1, 4), Mutation::StampedeWake).expect_err("rejected");
     assert_eq!(a.what, b.what);
     assert_eq!(a.trace, b.trace);
 }

@@ -8,7 +8,7 @@
 //! the final [`WorkProfile`].
 
 use teenet_sgx::cost::Counters;
-use teenet_sgx::{TeeBackend, TransitionMode, TransitionStats};
+use teenet_sgx::{SwitchlessConfig, TeeBackend, TransitionMode, TransitionStats};
 
 use crate::profile::{WorkProfile, WorkStep};
 use crate::service::{
@@ -66,6 +66,19 @@ impl AppHarness {
         }
     }
 
+    /// A harness calibrating with an explicit switchless worker-pool
+    /// configuration.
+    pub fn with_switchless(
+        seed: u64,
+        mode: TransitionMode,
+        backend: TeeBackend,
+        switchless: SwitchlessConfig,
+    ) -> Self {
+        AppHarness {
+            env: ServiceEnv::with_switchless(seed, mode, backend, switchless),
+        }
+    }
+
     /// The environment the harness wires into the service (readable after
     /// calibration, e.g. for ledger accounting).
     pub fn env(&self) -> &ServiceEnv {
@@ -78,7 +91,7 @@ impl AppHarness {
     pub fn calibrate<S: EnclaveService>(&mut self, svc: &mut S) -> Result<WorkProfile, S::Error> {
         svc.deploy(&mut self.env)?;
         svc.provision(&mut self.env)?;
-        svc.set_transition_mode(self.env.mode)?;
+        svc.set_transition_mode(self.env.mode, self.env.switchless)?;
         let setup = svc.setup_counters()?;
 
         let script = svc.session_script(&self.env)?;
@@ -109,6 +122,7 @@ impl AppHarness {
             steps,
             mode: self.env.mode,
             backend: self.env.backend,
+            switchless: self.env.switchless,
         })
     }
 
@@ -277,7 +291,11 @@ mod tests {
             Ok(())
         }
 
-        fn set_transition_mode(&mut self, mode: TransitionMode) -> Result<(), SgxError> {
+        fn set_transition_mode(
+            &mut self,
+            mode: TransitionMode,
+            _switchless: SwitchlessConfig,
+        ) -> Result<(), SgxError> {
             self.mode = Some(mode);
             Ok(())
         }

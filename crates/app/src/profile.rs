@@ -9,7 +9,7 @@
 //! expose a calibration service without depending on either.
 
 use teenet_sgx::cost::Counters;
-use teenet_sgx::{TeeBackend, TransitionMode, TransitionStats};
+use teenet_sgx::{SwitchlessConfig, TeeBackend, TransitionMode, TransitionStats};
 
 /// The measured cost of one client→server exchange within a session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +41,10 @@ pub struct WorkProfile {
     /// TEE backend the profile was calibrated against (determines the
     /// cost model any replay of this profile must price cycles with).
     pub backend: TeeBackend,
+    /// Switchless worker-pool configuration the profile was calibrated
+    /// under (pool size, spin budget, scaling policy). The 1-worker /
+    /// zero-spin default reproduces the single-worker ring exactly.
+    pub switchless: SwitchlessConfig,
 }
 
 impl WorkProfile {
@@ -94,6 +98,7 @@ mod tests {
                 taken: 1,
                 elided: 2,
                 fallbacks: 0,
+                idle_spins: 0,
             },
         }
     }
@@ -108,6 +113,7 @@ mod tests {
             ],
             mode: TransitionMode::Classic,
             backend: TeeBackend::Sgx,
+            switchless: SwitchlessConfig::default(),
         };
         assert_eq!(p.session_server(), c(5, 500));
         assert_eq!(p.session_client(), c(1, 150));
@@ -116,7 +122,8 @@ mod tests {
             TransitionStats {
                 taken: 2,
                 elided: 4,
-                fallbacks: 0
+                fallbacks: 0,
+                idle_spins: 0
             }
         );
     }

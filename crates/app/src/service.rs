@@ -13,7 +13,7 @@
 use core::fmt;
 
 use teenet_sgx::cost::{CostModel, Counters};
-use teenet_sgx::{TeeBackend, TransitionMode, TransitionStats};
+use teenet_sgx::{SwitchlessConfig, TeeBackend, TransitionMode, TransitionStats};
 
 use crate::ledger::AttestLedger;
 use crate::profile::WorkStep;
@@ -72,6 +72,10 @@ pub struct ServiceEnv {
     pub mode: TransitionMode,
     /// The TEE backend services deploy their platforms against.
     pub backend: TeeBackend,
+    /// The switchless worker-pool configuration services apply to their
+    /// steady-state enclaves (pool size, spin budget, scaling policy).
+    /// Irrelevant under [`TransitionMode::Classic`].
+    pub switchless: SwitchlessConfig,
     /// The backend's calibrated cost model (client-side modelled costs).
     pub model: CostModel,
     /// Attestation accounting for the provisioning phase.
@@ -86,10 +90,22 @@ impl ServiceEnv {
 
     /// A fresh environment for one calibration run on `backend`.
     pub fn with_backend(seed: u64, mode: TransitionMode, backend: TeeBackend) -> Self {
+        Self::with_switchless(seed, mode, backend, SwitchlessConfig::default())
+    }
+
+    /// A fresh environment with an explicit switchless worker-pool
+    /// configuration.
+    pub fn with_switchless(
+        seed: u64,
+        mode: TransitionMode,
+        backend: TeeBackend,
+        switchless: SwitchlessConfig,
+    ) -> Self {
         ServiceEnv {
             seed,
             mode,
             backend,
+            switchless,
             model: backend.cost_model(),
             ledger: AttestLedger::new(),
         }
@@ -238,8 +254,15 @@ pub trait EnclaveService: Send {
         Ok(())
     }
 
-    /// Switches steady-state paths to `mode`.
-    fn set_transition_mode(&mut self, mode: TransitionMode) -> Result<(), Self::Error>;
+    /// Switches steady-state paths to `mode` under `switchless` (worker
+    /// pool size, per-post spin budget, scaling policy). Implementations
+    /// must configure the ring *before* switching the mode, so the worker
+    /// pool initialises from the new configuration.
+    fn set_transition_mode(
+        &mut self,
+        mode: TransitionMode,
+        switchless: SwitchlessConfig,
+    ) -> Result<(), Self::Error>;
 
     /// One-time setup cost (enclave load, provisioning, admission),
     /// read by the harness after provisioning. Default: everything the

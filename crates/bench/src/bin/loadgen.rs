@@ -30,11 +30,11 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use teenet_load::scenarios::{by_name, by_name_backend, NAMES};
+use teenet_load::scenarios::{by_name, by_name_switchless, NAMES};
 use teenet_load::{LoadConfig, LoadMode, LoadRunner};
 use teenet_netsim::fault::FaultConfig;
 use teenet_netsim::SimDuration;
-use teenet_sgx::{TeeBackend, TransitionMode};
+use teenet_sgx::{SwitchlessConfig, TeeBackend, TransitionMode};
 
 const USAGE: &str = "\
 loadgen — stress the paper's applications with synthetic load on virtual time
@@ -57,6 +57,14 @@ OPTIONS:
     --duplicate <p>        per-packet dup chance      [default: 0]
     --switchless           calibrate with switchless/batched enclave
                            transitions (default: classic EENTER/EEXIT)
+    --switchless-workers <n>  host workers servicing the switchless ring
+                           (default: 1 — the single-worker ring; extra
+                           workers drain the ring mid-ecall but burn
+                           spin cycles while idle)
+    --spin-budget <k>      idle-spin units each awake worker burns per
+                           ecall, charged as normal instructions
+                           (default: 0 — spinning is free, as in the
+                           single-worker model)
     --backend <sgx|vmtee>  TEE backend to deploy the workload on
                            (default: sgx; vmtee prices a TDX/SEV-SNP-style
                            cost model — no per-call EENTER/EEXIT, VM-exit
@@ -91,6 +99,8 @@ struct Args {
     corrupt: f64,
     duplicate: f64,
     switchless: bool,
+    switchless_workers: usize,
+    spin_budget: u32,
     backend: TeeBackend,
     shards: Option<u32>,
     reference: bool,
@@ -116,6 +126,8 @@ impl Default for Args {
             corrupt: 0.0,
             duplicate: 0.0,
             switchless: false,
+            switchless_workers: 1,
+            spin_budget: 0,
             backend: TeeBackend::Sgx,
             shards: None,
             reference: false,
@@ -148,6 +160,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--corrupt" => args.corrupt = parse(value("--corrupt")?, "--corrupt")?,
             "--duplicate" => args.duplicate = parse(value("--duplicate")?, "--duplicate")?,
             "--switchless" => args.switchless = true,
+            "--switchless-workers" => {
+                args.switchless_workers =
+                    parse(value("--switchless-workers")?, "--switchless-workers")?
+            }
+            "--spin-budget" => args.spin_budget = parse(value("--spin-budget")?, "--spin-budget")?,
             "--backend" => {
                 let raw = value("--backend")?;
                 args.backend = TeeBackend::parse(raw)
@@ -225,7 +242,18 @@ fn main() -> ExitCode {
     } else {
         TransitionMode::Classic
     };
-    let Some(mut scenario) = by_name_backend(name, args.seed, transition_mode, args.backend) else {
+    let switchless_config = SwitchlessConfig {
+        workers: args.switchless_workers.max(1),
+        spin_budget: args.spin_budget,
+        ..SwitchlessConfig::default()
+    };
+    let Some(mut scenario) = by_name_switchless(
+        name,
+        args.seed,
+        transition_mode,
+        args.backend,
+        switchless_config,
+    ) else {
         eprintln!("error: unknown scenario {name:?} (one of {NAMES:?})");
         return ExitCode::FAILURE;
     };
@@ -363,7 +391,7 @@ fn bench_entry(
 ) -> String {
     format!(
         "{{\"scenario\": \"{}\", \"mode\": \"{}\", \"transition_mode\": \"{}\", \
-         \"backend\": \"{}\", \
+         \"backend\": \"{}\", \"switchless_workers\": {}, \
          \"sessions\": {}, \"completed\": {}, \"shards\": {}, \
          \"baseline_wall_ns\": {}, \"sharded_wall_ns\": {}, \
          \"speedup\": {:.3}, \"wall_sessions_per_sec\": {:.3}, \
@@ -372,6 +400,7 @@ fn bench_entry(
         report.mode,
         report.transition_mode,
         report.backend.as_str(),
+        report.switchless_workers,
         report.sessions,
         report.completed,
         shards,

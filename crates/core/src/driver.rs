@@ -19,7 +19,7 @@ use teenet_crypto::SecureRng;
 use teenet_sgx::cost::Counters;
 use teenet_sgx::{
     deploy_platform, EnclaveCtx, EnclaveId, EnclaveProgram, EpidGroup, Report, SgxError,
-    TeePlatform, TransitionMode, TransitionStats,
+    SwitchlessConfig, TeePlatform, TransitionMode, TransitionStats,
 };
 
 use crate::attest::{AttestConfig, AttestResponse, Challenger};
@@ -124,12 +124,22 @@ impl EnclaveService for AttestService {
         Ok(())
     }
 
-    fn set_transition_mode(&mut self, mode: TransitionMode) -> Result<()> {
+    fn set_transition_mode(
+        &mut self,
+        mode: TransitionMode,
+        switchless: SwitchlessConfig,
+    ) -> Result<()> {
         let state = self
             .deployed
             .as_mut()
             .ok_or(TeenetError::Protocol("attest service not deployed"))?;
         let enclave = state.enclave;
+        // Configure before switching: entering switchless initialises the
+        // worker pool from the configuration in force at that moment.
+        state
+            .platform
+            .configure_switchless(enclave, switchless)
+            .map_err(TeenetError::Sgx)?;
         state
             .platform
             .set_transition_mode(enclave, mode)

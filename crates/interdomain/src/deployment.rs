@@ -17,8 +17,8 @@ use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::Counters;
 use teenet_sgx::{
-    deploy_platform, EnclaveId, EpidGroup, Report, SgxError, TeeBackend, TeePlatform,
-    TransitionMode, TransitionStats,
+    deploy_platform, EnclaveId, EpidGroup, Report, SgxError, SwitchlessConfig, TeeBackend,
+    TeePlatform, TransitionMode, TransitionStats,
 };
 
 use crate::compute::{compute_routes, RoutingOutcome};
@@ -250,11 +250,19 @@ impl SdnDeployment {
     }
 
     /// Sets the transition mode of the controller enclave and every
-    /// AS-local enclave.
-    pub fn set_transition_mode(&mut self, mode: TransitionMode) -> Result<()> {
+    /// AS-local enclave, configuring each switchless ring first so the
+    /// worker pools initialise from `switchless`.
+    pub fn set_transition_mode(
+        &mut self,
+        mode: TransitionMode,
+        switchless: SwitchlessConfig,
+    ) -> Result<()> {
+        self.controller_platform
+            .configure_switchless(self.controller_enclave, switchless)?;
         self.controller_platform
             .set_transition_mode(self.controller_enclave, mode)?;
         for i in 0..self.as_enclaves.len() {
+            self.as_platforms[i].configure_switchless(self.as_enclaves[i], switchless)?;
             self.as_platforms[i].set_transition_mode(self.as_enclaves[i], mode)?;
         }
         Ok(())

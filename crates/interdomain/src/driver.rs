@@ -21,7 +21,7 @@ use teenet_app::{
 };
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::Counters;
-use teenet_sgx::{SgxError, TransitionMode, TransitionStats};
+use teenet_sgx::{SgxError, SwitchlessConfig, TransitionMode, TransitionStats};
 
 use crate::deployment::{Result, SdnDeployment};
 use crate::topology::Topology;
@@ -100,11 +100,15 @@ impl EnclaveService for BgpService {
         Ok(())
     }
 
-    fn set_transition_mode(&mut self, mode: TransitionMode) -> Result<()> {
+    fn set_transition_mode(
+        &mut self,
+        mode: TransitionMode,
+        switchless: SwitchlessConfig,
+    ) -> Result<()> {
         self.deployed
             .as_mut()
             .ok_or(SgxError::EcallRejected("bgp service not deployed"))?
-            .set_transition_mode(mode)
+            .set_transition_mode(mode, switchless)
     }
 
     fn server_counters(&self) -> Result<Counters> {

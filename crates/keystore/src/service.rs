@@ -31,8 +31,8 @@ use teenet_crypto::schnorr::{SchnorrGroup, SigningKey};
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::Counters;
 use teenet_sgx::{
-    deploy_platform, EnclaveId, EpidGroup, Report, SgxError, TeePlatform, TransitionMode,
-    TransitionStats,
+    deploy_platform, EnclaveId, EpidGroup, Report, SgxError, SwitchlessConfig, TeePlatform,
+    TransitionMode, TransitionStats,
 };
 
 use crate::coordinator::{
@@ -284,18 +284,32 @@ impl EnclaveService for KeystoreService {
         Ok(())
     }
 
-    fn set_transition_mode(&mut self, mode: TransitionMode) -> Result<()> {
+    fn set_transition_mode(
+        &mut self,
+        mode: TransitionMode,
+        switchless: SwitchlessConfig,
+    ) -> Result<()> {
         let state = self
             .deployed
             .as_mut()
             .ok_or(KeystoreError::Protocol("keystore service not deployed"))?;
         let coordinator = state.coordinator;
+        // Configure before switching: entering switchless initialises each
+        // worker pool from the configuration in force at that moment.
+        state
+            .coordinator_platform
+            .configure_switchless(coordinator, switchless)
+            .map_err(KeystoreError::Sgx)?;
         state
             .coordinator_platform
             .set_transition_mode(coordinator, mode)
             .map_err(KeystoreError::Sgx)?;
         for idx in 0..state.workers.len() {
             let worker = worker_at(state, idx)?;
+            state
+                .worker_platform
+                .configure_switchless(worker, switchless)
+                .map_err(KeystoreError::Sgx)?;
             state
                 .worker_platform
                 .set_transition_mode(worker, mode)

@@ -280,6 +280,7 @@ mod tests {
         m.transitions.taken = seed % 23;
         m.transitions.elided = seed % 29;
         m.transitions.fallbacks = seed % 2;
+        m.transitions.idle_spins = seed % 31;
         m.net.sent = seed % 37;
         m.net.delivered = seed % 37;
         m.net.dropped = seed % 6;

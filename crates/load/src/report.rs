@@ -61,6 +61,10 @@ pub struct RunReport {
     pub total_cycles: u64,
     /// Enclave boundary crossings accumulated over all steady-state ops.
     pub transitions: TransitionStats,
+    /// Switchless worker-pool size the run was calibrated with. Surfaces
+    /// in the transitions block only off the 1-worker default, so
+    /// single-worker reports (and the golden fixtures) stay byte-stable.
+    pub switchless_workers: usize,
 }
 
 impl RunReport {
@@ -124,14 +128,27 @@ impl RunReport {
             "{:<26} retries={} corrupt_rx={} max_server_queue={}",
             "recovery", self.retries, self.corrupt_rx, self.max_server_queue
         );
-        let _ = writeln!(
-            s,
-            "{:<26} taken={} elided={} fallbacks={}",
-            "transitions",
-            self.transitions.taken,
-            self.transitions.elided,
-            self.transitions.fallbacks
-        );
+        if self.multi_worker() {
+            let _ = writeln!(
+                s,
+                "{:<26} taken={} elided={} fallbacks={} workers={} idle_spins={}",
+                "transitions",
+                self.transitions.taken,
+                self.transitions.elided,
+                self.transitions.fallbacks,
+                self.switchless_workers,
+                self.transitions.idle_spins
+            );
+        } else {
+            let _ = writeln!(
+                s,
+                "{:<26} taken={} elided={} fallbacks={}",
+                "transitions",
+                self.transitions.taken,
+                self.transitions.elided,
+                self.transitions.fallbacks
+            );
+        }
         let _ = writeln!(s, "-- SGX cost rollup --");
         let _ = writeln!(
             s,
@@ -225,13 +242,33 @@ impl RunReport {
             ",\"total\":{{\"sgx_instr\":{},\"normal_instr\":{},\"cycles\":{}}}",
             self.total.sgx_instr, self.total.normal_instr, self.total_cycles
         );
-        let _ = write!(
-            s,
-            ",\"transitions\":{{\"taken\":{},\"elided\":{},\"fallbacks\":{}}}",
-            self.transitions.taken, self.transitions.elided, self.transitions.fallbacks
-        );
+        if self.multi_worker() {
+            let _ = write!(
+                s,
+                ",\"transitions\":{{\"taken\":{},\"elided\":{},\"fallbacks\":{},\"workers\":{},\"idle_spins\":{}}}",
+                self.transitions.taken,
+                self.transitions.elided,
+                self.transitions.fallbacks,
+                self.switchless_workers,
+                self.transitions.idle_spins
+            );
+        } else {
+            let _ = write!(
+                s,
+                ",\"transitions\":{{\"taken\":{},\"elided\":{},\"fallbacks\":{}}}",
+                self.transitions.taken, self.transitions.elided, self.transitions.fallbacks
+            );
+        }
         s.push('}');
         s
+    }
+
+    /// Whether the run used a non-default worker pool (or accrued idle
+    /// spins, which only a non-default pool can). Pre-refactor consumers
+    /// (and the golden fixtures) never saw the worker keys, so the
+    /// single-worker default keeps the old shape byte-for-byte.
+    fn multi_worker(&self) -> bool {
+        self.switchless_workers != 1 || self.transitions.idle_spins != 0
     }
 }
 
@@ -286,7 +323,9 @@ mod tests {
                 taken: 100,
                 elided: 300,
                 fallbacks: 2,
+                idle_spins: 0,
             },
+            switchless_workers: 1,
         }
     }
 
@@ -332,5 +371,26 @@ mod tests {
         // Same counters, different model: the priced cycles must differ.
         assert_ne!(vm.total_cycles, sgx.total_cycles);
         assert_ne!(j, sgx.json());
+    }
+
+    #[test]
+    fn worker_keys_appear_only_off_the_single_worker_default() {
+        let single = sample_report();
+        assert!(!single.json().contains("\"workers\""));
+        assert!(!single.json().contains("\"idle_spins\""));
+        assert!(!single.text().contains("workers="));
+
+        let mut multi = sample_report();
+        multi.switchless_workers = 4;
+        multi.transitions.idle_spins = 1_234;
+        let j = multi.json();
+        assert!(j.contains("\"fallbacks\":2,\"workers\":4,\"idle_spins\":1234}"));
+        assert!(multi.text().contains("workers=4 idle_spins=1234"));
+
+        // Idle spins with a nominally single-worker pool still surface —
+        // charged work must never be hidden by the default-shape rule.
+        let mut spun = sample_report();
+        spun.transitions.idle_spins = 9;
+        assert!(spun.json().contains("\"workers\":1,\"idle_spins\":9}"));
     }
 }

@@ -973,6 +973,7 @@ pub(crate) fn report_from_metrics(
         total,
         total_cycles,
         transitions: metrics.transitions,
+        switchless_workers: cal.switchless.workers.max(1),
     }
 }
 
@@ -1025,6 +1026,7 @@ mod tests {
                         taken: 2,
                         elided: 0,
                         fallbacks: 0,
+                        idle_spins: 0,
                     },
                 },
                 OpProfile {
@@ -1037,11 +1039,13 @@ mod tests {
                         taken: 4,
                         elided: 0,
                         fallbacks: 0,
+                        idle_spins: 0,
                     },
                 },
             ],
             mode: Default::default(),
             backend: teenet_sgx::TeeBackend::Sgx,
+            switchless: Default::default(),
         }
     }
 
@@ -1095,6 +1099,7 @@ mod tests {
             }],
             mode: Default::default(),
             backend: teenet_sgx::TeeBackend::Sgx,
+            switchless: Default::default(),
         };
         let report = LoadRunner::new(cfg).run("tie", &cal);
         assert_eq!(report.completed, 1);

@@ -10,7 +10,7 @@
 //! real session costs precisely what the first did, modulo the keys.
 
 use teenet_sgx::cost::{CostModel, Counters};
-use teenet_sgx::{TeeBackend, TransitionMode, TransitionStats};
+use teenet_sgx::{SwitchlessConfig, TeeBackend, TransitionMode, TransitionStats};
 
 /// The calibrated cost of one client→server exchange within a session:
 /// the client spends `client` instructions preparing `request_bytes`, the
@@ -63,6 +63,10 @@ pub struct Calibration {
     /// price cycles with this backend's cost model, or the virtual clock
     /// disagrees with the calibration.
     pub backend: TeeBackend,
+    /// The switchless worker-pool configuration the scenario was
+    /// calibrated under (surfaces in reports so multi-worker runs are
+    /// distinguishable from the single-worker default).
+    pub switchless: SwitchlessConfig,
 }
 
 impl Calibration {
@@ -137,6 +141,7 @@ impl From<teenet_app::WorkProfile> for Calibration {
                 .collect(),
             mode: profile.mode,
             backend: profile.backend,
+            switchless: profile.switchless,
         }
     }
 }
@@ -195,6 +200,7 @@ mod tests {
             ],
             mode: TransitionMode::Classic,
             backend: TeeBackend::Sgx,
+            switchless: SwitchlessConfig::default(),
         };
         assert_eq!(cal.session_server_cost(), c(5, 500));
         assert_eq!(cal.session_client_cost(), c(1, 150));
@@ -215,6 +221,7 @@ mod tests {
             ops,
             mode: TransitionMode::Classic,
             backend: TeeBackend::Sgx,
+            switchless: SwitchlessConfig::default(),
         };
         assert_eq!(cal(vec![op(64, 2048), op(512, 32)]).max_frame_bytes(), 2048);
         // Tiny frames are padded to the wire header; so is the scratch.

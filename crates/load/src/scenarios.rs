@@ -12,7 +12,7 @@ use teenet_app::{AppHarness, EnclaveService};
 use teenet_interdomain::driver::BgpService;
 use teenet_keystore::KeystoreService;
 use teenet_mbox::driver::TlsMboxService;
-use teenet_sgx::{TeeBackend, TransitionMode};
+use teenet_sgx::{SwitchlessConfig, TeeBackend, TransitionMode};
 use teenet_tor::driver::TorService;
 
 use crate::scenario::{Calibration, Scenario};
@@ -24,6 +24,7 @@ pub struct ServiceScenario<S: EnclaveService> {
     seed: u64,
     mode: TransitionMode,
     backend: TeeBackend,
+    switchless: SwitchlessConfig,
 }
 
 impl<S: EnclaveService> ServiceScenario<S> {
@@ -40,11 +41,24 @@ impl<S: EnclaveService> ServiceScenario<S> {
     /// Same, deployed against an explicit TEE backend
     /// (`loadgen --backend vmtee`).
     pub fn with_backend(service: S, seed: u64, mode: TransitionMode, backend: TeeBackend) -> Self {
+        Self::with_switchless(service, seed, mode, backend, SwitchlessConfig::default())
+    }
+
+    /// Same, with an explicit switchless worker-pool configuration
+    /// (`loadgen --switchless-workers N --spin-budget K`).
+    pub fn with_switchless(
+        service: S,
+        seed: u64,
+        mode: TransitionMode,
+        backend: TeeBackend,
+        switchless: SwitchlessConfig,
+    ) -> Self {
         ServiceScenario {
             service,
             seed,
             mode,
             backend,
+            switchless,
         }
     }
 }
@@ -59,7 +73,7 @@ impl<S: EnclaveService> Scenario for ServiceScenario<S> {
     }
 
     fn calibrate(&mut self) -> Calibration {
-        AppHarness::with_backend(self.seed, self.mode, self.backend)
+        AppHarness::with_switchless(self.seed, self.mode, self.backend, self.switchless)
             .calibrate(&mut self.service)
             .expect("calibration cannot fail on an honest deployment")
             .into()
@@ -72,7 +86,7 @@ pub struct ScenarioEntry {
     pub name: &'static str,
     /// One-line description for `loadgen --list`.
     pub describe: &'static str,
-    build: fn(u64, TransitionMode, TeeBackend) -> Box<dyn Scenario>,
+    build: fn(u64, TransitionMode, TeeBackend, SwitchlessConfig) -> Box<dyn Scenario>,
 }
 
 impl ScenarioEntry {
@@ -88,52 +102,94 @@ impl ScenarioEntry {
         mode: TransitionMode,
         backend: TeeBackend,
     ) -> Box<dyn Scenario> {
-        (self.build)(seed, mode, backend)
+        self.build_switchless(seed, mode, backend, SwitchlessConfig::default())
+    }
+
+    /// [`ScenarioEntry::build_backend`] with an explicit switchless
+    /// worker-pool configuration.
+    pub fn build_switchless(
+        &self,
+        seed: u64,
+        mode: TransitionMode,
+        backend: TeeBackend,
+        switchless: SwitchlessConfig,
+    ) -> Box<dyn Scenario> {
+        (self.build)(seed, mode, backend, switchless)
     }
 }
 
-fn build_attest(seed: u64, mode: TransitionMode, backend: TeeBackend) -> Box<dyn Scenario> {
-    Box::new(ServiceScenario::with_backend(
+fn build_attest(
+    seed: u64,
+    mode: TransitionMode,
+    backend: TeeBackend,
+    switchless: SwitchlessConfig,
+) -> Box<dyn Scenario> {
+    Box::new(ServiceScenario::with_switchless(
         AttestService::default(),
         seed,
         mode,
         backend,
+        switchless,
     ))
 }
 
-fn build_tls(seed: u64, mode: TransitionMode, backend: TeeBackend) -> Box<dyn Scenario> {
-    Box::new(ServiceScenario::with_backend(
+fn build_tls(
+    seed: u64,
+    mode: TransitionMode,
+    backend: TeeBackend,
+    switchless: SwitchlessConfig,
+) -> Box<dyn Scenario> {
+    Box::new(ServiceScenario::with_switchless(
         TlsMboxService::default(),
         seed,
         mode,
         backend,
+        switchless,
     ))
 }
 
-fn build_tor(seed: u64, mode: TransitionMode, backend: TeeBackend) -> Box<dyn Scenario> {
-    Box::new(ServiceScenario::with_backend(
+fn build_tor(
+    seed: u64,
+    mode: TransitionMode,
+    backend: TeeBackend,
+    switchless: SwitchlessConfig,
+) -> Box<dyn Scenario> {
+    Box::new(ServiceScenario::with_switchless(
         TorService::default(),
         seed,
         mode,
         backend,
+        switchless,
     ))
 }
 
-fn build_bgp(seed: u64, mode: TransitionMode, backend: TeeBackend) -> Box<dyn Scenario> {
-    Box::new(ServiceScenario::with_backend(
+fn build_bgp(
+    seed: u64,
+    mode: TransitionMode,
+    backend: TeeBackend,
+    switchless: SwitchlessConfig,
+) -> Box<dyn Scenario> {
+    Box::new(ServiceScenario::with_switchless(
         BgpService::default(),
         seed,
         mode,
         backend,
+        switchless,
     ))
 }
 
-fn build_keystore(seed: u64, mode: TransitionMode, backend: TeeBackend) -> Box<dyn Scenario> {
-    Box::new(ServiceScenario::with_backend(
+fn build_keystore(
+    seed: u64,
+    mode: TransitionMode,
+    backend: TeeBackend,
+    switchless: SwitchlessConfig,
+) -> Box<dyn Scenario> {
+    Box::new(ServiceScenario::with_switchless(
         KeystoreService::default(),
         seed,
         mode,
         backend,
+        switchless,
     ))
 }
 
@@ -194,10 +250,22 @@ pub fn by_name_backend(
     mode: TransitionMode,
     backend: TeeBackend,
 ) -> Option<Box<dyn Scenario>> {
+    by_name_switchless(name, seed, mode, backend, SwitchlessConfig::default())
+}
+
+/// [`by_name_backend`] with an explicit switchless worker-pool
+/// configuration (`loadgen --switchless-workers` / `--spin-budget`).
+pub fn by_name_switchless(
+    name: &str,
+    seed: u64,
+    mode: TransitionMode,
+    backend: TeeBackend,
+    switchless: SwitchlessConfig,
+) -> Option<Box<dyn Scenario>> {
     REGISTRY
         .iter()
         .find(|entry| entry.name == name)
-        .map(|entry| entry.build_backend(seed, mode, backend))
+        .map(|entry| entry.build_switchless(seed, mode, backend, switchless))
 }
 
 #[cfg(test)]
@@ -239,6 +307,40 @@ mod tests {
         assert_ne!(
             sgx_cal.session_server_cost().cycles(&sgx_cal.cost_model()),
             vm_cal.session_server_cost().cycles(&vm_cal.cost_model()),
+        );
+    }
+
+    #[test]
+    fn by_name_switchless_tags_the_calibration_and_charges_idle_spins() {
+        use teenet_sgx::WorkerScaling;
+        let cfg = SwitchlessConfig {
+            workers: 3,
+            spin_budget: 4,
+            scaling: WorkerScaling::Fixed,
+            ..SwitchlessConfig::default()
+        };
+        let mut multi =
+            by_name_switchless("tls", 1, TransitionMode::Switchless, TeeBackend::Sgx, cfg).unwrap();
+        let multi_cal = multi.calibrate();
+        assert_eq!(multi_cal.switchless, cfg);
+        let multi_t = multi_cal.session_transitions();
+        assert!(multi_t.elided > 0, "the ring must still elide crossings");
+        assert!(
+            multi_t.idle_spins > 0,
+            "idle workers with a spin budget must be charged"
+        );
+
+        // The default single-worker/zero-spin shape burns nothing, and its
+        // calibration is identical to the pre-refactor `by_name_mode` path.
+        let mut single = by_name_mode("tls", 1, TransitionMode::Switchless).unwrap();
+        let single_cal = single.calibrate();
+        assert_eq!(single_cal.switchless, SwitchlessConfig::default());
+        assert_eq!(single_cal.session_transitions().idle_spins, 0);
+        // Idle spins cost normal instructions: the over-provisioned pool
+        // must be strictly more expensive server-side.
+        assert!(
+            multi_cal.session_server_cost().normal_instr
+                > single_cal.session_server_cost().normal_instr
         );
     }
 

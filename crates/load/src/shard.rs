@@ -281,6 +281,7 @@ mod tests {
                         taken: 2,
                         elided: 0,
                         fallbacks: 0,
+                        idle_spins: 0,
                     },
                 },
                 OpProfile {
@@ -293,11 +294,13 @@ mod tests {
                         taken: 4,
                         elided: 0,
                         fallbacks: 0,
+                        idle_spins: 0,
                     },
                 },
             ],
             mode: Default::default(),
             backend: teenet_sgx::TeeBackend::Sgx,
+            switchless: Default::default(),
         }
     }
 

@@ -21,7 +21,7 @@ use teenet_app::{
 };
 use teenet_crypto::SecureRng;
 use teenet_sgx::cost::Counters;
-use teenet_sgx::{EpidGroup, TransitionMode, TransitionStats};
+use teenet_sgx::{EpidGroup, SwitchlessConfig, TransitionMode, TransitionStats};
 use teenet_tls::handshake::{handshake, TlsConfig};
 use teenet_tls::TlsSession;
 
@@ -131,12 +131,23 @@ impl EnclaveService for TlsMboxService {
         Ok(())
     }
 
-    fn set_transition_mode(&mut self, mode: TransitionMode) -> Result<()> {
+    fn set_transition_mode(
+        &mut self,
+        mode: TransitionMode,
+        switchless: SwitchlessConfig,
+    ) -> Result<()> {
         let state = self
             .deployed
             .as_mut()
             .ok_or(MboxError::Session("middlebox service not deployed"))?;
         let enclave = state.gateway.enclave;
+        // Configure before switching: entering switchless initialises the
+        // worker pool from the configuration in force at that moment.
+        state
+            .gateway
+            .platform
+            .configure_switchless(enclave, switchless)
+            .map_err(MboxError::Sgx)?;
         state
             .gateway
             .platform

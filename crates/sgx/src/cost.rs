@@ -150,6 +150,12 @@ pub struct CostModel {
     /// Normal instructions to wake a sleeping worker (futex path),
     /// charged once per asleep-fallback.
     pub switchless_wake: u64,
+    /// Normal instructions per spin unit an awake worker burns finding
+    /// the ring empty (one poll-head + pause iteration). Charged per
+    /// unit of [`crate::TransitionStats::idle_spins`] — the honest cost
+    /// of keeping a worker pool hot, which lets an over-provisioned
+    /// switchless configuration lose to classic transitions.
+    pub switchless_idle_spin: u64,
 
     // --- enclave memory management ---
     /// Normal instructions per dynamic allocation inside the enclave
@@ -214,6 +220,7 @@ impl CostModel {
             switchless_post: 300,
             switchless_poll: 600,
             switchless_wake: 4_000,
+            switchless_idle_spin: 60,
             alloc_base: 1_800,
             alloc_page: 3_200,
             ewb_page: 25_000,

@@ -74,6 +74,6 @@ pub use ocall::{HostCalls, NullHost};
 pub use platform::Platform;
 pub use quote::{EpidGroup, Quote, QuotingEnclave};
 pub use report::{Report, ReportBody, TargetInfo};
-pub use switchless::{SwitchlessConfig, TransitionMode, TransitionStats};
+pub use switchless::{SwitchlessConfig, TransitionMode, TransitionStats, WorkerScaling};
 pub use tee::{deploy_platform, Evidence, TeeBackend, TeePlatform};
 pub use vmtee::{VmEvidence, VmTeePlatform};

@@ -183,7 +183,12 @@ impl Platform {
             };
             program.ecall(&mut ctx, fn_id, input)
         };
-        enclave.switchless.on_ecall_end();
+        let idle_spins = enclave.switchless.on_ecall_end();
+        if idle_spins > 0 {
+            enclave
+                .counters
+                .normal(idle_spins.saturating_mul(model.switchless_idle_spin));
+        }
         // Keep the platform RNG moving so successive ecalls differ.
         self.rng = self.rng.fork(b"step");
         enclave
@@ -261,7 +266,12 @@ impl Platform {
                 }
             }
         }
-        enclave.switchless.on_ecall_end();
+        let idle_spins = enclave.switchless.on_ecall_end();
+        if idle_spins > 0 {
+            enclave
+                .counters
+                .normal(idle_spins.saturating_mul(model.switchless_idle_spin));
+        }
         self.rng = self.rng.fork(b"step");
         enclave.program = Some(program);
         match failure {

@@ -19,7 +19,7 @@ use teenet_app::{
     AppError, EnclaveService, ServiceEnv, StepKind, StepOutcome, StepRequest, StepSpec,
 };
 use teenet_sgx::cost::{CostModel, Counters};
-use teenet_sgx::{TransitionMode, TransitionStats};
+use teenet_sgx::{SwitchlessConfig, TransitionMode, TransitionStats};
 
 use crate::cell::CELL_LEN;
 use crate::deployment::{Phase, TorDeployment, TorSpec};
@@ -42,6 +42,7 @@ pub struct TorService {
     deployed: Option<TorDeployment>,
     setup: Counters,
     mode: TransitionMode,
+    switchless: SwitchlessConfig,
 }
 
 impl TorService {
@@ -96,10 +97,16 @@ impl EnclaveService for TorService {
         Ok(())
     }
 
-    /// The relay cell loop is modelled, not metered, so the mode is only
-    /// recorded here and applied when computing each step.
-    fn set_transition_mode(&mut self, mode: TransitionMode) -> Result<()> {
+    /// The relay cell loop is modelled, not metered, so the mode and the
+    /// switchless worker configuration are only recorded here and applied
+    /// when computing each step.
+    fn set_transition_mode(
+        &mut self,
+        mode: TransitionMode,
+        switchless: SwitchlessConfig,
+    ) -> Result<()> {
         self.mode = mode;
+        self.switchless = switchless;
         Ok(())
     }
 
@@ -158,7 +165,7 @@ impl EnclaveService for TorService {
                 let mut client = Counters::new();
                 client.normal(2 * model.modexp(768) + (hop + 1) * model.aes_bytes(cell));
                 let mut server = Counters::new();
-                let transitions = cell_crossings(model, self.mode, &mut server, 1);
+                let transitions = cell_crossings(model, self.mode, self.switchless, &mut server, 1);
                 server.normal(2 * model.modexp(768) + model.aes_bytes(cell));
                 WorkStep {
                     name: spec.name,
@@ -176,7 +183,8 @@ impl EnclaveService for TorService {
                 let mut client = Counters::new();
                 client.normal(HOPS * model.aes_bytes(cell));
                 let mut server = Counters::new();
-                let transitions = cell_crossings(model, self.mode, &mut server, HOPS);
+                let transitions =
+                    cell_crossings(model, self.mode, self.switchless, &mut server, HOPS);
                 server.normal(HOPS * model.aes_bytes(cell));
                 WorkStep {
                     name: spec.name,
@@ -196,9 +204,14 @@ impl EnclaveService for TorService {
 /// Charges `crossings` per-cell enclave crossings to `server`: real
 /// transitions in classic mode, ring-post + worker-poll normal work in
 /// switchless mode (the relay's cell loop keeps the worker spinning).
+/// With a multi-worker pool, every worker beyond the one servicing the
+/// post idles through its spin budget per posted pair — modelled exactly
+/// like the metered ring's idle-spin charge, so over-provisioned Tor
+/// relays pay for their extra spinners too.
 fn cell_crossings(
     model: &CostModel,
     mode: TransitionMode,
+    switchless: SwitchlessConfig,
     server: &mut Counters,
     crossings: u64,
 ) -> TransitionStats {
@@ -210,14 +223,19 @@ fn cell_crossings(
                 taken: pairs,
                 elided: 0,
                 fallbacks: 0,
+                idle_spins: 0,
             }
         }
         TransitionMode::Switchless => {
+            let idle_workers = switchless.workers.max(1) as u64 - 1;
+            let idle_spins = pairs * idle_workers * u64::from(switchless.spin_budget);
             server.normal(pairs * (model.switchless_post + model.switchless_poll));
+            server.normal(idle_spins * model.switchless_idle_spin);
             TransitionStats {
                 taken: 0,
                 elided: pairs,
                 fallbacks: 0,
+                idle_spins,
             }
         }
     }

@@ -82,6 +82,7 @@ fn toy_calibration() -> Calibration {
         ],
         mode: Default::default(),
         backend: TeeBackend::Sgx,
+        switchless: Default::default(),
     }
 }
 
